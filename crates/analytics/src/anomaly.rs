@@ -1,0 +1,237 @@
+//! Anomaly detection: global z-score and rolling-window detectors.
+
+use toreador_data::stats::Welford;
+
+use crate::error::{AnalyticsError, Result};
+
+/// A detected anomaly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    pub index: usize,
+    pub value: f64,
+    /// How many standard deviations from the expectation.
+    pub score: f64,
+}
+
+/// Flag points more than `threshold` standard deviations from the global
+/// mean. Suited to stationary series.
+pub fn zscore_detect(series: &[f64], threshold: f64) -> Result<Vec<Anomaly>> {
+    if threshold <= 0.0 {
+        return Err(AnalyticsError::InvalidConfig(
+            "threshold must be positive".to_owned(),
+        ));
+    }
+    if series.len() < 2 {
+        return Ok(Vec::new());
+    }
+    let mut acc = Welford::new();
+    for &x in series {
+        acc.push(x);
+    }
+    let sd = acc.variance().sqrt();
+    if sd == 0.0 {
+        return Ok(Vec::new()); // constant series has no outliers
+    }
+    let mean = acc.mean();
+    Ok(series
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &x)| {
+            let score = (x - mean) / sd;
+            (score.abs() > threshold).then_some(Anomaly {
+                index: i,
+                value: x,
+                score,
+            })
+        })
+        .collect())
+}
+
+/// Flag points more than `threshold` standard deviations from the mean of
+/// the preceding `window` points. Suited to series with trend/seasonality
+/// (the smart-meter challenge) — the global detector would flag the whole
+/// evening peak, the rolling one only genuine spikes.
+pub fn rolling_detect(series: &[f64], window: usize, threshold: f64) -> Result<Vec<Anomaly>> {
+    if window < 2 {
+        return Err(AnalyticsError::InvalidConfig(
+            "window must be >= 2".to_owned(),
+        ));
+    }
+    if threshold <= 0.0 {
+        return Err(AnalyticsError::InvalidConfig(
+            "threshold must be positive".to_owned(),
+        ));
+    }
+    let mut out = Vec::new();
+    for i in window..series.len() {
+        let mut acc = Welford::new();
+        for &x in &series[i - window..i] {
+            acc.push(x);
+        }
+        let sd = acc.variance().sqrt();
+        if sd == 0.0 {
+            // A departure from a perfectly flat window is anomalous by any
+            // threshold; score it as infinite-like but finite.
+            if series[i] != acc.mean() {
+                out.push(Anomaly {
+                    index: i,
+                    value: series[i],
+                    score: f64::MAX,
+                });
+            }
+            continue;
+        }
+        let score = (series[i] - acc.mean()) / sd;
+        if score.abs() > threshold {
+            out.push(Anomaly {
+                index: i,
+                value: series[i],
+                score,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Detection quality against known anomaly positions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionQuality {
+    pub true_positives: usize,
+    pub false_positives: usize,
+    pub false_negatives: usize,
+}
+
+impl DetectionQuality {
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Score detections against ground truth indices.
+pub fn evaluate_detection(detected: &[Anomaly], truth: &[usize]) -> DetectionQuality {
+    let detected_idx: std::collections::HashSet<usize> = detected.iter().map(|a| a.index).collect();
+    let truth_idx: std::collections::HashSet<usize> = truth.iter().copied().collect();
+    DetectionQuality {
+        true_positives: detected_idx.intersection(&truth_idx).count(),
+        false_positives: detected_idx.difference(&truth_idx).count(),
+        false_negatives: truth_idx.difference(&detected_idx).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_finds_planted_spike() {
+        let mut series = vec![1.0; 100];
+        series[40] = 50.0;
+        let found = zscore_detect(&series, 3.0).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].index, 40);
+        assert!(found[0].score > 3.0);
+    }
+
+    #[test]
+    fn zscore_constant_series_has_no_anomalies() {
+        assert!(zscore_detect(&[5.0; 50], 2.0).unwrap().is_empty());
+        assert!(zscore_detect(&[1.0], 2.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zscore_threshold_monotone() {
+        let series: Vec<f64> = (0..200).map(|i| ((i * 37) % 100) as f64 / 10.0).collect();
+        let loose = zscore_detect(&series, 1.0).unwrap();
+        let strict = zscore_detect(&series, 2.5).unwrap();
+        assert!(loose.len() >= strict.len());
+        assert!(zscore_detect(&series, 0.0).is_err());
+    }
+
+    #[test]
+    fn rolling_tolerates_trend_that_fools_global() {
+        // Steep ramp + one local spike. The global detector flags ramp ends;
+        // the rolling detector flags only the spike.
+        let mut series: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        series[150] = 400.0;
+        let rolling = rolling_detect(&series, 20, 4.0).unwrap();
+        assert!(rolling.iter().any(|a| a.index == 150), "spike found");
+        // The point after the spike may also trip (window contaminated);
+        // everything else must be clean.
+        for a in &rolling {
+            assert!(
+                (150..=151).contains(&a.index),
+                "unexpected anomaly at {}",
+                a.index
+            );
+        }
+        let global = zscore_detect(&series, 4.0).unwrap();
+        assert!(
+            !global.iter().any(|a| a.index == 150),
+            "global misses in-trend spike"
+        );
+    }
+
+    #[test]
+    fn rolling_flat_window_flags_any_departure() {
+        let mut series = vec![2.0; 50];
+        series[30] = 2.1;
+        let found = rolling_detect(&series, 10, 3.0).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].index, 30);
+    }
+
+    #[test]
+    fn rolling_validates_config() {
+        assert!(rolling_detect(&[1.0, 2.0], 1, 2.0).is_err());
+        assert!(rolling_detect(&[1.0, 2.0], 5, 0.0).is_err());
+    }
+
+    #[test]
+    fn detection_quality_metrics() {
+        let detected = vec![
+            Anomaly {
+                index: 3,
+                value: 0.0,
+                score: 5.0,
+            },
+            Anomaly {
+                index: 9,
+                value: 0.0,
+                score: 4.0,
+            },
+        ];
+        let q = evaluate_detection(&detected, &[3, 7]);
+        assert_eq!(q.true_positives, 1);
+        assert_eq!(q.false_positives, 1);
+        assert_eq!(q.false_negatives, 1);
+        assert_eq!(q.precision(), 0.5);
+        assert_eq!(q.recall(), 0.5);
+        assert_eq!(q.f1(), 0.5);
+        let empty = evaluate_detection(&[], &[]);
+        assert_eq!(empty.f1(), 0.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Apriori frequent-itemset mining and association rules.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::error::{AnalyticsError, Result};
+
+/// A transaction is a set of item names.
+pub type Transaction = BTreeSet<String>;
+
+/// A frequent itemset with its absolute support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Itemset {
+    pub items: BTreeSet<String>,
+    pub support_count: usize,
+}
+
+impl Itemset {
+    /// Relative support given the transaction count.
+    pub fn support(&self, n_transactions: usize) -> f64 {
+        self.support_count as f64 / n_transactions as f64
+    }
+}
+
+/// An association rule `antecedent => consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    pub antecedent: BTreeSet<String>,
+    pub consequent: BTreeSet<String>,
+    pub support: f64,
+    pub confidence: f64,
+    /// `confidence / support(consequent)` — > 1 means positive association.
+    pub lift: f64,
+}
+
+/// Mine all itemsets with relative support >= `min_support`.
+///
+/// Classic levelwise Apriori: frequent k-itemsets generate (k+1)-candidates
+/// by prefix join; candidates with any infrequent subset are pruned before
+/// counting.
+pub fn frequent_itemsets(transactions: &[Transaction], min_support: f64) -> Result<Vec<Itemset>> {
+    if !(0.0..=1.0).contains(&min_support) || min_support == 0.0 {
+        return Err(AnalyticsError::InvalidConfig(format!(
+            "min_support {min_support} must be in (0, 1]"
+        )));
+    }
+    if transactions.is_empty() {
+        return Ok(Vec::new());
+    }
+    let n = transactions.len();
+    let min_count = (min_support * n as f64).ceil() as usize;
+
+    // L1.
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for t in transactions {
+        for item in t {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    let mut frequent: Vec<Itemset> = Vec::new();
+    let mut level: Vec<BTreeSet<String>> = Vec::new();
+    let mut l1: Vec<(&str, usize)> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= min_count)
+        .collect();
+    l1.sort();
+    for (item, c) in l1 {
+        let set: BTreeSet<String> = [item.to_owned()].into();
+        frequent.push(Itemset {
+            items: set.clone(),
+            support_count: c,
+        });
+        level.push(set);
+    }
+
+    // Lk -> Lk+1.
+    while !level.is_empty() {
+        let mut candidates: Vec<BTreeSet<String>> = Vec::new();
+        for i in 0..level.len() {
+            for j in i + 1..level.len() {
+                let a = &level[i];
+                let b = &level[j];
+                // Prefix join: all but the last element equal.
+                let mut ita = a.iter().take(a.len() - 1);
+                let mut itb = b.iter().take(b.len() - 1);
+                if a.len() == b.len()
+                    && std::iter::from_fn(|| match (ita.next(), itb.next()) {
+                        (Some(x), Some(y)) => Some(x == y),
+                        (None, None) => None,
+                        _ => Some(false),
+                    })
+                    .all(|eq| eq)
+                {
+                    let mut cand = a.clone();
+                    cand.extend(b.iter().cloned());
+                    if cand.len() == a.len() + 1 {
+                        // Subset pruning.
+                        let all_subsets_frequent = cand.iter().all(|drop| {
+                            let mut sub = cand.clone();
+                            sub.remove(drop);
+                            level.contains(&sub)
+                        });
+                        if all_subsets_frequent && !candidates.contains(&cand) {
+                            candidates.push(cand);
+                        }
+                    }
+                }
+            }
+        }
+        let mut next_level = Vec::new();
+        for cand in candidates {
+            let count = transactions
+                .iter()
+                .filter(|t| cand.iter().all(|i| t.contains(i)))
+                .count();
+            if count >= min_count {
+                frequent.push(Itemset {
+                    items: cand.clone(),
+                    support_count: count,
+                });
+                next_level.push(cand);
+            }
+        }
+        level = next_level;
+    }
+    Ok(frequent)
+}
+
+/// Derive association rules from frequent itemsets.
+///
+/// For every frequent itemset of size >= 2, every non-empty proper subset is
+/// tried as an antecedent; rules below `min_confidence` are dropped.
+pub fn association_rules(
+    itemsets: &[Itemset],
+    n_transactions: usize,
+    min_confidence: f64,
+) -> Result<Vec<Rule>> {
+    if !(0.0..=1.0).contains(&min_confidence) {
+        return Err(AnalyticsError::InvalidConfig(format!(
+            "min_confidence {min_confidence} outside [0,1]"
+        )));
+    }
+    if n_transactions == 0 {
+        return Ok(Vec::new());
+    }
+    let support_of: HashMap<&BTreeSet<String>, usize> = itemsets
+        .iter()
+        .map(|s| (&s.items, s.support_count))
+        .collect();
+    let mut rules = Vec::new();
+    for set in itemsets.iter().filter(|s| s.items.len() >= 2) {
+        let items: Vec<&String> = set.items.iter().collect();
+        // Enumerate non-empty proper subsets via bitmask.
+        for mask in 1..((1usize << items.len()) - 1) {
+            let antecedent: BTreeSet<String> = items
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, s)| (*s).clone())
+                .collect();
+            let consequent: BTreeSet<String> = set.items.difference(&antecedent).cloned().collect();
+            let Some(&ant_count) = support_of.get(&antecedent) else {
+                continue; // antecedent not frequent (below threshold)
+            };
+            let Some(&cons_count) = support_of.get(&consequent) else {
+                continue;
+            };
+            let confidence = set.support_count as f64 / ant_count as f64;
+            if confidence + 1e-12 >= min_confidence {
+                let support = set.support_count as f64 / n_transactions as f64;
+                let cons_support = cons_count as f64 / n_transactions as f64;
+                rules.push(Rule {
+                    antecedent,
+                    consequent,
+                    support,
+                    confidence,
+                    lift: confidence / cons_support,
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
+    Ok(rules)
+}
+
+/// Convenience: build transactions from (transaction-id, item) pairs.
+pub fn transactions_from_pairs(pairs: &[(i64, String)]) -> Vec<Transaction> {
+    let mut by_tid: HashMap<i64, Transaction> = HashMap::new();
+    for (tid, item) in pairs {
+        by_tid.entry(*tid).or_default().insert(item.clone());
+    }
+    let mut tids: Vec<i64> = by_tid.keys().copied().collect();
+    tids.sort_unstable();
+    tids.into_iter()
+        .map(|t| by_tid.remove(&t).expect("key exists"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(items: &[&str]) -> Transaction {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// The canonical market-basket example.
+    fn baskets() -> Vec<Transaction> {
+        vec![
+            tx(&["bread", "milk"]),
+            tx(&["bread", "diapers", "beer", "eggs"]),
+            tx(&["milk", "diapers", "beer", "cola"]),
+            tx(&["bread", "milk", "diapers", "beer"]),
+            tx(&["bread", "milk", "diapers", "cola"]),
+        ]
+    }
+
+    #[test]
+    fn finds_known_frequent_itemsets() {
+        let sets = frequent_itemsets(&baskets(), 0.6).unwrap();
+        let find = |items: &[&str]| {
+            sets.iter()
+                .find(|s| s.items == tx(items))
+                .map(|s| s.support_count)
+        };
+        assert_eq!(find(&["bread"]), Some(4));
+        assert_eq!(find(&["milk"]), Some(4));
+        assert_eq!(find(&["diapers"]), Some(4));
+        assert_eq!(find(&["beer"]), Some(3));
+        assert_eq!(find(&["beer", "diapers"]), Some(3));
+        assert_eq!(find(&["bread", "milk"]), Some(3));
+        // cola appears twice: below 60%.
+        assert_eq!(find(&["cola"]), None);
+    }
+
+    #[test]
+    fn monotonicity_fewer_itemsets_at_higher_support() {
+        let low = frequent_itemsets(&baskets(), 0.2).unwrap();
+        let high = frequent_itemsets(&baskets(), 0.8).unwrap();
+        assert!(low.len() > high.len());
+        // Every high-support itemset also appears at the lower threshold.
+        for s in &high {
+            assert!(low.iter().any(|l| l.items == s.items));
+        }
+    }
+
+    #[test]
+    fn subsets_of_frequent_sets_are_frequent() {
+        let sets = frequent_itemsets(&baskets(), 0.4).unwrap();
+        for s in sets.iter().filter(|s| s.items.len() >= 2) {
+            for drop in &s.items {
+                let mut sub = s.items.clone();
+                sub.remove(drop);
+                let sub_support = sets
+                    .iter()
+                    .find(|c| c.items == sub)
+                    .map(|c| c.support_count)
+                    .unwrap_or(0);
+                assert!(
+                    sub_support >= s.support_count,
+                    "subset {sub:?} support {sub_support} < {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beer_diapers_rule_emerges() {
+        let sets = frequent_itemsets(&baskets(), 0.5).unwrap();
+        let rules = association_rules(&sets, 5, 0.9).unwrap();
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == tx(&["beer"]) && r.consequent == tx(&["diapers"]))
+            .expect("beer => diapers");
+        assert!(
+            (rule.confidence - 1.0).abs() < 1e-12,
+            "3 of 3 beer baskets have diapers"
+        );
+        assert!((rule.lift - 1.25).abs() < 1e-12, "lift = 1.0 / 0.8");
+        assert!((rule.support - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_threshold_filters() {
+        let sets = frequent_itemsets(&baskets(), 0.5).unwrap();
+        let strict = association_rules(&sets, 5, 1.0).unwrap();
+        let lax = association_rules(&sets, 5, 0.1).unwrap();
+        assert!(strict.len() < lax.len());
+        for r in &strict {
+            assert!(r.confidence >= 1.0 - 1e-12);
+        }
+        // Sorted by confidence descending.
+        for w in lax.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(frequent_itemsets(&baskets(), 0.0).is_err());
+        assert!(frequent_itemsets(&baskets(), 1.5).is_err());
+        assert!(association_rules(&[], 5, 2.0).is_err());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(frequent_itemsets(&[], 0.5).unwrap().is_empty());
+        assert!(association_rules(&[], 0, 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pairs_helper_groups_by_tid() {
+        let pairs = vec![
+            (2, "b".to_owned()),
+            (1, "a".to_owned()),
+            (2, "c".to_owned()),
+            (2, "b".to_owned()),
+        ];
+        let txs = transactions_from_pairs(&pairs);
+        assert_eq!(txs.len(), 2);
+        assert_eq!(txs[0], tx(&["a"]));
+        assert_eq!(txs[1], tx(&["b", "c"]));
+    }
+}

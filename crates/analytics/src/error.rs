@@ -1,0 +1,64 @@
+//! Error type for the analytics library.
+
+use std::fmt;
+
+use toreador_data::error::DataError;
+
+/// Errors raised while preparing data or fitting/applying models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyticsError {
+    /// Bubbled up from the data layer.
+    Data(DataError),
+    /// The input shape is unusable (empty, mismatched dimensions, ...).
+    InvalidInput(String),
+    /// Model hyper-parameters are out of range.
+    InvalidConfig(String),
+    /// Training did not converge / produced a degenerate model.
+    Degenerate(String),
+    /// Predict was called with a feature width different from training.
+    DimensionMismatch { expected: usize, found: usize },
+}
+
+impl fmt::Display for AnalyticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyticsError::Data(e) => write!(f, "data error: {e}"),
+            AnalyticsError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            AnalyticsError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            AnalyticsError::Degenerate(m) => write!(f, "degenerate model: {m}"),
+            AnalyticsError::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "dimension mismatch: model expects {expected} features, got {found}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyticsError {}
+
+impl From<DataError> for AnalyticsError {
+    fn from(e: DataError) -> Self {
+        AnalyticsError::Data(e)
+    }
+}
+
+/// Result alias for the analytics layer.
+pub type Result<T> = std::result::Result<T, AnalyticsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AnalyticsError::DimensionMismatch {
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains("expects 3"));
+        let e: AnalyticsError = DataError::ColumnNotFound("x".into()).into();
+        assert!(e.to_string().contains("column not found"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Model evaluation metrics: classification, regression, clustering.
+
+use std::collections::HashMap;
+
+use crate::error::{AnalyticsError, Result};
+use crate::matrix::Matrix;
+
+/// Fraction of exact label matches.
+pub fn accuracy(predicted: &[String], truth: &[String]) -> Result<f64> {
+    check_len(predicted.len(), truth.len())?;
+    if truth.is_empty() {
+        return Err(AnalyticsError::InvalidInput(
+            "empty evaluation set".to_owned(),
+        ));
+    }
+    let hits = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    Ok(hits as f64 / truth.len() as f64)
+}
+
+/// A labelled confusion matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfusionMatrix {
+    /// Sorted distinct labels (row = truth, column = prediction).
+    pub labels: Vec<String>,
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    pub fn build(predicted: &[String], truth: &[String]) -> Result<ConfusionMatrix> {
+        check_len(predicted.len(), truth.len())?;
+        let mut labels: Vec<String> = truth.iter().chain(predicted).cloned().collect();
+        labels.sort();
+        labels.dedup();
+        let index: HashMap<&str, usize> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.as_str(), i))
+            .collect();
+        let mut counts = vec![vec![0usize; labels.len()]; labels.len()];
+        for (p, t) in predicted.iter().zip(truth) {
+            counts[index[t.as_str()]][index[p.as_str()]] += 1;
+        }
+        Ok(ConfusionMatrix { labels, counts })
+    }
+
+    /// Precision for one class: TP / (TP + FP).
+    pub fn precision(&self, label: &str) -> Result<f64> {
+        let i = self.label_index(label)?;
+        let tp = self.counts[i][i];
+        let predicted: usize = self.counts.iter().map(|row| row[i]).sum();
+        Ok(if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        })
+    }
+
+    /// Recall for one class: TP / (TP + FN).
+    pub fn recall(&self, label: &str) -> Result<f64> {
+        let i = self.label_index(label)?;
+        let tp = self.counts[i][i];
+        let actual: usize = self.counts[i].iter().sum();
+        Ok(if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        })
+    }
+
+    /// Per-class F1.
+    pub fn f1(&self, label: &str) -> Result<f64> {
+        let p = self.precision(label)?;
+        let r = self.recall(label)?;
+        Ok(if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        })
+    }
+
+    /// Unweighted mean F1 over all classes.
+    pub fn macro_f1(&self) -> f64 {
+        let sum: f64 = self
+            .labels
+            .iter()
+            .map(|l| self.f1(l).expect("label exists"))
+            .sum();
+        sum / self.labels.len() as f64
+    }
+
+    fn label_index(&self, label: &str) -> Result<usize> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .ok_or_else(|| AnalyticsError::InvalidInput(format!("unknown label {label:?}")))
+    }
+}
+
+/// Root mean squared error.
+pub fn rmse(predicted: &[f64], truth: &[f64]) -> Result<f64> {
+    check_len(predicted.len(), truth.len())?;
+    if truth.is_empty() {
+        return Err(AnalyticsError::InvalidInput(
+            "empty evaluation set".to_owned(),
+        ));
+    }
+    let mse: f64 = predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / truth.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// Mean absolute error.
+pub fn mae(predicted: &[f64], truth: &[f64]) -> Result<f64> {
+    check_len(predicted.len(), truth.len())?;
+    if truth.is_empty() {
+        return Err(AnalyticsError::InvalidInput(
+            "empty evaluation set".to_owned(),
+        ));
+    }
+    Ok(predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / truth.len() as f64)
+}
+
+/// Coefficient of determination (1 = perfect, 0 = mean-predictor, < 0 worse).
+pub fn r2(predicted: &[f64], truth: &[f64]) -> Result<f64> {
+    check_len(predicted.len(), truth.len())?;
+    if truth.len() < 2 {
+        return Err(AnalyticsError::InvalidInput(
+            "r2 needs >= 2 points".to_owned(),
+        ));
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        return Err(AnalyticsError::InvalidInput(
+            "r2 undefined for constant truth".to_owned(),
+        ));
+    }
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// Mean silhouette coefficient of a clustering (O(n²); meant for the
+/// Labs-scale datasets).
+pub fn silhouette(data: &Matrix, assignment: &[usize]) -> Result<f64> {
+    check_len(data.rows(), assignment.len())?;
+    let n = data.rows();
+    if n < 2 {
+        return Err(AnalyticsError::InvalidInput(
+            "silhouette needs >= 2 points".to_owned(),
+        ));
+    }
+    let k = assignment.iter().max().map(|m| m + 1).unwrap_or(0);
+    if k < 2 {
+        return Err(AnalyticsError::InvalidInput(
+            "silhouette needs >= 2 clusters".to_owned(),
+        ));
+    }
+    let dist = |a: usize, b: usize| -> f64 {
+        data.row(a)
+            .iter()
+            .zip(data.row(b))
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let own = assignment[i];
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[assignment[j]] += dist(i, j);
+            counts[assignment[j]] += 1;
+        }
+        if counts[own] == 0 {
+            continue; // singleton cluster: silhouette undefined, skip
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_infinite() {
+            continue;
+        }
+        total += (b - a) / a.max(b);
+        counted += 1;
+    }
+    if counted == 0 {
+        return Err(AnalyticsError::InvalidInput(
+            "no scorable points".to_owned(),
+        ));
+    }
+    Ok(total / counted as f64)
+}
+
+fn check_len(a: usize, b: usize) -> Result<()> {
+    if a != b {
+        Err(AnalyticsError::DimensionMismatch {
+            expected: a,
+            found: b,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[&str]) -> Vec<String> {
+        items.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let acc = accuracy(&s(&["a", "b", "a"]), &s(&["a", "a", "a"])).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+        assert!(accuracy(&s(&["a"]), &s(&[])).is_err());
+        assert!(accuracy(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn confusion_matrix_and_per_class_metrics() {
+        let truth = s(&["cat", "cat", "dog", "dog", "dog"]);
+        let pred = s(&["cat", "dog", "dog", "dog", "cat"]);
+        let cm = ConfusionMatrix::build(&pred, &truth).unwrap();
+        assert_eq!(cm.labels, vec!["cat", "dog"]);
+        // truth cat: 1 cat, 1 dog; truth dog: 1 cat, 2 dog.
+        assert_eq!(cm.counts, vec![vec![1, 1], vec![1, 2]]);
+        assert_eq!(cm.precision("cat").unwrap(), 0.5);
+        assert_eq!(cm.recall("cat").unwrap(), 0.5);
+        assert!((cm.recall("dog").unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.f1("cat").unwrap(), 0.5);
+        assert!(cm.macro_f1() > 0.0);
+        assert!(cm.precision("bird").is_err());
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let truth = s(&["a", "b"]);
+        let cm = ConfusionMatrix::build(&truth, &truth).unwrap();
+        assert_eq!(cm.macro_f1(), 1.0);
+        assert_eq!(accuracy(&truth, &truth).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&pred, &truth).unwrap(), 0.0);
+        assert_eq!(mae(&pred, &truth).unwrap(), 0.0);
+        assert_eq!(r2(&pred, &truth).unwrap(), 1.0);
+        let off = [2.0, 3.0, 4.0];
+        assert_eq!(rmse(&off, &truth).unwrap(), 1.0);
+        assert_eq!(mae(&off, &truth).unwrap(), 1.0);
+        // Mean predictor has r2 = 0.
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert_eq!(r2(&mean_pred, &truth).unwrap(), 0.0);
+        assert!(r2(&[1.0, 1.0], &[3.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn silhouette_prefers_tight_separated_clusters() {
+        let tight = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![10.0], vec![10.1]]).unwrap();
+        let good = silhouette(&tight, &[0, 0, 1, 1]).unwrap();
+        let bad = silhouette(&tight, &[0, 1, 0, 1]).unwrap();
+        assert!(good > 0.9, "good {good}");
+        assert!(bad < 0.0, "bad {bad}");
+        assert!(silhouette(&tight, &[0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn length_mismatches_rejected_everywhere() {
+        assert!(rmse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(mae(&[1.0], &[]).is_err());
+        let m = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert!(silhouette(&m, &[0]).is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! Time-series forecasting: seasonal-naive and exponential smoothing.
+//!
+//! The smart-energy vertical's "forecast tomorrow's load" requirement has
+//! two natural baselines besides regression-on-covariates: repeat the last
+//! season (seasonal-naive) and exponentially-weighted level tracking
+//! (simple and Holt's double smoothing). All are one-pass and deterministic.
+
+use crate::error::{AnalyticsError, Result};
+
+/// Forecast horizon values by repeating the last observed season.
+///
+/// `period` is the season length in samples (e.g. 96 for a day of
+/// 15-minute readings).
+pub fn seasonal_naive(series: &[f64], period: usize, horizon: usize) -> Result<Vec<f64>> {
+    if period == 0 {
+        return Err(AnalyticsError::InvalidConfig(
+            "period must be >= 1".to_owned(),
+        ));
+    }
+    if series.len() < period {
+        return Err(AnalyticsError::InvalidInput(format!(
+            "need at least one full season ({period}), got {}",
+            series.len()
+        )));
+    }
+    let last_season = &series[series.len() - period..];
+    Ok((0..horizon).map(|h| last_season[h % period]).collect())
+}
+
+/// Simple exponential smoothing: fitted level after the last observation,
+/// repeated over the horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ses {
+    pub alpha: f64,
+    pub level: f64,
+    /// One-step-ahead in-sample errors (for evaluation).
+    pub fitted_errors: Vec<f64>,
+}
+
+impl Ses {
+    /// Fit with smoothing factor `alpha` in (0, 1].
+    pub fn fit(series: &[f64], alpha: f64) -> Result<Ses> {
+        if !(0.0..=1.0).contains(&alpha) || alpha == 0.0 {
+            return Err(AnalyticsError::InvalidConfig(format!(
+                "alpha {alpha} must be in (0, 1]"
+            )));
+        }
+        let first = *series
+            .first()
+            .ok_or_else(|| AnalyticsError::InvalidInput("empty series".to_owned()))?;
+        let mut level = first;
+        let mut fitted_errors = Vec::with_capacity(series.len().saturating_sub(1));
+        for &x in &series[1..] {
+            fitted_errors.push(x - level);
+            level = alpha * x + (1.0 - alpha) * level;
+        }
+        Ok(Ses {
+            alpha,
+            level,
+            fitted_errors,
+        })
+    }
+
+    /// Flat forecast at the fitted level.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        vec![self.level; horizon]
+    }
+
+    /// In-sample one-step RMSE.
+    pub fn rmse(&self) -> f64 {
+        if self.fitted_errors.is_empty() {
+            return 0.0;
+        }
+        (self.fitted_errors.iter().map(|e| e * e).sum::<f64>() / self.fitted_errors.len() as f64)
+            .sqrt()
+    }
+}
+
+/// Holt's double exponential smoothing (level + trend).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Holt {
+    pub alpha: f64,
+    pub beta: f64,
+    pub level: f64,
+    pub trend: f64,
+}
+
+impl Holt {
+    /// Fit with level factor `alpha` and trend factor `beta`, both (0, 1].
+    pub fn fit(series: &[f64], alpha: f64, beta: f64) -> Result<Holt> {
+        for (name, v) in [("alpha", alpha), ("beta", beta)] {
+            if !(0.0..=1.0).contains(&v) || v == 0.0 {
+                return Err(AnalyticsError::InvalidConfig(format!(
+                    "{name} {v} must be in (0, 1]"
+                )));
+            }
+        }
+        if series.len() < 2 {
+            return Err(AnalyticsError::InvalidInput(
+                "Holt smoothing needs >= 2 observations".to_owned(),
+            ));
+        }
+        let mut level = series[0];
+        let mut trend = series[1] - series[0];
+        for &x in &series[1..] {
+            let prev_level = level;
+            level = alpha * x + (1.0 - alpha) * (level + trend);
+            trend = beta * (level - prev_level) + (1.0 - beta) * trend;
+        }
+        Ok(Holt {
+            alpha,
+            beta,
+            level,
+            trend,
+        })
+    }
+
+    /// Linear forecast from the fitted level and trend.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        (1..=horizon)
+            .map(|h| self.level + h as f64 * self.trend)
+            .collect()
+    }
+}
+
+/// Hold out the last `horizon` points, forecast them, and return the RMSE
+/// of the chosen forecaster (a convenience for the energy challenge).
+pub fn backtest_rmse(
+    series: &[f64],
+    horizon: usize,
+    forecast: impl Fn(&[f64], usize) -> Result<Vec<f64>>,
+) -> Result<f64> {
+    if horizon == 0 || series.len() <= horizon {
+        return Err(AnalyticsError::InvalidInput(format!(
+            "cannot hold out {horizon} of {} points",
+            series.len()
+        )));
+    }
+    let (train, test) = series.split_at(series.len() - horizon);
+    let preds = forecast(train, horizon)?;
+    if preds.len() != horizon {
+        return Err(AnalyticsError::InvalidInput(format!(
+            "forecaster returned {} points for horizon {horizon}",
+            preds.len()
+        )));
+    }
+    crate::evaluate::rmse(&preds, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_wave(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 / period as f64 * 2.0 * std::f64::consts::PI).sin())
+            .collect()
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_the_last_season() {
+        let series = vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0];
+        let f = seasonal_naive(&series, 3, 7).unwrap();
+        assert_eq!(f, vec![10.0, 20.0, 30.0, 10.0, 20.0, 30.0, 10.0]);
+        assert!(seasonal_naive(&series, 0, 3).is_err());
+        assert!(seasonal_naive(&[1.0], 3, 3).is_err());
+    }
+
+    #[test]
+    fn seasonal_naive_is_exact_on_perfectly_periodic_data() {
+        let series = sine_wave(200, 20);
+        let err = backtest_rmse(&series, 20, |train, h| seasonal_naive(train, 20, h)).unwrap();
+        assert!(err < 1e-9, "periodic data forecasts exactly, rmse {err}");
+    }
+
+    #[test]
+    fn ses_converges_to_constant_level() {
+        let series = vec![5.0; 50];
+        let m = Ses::fit(&series, 0.3).unwrap();
+        assert!((m.level - 5.0).abs() < 1e-12);
+        assert_eq!(m.forecast(3), vec![5.0; 3]);
+        assert_eq!(m.rmse(), 0.0);
+    }
+
+    #[test]
+    fn ses_tracks_level_shifts_faster_with_higher_alpha() {
+        let mut series = vec![0.0; 30];
+        series.extend(vec![10.0; 30]);
+        let slow = Ses::fit(&series, 0.05).unwrap();
+        let fast = Ses::fit(&series, 0.8).unwrap();
+        assert!(
+            fast.level > slow.level,
+            "fast {} vs slow {}",
+            fast.level,
+            slow.level
+        );
+        assert!((fast.level - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn ses_validates_inputs() {
+        assert!(Ses::fit(&[], 0.5).is_err());
+        assert!(Ses::fit(&[1.0], 0.0).is_err());
+        assert!(Ses::fit(&[1.0], 1.5).is_err());
+        // Single observation: level = that observation.
+        let m = Ses::fit(&[7.0], 0.5).unwrap();
+        assert_eq!(m.level, 7.0);
+    }
+
+    #[test]
+    fn holt_extrapolates_linear_trends() {
+        let series: Vec<f64> = (0..60).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let m = Holt::fit(&series, 0.5, 0.3).unwrap();
+        let f = m.forecast(5);
+        for (h, v) in f.iter().enumerate() {
+            let expected = 3.0 + 2.0 * (60 + h) as f64;
+            assert!((v - expected).abs() < 0.5, "h={h}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn holt_beats_ses_on_trending_data() {
+        let series: Vec<f64> = (0..80).map(|i| i as f64 * 1.5).collect();
+        let holt_err = backtest_rmse(&series, 10, |train, h| {
+            Ok(Holt::fit(train, 0.5, 0.3)?.forecast(h))
+        })
+        .unwrap();
+        let ses_err = backtest_rmse(
+            &series,
+            10,
+            |train, h| Ok(Ses::fit(train, 0.5)?.forecast(h)),
+        )
+        .unwrap();
+        assert!(
+            holt_err < ses_err / 2.0,
+            "holt {holt_err} should beat ses {ses_err} on a trend"
+        );
+    }
+
+    #[test]
+    fn holt_validates_inputs() {
+        assert!(Holt::fit(&[1.0], 0.5, 0.5).is_err());
+        assert!(Holt::fit(&[1.0, 2.0], 0.0, 0.5).is_err());
+        assert!(Holt::fit(&[1.0, 2.0], 0.5, 2.0).is_err());
+    }
+
+    #[test]
+    fn backtest_guards_degenerate_holdouts() {
+        assert!(backtest_rmse(&[1.0, 2.0], 2, |t, h| seasonal_naive(t, 1, h)).is_err());
+        assert!(backtest_rmse(&[1.0, 2.0, 3.0], 0, |t, h| seasonal_naive(t, 1, h)).is_err());
+    }
+}

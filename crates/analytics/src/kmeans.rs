@@ -1,0 +1,342 @@
+//! K-means clustering with k-means++ initialisation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{AnalyticsError, Result};
+use crate::matrix::Matrix;
+
+/// Hyper-parameters for [`KMeans::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    pub k: usize,
+    pub max_iters: usize,
+    /// Stop when total centroid movement falls below this threshold.
+    pub tolerance: f64,
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 3,
+            max_iters: 100,
+            tolerance: 1e-6,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of points to their assigned centroid.
+    inertia: f64,
+    iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// Fit on the rows of `data`.
+    pub fn fit(data: &Matrix, config: KMeansConfig) -> Result<KMeans> {
+        let n = data.rows();
+        let d = data.cols();
+        if config.k == 0 {
+            return Err(AnalyticsError::InvalidConfig("k must be >= 1".to_owned()));
+        }
+        if n < config.k {
+            return Err(AnalyticsError::InvalidInput(format!(
+                "{n} points cannot form {} clusters",
+                config.k
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // k-means++ seeding: first centroid uniform, the rest proportional
+        // to squared distance from the nearest chosen centroid.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(config.k);
+        centroids.push(data.row(rng.gen_range(0..n)).to_vec());
+        let mut dists: Vec<f64> = (0..n)
+            .map(|i| sq_dist(data.row(i), &centroids[0]))
+            .collect();
+        while centroids.len() < config.k {
+            let total: f64 = dists.iter().sum();
+            let chosen = if total <= 0.0 {
+                rng.gen_range(0..n) // all points identical: pick any
+            } else {
+                let mut u = rng.gen_range(0.0..total);
+                let mut pick = n - 1;
+                for (i, &w) in dists.iter().enumerate() {
+                    if u < w {
+                        pick = i;
+                        break;
+                    }
+                    u -= w;
+                }
+                pick
+            };
+            let c = data.row(chosen).to_vec();
+            for (i, d) in dists.iter_mut().enumerate() {
+                *d = d.min(sq_dist(data.row(i), &c));
+            }
+            centroids.push(c);
+        }
+
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; n];
+        let mut iterations = 0;
+        for iter in 0..config.max_iters {
+            iterations = iter + 1;
+            // Assign.
+            for (i, a) in assignment.iter_mut().enumerate() {
+                let row = data.row(i);
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let dist = sq_dist(row, centroid);
+                    if dist < best_d {
+                        best_d = dist;
+                        best = c;
+                    }
+                }
+                *a = best;
+            }
+            // Update.
+            let mut sums = vec![vec![0.0; d]; config.k];
+            let mut counts = vec![0usize; config.k];
+            for (i, &a) in assignment.iter().enumerate() {
+                counts[a] += 1;
+                for (s, &x) in sums[a].iter_mut().zip(data.row(i)) {
+                    *s += x;
+                }
+            }
+            let mut movement = 0.0;
+            for (c, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+                if count == 0 {
+                    // Empty cluster: re-seed at the farthest point.
+                    let far = (0..n)
+                        .max_by(|&a, &b| {
+                            sq_dist(data.row(a), &centroids[assignment[a]])
+                                .total_cmp(&sq_dist(data.row(b), &centroids[assignment[b]]))
+                        })
+                        .expect("n >= k >= 1");
+                    movement += sq_dist(&centroids[c], data.row(far));
+                    centroids[c] = data.row(far).to_vec();
+                    continue;
+                }
+                let new: Vec<f64> = sum.iter().map(|s| s / count as f64).collect();
+                movement += sq_dist(&centroids[c], &new);
+                centroids[c] = new;
+            }
+            if movement < config.tolerance {
+                break;
+            }
+        }
+        let inertia = (0..n)
+            .map(|i| sq_dist(data.row(i), &centroids[assignment[i]]))
+            .sum();
+        Ok(KMeans {
+            centroids,
+            inertia,
+            iterations,
+        })
+    }
+
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Cluster index of a point.
+    pub fn predict(&self, point: &[f64]) -> Result<usize> {
+        let d = self.centroids[0].len();
+        if point.len() != d {
+            return Err(AnalyticsError::DimensionMismatch {
+                expected: d,
+                found: point.len(),
+            });
+        }
+        Ok(self
+            .centroids
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| sq_dist(point, a).total_cmp(&sq_dist(point, b)))
+            .map(|(i, _)| i)
+            .expect("k >= 1"))
+    }
+
+    /// Cluster index for every row of `data`.
+    pub fn predict_all(&self, data: &Matrix) -> Result<Vec<usize>> {
+        (0..data.rows())
+            .map(|i| self.predict(data.row(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs.
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for (cx, cy) in [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)] {
+            for _ in 0..30 {
+                rows.push(vec![
+                    cx + rng.gen_range(-1.0..1.0),
+                    cy + rng.gen_range(-1.0..1.0),
+                ]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let data = blobs();
+        let model = KMeans::fit(
+            &data,
+            KMeansConfig {
+                k: 3,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(model.k(), 3);
+        // Each blob must map to a single cluster, and distinct blobs to
+        // distinct clusters.
+        let assign = model.predict_all(&data).unwrap();
+        let c0 = assign[0];
+        let c1 = assign[30];
+        let c2 = assign[60];
+        assert!(assign[..30].iter().all(|&a| a == c0));
+        assert!(assign[30..60].iter().all(|&a| a == c1));
+        assert!(assign[60..].iter().all(|&a| a == c2));
+        assert!(c0 != c1 && c1 != c2 && c0 != c2);
+        // Tight clusters: inertia far below the k=1 inertia.
+        let k1 = KMeans::fit(
+            &data,
+            KMeansConfig {
+                k: 1,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(model.inertia() < k1.inertia() / 10.0);
+    }
+
+    #[test]
+    fn inertia_never_increases_with_k() {
+        let data = blobs();
+        let mut prev = f64::INFINITY;
+        for k in 1..=5 {
+            let m = KMeans::fit(
+                &data,
+                KMeansConfig {
+                    k,
+                    seed: 3,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                m.inertia() <= prev + 1e-9,
+                "k={k}: {} > {prev}",
+                m.inertia()
+            );
+            prev = m.inertia();
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let data = blobs();
+        let a = KMeans::fit(
+            &data,
+            KMeansConfig {
+                k: 3,
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = KMeans::fit(
+            &data,
+            KMeansConfig {
+                k: 3,
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let data = blobs();
+        assert!(KMeans::fit(
+            &data,
+            KMeansConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(KMeans::fit(
+            &data,
+            KMeansConfig {
+                k: 1000,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn identical_points_are_handled() {
+        let data = Matrix::from_rows(&vec![vec![1.0, 1.0]; 10]).unwrap();
+        let m = KMeans::fit(
+            &data,
+            KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(m.inertia(), 0.0);
+    }
+
+    #[test]
+    fn predict_validates_dimensions() {
+        let data = blobs();
+        let m = KMeans::fit(
+            &data,
+            KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(m.predict(&[1.0]).is_err());
+        assert!(m.predict(&[0.0, 0.0]).is_ok());
+    }
+}

@@ -1,0 +1,63 @@
+//! # toreador-analytics
+//!
+//! The analytics/ML service implementations behind the TOREADOR service
+//! catalogue — the reproduction's substitute for the MLlib-style services
+//! the original platform composed into pipelines (DESIGN.md §2).
+//!
+//! Modules map to catalogue service families:
+//!
+//! * [`prep`] — Data Preparation: scaling, imputation, one-hot encoding,
+//!   train/test splitting (fit/apply split throughout);
+//! * [`kmeans`] — clustering (k-means++ / Lloyd);
+//! * [`regression`] — linear (ridge normal equations) and logistic (GD);
+//! * [`naive_bayes`] — Gaussian naive Bayes;
+//! * [`tree`] — CART decision trees (Gini);
+//! * [`apriori`] — frequent itemsets + association rules;
+//! * [`tfidf`] — text vectorisation + cosine similarity;
+//! * [`anomaly`] — global and rolling z-score detectors;
+//! * [`forecast`] — seasonal-naive and exponential-smoothing forecasters;
+//! * [`evaluate`] — accuracy / confusion / F1 / RMSE / R² / silhouette;
+//! * [`matrix`] — dense matrices, a pivoting solver, and feature extraction
+//!   from [`toreador_data::table::Table`]s.
+//!
+//! ## Example
+//!
+//! ```
+//! use toreador_analytics::kmeans::{KMeans, KMeansConfig};
+//! use toreador_analytics::matrix::Matrix;
+//!
+//! let data = Matrix::from_rows(&[
+//!     vec![0.0, 0.0], vec![0.2, 0.1], vec![9.0, 9.0], vec![9.1, 8.9],
+//! ]).unwrap();
+//! let model = KMeans::fit(&data, KMeansConfig { k: 2, ..Default::default() }).unwrap();
+//! assert_ne!(model.predict(&[0.0, 0.1]).unwrap(), model.predict(&[9.0, 9.0]).unwrap());
+//! ```
+
+pub mod anomaly;
+pub mod apriori;
+pub mod error;
+pub mod evaluate;
+pub mod forecast;
+pub mod kmeans;
+pub mod matrix;
+pub mod naive_bayes;
+pub mod prep;
+pub mod regression;
+pub mod tfidf;
+pub mod tree;
+
+/// Convenient glob import of the commonly used types.
+pub mod prelude {
+    pub use crate::anomaly::{rolling_detect, zscore_detect, Anomaly};
+    pub use crate::apriori::{association_rules, frequent_itemsets, Itemset, Rule};
+    pub use crate::error::{AnalyticsError, Result as AnalyticsResult};
+    pub use crate::evaluate::{accuracy, mae, r2, rmse, silhouette, ConfusionMatrix};
+    pub use crate::forecast::{backtest_rmse, seasonal_naive, Holt, Ses};
+    pub use crate::kmeans::{KMeans, KMeansConfig};
+    pub use crate::matrix::{features, labels, target, Matrix};
+    pub use crate::naive_bayes::GaussianNb;
+    pub use crate::prep::{train_test_split, ImputeKind, Imputer, OneHot, Scaler, ScalingKind};
+    pub use crate::regression::{LinearRegression, LogisticConfig, LogisticRegression};
+    pub use crate::tfidf::{cosine, tokenize, TfIdf};
+    pub use crate::tree::{DecisionTree, TreeConfig};
+}

@@ -1,0 +1,332 @@
+//! Dense row-major matrices and feature extraction from tables.
+
+use toreador_data::table::Table;
+
+use crate::error::{AnalyticsError, Result};
+
+/// A dense row-major f64 matrix.
+///
+/// Deliberately minimal: the algorithms in this crate need row access, a
+/// transpose-multiply, and a linear solver — not a BLAS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Build from row-major data. Fails if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(AnalyticsError::InvalidInput(format!(
+                "matrix data length {} != {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Build from a slice of rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(AnalyticsError::InvalidInput("ragged rows".to_owned()));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            data,
+            rows: r,
+            cols: c,
+        })
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterate rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// `self^T * self` (Gram matrix), used by the normal equations.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut out = Matrix::zeros(n, n);
+        for row in self.iter_rows() {
+            for (i, &ri) in row.iter().enumerate() {
+                if ri == 0.0 {
+                    continue;
+                }
+                for (j, &rj) in row.iter().enumerate().skip(i) {
+                    out.data[i * n + j] += ri * rj;
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..n {
+            for j in 0..i {
+                out.data[i * n + j] = out.data[j * n + i];
+            }
+        }
+        out
+    }
+
+    /// `self^T * y`.
+    pub fn t_vec_mul(&self, y: &[f64]) -> Result<Vec<f64>> {
+        if y.len() != self.rows {
+            return Err(AnalyticsError::DimensionMismatch {
+                expected: self.rows,
+                found: y.len(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (row, &yi) in self.iter_rows().zip(y) {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x * yi;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Solve `A x = b` for square `A` by Gaussian elimination with partial
+/// pivoting. `A` is consumed as a workspace.
+pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(AnalyticsError::InvalidInput(
+            "solve needs square A and matching b".to_owned(),
+        ));
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for r in col + 1..n {
+            if a.get(r, col).abs() > a.get(pivot, col).abs() {
+                pivot = r;
+            }
+        }
+        if a.get(pivot, col).abs() < 1e-12 {
+            return Err(AnalyticsError::Degenerate("singular system".to_owned()));
+        }
+        if pivot != col {
+            for c in 0..n {
+                let tmp = a.get(col, c);
+                a.set(col, c, a.get(pivot, c));
+                a.set(pivot, c, tmp);
+            }
+            b.swap(col, pivot);
+        }
+        // Eliminate below.
+        for r in col + 1..n {
+            let factor = a.get(r, col) / a.get(col, col);
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = a.get(r, c) - factor * a.get(col, c);
+                a.set(r, c, v);
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = b[r];
+        for (c, &xc) in x.iter().enumerate().skip(r + 1) {
+            acc -= a.get(r, c) * xc;
+        }
+        x[r] = acc / a.get(r, r);
+    }
+    Ok(x)
+}
+
+/// Extract named numeric columns from a table into a feature matrix.
+///
+/// Nulls are rejected — run imputation ([`crate::prep::Imputer`]) first;
+/// this mirrors the TOREADOR pipeline ordering (preparation before
+/// analytics).
+pub fn features(table: &Table, columns: &[&str]) -> Result<Matrix> {
+    let mut data = Vec::with_capacity(table.num_rows() * columns.len());
+    let cols: Vec<&toreador_data::column::Column> = columns
+        .iter()
+        .map(|c| table.column(c).map_err(AnalyticsError::Data))
+        .collect::<Result<Vec<_>>>()?;
+    for r in 0..table.num_rows() {
+        for (name, col) in columns.iter().zip(&cols) {
+            let v = col.value(r)?;
+            if v.is_null() {
+                return Err(AnalyticsError::InvalidInput(format!(
+                    "null in feature column {name:?} at row {r}; impute first"
+                )));
+            }
+            data.push(v.as_float()?);
+        }
+    }
+    Matrix::new(table.num_rows(), columns.len(), data)
+}
+
+/// Extract one numeric column as the target vector (nulls rejected).
+pub fn target(table: &Table, column: &str) -> Result<Vec<f64>> {
+    let col = table.column(column)?;
+    let mut out = Vec::with_capacity(table.num_rows());
+    for r in 0..table.num_rows() {
+        let v = col.value(r)?;
+        if v.is_null() {
+            return Err(AnalyticsError::InvalidInput(format!(
+                "null in target column {column:?} at row {r}"
+            )));
+        }
+        out.push(v.as_float()?);
+    }
+    Ok(out)
+}
+
+/// Extract a string column as class labels (nulls rejected).
+pub fn labels(table: &Table, column: &str) -> Result<Vec<String>> {
+    let col = table.column(column)?;
+    let mut out = Vec::with_capacity(table.num_rows());
+    for r in 0..table.num_rows() {
+        let v = col.value(r)?;
+        if v.is_null() {
+            return Err(AnalyticsError::InvalidInput(format!(
+                "null in label column {column:?} at row {r}"
+            )));
+        }
+        out.push(v.to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toreador_data::schema::{Field, Schema};
+    use toreador_data::value::{DataType, Value};
+
+    #[test]
+    fn construction_validates_shape() {
+        assert!(Matrix::new(2, 2, vec![1.0; 4]).is_ok());
+        assert!(Matrix::new(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.iter_rows().count(), 2);
+    }
+
+    #[test]
+    fn gram_and_tvec() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let g = m.gram();
+        // X^T X = [[35, 44], [44, 56]]
+        assert_eq!(g.get(0, 0), 35.0);
+        assert_eq!(g.get(0, 1), 44.0);
+        assert_eq!(g.get(1, 0), 44.0);
+        assert_eq!(g.get(1, 1), 56.0);
+        let v = m.t_vec_mul(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(v, vec![9.0, 12.0]);
+        assert!(m.t_vec_mul(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = solve(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            solve(a, vec![1.0, 2.0]),
+            Err(AnalyticsError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero on the initial pivot position.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve(a, vec![2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    fn table_with_null() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Float),
+            Field::new("y", DataType::Int),
+            Field::new("label", DataType::Str),
+        ])
+        .unwrap();
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::Float(1.0), Value::Int(2), Value::Str("a".into())],
+                vec![Value::Null, Value::Int(4), Value::Str("b".into())],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn feature_extraction_rejects_nulls() {
+        let t = table_with_null();
+        let err = features(&t, &["x", "y"]).unwrap_err();
+        assert!(err.to_string().contains("impute first"));
+        // Column y alone works (no nulls) and widens ints.
+        let m = features(&t, &["y"]).unwrap();
+        assert_eq!(m.get(1, 0), 4.0);
+        assert!(features(&t, &["missing"]).is_err());
+    }
+
+    #[test]
+    fn target_and_labels() {
+        let t = table_with_null();
+        assert_eq!(target(&t, "y").unwrap(), vec![2.0, 4.0]);
+        assert!(target(&t, "x").is_err());
+        assert_eq!(labels(&t, "label").unwrap(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Gaussian naive Bayes classification.
+
+use std::collections::HashMap;
+
+use crate::error::{AnalyticsError, Result};
+use crate::matrix::Matrix;
+
+/// A fitted Gaussian naive Bayes classifier over string class labels.
+#[derive(Debug, Clone)]
+pub struct GaussianNb {
+    classes: Vec<ClassModel>,
+    dims: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ClassModel {
+    label: String,
+    log_prior: f64,
+    means: Vec<f64>,
+    /// Variances, floored to avoid zero-variance blowups.
+    vars: Vec<f64>,
+}
+
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNb {
+    /// Fit per-class feature Gaussians.
+    pub fn fit(x: &Matrix, labels: &[String]) -> Result<GaussianNb> {
+        if x.rows() != labels.len() {
+            return Err(AnalyticsError::DimensionMismatch {
+                expected: x.rows(),
+                found: labels.len(),
+            });
+        }
+        if x.rows() == 0 {
+            return Err(AnalyticsError::InvalidInput(
+                "empty training set".to_owned(),
+            ));
+        }
+        let mut by_class: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, l) in labels.iter().enumerate() {
+            by_class.entry(l).or_default().push(i);
+        }
+        let n = x.rows() as f64;
+        let d = x.cols();
+        let mut classes: Vec<ClassModel> = Vec::with_capacity(by_class.len());
+        let mut names: Vec<&&str> = by_class.keys().collect();
+        names.sort(); // deterministic class order
+        for &label in names {
+            let idx = &by_class[label];
+            let m = idx.len() as f64;
+            let mut means = vec![0.0; d];
+            for &i in idx {
+                for (mu, &v) in means.iter_mut().zip(x.row(i)) {
+                    *mu += v;
+                }
+            }
+            for mu in &mut means {
+                *mu /= m;
+            }
+            let mut vars = vec![0.0; d];
+            for &i in idx {
+                for ((var, mu), &v) in vars.iter_mut().zip(&means).zip(x.row(i)) {
+                    *var += (v - mu) * (v - mu);
+                }
+            }
+            for var in &mut vars {
+                *var = (*var / m).max(VAR_FLOOR);
+            }
+            classes.push(ClassModel {
+                label: label.to_owned(),
+                log_prior: (m / n).ln(),
+                means,
+                vars,
+            });
+        }
+        Ok(GaussianNb { classes, dims: d })
+    }
+
+    pub fn class_labels(&self) -> Vec<&str> {
+        self.classes.iter().map(|c| c.label.as_str()).collect()
+    }
+
+    /// Per-class log joint likelihood of a point (unnormalised posterior).
+    pub fn log_scores(&self, features: &[f64]) -> Result<Vec<(String, f64)>> {
+        if features.len() != self.dims {
+            return Err(AnalyticsError::DimensionMismatch {
+                expected: self.dims,
+                found: features.len(),
+            });
+        }
+        Ok(self
+            .classes
+            .iter()
+            .map(|c| {
+                let mut score = c.log_prior;
+                for ((&x, &mu), &var) in features.iter().zip(&c.means).zip(&c.vars) {
+                    score += -0.5
+                        * ((x - mu) * (x - mu) / var
+                            + var.ln()
+                            + (2.0 * std::f64::consts::PI).ln());
+                }
+                (c.label.clone(), score)
+            })
+            .collect())
+    }
+
+    /// Most likely class.
+    pub fn predict_one(&self, features: &[f64]) -> Result<String> {
+        let scores = self.log_scores(features)?;
+        Ok(scores
+            .into_iter()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(l, _)| l)
+            .expect("at least one class"))
+    }
+
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<String>> {
+        (0..x.rows()).map(|i| self.predict_one(x.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn two_blobs() -> (Matrix, Vec<String>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..60 {
+            rows.push(vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+            labels.push("low".to_owned());
+        }
+        for _ in 0..40 {
+            rows.push(vec![
+                5.0 + rng.gen_range(-1.0..1.0),
+                5.0 + rng.gen_range(-1.0..1.0),
+            ]);
+            labels.push("high".to_owned());
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn classifies_separated_blobs_perfectly() {
+        let (x, y) = two_blobs();
+        let model = GaussianNb::fit(&x, &y).unwrap();
+        assert_eq!(model.class_labels(), vec!["high", "low"]);
+        let preds = model.predict(&x).unwrap();
+        let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert_eq!(correct, y.len());
+        assert_eq!(model.predict_one(&[0.1, -0.2]).unwrap(), "low");
+        assert_eq!(model.predict_one(&[5.2, 4.9]).unwrap(), "high");
+    }
+
+    #[test]
+    fn priors_break_ties_for_ambiguous_points() {
+        // Same features, imbalanced classes: the majority class wins on a
+        // point equidistant from both means.
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.2], vec![1.0]]).unwrap();
+        let y = vec![
+            "a".to_owned(),
+            "a".to_owned(),
+            "a".to_owned(),
+            "b".to_owned(),
+        ];
+        let m = GaussianNb::fit(&x, &y).unwrap();
+        // log_prior(a) = ln(3/4) > log_prior(b); at the midpoint of means the
+        // likelihoods do not dominate enough to flip it for wide variance.
+        let scores = m.log_scores(&[0.55]).unwrap();
+        let a = scores.iter().find(|(l, _)| l == "a").unwrap().1;
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn zero_variance_feature_is_floored() {
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let y = vec!["a".to_owned(), "a".to_owned(), "b".to_owned()];
+        let m = GaussianNb::fit(&x, &y).unwrap();
+        // First feature is constant within classes; prediction still works.
+        assert!(m.predict_one(&[1.0, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn validates_shapes() {
+        let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(GaussianNb::fit(&x, &[]).is_err());
+        let y = vec!["a".to_owned()];
+        let m = GaussianNb::fit(&x, &y).unwrap();
+        assert!(m.predict_one(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn single_class_always_predicted() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let y = vec!["only".to_owned(), "only".to_owned()];
+        let m = GaussianNb::fit(&x, &y).unwrap();
+        assert_eq!(m.predict_one(&[99.0]).unwrap(), "only");
+    }
+}

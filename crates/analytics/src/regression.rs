@@ -1,0 +1,348 @@
+//! Linear and logistic regression.
+//!
+//! Linear regression fits by ridge-regularised normal equations (exact, no
+//! learning-rate tuning); logistic regression by batch gradient descent.
+
+use crate::error::{AnalyticsError, Result};
+use crate::matrix::{solve, Matrix};
+
+/// A fitted linear model `y = intercept + coefficients · x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    pub intercept: f64,
+    pub coefficients: Vec<f64>,
+}
+
+impl LinearRegression {
+    /// Fit by the normal equations with ridge term `l2` (0 for plain OLS;
+    /// a small positive value guards against collinear features).
+    pub fn fit(x: &Matrix, y: &[f64], l2: f64) -> Result<LinearRegression> {
+        if x.rows() != y.len() {
+            return Err(AnalyticsError::DimensionMismatch {
+                expected: x.rows(),
+                found: y.len(),
+            });
+        }
+        if x.rows() == 0 {
+            return Err(AnalyticsError::InvalidInput(
+                "empty training set".to_owned(),
+            ));
+        }
+        if l2 < 0.0 {
+            return Err(AnalyticsError::InvalidConfig(
+                "l2 must be non-negative".to_owned(),
+            ));
+        }
+        // Augment with a bias column of ones.
+        let d = x.cols() + 1;
+        let mut aug = Matrix::zeros(x.rows(), d);
+        for (i, row) in x.iter_rows().enumerate() {
+            aug.set(i, 0, 1.0);
+            for (j, &v) in row.iter().enumerate() {
+                aug.set(i, j + 1, v);
+            }
+        }
+        let mut gram = aug.gram();
+        for j in 1..d {
+            // Do not regularise the intercept.
+            let v = gram.get(j, j) + l2;
+            gram.set(j, j, v);
+        }
+        let rhs = aug.t_vec_mul(y)?;
+        let beta = solve(gram, rhs)?;
+        Ok(LinearRegression {
+            intercept: beta[0],
+            coefficients: beta[1..].to_vec(),
+        })
+    }
+
+    pub fn predict_one(&self, features: &[f64]) -> Result<f64> {
+        if features.len() != self.coefficients.len() {
+            return Err(AnalyticsError::DimensionMismatch {
+                expected: self.coefficients.len(),
+                found: features.len(),
+            });
+        }
+        Ok(self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(features)
+                .map(|(c, x)| c * x)
+                .sum::<f64>())
+    }
+
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        (0..x.rows()).map(|i| self.predict_one(x.row(i))).collect()
+    }
+}
+
+/// Hyper-parameters for [`LogisticRegression::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct LogisticConfig {
+    pub learning_rate: f64,
+    pub max_iters: usize,
+    /// L2 penalty on the weights (not the intercept).
+    pub l2: f64,
+    /// Stop when the gradient norm falls below this threshold.
+    pub tolerance: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            learning_rate: 0.1,
+            max_iters: 500,
+            l2: 0.0,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A fitted binary logistic model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    pub intercept: f64,
+    pub coefficients: Vec<f64>,
+    pub iterations: usize,
+}
+
+impl LogisticRegression {
+    /// Fit with labels in {0, 1} by batch gradient descent.
+    pub fn fit(x: &Matrix, y: &[f64], config: LogisticConfig) -> Result<LogisticRegression> {
+        if x.rows() != y.len() {
+            return Err(AnalyticsError::DimensionMismatch {
+                expected: x.rows(),
+                found: y.len(),
+            });
+        }
+        if x.rows() == 0 {
+            return Err(AnalyticsError::InvalidInput(
+                "empty training set".to_owned(),
+            ));
+        }
+        if y.iter().any(|&v| v != 0.0 && v != 1.0) {
+            return Err(AnalyticsError::InvalidInput(
+                "labels must be 0 or 1".to_owned(),
+            ));
+        }
+        if config.learning_rate <= 0.0 {
+            return Err(AnalyticsError::InvalidConfig(
+                "learning rate must be positive".to_owned(),
+            ));
+        }
+        let n = x.rows() as f64;
+        let d = x.cols();
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        let mut iterations = 0;
+        for iter in 0..config.max_iters {
+            iterations = iter + 1;
+            let mut gw = vec![0.0; d];
+            let mut gb = 0.0;
+            for (row, &target) in x.iter_rows().zip(y) {
+                let z = b + w.iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>();
+                let err = sigmoid(z) - target;
+                gb += err;
+                for (g, &xi) in gw.iter_mut().zip(row) {
+                    *g += err * xi;
+                }
+            }
+            gb /= n;
+            let mut norm = gb * gb;
+            for (g, wi) in gw.iter_mut().zip(&w) {
+                *g = *g / n + config.l2 * wi;
+                norm += *g * *g;
+            }
+            b -= config.learning_rate * gb;
+            for (wi, g) in w.iter_mut().zip(&gw) {
+                *wi -= config.learning_rate * g;
+            }
+            if norm.sqrt() < config.tolerance {
+                break;
+            }
+        }
+        Ok(LogisticRegression {
+            intercept: b,
+            coefficients: w,
+            iterations,
+        })
+    }
+
+    /// P(y = 1 | x).
+    pub fn predict_proba_one(&self, features: &[f64]) -> Result<f64> {
+        if features.len() != self.coefficients.len() {
+            return Err(AnalyticsError::DimensionMismatch {
+                expected: self.coefficients.len(),
+                found: features.len(),
+            });
+        }
+        let z = self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(features)
+                .map(|(c, x)| c * x)
+                .sum::<f64>();
+        Ok(sigmoid(z))
+    }
+
+    pub fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        (0..x.rows())
+            .map(|i| self.predict_proba_one(x.row(i)))
+            .collect()
+    }
+
+    /// Hard labels at threshold 0.5.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| if p >= 0.5 { 1.0 } else { 0.0 })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn linear_recovers_exact_coefficients() {
+        // y = 3 + 2a - b, noiseless.
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let a = rng.gen_range(-5.0..5.0);
+            let b = rng.gen_range(-5.0..5.0);
+            rows.push(vec![a, b]);
+            ys.push(3.0 + 2.0 * a - b);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let m = LinearRegression::fit(&x, &ys, 0.0).unwrap();
+        assert!((m.intercept - 3.0).abs() < 1e-8);
+        assert!((m.coefficients[0] - 2.0).abs() < 1e-8);
+        assert!((m.coefficients[1] + 1.0).abs() < 1e-8);
+        assert!((m.predict_one(&[1.0, 1.0]).unwrap() - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ridge_handles_collinear_features() {
+        // Second feature is an exact copy of the first: OLS is singular.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, i as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| 2.0 * i as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        assert!(LinearRegression::fit(&x, &ys, 0.0).is_err());
+        let m = LinearRegression::fit(&x, &ys, 1e-6).unwrap();
+        // Combined effect still ~2.
+        assert!((m.coefficients[0] + m.coefficients[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn linear_input_validation() {
+        let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(LinearRegression::fit(&x, &[1.0, 2.0], 0.0).is_err());
+        assert!(LinearRegression::fit(&x, &[1.0], -1.0).is_err());
+        let m = LinearRegression {
+            intercept: 0.0,
+            coefficients: vec![1.0, 2.0],
+        };
+        assert!(m.predict_one(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn logistic_separates_linearly_separable_data() {
+        // y = 1 iff a + b > 0.
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let a: f64 = rng.gen_range(-2.0..2.0);
+            let b: f64 = rng.gen_range(-2.0..2.0);
+            if (a + b).abs() < 0.2 {
+                continue; // margin
+            }
+            rows.push(vec![a, b]);
+            ys.push(if a + b > 0.0 { 1.0 } else { 0.0 });
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let m = LogisticRegression::fit(
+            &x,
+            &ys,
+            LogisticConfig {
+                learning_rate: 0.5,
+                max_iters: 2000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let preds = m.predict(&x).unwrap();
+        let correct = preds.iter().zip(&ys).filter(|(p, y)| p == y).count();
+        let accuracy = correct as f64 / ys.len() as f64;
+        assert!(accuracy > 0.97, "accuracy {accuracy}");
+        // Probabilities are calibrated in direction.
+        assert!(m.predict_proba_one(&[2.0, 2.0]).unwrap() > 0.9);
+        assert!(m.predict_proba_one(&[-2.0, -2.0]).unwrap() < 0.1);
+    }
+
+    #[test]
+    fn logistic_rejects_bad_labels_and_config() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(LogisticRegression::fit(&x, &[0.0, 2.0], LogisticConfig::default()).is_err());
+        assert!(LogisticRegression::fit(
+            &x,
+            &[0.0, 1.0],
+            LogisticConfig {
+                learning_rate: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_shrinks_logistic_weights() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![(i as f64 - 20.0) / 5.0]).collect();
+        let ys: Vec<f64> = (0..40).map(|i| if i >= 20 { 1.0 } else { 0.0 }).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let free = LogisticRegression::fit(
+            &x,
+            &ys,
+            LogisticConfig {
+                max_iters: 3000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let penalised = LogisticRegression::fit(
+            &x,
+            &ys,
+            LogisticConfig {
+                max_iters: 3000,
+                l2: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(penalised.coefficients[0].abs() < free.coefficients[0].abs());
+    }
+}

@@ -1,0 +1,193 @@
+//! TF-IDF vectorisation and cosine similarity.
+
+use std::collections::HashMap;
+
+use crate::error::{AnalyticsError, Result};
+
+/// Lowercase, split on non-alphanumerics, drop empty tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// A fitted TF-IDF vocabulary.
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    /// term -> (vocabulary index, inverse document frequency).
+    vocab: HashMap<String, (usize, f64)>,
+}
+
+impl TfIdf {
+    /// Fit the vocabulary and IDF weights over a corpus.
+    ///
+    /// `idf = ln((1 + N) / (1 + df)) + 1` (the smoothed variant, so terms in
+    /// every document still carry weight).
+    pub fn fit(corpus: &[&str]) -> Result<TfIdf> {
+        if corpus.is_empty() {
+            return Err(AnalyticsError::InvalidInput("empty corpus".to_owned()));
+        }
+        let n = corpus.len() as f64;
+        let mut df: HashMap<String, usize> = HashMap::new();
+        for doc in corpus {
+            let mut seen: Vec<String> = tokenize(doc);
+            seen.sort();
+            seen.dedup();
+            for t in seen {
+                *df.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut terms: Vec<(String, usize)> = df.into_iter().collect();
+        terms.sort(); // deterministic vocabulary order
+        let vocab = terms
+            .into_iter()
+            .enumerate()
+            .map(|(i, (term, d))| {
+                let idf = ((1.0 + n) / (1.0 + d as f64)).ln() + 1.0;
+                (term, (i, idf))
+            })
+            .collect();
+        Ok(TfIdf { vocab })
+    }
+
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Sparse TF-IDF vector (index, weight), L2-normalised. Out-of-vocabulary
+    /// terms are ignored.
+    pub fn transform(&self, text: &str) -> Vec<(usize, f64)> {
+        let tokens = tokenize(text);
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for t in &tokens {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        let total = tokens.len() as f64;
+        let mut vec: Vec<(usize, f64)> = counts
+            .into_iter()
+            .filter_map(|(term, c)| {
+                self.vocab
+                    .get(term)
+                    .map(|&(idx, idf)| (idx, (c as f64 / total) * idf))
+            })
+            .collect();
+        vec.sort_by_key(|&(i, _)| i);
+        let norm: f64 = vec.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in &mut vec {
+                *w /= norm;
+            }
+        }
+        vec
+    }
+}
+
+/// Cosine similarity of two sparse vectors (assumed index-sorted).
+pub fn cosine(a: &[(usize, f64)], b: &[(usize, f64)]) -> f64 {
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Equal => {
+                dot += a[i].1 * b[j].1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    for &(_, w) in a {
+        na += w * w;
+    }
+    for &(_, w) in b {
+        nb += w * w;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_lowercases_and_splits() {
+        assert_eq!(tokenize("Hello, World! 42"), vec!["hello", "world", "42"]);
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn idf_downweights_ubiquitous_terms() {
+        let corpus = ["the cat sat", "the dog ran", "the bird flew away"];
+        let model = TfIdf::fit(&corpus).unwrap();
+        let v = model.transform("the cat");
+        // Both terms present; "cat" (df=1) outweighs "the" (df=3).
+        assert_eq!(v.len(), 2);
+        let weight = |term: &str| {
+            let (idx, _) = model.vocab[term];
+            v.iter()
+                .find(|(i, _)| *i == idx)
+                .map(|(_, w)| *w)
+                .unwrap_or(0.0)
+        };
+        assert!(weight("cat") > weight("the"));
+    }
+
+    #[test]
+    fn vectors_are_normalised() {
+        let corpus = ["a b c", "b c d"];
+        let model = TfIdf::fit(&corpus).unwrap();
+        let v = model.transform("a b b c");
+        let norm: f64 = v.iter().map(|(_, w)| w * w).sum::<f64>();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_ranks_related_documents_higher() {
+        let corpus = [
+            "energy consumption smart meter forecast",
+            "clickstream purchase funnel conversion",
+            "meter reading energy grid load",
+        ];
+        let model = TfIdf::fit(&corpus).unwrap();
+        let q = model.transform("energy meter load");
+        let sims: Vec<f64> = corpus
+            .iter()
+            .map(|d| cosine(&q, &model.transform(d)))
+            .collect();
+        assert!(sims[2] > sims[1], "energy doc beats clickstream doc");
+        assert!(sims[0] > sims[1]);
+    }
+
+    #[test]
+    fn cosine_edge_cases() {
+        assert_eq!(cosine(&[], &[(0, 1.0)]), 0.0);
+        assert_eq!(cosine(&[(0, 1.0)], &[(1, 1.0)]), 0.0);
+        assert!((cosine(&[(0, 2.0)], &[(0, 3.0)]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oov_terms_ignored() {
+        let model = TfIdf::fit(&["alpha beta"]).unwrap();
+        let v = model.transform("gamma delta");
+        assert!(v.is_empty());
+        assert_eq!(model.vocab_size(), 2);
+    }
+
+    #[test]
+    fn empty_corpus_rejected() {
+        assert!(TfIdf::fit(&[]).is_err());
+    }
+}

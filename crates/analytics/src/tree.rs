@@ -1,0 +1,359 @@
+//! CART decision trees (classification, Gini impurity).
+
+use std::collections::HashMap;
+
+use crate::error::{AnalyticsError, Result};
+use crate::matrix::Matrix;
+
+/// Hyper-parameters for [`DecisionTree::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    /// Do not split nodes smaller than this.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 6,
+            min_samples_split: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        label: String,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted binary decision tree over numeric features and string labels.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    dims: usize,
+    depth: usize,
+    leaves: usize,
+}
+
+fn gini(counts: &HashMap<&str, usize>, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let mut g = 1.0;
+    for &c in counts.values() {
+        let p = c as f64 / total as f64;
+        g -= p * p;
+    }
+    g
+}
+
+fn majority<'a>(labels: impl Iterator<Item = &'a str>) -> String {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))
+        .map(|(l, _)| l.to_owned())
+        .expect("non-empty labels")
+}
+
+impl DecisionTree {
+    pub fn fit(x: &Matrix, labels: &[String], config: TreeConfig) -> Result<DecisionTree> {
+        if x.rows() != labels.len() {
+            return Err(AnalyticsError::DimensionMismatch {
+                expected: x.rows(),
+                found: labels.len(),
+            });
+        }
+        if x.rows() == 0 {
+            return Err(AnalyticsError::InvalidInput(
+                "empty training set".to_owned(),
+            ));
+        }
+        if config.max_depth == 0 {
+            return Err(AnalyticsError::InvalidConfig(
+                "max_depth must be >= 1".to_owned(),
+            ));
+        }
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let mut depth = 0;
+        let mut leaves = 0;
+        let root = build(x, labels, &idx, &config, 1, &mut depth, &mut leaves);
+        Ok(DecisionTree {
+            root,
+            dims: x.cols(),
+            depth,
+            leaves,
+        })
+    }
+
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    pub fn num_leaves(&self) -> usize {
+        self.leaves
+    }
+
+    pub fn predict_one(&self, features: &[f64]) -> Result<String> {
+        if features.len() != self.dims {
+            return Err(AnalyticsError::DimensionMismatch {
+                expected: self.dims,
+                found: features.len(),
+            });
+        }
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label } => return Ok(label.clone()),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<String>> {
+        (0..x.rows()).map(|i| self.predict_one(x.row(i))).collect()
+    }
+}
+
+fn build(
+    x: &Matrix,
+    labels: &[String],
+    idx: &[usize],
+    config: &TreeConfig,
+    level: usize,
+    depth: &mut usize,
+    leaves: &mut usize,
+) -> Node {
+    *depth = (*depth).max(level);
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for &i in idx {
+        *counts.entry(labels[i].as_str()).or_insert(0) += 1;
+    }
+    let node_gini = gini(&counts, idx.len());
+    // Stopping: pure, too small, or too deep.
+    if node_gini == 0.0 || idx.len() < config.min_samples_split || level >= config.max_depth {
+        *leaves += 1;
+        return Node::Leaf {
+            label: majority(idx.iter().map(|&i| labels[i].as_str())),
+        };
+    }
+    // Best split: scan every feature, candidate thresholds at midpoints of
+    // consecutive distinct sorted values.
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity)
+    for f in 0..x.cols() {
+        let mut vals: Vec<(f64, &str)> = idx
+            .iter()
+            .map(|&i| (x.get(i, f), labels[i].as_str()))
+            .collect();
+        vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total = vals.len();
+        let mut left_counts: HashMap<&str, usize> = HashMap::new();
+        let mut right_counts: HashMap<&str, usize> = HashMap::new();
+        for (_, l) in &vals {
+            *right_counts.entry(l).or_insert(0) += 1;
+        }
+        for split_at in 1..total {
+            let (v_prev, l_prev) = vals[split_at - 1];
+            *left_counts.entry(l_prev).or_insert(0) += 1;
+            let rc = right_counts.get_mut(l_prev).expect("label counted");
+            *rc -= 1;
+            let v_cur = vals[split_at].0;
+            if v_cur == v_prev {
+                continue; // cannot split between equal values
+            }
+            let g = (split_at as f64 * gini(&left_counts, split_at)
+                + (total - split_at) as f64 * gini(&right_counts, total - split_at))
+                / total as f64;
+            if best.map_or(true, |(_, _, bg)| g < bg) {
+                best = Some((f, (v_prev + v_cur) / 2.0, g));
+            }
+        }
+    }
+    match best {
+        Some((feature, threshold, g)) if g < node_gini - 1e-12 => {
+            let (l_idx, r_idx): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| x.get(i, feature) <= threshold);
+            let left = build(x, labels, &l_idx, config, level + 1, depth, leaves);
+            let right = build(x, labels, &r_idx, config, level + 1, depth, leaves);
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        _ => {
+            *leaves += 1;
+            Node::Leaf {
+                label: majority(idx.iter().map(|&i| labels[i].as_str())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn learns_axis_aligned_rule() {
+        // label = "pos" iff x0 > 2.5.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 8.0, 0.0]).collect();
+        let labels: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                if r[0] > 2.5 {
+                    "pos".to_owned()
+                } else {
+                    "neg".to_owned()
+                }
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let t = DecisionTree::fit(&x, &labels, TreeConfig::default()).unwrap();
+        assert_eq!(t.predict_one(&[0.0, 0.0]).unwrap(), "neg");
+        assert_eq!(t.predict_one(&[4.9, 0.0]).unwrap(), "pos");
+        // A single split suffices.
+        assert_eq!(t.num_leaves(), 2);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn learns_xor_with_depth() {
+        // XOR of sign(x0), sign(x1) — needs depth >= 2.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            if a.abs() < 0.1 || b.abs() < 0.1 {
+                continue;
+            }
+            rows.push(vec![a, b]);
+            labels.push(if (a > 0.0) ^ (b > 0.0) {
+                "odd".to_owned()
+            } else {
+                "even".to_owned()
+            });
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let shallow = DecisionTree::fit(
+            &x,
+            &labels,
+            TreeConfig {
+                max_depth: 1,
+                min_samples_split: 2,
+            },
+        )
+        .unwrap();
+        let deep = DecisionTree::fit(
+            &x,
+            &labels,
+            TreeConfig {
+                max_depth: 4,
+                min_samples_split: 2,
+            },
+        )
+        .unwrap();
+        let acc = |t: &DecisionTree| {
+            let p = t.predict(&x).unwrap();
+            p.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / labels.len() as f64
+        };
+        assert!(acc(&shallow) < 0.8, "depth-1 cannot solve XOR");
+        assert!(acc(&deep) > 0.95, "depth-4 solves XOR, got {}", acc(&deep));
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf_immediately() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let labels = vec!["a".to_owned(); 3];
+        let t = DecisionTree::fit(&x, &labels, TreeConfig::default()).unwrap();
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn identical_features_different_labels_yield_majority_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]).unwrap();
+        let labels = vec!["a".to_owned(), "a".to_owned(), "b".to_owned()];
+        let t = DecisionTree::fit(&x, &labels, TreeConfig::default()).unwrap();
+        assert_eq!(t.predict_one(&[1.0]).unwrap(), "a");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(DecisionTree::fit(&x, &[], TreeConfig::default()).is_err());
+        assert!(DecisionTree::fit(
+            &x,
+            &["a".to_owned()],
+            TreeConfig {
+                max_depth: 0,
+                min_samples_split: 2
+            }
+        )
+        .is_err());
+        let t = DecisionTree::fit(&x, &["a".to_owned()], TreeConfig::default()).unwrap();
+        assert!(t.predict_one(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn min_samples_split_limits_growth() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let labels: Vec<String> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    "a".to_owned()
+                } else {
+                    "b".to_owned()
+                }
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let unconstrained = DecisionTree::fit(
+            &x,
+            &labels,
+            TreeConfig {
+                max_depth: 20,
+                min_samples_split: 2,
+            },
+        )
+        .unwrap();
+        let constrained = DecisionTree::fit(
+            &x,
+            &labels,
+            TreeConfig {
+                max_depth: 20,
+                min_samples_split: 15,
+            },
+        )
+        .unwrap();
+        assert!(constrained.num_leaves() < unconstrained.num_leaves());
+    }
+}

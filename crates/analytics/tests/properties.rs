@@ -1,0 +1,155 @@
+//! Property-based tests for analytics invariants.
+
+use proptest::prelude::*;
+
+use toreador_analytics::prelude::*;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 2..=2), 2..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kmeans_assignment_is_nearest_centroid(points in arb_points(40), k in 1usize..4, seed in 0u64..20) {
+        prop_assume!(points.len() >= k);
+        let data = Matrix::from_rows(&points).unwrap();
+        let m = KMeans::fit(&data, KMeansConfig { k, seed, ..Default::default() }).unwrap();
+        for p in &points {
+            let c = m.predict(p).unwrap();
+            let d = |cent: &[f64]| -> f64 {
+                cent.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum()
+            };
+            let assigned = d(&m.centroids()[c]);
+            for cent in m.centroids() {
+                prop_assert!(assigned <= d(cent) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_regression_residuals_orthogonal_to_features(points in arb_points(40)) {
+        // OLS property: sum of residuals = 0 (intercept column).
+        let ys: Vec<f64> = points.iter().map(|p| p[0] * 1.5 - p[1] * 0.5 + 2.0).collect();
+        let x = Matrix::from_rows(&points).unwrap();
+        if let Ok(m) = LinearRegression::fit(&x, &ys, 0.0) {
+            let preds = m.predict(&x).unwrap();
+            let resid_sum: f64 = preds.iter().zip(&ys).map(|(p, y)| y - p).sum();
+            prop_assert!(resid_sum.abs() < 1e-6 * ys.len() as f64, "residual sum {resid_sum}");
+        }
+    }
+
+    #[test]
+    fn scaler_round_trip_preserves_order(xs in prop::collection::vec(-1e4f64..1e4, 2..50)) {
+        use toreador_data::prelude::*;
+        let schema = Schema::new(vec![Field::new("x", DataType::Float)]).unwrap();
+        let t = Table::from_rows(schema, xs.iter().map(|&x| vec![Value::Float(x)])).unwrap();
+        let s = Scaler::fit(&t, &["x"], ScalingKind::MinMax).unwrap();
+        let out = s.apply(&t).unwrap();
+        let scaled: Vec<f64> = out
+            .column("x").unwrap()
+            .iter_values()
+            .map(|v| v.as_float().unwrap())
+            .collect();
+        for (a, b) in xs.iter().zip(xs.iter().skip(1)) {
+            let (sa, sb) = (scaled[xs.iter().position(|x| x == a).unwrap()],
+                            scaled[xs.iter().position(|x| x == b).unwrap()]);
+            if a < b {
+                prop_assert!(sa <= sb);
+            }
+        }
+        for &v in &scaled {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn imputer_removes_all_nulls(n in 2usize..40, seed in 0u64..20) {
+        let t = toreador_data::generate::random_table(n, 2, seed);
+        // c1 is Float; random_table plants ~5% nulls.
+        let imp = match Imputer::fit(&t, &["c1"], ImputeKind::Mean) {
+            Ok(i) => i,
+            Err(_) => return Ok(()), // all-null column: nothing to test
+        };
+        let out = imp.apply(&t).unwrap();
+        prop_assert_eq!(out.column("c1").unwrap().null_count(), 0);
+        // Non-null values unchanged.
+        for (a, b) in t.column("c1").unwrap().iter_values().zip(out.column("c1").unwrap().iter_values()) {
+            if !a.is_null() {
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn train_test_split_partitions_rows(n in 0usize..60, frac in 0.0f64..1.0, seed in 0u64..20) {
+        let t = toreador_data::generate::random_table(n, 2, seed);
+        let (train, test) = train_test_split(&t, frac, seed).unwrap();
+        prop_assert_eq!(train.num_rows() + test.num_rows(), n);
+    }
+
+    #[test]
+    fn rmse_at_least_mae(n in 1usize..50, seed in 0u64..50) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let truth: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let pred: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let rm = rmse(&pred, &truth).unwrap();
+        let ma = mae(&pred, &truth).unwrap();
+        prop_assert!(rm + 1e-12 >= ma, "rmse {rm} < mae {ma}");
+    }
+
+    #[test]
+    fn confusion_matrix_row_sums_equal_class_counts(n in 1usize..60, seed in 0u64..30) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let labels = ["x", "y", "z"];
+        let truth: Vec<String> = (0..n).map(|_| labels[rng.gen_range(0..3)].to_owned()).collect();
+        let pred: Vec<String> = (0..n).map(|_| labels[rng.gen_range(0..3)].to_owned()).collect();
+        let cm = ConfusionMatrix::build(&pred, &truth).unwrap();
+        let total: usize = cm.counts.iter().flatten().sum();
+        prop_assert_eq!(total, n);
+        for (i, label) in cm.labels.iter().enumerate() {
+            let row_sum: usize = cm.counts[i].iter().sum();
+            let actual = truth.iter().filter(|t| *t == label).count();
+            prop_assert_eq!(row_sum, actual);
+        }
+    }
+
+    #[test]
+    fn tfidf_self_similarity_is_max(doc in "[a-z ]{5,40}") {
+        prop_assume!(!tokenize(&doc).is_empty());
+        let corpus = [doc.as_str(), "other words entirely", "unrelated text body"];
+        let model = TfIdf::fit(&corpus).unwrap();
+        let v = model.transform(&doc);
+        prop_assume!(!v.is_empty());
+        let self_sim = cosine(&v, &v);
+        prop_assert!((self_sim - 1.0).abs() < 1e-9);
+        for other in &corpus[1..] {
+            let s = cosine(&v, &model.transform(other));
+            prop_assert!(s <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn apriori_supports_are_true_counts(seed in 0u64..30) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let items = ["a", "b", "c", "d"];
+        let txs: Vec<_> = (0..20)
+            .map(|_| {
+                items
+                    .iter()
+                    .filter(|_| rng.gen_bool(0.5))
+                    .map(|s| s.to_string())
+                    .collect::<std::collections::BTreeSet<_>>()
+            })
+            .collect();
+        let sets = frequent_itemsets(&txs, 0.2).unwrap();
+        for s in &sets {
+            let true_count = txs.iter().filter(|t| s.items.iter().all(|i| t.contains(i))).count();
+            prop_assert_eq!(s.support_count, true_count);
+        }
+    }
+}

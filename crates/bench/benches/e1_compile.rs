@@ -1,0 +1,73 @@
+//! E1 — §2's claim that BDAaaS is a *function* from goals to a
+//! ready-to-run pipeline: compilation must be mechanical and cheap.
+//!
+//! Measures the full compile path (parse → consistency → plan → bind →
+//! compliance manifest) while sweeping the goal count 1..32, and prints the
+//! compile-vs-run latency ratio that backs the "as-a-Service" premise: the
+//! design step is orders of magnitude cheaper than the execution step.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use toreador_bench::{compile, spec_with_goals, table_header};
+use toreador_core::compile::Bdaas;
+use toreador_data::generate::clickstream;
+
+fn print_series() {
+    table_header("E1", "compile latency vs goal-set size; compile << run");
+    let bdaas = Bdaas::new();
+    let data = clickstream(5_000, 1);
+    eprintln!(
+        "{:>6} {:>16} {:>16} {:>10}",
+        "goals", "compile (us)", "run (us)", "run/compile"
+    );
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let dsl = spec_with_goals(n);
+        let started = Instant::now();
+        let compiled = compile(&bdaas, &dsl, &data);
+        let compile_us = started.elapsed().as_micros();
+        let started = Instant::now();
+        let _ = bdaas
+            .run(&compiled, data.clone(), &Default::default())
+            .unwrap();
+        let run_us = started.elapsed().as_micros();
+        eprintln!(
+            "{n:>6} {compile_us:>16} {run_us:>16} {:>10.1}",
+            run_us as f64 / compile_us.max(1) as f64
+        );
+    }
+}
+
+fn bench_compile(c: &mut Criterion) {
+    print_series();
+    let bdaas = Bdaas::new();
+    let data = clickstream(5_000, 1);
+    let mut group = c.benchmark_group("e1_compile");
+    group.sample_size(30);
+    for n in [1usize, 4, 16, 32] {
+        let dsl = spec_with_goals(n);
+        group.bench_with_input(BenchmarkId::new("goals", n), &dsl, |b, dsl| {
+            b.iter(|| compile(&bdaas, dsl, &data));
+        });
+    }
+    // The three vertical reference campaigns compile end-to-end.
+    for challenge in toreador_labs::catalog::challenges() {
+        let scen = toreador_labs::scenario::scenario(challenge.scenario_id).unwrap();
+        let schema = scen.schema();
+        let spec = challenge
+            .instantiate(&challenge.reference_vector())
+            .unwrap();
+        group.bench_function(BenchmarkId::new("challenge", challenge.id), |b| {
+            b.iter(|| {
+                bdaas
+                    .compile(&spec, &schema, scen.default_rows)
+                    .expect("reference compiles")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

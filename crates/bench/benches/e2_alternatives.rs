@@ -1,0 +1,73 @@
+//! E2 — §3's claim that trainees "identify alternative options" and
+//! "investigate the consequences of their choices".
+//!
+//! Measures the cost of enumerating one-change design alternatives, and
+//! prints the consequence matrix across a challenge's full design space —
+//! checking that at least one strict trade-off exists (no option dominates
+//! on every data-derived axis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use toreador_bench::table_header;
+use toreador_core::alternatives::enumerate;
+use toreador_core::compile::Bdaas;
+use toreador_labs::prelude::*;
+
+fn print_series() {
+    table_header(
+        "E2",
+        "alternative enumeration + consequence matrices per challenge",
+    );
+    for c in challenges() {
+        let mut session = LabSession::new("bench", Quota::unlimited(), 7);
+        for vector in c.all_choice_vectors() {
+            let _ = session.attempt(c.id, &vector, Some(1_000));
+        }
+        match session.consequences(c.id) {
+            Ok(matrix) => {
+                let front = matrix.pareto_front();
+                eprintln!(
+                    "\nchallenge {} — {} designs, Pareto front {:?}",
+                    c.id,
+                    matrix.rows.len(),
+                    front
+                        .iter()
+                        .map(|&i| matrix.rows[i].1.join("/"))
+                        .collect::<Vec<_>>()
+                );
+                eprint!("{}", matrix.render());
+            }
+            Err(e) => eprintln!("challenge {}: {e}", c.id),
+        }
+    }
+}
+
+fn bench_alternatives(c: &mut Criterion) {
+    print_series();
+    let bdaas = Bdaas::new();
+    let challenge = challenge("health-compliance").unwrap();
+    let spec = challenge
+        .instantiate(&challenge.reference_vector())
+        .unwrap();
+    let mut group = c.benchmark_group("e2_alternatives");
+    group.sample_size(30);
+    group.bench_function("enumerate_one_change_designs", |b| {
+        b.iter(|| enumerate(&spec, bdaas.registry(), false).unwrap().len());
+    });
+    // Ablation (DESIGN.md §4): full design-space sweep of one challenge.
+    group.sample_size(10);
+    group.bench_function("sweep_design_space_ecomm_revenue", |b| {
+        b.iter(|| {
+            let c = toreador_labs::catalog::challenge("ecomm-revenue").unwrap();
+            let mut session = LabSession::new("s", Quota::unlimited(), 3);
+            for vector in c.all_choice_vectors() {
+                session.attempt(c.id, &vector, Some(500)).unwrap();
+            }
+            session.consequences(c.id).unwrap().pareto_front().len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alternatives);
+criterion_main!(benches);

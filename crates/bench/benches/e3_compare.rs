@@ -1,0 +1,72 @@
+//! E3 — §3's claim that the Labs make it possible to "compare different
+//! runs of a composite BDA", which professional platforms make difficult.
+//!
+//! Measures run-pair diffing and consequence-matrix construction as the
+//! session history grows, and prints a worked diff so the fidelity claim
+//! (exactly the changed fields are reported) is visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use toreador_bench::table_header;
+use toreador_labs::compare::{ConsequenceMatrix, RunComparison};
+use toreador_labs::prelude::*;
+
+fn session_with_runs(n: usize) -> LabSession {
+    let mut session = LabSession::new("bench", Quota::unlimited(), 11);
+    let c = challenge("ecomm-revenue").unwrap();
+    let vectors = c.all_choice_vectors();
+    for v in vectors.iter().cycle().take(n) {
+        session
+            .attempt(c.id, v, Some(400))
+            .expect("bench attempt runs");
+    }
+    session
+}
+
+fn print_series() {
+    table_header("E3", "run comparison output and scaling with history size");
+    let session = session_with_runs(4);
+    eprintln!("{}", session.compare(1, 2).unwrap().render());
+    for n in [2usize, 8, 16] {
+        let session = session_with_runs(n);
+        let records = session.history().to_vec();
+        let started = std::time::Instant::now();
+        let matrix = ConsequenceMatrix::build(&records).unwrap();
+        let us = started.elapsed().as_micros();
+        eprintln!(
+            "history {n:>3} runs -> matrix {}x{} in {us} us, front size {}",
+            matrix.rows.len(),
+            matrix.indicator_names.len(),
+            matrix.pareto_front().len()
+        );
+    }
+}
+
+fn bench_compare(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e3_compare");
+    group.sample_size(40);
+    let session = session_with_runs(8);
+    let a = session.run(1).unwrap().clone();
+    let b = session.run(2).unwrap().clone();
+    group.bench_function("diff_two_runs", |bch| {
+        bch.iter(|| RunComparison::diff(&a, &b).unwrap());
+    });
+    for n in [4usize, 8, 16] {
+        let records = session_with_runs(n).history().to_vec();
+        group.bench_with_input(
+            BenchmarkId::new("consequence_matrix", n),
+            &records,
+            |bch, r| {
+                bch.iter(|| {
+                    let m = ConsequenceMatrix::build(r).unwrap();
+                    m.pareto_front().len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! E4 — §1/§2's "regulatory barrier": regulatory constraints are
+//! first-class objectives, checked before execution and enforced during it.
+//!
+//! Measures (i) static compliance checking latency, (ii) the runtime
+//! overhead of privacy enforcement (k-anonymity, DP) over the unprotected
+//! pipeline at several data scales, and prints the overhead factors plus
+//! the utility cost (suppression) — the paper-shaped trade-off series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use toreador_bench::{compile, table_header};
+use toreador_core::compile::Bdaas;
+use toreador_core::declarative::Indicator;
+use toreador_data::generate::health_records;
+
+fn pseudonymised(rows: usize, seed: u64) -> toreador_data::table::Table {
+    health_records(rows, seed)
+        .without_column("patient_id")
+        .unwrap()
+}
+
+const BASELINE: &str = "campaign base on health\nseed 2\ngoal reporting using viz.report.summary\n";
+const KANON: &str = r#"
+campaign kanon on health
+policy healthcare
+seed 2
+goal anonymization using privacy.kanon k=5 quasi=age,zip,sex
+goal anonymization using privacy.ldiv l=2 quasi=age,zip,sex sensitive=diagnosis
+goal reporting using viz.report.summary
+"#;
+const DP: &str = r#"
+campaign dp on health
+policy healthcare
+seed 2
+goal private_aggregation epsilon=1.0 column=cost group_by=diagnosis
+"#;
+
+fn run_us(bdaas: &Bdaas, dsl: &str, rows: usize) -> (u128, f64, f64) {
+    let data = pseudonymised(rows, 3);
+    let compiled = compile(bdaas, dsl, &data);
+    let started = std::time::Instant::now();
+    let outcome = bdaas.run(&compiled, data, &Default::default()).unwrap();
+    (
+        started.elapsed().as_micros(),
+        outcome.indicator(Indicator::Coverage).unwrap_or(1.0),
+        outcome.indicator(Indicator::PrivacyRisk).unwrap_or(1.0),
+    )
+}
+
+fn print_series() {
+    table_header(
+        "E4",
+        "privacy enforcement overhead and utility cost vs data scale",
+    );
+    let bdaas = Bdaas::new();
+    eprintln!(
+        "{:>8} {:>14} {:>14} {:>9} {:>14} {:>9} {:>9}",
+        "rows", "baseline us", "kanon us", "factor", "dp us", "factor", "k-cov"
+    );
+    for rows in [1_000usize, 5_000, 20_000] {
+        let (base, _, _) = run_us(&bdaas, BASELINE, rows);
+        let (kanon, coverage, _) = run_us(&bdaas, KANON, rows);
+        let (dp, _, _) = run_us(&bdaas, DP, rows);
+        eprintln!(
+            "{rows:>8} {base:>14} {kanon:>14} {:>9.2} {dp:>14} {:>9.2} {coverage:>9.3}",
+            kanon as f64 / base as f64,
+            dp as f64 / base as f64,
+        );
+    }
+    // The compile-time gate: non-compliant campaigns are refused.
+    let data = pseudonymised(500, 1);
+    let naive = bdaas
+        .parse(
+            "campaign naive on health\npolicy healthcare\ngoal reporting using viz.report.table\n",
+        )
+        .unwrap();
+    assert!(bdaas.compile(&naive, data.schema(), 500).is_err());
+    eprintln!("compile-time gate: non-compliant campaign refused before execution: OK");
+}
+
+fn bench_compliance(c: &mut Criterion) {
+    print_series();
+    let bdaas = Bdaas::new();
+    let mut group = c.benchmark_group("e4_compliance");
+    group.sample_size(20);
+
+    // Static check latency (manifest inference + policy evaluation) is
+    // inside compile; measure the whole gate.
+    let data = pseudonymised(1_000, 1);
+    let spec = bdaas.parse(KANON).unwrap();
+    group.bench_function("compile_with_policy_gate", |b| {
+        b.iter(|| bdaas.compile(&spec, data.schema(), 1_000).unwrap());
+    });
+
+    for rows in [1_000usize, 5_000] {
+        let data = pseudonymised(rows, 3);
+        let base = compile(&bdaas, BASELINE, &data);
+        let kanon = compile(&bdaas, KANON, &data);
+        let dp = compile(&bdaas, DP, &data);
+        group.bench_with_input(BenchmarkId::new("baseline", rows), &data, |b, d| {
+            b.iter(|| bdaas.run(&base, d.clone(), &Default::default()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("kanon_enforced", rows), &data, |b, d| {
+            b.iter(|| bdaas.run(&kanon, d.clone(), &Default::default()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("dp_enforced", rows), &data, |b, d| {
+            b.iter(|| bdaas.run(&dp, d.clone(), &Default::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compliance);
+criterion_main!(benches);

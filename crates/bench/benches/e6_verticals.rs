@@ -1,0 +1,75 @@
+//! E6 — §3's "simplified versions of real-life vertical scenarios":
+//! end-to-end throughput of all three verticals' reference campaigns at
+//! three data scales. The pass criterion (DESIGN.md §5) is that throughput
+//! grows sub-linearly in rows — no accidental quadratic behaviour hides in
+//! the composed pipelines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use toreador_bench::table_header;
+use toreador_core::compile::Bdaas;
+use toreador_labs::prelude::*;
+
+fn run_reference(bdaas: &Bdaas, challenge_id: &str, rows: usize) -> u128 {
+    let c = challenge(challenge_id).unwrap();
+    let scen = scenario(c.scenario_id).unwrap();
+    let spec = c.instantiate(&c.reference_vector()).unwrap();
+    let data = scen.generate(rows, 9);
+    let aux = scen.auxiliary();
+    let compiled = bdaas.compile(&spec, data.schema(), rows).unwrap();
+    let started = std::time::Instant::now();
+    bdaas.run(&compiled, data, &aux).unwrap();
+    started.elapsed().as_micros()
+}
+
+/// One representative challenge per vertical.
+const REPRESENTATIVES: [&str; 3] = ["ecomm-revenue", "energy-forecast", "health-compliance"];
+
+fn print_series() {
+    table_header(
+        "E6",
+        "vertical scenario throughput at three scales (rows/second)",
+    );
+    let bdaas = Bdaas::new();
+    eprintln!(
+        "{:<20} {:>10} {:>10} {:>10}",
+        "challenge", "2k", "8k", "32k"
+    );
+    for id in REPRESENTATIVES {
+        let mut cells = Vec::new();
+        for rows in [2_000usize, 8_000, 32_000] {
+            let us = run_reference(&bdaas, id, rows);
+            cells.push(format!("{:.0}", rows as f64 / (us as f64 / 1e6)));
+        }
+        eprintln!(
+            "{id:<20} {:>10} {:>10} {:>10}",
+            cells[0], cells[1], cells[2]
+        );
+    }
+    // Sub-linearity check on the cheapest vertical: runtime at 32k must be
+    // well under 16x the runtime at 2k (16x rows).
+    let small = run_reference(&bdaas, "ecomm-revenue", 2_000);
+    let large = run_reference(&bdaas, "ecomm-revenue", 32_000);
+    eprintln!(
+        "scaling check: 16x rows costs {:.1}x time (sub-quadratic iff << 256)",
+        large as f64 / small as f64
+    );
+}
+
+fn bench_verticals(c: &mut Criterion) {
+    print_series();
+    let bdaas = Bdaas::new();
+    let mut group = c.benchmark_group("e6_verticals");
+    group.sample_size(10);
+    for id in REPRESENTATIVES {
+        for rows in [2_000usize, 8_000] {
+            group.bench_with_input(BenchmarkId::new(id, rows), &rows, |b, &rows| {
+                b.iter(|| run_reference(&bdaas, id, rows));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verticals);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E7 — §3's "trial and error" premise only works if the assessment signal
+//! discriminates good designs from bad ones. Scores over the exhaustive
+//! choice space of every challenge: the sanctioned reference must top its
+//! space, and the spread between best and worst designs must be material.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use toreador_bench::table_header;
+use toreador_labs::prelude::*;
+
+fn score_space(challenge_id: &str, rows: usize) -> Vec<(ChoiceVector, f64)> {
+    let c = challenge(challenge_id).unwrap();
+    let mut session = LabSession::new("bench", Quota::unlimited(), 13);
+    let mut out = Vec::new();
+    for vector in c.all_choice_vectors() {
+        let run_id = match session.attempt(c.id, &vector, Some(rows)) {
+            Ok(r) => r.run_id,
+            Err(_) => continue,
+        };
+        out.push((vector, session.score(run_id).unwrap().total));
+    }
+    out
+}
+
+fn print_series() {
+    table_header("E7", "score distributions over exhaustive choice spaces");
+    eprintln!(
+        "{:<20} {:>7} {:>7} {:>7} {:>8} {:<22}",
+        "challenge", "best", "worst", "spread", "ref", "reference choices"
+    );
+    for c in challenges() {
+        let scores = score_space(c.id, 800);
+        if scores.is_empty() {
+            continue;
+        }
+        let best = scores
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let worst = scores.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
+        let reference = c.reference_vector();
+        let ref_score = scores
+            .iter()
+            .find(|(v, _)| *v == reference)
+            .map(|(_, s)| *s)
+            .unwrap_or(f64::NAN);
+        eprintln!(
+            "{:<20} {best:>7.1} {worst:>7.1} {:>7.1} {ref_score:>8.1} {:<22}",
+            c.id,
+            best - worst,
+            reference.join("/")
+        );
+    }
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    print_series();
+    let ch = challenge("health-compliance").unwrap();
+    let mut session = LabSession::new("bench", Quota::unlimited(), 13);
+    session
+        .attempt(ch.id, &ch.reference_vector(), Some(800))
+        .expect("reference runs");
+    let record = session.run(1).unwrap().clone();
+    let mut group = c.benchmark_group("e7_scoring");
+    group.sample_size(50);
+    group.bench_function("assess_one_run", |b| {
+        b.iter(|| assess(&ch, &record).total);
+    });
+    group.sample_size(10);
+    group.bench_function("score_full_space_ecomm_basket", |b| {
+        b.iter(|| score_space("ecomm-basket", 500).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Shared fixtures for the experiment benchmarks (E1-E7, DESIGN.md §4).
+
+use toreador_core::compile::Bdaas;
+use toreador_core::declarative::CampaignSpec;
+use toreador_data::table::Table;
+
+/// A campaign with `n` chained filtering goals plus a final aggregation —
+/// the goal-count sweep used by E1.
+pub fn spec_with_goals(n: usize) -> String {
+    let mut dsl = String::from("campaign sweep on clicks\nseed 1\n");
+    for i in 0..n.saturating_sub(1) {
+        dsl.push_str(&format!(
+            "goal filtering predicate=\"price > {}\"\n",
+            i as f64 / 100.0
+        ));
+    }
+    dsl.push_str("goal aggregation group_by=country agg=sum:price:revenue\n");
+    dsl
+}
+
+/// Parse + compile helper used by several benches.
+pub fn compile(bdaas: &Bdaas, dsl: &str, data: &Table) -> toreador_core::compile::CompiledCampaign {
+    let spec = bdaas.parse(dsl).expect("bench DSL parses");
+    bdaas
+        .compile(&spec, data.schema(), data.num_rows())
+        .expect("bench campaign compiles")
+}
+
+/// Compile an already-built spec.
+pub fn compile_spec(
+    bdaas: &Bdaas,
+    spec: &CampaignSpec,
+    data: &Table,
+) -> toreador_core::compile::CompiledCampaign {
+    bdaas
+        .compile(spec, data.schema(), data.num_rows())
+        .expect("bench campaign compiles")
+}
+
+/// Print a labelled experiment table header to stderr (the benches print
+/// the paper-shaped series around the criterion measurements).
+pub fn table_header(experiment: &str, claim: &str) {
+    eprintln!();
+    eprintln!("==== {experiment}: {claim}");
+}

@@ -1,0 +1,496 @@
+//! The built-in TOREADOR service catalogue.
+//!
+//! These descriptors are the catalogue half of the services whose
+//! implementations live in `toreador-analytics`, `toreador-privacy` and
+//! `toreador-dataflow`; the binding happens in `toreador-core::service_impl`.
+//! Cost and quality annotations are relative rankings among alternatives
+//! with the same capability (the trade-offs the Labs challenges exercise),
+//! not measured absolutes.
+
+use crate::descriptor::{Area, Capability, DataKind, LatencyClass, PrivacyTech, ServiceDescriptor};
+use crate::registry::Registry;
+
+/// Build the standard registry.
+pub fn standard_catalog() -> Registry {
+    let mut r = Registry::new();
+    let mut add = |d: ServiceDescriptor| {
+        r.register(d).expect("built-in catalogue ids are unique");
+    };
+
+    // ---------------------------------------------------- preparation
+    add(ServiceDescriptor::new(
+        "prep.normalize.zscore",
+        "Z-score normalisation",
+        Area::Preparation,
+        Capability::Normalization,
+    )
+    .describe("Centre and scale numeric columns to zero mean, unit variance")
+    .latency(LatencyClass::Both)
+    .cost(0.5)
+    .quality(0.7)
+    .param("columns", "", "comma-separated numeric columns"));
+
+    add(ServiceDescriptor::new(
+        "prep.normalize.minmax",
+        "Min-max normalisation",
+        Area::Preparation,
+        Capability::Normalization,
+    )
+    .describe("Rescale numeric columns into [0, 1]")
+    .latency(LatencyClass::Both)
+    .cost(0.5)
+    .quality(0.6)
+    .param("columns", "", "comma-separated numeric columns"));
+
+    add(ServiceDescriptor::new(
+        "prep.impute.mean",
+        "Mean imputation",
+        Area::Preparation,
+        Capability::Imputation,
+    )
+    .describe("Replace nulls with the column mean")
+    .latency(LatencyClass::Both)
+    .cost(0.4)
+    .quality(0.5)
+    .param("columns", "", "comma-separated columns"));
+
+    add(ServiceDescriptor::new(
+        "prep.impute.median",
+        "Median imputation",
+        Area::Preparation,
+        Capability::Imputation,
+    )
+    .describe("Replace nulls with the column median (outlier-robust)")
+    .cost(0.8)
+    .quality(0.7)
+    .param("columns", "", "comma-separated columns"));
+
+    add(ServiceDescriptor::new(
+        "prep.encode.onehot",
+        "One-hot encoding",
+        Area::Preparation,
+        Capability::Encoding,
+    )
+    .describe("Expand a categorical column into indicator columns")
+    .cost(1.0)
+    .quality(0.7)
+    .param("column", "", "categorical column"));
+
+    add(ServiceDescriptor::new(
+        "privacy.kanon",
+        "k-anonymisation",
+        Area::Preparation,
+        Capability::Anonymization,
+    )
+    .describe("Generalise quasi-identifiers and suppress small groups")
+    .cost(6.0)
+    .quality(0.8)
+    .privacy(PrivacyTech::KAnonymity)
+    .param("k", "5", "minimum group size"));
+
+    add(ServiceDescriptor::new(
+        "privacy.ldiv",
+        "l-diversity enforcement",
+        Area::Preparation,
+        Capability::Anonymization,
+    )
+    .describe("Suppress groups with fewer than l distinct sensitive values")
+    .cost(4.0)
+    .quality(0.6)
+    .privacy(PrivacyTech::LDiversity)
+    .param("l", "2", "minimum distinct sensitive values"));
+
+    // -------------------------------------------------- representation
+    add(ServiceDescriptor::new(
+        "repr.features.numeric",
+        "Numeric feature extraction",
+        Area::Representation,
+        Capability::FeatureExtraction,
+    )
+    .describe("Select numeric columns as a dense feature matrix")
+    .latency(LatencyClass::Both)
+    .cost(0.3)
+    .quality(0.6)
+    .io(DataKind::Tabular, DataKind::Tabular)
+    .param("columns", "", "comma-separated feature columns"));
+
+    add(ServiceDescriptor::new(
+        "repr.text.tfidf",
+        "TF-IDF vectorisation",
+        Area::Representation,
+        Capability::TextVectorization,
+    )
+    .describe("Vectorise a text column with smoothed TF-IDF")
+    .cost(3.0)
+    .quality(0.8)
+    .io(DataKind::Text, DataKind::Tabular)
+    .param("column", "", "text column"));
+
+    add(ServiceDescriptor::new(
+        "repr.transactions",
+        "Transaction encoding",
+        Area::Representation,
+        Capability::TransactionEncoding,
+    )
+    .describe("Group (id, item) pairs into basket transactions")
+    .cost(1.0)
+    .quality(0.7)
+    .io(DataKind::Tabular, DataKind::Transactions)
+    .param("id", "", "transaction id column")
+    .param("item", "", "item column"));
+
+    // ------------------------------------------------------ analytics
+    add(ServiceDescriptor::new(
+        "analytics.kmeans",
+        "K-Means clustering",
+        Area::Analytics,
+        Capability::Clustering,
+    )
+    .describe("k-means++ seeded Lloyd clustering")
+    .cost(4.0)
+    .quality(0.75)
+    .io(DataKind::Tabular, DataKind::Model)
+    .param("k", "3", "number of clusters")
+    .param("features", "", "comma-separated feature columns"));
+
+    add(ServiceDescriptor::new(
+        "analytics.linreg",
+        "Linear regression",
+        Area::Analytics,
+        Capability::Regression,
+    )
+    .describe("Ridge-regularised least squares")
+    .cost(2.0)
+    .quality(0.7)
+    .io(DataKind::Tabular, DataKind::Model)
+    .param("target", "", "target column")
+    .param("features", "", "comma-separated feature columns"));
+
+    add(ServiceDescriptor::new(
+        "analytics.logreg",
+        "Logistic regression",
+        Area::Analytics,
+        Capability::Classification,
+    )
+    .describe("Binary logistic regression by gradient descent")
+    .cost(5.0)
+    .quality(0.75)
+    .io(DataKind::Tabular, DataKind::Model)
+    .param("target", "", "binary target column")
+    .param("features", "", "comma-separated feature columns"));
+
+    add(ServiceDescriptor::new(
+        "analytics.naivebayes",
+        "Gaussian naive Bayes",
+        Area::Analytics,
+        Capability::Classification,
+    )
+    .describe("Per-class Gaussian likelihoods; fast, independence-assuming")
+    .cost(1.5)
+    .quality(0.6)
+    .io(DataKind::Tabular, DataKind::Model)
+    .param("target", "", "label column")
+    .param("features", "", "comma-separated feature columns"));
+
+    add(ServiceDescriptor::new(
+        "analytics.tree",
+        "Decision tree",
+        Area::Analytics,
+        Capability::Classification,
+    )
+    .describe("CART with Gini impurity; captures feature interactions")
+    .cost(6.0)
+    .quality(0.85)
+    .io(DataKind::Tabular, DataKind::Model)
+    .param("target", "", "label column")
+    .param("features", "", "comma-separated feature columns")
+    .param("max_depth", "6", "maximum tree depth"));
+
+    add(ServiceDescriptor::new(
+        "analytics.apriori",
+        "Apriori association rules",
+        Area::Analytics,
+        Capability::AssociationRules,
+    )
+    .describe("Frequent itemsets + rules with support/confidence/lift")
+    .cost(8.0)
+    .quality(0.8)
+    .io(DataKind::Transactions, DataKind::Report)
+    .param("min_support", "0.1", "relative support threshold")
+    .param("min_confidence", "0.5", "confidence threshold"));
+
+    add(ServiceDescriptor::new(
+        "analytics.anomaly.zscore",
+        "Global z-score anomaly detection",
+        Area::Analytics,
+        Capability::AnomalyDetection,
+    )
+    .describe("Flag points far from the global mean; stationary series only")
+    .latency(LatencyClass::Both)
+    .cost(1.0)
+    .quality(0.5)
+    .param("column", "", "numeric series column")
+    .param("threshold", "3.0", "standard deviations"));
+
+    add(ServiceDescriptor::new(
+        "analytics.anomaly.rolling",
+        "Rolling-window anomaly detection",
+        Area::Analytics,
+        Capability::AnomalyDetection,
+    )
+    .describe("Flag points far from the preceding window; handles trend and seasonality")
+    .latency(LatencyClass::Both)
+    .cost(3.0)
+    .quality(0.8)
+    .param("column", "", "numeric series column")
+    .param("window", "48", "window length")
+    .param("threshold", "4.0", "standard deviations"));
+
+    add(ServiceDescriptor::new(
+        "analytics.forecast.seasonal",
+        "Seasonal-naive forecast",
+        Area::Analytics,
+        Capability::Forecasting,
+    )
+    .describe("Repeat the last season; unbeatable on strongly periodic series")
+    .latency(LatencyClass::Both)
+    .cost(0.5)
+    .quality(0.6)
+    .io(DataKind::TimeSeries, DataKind::Report)
+    .param("column", "", "numeric series column")
+    .param("period", "96", "season length in samples")
+    .param("horizon", "96", "samples to forecast"));
+
+    add(ServiceDescriptor::new(
+        "analytics.forecast.smoothing",
+        "Holt exponential smoothing",
+        Area::Analytics,
+        Capability::Forecasting,
+    )
+    .describe("Level+trend exponential smoothing; handles drifting series")
+    .latency(LatencyClass::Both)
+    .cost(1.0)
+    .quality(0.7)
+    .io(DataKind::TimeSeries, DataKind::Report)
+    .param("column", "", "numeric series column")
+    .param("alpha", "0.3", "level smoothing factor")
+    .param("beta", "0.1", "trend smoothing factor")
+    .param("horizon", "96", "samples to forecast"));
+
+    add(ServiceDescriptor::new(
+        "analytics.similarity",
+        "Cosine similarity search",
+        Area::Analytics,
+        Capability::SimilaritySearch,
+    )
+    .describe("Rank documents by cosine similarity to a query")
+    .cost(2.0)
+    .quality(0.7)
+    .io(DataKind::Text, DataKind::Report)
+    .param("query", "", "query text"));
+
+    // ------------------------------------------------------ processing
+    add(ServiceDescriptor::new(
+        "processing.filter",
+        "Filtering",
+        Area::Processing,
+        Capability::Filtering,
+    )
+    .describe("Keep rows matching a predicate")
+    .latency(LatencyClass::Both)
+    .cost(0.2)
+    .quality(0.7)
+    .param("predicate", "", "boolean expression"));
+
+    add(ServiceDescriptor::new(
+        "processing.aggregate",
+        "Group-by aggregation",
+        Area::Processing,
+        Capability::Aggregation,
+    )
+    .describe("Hash aggregation with map-side combine")
+    .latency(LatencyClass::Both)
+    .cost(1.5)
+    .quality(0.7)
+    .param("group_by", "", "comma-separated key columns"));
+
+    add(ServiceDescriptor::new(
+        "processing.join",
+        "Hash join",
+        Area::Processing,
+        Capability::Joining,
+    )
+    .describe("Shuffle hash equi-join")
+    .cost(3.0)
+    .quality(0.7)
+    .param("keys", "", "comma-separated join keys"));
+
+    add(ServiceDescriptor::new(
+        "processing.sample",
+        "Bernoulli sampling",
+        Area::Processing,
+        Capability::Sampling,
+    )
+    .describe("Row sampling; trades accuracy for cost")
+    .latency(LatencyClass::Both)
+    .cost(0.2)
+    .quality(0.4)
+    .param("fraction", "0.1", "sampling probability"));
+
+    add(ServiceDescriptor::new(
+        "processing.distinct",
+        "Deduplication",
+        Area::Processing,
+        Capability::Deduplication,
+    )
+    .describe("Drop duplicate rows via hash shuffle")
+    .cost(2.0)
+    .quality(0.7));
+
+    add(ServiceDescriptor::new(
+        "processing.topk",
+        "Top-k ranking",
+        Area::Processing,
+        Capability::Ranking,
+    )
+    .describe("Sort by a column and keep the first n rows (engine-fused top-k)")
+    .latency(LatencyClass::Both)
+    .cost(1.0)
+    .quality(0.7)
+    .param("by", "", "ranking column")
+    .param("n", "10", "rows to keep")
+    .param("order", "desc", "asc or desc"));
+
+    add(ServiceDescriptor::new(
+        "privacy.dp.aggregate",
+        "DP aggregation",
+        Area::Processing,
+        Capability::PrivateAggregation,
+    )
+    .describe("Laplace-noised counts/sums under an ε budget")
+    .cost(2.5)
+    .quality(0.6)
+    .privacy(PrivacyTech::DifferentialPrivacy)
+    .io(DataKind::Tabular, DataKind::Report)
+    .param("epsilon", "1.0", "privacy budget for this release"));
+
+    // --------------------------------------------------- visualization
+    add(ServiceDescriptor::new(
+        "viz.report.table",
+        "Tabular report",
+        Area::Visualization,
+        Capability::Reporting,
+    )
+    .describe("Render the result as an aligned text table")
+    .latency(LatencyClass::Both)
+    .cost(0.1)
+    .quality(0.5)
+    .io(DataKind::Tabular, DataKind::Report)
+    .param("limit", "20", "rows to show"));
+
+    add(ServiceDescriptor::new(
+        "viz.report.summary",
+        "Statistical summary report",
+        Area::Visualization,
+        Capability::Reporting,
+    )
+    .describe("Per-column descriptive statistics")
+    .cost(0.5)
+    .quality(0.7)
+    .io(DataKind::Tabular, DataKind::Report));
+
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{rank, Preferences, ServiceGoal};
+
+    #[test]
+    fn catalogue_is_nonempty_and_unique() {
+        let r = standard_catalog();
+        assert!(r.len() >= 25, "expected a rich catalogue, got {}", r.len());
+    }
+
+    #[test]
+    fn every_area_is_populated() {
+        let r = standard_catalog();
+        for area in Area::all() {
+            assert!(!r.by_area(area).is_empty(), "area {area} has no services");
+        }
+    }
+
+    #[test]
+    fn key_capabilities_have_alternatives() {
+        // The Labs need >= 2 options for the choice points the challenges
+        // expose.
+        let r = standard_catalog();
+        for cap in [
+            Capability::Normalization,
+            Capability::Imputation,
+            Capability::Classification,
+            Capability::AnomalyDetection,
+            Capability::Anonymization,
+        ] {
+            let n = r.by_capability(cap).len();
+            assert!(n >= 2, "capability {cap:?} has only {n} option(s)");
+        }
+    }
+
+    #[test]
+    fn classification_tradeoff_is_planted() {
+        // The tree is better but dearer than naive Bayes — a strict
+        // trade-off, so neither dominates.
+        let r = standard_catalog();
+        let tree = r.get("analytics.tree").unwrap();
+        let nb = r.get("analytics.naivebayes").unwrap();
+        assert!(tree.quality > nb.quality);
+        assert!(tree.cost_per_k_rows > nb.cost_per_k_rows);
+        // And the matcher actually flips between them.
+        let goal = ServiceGoal::capability(Capability::Classification);
+        let q = rank(&r, &goal, &Preferences::quality_first());
+        let c = rank(&r, &goal, &Preferences::cost_first());
+        assert_eq!(q[0].service.id, "analytics.tree");
+        assert_eq!(c[0].service.id, "analytics.naivebayes");
+    }
+
+    #[test]
+    fn privacy_services_are_tagged() {
+        let r = standard_catalog();
+        assert_eq!(
+            r.get("privacy.kanon").unwrap().privacy,
+            Some(PrivacyTech::KAnonymity)
+        );
+        assert_eq!(
+            r.get("privacy.dp.aggregate").unwrap().privacy,
+            Some(PrivacyTech::DifferentialPrivacy)
+        );
+    }
+
+    #[test]
+    fn streaming_capable_services_exist() {
+        let r = standard_catalog();
+        let streaming: Vec<_> = r
+            .all()
+            .iter()
+            .filter(|s| s.latency.supports_stream())
+            .collect();
+        assert!(streaming.len() >= 5, "got {}", streaming.len());
+    }
+
+    #[test]
+    fn defaults_declared_for_parameterised_services() {
+        let r = standard_catalog();
+        assert_eq!(
+            r.get("analytics.kmeans").unwrap().default_param("k"),
+            Some("3")
+        );
+        assert_eq!(
+            r.get("privacy.dp.aggregate")
+                .unwrap()
+                .default_param("epsilon"),
+            Some("1.0")
+        );
+    }
+}

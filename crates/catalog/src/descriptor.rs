@@ -1,0 +1,296 @@
+//! Service descriptors: the catalogue's vocabulary.
+//!
+//! TOREADOR's model-driven approach ([2] in the paper) describes every
+//! available service with machine-readable annotations so the compiler can
+//! match declarative goals to concrete services. A [`ServiceDescriptor`]
+//! carries the service's functional capability, its data interface, its
+//! quality-of-service annotations (cost, accuracy, latency class), and any
+//! privacy technique it implements.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The five areas of a Big Data campaign in the TOREADOR methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Area {
+    /// Cleaning, scaling, imputation, anonymisation.
+    Preparation,
+    /// How data is modelled/encoded (features, text vectors, transactions).
+    Representation,
+    /// The analytics proper (clustering, classification, mining).
+    Analytics,
+    /// The processing regime (batch vs stream, filtering, aggregation).
+    Processing,
+    /// Reporting and presentation of results.
+    Visualization,
+}
+
+impl Area {
+    pub fn all() -> [Area; 5] {
+        [
+            Area::Preparation,
+            Area::Representation,
+            Area::Analytics,
+            Area::Processing,
+            Area::Visualization,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Area::Preparation => "preparation",
+            Area::Representation => "representation",
+            Area::Analytics => "analytics",
+            Area::Processing => "processing",
+            Area::Visualization => "visualization",
+        }
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a service functionally does — the unit of goal matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Capability {
+    // Preparation.
+    Normalization,
+    Imputation,
+    Encoding,
+    Anonymization,
+    // Representation.
+    FeatureExtraction,
+    TextVectorization,
+    TransactionEncoding,
+    // Analytics.
+    Clustering,
+    Classification,
+    Regression,
+    AssociationRules,
+    AnomalyDetection,
+    SimilaritySearch,
+    Forecasting,
+    // Processing.
+    Filtering,
+    Aggregation,
+    Joining,
+    Sampling,
+    Deduplication,
+    /// Sort by a column and keep the top n (fused top-k in the engine).
+    Ranking,
+    // Privacy-specific releases.
+    PrivateAggregation,
+    // Visualization.
+    Reporting,
+}
+
+/// The kind of data flowing between services.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataKind {
+    Tabular,
+    TimeSeries,
+    Text,
+    Transactions,
+    Model,
+    Report,
+}
+
+/// Batch/stream support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatencyClass {
+    Batch,
+    Stream,
+    Both,
+}
+
+impl LatencyClass {
+    /// Can this service run in the given mode?
+    pub fn supports_stream(self) -> bool {
+        matches!(self, LatencyClass::Stream | LatencyClass::Both)
+    }
+
+    pub fn supports_batch(self) -> bool {
+        matches!(self, LatencyClass::Batch | LatencyClass::Both)
+    }
+}
+
+/// Privacy technique implemented by a service, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrivacyTech {
+    KAnonymity,
+    LDiversity,
+    DifferentialPrivacy,
+}
+
+/// A declared, typed parameter of a service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpec {
+    pub name: String,
+    pub default: String,
+    pub description: String,
+}
+
+/// A fully annotated catalogue entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceDescriptor {
+    /// Unique, stable id, e.g. `analytics.kmeans`.
+    pub id: String,
+    pub name: String,
+    pub description: String,
+    pub area: Area,
+    pub capability: Capability,
+    pub input: DataKind,
+    pub output: DataKind,
+    pub latency: LatencyClass,
+    /// Abstract cost units per 1 000 input rows (relative, not monetary).
+    pub cost_per_k_rows: f64,
+    /// Indicative quality in [0, 1] relative to alternatives with the same
+    /// capability (e.g. a decision tree vs naive Bayes on tabular data).
+    pub quality: f64,
+    pub privacy: Option<PrivacyTech>,
+    pub params: Vec<ParamSpec>,
+}
+
+impl ServiceDescriptor {
+    /// Minimal constructor; annotations default to batch, unit cost,
+    /// quality 0.5.
+    pub fn new(
+        id: impl Into<String>,
+        name: impl Into<String>,
+        area: Area,
+        capability: Capability,
+    ) -> Self {
+        ServiceDescriptor {
+            id: id.into(),
+            name: name.into(),
+            description: String::new(),
+            area,
+            capability,
+            input: DataKind::Tabular,
+            output: DataKind::Tabular,
+            latency: LatencyClass::Batch,
+            cost_per_k_rows: 1.0,
+            quality: 0.5,
+            privacy: None,
+            params: Vec::new(),
+        }
+    }
+
+    pub fn describe(mut self, text: impl Into<String>) -> Self {
+        self.description = text.into();
+        self
+    }
+
+    pub fn io(mut self, input: DataKind, output: DataKind) -> Self {
+        self.input = input;
+        self.output = output;
+        self
+    }
+
+    pub fn latency(mut self, latency: LatencyClass) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    pub fn cost(mut self, cost_per_k_rows: f64) -> Self {
+        self.cost_per_k_rows = cost_per_k_rows;
+        self
+    }
+
+    pub fn quality(mut self, quality: f64) -> Self {
+        self.quality = quality.clamp(0.0, 1.0);
+        self
+    }
+
+    pub fn privacy(mut self, tech: PrivacyTech) -> Self {
+        self.privacy = Some(tech);
+        self
+    }
+
+    pub fn param(
+        mut self,
+        name: impl Into<String>,
+        default: impl Into<String>,
+        description: impl Into<String>,
+    ) -> Self {
+        self.params.push(ParamSpec {
+            name: name.into(),
+            default: default.into(),
+            description: description.into(),
+        });
+        self
+    }
+
+    /// Estimated abstract cost of processing `rows` input rows.
+    pub fn estimate_cost(&self, rows: usize) -> f64 {
+        self.cost_per_k_rows * (rows as f64 / 1000.0)
+    }
+
+    /// Default value of a named parameter, if declared.
+    pub fn default_param(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.default.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_annotations() {
+        let d = ServiceDescriptor::new(
+            "analytics.kmeans",
+            "K-Means",
+            Area::Analytics,
+            Capability::Clustering,
+        )
+        .describe("Lloyd clustering")
+        .io(DataKind::Tabular, DataKind::Model)
+        .latency(LatencyClass::Batch)
+        .cost(4.0)
+        .quality(0.8)
+        .param("k", "3", "number of clusters");
+        assert_eq!(d.id, "analytics.kmeans");
+        assert_eq!(d.output, DataKind::Model);
+        assert_eq!(d.default_param("k"), Some("3"));
+        assert_eq!(d.default_param("missing"), None);
+        assert_eq!(d.estimate_cost(2_000), 8.0);
+    }
+
+    #[test]
+    fn quality_is_clamped() {
+        let d =
+            ServiceDescriptor::new("x", "x", Area::Analytics, Capability::Clustering).quality(7.0);
+        assert_eq!(d.quality, 1.0);
+    }
+
+    #[test]
+    fn latency_class_queries() {
+        assert!(LatencyClass::Both.supports_stream());
+        assert!(LatencyClass::Both.supports_batch());
+        assert!(!LatencyClass::Batch.supports_stream());
+        assert!(!LatencyClass::Stream.supports_batch());
+    }
+
+    #[test]
+    fn areas_enumerate() {
+        assert_eq!(Area::all().len(), 5);
+        assert_eq!(Area::Analytics.to_string(), "analytics");
+    }
+
+    #[test]
+    fn descriptors_serialize() {
+        let d = ServiceDescriptor::new("a.b", "AB", Area::Processing, Capability::Filtering)
+            .privacy(PrivacyTech::DifferentialPrivacy);
+        let j = serde_json::to_string(&d).unwrap();
+        let back: ServiceDescriptor = serde_json::from_str(&j).unwrap();
+        assert_eq!(d, back);
+    }
+}

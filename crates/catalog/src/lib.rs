@@ -1,0 +1,45 @@
+//! # toreador-catalog
+//!
+//! The TOREADOR service catalogue: annotated descriptions of every service
+//! the platform can compose into a pipeline, plus the goal-matching logic
+//! that turns a declarative request into ranked candidates. This is the
+//! first half of the paper's BDAaaS function (goals in → services out);
+//! `toreador-core` composes the matched services and binds them to their
+//! implementations.
+//!
+//! * [`descriptor`] — [`descriptor::ServiceDescriptor`] and its vocabulary
+//!   (areas, capabilities, data kinds, latency classes, privacy techniques);
+//! * [`registry`] — id-indexed storage with capability/area views;
+//! * [`matching`] — two-phase matching: hard constraints filter, weighted
+//!   preferences rank, *all* feasible candidates returned (they are the
+//!   Labs' "alternative options");
+//! * [`builtin`] — the standard catalogue (30 services over 5 areas).
+//!
+//! ## Example
+//!
+//! ```
+//! use toreador_catalog::builtin::standard_catalog;
+//! use toreador_catalog::descriptor::Capability;
+//! use toreador_catalog::matching::{best, Preferences, ServiceGoal};
+//!
+//! let registry = standard_catalog();
+//! let goal = ServiceGoal::capability(Capability::Classification);
+//! let quality = best(&registry, &goal, &Preferences::quality_first()).unwrap();
+//! let cheap = best(&registry, &goal, &Preferences::cost_first()).unwrap();
+//! assert_ne!(quality.id, cheap.id, "preferences change the chosen service");
+//! ```
+
+pub mod builtin;
+pub mod descriptor;
+pub mod matching;
+pub mod registry;
+
+/// Convenient glob import of the commonly used types.
+pub mod prelude {
+    pub use crate::builtin::standard_catalog;
+    pub use crate::descriptor::{
+        Area, Capability, DataKind, LatencyClass, ParamSpec, PrivacyTech, ServiceDescriptor,
+    };
+    pub use crate::matching::{best, rank, Candidate, Preferences, ServiceGoal};
+    pub use crate::registry::{CatalogError, Registry, Result as CatalogResult};
+}

@@ -1,0 +1,267 @@
+//! Goal → service matching.
+//!
+//! The BDAaaS function's first step: given a declarative goal ("cluster the
+//! customers, streaming, cheap"), find and rank the catalogue services that
+//! can fulfil it. Matching is two-phase — hard constraints filter, then a
+//! weighted score ranks — and deliberately returns *all* feasible
+//! candidates, because the Labs' "alternative options" are exactly the
+//! non-winning candidates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptor::{Capability, PrivacyTech, ServiceDescriptor};
+use crate::registry::{CatalogError, Registry, Result};
+
+/// A declarative service request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceGoal {
+    pub capability: Capability,
+    /// Must run as a stream stage.
+    pub require_stream: bool,
+    /// Upper bound on abstract cost per 1k rows (None = unbounded).
+    pub max_cost_per_k: Option<f64>,
+    /// Lower bound on the quality annotation.
+    pub min_quality: Option<f64>,
+    /// The goal needs this specific privacy technique.
+    pub require_privacy: Option<PrivacyTech>,
+}
+
+impl ServiceGoal {
+    pub fn capability(capability: Capability) -> Self {
+        ServiceGoal {
+            capability,
+            require_stream: false,
+            max_cost_per_k: None,
+            min_quality: None,
+            require_privacy: None,
+        }
+    }
+
+    pub fn streaming(mut self) -> Self {
+        self.require_stream = true;
+        self
+    }
+
+    pub fn max_cost(mut self, cost: f64) -> Self {
+        self.max_cost_per_k = Some(cost);
+        self
+    }
+
+    pub fn min_quality(mut self, q: f64) -> Self {
+        self.min_quality = Some(q);
+        self
+    }
+
+    pub fn with_privacy(mut self, tech: PrivacyTech) -> Self {
+        self.require_privacy = Some(tech);
+        self
+    }
+}
+
+/// Preference weights used to rank feasible candidates.
+///
+/// Scores are `quality_weight * quality - cost_weight * normalised_cost`;
+/// the trainee-visible trade-off in the Labs challenges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Preferences {
+    pub quality_weight: f64,
+    pub cost_weight: f64,
+}
+
+impl Default for Preferences {
+    fn default() -> Self {
+        Preferences {
+            quality_weight: 1.0,
+            cost_weight: 1.0,
+        }
+    }
+}
+
+impl Preferences {
+    /// Prefer accuracy over spend.
+    pub fn quality_first() -> Self {
+        Preferences {
+            quality_weight: 2.0,
+            cost_weight: 0.5,
+        }
+    }
+
+    /// Prefer spend over accuracy.
+    pub fn cost_first() -> Self {
+        Preferences {
+            quality_weight: 0.5,
+            cost_weight: 2.0,
+        }
+    }
+}
+
+/// One ranked candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate<'a> {
+    pub service: &'a ServiceDescriptor,
+    pub score: f64,
+}
+
+/// All feasible candidates for a goal, best first.
+///
+/// Cost is normalised by the maximum feasible candidate's cost so weights
+/// are scale-free. Ties break on service id for determinism.
+pub fn rank<'r>(
+    registry: &'r Registry,
+    goal: &ServiceGoal,
+    preferences: &Preferences,
+) -> Vec<Candidate<'r>> {
+    let feasible: Vec<&ServiceDescriptor> = registry
+        .by_capability(goal.capability)
+        .into_iter()
+        .filter(|s| !goal.require_stream || s.latency.supports_stream())
+        .filter(|s| goal.max_cost_per_k.map_or(true, |m| s.cost_per_k_rows <= m))
+        .filter(|s| goal.min_quality.map_or(true, |q| s.quality >= q))
+        .filter(|s| goal.require_privacy.map_or(true, |p| s.privacy == Some(p)))
+        .collect();
+    let max_cost = feasible
+        .iter()
+        .map(|s| s.cost_per_k_rows)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut candidates: Vec<Candidate<'_>> = feasible
+        .into_iter()
+        .map(|service| Candidate {
+            service,
+            score: preferences.quality_weight * service.quality
+                - preferences.cost_weight * (service.cost_per_k_rows / max_cost),
+        })
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.service.id.cmp(&b.service.id))
+    });
+    candidates
+}
+
+/// The single best candidate, or an error naming the unmet goal.
+pub fn best<'r>(
+    registry: &'r Registry,
+    goal: &ServiceGoal,
+    preferences: &Preferences,
+) -> Result<&'r ServiceDescriptor> {
+    rank(registry, goal, preferences)
+        .first()
+        .map(|c| c.service)
+        .ok_or_else(|| CatalogError::NoCandidate(format!("{goal:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{Area, DataKind, LatencyClass};
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(
+            ServiceDescriptor::new(
+                "c.fast",
+                "Fast clustering",
+                Area::Analytics,
+                Capability::Clustering,
+            )
+            .cost(1.0)
+            .quality(0.6)
+            .latency(LatencyClass::Both),
+        )
+        .unwrap();
+        r.register(
+            ServiceDescriptor::new(
+                "c.good",
+                "Accurate clustering",
+                Area::Analytics,
+                Capability::Clustering,
+            )
+            .cost(8.0)
+            .quality(0.95)
+            .latency(LatencyClass::Batch),
+        )
+        .unwrap();
+        r.register(
+            ServiceDescriptor::new(
+                "p.dp",
+                "DP aggregate",
+                Area::Processing,
+                Capability::PrivateAggregation,
+            )
+            .privacy(PrivacyTech::DifferentialPrivacy)
+            .io(DataKind::Tabular, DataKind::Report),
+        )
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn preferences_flip_the_winner() {
+        let r = registry();
+        let goal = ServiceGoal::capability(Capability::Clustering);
+        let q = best(&r, &goal, &Preferences::quality_first()).unwrap();
+        assert_eq!(q.id, "c.good");
+        let c = best(&r, &goal, &Preferences::cost_first()).unwrap();
+        assert_eq!(c.id, "c.fast");
+    }
+
+    #[test]
+    fn rank_returns_all_feasible_alternatives() {
+        let r = registry();
+        let goal = ServiceGoal::capability(Capability::Clustering);
+        let ranked = rank(&r, &goal, &Preferences::default());
+        assert_eq!(ranked.len(), 2, "both clustering services are alternatives");
+        assert!(ranked[0].score >= ranked[1].score);
+    }
+
+    #[test]
+    fn hard_constraints_filter() {
+        let r = registry();
+        // Streaming requirement excludes the batch-only service.
+        let goal = ServiceGoal::capability(Capability::Clustering).streaming();
+        let ranked = rank(&r, &goal, &Preferences::default());
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].service.id, "c.fast");
+        // Cost ceiling.
+        let goal = ServiceGoal::capability(Capability::Clustering).max_cost(2.0);
+        assert_eq!(rank(&r, &goal, &Preferences::default()).len(), 1);
+        // Quality floor.
+        let goal = ServiceGoal::capability(Capability::Clustering).min_quality(0.9);
+        assert_eq!(
+            rank(&r, &goal, &Preferences::default())[0].service.id,
+            "c.good"
+        );
+        // Privacy technique.
+        let goal = ServiceGoal::capability(Capability::PrivateAggregation)
+            .with_privacy(PrivacyTech::DifferentialPrivacy);
+        assert_eq!(rank(&r, &goal, &Preferences::default()).len(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_goal_is_a_clean_error() {
+        let r = registry();
+        let goal = ServiceGoal::capability(Capability::Reporting);
+        let err = best(&r, &goal, &Preferences::default()).unwrap_err();
+        assert!(matches!(err, CatalogError::NoCandidate(_)));
+        let goal = ServiceGoal::capability(Capability::Clustering).min_quality(0.99);
+        assert!(best(&r, &goal, &Preferences::default()).is_err());
+    }
+
+    #[test]
+    fn ranking_is_deterministic_on_ties() {
+        let mut r = Registry::new();
+        for id in ["z.twin", "a.twin"] {
+            r.register(
+                ServiceDescriptor::new(id, id, Area::Analytics, Capability::Clustering)
+                    .cost(1.0)
+                    .quality(0.5),
+            )
+            .unwrap();
+        }
+        let goal = ServiceGoal::capability(Capability::Clustering);
+        let ranked = rank(&r, &goal, &Preferences::default());
+        assert_eq!(ranked[0].service.id, "a.twin", "ties break on id");
+    }
+}

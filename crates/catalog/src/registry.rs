@@ -1,0 +1,184 @@
+//! The service registry: the catalogue's storage and lookup layer.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptor::{Area, Capability, ServiceDescriptor};
+
+/// Errors raised by registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    DuplicateService(String),
+    UnknownService(String),
+    /// Goal matching found no candidate at all.
+    NoCandidate(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateService(id) => write!(f, "duplicate service id {id:?}"),
+            CatalogError::UnknownService(id) => write!(f, "unknown service id {id:?}"),
+            CatalogError::NoCandidate(goal) => {
+                write!(f, "no catalogue service satisfies goal: {goal}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// Result alias for the catalogue layer.
+pub type Result<T> = std::result::Result<T, CatalogError>;
+
+/// An id-indexed collection of service descriptors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Registry {
+    services: Vec<ServiceDescriptor>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a descriptor; ids must be unique.
+    pub fn register(&mut self, descriptor: ServiceDescriptor) -> Result<()> {
+        if self.index.contains_key(&descriptor.id) {
+            return Err(CatalogError::DuplicateService(descriptor.id));
+        }
+        self.index
+            .insert(descriptor.id.clone(), self.services.len());
+        self.services.push(descriptor);
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// Look up a service by id.
+    pub fn get(&self, id: &str) -> Result<&ServiceDescriptor> {
+        self.index
+            .get(id)
+            .map(|&i| &self.services[i])
+            .ok_or_else(|| CatalogError::UnknownService(id.to_owned()))
+    }
+
+    pub fn contains(&self, id: &str) -> bool {
+        self.index.contains_key(id)
+    }
+
+    /// All services, in registration order.
+    pub fn all(&self) -> &[ServiceDescriptor] {
+        &self.services
+    }
+
+    /// All services with the given capability.
+    pub fn by_capability(&self, capability: Capability) -> Vec<&ServiceDescriptor> {
+        self.services
+            .iter()
+            .filter(|s| s.capability == capability)
+            .collect()
+    }
+
+    /// All services in the given area.
+    pub fn by_area(&self, area: Area) -> Vec<&ServiceDescriptor> {
+        self.services.iter().filter(|s| s.area == area).collect()
+    }
+
+    /// Rebuild the id index (needed after deserialisation).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .services
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id.clone(), i))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{Area, Capability};
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(ServiceDescriptor::new(
+            "a.one",
+            "One",
+            Area::Analytics,
+            Capability::Clustering,
+        ))
+        .unwrap();
+        r.register(ServiceDescriptor::new(
+            "a.two",
+            "Two",
+            Area::Analytics,
+            Capability::Clustering,
+        ))
+        .unwrap();
+        r.register(ServiceDescriptor::new(
+            "p.flt",
+            "Filter",
+            Area::Processing,
+            Capability::Filtering,
+        ))
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let r = registry();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get("a.one").unwrap().name, "One");
+        assert!(r.contains("p.flt"));
+        assert!(matches!(
+            r.get("nope"),
+            Err(CatalogError::UnknownService(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut r = registry();
+        let err = r
+            .register(ServiceDescriptor::new(
+                "a.one",
+                "Again",
+                Area::Analytics,
+                Capability::Clustering,
+            ))
+            .unwrap_err();
+        assert_eq!(err, CatalogError::DuplicateService("a.one".into()));
+        assert_eq!(r.len(), 3, "failed insert must not grow the registry");
+    }
+
+    #[test]
+    fn filtered_views() {
+        let r = registry();
+        assert_eq!(r.by_capability(Capability::Clustering).len(), 2);
+        assert_eq!(r.by_capability(Capability::Reporting).len(), 0);
+        assert_eq!(r.by_area(Area::Processing).len(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip_with_index_rebuild() {
+        let r = registry();
+        let j = serde_json::to_string(&r).unwrap();
+        let mut back: Registry = serde_json::from_str(&j).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.len(), 3);
+        assert!(back.get("a.two").is_ok());
+    }
+}

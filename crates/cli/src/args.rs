@@ -1,0 +1,104 @@
+//! Minimal argument parsing: positionals plus `--key value` flags.
+//!
+//! Hand-rolled on purpose — the workspace's dependency policy (DESIGN.md)
+//! admits no CLI framework, and the surface is small enough not to need one.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand, positionals, flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    pub command: String,
+    pub positionals: Vec<String>,
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Parse raw arguments (without the binary name).
+pub fn parse(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = raw.iter().peekable();
+    args.command = it.next().cloned().unwrap_or_default();
+    while let Some(token) = it.next() {
+        if let Some(name) = token.strip_prefix("--") {
+            if name.is_empty() {
+                return Err("empty flag name".to_owned());
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            if args.flags.insert(name.to_owned(), value.clone()).is_some() {
+                return Err(format!("flag --{name} given twice"));
+            }
+        } else {
+            args.positionals.push(token.clone());
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    /// A flag parsed as `T`, or the default.
+    pub fn flag_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{name} has invalid value {raw:?}")),
+        }
+    }
+
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    pub fn positional(&self, index: usize, what: &str) -> Result<&str, String> {
+        self.positionals
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing argument: {what}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_positionals_flags() {
+        let a = parse(&v(&["run", "campaign.tdl", "--rows", "500", "--seed", "7"])).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.positionals, vec!["campaign.tdl"]);
+        assert_eq!(a.flag("rows"), Some("500"));
+        assert_eq!(a.flag_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.flag_or("missing", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(parse(&v(&["run", "--rows"])).is_err(), "flag without value");
+        assert!(
+            parse(&v(&["run", "--rows", "1", "--rows", "2"])).is_err(),
+            "duplicate"
+        );
+        assert!(parse(&v(&["run", "--", "x"])).is_err(), "empty name");
+        let a = parse(&v(&["run"])).unwrap();
+        assert!(a.positional(0, "file").is_err());
+    }
+
+    #[test]
+    fn flag_type_errors_are_readable() {
+        let a = parse(&v(&["run", "--rows", "many"])).unwrap();
+        let err = a.flag_or("rows", 0usize).unwrap_err();
+        assert!(err.contains("rows") && err.contains("many"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_command() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.command, "");
+    }
+}

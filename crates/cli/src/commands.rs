@@ -1,0 +1,450 @@
+//! CLI command implementations.
+//!
+//! Each command returns its output as a `String` (so tests assert on it)
+//! and `main` prints it. Data sources are CSV files, JSONL files, or the
+//! built-in scenario generators (`generated:<scenario-id>`).
+
+use std::collections::HashMap;
+
+use toreador_core::prelude::*;
+use toreador_data::table::Table;
+use toreador_labs::prelude::*;
+
+use crate::args::Args;
+
+/// Top-level dispatch.
+pub fn dispatch(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "catalog" => Ok(catalog()),
+        "scenarios" => Ok(scenarios_cmd()),
+        "challenges" => challenges_cmd(args),
+        "explain" => explain(args),
+        "run" => run(args),
+        "attempt" => attempt(args),
+        "" | "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+pub fn usage() -> String {
+    "toreador — model-driven Big Data campaigns (TOREADOR reproduction)\n\
+     \n\
+     USAGE:\n\
+     \x20 toreador catalog                       list the service catalogue\n\
+     \x20 toreador scenarios                     list the vertical scenarios\n\
+     \x20 toreador challenges [id]               list challenges / show one\n\
+     \x20 toreador explain <campaign.tdl> --data <source> [--rows N]\n\
+     \x20                                        compile and show the plan\n\
+     \x20 toreador run <campaign.tdl> --data <source> [--rows N] [--seed N]\n\
+     \x20                                        compile, run, report\n\
+     \x20 toreador attempt <challenge-id> <choice>... [--rows N] [--seed N]\n\
+     \x20                  [--session <file>]    one Labs attempt with scoring;\n\
+     \x20                                        --session persists quota,\n\
+     \x20                                        history and comparisons\n\
+     \n\
+     DATA SOURCES for --data:\n\
+     \x20 generated:<scenario-id>                a built-in scenario generator\n\
+     \x20 <path>.csv | <path>.jsonl              a file on disk\n"
+        .to_owned()
+}
+
+fn catalog() -> String {
+    let registry = toreador_catalog::builtin::standard_catalog();
+    let mut out = format!("{} services\n\n", registry.len());
+    for area in toreador_catalog::descriptor::Area::all() {
+        out.push_str(&format!("[{area}]\n"));
+        for s in registry.by_area(area) {
+            out.push_str(&format!(
+                "  {:<30} {:<22} cost {:>5.1}/k  quality {:.2}{}\n",
+                s.id,
+                format!("{:?}", s.capability),
+                s.cost_per_k_rows,
+                s.quality,
+                s.privacy.map(|p| format!("  [{p:?}]")).unwrap_or_default(),
+            ));
+        }
+    }
+    out
+}
+
+fn scenarios_cmd() -> String {
+    let mut out = String::new();
+    for s in toreador_labs::scenario::scenarios() {
+        out.push_str(&format!(
+            "{:<22} {:<18} default {} rows\n  {}\n\n",
+            s.id,
+            s.vertical.name(),
+            s.default_rows,
+            s.brief
+        ));
+    }
+    out
+}
+
+fn challenges_cmd(args: &Args) -> Result<String, String> {
+    match args.positionals.first() {
+        None => {
+            let mut out = String::new();
+            for c in challenges() {
+                out.push_str(&format!("{:<20} [{}] {}\n", c.id, c.scenario_id, c.title));
+            }
+            Ok(out)
+        }
+        Some(id) => {
+            let c = challenge(id).map_err(|e| e.to_string())?;
+            let mut out = format!("{} — {}\n\n{}\n\n", c.id, c.title, c.brief);
+            for (i, p) in c.choice_points.iter().enumerate() {
+                out.push_str(&format!("choice {i} [{}]: {}\n", p.id, p.prompt));
+                for o in &p.options {
+                    out.push_str(&format!("    {:<10} {}\n", o.id, o.label));
+                }
+            }
+            out.push_str(&format!(
+                "\nreference solution: {}\n",
+                c.reference_vector().join(" ")
+            ));
+            Ok(out)
+        }
+    }
+}
+
+/// Load a `--data` source.
+fn load_data(
+    args: &Args,
+    rows: usize,
+    seed: u64,
+) -> Result<(Table, HashMap<String, Table>), String> {
+    let source = args
+        .flag("data")
+        .ok_or_else(|| "missing --data <source> (see `toreador help`)".to_owned())?;
+    if let Some(scenario_id) = source.strip_prefix("generated:") {
+        let scen = toreador_labs::scenario::scenario(scenario_id).map_err(|e| e.to_string())?;
+        let n = if rows == 0 { scen.default_rows } else { rows };
+        return Ok((scen.generate(n, seed), scen.auxiliary()));
+    }
+    let text =
+        std::fs::read_to_string(source).map_err(|e| format!("cannot read {source:?}: {e}"))?;
+    let table = if source.ends_with(".jsonl") || source.ends_with(".ndjson") {
+        toreador_data::json::read_jsonl(&text).map_err(|e| e.to_string())?
+    } else {
+        toreador_data::csv::read_csv(&text).map_err(|e| e.to_string())?
+    };
+    let table = if rows > 0 && rows < table.num_rows() {
+        table.slice(0, rows).map_err(|e| e.to_string())?
+    } else {
+        table
+    };
+    Ok((table, HashMap::new()))
+}
+
+fn compile_from_args(
+    args: &Args,
+) -> Result<(Bdaas, CompiledCampaign, Table, HashMap<String, Table>), String> {
+    let file = args.positional(0, "campaign file")?;
+    let dsl = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
+    let rows = args.flag_or("rows", 0usize)?;
+    let seed = args.flag_or("seed", 0u64)?;
+    let (data, aux) = load_data(args, rows, seed)?;
+    let bdaas = Bdaas::new();
+    let spec = bdaas.parse(&dsl).map_err(|e| e.to_string())?;
+    let compiled = bdaas
+        .compile(&spec, data.schema(), data.num_rows())
+        .map_err(|e| e.to_string())?;
+    Ok((bdaas, compiled, data, aux))
+}
+
+fn explain(args: &Args) -> Result<String, String> {
+    let (_, compiled, data, _) = compile_from_args(args)?;
+    let mut out = format!(
+        "campaign {:?} on {} rows of {:?}\n\nprocedural model:\n{}",
+        compiled.spec.name,
+        data.num_rows(),
+        compiled.spec.dataset,
+        compiled.procedural.composition
+    );
+    out.push_str(&format!(
+        "\ndeployment: platform {} | {} workers | {} partitions | estimated cost {:.1}\n",
+        compiled.deployment.platform.name,
+        compiled.deployment.engine_config.threads,
+        compiled.deployment.engine_config.partitions,
+        compiled.deployment.estimated_cost,
+    ));
+    out.push_str(&format!(
+        "privacy manifest: outputs {:?}, k={:?}, l={:?}, ε={:?}\n",
+        compiled.manifest.columns_output,
+        compiled.manifest.k_anonymity,
+        compiled.manifest.l_diversity,
+        compiled.manifest.dp_epsilon,
+    ));
+    for w in &compiled.warnings {
+        out.push_str(&format!("warning: {w}\n"));
+    }
+    Ok(out)
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    let (bdaas, compiled, data, aux) = compile_from_args(args)?;
+    let outcome = bdaas
+        .run(&compiled, data, &aux)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    out.push_str("indicators:\n");
+    for (name, value) in &outcome.indicators {
+        out.push_str(&format!("  {name:<18} {value:>14.3}\n"));
+    }
+    if !outcome.objectives.is_empty() {
+        out.push_str("objectives:\n");
+        for o in &outcome.objectives {
+            out.push_str(&format!(
+                "  {:<30} {}\n",
+                o.objective.to_string(),
+                match o.satisfied {
+                    Some(true) => "satisfied",
+                    Some(false) => "MISSED",
+                    None => "unmeasured",
+                }
+            ));
+        }
+    }
+    if let Some(v) = &outcome.post_verdict {
+        out.push_str(&format!(
+            "compliance: {}\n",
+            if v.compliant { "PASS" } else { "FAIL" }
+        ));
+    }
+    out.push_str(&format!(
+        "\noutput ({} rows):\n{}",
+        outcome.output.num_rows(),
+        outcome.output.show(15)
+    ));
+    for (service, text) in &outcome.reports {
+        out.push_str(&format!("\n[{service}]\n{text}\n"));
+    }
+    Ok(out)
+}
+
+fn attempt(args: &Args) -> Result<String, String> {
+    let challenge_id = args.positional(0, "challenge id")?.to_owned();
+    let choices: ChoiceVector = args.positionals[1..].to_vec();
+    let rows = args.flag_or("rows", 0usize)?;
+    let seed = args.flag_or("seed", 42u64)?;
+    // With --session <path>, attempts accumulate across invocations under
+    // the free-tier quota, exactly like a Labs login.
+    let session_path = args.flag("session");
+    let mut session = match session_path {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read session {path:?}: {e}"))?;
+            LabSession::import(&json).map_err(|e| e.to_string())?
+        }
+        _ => LabSession::new("cli", Quota::free_tier(), seed),
+    };
+    let record = session
+        .attempt(&challenge_id, &choices, (rows > 0).then_some(rows))
+        .map_err(|e| e.to_string())?
+        .clone();
+    if let Some(path) = session_path {
+        std::fs::write(path, session.export())
+            .map_err(|e| format!("cannot write session {path:?}: {e}"))?;
+    }
+    let score = session.score(record.run_id).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "challenge {challenge_id}, choices {:?}\nplan: {}\nplatform: {}\n\nindicators:\n",
+        record.choices,
+        record.plan_services.join(" -> "),
+        record.platform,
+    );
+    for (name, value) in &record.indicators {
+        out.push_str(&format!("  {name:<18} {value:>14.3}\n"));
+    }
+    out.push_str("\nobjectives:\n");
+    for (objective, satisfied) in &record.objectives {
+        out.push_str(&format!(
+            "  {objective:<30} {}\n",
+            match satisfied {
+                Some(true) => "satisfied",
+                Some(false) => "MISSED",
+                None => "unmeasured",
+            }
+        ));
+    }
+    out.push_str(&format!("\nscore: {:.1}/100\n", score.total));
+    for (component, awarded, maximum) in &score.breakdown {
+        if *maximum > 0.0 || awarded.abs() > 0.0 {
+            out.push_str(&format!("  {component:<22} {awarded:>7.1}\n"));
+        }
+    }
+    if session.runs_used() > 1 {
+        out.push_str(&format!(
+            "\nsession: {} runs used, {:.1} cost units spent",
+            session.runs_used(),
+            session.cost_used()
+        ));
+        if let Some((best, total)) = session.best_run(&challenge_id) {
+            out.push_str(&format!(
+                "; best run on this challenge: {best} ({total:.1}/100)"
+            ));
+        }
+        out.push('\n');
+        // The consequence matrix over everything tried so far.
+        if let Ok(matrix) = session.consequences(&challenge_id) {
+            if matrix.rows.len() > 1 {
+                out.push_str("\nconsequences so far:\n");
+                out.push_str(&matrix.render());
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_cli(items: &[&str]) -> Result<String, String> {
+        let raw: Vec<String> = items.iter().map(|s| s.to_string()).collect();
+        dispatch(&parse(&raw)?)
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_cli(&["help"]).unwrap().contains("USAGE"));
+        assert!(run_cli(&[]).unwrap_or_default().contains("USAGE"));
+        let err = run_cli(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("frobnicate"));
+    }
+
+    #[test]
+    fn catalog_lists_all_areas() {
+        let out = run_cli(&["catalog"]).unwrap();
+        for area in ["preparation", "analytics", "processing", "visualization"] {
+            assert!(out.contains(&format!("[{area}]")), "{out}");
+        }
+        assert!(out.contains("analytics.kmeans"));
+    }
+
+    #[test]
+    fn scenarios_and_challenges_list() {
+        let out = run_cli(&["scenarios"]).unwrap();
+        assert!(out.contains("ecommerce-clicks"));
+        let out = run_cli(&["challenges"]).unwrap();
+        assert!(out.contains("health-compliance"));
+        let out = run_cli(&["challenges", "ecomm-revenue"]).unwrap();
+        assert!(out.contains("reference solution"));
+        assert!(run_cli(&["challenges", "nope"]).is_err());
+    }
+
+    #[test]
+    fn run_campaign_from_file_and_generated_data() {
+        let dir = std::env::temp_dir().join("toreador-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("revenue.tdl");
+        std::fs::write(
+            &file,
+            "campaign revenue on clicks\nseed 3\ngoal filtering predicate=\"action == 'purchase'\"\ngoal aggregation group_by=country agg=sum:price:revenue\n",
+        )
+        .unwrap();
+        let out = run_cli(&[
+            "run",
+            file.to_str().unwrap(),
+            "--data",
+            "generated:ecommerce-clicks",
+            "--rows",
+            "500",
+        ])
+        .unwrap();
+        assert!(out.contains("indicators:"));
+        assert!(out.contains("revenue"));
+        // Explain on the same file.
+        let out = run_cli(&[
+            "explain",
+            file.to_str().unwrap(),
+            "--data",
+            "generated:ecommerce-clicks",
+        ])
+        .unwrap();
+        assert!(out.contains("processing.filter"));
+        assert!(out.contains("deployment"));
+    }
+
+    #[test]
+    fn run_campaign_from_csv_file() {
+        let dir = std::env::temp_dir().join("toreador-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_path = dir.join("data.csv");
+        let table = toreador_data::generate::clickstream(300, 5);
+        std::fs::write(&csv_path, toreador_data::csv::write_csv(&table)).unwrap();
+        let dsl_path = dir.join("count.tdl");
+        std::fs::write(
+            &dsl_path,
+            "campaign count on clicks\ngoal aggregation group_by=action agg=count:event_id:n\n",
+        )
+        .unwrap();
+        let out = run_cli(&[
+            "run",
+            dsl_path.to_str().unwrap(),
+            "--data",
+            csv_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("purchase"), "{out}");
+    }
+
+    #[test]
+    fn attempt_scores_a_challenge() {
+        let out = run_cli(&["attempt", "ecomm-revenue", "full", "batch", "--rows", "400"]).unwrap();
+        assert!(out.contains("score:"));
+        assert!(out.contains("processing.filter"));
+        // Wrong arity errors usefully.
+        let err = run_cli(&["attempt", "ecomm-revenue", "full"]).unwrap_err();
+        assert!(err.contains("choice points"));
+    }
+
+    #[test]
+    fn attempt_session_persists_across_invocations() {
+        let dir = std::env::temp_dir().join("toreador-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let session = dir.join("session.json");
+        let _ = std::fs::remove_file(&session);
+        let s = session.to_str().unwrap();
+        run_cli(&[
+            "attempt",
+            "ecomm-revenue",
+            "full",
+            "batch",
+            "--rows",
+            "300",
+            "--session",
+            s,
+        ])
+        .unwrap();
+        let out = run_cli(&[
+            "attempt",
+            "ecomm-revenue",
+            "sample",
+            "batch",
+            "--rows",
+            "300",
+            "--session",
+            s,
+        ])
+        .unwrap();
+        assert!(out.contains("2 runs used"), "{out}");
+        assert!(out.contains("consequences so far"), "{out}");
+    }
+
+    #[test]
+    fn missing_data_flag_is_a_clear_error() {
+        let dir = std::env::temp_dir().join("toreador-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("x.tdl");
+        std::fs::write(
+            &file,
+            "campaign x on d\ngoal filtering predicate=\"a > 1\"\n",
+        )
+        .unwrap();
+        let err = run_cli(&["run", file.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("--data"));
+    }
+}

@@ -1,0 +1,28 @@
+//! `toreador` — the command-line front-end of the reproduction.
+//!
+//! The original TOREADOR Labs exposed the platform through a web UI; this
+//! CLI is the equivalent surface for a terminal: browse the catalogue and
+//! the challenge library, compile-and-explain campaigns, run them against
+//! generated or on-disk data, and make scored Labs attempts.
+
+mod args;
+mod commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Alternative-option enumeration.
+//!
+//! §3 of the paper: trainees "are requested to identify alternative
+//! options, and investigate the consequences of their choices". This module
+//! mechanises the first half: given a campaign, enumerate the neighbouring
+//! designs — one change at a time — that the trainee could have made:
+//!
+//! * a different catalogue service for some goal (from the procedural
+//!   model's rejected-candidates record);
+//! * the opposite preference profile;
+//! * batch instead of stream (or vice versa, when a `ts` column exists);
+//! * a different parallelism;
+//! * stronger/weaker privacy parameters (k, ε).
+//!
+//! Each alternative is a full [`CampaignSpec`], so the Labs can compile and
+//! run it and diff the outcome against the original — the "consequences".
+
+use toreador_catalog::matching::Preferences;
+use toreador_catalog::registry::Registry;
+
+use crate::declarative::{CampaignSpec, ProcessingMode};
+use crate::error::Result;
+use crate::procedural::plan;
+
+/// One alternative design.
+#[derive(Debug, Clone)]
+pub struct Alternative {
+    /// Human-readable description of the single change.
+    pub description: String,
+    /// Which design dimension the change touches.
+    pub dimension: Dimension,
+    pub spec: CampaignSpec,
+}
+
+/// The design dimensions the Labs expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dimension {
+    ServiceChoice,
+    Preference,
+    ProcessingMode,
+    Parallelism,
+    PrivacyParameter,
+}
+
+/// Enumerate one-change alternatives to `spec`.
+///
+/// The list is deterministic and bounded: at most one alternative per
+/// rejected service per goal, plus the fixed mode/preference/parallelism
+/// and privacy-parameter variants that apply.
+pub fn enumerate(
+    spec: &CampaignSpec,
+    registry: &Registry,
+    dataset_has_ts: bool,
+) -> Result<Vec<Alternative>> {
+    let mut out = Vec::new();
+
+    // --- service choices, from the planner's own provenance.
+    let model = plan(spec, registry)?;
+    for choice in &model.choices {
+        for alt_id in &choice.alternatives {
+            let mut alt = spec.clone();
+            alt.goals[choice.goal_index].pinned_service = Some(alt_id.clone());
+            out.push(Alternative {
+                description: format!(
+                    "goal {} uses {} instead of {}",
+                    choice.goal_index, alt_id, choice.chosen
+                ),
+                dimension: Dimension::ServiceChoice,
+                spec: alt,
+            });
+        }
+    }
+
+    // --- preference profile.
+    let flipped = if spec.preferences == Preferences::cost_first() {
+        (
+            "prefer quality instead of cost",
+            Preferences::quality_first(),
+        )
+    } else {
+        ("prefer cost instead of quality", Preferences::cost_first())
+    };
+    let mut alt = spec.clone();
+    alt.preferences = flipped.1;
+    // Un-pin so the preference actually has room to act.
+    for g in &mut alt.goals {
+        g.pinned_service = None;
+    }
+    out.push(Alternative {
+        description: flipped.0.to_owned(),
+        dimension: Dimension::Preference,
+        spec: alt,
+    });
+
+    // --- processing mode.
+    match spec.mode {
+        ProcessingMode::Batch if dataset_has_ts => {
+            let mut alt = spec.clone();
+            alt.mode = ProcessingMode::Stream {
+                window_ms: 3_600_000,
+            };
+            out.push(Alternative {
+                description: "stream in 1h windows instead of batch".to_owned(),
+                dimension: Dimension::ProcessingMode,
+                spec: alt,
+            });
+        }
+        ProcessingMode::Stream { .. } => {
+            let mut alt = spec.clone();
+            alt.mode = ProcessingMode::Batch;
+            out.push(Alternative {
+                description: "batch instead of stream".to_owned(),
+                dimension: Dimension::ProcessingMode,
+                spec: alt,
+            });
+        }
+        _ => {}
+    }
+
+    // --- parallelism: half and double the current request.
+    let current = spec.parallelism.unwrap_or(2);
+    for (label, workers) in [("halve", (current / 2).max(1)), ("double", current * 2)] {
+        if workers != current {
+            let mut alt = spec.clone();
+            alt.parallelism = Some(workers);
+            out.push(Alternative {
+                description: format!("{label} parallelism: {current} -> {workers} workers"),
+                dimension: Dimension::Parallelism,
+                spec: alt,
+            });
+        }
+    }
+
+    // --- privacy parameters.
+    for (gi, goal) in spec.goals.iter().enumerate() {
+        if let Some(k) = goal.get_param("k").and_then(|k| k.parse::<usize>().ok()) {
+            for new_k in [k / 2, k * 2] {
+                if new_k >= 2 && new_k != k {
+                    let mut alt = spec.clone();
+                    alt.goals[gi]
+                        .params
+                        .insert("k".to_owned(), new_k.to_string());
+                    out.push(Alternative {
+                        description: format!("goal {gi}: k-anonymity k={k} -> k={new_k}"),
+                        dimension: Dimension::PrivacyParameter,
+                        spec: alt,
+                    });
+                }
+            }
+        }
+        if let Some(eps) = goal
+            .get_param("epsilon")
+            .and_then(|e| e.parse::<f64>().ok())
+        {
+            for new_eps in [eps / 2.0, eps * 2.0] {
+                let mut alt = spec.clone();
+                alt.goals[gi]
+                    .params
+                    .insert("epsilon".to_owned(), new_eps.to_string());
+                out.push(Alternative {
+                    description: format!("goal {gi}: DP ε={eps} -> ε={new_eps}"),
+                    dimension: Dimension::PrivacyParameter,
+                    spec: alt,
+                });
+            }
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::declarative::Goal;
+    use toreador_catalog::builtin::standard_catalog;
+    use toreador_catalog::descriptor::Capability;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::new("t", "health")
+            .goal(
+                Goal::new(Capability::Classification)
+                    .param("target", "sex")
+                    .param("features", "age,cost"),
+            )
+            .goal(
+                Goal::new(Capability::Anonymization)
+                    .pin("privacy.kanon")
+                    .param("k", "5")
+                    .param("quasi", "age,zip"),
+            )
+    }
+
+    #[test]
+    fn enumerates_service_alternatives_from_provenance() {
+        let r = standard_catalog();
+        let alts = enumerate(&spec(), &r, false).unwrap();
+        let service_alts: Vec<_> = alts
+            .iter()
+            .filter(|a| a.dimension == Dimension::ServiceChoice)
+            .collect();
+        // Classification has >= 2 alternatives (logreg, nb, tree minus chosen).
+        assert!(service_alts.len() >= 2, "{service_alts:?}");
+        for a in &service_alts {
+            // The alternative pins a different service than the original plan.
+            assert!(a.description.contains("instead of"));
+        }
+    }
+
+    #[test]
+    fn privacy_parameters_vary_both_directions() {
+        let r = standard_catalog();
+        let alts = enumerate(&spec(), &r, false).unwrap();
+        let ks: Vec<&str> = alts
+            .iter()
+            .filter(|a| a.dimension == Dimension::PrivacyParameter)
+            .map(|a| a.description.as_str())
+            .collect();
+        assert!(ks.iter().any(|d| d.contains("k=5 -> k=2")), "{ks:?}");
+        assert!(ks.iter().any(|d| d.contains("k=5 -> k=10")), "{ks:?}");
+    }
+
+    #[test]
+    fn mode_alternative_requires_ts() {
+        let r = standard_catalog();
+        let with_ts = enumerate(&spec(), &r, true).unwrap();
+        assert!(with_ts
+            .iter()
+            .any(|a| a.dimension == Dimension::ProcessingMode));
+        let without = enumerate(&spec(), &r, false).unwrap();
+        assert!(!without
+            .iter()
+            .any(|a| a.dimension == Dimension::ProcessingMode));
+        // Streaming specs offer the batch alternative regardless (using a
+        // streamable goal — a stream-mode plan over batch-only services
+        // would fail to plan at all).
+        let stream_spec = CampaignSpec::new("s", "tel")
+            .mode(ProcessingMode::Stream { window_ms: 1000 })
+            .goal(
+                Goal::new(Capability::Aggregation)
+                    .param("group_by", "region")
+                    .param("agg", "sum:kwh:t"),
+            );
+        let alts = enumerate(&stream_spec, &r, true).unwrap();
+        assert!(alts.iter().any(|a| a.description.contains("batch instead")));
+        let _ = stream_spec;
+    }
+
+    #[test]
+    fn alternatives_change_exactly_one_dimension() {
+        let r = standard_catalog();
+        let base = spec();
+        for alt in enumerate(&base, &r, true).unwrap() {
+            // Each alternative still has the same goals count and dataset.
+            assert_eq!(alt.spec.goals.len(), base.goals.len());
+            assert_eq!(alt.spec.dataset, base.dataset);
+            assert_ne!(
+                alt.spec, base,
+                "alternative must differ: {}",
+                alt.description
+            );
+        }
+    }
+
+    #[test]
+    fn parallelism_variants_are_sane() {
+        let r = standard_catalog();
+        let base = spec().with_parallelism(4);
+        let alts = enumerate(&base, &r, false).unwrap();
+        let p: Vec<_> = alts
+            .iter()
+            .filter(|a| a.dimension == Dimension::Parallelism)
+            .collect();
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().any(|a| a.spec.parallelism == Some(2)));
+        assert!(p.iter().any(|a| a.spec.parallelism == Some(8)));
+    }
+}

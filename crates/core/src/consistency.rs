@@ -1,0 +1,386 @@
+//! Consistency checking of declarative models.
+//!
+//! §3 of the paper: the Labs teach "the interrelations and interferences of
+//! the different design options". The consistency checker is where those
+//! interferences become machine-detected *before* compilation: conflicting
+//! objectives, mode/service mismatches, privacy/accuracy tensions, and
+//! references to columns the dataset does not have.
+
+use std::fmt;
+
+use toreador_catalog::registry::Registry;
+use toreador_data::schema::Schema;
+
+use crate::declarative::{CampaignSpec, Indicator, ProcessingMode, Target};
+use crate::dsl::parse_column_list;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Compilation must refuse.
+    Error,
+    /// Compilation proceeds, but the trainee should know.
+    Warning,
+}
+
+/// One consistency finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    pub severity: Severity,
+    pub message: String,
+}
+
+impl Finding {
+    fn error(message: impl Into<String>) -> Self {
+        Finding {
+            severity: Severity::Error,
+            message: message.into(),
+        }
+    }
+
+    fn warning(message: impl Into<String>) -> Self {
+        Finding {
+            severity: Severity::Warning,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "[{tag}] {}", self.message)
+    }
+}
+
+/// Check a campaign against the catalogue and (optionally) the dataset
+/// schema. Returns all findings; callers refuse to compile on any Error.
+pub fn check(spec: &CampaignSpec, registry: &Registry, schema: Option<&Schema>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // ---- objective contradictions: AtLeast(x) & AtMost(y) with x > y.
+    let all = spec.all_objectives();
+    for (i, a) in all.iter().enumerate() {
+        for b in &all[i + 1..] {
+            if a.indicator != b.indicator {
+                continue;
+            }
+            if let (Target::AtLeast(lo), Target::AtMost(hi)) = (a.target, b.target) {
+                if lo > hi {
+                    findings.push(Finding::error(format!(
+                        "contradictory objectives on {}: >= {lo} and <= {hi}",
+                        a.indicator
+                    )));
+                }
+            }
+            if let (Target::AtMost(hi), Target::AtLeast(lo)) = (a.target, b.target) {
+                if lo > hi {
+                    findings.push(Finding::error(format!(
+                        "contradictory objectives on {}: >= {lo} and <= {hi}",
+                        a.indicator
+                    )));
+                }
+            }
+        }
+    }
+
+    // ---- out-of-range targets on bounded indicators.
+    for o in &all {
+        if matches!(
+            o.indicator,
+            Indicator::Accuracy | Indicator::Coverage | Indicator::PrivacyRisk
+        ) {
+            let v = match o.target {
+                Target::AtLeast(v) | Target::AtMost(v) => v,
+            };
+            if !(0.0..=1.0).contains(&v) {
+                findings.push(Finding::error(format!(
+                    "objective {} {} is outside the indicator's [0,1] range",
+                    o.indicator, o.target
+                )));
+            }
+        }
+    }
+
+    // ---- goals must be satisfiable by the catalogue.
+    for goal in &spec.goals {
+        if let Some(pinned) = &goal.pinned_service {
+            match registry.get(pinned) {
+                Err(_) => {
+                    findings.push(Finding::error(format!(
+                        "goal pins unknown service {pinned:?}"
+                    )));
+                    continue;
+                }
+                Ok(svc) => {
+                    if svc.capability != goal.capability {
+                        findings.push(Finding::error(format!(
+                            "goal capability {:?} does not match pinned service {pinned:?} ({:?})",
+                            goal.capability, svc.capability
+                        )));
+                    }
+                    if matches!(spec.mode, ProcessingMode::Stream { .. })
+                        && !svc.latency.supports_stream()
+                    {
+                        findings.push(Finding::error(format!(
+                            "stream-mode campaign pins batch-only service {pinned:?}"
+                        )));
+                    }
+                }
+            }
+        } else {
+            let options = registry.by_capability(goal.capability);
+            if options.is_empty() {
+                findings.push(Finding::error(format!(
+                    "no catalogue service provides {:?}",
+                    goal.capability
+                )));
+            } else if matches!(spec.mode, ProcessingMode::Stream { .. })
+                && !options.iter().any(|s| s.latency.supports_stream())
+            {
+                findings.push(Finding::error(format!(
+                    "stream-mode campaign, but no {:?} service supports streaming",
+                    goal.capability
+                )));
+            }
+        }
+    }
+
+    // ---- privacy/accuracy interference (the canonical Labs lesson).
+    let anonymizes = spec
+        .goals
+        .iter()
+        .any(|g| g.capability == toreador_catalog::descriptor::Capability::Anonymization);
+    let high_accuracy = all.iter().any(|o| {
+        o.indicator == Indicator::Accuracy && matches!(o.target, Target::AtLeast(v) if v > 0.9)
+    });
+    if anonymizes && high_accuracy {
+        findings.push(Finding::warning(
+            "campaign both anonymises its data and demands accuracy > 0.9; \
+             generalisation/suppression typically costs accuracy — consider \
+             relaxing one of the two"
+                .to_owned(),
+        ));
+    }
+
+    // ---- a policy without any protective goal (likely to fail compliance).
+    if let Some(policy) = &spec.policy {
+        let has_protection = anonymizes
+            || spec.goals.iter().any(|g| {
+                g.capability == toreador_catalog::descriptor::Capability::PrivateAggregation
+            });
+        if policy.required_k().is_some() && !has_protection {
+            findings.push(Finding::warning(format!(
+                "policy {:?} requires k-anonymity but the campaign declares no \
+                 anonymisation or DP goal; compilation will add nothing automatically",
+                policy.name
+            )));
+        }
+        // Policy/DSL epsilon contradiction.
+        if let Some(ceiling) = policy.max_epsilon() {
+            for g in &spec.goals {
+                if let Some(eps) = g.get_param("epsilon").and_then(|e| e.parse::<f64>().ok()) {
+                    if eps > ceiling {
+                        findings.push(Finding::error(format!(
+                            "goal requests ε={eps} but policy {:?} caps ε at {ceiling}",
+                            policy.name
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- schema checks (column references in well-known params).
+    if let Some(schema) = schema {
+        for goal in &spec.goals {
+            for key in ["features", "group_by", "columns", "keys"] {
+                if let Some(cols) = goal.get_param(key) {
+                    for c in parse_column_list(cols) {
+                        if !schema.contains(&c) {
+                            findings.push(Finding::error(format!(
+                                "goal parameter {key} references unknown column {c:?}"
+                            )));
+                        }
+                    }
+                }
+            }
+            for key in ["target", "column", "ts", "id", "item"] {
+                if let Some(c) = goal.get_param(key) {
+                    if !schema.contains(c) {
+                        findings.push(Finding::error(format!(
+                            "goal parameter {key} references unknown column {c:?}"
+                        )));
+                    }
+                }
+            }
+        }
+        if let Some(policy) = &spec.policy {
+            match policy.validate(schema) {
+                Ok(()) => {}
+                // A classified column absent from the dataset is safe (it
+                // cannot leak what is not there) — warn, don't refuse.
+                Err(toreador_privacy::error::PrivacyError::UnknownColumn(c)) => {
+                    findings.push(Finding::warning(format!(
+                        "policy classifies column {c:?} which the dataset does not have"
+                    )));
+                }
+                Err(e) => {
+                    findings.push(Finding::error(format!("policy invalid for dataset: {e}")));
+                }
+            }
+        }
+    }
+
+    // ---- streaming needs a timestamp column.
+    if let (ProcessingMode::Stream { window_ms }, Some(schema)) = (spec.mode, schema) {
+        if window_ms <= 0 {
+            findings.push(Finding::error(format!(
+                "stream window must be positive, got {window_ms}"
+            )));
+        }
+        if !schema.contains("ts") {
+            findings.push(Finding::error(
+                "stream mode requires a `ts` timestamp column in the dataset".to_owned(),
+            ));
+        }
+    }
+
+    findings
+}
+
+/// True if no Error-severity findings are present.
+pub fn is_consistent(findings: &[Finding]) -> bool {
+    findings.iter().all(|f| f.severity != Severity::Error)
+}
+
+/// Render findings for error messages.
+pub fn render(findings: &[Finding]) -> String {
+    findings
+        .iter()
+        .map(Finding::to_string)
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::declarative::Goal;
+    use toreador_catalog::builtin::standard_catalog;
+    use toreador_catalog::descriptor::Capability;
+    use toreador_data::generate::{clickstream_schema, health_schema, telemetry_schema};
+    use toreador_privacy::policy::{healthcare_default, Requirement};
+
+    fn ok_spec() -> CampaignSpec {
+        CampaignSpec::new("t", "clicks")
+            .goal(Goal::new(Capability::Filtering).param("predicate", "price > 1"))
+    }
+
+    #[test]
+    fn clean_spec_has_no_findings() {
+        let r = standard_catalog();
+        let f = check(&ok_spec(), &r, Some(&clickstream_schema()));
+        assert!(f.is_empty(), "{f:?}");
+        assert!(is_consistent(&f));
+    }
+
+    #[test]
+    fn contradictory_objectives_detected() {
+        let r = standard_catalog();
+        let spec = ok_spec()
+            .objective(Indicator::RuntimeMs, Target::AtLeast(1000.0))
+            .objective(Indicator::RuntimeMs, Target::AtMost(10.0));
+        let f = check(&spec, &r, None);
+        assert!(!is_consistent(&f));
+        assert!(render(&f).contains("contradictory"));
+    }
+
+    #[test]
+    fn bounded_indicator_range_enforced() {
+        let r = standard_catalog();
+        let spec = ok_spec().objective(Indicator::Accuracy, Target::AtLeast(1.5));
+        let f = check(&spec, &r, None);
+        assert!(!is_consistent(&f));
+    }
+
+    #[test]
+    fn pinned_service_must_exist_and_match() {
+        let r = standard_catalog();
+        let spec = CampaignSpec::new("t", "d")
+            .goal(Goal::new(Capability::Clustering).pin("no.such.service"));
+        assert!(!is_consistent(&check(&spec, &r, None)));
+        let spec = CampaignSpec::new("t", "d")
+            .goal(Goal::new(Capability::Clustering).pin("analytics.tree"));
+        let f = check(&spec, &r, None);
+        assert!(render(&f).contains("does not match"));
+    }
+
+    #[test]
+    fn stream_mode_requires_stream_services_and_ts() {
+        let r = standard_catalog();
+        // Apriori has no streaming implementation.
+        let spec = CampaignSpec::new("t", "d")
+            .mode(ProcessingMode::Stream { window_ms: 1000 })
+            .goal(Goal::new(Capability::AssociationRules));
+        let f = check(&spec, &r, None);
+        assert!(!is_consistent(&f), "{f:?}");
+        // Telemetry has ts; health records do not.
+        let spec = CampaignSpec::new("t", "d")
+            .mode(ProcessingMode::Stream { window_ms: 1000 })
+            .goal(Goal::new(Capability::Aggregation).param("group_by", "region"));
+        assert!(is_consistent(&check(&spec, &r, Some(&telemetry_schema()))));
+        assert!(!is_consistent(&check(&spec, &r, Some(&health_schema()))));
+    }
+
+    #[test]
+    fn privacy_accuracy_tension_is_a_warning() {
+        let r = standard_catalog();
+        let spec = CampaignSpec::new("t", "d")
+            .goal(Goal::new(Capability::Anonymization).param("k", "5"))
+            .objective(Indicator::Accuracy, Target::AtLeast(0.95));
+        let f = check(&spec, &r, None);
+        assert!(is_consistent(&f), "warning only");
+        assert!(f.iter().any(|x| x.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn policy_epsilon_ceiling_enforced() {
+        let r = standard_catalog();
+        let policy = healthcare_default().require(Requirement::MaxDpEpsilon(1.0));
+        let spec = CampaignSpec::new("t", "d")
+            .with_policy(policy)
+            .goal(Goal::new(Capability::PrivateAggregation).param("epsilon", "3.0"));
+        let f = check(&spec, &r, None);
+        assert!(!is_consistent(&f));
+        assert!(render(&f).contains("caps"));
+    }
+
+    #[test]
+    fn policy_without_protection_warns() {
+        let r = standard_catalog();
+        let spec = CampaignSpec::new("t", "d")
+            .with_policy(healthcare_default())
+            .goal(Goal::new(Capability::Aggregation).param("group_by", "age"));
+        let f = check(&spec, &r, None);
+        assert!(f.iter().any(|x| x.severity == Severity::Warning), "{f:?}");
+    }
+
+    #[test]
+    fn unknown_columns_detected_with_schema() {
+        let r = standard_catalog();
+        let spec = CampaignSpec::new("t", "clicks").goal(
+            Goal::new(Capability::Aggregation)
+                .param("group_by", "country,galaxy")
+                .param("agg", "sum:price:rev"),
+        );
+        let f = check(&spec, &r, Some(&clickstream_schema()));
+        assert!(!is_consistent(&f));
+        assert!(render(&f).contains("galaxy"));
+        // Without a schema the same spec passes (checked later at compile).
+        assert!(is_consistent(&check(&spec, &r, None)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for the model-driven compiler.
+
+use std::fmt;
+
+/// Errors raised while parsing, checking, compiling, or running a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// DSL parse error with a line number.
+    Parse { line: usize, message: String },
+    /// The declarative model is internally inconsistent (conflicting
+    /// objectives, impossible mode, ...). Carries the findings rendered.
+    Inconsistent(String),
+    /// Goal matching failed (no service satisfies a goal).
+    Catalog(String),
+    /// Compile-time compliance check failed. Carries the violations rendered.
+    NonCompliant(String),
+    /// A service parameter is missing or malformed.
+    Parameter { service: String, message: String },
+    /// Execution failed in the dataflow engine.
+    Execution(String),
+    /// Analytics failure while running a service.
+    Analytics(String),
+    /// Privacy enforcement failure while running a service.
+    Privacy(String),
+    /// Anything schema/data shaped.
+    Data(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            CoreError::Inconsistent(m) => write!(f, "inconsistent campaign: {m}"),
+            CoreError::Catalog(m) => write!(f, "catalogue matching failed: {m}"),
+            CoreError::NonCompliant(m) => write!(f, "compliance check failed: {m}"),
+            CoreError::Parameter { service, message } => {
+                write!(f, "bad parameter for {service}: {message}")
+            }
+            CoreError::Execution(m) => write!(f, "execution failed: {m}"),
+            CoreError::Analytics(m) => write!(f, "analytics failed: {m}"),
+            CoreError::Privacy(m) => write!(f, "privacy enforcement failed: {m}"),
+            CoreError::Data(m) => write!(f, "data error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<toreador_catalog::registry::CatalogError> for CoreError {
+    fn from(e: toreador_catalog::registry::CatalogError) -> Self {
+        CoreError::Catalog(e.to_string())
+    }
+}
+
+impl From<toreador_dataflow::error::FlowError> for CoreError {
+    fn from(e: toreador_dataflow::error::FlowError) -> Self {
+        CoreError::Execution(e.to_string())
+    }
+}
+
+impl From<toreador_analytics::error::AnalyticsError> for CoreError {
+    fn from(e: toreador_analytics::error::AnalyticsError) -> Self {
+        CoreError::Analytics(e.to_string())
+    }
+}
+
+impl From<toreador_privacy::error::PrivacyError> for CoreError {
+    fn from(e: toreador_privacy::error::PrivacyError) -> Self {
+        CoreError::Privacy(e.to_string())
+    }
+}
+
+impl From<toreador_data::error::DataError> for CoreError {
+    fn from(e: toreador_data::error::DataError) -> Self {
+        CoreError::Data(e.to_string())
+    }
+}
+
+/// Result alias for the core layer.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: CoreError =
+            toreador_catalog::registry::CatalogError::UnknownService("x".into()).into();
+        assert!(e.to_string().contains("x"));
+        let e: CoreError = toreador_data::error::DataError::ColumnNotFound("y".into()).into();
+        assert!(e.to_string().contains("y"));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let e = CoreError::Parse {
+            line: 7,
+            message: "unknown keyword".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

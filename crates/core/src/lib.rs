@@ -1,0 +1,71 @@
+//! # toreador-core
+//!
+//! The paper's primary contribution: a model-driven Big Data
+//! Analytics-as-a-Service (BDAaaS) compiler. A campaign is stated
+//! *declaratively* (business goals, indicators, objectives, regulatory
+//! constraints), then transformed mechanically:
+//!
+//! ```text
+//! DSL text ──parse──▶ CampaignSpec          (declarative model)
+//!            check──▶ consistency findings
+//!             plan──▶ ProceduralModel       (service composition)
+//!             bind──▶ DeploymentModel       (platform + engine config)
+//!            check──▶ PrivacyManifest + compliance verdict
+//!              run──▶ CampaignOutcome       (output, indicators, audit)
+//! ```
+//!
+//! * [`declarative`] — goals, indicators, objectives ([`declarative::CampaignSpec`]);
+//! * [`dsl`] — the campaign language and the predicate expression parser;
+//! * [`consistency`] — interference detection between design choices;
+//! * [`procedural`] — goal→service planning with full choice provenance;
+//! * [`deployment`] — platform binding and cost estimation;
+//! * [`service_impl`] — executable bodies for every catalogue service;
+//! * [`compile`] — [`compile::Bdaas`], the end-to-end function;
+//! * [`alternatives`] — one-change design neighbours (the Labs' "alternative
+//!   options").
+//!
+//! ## Example
+//!
+//! ```
+//! use toreador_core::prelude::*;
+//! use toreador_data::generate::clickstream;
+//!
+//! let bdaas = Bdaas::new();
+//! let spec = bdaas.parse(r#"
+//! campaign revenue on clicks
+//! prefer cost
+//! goal filtering predicate="action == 'purchase'"
+//! goal aggregation group_by=country agg=sum:price:revenue
+//! "#).unwrap();
+//! let data = clickstream(1_000, 7);
+//! let compiled = bdaas.compile(&spec, data.schema(), data.num_rows()).unwrap();
+//! let outcome = bdaas.run(&compiled, data, &Default::default()).unwrap();
+//! assert!(outcome.indicator(Indicator::Throughput).unwrap() > 0.0);
+//! ```
+
+pub mod alternatives;
+pub mod compile;
+pub mod consistency;
+pub mod declarative;
+pub mod deployment;
+pub mod dsl;
+pub mod error;
+pub mod procedural;
+pub mod service_impl;
+
+/// Convenient glob import of the commonly used types.
+pub mod prelude {
+    pub use crate::alternatives::{enumerate, Alternative, Dimension};
+    pub use crate::compile::{Bdaas, CampaignOutcome, CompiledCampaign, ObjectiveOutcome};
+    pub use crate::consistency::{check, is_consistent, Finding, Severity};
+    pub use crate::declarative::{
+        CampaignSpec, Goal, Indicator, Objective, ProcessingMode, Target,
+    };
+    pub use crate::deployment::{builtin_platforms, DeploymentModel, PlatformDescriptor};
+    pub use crate::dsl::{parse_campaign, parse_expr};
+    pub use crate::error::{CoreError, Result as CoreResult};
+    pub use crate::procedural::{
+        plan, ChoiceRecord, Composition, ProceduralModel, ServiceInvocation,
+    };
+    pub use crate::service_impl::{execute_composition, PipelineState, ServiceContext};
+}

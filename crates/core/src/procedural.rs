@@ -1,0 +1,311 @@
+//! The procedural model: an abstract service composition.
+//!
+//! The middle layer of the TOREADOR transformation chain ([2]): the
+//! declarative model's goals become an OWL-S-style composition of concrete
+//! catalogue services with bound parameters. The composition is still
+//! platform-independent — binding to an engine happens in
+//! [`crate::deployment`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use toreador_catalog::matching::{best, rank, ServiceGoal};
+use toreador_catalog::registry::Registry;
+
+use crate::declarative::{CampaignSpec, ProcessingMode};
+use crate::error::{CoreError, Result};
+
+/// One bound service call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceInvocation {
+    pub service_id: String,
+    /// Fully resolved parameters: goal params merged over catalogue defaults.
+    pub params: BTreeMap<String, String>,
+}
+
+impl ServiceInvocation {
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params.get(name).map(String::as_str)
+    }
+
+    /// A required parameter, as a typed error if missing.
+    pub fn required_param(&self, name: &str) -> Result<&str> {
+        self.param(name).ok_or_else(|| CoreError::Parameter {
+            service: self.service_id.clone(),
+            message: format!("missing required parameter {name:?}"),
+        })
+    }
+}
+
+/// OWL-S-style control constructs. The planner currently emits sequences,
+/// but the executor handles the full tree so compositions can be hand-built
+/// (the Labs' solution templates use `Parallel` for side-by-side reports).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Composition {
+    Invoke(ServiceInvocation),
+    Sequence(Vec<Composition>),
+    /// All branches run on the same input; their report artefacts are
+    /// concatenated and the *first* branch's table flows onward.
+    Parallel(Vec<Composition>),
+}
+
+impl Composition {
+    /// All service ids, in execution order.
+    pub fn service_ids(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_ids(&mut out);
+        out
+    }
+
+    fn collect_ids<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Composition::Invoke(inv) => out.push(&inv.service_id),
+            Composition::Sequence(parts) | Composition::Parallel(parts) => {
+                for p in parts {
+                    p.collect_ids(out);
+                }
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.service_ids().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn render(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Composition::Invoke(inv) => {
+                out.push_str(&pad);
+                out.push_str(&inv.service_id);
+                if !inv.params.is_empty() {
+                    out.push(' ');
+                    out.push_str(&crate::dsl::render_params(&inv.params));
+                }
+                out.push('\n');
+            }
+            Composition::Sequence(parts) => {
+                out.push_str(&pad);
+                out.push_str("sequence\n");
+                for p in parts {
+                    p.render(depth + 1, out);
+                }
+            }
+            Composition::Parallel(parts) => {
+                out.push_str(&pad);
+                out.push_str("parallel\n");
+                for p in parts {
+                    p.render(depth + 1, out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Composition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(0, &mut s);
+        f.write_str(&s)
+    }
+}
+
+/// The procedural model: a named composition plus provenance of the choices
+/// that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProceduralModel {
+    pub campaign: String,
+    pub composition: Composition,
+    /// For each goal, the chosen service and the rejected alternatives
+    /// (ids, best first). The rejected list is what the Labs' alternative
+    /// explorer feeds on.
+    pub choices: Vec<ChoiceRecord>,
+}
+
+/// Provenance of one goal's service selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChoiceRecord {
+    pub goal_index: usize,
+    pub chosen: String,
+    pub alternatives: Vec<String>,
+    /// True when the spec pinned the service rather than letting
+    /// preferences decide.
+    pub pinned: bool,
+}
+
+/// Compile the declarative goals into a procedural composition.
+///
+/// Each goal resolves to one service invocation — pinned if the goal says
+/// so, otherwise the preference-ranked best — with goal params merged over
+/// the catalogue defaults. Goals compose in declaration order (the DSL is
+/// explicit about pipeline order; reordering is a design choice the Labs
+/// leave to the trainee).
+pub fn plan(spec: &CampaignSpec, registry: &Registry) -> Result<ProceduralModel> {
+    let mut stages = Vec::with_capacity(spec.goals.len());
+    let mut choices = Vec::with_capacity(spec.goals.len());
+    for (goal_index, goal) in spec.goals.iter().enumerate() {
+        let service_goal = {
+            let mut g = ServiceGoal::capability(goal.capability);
+            if matches!(spec.mode, ProcessingMode::Stream { .. }) {
+                g = g.streaming();
+            }
+            g
+        };
+        let ranked = rank(registry, &service_goal, &spec.preferences);
+        let (descriptor, pinned) = match &goal.pinned_service {
+            Some(id) => {
+                let d = registry.get(id)?;
+                if d.capability != goal.capability {
+                    return Err(CoreError::Catalog(format!(
+                        "pinned service {id:?} provides {:?}, goal wants {:?}",
+                        d.capability, goal.capability
+                    )));
+                }
+                (d, true)
+            }
+            None => (best(registry, &service_goal, &spec.preferences)?, false),
+        };
+        // Params: defaults first, then goal overrides.
+        let mut params: BTreeMap<String, String> = descriptor
+            .params
+            .iter()
+            .filter(|p| !p.default.is_empty())
+            .map(|p| (p.name.clone(), p.default.clone()))
+            .collect();
+        for (k, v) in &goal.params {
+            params.insert(k.clone(), v.clone());
+        }
+        choices.push(ChoiceRecord {
+            goal_index,
+            chosen: descriptor.id.clone(),
+            alternatives: ranked
+                .iter()
+                .map(|c| c.service.id.clone())
+                .filter(|id| id != &descriptor.id)
+                .collect(),
+            pinned,
+        });
+        stages.push(Composition::Invoke(ServiceInvocation {
+            service_id: descriptor.id.clone(),
+            params,
+        }));
+    }
+    Ok(ProceduralModel {
+        campaign: spec.name.clone(),
+        composition: Composition::Sequence(stages),
+        choices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::declarative::Goal;
+    use toreador_catalog::builtin::standard_catalog;
+    use toreador_catalog::descriptor::Capability;
+    use toreador_catalog::matching::Preferences;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::new("t", "clicks")
+            .goal(Goal::new(Capability::Filtering).param("predicate", "price > 1"))
+            .goal(
+                Goal::new(Capability::Classification)
+                    .param("target", "label")
+                    .param("features", "a,b"),
+            )
+    }
+
+    #[test]
+    fn plan_resolves_each_goal_in_order() {
+        let r = standard_catalog();
+        let m = plan(&spec(), &r).unwrap();
+        let ids = m.composition.service_ids();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], "processing.filter");
+        assert!(ids[1].starts_with("analytics."));
+        assert_eq!(m.choices.len(), 2);
+        assert!(!m.choices[1].pinned);
+        assert!(
+            !m.choices[1].alternatives.is_empty(),
+            "classification has alternatives"
+        );
+    }
+
+    #[test]
+    fn preferences_change_the_chosen_service() {
+        let r = standard_catalog();
+        let quality = plan(&spec().prefer(Preferences::quality_first()), &r).unwrap();
+        let cost = plan(&spec().prefer(Preferences::cost_first()), &r).unwrap();
+        assert_eq!(quality.composition.service_ids()[1], "analytics.tree");
+        assert_eq!(cost.composition.service_ids()[1], "analytics.naivebayes");
+    }
+
+    #[test]
+    fn pinning_overrides_preferences() {
+        let r = standard_catalog();
+        let s = CampaignSpec::new("t", "d")
+            .prefer(Preferences::quality_first())
+            .goal(Goal::new(Capability::Classification).pin("analytics.naivebayes"));
+        let m = plan(&s, &r).unwrap();
+        assert_eq!(m.composition.service_ids()[0], "analytics.naivebayes");
+        assert!(m.choices[0].pinned);
+        // Capability mismatch still rejected.
+        let s = CampaignSpec::new("t", "d")
+            .goal(Goal::new(Capability::Clustering).pin("analytics.naivebayes"));
+        assert!(plan(&s, &r).is_err());
+    }
+
+    #[test]
+    fn defaults_merge_under_goal_params() {
+        let r = standard_catalog();
+        let s = CampaignSpec::new("t", "d").goal(
+            Goal::new(Capability::Clustering)
+                .param("features", "x,y")
+                .param("k", "7"),
+        );
+        let m = plan(&s, &r).unwrap();
+        let Composition::Sequence(stages) = &m.composition else {
+            panic!()
+        };
+        let Composition::Invoke(inv) = &stages[0] else {
+            panic!()
+        };
+        assert_eq!(inv.param("k"), Some("7"), "goal overrides default");
+        assert_eq!(inv.param("features"), Some("x,y"));
+    }
+
+    #[test]
+    fn streaming_mode_restricts_candidates() {
+        let r = standard_catalog();
+        let s = CampaignSpec::new("t", "d")
+            .mode(ProcessingMode::Stream { window_ms: 1000 })
+            .goal(Goal::new(Capability::AssociationRules));
+        assert!(plan(&s, &r).is_err(), "apriori is batch-only");
+    }
+
+    #[test]
+    fn display_renders_composition() {
+        let r = standard_catalog();
+        let m = plan(&spec(), &r).unwrap();
+        let s = m.composition.to_string();
+        assert!(s.contains("sequence"));
+        assert!(s.contains("processing.filter"));
+        assert!(s.contains("predicate="));
+    }
+
+    #[test]
+    fn required_param_errors_cleanly() {
+        let inv = ServiceInvocation {
+            service_id: "x".to_owned(),
+            params: BTreeMap::new(),
+        };
+        let err = inv.required_param("k").unwrap_err();
+        assert!(err.to_string().contains("missing required parameter"));
+    }
+}

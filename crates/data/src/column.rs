@@ -1,0 +1,556 @@
+//! Typed columnar storage.
+//!
+//! A [`Column`] stores one attribute of a table in a contiguous `Vec` of the
+//! native type, with a parallel validity bitmap. This keeps scans cache
+//! friendly (the Rust Performance Book's "use contiguous collections"
+//! advice) while the row-oriented [`crate::value::Value`] path is reserved
+//! for expression evaluation and shuffles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DataError, Result};
+use crate::value::{DataType, Value};
+
+/// Validity bitmap: `true` means the slot holds a value, `false` means null.
+///
+/// Stored as packed 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Validity {
+    words: Vec<u64>,
+    len: usize,
+    null_count: usize,
+}
+
+impl Validity {
+    pub fn new() -> Self {
+        Validity {
+            words: Vec::new(),
+            len: 0,
+            null_count: 0,
+        }
+    }
+
+    /// A bitmap of `len` slots, all valid.
+    pub fn all_valid(len: usize) -> Self {
+        let mut v = Validity {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+            null_count: 0,
+        };
+        v.mask_tail();
+        v
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.null_count
+    }
+
+    pub fn push(&mut self, valid: bool) {
+        let word = self.len / 64;
+        let bit = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if valid {
+            self.words[word] |= 1u64 << bit;
+        } else {
+            self.null_count += 1;
+        }
+        self.len += 1;
+    }
+
+    pub fn get(&self, index: usize) -> bool {
+        debug_assert!(index < self.len);
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+}
+
+impl Default for Validity {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A typed column of values with a validity bitmap.
+///
+/// The null slots of the data vectors hold an arbitrary default; consumers
+/// must consult the bitmap (or use [`Column::value`], which does).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    Bool {
+        data: Vec<bool>,
+        validity: Validity,
+    },
+    Int {
+        data: Vec<i64>,
+        validity: Validity,
+    },
+    Float {
+        data: Vec<f64>,
+        validity: Validity,
+    },
+    Str {
+        data: Vec<String>,
+        validity: Validity,
+    },
+    Timestamp {
+        data: Vec<i64>,
+        validity: Validity,
+    },
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(ty: DataType) -> Self {
+        match ty {
+            DataType::Bool => Column::Bool {
+                data: Vec::new(),
+                validity: Validity::new(),
+            },
+            DataType::Int => Column::Int {
+                data: Vec::new(),
+                validity: Validity::new(),
+            },
+            DataType::Float => Column::Float {
+                data: Vec::new(),
+                validity: Validity::new(),
+            },
+            DataType::Str => Column::Str {
+                data: Vec::new(),
+                validity: Validity::new(),
+            },
+            DataType::Timestamp => Column::Timestamp {
+                data: Vec::new(),
+                validity: Validity::new(),
+            },
+        }
+    }
+
+    /// An empty column with reserved capacity.
+    pub fn with_capacity(ty: DataType, cap: usize) -> Self {
+        match ty {
+            DataType::Bool => Column::Bool {
+                data: Vec::with_capacity(cap),
+                validity: Validity::new(),
+            },
+            DataType::Int => Column::Int {
+                data: Vec::with_capacity(cap),
+                validity: Validity::new(),
+            },
+            DataType::Float => Column::Float {
+                data: Vec::with_capacity(cap),
+                validity: Validity::new(),
+            },
+            DataType::Str => Column::Str {
+                data: Vec::with_capacity(cap),
+                validity: Validity::new(),
+            },
+            DataType::Timestamp => Column::Timestamp {
+                data: Vec::with_capacity(cap),
+                validity: Validity::new(),
+            },
+        }
+    }
+
+    /// Build a column of type `ty` from values, coercing each one.
+    pub fn from_values(ty: DataType, values: &[Value]) -> Result<Self> {
+        let mut col = Column::with_capacity(ty, values.len());
+        for v in values {
+            col.push(v)?;
+        }
+        Ok(col)
+    }
+
+    /// Convenience constructors from native vectors (all-valid).
+    pub fn from_ints(data: Vec<i64>) -> Self {
+        let validity = Validity::all_valid(data.len());
+        Column::Int { data, validity }
+    }
+
+    pub fn from_floats(data: Vec<f64>) -> Self {
+        let validity = Validity::all_valid(data.len());
+        Column::Float { data, validity }
+    }
+
+    pub fn from_bools(data: Vec<bool>) -> Self {
+        let validity = Validity::all_valid(data.len());
+        Column::Bool { data, validity }
+    }
+
+    pub fn from_strs<S: Into<String>>(data: Vec<S>) -> Self {
+        let data: Vec<String> = data.into_iter().map(Into::into).collect();
+        let validity = Validity::all_valid(data.len());
+        Column::Str { data, validity }
+    }
+
+    pub fn from_timestamps(data: Vec<i64>) -> Self {
+        let validity = Validity::all_valid(data.len());
+        Column::Timestamp { data, validity }
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Bool { .. } => DataType::Bool,
+            Column::Int { .. } => DataType::Int,
+            Column::Float { .. } => DataType::Float,
+            Column::Str { .. } => DataType::Str,
+            Column::Timestamp { .. } => DataType::Timestamp,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.validity().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.validity().null_count()
+    }
+
+    pub fn validity(&self) -> &Validity {
+        match self {
+            Column::Bool { validity, .. }
+            | Column::Int { validity, .. }
+            | Column::Float { validity, .. }
+            | Column::Str { validity, .. }
+            | Column::Timestamp { validity, .. } => validity,
+        }
+    }
+
+    /// Append a value, coercing to the column type; `Null` appends a null.
+    pub fn push(&mut self, value: &Value) -> Result<()> {
+        if value.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        match self {
+            Column::Bool { data, validity } => {
+                data.push(value.as_bool()?);
+                validity.push(true);
+            }
+            Column::Int { data, validity } => {
+                data.push(value.as_int()?);
+                validity.push(true);
+            }
+            Column::Float { data, validity } => {
+                data.push(value.as_float()?);
+                validity.push(true);
+            }
+            Column::Str { data, validity } => {
+                data.push(value.as_str()?.to_owned());
+                validity.push(true);
+            }
+            Column::Timestamp { data, validity } => {
+                data.push(value.as_timestamp()?);
+                validity.push(true);
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a null slot.
+    pub fn push_null(&mut self) {
+        match self {
+            Column::Bool { data, validity } => {
+                data.push(false);
+                validity.push(false);
+            }
+            Column::Int { data, validity } | Column::Timestamp { data, validity } => {
+                data.push(0);
+                validity.push(false);
+            }
+            Column::Float { data, validity } => {
+                data.push(0.0);
+                validity.push(false);
+            }
+            Column::Str { data, validity } => {
+                data.push(String::new());
+                validity.push(false);
+            }
+        }
+    }
+
+    /// The value at `index` (checked).
+    pub fn value(&self, index: usize) -> Result<Value> {
+        if index >= self.len() {
+            return Err(DataError::RowIndexOutOfBounds {
+                index,
+                len: self.len(),
+            });
+        }
+        if !self.validity().get(index) {
+            return Ok(Value::Null);
+        }
+        Ok(match self {
+            Column::Bool { data, .. } => Value::Bool(data[index]),
+            Column::Int { data, .. } => Value::Int(data[index]),
+            Column::Float { data, .. } => Value::Float(data[index]),
+            Column::Str { data, .. } => Value::Str(data[index].clone()),
+            Column::Timestamp { data, .. } => Value::Timestamp(data[index]),
+        })
+    }
+
+    /// Iterate the column as `Value`s (nulls included).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.value(i).expect("index in range"))
+    }
+
+    /// Gather the rows at `indices` into a new column.
+    pub fn take(&self, indices: &[usize]) -> Result<Column> {
+        let mut out = Column::with_capacity(self.data_type(), indices.len());
+        for &i in indices {
+            let v = self.value(i)?;
+            out.push(&v)?;
+        }
+        Ok(out)
+    }
+
+    /// Keep rows where `mask[i]` is true. `mask.len()` must equal `len()`.
+    pub fn filter(&self, mask: &[bool]) -> Result<Column> {
+        if mask.len() != self.len() {
+            return Err(DataError::LengthMismatch {
+                expected: self.len(),
+                found: mask.len(),
+            });
+        }
+        let keep = mask.iter().filter(|&&b| b).count();
+        let mut out = Column::with_capacity(self.data_type(), keep);
+        for (i, &k) in mask.iter().enumerate() {
+            if k {
+                out.push(&self.value(i)?)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// A copy of rows `range.start..range.end`.
+    pub fn slice(&self, start: usize, end: usize) -> Result<Column> {
+        if end > self.len() || start > end {
+            return Err(DataError::RowIndexOutOfBounds {
+                index: end,
+                len: self.len(),
+            });
+        }
+        let indices: Vec<usize> = (start..end).collect();
+        self.take(&indices)
+    }
+
+    /// Append all rows of `other` (same type required).
+    pub fn extend_from(&mut self, other: &Column) -> Result<()> {
+        if self.data_type() != other.data_type() {
+            return Err(DataError::TypeMismatch {
+                expected: self.data_type().name().to_owned(),
+                found: other.data_type().name().to_owned(),
+            });
+        }
+        for v in other.iter_values() {
+            self.push(&v)?;
+        }
+        Ok(())
+    }
+
+    /// Sum of a numeric column, skipping nulls. Errors on non-numeric.
+    pub fn sum_f64(&self) -> Result<f64> {
+        match self {
+            Column::Int { data, validity } => Ok(data
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| validity.get(*i))
+                .map(|(_, &v)| v as f64)
+                .sum()),
+            Column::Float { data, validity } => Ok(data
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| validity.get(*i))
+                .map(|(_, &v)| v)
+                .sum()),
+            other => Err(DataError::TypeMismatch {
+                expected: "numeric".to_owned(),
+                found: other.data_type().name().to_owned(),
+            }),
+        }
+    }
+
+    /// Minimum non-null value, or `Value::Null` on an all-null/empty column.
+    pub fn min(&self) -> Value {
+        self.iter_values()
+            .filter(|v| !v.is_null())
+            .min_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)
+    }
+
+    /// Maximum non-null value, or `Value::Null` on an all-null/empty column.
+    pub fn max(&self) -> Value {
+        self.iter_values()
+            .filter(|v| !v.is_null())
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)
+    }
+
+    /// Borrow the raw float data (and validity) when this is a Float column.
+    pub fn as_floats(&self) -> Result<(&[f64], &Validity)> {
+        match self {
+            Column::Float { data, validity } => Ok((data, validity)),
+            other => Err(DataError::TypeMismatch {
+                expected: "Float".to_owned(),
+                found: other.data_type().name().to_owned(),
+            }),
+        }
+    }
+
+    /// Borrow the raw int data (and validity) when this is an Int column.
+    pub fn as_ints(&self) -> Result<(&[i64], &Validity)> {
+        match self {
+            Column::Int { data, validity } => Ok((data, validity)),
+            other => Err(DataError::TypeMismatch {
+                expected: "Int".to_owned(),
+                found: other.data_type().name().to_owned(),
+            }),
+        }
+    }
+
+    /// Borrow the raw string data (and validity) when this is a Str column.
+    pub fn as_strs(&self) -> Result<(&[String], &Validity)> {
+        match self {
+            Column::Str { data, validity } => Ok((data, validity)),
+            other => Err(DataError::TypeMismatch {
+                expected: "Str".to_owned(),
+                found: other.data_type().name().to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_packs_bits() {
+        let mut v = Validity::new();
+        for i in 0..130 {
+            v.push(i % 3 != 0);
+        }
+        assert_eq!(v.len(), 130);
+        assert!(!v.get(0));
+        assert!(v.get(1));
+        assert_eq!(!v.get(129), 129 % 3 == 0);
+        assert_eq!(v.null_count(), (0..130).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn all_valid_masks_tail() {
+        let v = Validity::all_valid(70);
+        assert_eq!(v.len(), 70);
+        assert_eq!(v.null_count(), 0);
+        assert!(v.get(69));
+    }
+
+    #[test]
+    fn push_and_read_with_nulls() {
+        let mut c = Column::empty(DataType::Int);
+        c.push(&Value::Int(1)).unwrap();
+        c.push(&Value::Null).unwrap();
+        c.push(&Value::Int(3)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.value(0).unwrap(), Value::Int(1));
+        assert_eq!(c.value(1).unwrap(), Value::Null);
+        assert!(c.value(3).is_err());
+    }
+
+    #[test]
+    fn push_rejects_wrong_type() {
+        let mut c = Column::empty(DataType::Int);
+        assert!(c.push(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn float_column_accepts_ints() {
+        let mut c = Column::empty(DataType::Float);
+        c.push(&Value::Int(2)).unwrap();
+        assert_eq!(c.value(0).unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn take_filter_slice() {
+        let c = Column::from_ints(vec![10, 20, 30, 40]);
+        let t = c.take(&[3, 0]).unwrap();
+        assert_eq!(t.value(0).unwrap(), Value::Int(40));
+        assert_eq!(t.value(1).unwrap(), Value::Int(10));
+        let f = c.filter(&[true, false, true, false]).unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.value(1).unwrap(), Value::Int(30));
+        let s = c.slice(1, 3).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.value(0).unwrap(), Value::Int(20));
+        assert!(c.filter(&[true]).is_err());
+        assert!(c.slice(2, 9).is_err());
+    }
+
+    #[test]
+    fn aggregates_skip_nulls() {
+        let c = Column::from_values(
+            DataType::Float,
+            &[Value::Float(1.0), Value::Null, Value::Float(3.0)],
+        )
+        .unwrap();
+        assert_eq!(c.sum_f64().unwrap(), 4.0);
+        assert_eq!(c.min(), Value::Float(1.0));
+        assert_eq!(c.max(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn aggregates_on_empty_and_all_null() {
+        let c = Column::empty(DataType::Int);
+        assert_eq!(c.min(), Value::Null);
+        let c = Column::from_values(DataType::Int, &[Value::Null, Value::Null]).unwrap();
+        assert_eq!(c.max(), Value::Null);
+        assert_eq!(c.sum_f64().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let c = Column::from_strs(vec!["a", "b"]);
+        assert!(c.sum_f64().is_err());
+    }
+
+    #[test]
+    fn extend_from_same_type_only() {
+        let mut a = Column::from_ints(vec![1]);
+        a.extend_from(&Column::from_ints(vec![2, 3])).unwrap();
+        assert_eq!(a.len(), 3);
+        assert!(a.extend_from(&Column::from_strs(vec!["x"])).is_err());
+    }
+
+    #[test]
+    fn raw_accessors() {
+        let c = Column::from_floats(vec![1.5, 2.5]);
+        let (d, v) = c.as_floats().unwrap();
+        assert_eq!(d, &[1.5, 2.5]);
+        assert_eq!(v.null_count(), 0);
+        assert!(c.as_ints().is_err());
+        let c = Column::from_strs(vec!["a"]);
+        assert_eq!(c.as_strs().unwrap().0[0], "a");
+    }
+}

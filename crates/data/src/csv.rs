@@ -1,0 +1,337 @@
+//! Minimal CSV reader/writer with quoting and type inference.
+//!
+//! Implements the RFC 4180 subset the TOREADOR scenarios need: comma
+//! separation, `"` quoting with `""` escapes, a header line, and embedded
+//! newlines inside quoted fields.
+
+use crate::error::{DataError, Result};
+use crate::schema::{Field, Schema};
+use crate::table::{Table, TableBuilder};
+use crate::value::{DataType, Value};
+
+/// Split raw CSV text into records of fields, honouring quotes.
+fn tokenize(input: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(DataError::Parse {
+                            line,
+                            message: "quote inside unquoted field".to_owned(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Parse {
+            line,
+            message: "unterminated quote".to_owned(),
+        });
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Infer the narrowest type that parses every non-empty token in a column.
+///
+/// Preference order: Bool, Int, Float, Str. An all-empty column infers Str.
+fn infer_type(tokens: impl Iterator<Item = impl AsRef<str>> + Clone) -> DataType {
+    let non_empty = tokens.filter(|t| !t.as_ref().is_empty());
+    let mut any = false;
+    let mut all_bool = true;
+    let mut all_int = true;
+    let mut all_float = true;
+    for t in non_empty {
+        any = true;
+        let t = t.as_ref();
+        all_bool &= matches!(t, "true" | "false" | "TRUE" | "FALSE" | "True" | "False");
+        all_int &= t.parse::<i64>().is_ok();
+        all_float &= t.parse::<f64>().is_ok();
+    }
+    if !any {
+        DataType::Str
+    } else if all_bool {
+        DataType::Bool
+    } else if all_int {
+        DataType::Int
+    } else if all_float {
+        DataType::Float
+    } else {
+        DataType::Str
+    }
+}
+
+/// Parse CSV text with a header row, inferring column types.
+pub fn read_csv(input: &str) -> Result<Table> {
+    let records = tokenize(input)?;
+    let (header, rows) = records.split_first().ok_or(DataError::Parse {
+        line: 1,
+        message: "empty input".to_owned(),
+    })?;
+    let width = header.len();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != width {
+            return Err(DataError::Parse {
+                line: i + 2,
+                message: format!("expected {width} fields, found {}", r.len()),
+            });
+        }
+    }
+    let types: Vec<DataType> = (0..width)
+        .map(|c| infer_type(rows.iter().map(move |r| r[c].as_str())))
+        .collect();
+    let schema = Schema::new(
+        header
+            .iter()
+            .zip(&types)
+            .map(|(name, &ty)| Field::new(name.trim(), ty))
+            .collect(),
+    )?;
+    read_csv_with_schema_records(rows, schema)
+}
+
+/// Parse CSV text with a header row against a known schema.
+///
+/// The header must contain every schema column (extra columns are ignored).
+pub fn read_csv_with_schema(input: &str, schema: &Schema) -> Result<Table> {
+    let records = tokenize(input)?;
+    let (header, rows) = records.split_first().ok_or(DataError::Parse {
+        line: 1,
+        message: "empty input".to_owned(),
+    })?;
+    let positions: Vec<usize> = schema
+        .fields()
+        .iter()
+        .map(|f| {
+            header
+                .iter()
+                .position(|h| h.trim() == f.name)
+                .ok_or_else(|| DataError::ColumnNotFound(f.name.clone()))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let mut builder = TableBuilder::with_capacity(schema.clone(), rows.len());
+    for (i, rec) in rows.iter().enumerate() {
+        let row: Vec<Value> = positions
+            .iter()
+            .zip(schema.fields())
+            .map(|(&p, f)| {
+                rec.get(p)
+                    .ok_or(DataError::Parse {
+                        line: i + 2,
+                        message: "short record".to_owned(),
+                    })
+                    .and_then(|tok| {
+                        Value::parse_as(tok, f.data_type).map_err(|e| DataError::Parse {
+                            line: i + 2,
+                            message: e.to_string(),
+                        })
+                    })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        builder.push_row(row)?;
+    }
+    builder.finish()
+}
+
+fn read_csv_with_schema_records(rows: &[Vec<String>], schema: Schema) -> Result<Table> {
+    let mut builder = TableBuilder::with_capacity(schema.clone(), rows.len());
+    for (i, rec) in rows.iter().enumerate() {
+        let row: Vec<Value> = rec
+            .iter()
+            .zip(schema.fields())
+            .map(|(tok, f)| {
+                Value::parse_as(tok, f.data_type).map_err(|e| DataError::Parse {
+                    line: i + 2,
+                    message: e.to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        builder.push_row(row)?;
+    }
+    builder.finish()
+}
+
+fn needs_quoting(s: &str) -> bool {
+    s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r')
+}
+
+fn quote(s: &str) -> String {
+    if needs_quoting(s) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Serialise a table to CSV text with a header row.
+pub fn write_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names = table.schema().names();
+    out.push_str(&names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in table.iter_rows() {
+        let line = row
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => quote(s),
+                other => other.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_round_trip_with_inference() {
+        let text = "id,name,score\n1,ada,9.5\n2,bob,7\n";
+        let t = read_csv(text).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().field("id").unwrap().data_type, DataType::Int);
+        assert_eq!(
+            t.schema().field("score").unwrap().data_type,
+            DataType::Float
+        );
+        assert_eq!(t.schema().field("name").unwrap().data_type, DataType::Str);
+        let back = read_csv(&write_csv(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_newlines() {
+        let text = "a,b\n\"x,y\",\"line1\nline2\"\n\"he said \"\"hi\"\"\",z\n";
+        let t = read_csv(text).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(0, "a").unwrap(), Value::Str("x,y".into()));
+        assert_eq!(t.value(0, "b").unwrap(), Value::Str("line1\nline2".into()));
+        assert_eq!(
+            t.value(1, "a").unwrap(),
+            Value::Str("he said \"hi\"".into())
+        );
+    }
+
+    #[test]
+    fn write_quotes_when_needed() {
+        let t = read_csv("a\n\"x,y\"\n").unwrap();
+        let out = write_csv(&t);
+        assert!(out.contains("\"x,y\""));
+    }
+
+    #[test]
+    fn empty_tokens_become_null() {
+        let t = read_csv("a,b\n1,\n,2\n").unwrap();
+        assert_eq!(t.value(0, "b").unwrap(), Value::Null);
+        assert_eq!(t.value(1, "a").unwrap(), Value::Null);
+        assert_eq!(t.schema().field("a").unwrap().data_type, DataType::Int);
+    }
+
+    #[test]
+    fn bool_inference() {
+        let t = read_csv("flag\ntrue\nfalse\n").unwrap();
+        assert_eq!(t.schema().field("flag").unwrap().data_type, DataType::Bool);
+        assert_eq!(t.value(0, "flag").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn mixed_numeric_becomes_float_then_str() {
+        let t = read_csv("x\n1\n2.5\n").unwrap();
+        assert_eq!(t.schema().field("x").unwrap().data_type, DataType::Float);
+        let t = read_csv("x\n1\nhello\n").unwrap();
+        assert_eq!(t.schema().field("x").unwrap().data_type, DataType::Str);
+    }
+
+    #[test]
+    fn ragged_rows_error_with_line_number() {
+        let err = read_csv("a,b\n1,2\n3\n").unwrap_err();
+        match err {
+            DataError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(read_csv("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn crlf_tolerated_and_missing_trailing_newline() {
+        let t = read_csv("a,b\r\n1,2\r\n3,4").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(1, "b").unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn schema_directed_read_projects_and_types() {
+        let schema = Schema::new(vec![
+            Field::new("score", DataType::Float),
+            Field::new("id", DataType::Int),
+        ])
+        .unwrap();
+        let t = read_csv_with_schema("id,name,score\n1,ada,9.5\n", &schema).unwrap();
+        assert_eq!(t.schema().names(), vec!["score", "id"]);
+        assert_eq!(t.value(0, "score").unwrap(), Value::Float(9.5));
+        let missing = Schema::new(vec![Field::new("zzz", DataType::Int)]).unwrap();
+        assert!(read_csv_with_schema("id\n1\n", &missing).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(read_csv("").is_err());
+    }
+
+    #[test]
+    fn header_only_gives_empty_table() {
+        let t = read_csv("a,b\n").unwrap();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_columns(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type shared by the data substrate.
+
+use std::fmt;
+
+/// Errors produced by the data layer.
+///
+/// The data layer is the lowest level of the workspace, so this type carries
+/// enough structure for callers (the dataflow engine, the analytics library)
+/// to react programmatically rather than string-match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A column name was not found in a schema.
+    ColumnNotFound(String),
+    /// A column index was out of bounds for a schema.
+    ColumnIndexOutOfBounds { index: usize, width: usize },
+    /// A row index was out of bounds for a table or column.
+    RowIndexOutOfBounds { index: usize, len: usize },
+    /// A value had the wrong type for the operation.
+    TypeMismatch { expected: String, found: String },
+    /// Two schemas that were required to be identical differ.
+    SchemaMismatch { left: String, right: String },
+    /// Columns of a table had inconsistent lengths.
+    LengthMismatch { expected: usize, found: usize },
+    /// A schema declared the same column name twice.
+    DuplicateColumn(String),
+    /// CSV (or other textual) input could not be parsed.
+    Parse { line: usize, message: String },
+    /// An arithmetic or aggregation operation was invalid (e.g. empty input).
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            DataError::ColumnIndexOutOfBounds { index, width } => {
+                write!(f, "column index {index} out of bounds for width {width}")
+            }
+            DataError::RowIndexOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for length {len}")
+            }
+            DataError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DataError::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch: {left} vs {right}")
+            }
+            DataError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected}, found {found}")
+            }
+            DataError::DuplicateColumn(name) => write!(f, "duplicate column: {name:?}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            DataError::Invalid(message) => write!(f, "invalid operation: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Convenience result alias for the data layer.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = DataError::ColumnNotFound("price".into());
+        assert_eq!(e.to_string(), "column not found: \"price\"");
+        let e = DataError::TypeMismatch {
+            expected: "Int".into(),
+            found: "Str".into(),
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected Int, found Str");
+        let e = DataError::Parse {
+            line: 3,
+            message: "unterminated quote".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            DataError::LengthMismatch {
+                expected: 2,
+                found: 3
+            },
+            DataError::LengthMismatch {
+                expected: 2,
+                found: 3
+            }
+        );
+        assert_ne!(
+            DataError::ColumnNotFound("a".into()),
+            DataError::ColumnNotFound("b".into())
+        );
+    }
+}

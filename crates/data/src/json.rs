@@ -1,0 +1,267 @@
+//! JSON Lines ingestion and emission.
+//!
+//! The TOREADOR methodology paper's companion work ([2] in the paper,
+//! "Facing Big Data Variety in a Model Driven Approach") is about exactly
+//! this: campaigns must absorb heterogeneous source formats. Alongside
+//! [`crate::csv`], this module reads newline-delimited JSON objects with
+//! schema inference (union of keys, widened types, missing keys as null)
+//! and writes tables back out as JSONL.
+
+use serde_json::Value as Json;
+
+use crate::error::{DataError, Result};
+use crate::schema::{Field, Schema};
+use crate::table::{Table, TableBuilder};
+use crate::value::{DataType, Value};
+
+fn json_to_value(j: &Json) -> Result<Value> {
+    Ok(match j {
+        Json::Null => Value::Null,
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                Value::Int(i)
+            } else {
+                Value::Float(n.as_f64().ok_or_else(|| DataError::Parse {
+                    line: 0,
+                    message: format!("unrepresentable number {n}"),
+                })?)
+            }
+        }
+        Json::String(s) => Value::Str(s.clone()),
+        other => {
+            return Err(DataError::Parse {
+                line: 0,
+                message: format!("nested JSON not supported in tabular ingest: {other}"),
+            })
+        }
+    })
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::from(*i),
+        Value::Float(x) => serde_json::Number::from_f64(*x)
+            .map(Json::Number)
+            .unwrap_or(Json::Null),
+        Value::Str(s) => Json::String(s.clone()),
+        Value::Timestamp(t) => Json::from(*t),
+    }
+}
+
+/// Read newline-delimited JSON objects, inferring a schema.
+///
+/// Column set is the union of keys (sorted); types unify across records
+/// (Int widens to Float, anything else conflicting becomes Str); keys
+/// missing from a record read as null.
+pub fn read_jsonl(input: &str) -> Result<Table> {
+    let mut records: Vec<serde_json::Map<String, Json>> = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed: Json = serde_json::from_str(line).map_err(|e| DataError::Parse {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        match parsed {
+            Json::Object(map) => records.push(map),
+            other => {
+                return Err(DataError::Parse {
+                    line: i + 1,
+                    message: format!("expected a JSON object per line, got {other}"),
+                })
+            }
+        }
+    }
+    if records.is_empty() {
+        return Err(DataError::Parse {
+            line: 1,
+            message: "empty JSONL input".to_owned(),
+        });
+    }
+    // Union of keys, sorted for determinism.
+    let mut keys: Vec<String> = records.iter().flat_map(|r| r.keys().cloned()).collect();
+    keys.sort();
+    keys.dedup();
+    // Infer per-column types.
+    let mut types: Vec<Option<DataType>> = vec![None; keys.len()];
+    for r in &records {
+        for (k, slot) in keys.iter().zip(types.iter_mut()) {
+            let Some(j) = r.get(k) else { continue };
+            let v = json_to_value(j)?;
+            let Some(t) = v.data_type() else { continue };
+            *slot = Some(match slot.take() {
+                None => t,
+                Some(prev) => prev.unify(t).unwrap_or(DataType::Str),
+            });
+        }
+    }
+    let fields: Vec<Field> = keys
+        .iter()
+        .zip(&types)
+        .map(|(k, t)| Field::new(k.clone(), t.unwrap_or(DataType::Str)))
+        .collect();
+    let schema = Schema::new(fields)?;
+    let mut builder = TableBuilder::with_capacity(schema.clone(), records.len());
+    for r in &records {
+        let row: Vec<Value> = keys
+            .iter()
+            .zip(schema.fields())
+            .map(|(k, f)| {
+                let Some(j) = r.get(k) else {
+                    return Ok(Value::Null);
+                };
+                let v = json_to_value(j)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                // Coerce into the unified column type (Str absorbs anything).
+                match v.coerce(f.data_type) {
+                    Ok(c) => Ok(c),
+                    Err(_) => Ok(Value::Str(v.to_string())),
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        builder.push_row(row)?;
+    }
+    builder.finish()
+}
+
+/// Serialise a table as newline-delimited JSON objects.
+pub fn write_jsonl(table: &Table) -> String {
+    let names = table.schema().names();
+    let mut out = String::new();
+    for row in table.iter_rows() {
+        let mut map = serde_json::Map::with_capacity(names.len());
+        for (name, v) in names.iter().zip(&row) {
+            map.insert(name.to_string(), value_to_json(v));
+        }
+        out.push_str(&Json::Object(map).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_homogeneous_records() {
+        let text = r#"{"id": 1, "name": "ada", "score": 9.5}
+{"id": 2, "name": "bob", "score": 7.0}"#;
+        let t = read_jsonl(text).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().names(), vec!["id", "name", "score"]);
+        assert_eq!(t.schema().field("id").unwrap().data_type, DataType::Int);
+        assert_eq!(
+            t.schema().field("score").unwrap().data_type,
+            DataType::Float
+        );
+        assert_eq!(t.value(0, "name").unwrap(), Value::Str("ada".into()));
+    }
+
+    #[test]
+    fn variety_missing_keys_become_null() {
+        let text = r#"{"a": 1, "b": "x"}
+{"a": 2}
+{"b": "y", "c": true}"#;
+        let t = read_jsonl(text).unwrap();
+        assert_eq!(t.schema().names(), vec!["a", "b", "c"]);
+        assert_eq!(t.value(1, "b").unwrap(), Value::Null);
+        assert_eq!(t.value(0, "c").unwrap(), Value::Null);
+        assert_eq!(t.value(2, "c").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn variety_conflicting_types_widen() {
+        // Int + Float unify to Float.
+        let t = read_jsonl("{\"x\": 1}\n{\"x\": 2.5}").unwrap();
+        assert_eq!(t.schema().field("x").unwrap().data_type, DataType::Float);
+        assert_eq!(t.value(0, "x").unwrap(), Value::Float(1.0));
+        // Int + Str fall back to Str.
+        let t = read_jsonl("{\"x\": 1}\n{\"x\": \"hello\"}").unwrap();
+        assert_eq!(t.schema().field("x").unwrap().data_type, DataType::Str);
+        assert_eq!(t.value(0, "x").unwrap(), Value::Str("1".into()));
+    }
+
+    #[test]
+    fn explicit_nulls_and_blank_lines_tolerated() {
+        let t = read_jsonl("{\"x\": null}\n\n{\"x\": 3}\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(0, "x").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn rejects_bad_input_with_line_numbers() {
+        match read_jsonl("{\"a\": 1}\nnot json\n") {
+            Err(DataError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(read_jsonl("[1, 2, 3]\n").is_err(), "arrays rejected");
+        assert!(
+            read_jsonl("{\"a\": {\"nested\": 1}}\n").is_err(),
+            "nesting rejected"
+        );
+        assert!(read_jsonl("").is_err(), "empty rejected");
+    }
+
+    #[test]
+    fn round_trip_through_jsonl() {
+        let original = crate::generate::health_records(50, 3);
+        let text = write_jsonl(&original);
+        let back = read_jsonl(&text).unwrap();
+        assert_eq!(back.num_rows(), original.num_rows());
+        // Keys come back sorted; values survive per column.
+        for name in original.schema().names() {
+            let a = original.column(name).unwrap();
+            let b = back.column(name).unwrap();
+            for (x, y) in a.iter_values().zip(b.iter_values()) {
+                match (x.as_float(), y.as_float()) {
+                    (Ok(fx), Ok(fy)) => assert!((fx - fy).abs() < 1e-9),
+                    _ => assert_eq!(x.to_string(), y.to_string()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csv_and_jsonl_agree_on_the_same_data() {
+        // Variety claim: two formats of the same records produce tables
+        // with identical contents (modulo column order, which is sorted
+        // for JSONL).
+        let t = crate::generate::clickstream(80, 9);
+        let via_csv = crate::csv::read_csv(&crate::csv::write_csv(&t)).unwrap();
+        let via_json = read_jsonl(&write_jsonl(&t)).unwrap();
+        assert_eq!(via_csv.num_rows(), via_json.num_rows());
+        for name in t.schema().names() {
+            let a = via_csv.column(name).unwrap();
+            let b = via_json.column(name).unwrap();
+            for (x, y) in a.iter_values().zip(b.iter_values()) {
+                match (x.as_float(), y.as_float()) {
+                    // Same f64 may print differently (shortest-repr vs
+                    // Display); compare numerically.
+                    (Ok(fx), Ok(fy)) => assert!((fx - fy).abs() < 1e-12, "column {name}"),
+                    _ => assert_eq!(x.to_string(), y.to_string(), "column {name}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_serialise_as_integers() {
+        use crate::schema::{Field, Schema};
+        let schema = Schema::new(vec![Field::new("ts", DataType::Timestamp)]).unwrap();
+        let t = Table::from_rows(schema, vec![vec![Value::Timestamp(123)]]).unwrap();
+        let text = write_jsonl(&t);
+        assert!(text.contains("123"));
+        // They come back as Int (JSON has no timestamp type) — a documented
+        // variety loss callers can re-cast.
+        let back = read_jsonl(&text).unwrap();
+        assert_eq!(back.schema().field("ts").unwrap().data_type, DataType::Int);
+    }
+}

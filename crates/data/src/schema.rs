@@ -1,0 +1,244 @@
+//! Named, typed record schemas.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DataError, Result};
+use crate::value::DataType;
+
+/// One named, typed column in a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+    /// Whether nulls are permitted. Enforced by [`crate::table::TableBuilder`].
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    /// A non-nullable field.
+    pub fn required(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+}
+
+/// An ordered collection of uniquely named fields.
+///
+/// Schemas are immutable and cheaply cloneable (`Arc` inside) — the dataflow
+/// engine attaches one to every plan node and every batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(DataError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema {
+            fields: Arc::new(fields),
+        })
+    }
+
+    /// An empty schema (zero columns).
+    pub fn empty() -> Self {
+        Schema {
+            fields: Arc::new(Vec::new()),
+        }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| DataError::ColumnNotFound(name.to_owned()))
+    }
+
+    /// The field with the given name.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// The field at the given index.
+    pub fn field_at(&self, index: usize) -> Result<&Field> {
+        self.fields
+            .get(index)
+            .ok_or(DataError::ColumnIndexOutOfBounds {
+                index,
+                width: self.fields.len(),
+            })
+    }
+
+    /// True if a column with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+
+    /// All column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// A schema containing only the named columns, in the order given.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let fields = names
+            .iter()
+            .map(|n| self.field(n).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Schema::new(fields)
+    }
+
+    /// Concatenate two schemas (for joins); duplicate names from the right
+    /// side are disambiguated with a `right_prefix`.
+    pub fn join(&self, right: &Schema, right_prefix: &str) -> Result<Schema> {
+        let mut fields: Vec<Field> = self.fields.to_vec();
+        for f in right.fields() {
+            let mut f = f.clone();
+            if self.contains(&f.name) {
+                f.name = format!("{right_prefix}{}", f.name);
+            }
+            fields.push(f);
+        }
+        Schema::new(fields)
+    }
+
+    /// Append a field, rejecting duplicates.
+    pub fn with_field(&self, field: Field) -> Result<Schema> {
+        let mut fields = self.fields.to_vec();
+        fields.push(field);
+        Schema::new(fields)
+    }
+
+    /// Verify two schemas are identical (for unions).
+    pub fn ensure_same(&self, other: &Schema) -> Result<()> {
+        if self == other {
+            Ok(())
+        } else {
+            Err(DataError::SchemaMismatch {
+                left: self.to_string(),
+                right: other.to_string(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    /// Renders as `(name: Type, required: Type!)` — `!` marks non-nullable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.data_type)?;
+            if !field.nullable {
+                write!(f, "!")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            Field::required("a", DataType::Int),
+            Field::new("b", DataType::Str),
+            Field::new("c", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("x", DataType::Str),
+        ])
+        .unwrap_err();
+        assert_eq!(err, DataError::DuplicateColumn("x".into()));
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = abc();
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(s.index_of("zzz").is_err());
+        assert_eq!(s.field_at(2).unwrap().name, "c");
+        assert!(s.field_at(3).is_err());
+        assert!(s.contains("a") && !s.contains("d"));
+    }
+
+    #[test]
+    fn projection_reorders() {
+        let s = abc().project(&["c", "a"]).unwrap();
+        assert_eq!(s.names(), vec!["c", "a"]);
+        assert!(abc().project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn join_disambiguates() {
+        let left = abc();
+        let right = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("d", DataType::Bool),
+        ])
+        .unwrap();
+        let joined = left.join(&right, "r_").unwrap();
+        assert_eq!(joined.names(), vec!["a", "b", "c", "r_a", "d"]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(abc().to_string(), "(a: Int!, b: Str, c: Float)");
+    }
+
+    #[test]
+    fn ensure_same_detects_difference() {
+        assert!(abc().ensure_same(&abc()).is_ok());
+        let other = abc().project(&["a", "b"]).unwrap();
+        assert!(abc().ensure_same(&other).is_err());
+    }
+
+    #[test]
+    fn with_field_appends() {
+        let s = abc().with_field(Field::new("d", DataType::Bool)).unwrap();
+        assert_eq!(s.len(), 4);
+        assert!(abc().with_field(Field::new("a", DataType::Bool)).is_err());
+    }
+}

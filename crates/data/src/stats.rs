@@ -1,0 +1,322 @@
+//! Descriptive statistics over columns and f64 slices.
+//!
+//! Used by the Labs run-comparison machinery (consequence matrices) and by
+//! the analytics library's evaluation module.
+
+use crate::column::Column;
+use crate::error::{DataError, Result};
+
+/// Summary statistics of a numeric sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    pub nulls: usize,
+    pub mean: f64,
+    /// Population variance (n denominator).
+    pub variance: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Welford one-pass mean/variance accumulator.
+///
+/// Numerically stable (no catastrophic cancellation on large means) and
+/// mergeable, so partitions can be summarised independently and combined.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator (parallel variance combination).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance; 0 for fewer than 2 samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Summarise a numeric column, skipping nulls.
+pub fn summarize(column: &Column) -> Result<Summary> {
+    let mut acc = Welford::new();
+    let mut nulls = 0usize;
+    for v in column.iter_values() {
+        if v.is_null() {
+            nulls += 1;
+        } else {
+            acc.push(v.as_float()?);
+        }
+    }
+    if acc.count() == 0 {
+        return Err(DataError::Invalid(
+            "summary of empty/all-null column".to_owned(),
+        ));
+    }
+    Ok(Summary {
+        count: acc.count() as usize,
+        nulls,
+        mean: acc.mean(),
+        variance: acc.variance(),
+        min: acc.min(),
+        max: acc.max(),
+    })
+}
+
+/// The q-quantile (0..=1) of a sample, linear interpolation between ranks.
+pub fn quantile(sample: &[f64], q: f64) -> Result<f64> {
+    if sample.is_empty() {
+        return Err(DataError::Invalid("quantile of empty sample".to_owned()));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(DataError::Invalid(format!("quantile {q} outside [0,1]")));
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Pearson correlation of two equal-length samples.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(DataError::LengthMismatch {
+            expected: xs.len(),
+            found: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(DataError::Invalid(
+            "correlation needs >=2 points".to_owned(),
+        ));
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return Err(DataError::Invalid(
+            "correlation undefined for constant sample".to_owned(),
+        ));
+    }
+    Ok(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// An equal-width histogram over a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    pub lo: f64,
+    pub hi: f64,
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Bucket `sample` into `bins` equal-width bins spanning its range.
+    pub fn build(sample: &[f64], bins: usize) -> Result<Histogram> {
+        if sample.is_empty() || bins == 0 {
+            return Err(DataError::Invalid(
+                "histogram needs data and >=1 bin".to_owned(),
+            ));
+        }
+        let lo = sample.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / bins as f64).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0u64; bins];
+        for &x in sample {
+            let mut b = ((x - lo) / width) as usize;
+            if b >= bins {
+                b = bins - 1; // x == hi lands in the last bin
+            }
+            counts[b] += 1;
+        }
+        Ok(Histogram { lo, hi, counts })
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), 100);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a.mean(), before.mean());
+        let mut empty = Welford::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 1);
+    }
+
+    #[test]
+    fn summarize_skips_nulls_and_errors_on_empty() {
+        let c = Column::from_values(
+            crate::value::DataType::Float,
+            &[Value::Float(1.0), Value::Null, Value::Float(3.0)],
+        )
+        .unwrap();
+        let s = summarize(&c).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.mean, 2.0);
+        let empty = Column::empty(crate::value::DataType::Float);
+        assert!(summarize(&empty).is_err());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 2.5);
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&xs, 1.5).is_err());
+    }
+
+    #[test]
+    fn pearson_detects_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &[1.0, 1.0, 1.0]).is_err());
+        assert!(pearson(&xs, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn histogram_covers_range() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::build(&xs, 10).unwrap();
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.counts, vec![10; 10]);
+        assert_eq!(h.lo, 0.0);
+        assert_eq!(h.hi, 99.0);
+    }
+
+    #[test]
+    fn histogram_constant_sample() {
+        let h = Histogram::build(&[5.0, 5.0, 5.0], 4).unwrap();
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_invalid_inputs() {
+        assert!(Histogram::build(&[], 4).is_err());
+        assert!(Histogram::build(&[1.0], 0).is_err());
+    }
+}

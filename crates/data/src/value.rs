@@ -1,0 +1,434 @@
+//! Dynamically typed scalar values and their data types.
+//!
+//! `Value` is the row-oriented currency of the workspace: expression
+//! evaluation, shuffles and CSV ingestion all speak `Value`. Bulk storage
+//! uses the typed [`crate::column::Column`] representation instead.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DataError, Result};
+
+/// The static type of a column or value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Str,
+    /// Milliseconds since the Unix epoch.
+    Timestamp,
+}
+
+impl DataType {
+    /// Human-readable name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Bool => "Bool",
+            DataType::Int => "Int",
+            DataType::Float => "Float",
+            DataType::Str => "Str",
+            DataType::Timestamp => "Timestamp",
+        }
+    }
+
+    /// Whether values of this type support arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// The common supertype of two types under implicit coercion, if any.
+    ///
+    /// Int widens to Float; everything else must match exactly.
+    pub fn unify(self, other: DataType) -> Option<DataType> {
+        use DataType::*;
+        match (self, other) {
+            (a, b) if a == b => Some(a),
+            (Int, Float) | (Float, Int) => Some(Float),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dynamically typed scalar, nullable via [`Value::Null`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Milliseconds since the Unix epoch.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The value's data type, or `None` for `Null` (null is typeless).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract a bool, failing on any other variant.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(type_mismatch(DataType::Bool, other)),
+        }
+    }
+
+    /// Extract an integer, failing on any other variant.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(type_mismatch(DataType::Int, other)),
+        }
+    }
+
+    /// Extract a float, transparently widening integers.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(type_mismatch(DataType::Float, other)),
+        }
+    }
+
+    /// Extract a string slice, failing on any other variant.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(type_mismatch(DataType::Str, other)),
+        }
+    }
+
+    /// Extract a timestamp (ms since epoch), failing on any other variant.
+    pub fn as_timestamp(&self) -> Result<i64> {
+        match self {
+            Value::Timestamp(t) => Ok(*t),
+            other => Err(type_mismatch(DataType::Timestamp, other)),
+        }
+    }
+
+    /// Coerce this value to `target`, applying the implicit widenings of
+    /// [`DataType::unify`]. Null coerces to any type.
+    pub fn coerce(&self, target: DataType) -> Result<Value> {
+        match (self, target) {
+            (Value::Null, _) => Ok(Value::Null),
+            (v, t) if v.data_type() == Some(t) => Ok(v.clone()),
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
+            (v, t) => Err(type_mismatch(t, v)),
+        }
+    }
+
+    /// Parse a textual token into the given type. Empty strings parse to
+    /// `Null` for every type except `Str`.
+    pub fn parse_as(token: &str, ty: DataType) -> Result<Value> {
+        if token.is_empty() && ty != DataType::Str {
+            return Ok(Value::Null);
+        }
+        let bad = |why: &str| DataError::Parse {
+            line: 0,
+            message: format!("{why}: {token:?}"),
+        };
+        match ty {
+            DataType::Bool => match token {
+                "true" | "TRUE" | "True" | "1" => Ok(Value::Bool(true)),
+                "false" | "FALSE" | "False" | "0" => Ok(Value::Bool(false)),
+                _ => Err(bad("invalid bool")),
+            },
+            DataType::Int => token
+                .parse()
+                .map(Value::Int)
+                .map_err(|_| bad("invalid int")),
+            DataType::Float => token
+                .parse()
+                .map(Value::Float)
+                .map_err(|_| bad("invalid float")),
+            DataType::Str => Ok(Value::Str(token.to_owned())),
+            DataType::Timestamp => token
+                .parse()
+                .map(Value::Timestamp)
+                .map_err(|_| bad("invalid timestamp")),
+        }
+    }
+
+    /// Total order over values, used for sorting and range partitioning.
+    ///
+    /// Null sorts first; distinct types sort by a fixed type rank so mixed
+    /// columns (which the engine never produces, but user data might) are
+    /// still totally ordered. Float NaN sorts after every other float.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+                Value::Timestamp(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Timestamp(a), Value::Timestamp(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Equality for grouping and joins: numerically tolerant across
+    /// Int/Float, null equals null (SQL would disagree; grouping semantics
+    /// want all nulls in one group).
+    pub fn group_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// A stable hash for partitioning. Int and Float that compare equal hash
+    /// equally (integral floats hash as their integer value).
+    pub fn hash_code(&self) -> u64 {
+        // FNV-1a over a tagged byte encoding; cheap, deterministic across
+        // processes (unlike `DefaultHasher`), and good enough for shuffles.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        fn fnv(bytes: impl IntoIterator<Item = u8>, mut h: u64) -> u64 {
+            for b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        match self {
+            Value::Null => fnv([0u8], OFFSET),
+            Value::Bool(b) => fnv([1u8, *b as u8], OFFSET),
+            Value::Int(i) => fnv([2u8].into_iter().chain(i.to_le_bytes()), OFFSET),
+            Value::Float(x) => {
+                // Integral floats must hash like ints for group_eq coherence.
+                if x.fract() == 0.0
+                    && x.is_finite()
+                    && *x >= i64::MIN as f64
+                    && *x <= i64::MAX as f64
+                {
+                    fnv([2u8].into_iter().chain((*x as i64).to_le_bytes()), OFFSET)
+                } else {
+                    fnv([3u8].into_iter().chain(x.to_bits().to_le_bytes()), OFFSET)
+                }
+            }
+            Value::Str(s) => fnv([4u8].into_iter().chain(s.bytes()), OFFSET),
+            Value::Timestamp(t) => fnv([5u8].into_iter().chain(t.to_le_bytes()), OFFSET),
+        }
+    }
+}
+
+fn type_mismatch(expected: DataType, found: &Value) -> DataError {
+    DataError::TypeMismatch {
+        expected: expected.name().to_owned(),
+        found: found
+            .data_type()
+            .map(|t| t.name().to_owned())
+            .unwrap_or_else(|| "Null".to_owned()),
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.group_eq(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str(""),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Timestamp(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        o.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+/// A row is an owned vector of values. Rows are the shuffle currency.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Value::Int(3).as_int().unwrap(), 3);
+        assert_eq!(Value::Int(3).as_float().unwrap(), 3.0);
+        assert!(Value::Str("x".into()).as_int().is_err());
+        assert!(Value::Null.as_bool().is_err());
+        assert_eq!(Value::Timestamp(12).as_timestamp().unwrap(), 12);
+    }
+
+    #[test]
+    fn unify_widens_int_to_float() {
+        assert_eq!(DataType::Int.unify(DataType::Float), Some(DataType::Float));
+        assert_eq!(DataType::Float.unify(DataType::Int), Some(DataType::Float));
+        assert_eq!(DataType::Int.unify(DataType::Int), Some(DataType::Int));
+        assert_eq!(DataType::Str.unify(DataType::Int), None);
+    }
+
+    #[test]
+    fn coercion_follows_unify() {
+        assert_eq!(
+            Value::Int(2).coerce(DataType::Float).unwrap(),
+            Value::Float(2.0)
+        );
+        assert_eq!(Value::Null.coerce(DataType::Int).unwrap(), Value::Null);
+        assert!(Value::Str("a".into()).coerce(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn parse_as_handles_empty_and_bad_tokens() {
+        assert_eq!(Value::parse_as("", DataType::Int).unwrap(), Value::Null);
+        assert_eq!(
+            Value::parse_as("", DataType::Str).unwrap(),
+            Value::Str(String::new())
+        );
+        assert_eq!(
+            Value::parse_as("42", DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::parse_as("4.5", DataType::Float).unwrap(),
+            Value::Float(4.5)
+        );
+        assert_eq!(
+            Value::parse_as("true", DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(Value::parse_as("4.5", DataType::Int).is_err());
+        assert!(Value::parse_as("maybe", DataType::Bool).is_err());
+    }
+
+    #[test]
+    fn total_cmp_orders_nulls_first_and_nan_last() {
+        let mut vs = [
+            Value::Float(f64::NAN),
+            Value::Float(1.0),
+            Value::Null,
+            Value::Int(0),
+        ];
+        vs.sort_by(|a, b| a.total_cmp(b));
+        assert!(vs[0].is_null());
+        assert_eq!(vs[1], Value::Int(0));
+        assert_eq!(vs[2], Value::Float(1.0));
+        assert!(matches!(vs[3], Value::Float(x) if x.is_nan()));
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert!(Value::Int(2).group_eq(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn hash_consistent_with_group_eq_for_integral_floats() {
+        assert_eq!(Value::Int(7).hash_code(), Value::Float(7.0).hash_code());
+        assert_ne!(Value::Int(7).hash_code(), Value::Int(8).hash_code());
+        // Strings hash by content.
+        assert_eq!(
+            Value::Str("ab".into()).hash_code(),
+            Value::Str("ab".into()).hash_code()
+        );
+    }
+
+    #[test]
+    fn hash_is_deterministic_across_calls() {
+        let v = Value::Str("toreador".into());
+        assert_eq!(v.hash_code(), v.hash_code());
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(Some(2.5f64)), Value::Float(2.5));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse_for_scalars() {
+        for (v, t) in [
+            (Value::Int(-5), DataType::Int),
+            (Value::Float(2.25), DataType::Float),
+            (Value::Bool(true), DataType::Bool),
+            (Value::Timestamp(99), DataType::Timestamp),
+        ] {
+            let s = v.to_string();
+            assert_eq!(Value::parse_as(&s, t).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = Value::Str("x".into());
+        let j = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the dataflow engine.
+
+use std::fmt;
+
+use toreador_data::error::DataError;
+
+/// Errors raised while planning or executing a dataflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// An error bubbled up from the data layer.
+    Data(DataError),
+    /// The plan referenced a dataset that was never registered.
+    UnknownDataset(String),
+    /// An expression failed type checking against its input schema.
+    TypeCheck(String),
+    /// The plan is structurally invalid (e.g. join keys missing).
+    Plan(String),
+    /// A task failed after exhausting its retry budget.
+    TaskFailed {
+        stage: usize,
+        partition: usize,
+        attempts: u32,
+        message: String,
+    },
+    /// Execution was cancelled (quota exhausted, user abort).
+    Cancelled(String),
+    /// A shuffle payload could not be decoded.
+    Codec(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Data(e) => write!(f, "data error: {e}"),
+            FlowError::UnknownDataset(name) => write!(f, "unknown dataset: {name:?}"),
+            FlowError::TypeCheck(msg) => write!(f, "type check failed: {msg}"),
+            FlowError::Plan(msg) => write!(f, "invalid plan: {msg}"),
+            FlowError::TaskFailed { stage, partition, attempts, message } => write!(
+                f,
+                "task failed (stage {stage}, partition {partition}) after {attempts} attempts: {message}"
+            ),
+            FlowError::Cancelled(msg) => write!(f, "execution cancelled: {msg}"),
+            FlowError::Codec(msg) => write!(f, "shuffle codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for FlowError {
+    fn from(e: DataError) -> Self {
+        FlowError::Data(e)
+    }
+}
+
+/// Convenience result alias for the dataflow layer.
+pub type Result<T> = std::result::Result<T, FlowError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_data_errors_with_source() {
+        let e: FlowError = DataError::ColumnNotFound("x".into()).into();
+        assert!(e.to_string().contains("column not found"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn task_failure_reports_location() {
+        let e = FlowError::TaskFailed {
+            stage: 2,
+            partition: 5,
+            attempts: 3,
+            message: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("stage 2") && s.contains("partition 5") && s.contains("3 attempts"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Deterministic fault injection.
+//!
+//! The TOREADOR methodology treats fault tolerance as one of the design
+//! dimensions trainees explore (a pipeline with retries costs more but
+//! survives flaky infrastructure). [`FaultPlan`] decides — deterministically
+//! from a seed — whether a given task attempt fails, so the executor's retry
+//! loop is exercised reproducibly in tests and benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for injected task failures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability that any given task *attempt* fails.
+    pub failure_rate: f64,
+    /// Seed decorrelating fault decisions from everything else.
+    pub seed: u64,
+    /// Maximum attempts per task (>= 1). A task that fails `max_attempts`
+    /// times aborts the run.
+    pub max_attempts: u32,
+}
+
+impl FaultPlan {
+    /// No injected faults, single attempt per task.
+    pub fn none() -> Self {
+        FaultPlan {
+            failure_rate: 0.0,
+            seed: 0,
+            max_attempts: 1,
+        }
+    }
+
+    /// Inject faults at `rate` with a retry budget.
+    pub fn with_rate(rate: f64, seed: u64, max_attempts: u32) -> Self {
+        FaultPlan {
+            failure_rate: rate.clamp(0.0, 1.0),
+            seed,
+            max_attempts: max_attempts.max(1),
+        }
+    }
+
+    /// Deterministically decide whether attempt `attempt` of task
+    /// (`stage`, `partition`) fails.
+    pub fn should_fail(&self, stage: usize, partition: usize, attempt: u32) -> bool {
+        if self.failure_rate <= 0.0 {
+            return false;
+        }
+        if self.failure_rate >= 1.0 {
+            return true;
+        }
+        // SplitMix64 over the task coordinates: uniform in [0,1).
+        let mut z = self
+            .seed
+            .wrapping_add((stage as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add((partition as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add((attempt as u64).wrapping_mul(0x94d0_49bb_1331_11eb));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.failure_rate
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fails() {
+        let f = FaultPlan::none();
+        for s in 0..10 {
+            for p in 0..10 {
+                assert!(!f.should_fail(s, p, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_one_always_fails() {
+        let f = FaultPlan::with_rate(1.0, 3, 2);
+        assert!(f.should_fail(0, 0, 0));
+        assert!(f.should_fail(5, 9, 1));
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let f = FaultPlan::with_rate(0.3, 42, 3);
+        for s in 0..5 {
+            for p in 0..5 {
+                for a in 0..3 {
+                    assert_eq!(f.should_fail(s, p, a), f.should_fail(s, p, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_rate_close_to_requested() {
+        let f = FaultPlan::with_rate(0.25, 7, 1);
+        let mut failures = 0;
+        let trials = 10_000;
+        for i in 0..trials {
+            if f.should_fail(i % 13, i / 13, (i % 3) as u32) {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.03, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn different_attempts_get_fresh_draws() {
+        let f = FaultPlan::with_rate(0.5, 11, 10);
+        let draws: Vec<bool> = (0..32).map(|a| f.should_fail(1, 1, a)).collect();
+        assert!(draws.iter().any(|&b| b) && draws.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn constructor_clamps() {
+        let f = FaultPlan::with_rate(7.0, 0, 0);
+        assert_eq!(f.failure_rate, 1.0);
+        assert_eq!(f.max_attempts, 1);
+    }
+}

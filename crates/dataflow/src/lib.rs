@@ -1,0 +1,62 @@
+//! # toreador-dataflow
+//!
+//! A parallel dataflow execution engine — the reproduction's substitute for
+//! the Spark/Hadoop backend the TOREADOR platform deployed onto (DESIGN.md
+//! §2). The layering mirrors DataFusion/Spark:
+//!
+//! 1. [`expr`] — typed scalar expressions;
+//! 2. [`logical`] — the `Dataflow` builder and `LogicalPlan` tree;
+//! 3. [`optimizer`] — rule-based rewrites (constant folding, filter merging,
+//!    predicate pushdown, projection pruning), individually toggleable for
+//!    the ablation benchmarks;
+//! 4. [`physical`] — stage-cut execution with per-partition tasks;
+//! 5. [`shuffle`] — hash shuffles through a binary row codec, so shuffle
+//!    byte counts are real;
+//! 6. [`scheduler`] — a scoped thread pool with deterministic fault
+//!    injection ([`fault`]) and retries;
+//! 7. [`session`] — the `Engine` facade (register datasets, run flows);
+//! 8. [`stream`] — micro-batch streaming with carried state;
+//! 9. [`metrics`] — per-operator and per-run metrics, the raw material for
+//!    the Labs' run comparison.
+//!
+//! ## Example
+//!
+//! ```
+//! use toreador_dataflow::prelude::*;
+//!
+//! let mut engine = Engine::new(EngineConfig::default().with_threads(2));
+//! engine.register("clicks", toreador_data::generate::clickstream(500, 7)).unwrap();
+//! let flow = engine
+//!     .flow("clicks").unwrap()
+//!     .filter(col("action").eq(lit("purchase"))).unwrap()
+//!     .aggregate(&["country"], vec![AggExpr::new(AggFunc::Sum, "price", "revenue")]).unwrap()
+//!     .sort(&["revenue"], true).unwrap()
+//!     .limit(3);
+//! let result = engine.run(&flow).unwrap();
+//! assert!(result.table.num_rows() <= 3);
+//! assert!(result.metrics.total_shuffle_bytes() > 0);
+//! ```
+
+pub mod error;
+pub mod expr;
+pub mod fault;
+pub mod logical;
+pub mod metrics;
+pub mod optimizer;
+pub mod physical;
+pub mod scheduler;
+pub mod session;
+pub mod shuffle;
+pub mod stream;
+
+/// Convenient glob import of the engine's public surface.
+pub mod prelude {
+    pub use crate::error::{FlowError, Result as FlowResult};
+    pub use crate::expr::{col, lit, Expr, Func};
+    pub use crate::fault::FaultPlan;
+    pub use crate::logical::{AggExpr, AggFunc, Dataflow, JoinType, LogicalPlan};
+    pub use crate::metrics::{NodeMetrics, RunMetrics};
+    pub use crate::optimizer::OptimizerConfig;
+    pub use crate::session::{Engine, EngineConfig, RunResult};
+    pub use crate::stream::{run_stream, MicroBatcher, StreamRun, StreamState};
+}

@@ -1,0 +1,174 @@
+//! Execution metrics.
+//!
+//! Every run of the engine produces a [`RunMetrics`] record. The Labs crate
+//! persists these in run provenance records and diffs them across runs —
+//! the paper's "compare different runs of a composite BDA".
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Metrics for one plan node (operator).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeMetrics {
+    /// One-line operator description (`Filter (price > 10)` etc.).
+    pub operator: String,
+    /// Stage index the operator executed in.
+    pub stage: usize,
+    /// Rows produced by the operator (across all partitions).
+    pub rows_out: u64,
+    /// Wall-clock time attributed to the operator, in microseconds.
+    pub elapsed_us: u64,
+    /// Bytes moved through the shuffle, if the operator required one.
+    pub shuffle_bytes: u64,
+}
+
+/// Metrics for one complete run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    pub nodes: Vec<NodeMetrics>,
+    /// Total wall-clock, in microseconds.
+    pub total_elapsed_us: u64,
+    /// Tasks executed (including retried attempts).
+    pub tasks_run: u64,
+    /// Tasks that failed and were retried.
+    pub task_retries: u64,
+    /// Rows in the final result.
+    pub result_rows: u64,
+    /// Partitions in the final result.
+    pub result_partitions: u64,
+}
+
+impl RunMetrics {
+    /// Sum of shuffle traffic over all operators.
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.shuffle_bytes).sum()
+    }
+
+    /// Number of distinct stages observed.
+    pub fn stage_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.stage)
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Rows processed per second over the whole run (based on result rows).
+    pub fn throughput_rows_per_sec(&self) -> f64 {
+        if self.total_elapsed_us == 0 {
+            0.0
+        } else {
+            self.result_rows as f64 / (self.total_elapsed_us as f64 / 1e6)
+        }
+    }
+}
+
+/// Thread-safe collector the executor threads write into.
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    inner: Mutex<CollectorInner>,
+}
+
+#[derive(Debug, Default)]
+struct CollectorInner {
+    nodes: Vec<NodeMetrics>,
+    tasks_run: u64,
+    task_retries: u64,
+}
+
+impl MetricsCollector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed operator.
+    pub fn record_node(
+        &self,
+        operator: impl Into<String>,
+        stage: usize,
+        rows_out: u64,
+        elapsed: Duration,
+        shuffle_bytes: u64,
+    ) {
+        self.inner.lock().nodes.push(NodeMetrics {
+            operator: operator.into(),
+            stage,
+            rows_out,
+            elapsed_us: elapsed.as_micros() as u64,
+            shuffle_bytes,
+        });
+    }
+
+    pub fn record_task(&self) {
+        self.inner.lock().tasks_run += 1;
+    }
+
+    pub fn record_retry(&self) {
+        self.inner.lock().task_retries += 1;
+    }
+
+    /// Finalise into a [`RunMetrics`].
+    pub fn finish(
+        &self,
+        total_elapsed: Duration,
+        result_rows: u64,
+        result_partitions: u64,
+    ) -> RunMetrics {
+        let inner = self.inner.lock();
+        RunMetrics {
+            nodes: inner.nodes.clone(),
+            total_elapsed_us: total_elapsed.as_micros() as u64,
+            tasks_run: inner.tasks_run,
+            task_retries: inner.task_retries,
+            result_rows,
+            result_partitions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_aggregates_across_calls() {
+        let c = MetricsCollector::new();
+        c.record_node("Scan", 0, 100, Duration::from_micros(50), 0);
+        c.record_node("Shuffle", 1, 100, Duration::from_micros(70), 4096);
+        c.record_task();
+        c.record_task();
+        c.record_retry();
+        let m = c.finish(Duration::from_millis(1), 100, 4);
+        assert_eq!(m.nodes.len(), 2);
+        assert_eq!(m.tasks_run, 2);
+        assert_eq!(m.task_retries, 1);
+        assert_eq!(m.total_shuffle_bytes(), 4096);
+        assert_eq!(m.stage_count(), 2);
+        assert_eq!(m.result_rows, 100);
+    }
+
+    #[test]
+    fn throughput_handles_zero_elapsed() {
+        let m = RunMetrics::default();
+        assert_eq!(m.throughput_rows_per_sec(), 0.0);
+        let m = RunMetrics {
+            total_elapsed_us: 2_000_000,
+            result_rows: 10,
+            ..Default::default()
+        };
+        assert_eq!(m.throughput_rows_per_sec(), 5.0);
+    }
+
+    #[test]
+    fn metrics_serialize() {
+        let m = RunMetrics {
+            total_elapsed_us: 7,
+            ..Default::default()
+        };
+        let j = serde_json::to_string(&m).unwrap();
+        let back: RunMetrics = serde_json::from_str(&j).unwrap();
+        assert_eq!(m, back);
+    }
+}

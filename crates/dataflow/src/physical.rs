@@ -1,0 +1,1306 @@
+//! Physical execution of logical plans.
+//!
+//! The execution model mirrors Spark's: a plan is cut into **stages** at
+//! shuffle boundaries; within a stage, narrow operators (filter, project,
+//! sample) run as one task per partition on the scheduler's thread pool;
+//! wide operators (aggregate, join, sort, distinct) first move rows through
+//! [`crate::shuffle`] and then run per-partition tasks on the redistributed
+//! data.
+//!
+//! Aggregations run in one of two modes, chosen by
+//! [`ExecConfig::partial_aggregation`]: *partial* (combine per partition,
+//! shuffle the small partial states, merge — Spark's map-side combine) or
+//! *raw* (shuffle all rows, aggregate once). The difference is an ablation
+//! measured by benchmark E5.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use toreador_data::partition::{PartitionedTable, Partitioning};
+use toreador_data::schema::{Field, Schema};
+use toreador_data::table::{Table, TableBuilder};
+use toreador_data::value::{DataType, Row, Value};
+
+use crate::error::{FlowError, Result};
+use crate::expr::Expr;
+use crate::logical::{AggExpr, AggFunc, JoinType, LogicalPlan};
+use crate::metrics::MetricsCollector;
+use crate::scheduler::{run_stage, SchedulerConfig};
+use crate::shuffle::shuffle;
+
+/// Execution-time configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    pub scheduler: SchedulerConfig,
+    /// Target partition count for scans and shuffles.
+    pub partitions: usize,
+    /// Map-side combine for aggregations (ablation knob).
+    pub partial_aggregation: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            scheduler: SchedulerConfig::default(),
+            partitions: 4,
+            partial_aggregation: true,
+        }
+    }
+}
+
+/// Everything an execution needs: datasets, config, metrics, stage counter.
+pub struct ExecContext<'a> {
+    pub datasets: &'a HashMap<String, PartitionedTable>,
+    pub config: ExecConfig,
+    pub metrics: &'a MetricsCollector,
+    stage: AtomicUsize,
+}
+
+impl<'a> ExecContext<'a> {
+    pub fn new(
+        datasets: &'a HashMap<String, PartitionedTable>,
+        config: ExecConfig,
+        metrics: &'a MetricsCollector,
+    ) -> Self {
+        ExecContext {
+            datasets,
+            config,
+            metrics,
+            stage: AtomicUsize::new(0),
+        }
+    }
+
+    fn current_stage(&self) -> usize {
+        self.stage.load(Ordering::Relaxed)
+    }
+
+    fn next_stage(&self) -> usize {
+        self.stage.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// Execute a logical plan to a partitioned result.
+pub fn execute(ctx: &ExecContext<'_>, plan: &LogicalPlan) -> Result<PartitionedTable> {
+    let started = Instant::now();
+    let out = match plan {
+        LogicalPlan::Scan { dataset, schema } => exec_scan(ctx, dataset, schema),
+        LogicalPlan::Filter { input, predicate } => {
+            let child = execute(ctx, input)?;
+            exec_narrow(ctx, child, plan.describe(), |t| {
+                let mask = predicate.eval_mask(t)?;
+                t.filter(&mask).map_err(FlowError::Data)
+            })
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let child = execute(ctx, input)?;
+            exec_narrow(ctx, child, plan.describe(), |t| {
+                project_table(t, exprs, schema)
+            })
+        }
+        LogicalPlan::Sample {
+            input,
+            fraction,
+            seed,
+        } => {
+            let child = execute(ctx, input)?;
+            let fraction = *fraction;
+            let seed = *seed;
+            // Partition index participates in the seed so each partition
+            // draws an independent, reproducible stream.
+            exec_narrow_indexed(ctx, child, plan.describe(), move |t, idx| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9e37));
+                let mask: Vec<bool> = (0..t.num_rows()).map(|_| rng.gen_bool(fraction)).collect();
+                t.filter(&mask).map_err(FlowError::Data)
+            })
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => {
+            let child = execute(ctx, input)?;
+            exec_aggregate(ctx, child, group_by, aggs, schema, &plan.describe())
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            schema,
+        } => {
+            let l = execute(ctx, left)?;
+            let r = execute(ctx, right)?;
+            exec_join(
+                ctx,
+                l,
+                r,
+                left_keys,
+                right_keys,
+                *join_type,
+                schema,
+                &plan.describe(),
+            )
+        }
+        LogicalPlan::Sort {
+            input,
+            keys,
+            descending,
+        } => {
+            let child = execute(ctx, input)?;
+            exec_sort(ctx, child, keys, *descending, &plan.describe())
+        }
+        LogicalPlan::Limit { input, n } => {
+            // Limit-over-Sort fuses into a top-k: each partition sorts and
+            // truncates locally, then only n rows per partition cross the
+            // merge — instead of gathering the whole dataset to one
+            // partition first. Same results, far less data movement.
+            if let LogicalPlan::Sort {
+                input: sort_in,
+                keys,
+                descending,
+            } = input.as_ref()
+            {
+                let child = execute(ctx, sort_in)?;
+                return exec_top_k(ctx, child, keys, *descending, *n, &plan.describe());
+            }
+            let child = execute(ctx, input)?;
+            exec_limit(ctx, child, *n, &plan.describe())
+        }
+        LogicalPlan::Union { inputs } => {
+            let mut parts = Vec::new();
+            for i in inputs {
+                parts.extend(execute(ctx, i)?.into_parts());
+            }
+            let rows: u64 = parts.iter().map(|t| t.num_rows() as u64).sum();
+            ctx.metrics.record_node(
+                plan.describe(),
+                ctx.current_stage(),
+                rows,
+                started.elapsed(),
+                0,
+            );
+            return PartitionedTable::new(parts, Partitioning::Arbitrary).map_err(FlowError::Data);
+        }
+        LogicalPlan::Distinct { input } => {
+            let child = execute(ctx, input)?;
+            exec_distinct(ctx, child, &plan.describe())
+        }
+    }?;
+    // Scan/narrow/wide helpers record their own metrics; Union recorded above.
+    Ok(out)
+}
+
+fn exec_scan(ctx: &ExecContext<'_>, dataset: &str, schema: &Schema) -> Result<PartitionedTable> {
+    let started = Instant::now();
+    let found = ctx
+        .datasets
+        .get(dataset)
+        .ok_or_else(|| FlowError::UnknownDataset(dataset.to_owned()))?;
+    found
+        .schema()
+        .ensure_same(schema)
+        .map_err(FlowError::Data)?;
+    // Re-split single-partition datasets to the configured parallelism.
+    let out = if found.num_partitions() == 1 && ctx.config.partitions > 1 {
+        PartitionedTable::split(found.collect()?, ctx.config.partitions)?
+    } else {
+        found.clone()
+    };
+    ctx.metrics.record_node(
+        format!("Scan {dataset}"),
+        ctx.current_stage(),
+        out.total_rows() as u64,
+        started.elapsed(),
+        0,
+    );
+    Ok(out)
+}
+
+/// Run a per-partition transformation on the thread pool.
+fn exec_narrow(
+    ctx: &ExecContext<'_>,
+    input: PartitionedTable,
+    desc: String,
+    f: impl Fn(&Table) -> Result<Table> + Send + Sync,
+) -> Result<PartitionedTable> {
+    exec_narrow_indexed(ctx, input, desc, move |t, _| f(t))
+}
+
+fn exec_narrow_indexed(
+    ctx: &ExecContext<'_>,
+    input: PartitionedTable,
+    desc: String,
+    f: impl Fn(&Table, usize) -> Result<Table> + Send + Sync,
+) -> Result<PartitionedTable> {
+    let started = Instant::now();
+    let stage = ctx.current_stage();
+    let parts = input.into_parts();
+    let f = &f;
+    let tasks: Vec<_> = parts
+        .iter()
+        .enumerate()
+        .map(|(i, t)| move || f(t, i))
+        .collect();
+    let outputs = run_stage(&ctx.config.scheduler, ctx.metrics, stage, tasks)?;
+    let rows: u64 = outputs.iter().map(|t| t.num_rows() as u64).sum();
+    ctx.metrics
+        .record_node(desc, stage, rows, started.elapsed(), 0);
+    PartitionedTable::new(outputs, Partitioning::Arbitrary).map_err(FlowError::Data)
+}
+
+fn project_table(t: &Table, exprs: &[(String, Expr)], schema: &Schema) -> Result<Table> {
+    let mut columns = Vec::with_capacity(exprs.len());
+    for ((_, e), field) in exprs.iter().zip(schema.fields()) {
+        let col = e.eval_table(t)?;
+        debug_assert_eq!(col.data_type(), field.data_type);
+        columns.push(col);
+    }
+    Table::new(schema.clone(), columns).map_err(FlowError::Data)
+}
+
+// ------------------------------------------------------------- aggregation
+
+/// Hashable wrapper for group keys (Value has no Eq/Hash of its own).
+#[derive(Debug, Clone)]
+struct GroupKey(Row);
+
+impl PartialEq for GroupKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a.group_eq(b))
+    }
+}
+impl Eq for GroupKey {}
+impl std::hash::Hash for GroupKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            state.write_u64(v.hash_code());
+        }
+    }
+}
+
+/// Per-group accumulator for one aggregate expression.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    SumInt(i64, bool),
+    SumFloat(f64, bool),
+    Min(Value),
+    Max(Value),
+    Mean { sum: f64, n: i64 },
+    Distinct(std::collections::HashSet<u64>),
+}
+
+impl Acc {
+    fn new(func: AggFunc, input_ty: DataType) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => {
+                if input_ty == DataType::Int {
+                    Acc::SumInt(0, false)
+                } else {
+                    Acc::SumFloat(0.0, false)
+                }
+            }
+            AggFunc::Min => Acc::Min(Value::Null),
+            AggFunc::Max => Acc::Max(Value::Null),
+            AggFunc::Mean => Acc::Mean { sum: 0.0, n: 0 },
+            AggFunc::CountDistinct => Acc::Distinct(std::collections::HashSet::new()),
+        }
+    }
+
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(()); // SQL semantics: aggregates skip nulls
+        }
+        match self {
+            Acc::Count(n) => *n += 1,
+            Acc::SumInt(s, seen) => {
+                *s = s.wrapping_add(v.as_int().map_err(FlowError::Data)?);
+                *seen = true;
+            }
+            Acc::SumFloat(s, seen) => {
+                *s += v.as_float().map_err(FlowError::Data)?;
+                *seen = true;
+            }
+            Acc::Min(m) => {
+                if m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Less {
+                    *m = v.clone();
+                }
+            }
+            Acc::Max(m) => {
+                if m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Greater {
+                    *m = v.clone();
+                }
+            }
+            Acc::Mean { sum, n } => {
+                *sum += v.as_float().map_err(FlowError::Data)?;
+                *n += 1;
+            }
+            Acc::Distinct(set) => {
+                set.insert(v.hash_code());
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(*n),
+            Acc::SumInt(s, seen) => {
+                if *seen {
+                    Value::Int(*s)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::SumFloat(s, seen) => {
+                if *seen {
+                    Value::Float(*s)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::Min(m) | Acc::Max(m) => m.clone(),
+            Acc::Mean { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / *n as f64)
+                }
+            }
+            Acc::Distinct(set) => Value::Int(set.len() as i64),
+        }
+    }
+}
+
+/// Fully aggregate one table (used post-shuffle and by the raw path).
+fn aggregate_table(
+    t: &Table,
+    group_by: &[String],
+    aggs: &[AggExpr],
+    out_schema: &Schema,
+) -> Result<Table> {
+    let key_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| t.schema().index_of(g).map_err(FlowError::Data))
+        .collect::<Result<Vec<_>>>()?;
+    let agg_idx: Vec<usize> = aggs
+        .iter()
+        .map(|a| t.schema().index_of(&a.column).map_err(FlowError::Data))
+        .collect::<Result<Vec<_>>>()?;
+    let agg_tys: Vec<DataType> = agg_idx
+        .iter()
+        .map(|&i| t.schema().fields()[i].data_type)
+        .collect();
+
+    let mut groups: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
+    for row in t.iter_rows() {
+        let key = GroupKey(key_idx.iter().map(|&i| row[i].clone()).collect());
+        let accs = groups.entry(key).or_insert_with(|| {
+            aggs.iter()
+                .zip(&agg_tys)
+                .map(|(a, &ty)| Acc::new(a.func, ty))
+                .collect()
+        });
+        for ((acc, &i), _) in accs.iter_mut().zip(&agg_idx).zip(aggs) {
+            acc.update(&row[i])?;
+        }
+    }
+    // Global aggregation over an empty input still yields one row.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.insert(
+            GroupKey(Vec::new()),
+            aggs.iter()
+                .zip(&agg_tys)
+                .map(|(a, &ty)| Acc::new(a.func, ty))
+                .collect(),
+        );
+    }
+    // Deterministic output order: sort groups by key.
+    let mut entries: Vec<(GroupKey, Vec<Acc>)> = groups.into_iter().collect();
+    entries.sort_by(|(a, _), (b, _)| {
+        a.0.iter()
+            .zip(&b.0)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut builder = TableBuilder::with_capacity(out_schema.clone(), entries.len());
+    for (key, accs) in entries {
+        let mut row = key.0;
+        for acc in &accs {
+            row.push(acc.finish());
+        }
+        builder.push_row(row)?;
+    }
+    builder.finish().map_err(FlowError::Data)
+}
+
+/// The intermediate schema for map-side partial aggregation.
+fn partial_schema(
+    group_fields: Vec<Field>,
+    aggs: &[AggExpr],
+    in_schema: &Schema,
+) -> Result<Schema> {
+    let mut fields = group_fields;
+    for (i, a) in aggs.iter().enumerate() {
+        let in_ty = in_schema
+            .field(&a.column)
+            .map_err(FlowError::Data)?
+            .data_type;
+        match a.func {
+            AggFunc::Count => fields.push(Field::new(format!("__p{i}_count"), DataType::Int)),
+            AggFunc::Sum => {
+                let ty = if in_ty == DataType::Int {
+                    DataType::Int
+                } else {
+                    DataType::Float
+                };
+                fields.push(Field::new(format!("__p{i}_sum"), ty));
+            }
+            AggFunc::Min => fields.push(Field::new(format!("__p{i}_min"), in_ty)),
+            AggFunc::Max => fields.push(Field::new(format!("__p{i}_max"), in_ty)),
+            AggFunc::Mean => {
+                fields.push(Field::new(format!("__p{i}_sum"), DataType::Float));
+                fields.push(Field::new(format!("__p{i}_n"), DataType::Int));
+            }
+            AggFunc::CountDistinct => {
+                return Err(FlowError::Plan(
+                    "partial aggregation does not support count_distinct".to_owned(),
+                ))
+            }
+        }
+    }
+    Schema::new(fields).map_err(FlowError::Data)
+}
+
+/// Map-side combine: aggregate a partition into partial-state rows.
+fn partial_aggregate(
+    t: &Table,
+    group_by: &[String],
+    aggs: &[AggExpr],
+    p_schema: &Schema,
+) -> Result<Table> {
+    let key_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| t.schema().index_of(g).map_err(FlowError::Data))
+        .collect::<Result<Vec<_>>>()?;
+    let agg_idx: Vec<usize> = aggs
+        .iter()
+        .map(|a| t.schema().index_of(&a.column).map_err(FlowError::Data))
+        .collect::<Result<Vec<_>>>()?;
+    let agg_tys: Vec<DataType> = agg_idx
+        .iter()
+        .map(|&i| t.schema().fields()[i].data_type)
+        .collect();
+    let mut groups: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
+    for row in t.iter_rows() {
+        let key = GroupKey(key_idx.iter().map(|&i| row[i].clone()).collect());
+        let accs = groups.entry(key).or_insert_with(|| {
+            aggs.iter()
+                .zip(&agg_tys)
+                .map(|(a, &ty)| Acc::new(a.func, ty))
+                .collect()
+        });
+        for (acc, &i) in accs.iter_mut().zip(&agg_idx) {
+            acc.update(&row[i])?;
+        }
+    }
+    let mut builder = TableBuilder::with_capacity(p_schema.clone(), groups.len());
+    for (key, accs) in groups {
+        let mut row = key.0;
+        for acc in &accs {
+            match acc {
+                Acc::Mean { sum, n } => {
+                    row.push(Value::Float(*sum));
+                    row.push(Value::Int(*n));
+                }
+                other => row.push(other.finish()),
+            }
+        }
+        builder.push_row(row)?;
+    }
+    builder.finish().map_err(FlowError::Data)
+}
+
+/// Reduce-side merge of partial states into final aggregate rows.
+fn merge_partials(
+    t: &Table,
+    group_by: &[String],
+    aggs: &[AggExpr],
+    out_schema: &Schema,
+) -> Result<Table> {
+    let key_idx: Vec<usize> = (0..group_by.len()).collect();
+    // State column positions follow the group keys in partial_schema order.
+    let mut state_pos = group_by.len();
+    let mut state_cols: Vec<Vec<usize>> = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        match a.func {
+            AggFunc::Mean => {
+                state_cols.push(vec![state_pos, state_pos + 1]);
+                state_pos += 2;
+            }
+            _ => {
+                state_cols.push(vec![state_pos]);
+                state_pos += 1;
+            }
+        }
+    }
+    #[derive(Clone)]
+    enum MergeAcc {
+        Count(i64),
+        SumInt(i64, bool),
+        SumFloat(f64, bool),
+        Min(Value),
+        Max(Value),
+        Mean { sum: f64, n: i64 },
+    }
+    let mut groups: HashMap<GroupKey, Vec<MergeAcc>> = HashMap::new();
+    for row in t.iter_rows() {
+        let key = GroupKey(key_idx.iter().map(|&i| row[i].clone()).collect());
+        let accs = groups.entry(key).or_insert_with(|| {
+            aggs.iter()
+                .zip(&state_cols)
+                .map(|(a, cols)| match a.func {
+                    AggFunc::Count => MergeAcc::Count(0),
+                    AggFunc::Sum => {
+                        // Type decided by the partial column's actual type.
+                        match t.schema().fields()[cols[0]].data_type {
+                            DataType::Int => MergeAcc::SumInt(0, false),
+                            _ => MergeAcc::SumFloat(0.0, false),
+                        }
+                    }
+                    AggFunc::Min => MergeAcc::Min(Value::Null),
+                    AggFunc::Max => MergeAcc::Max(Value::Null),
+                    AggFunc::Mean => MergeAcc::Mean { sum: 0.0, n: 0 },
+                    AggFunc::CountDistinct => unreachable!("rejected by partial_schema"),
+                })
+                .collect()
+        });
+        for (acc, cols) in accs.iter_mut().zip(&state_cols) {
+            match acc {
+                MergeAcc::Count(n) => {
+                    *n += row[cols[0]].as_int().map_err(FlowError::Data)?;
+                }
+                MergeAcc::SumInt(s, seen) => {
+                    if !row[cols[0]].is_null() {
+                        *s = s.wrapping_add(row[cols[0]].as_int().map_err(FlowError::Data)?);
+                        *seen = true;
+                    }
+                }
+                MergeAcc::SumFloat(s, seen) => {
+                    if !row[cols[0]].is_null() {
+                        *s += row[cols[0]].as_float().map_err(FlowError::Data)?;
+                        *seen = true;
+                    }
+                }
+                MergeAcc::Min(m) => {
+                    let v = &row[cols[0]];
+                    if !v.is_null() && (m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Less) {
+                        *m = v.clone();
+                    }
+                }
+                MergeAcc::Max(m) => {
+                    let v = &row[cols[0]];
+                    if !v.is_null()
+                        && (m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Greater)
+                    {
+                        *m = v.clone();
+                    }
+                }
+                MergeAcc::Mean { sum, n } => {
+                    *sum += row[cols[0]].as_float().map_err(FlowError::Data)?;
+                    *n += row[cols[1]].as_int().map_err(FlowError::Data)?;
+                }
+            }
+        }
+    }
+    if groups.is_empty() && group_by.is_empty() {
+        groups.insert(
+            GroupKey(Vec::new()),
+            aggs.iter()
+                .map(|a| match a.func {
+                    AggFunc::Count => MergeAcc::Count(0),
+                    AggFunc::Sum => MergeAcc::SumFloat(0.0, false),
+                    AggFunc::Min => MergeAcc::Min(Value::Null),
+                    AggFunc::Max => MergeAcc::Max(Value::Null),
+                    AggFunc::Mean => MergeAcc::Mean { sum: 0.0, n: 0 },
+                    AggFunc::CountDistinct => unreachable!(),
+                })
+                .collect(),
+        );
+    }
+    let mut entries: Vec<(GroupKey, Vec<MergeAcc>)> = groups.into_iter().collect();
+    entries.sort_by(|(a, _), (b, _)| {
+        a.0.iter()
+            .zip(&b.0)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut builder = TableBuilder::with_capacity(out_schema.clone(), entries.len());
+    for (key, accs) in entries {
+        let mut row = key.0;
+        for acc in accs {
+            row.push(match acc {
+                MergeAcc::Count(n) => Value::Int(n),
+                MergeAcc::SumInt(s, seen) => {
+                    if seen {
+                        Value::Int(s)
+                    } else {
+                        Value::Null
+                    }
+                }
+                MergeAcc::SumFloat(s, seen) => {
+                    if seen {
+                        Value::Float(s)
+                    } else {
+                        Value::Null
+                    }
+                }
+                MergeAcc::Min(m) | MergeAcc::Max(m) => m,
+                MergeAcc::Mean { sum, n } => {
+                    if n == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(sum / n as f64)
+                    }
+                }
+            });
+        }
+        builder.push_row(row)?;
+    }
+    builder.finish().map_err(FlowError::Data)
+}
+
+fn exec_aggregate(
+    ctx: &ExecContext<'_>,
+    input: PartitionedTable,
+    group_by: &[String],
+    aggs: &[AggExpr],
+    out_schema: &Schema,
+    desc: &str,
+) -> Result<PartitionedTable> {
+    let started = Instant::now();
+    let targets = if group_by.is_empty() {
+        1
+    } else {
+        ctx.config.partitions.max(1)
+    };
+    let use_partial =
+        ctx.config.partial_aggregation && !aggs.iter().any(|a| a.func == AggFunc::CountDistinct);
+
+    let (shuffled, bytes) = if use_partial {
+        let group_fields: Vec<Field> = group_by
+            .iter()
+            .map(|g| input.schema().field(g).cloned().map_err(FlowError::Data))
+            .collect::<Result<Vec<_>>>()?;
+        let p_schema = partial_schema(group_fields, aggs, input.schema())?;
+        let map_stage = ctx.current_stage();
+        let in_schema_owned = input.schema().clone();
+        let parts = input.into_parts();
+        let tasks: Vec<_> = parts
+            .iter()
+            .map(|t| {
+                let p_schema = &p_schema;
+                let in_schema = &in_schema_owned;
+                move || {
+                    let _ = in_schema;
+                    partial_aggregate(t, group_by, aggs, p_schema)
+                }
+            })
+            .collect();
+        let partials = run_stage(&ctx.config.scheduler, ctx.metrics, map_stage, tasks)?;
+        let out = shuffle(&partials, &p_schema, group_by, targets)?;
+        (out.partitions, out.bytes_moved)
+    } else {
+        let schema = input.schema().clone();
+        let out = shuffle(input.parts(), &schema, group_by, targets)?;
+        (out.partitions, out.bytes_moved)
+    };
+    let reduce_stage = ctx.next_stage();
+    let tasks: Vec<_> = shuffled
+        .iter()
+        .map(|t| {
+            move || {
+                if use_partial {
+                    merge_partials(t, group_by, aggs, out_schema)
+                } else {
+                    aggregate_table(t, group_by, aggs, out_schema)
+                }
+            }
+        })
+        .collect();
+    let mut outputs = run_stage(&ctx.config.scheduler, ctx.metrics, reduce_stage, tasks)?;
+    // Empty-group global aggregate: shuffle produced `targets` partitions,
+    // each merge of an empty partition yields the one-row identity — keep
+    // only partition 0's row in that case.
+    if group_by.is_empty() && outputs.len() > 1 {
+        outputs.truncate(1);
+    }
+    let rows: u64 = outputs.iter().map(|t| t.num_rows() as u64).sum();
+    ctx.metrics
+        .record_node(desc, reduce_stage, rows, started.elapsed(), bytes);
+    PartitionedTable::new(
+        outputs,
+        Partitioning::Hash {
+            columns: group_by.to_vec(),
+            partitions: targets,
+        },
+    )
+    .map_err(FlowError::Data)
+}
+
+// ------------------------------------------------------------------- join
+
+#[allow(clippy::too_many_arguments)] // mirrors the Join plan node's fields
+fn exec_join(
+    ctx: &ExecContext<'_>,
+    left: PartitionedTable,
+    right: PartitionedTable,
+    left_keys: &[String],
+    right_keys: &[String],
+    join_type: JoinType,
+    out_schema: &Schema,
+    desc: &str,
+) -> Result<PartitionedTable> {
+    let started = Instant::now();
+    let targets = ctx.config.partitions.max(1);
+    let l_schema = left.schema().clone();
+    let r_schema = right.schema().clone();
+    let l_out = shuffle(left.parts(), &l_schema, left_keys, targets)?;
+    let r_out = shuffle(right.parts(), &r_schema, right_keys, targets)?;
+    let bytes = l_out.bytes_moved + r_out.bytes_moved;
+    let stage = ctx.next_stage();
+
+    let l_key_idx: Vec<usize> = left_keys
+        .iter()
+        .map(|k| l_schema.index_of(k).map_err(FlowError::Data))
+        .collect::<Result<Vec<_>>>()?;
+    let r_key_idx: Vec<usize> = right_keys
+        .iter()
+        .map(|k| r_schema.index_of(k).map_err(FlowError::Data))
+        .collect::<Result<Vec<_>>>()?;
+
+    // Keys must route identically on both sides: Int vs Float keys that
+    // compare equal hash equally (Value::hash_code guarantees this).
+    let pairs: Vec<(Table, Table)> = l_out.partitions.into_iter().zip(r_out.partitions).collect();
+    let r_width = r_schema.len();
+    let tasks: Vec<_> = pairs
+        .iter()
+        .map(|(l, r)| {
+            let l_key_idx = &l_key_idx;
+            let r_key_idx = &r_key_idx;
+            move || {
+                // Build on the right side.
+                let mut built: HashMap<GroupKey, Vec<Row>> = HashMap::new();
+                for row in r.iter_rows() {
+                    // Null keys never match (SQL equi-join semantics).
+                    if r_key_idx.iter().any(|&i| row[i].is_null()) {
+                        continue;
+                    }
+                    let key = GroupKey(r_key_idx.iter().map(|&i| row[i].clone()).collect());
+                    built.entry(key).or_default().push(row);
+                }
+                let mut builder = TableBuilder::new(out_schema.clone());
+                for l_row in l.iter_rows() {
+                    let null_key = l_key_idx.iter().any(|&i| l_row[i].is_null());
+                    let matches = if null_key {
+                        None
+                    } else {
+                        let key = GroupKey(l_key_idx.iter().map(|&i| l_row[i].clone()).collect());
+                        built.get(&key)
+                    };
+                    match matches {
+                        Some(rights) => {
+                            for r_row in rights {
+                                let mut row = l_row.clone();
+                                row.extend(r_row.iter().cloned());
+                                builder.push_row(row)?;
+                            }
+                        }
+                        None => {
+                            if join_type == JoinType::Left {
+                                let mut row = l_row.clone();
+                                row.extend(std::iter::repeat(Value::Null).take(r_width));
+                                builder.push_row(row)?;
+                            }
+                        }
+                    }
+                }
+                builder.finish().map_err(FlowError::Data)
+            }
+        })
+        .collect();
+    let outputs = run_stage(&ctx.config.scheduler, ctx.metrics, stage, tasks)?;
+    let rows: u64 = outputs.iter().map(|t| t.num_rows() as u64).sum();
+    ctx.metrics
+        .record_node(desc, stage, rows, started.elapsed(), bytes);
+    PartitionedTable::new(outputs, Partitioning::Arbitrary).map_err(FlowError::Data)
+}
+
+// ------------------------------------------------------- sort / limit / distinct
+
+fn exec_sort(
+    ctx: &ExecContext<'_>,
+    input: PartitionedTable,
+    keys: &[String],
+    descending: bool,
+    desc: &str,
+) -> Result<PartitionedTable> {
+    let started = Instant::now();
+    // Gather everything into one partition (keyless shuffle), then sort.
+    let schema = input.schema().clone();
+    let gathered = shuffle(input.parts(), &schema, &[], 1)?;
+    let stage = ctx.next_stage();
+    let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+    let table = gathered
+        .partitions
+        .into_iter()
+        .next()
+        .expect("one partition requested");
+    let tasks = vec![move || {
+        table
+            .sort_by(&key_refs, descending)
+            .map_err(FlowError::Data)
+    }];
+    let outputs = run_stage(&ctx.config.scheduler, ctx.metrics, stage, tasks)?;
+    let rows: u64 = outputs.iter().map(|t| t.num_rows() as u64).sum();
+    ctx.metrics
+        .record_node(desc, stage, rows, started.elapsed(), gathered.bytes_moved);
+    PartitionedTable::new(outputs, Partitioning::Range).map_err(FlowError::Data)
+}
+
+/// Fused Limit(Sort): per-partition sort + truncate in parallel, then a
+/// single merge of at most `n * partitions` rows.
+fn exec_top_k(
+    ctx: &ExecContext<'_>,
+    input: PartitionedTable,
+    keys: &[String],
+    descending: bool,
+    n: usize,
+    desc: &str,
+) -> Result<PartitionedTable> {
+    let started = Instant::now();
+    let stage = ctx.current_stage();
+    let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+    let parts = input.into_parts();
+    let key_refs_ref = &key_refs;
+    let tasks: Vec<_> = parts
+        .iter()
+        .map(|t| {
+            move || {
+                let sorted = t.sort_by(key_refs_ref, descending)?;
+                let take = sorted.num_rows().min(n);
+                sorted.slice(0, take).map_err(FlowError::Data)
+            }
+        })
+        .collect();
+    let locals = run_stage(&ctx.config.scheduler, ctx.metrics, stage, tasks)?;
+    let merged = Table::concat(&locals)?.sort_by(&key_refs, descending)?;
+    let take = merged.num_rows().min(n);
+    let out = merged.slice(0, take)?;
+    ctx.metrics
+        .record_node(desc, stage, out.num_rows() as u64, started.elapsed(), 0);
+    Ok(PartitionedTable::single(out))
+}
+
+fn exec_limit(
+    ctx: &ExecContext<'_>,
+    input: PartitionedTable,
+    n: usize,
+    desc: &str,
+) -> Result<PartitionedTable> {
+    let started = Instant::now();
+    let mut remaining = n;
+    let mut kept = Vec::new();
+    for part in input.parts() {
+        if remaining == 0 {
+            break;
+        }
+        let take = part.num_rows().min(remaining);
+        kept.push(part.slice(0, take)?);
+        remaining -= take;
+    }
+    if kept.is_empty() {
+        kept.push(Table::empty(input.schema().clone()));
+    }
+    let out = Table::concat(&kept)?;
+    ctx.metrics.record_node(
+        desc,
+        ctx.current_stage(),
+        out.num_rows() as u64,
+        started.elapsed(),
+        0,
+    );
+    Ok(PartitionedTable::single(out))
+}
+
+fn exec_distinct(
+    ctx: &ExecContext<'_>,
+    input: PartitionedTable,
+    desc: &str,
+) -> Result<PartitionedTable> {
+    let started = Instant::now();
+    let schema = input.schema().clone();
+    let all_cols: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
+    let targets = ctx.config.partitions.max(1);
+    let out = shuffle(input.parts(), &schema, &all_cols, targets)?;
+    let stage = ctx.next_stage();
+    let tasks: Vec<_> = out
+        .partitions
+        .iter()
+        .map(|t| {
+            move || {
+                let mut seen: std::collections::HashSet<GroupKey> =
+                    std::collections::HashSet::new();
+                let mut keep = Vec::with_capacity(t.num_rows());
+                for row in t.iter_rows() {
+                    keep.push(seen.insert(GroupKey(row)));
+                }
+                t.filter(&keep).map_err(FlowError::Data)
+            }
+        })
+        .collect();
+    let outputs = run_stage(&ctx.config.scheduler, ctx.metrics, stage, tasks)?;
+    let rows: u64 = outputs.iter().map(|t| t.num_rows() as u64).sum();
+    ctx.metrics
+        .record_node(desc, stage, rows, started.elapsed(), out.bytes_moved);
+    PartitionedTable::new(outputs, Partitioning::Arbitrary).map_err(FlowError::Data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::logical::Dataflow;
+    use toreador_data::schema::Field;
+
+    fn ctx_fixture() -> (HashMap<String, PartitionedTable>, MetricsCollector) {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::Int),
+        ])
+        .unwrap();
+        let table = Table::from_rows(
+            schema,
+            (0..100).map(|i| vec![Value::Str(format!("g{}", i % 5)), Value::Int(i)]),
+        )
+        .unwrap();
+        let mut datasets = HashMap::new();
+        datasets.insert("t".to_owned(), PartitionedTable::single(table));
+        (datasets, MetricsCollector::new())
+    }
+
+    fn run(
+        datasets: &HashMap<String, PartitionedTable>,
+        metrics: &MetricsCollector,
+        flow: &Dataflow,
+    ) -> Table {
+        let ctx = ExecContext::new(datasets, ExecConfig::default(), metrics);
+        execute(&ctx, flow.plan()).unwrap().collect().unwrap()
+    }
+
+    fn schema_t() -> Schema {
+        Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn scan_resplits_to_configured_partitions() {
+        let (datasets, metrics) = ctx_fixture();
+        let ctx = ExecContext::new(&datasets, ExecConfig::default(), &metrics);
+        let out = execute(&ctx, Dataflow::scan("t", schema_t()).plan()).unwrap();
+        assert_eq!(out.num_partitions(), 4);
+        assert_eq!(out.total_rows(), 100);
+    }
+
+    #[test]
+    fn unknown_dataset_errors() {
+        let (datasets, metrics) = ctx_fixture();
+        let ctx = ExecContext::new(&datasets, ExecConfig::default(), &metrics);
+        let err = execute(&ctx, Dataflow::scan("nope", schema_t()).plan()).unwrap_err();
+        assert!(matches!(err, FlowError::UnknownDataset(_)));
+    }
+
+    #[test]
+    fn filter_and_project_run_per_partition() {
+        let (datasets, metrics) = ctx_fixture();
+        let flow = Dataflow::scan("t", schema_t())
+            .filter(col("v").gt_eq(lit(50i64)))
+            .unwrap()
+            .project(vec![("double", col("v").mul(lit(2i64)))])
+            .unwrap();
+        let out = run(&datasets, &metrics, &flow);
+        assert_eq!(out.num_rows(), 50);
+        assert_eq!(out.column("double").unwrap().min(), Value::Int(100));
+    }
+
+    #[test]
+    fn aggregate_partial_and_raw_agree() {
+        let (datasets, metrics) = ctx_fixture();
+        let flow = Dataflow::scan("t", schema_t())
+            .aggregate(
+                &["k"],
+                vec![
+                    AggExpr::new(AggFunc::Count, "v", "n"),
+                    AggExpr::new(AggFunc::Sum, "v", "total"),
+                    AggExpr::new(AggFunc::Mean, "v", "avg"),
+                    AggExpr::new(AggFunc::Min, "v", "lo"),
+                    AggExpr::new(AggFunc::Max, "v", "hi"),
+                ],
+            )
+            .unwrap();
+        let cfg_raw = ExecConfig {
+            partial_aggregation: false,
+            ..ExecConfig::default()
+        };
+        let ctx_p = ExecContext::new(&datasets, ExecConfig::default(), &metrics);
+        let ctx_r = ExecContext::new(&datasets, cfg_raw, &metrics);
+        let a = execute(&ctx_p, flow.plan())
+            .unwrap()
+            .collect()
+            .unwrap()
+            .sort_by(&["k"], false)
+            .unwrap();
+        let b = execute(&ctx_r, flow.plan())
+            .unwrap()
+            .collect()
+            .unwrap()
+            .sort_by(&["k"], false)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.num_rows(), 5);
+        // Spot-check group g0: members 0,5,...,95 -> n=20, sum=950, avg=47.5.
+        assert_eq!(a.value(0, "n").unwrap(), Value::Int(20));
+        assert_eq!(a.value(0, "total").unwrap(), Value::Int(950));
+        assert_eq!(a.value(0, "avg").unwrap(), Value::Float(47.5));
+        assert_eq!(a.value(0, "lo").unwrap(), Value::Int(0));
+        assert_eq!(a.value(0, "hi").unwrap(), Value::Int(95));
+    }
+
+    #[test]
+    fn global_aggregate_produces_single_row() {
+        let (datasets, metrics) = ctx_fixture();
+        let flow = Dataflow::scan("t", schema_t())
+            .aggregate(&[], vec![AggExpr::new(AggFunc::Count, "v", "n")])
+            .unwrap();
+        let out = run(&datasets, &metrics, &flow);
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(100));
+    }
+
+    #[test]
+    fn count_distinct_uses_raw_path() {
+        let (datasets, metrics) = ctx_fixture();
+        let flow = Dataflow::scan("t", schema_t())
+            .aggregate(
+                &[],
+                vec![AggExpr::new(AggFunc::CountDistinct, "k", "groups")],
+            )
+            .unwrap();
+        let out = run(&datasets, &metrics, &flow);
+        assert_eq!(out.value(0, "groups").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn inner_and_left_join() {
+        let schema_r = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("label", DataType::Str),
+        ])
+        .unwrap();
+        let right = Table::from_rows(
+            schema_r.clone(),
+            vec![
+                vec![Value::Str("g0".into()), Value::Str("zero".into())],
+                vec![Value::Str("g1".into()), Value::Str("one".into())],
+            ],
+        )
+        .unwrap();
+        let (mut datasets, metrics) = ctx_fixture();
+        datasets.insert("r".to_owned(), PartitionedTable::single(right));
+        let left = Dataflow::scan("t", schema_t());
+        let right = Dataflow::scan("r", schema_r);
+        let inner = left
+            .clone()
+            .join(right.clone(), &["k"], &["k"], JoinType::Inner)
+            .unwrap();
+        let out = run(&datasets, &metrics, &inner);
+        assert_eq!(out.num_rows(), 40); // g0 and g1: 20 rows each
+        let l = left.join(right, &["k"], &["k"], JoinType::Left).unwrap();
+        let out = run(&datasets, &metrics, &l);
+        assert_eq!(out.num_rows(), 100);
+        let labels = out.column("label").unwrap();
+        assert_eq!(labels.null_count(), 60);
+    }
+
+    #[test]
+    fn sort_limit_pipeline() {
+        let (datasets, metrics) = ctx_fixture();
+        let flow = Dataflow::scan("t", schema_t())
+            .sort(&["v"], true)
+            .unwrap()
+            .limit(3);
+        let out = run(&datasets, &metrics, &flow);
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.value(0, "v").unwrap(), Value::Int(99));
+        assert_eq!(out.value(2, "v").unwrap(), Value::Int(97));
+    }
+
+    #[test]
+    fn top_k_fusion_matches_unfused_semantics() {
+        let (datasets, metrics) = ctx_fixture();
+        let fused = Dataflow::scan("t", schema_t())
+            .sort(&["v"], true)
+            .unwrap()
+            .limit(7);
+        let out = run(&datasets, &metrics, &fused);
+        assert_eq!(out.num_rows(), 7);
+        let vals: Vec<i64> = out
+            .column("v")
+            .unwrap()
+            .iter_values()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![99, 98, 97, 96, 95, 94, 93]);
+        // Fusion avoids the gather shuffle entirely.
+        let metrics2 = MetricsCollector::new();
+        let ctx = ExecContext::new(&datasets, ExecConfig::default(), &metrics2);
+        execute(&ctx, fused.plan()).unwrap();
+        let m = metrics2.finish(std::time::Duration::from_millis(1), 7, 1);
+        assert_eq!(m.total_shuffle_bytes(), 0, "top-k must not shuffle");
+    }
+
+    #[test]
+    fn top_k_larger_than_input_returns_everything() {
+        let (datasets, metrics) = ctx_fixture();
+        let fused = Dataflow::scan("t", schema_t())
+            .sort(&["v"], false)
+            .unwrap()
+            .limit(1000);
+        let out = run(&datasets, &metrics, &fused);
+        assert_eq!(out.num_rows(), 100);
+        assert_eq!(out.value(0, "v").unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn distinct_dedups_across_partitions() {
+        let (datasets, metrics) = ctx_fixture();
+        let flow = Dataflow::scan("t", schema_t())
+            .project(vec![("k", col("k"))])
+            .unwrap()
+            .distinct();
+        let out = run(&datasets, &metrics, &flow);
+        assert_eq!(out.num_rows(), 5);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let (datasets, metrics) = ctx_fixture();
+        let a = Dataflow::scan("t", schema_t());
+        let b = Dataflow::scan("t", schema_t());
+        let u = a.union(vec![b]).unwrap();
+        let out = run(&datasets, &metrics, &u);
+        assert_eq!(out.num_rows(), 200);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_proportional() {
+        let (datasets, metrics) = ctx_fixture();
+        let flow = Dataflow::scan("t", schema_t()).sample(0.5, 7).unwrap();
+        let a = run(&datasets, &metrics, &flow);
+        let b = run(&datasets, &metrics, &flow);
+        assert_eq!(a, b);
+        assert!(
+            a.num_rows() > 20 && a.num_rows() < 80,
+            "got {}",
+            a.num_rows()
+        );
+    }
+
+    #[test]
+    fn metrics_report_stages_and_shuffles() {
+        let (datasets, metrics) = ctx_fixture();
+        let flow = Dataflow::scan("t", schema_t())
+            .aggregate(&["k"], vec![AggExpr::new(AggFunc::Count, "v", "n")])
+            .unwrap();
+        let ctx = ExecContext::new(&datasets, ExecConfig::default(), &metrics);
+        execute(&ctx, flow.plan()).unwrap();
+        let m = metrics.finish(std::time::Duration::from_millis(1), 5, 4);
+        assert!(m.total_shuffle_bytes() > 0);
+        assert!(m.stage_count() >= 2, "aggregate crosses a stage boundary");
+        assert!(m.tasks_run > 0);
+    }
+
+    #[test]
+    fn aggregate_skips_null_inputs() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::Int),
+        ])
+        .unwrap();
+        let t = Table::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::Str("a".into()), Value::Int(1)],
+                vec![Value::Str("a".into()), Value::Null],
+                vec![Value::Str("a".into()), Value::Int(3)],
+            ],
+        )
+        .unwrap();
+        let mut datasets = HashMap::new();
+        datasets.insert("n".to_owned(), PartitionedTable::single(t));
+        let metrics = MetricsCollector::new();
+        let flow = Dataflow::scan("n", schema)
+            .aggregate(
+                &["k"],
+                vec![
+                    AggExpr::new(AggFunc::Count, "v", "n"),
+                    AggExpr::new(AggFunc::Mean, "v", "avg"),
+                ],
+            )
+            .unwrap();
+        let out = run(&datasets, &metrics, &flow);
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(2));
+        assert_eq!(out.value(0, "avg").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn join_null_keys_do_not_match() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::Int),
+        ])
+        .unwrap();
+        let t = Table::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::Null, Value::Int(1)],
+                vec![Value::Str("a".into()), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        let mut datasets = HashMap::new();
+        datasets.insert("n".to_owned(), PartitionedTable::single(t));
+        let metrics = MetricsCollector::new();
+        let l = Dataflow::scan("n", schema.clone());
+        let r = Dataflow::scan("n", schema);
+        let inner = l.join(r, &["k"], &["k"], JoinType::Inner).unwrap();
+        let out = run(&datasets, &metrics, &inner);
+        assert_eq!(out.num_rows(), 1, "null keys must not join");
+    }
+}

@@ -1,0 +1,235 @@
+//! Task scheduling: a scoped thread pool with retry-on-injected-fault.
+//!
+//! The executor turns each (stage, partition) pair into a [`Task`] closure;
+//! the scheduler fans tasks out over `threads` crossbeam scoped threads,
+//! applying the [`FaultPlan`] before every attempt and retrying failed
+//! attempts up to the plan's budget — the same at-least-once task semantics
+//! Spark's DAG scheduler provides.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use toreador_data::table::Table;
+
+use crate::error::{FlowError, Result};
+use crate::fault::FaultPlan;
+use crate::metrics::MetricsCollector;
+
+/// How many worker threads to use and how tasks behave under faults.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    pub threads: usize,
+    pub faults: FaultPlan,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            threads: default_threads(),
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// A sensible default: available parallelism, capped at 8 (the engine is
+/// laptop-scale by design).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
+}
+
+/// Run `tasks` (one per partition of `stage`) across the pool, returning
+/// outputs in task order.
+///
+/// Each task is attempted up to `faults.max_attempts` times; an injected
+/// fault *before* the attempt models a lost executor. Real errors from the
+/// task body are not retried — they are deterministic plan bugs, and
+/// retrying them would just waste the budget.
+pub fn run_stage<F>(
+    config: &SchedulerConfig,
+    metrics: &MetricsCollector,
+    stage: usize,
+    tasks: Vec<F>,
+) -> Result<Vec<Table>>
+where
+    F: Fn() -> Result<Table> + Send + Sync,
+{
+    let n = tasks.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = config.threads.max(1).min(n);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<Table>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    // Hand each worker a disjoint view of the result slots through a raw
+    // region? No — keep it simple and safe: workers send (index, result)
+    // over a channel and the main thread places them.
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Result<Table>)>();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let tasks = &tasks;
+            let faults = config.faults;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let mut attempt = 0u32;
+                let outcome = loop {
+                    metrics.record_task();
+                    if faults.should_fail(stage, i, attempt) {
+                        attempt += 1;
+                        if attempt >= faults.max_attempts {
+                            break Err(FlowError::TaskFailed {
+                                stage,
+                                partition: i,
+                                attempts: attempt,
+                                message: "injected fault".to_owned(),
+                            });
+                        }
+                        metrics.record_retry();
+                        continue;
+                    }
+                    break tasks[i]();
+                };
+                // Receiver only disconnects after an early error; stop then.
+                if tx.send((i, outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut received = 0;
+        while received < n {
+            match rx.recv() {
+                Ok((i, result)) => {
+                    slots[i] = Some(result);
+                    received += 1;
+                }
+                Err(_) => break, // all workers exited
+            }
+        }
+    })
+    .map_err(|_| FlowError::Cancelled("worker thread panicked".to_owned()))?;
+
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        match slot {
+            Some(Ok(t)) => out.push(t),
+            Some(Err(e)) => return Err(e),
+            None => return Err(FlowError::Cancelled("task result missing".to_owned())),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toreador_data::generate::random_table;
+
+    fn make_tasks(n: usize) -> Vec<impl Fn() -> Result<Table> + Send + Sync> {
+        (0..n)
+            .map(|i| move || Ok(random_table(10 + i, 2, i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        let config = SchedulerConfig {
+            threads: 4,
+            faults: FaultPlan::none(),
+        };
+        let metrics = MetricsCollector::new();
+        let out = run_stage(&config, &metrics, 0, make_tasks(9)).unwrap();
+        assert_eq!(out.len(), 9);
+        for (i, t) in out.iter().enumerate() {
+            assert_eq!(t.num_rows(), 10 + i);
+        }
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let config = SchedulerConfig::default();
+        let metrics = MetricsCollector::new();
+        let out = run_stage(&config, &metrics, 0, Vec::<fn() -> Result<Table>>::new()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_still_completes() {
+        let config = SchedulerConfig {
+            threads: 1,
+            faults: FaultPlan::none(),
+        };
+        let metrics = MetricsCollector::new();
+        let out = run_stage(&config, &metrics, 0, make_tasks(5)).unwrap();
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn injected_faults_are_retried_and_counted() {
+        // 50% failure rate with a generous budget: all tasks eventually pass.
+        let config = SchedulerConfig {
+            threads: 4,
+            faults: FaultPlan::with_rate(0.5, 9, 20),
+        };
+        let metrics = MetricsCollector::new();
+        let out = run_stage(&config, &metrics, 3, make_tasks(16)).unwrap();
+        assert_eq!(out.len(), 16);
+        let m = metrics.finish(std::time::Duration::ZERO, 0, 0);
+        assert!(m.task_retries > 0, "some retries expected at 50% rate");
+        assert!(m.tasks_run >= 16 + m.task_retries);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_fails_the_stage() {
+        let config = SchedulerConfig {
+            threads: 2,
+            faults: FaultPlan::with_rate(1.0, 0, 3),
+        };
+        let metrics = MetricsCollector::new();
+        let err = run_stage(&config, &metrics, 1, make_tasks(4)).unwrap_err();
+        match err {
+            FlowError::TaskFailed {
+                stage, attempts, ..
+            } => {
+                assert_eq!(stage, 1);
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn task_errors_propagate_without_retry() {
+        let config = SchedulerConfig {
+            threads: 2,
+            faults: FaultPlan::with_rate(0.0, 0, 5),
+        };
+        let metrics = MetricsCollector::new();
+        let tasks: Vec<Box<dyn Fn() -> Result<Table> + Send + Sync>> = vec![
+            Box::new(|| Ok(random_table(5, 2, 0))),
+            Box::new(|| Err(FlowError::Plan("deliberate".to_owned()))),
+        ];
+        let err = run_stage(&config, &metrics, 0, tasks).unwrap_err();
+        assert!(matches!(err, FlowError::Plan(_)));
+        let m = metrics.finish(std::time::Duration::ZERO, 0, 0);
+        assert_eq!(m.task_retries, 0);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_safe() {
+        let config = SchedulerConfig {
+            threads: 16,
+            faults: FaultPlan::none(),
+        };
+        let metrics = MetricsCollector::new();
+        let out = run_stage(&config, &metrics, 0, make_tasks(2)).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,315 @@
+//! The engine session: dataset registry + run entry point.
+//!
+//! [`Engine`] is the facade the rest of the workspace uses: register named
+//! datasets, build a [`Dataflow`], call [`Engine::run`], get a table plus a
+//! full [`RunMetrics`] record. One `Engine` can serve many runs; datasets
+//! are immutable once registered.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use toreador_data::partition::PartitionedTable;
+use toreador_data::table::Table;
+
+use crate::error::{FlowError, Result};
+use crate::fault::FaultPlan;
+use crate::logical::{Dataflow, LogicalPlan};
+use crate::metrics::{MetricsCollector, RunMetrics};
+use crate::optimizer::{optimize, OptimizerConfig};
+use crate::physical::{execute, ExecConfig, ExecContext};
+use crate::scheduler::SchedulerConfig;
+
+/// Engine configuration: threads, partitions, optimiser, faults.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    pub threads: usize,
+    pub partitions: usize,
+    pub optimizer: OptimizerConfig,
+    pub partial_aggregation: bool,
+    pub faults: FaultPlan,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: crate::scheduler::default_threads(),
+            partitions: 4,
+            optimizer: OptimizerConfig::default(),
+            partial_aggregation: true,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl EngineConfig {
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions.max(1);
+        self
+    }
+
+    pub fn with_optimizer(mut self, optimizer: OptimizerConfig) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    pub fn with_partial_aggregation(mut self, on: bool) -> Self {
+        self.partial_aggregation = on;
+        self
+    }
+
+    fn exec_config(&self) -> ExecConfig {
+        ExecConfig {
+            scheduler: SchedulerConfig {
+                threads: self.threads,
+                faults: self.faults,
+            },
+            partitions: self.partitions,
+            partial_aggregation: self.partial_aggregation,
+        }
+    }
+}
+
+/// The result of one run: data, metrics, and the plan that actually ran.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub table: Table,
+    pub metrics: RunMetrics,
+    /// The optimised plan (equal to the input plan when optimisation is off).
+    pub executed_plan: Arc<LogicalPlan>,
+}
+
+/// A dataflow engine session.
+#[derive(Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+    datasets: HashMap<String, PartitionedTable>,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            config,
+            datasets: HashMap::new(),
+        }
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Register a table under a name, splitting it to the configured
+    /// partition count. Re-registering a name replaces the dataset.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) -> Result<()> {
+        let parts = PartitionedTable::split(table, self.config.partitions)?;
+        self.datasets.insert(name.into(), parts);
+        Ok(())
+    }
+
+    /// Register an already-partitioned dataset (keeps its partitioning).
+    pub fn register_partitioned(&mut self, name: impl Into<String>, parts: PartitionedTable) {
+        self.datasets.insert(name.into(), parts);
+    }
+
+    /// Names of registered datasets, sorted.
+    pub fn dataset_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.datasets.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The schema of a registered dataset.
+    pub fn dataset_schema(&self, name: &str) -> Result<&toreador_data::schema::Schema> {
+        self.datasets
+            .get(name)
+            .map(|p| p.schema())
+            .ok_or_else(|| FlowError::UnknownDataset(name.to_owned()))
+    }
+
+    /// Total rows of a registered dataset.
+    pub fn dataset_rows(&self, name: &str) -> Result<usize> {
+        self.datasets
+            .get(name)
+            .map(|p| p.total_rows())
+            .ok_or_else(|| FlowError::UnknownDataset(name.to_owned()))
+    }
+
+    /// Start a flow over a registered dataset (schema comes from the registry).
+    pub fn flow(&self, dataset: &str) -> Result<Dataflow> {
+        Ok(Dataflow::scan(
+            dataset,
+            self.dataset_schema(dataset)?.clone(),
+        ))
+    }
+
+    /// Optimise and execute, collecting the result into one table.
+    pub fn run(&self, flow: &Dataflow) -> Result<RunResult> {
+        // Validate scans before doing any work.
+        for ds in flow.plan().scanned_datasets() {
+            if !self.datasets.contains_key(ds) {
+                return Err(FlowError::UnknownDataset(ds.to_owned()));
+            }
+        }
+        let started = Instant::now();
+        let optimized = optimize(flow.plan(), &self.config.optimizer)?;
+        let metrics = MetricsCollector::new();
+        let ctx = ExecContext::new(&self.datasets, self.config.exec_config(), &metrics);
+        let out = execute(&ctx, &optimized)?;
+        let partitions = out.num_partitions() as u64;
+        let table = out.collect()?;
+        let run_metrics = metrics.finish(started.elapsed(), table.num_rows() as u64, partitions);
+        Ok(RunResult {
+            table,
+            metrics: run_metrics,
+            executed_plan: optimized,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::logical::{AggExpr, AggFunc};
+    use toreador_data::generate::{clickstream, clickstream_schema};
+
+    fn engine() -> Engine {
+        let mut e = Engine::new(EngineConfig::default().with_threads(2));
+        e.register("clicks", clickstream(2_000, 42)).unwrap();
+        e
+    }
+
+    #[test]
+    fn end_to_end_revenue_by_category() {
+        let e = engine();
+        let flow = e
+            .flow("clicks")
+            .unwrap()
+            .filter(col("action").eq(lit("purchase")))
+            .unwrap()
+            .aggregate(
+                &["category"],
+                vec![AggExpr::new(AggFunc::Sum, "price", "revenue")],
+            )
+            .unwrap()
+            .sort(&["revenue"], true)
+            .unwrap();
+        let r = e.run(&flow).unwrap();
+        assert!(r.table.num_rows() > 0);
+        assert!(r.metrics.total_elapsed_us > 0);
+        assert!(r.metrics.total_shuffle_bytes() > 0);
+        // Revenue column is descending.
+        let rev = r.table.column("revenue").unwrap();
+        let vals: Vec<f64> = rev.iter_values().map(|v| v.as_float().unwrap()).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn optimized_and_unoptimized_agree() {
+        let e = engine();
+        let flow = e
+            .flow("clicks")
+            .unwrap()
+            .project(vec![
+                ("act", col("action")),
+                ("p", col("price")),
+                ("c", col("country")),
+            ])
+            .unwrap()
+            .filter(col("act").eq(lit("cart")).and(lit(true)))
+            .unwrap()
+            .filter(col("p").gt(lit(10.0)))
+            .unwrap()
+            .sort(&["p"], false)
+            .unwrap();
+        let mut no_opt = Engine::new(
+            EngineConfig::default()
+                .with_threads(2)
+                .with_optimizer(OptimizerConfig::disabled()),
+        );
+        no_opt.register("clicks", clickstream(2_000, 42)).unwrap();
+        let a = e.run(&flow).unwrap();
+        let b = no_opt.run(&flow).unwrap();
+        assert_eq!(a.table, b.table);
+        // The optimised plan actually differs.
+        assert_ne!(&a.executed_plan, flow.plan());
+        assert_eq!(&b.executed_plan, flow.plan());
+    }
+
+    #[test]
+    fn flow_unknown_dataset_fails_fast() {
+        let e = engine();
+        assert!(e.flow("nope").is_err());
+        let other = Dataflow::scan("ghost", clickstream_schema());
+        assert!(matches!(e.run(&other), Err(FlowError::UnknownDataset(_))));
+    }
+
+    #[test]
+    fn registry_reports_names_schema_rows() {
+        let e = engine();
+        assert_eq!(e.dataset_names(), vec!["clicks"]);
+        assert_eq!(e.dataset_rows("clicks").unwrap(), 2_000);
+        assert!(e.dataset_schema("clicks").unwrap().contains("price"));
+    }
+
+    #[test]
+    fn faulty_engine_still_completes_with_retries() {
+        let mut e = Engine::new(
+            EngineConfig::default()
+                .with_threads(4)
+                .with_faults(FaultPlan::with_rate(0.3, 5, 10)),
+        );
+        e.register("clicks", clickstream(1_000, 1)).unwrap();
+        let flow = e
+            .flow("clicks")
+            .unwrap()
+            .aggregate(
+                &["country"],
+                vec![AggExpr::new(AggFunc::Count, "event_id", "n")],
+            )
+            .unwrap();
+        let r = e.run(&flow).unwrap();
+        assert!(r.metrics.task_retries > 0);
+        let total: i64 = r
+            .table
+            .column("n")
+            .unwrap()
+            .iter_values()
+            .map(|v| v.as_int().unwrap())
+            .sum();
+        assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn run_results_are_deterministic() {
+        let e = engine();
+        let flow = e
+            .flow("clicks")
+            .unwrap()
+            .aggregate(
+                &["category"],
+                vec![
+                    AggExpr::new(AggFunc::Count, "event_id", "n"),
+                    AggExpr::new(AggFunc::Mean, "price", "avg_price"),
+                ],
+            )
+            .unwrap()
+            .sort(&["category"], false)
+            .unwrap();
+        let a = e.run(&flow).unwrap();
+        let b = e.run(&flow).unwrap();
+        assert_eq!(a.table, b.table);
+    }
+}

@@ -1,0 +1,336 @@
+//! Micro-batch streaming execution.
+//!
+//! TOREADOR campaigns choose between *batch* and *stream* processing as a
+//! first-class design option. This module provides the streaming half: a
+//! time-ordered source is cut into micro-batches by event-time window; each
+//! batch runs through the same engine; stateful aggregates carry across
+//! batches through a [`StreamState`]. The trade-off the Labs surface is
+//! latency-per-result vs total throughput, measured by the run metrics.
+
+use std::collections::HashMap;
+
+use toreador_data::table::Table;
+use toreador_data::value::Value;
+
+use crate::error::{FlowError, Result};
+use crate::logical::Dataflow;
+use crate::metrics::RunMetrics;
+use crate::session::{Engine, EngineConfig};
+
+/// Splits a time-ordered table into event-time micro-batches.
+#[derive(Debug)]
+pub struct MicroBatcher {
+    batches: Vec<Table>,
+}
+
+impl MicroBatcher {
+    /// Cut `source` into tumbling windows of `window_ms` over `ts_column`.
+    ///
+    /// Rows are assigned by `floor(ts / window_ms)`; empty windows between
+    /// the first and last event are preserved (a real stream ticks even when
+    /// silent).
+    pub fn tumbling(source: &Table, ts_column: &str, window_ms: i64) -> Result<Self> {
+        if window_ms <= 0 {
+            return Err(FlowError::Plan("window must be positive".to_owned()));
+        }
+        let ts = source.column(ts_column)?;
+        if source.num_rows() == 0 {
+            return Ok(MicroBatcher { batches: vec![] });
+        }
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        let mut stamps = Vec::with_capacity(source.num_rows());
+        for v in ts.iter_values() {
+            let t = match v {
+                Value::Timestamp(t) => t,
+                Value::Int(t) => t,
+                other => {
+                    return Err(FlowError::TypeCheck(format!(
+                        "timestamp column contains {other:?}"
+                    )))
+                }
+            };
+            lo = lo.min(t);
+            hi = hi.max(t);
+            stamps.push(t);
+        }
+        let first = lo.div_euclid(window_ms);
+        let last = hi.div_euclid(window_ms);
+        let n = (last - first + 1) as usize;
+        let mut masks: Vec<Vec<bool>> = vec![vec![false; source.num_rows()]; n];
+        for (i, t) in stamps.iter().enumerate() {
+            let w = (t.div_euclid(window_ms) - first) as usize;
+            masks[w][i] = true;
+        }
+        let batches = masks
+            .into_iter()
+            .map(|m| source.filter(&m).map_err(FlowError::Data))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(MicroBatcher { batches })
+    }
+
+    pub fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    pub fn batches(&self) -> &[Table] {
+        &self.batches
+    }
+}
+
+/// Carry-over state for streaming aggregation: keyed running counts/sums.
+///
+/// Keys and fields are strings so state survives across batches regardless
+/// of the pipeline's schema details.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct StreamState {
+    counts: HashMap<String, i64>,
+    sums: HashMap<String, f64>,
+}
+
+impl StreamState {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge a batch result into the state: `key_col` identifies the group,
+    /// `count_col`/`sum_col` are merged additively when present.
+    pub fn absorb(
+        &mut self,
+        batch_result: &Table,
+        key_col: &str,
+        count_col: Option<&str>,
+        sum_col: Option<&str>,
+    ) -> Result<()> {
+        for row_idx in 0..batch_result.num_rows() {
+            let key = batch_result.value(row_idx, key_col)?.to_string();
+            if let Some(cc) = count_col {
+                let v = batch_result.value(row_idx, cc)?;
+                if !v.is_null() {
+                    *self.counts.entry(key.clone()).or_insert(0) +=
+                        v.as_int().map_err(FlowError::Data)?;
+                }
+            }
+            if let Some(sc) = sum_col {
+                let v = batch_result.value(row_idx, sc)?;
+                if !v.is_null() {
+                    *self.sums.entry(key.clone()).or_insert(0.0) +=
+                        v.as_float().map_err(FlowError::Data)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn count(&self, key: &str) -> i64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    pub fn sum(&self, key: &str) -> f64 {
+        self.sums.get(key).copied().unwrap_or(0.0)
+    }
+
+    pub fn keys(&self) -> Vec<&str> {
+        let mut ks: Vec<&str> = self
+            .counts
+            .keys()
+            .chain(self.sums.keys())
+            .map(String::as_str)
+            .collect();
+        ks.sort_unstable();
+        ks.dedup();
+        ks
+    }
+}
+
+/// Outcome of a streaming run.
+#[derive(Debug)]
+pub struct StreamRun {
+    /// Final carried state.
+    pub state: StreamState,
+    /// Per-batch metrics in arrival order.
+    pub batch_metrics: Vec<RunMetrics>,
+    /// Rows emitted per batch.
+    pub batch_rows: Vec<usize>,
+}
+
+impl StreamRun {
+    /// Mean per-batch latency in microseconds — the streaming side of the
+    /// latency/throughput trade-off.
+    pub fn mean_batch_latency_us(&self) -> f64 {
+        if self.batch_metrics.is_empty() {
+            return 0.0;
+        }
+        self.batch_metrics
+            .iter()
+            .map(|m| m.total_elapsed_us as f64)
+            .sum::<f64>()
+            / self.batch_metrics.len() as f64
+    }
+
+    pub fn total_rows(&self) -> usize {
+        self.batch_rows.iter().sum()
+    }
+}
+
+/// Execute `make_flow` once per micro-batch, absorbing each result into the
+/// carried state. The flow factory receives the batch's registered dataset
+/// name so the same pipeline definition is reused every tick.
+pub fn run_stream(
+    config: EngineConfig,
+    batcher: &MicroBatcher,
+    make_flow: impl Fn(&Engine, &str) -> Result<Dataflow>,
+    key_col: &str,
+    count_col: Option<&str>,
+    sum_col: Option<&str>,
+) -> Result<StreamRun> {
+    let mut state = StreamState::new();
+    let mut batch_metrics = Vec::with_capacity(batcher.num_batches());
+    let mut batch_rows = Vec::with_capacity(batcher.num_batches());
+    for batch in batcher.batches() {
+        if batch.num_rows() == 0 {
+            // Silent window: nothing to run, but the tick is still recorded.
+            batch_metrics.push(RunMetrics::default());
+            batch_rows.push(0);
+            continue;
+        }
+        let mut engine = Engine::new(config);
+        engine.register("__batch", batch.clone())?;
+        let flow = make_flow(&engine, "__batch")?;
+        let result = engine.run(&flow)?;
+        state.absorb(&result.table, key_col, count_col, sum_col)?;
+        batch_rows.push(result.table.num_rows());
+        batch_metrics.push(result.metrics);
+    }
+    Ok(StreamRun {
+        state,
+        batch_metrics,
+        batch_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{AggExpr, AggFunc};
+    use toreador_data::generate::telemetry;
+    use toreador_data::schema::{Field, Schema};
+    use toreador_data::value::DataType;
+
+    #[test]
+    fn tumbling_windows_partition_by_time() {
+        let schema = Schema::new(vec![
+            Field::new("ts", DataType::Timestamp),
+            Field::new("v", DataType::Int),
+        ])
+        .unwrap();
+        let t = Table::from_rows(
+            schema,
+            vec![
+                vec![Value::Timestamp(0), Value::Int(1)],
+                vec![Value::Timestamp(999), Value::Int(2)],
+                vec![Value::Timestamp(1000), Value::Int(3)],
+                vec![Value::Timestamp(3500), Value::Int(4)],
+            ],
+        )
+        .unwrap();
+        let b = MicroBatcher::tumbling(&t, "ts", 1000).unwrap();
+        assert_eq!(b.num_batches(), 4); // windows 0,1,2(empty),3
+        assert_eq!(b.batches()[0].num_rows(), 2);
+        assert_eq!(b.batches()[1].num_rows(), 1);
+        assert_eq!(b.batches()[2].num_rows(), 0);
+        assert_eq!(b.batches()[3].num_rows(), 1);
+    }
+
+    #[test]
+    fn empty_source_gives_no_batches() {
+        let schema = Schema::new(vec![Field::new("ts", DataType::Timestamp)]).unwrap();
+        let t = Table::empty(schema);
+        let b = MicroBatcher::tumbling(&t, "ts", 1000).unwrap();
+        assert_eq!(b.num_batches(), 0);
+    }
+
+    #[test]
+    fn invalid_window_rejected() {
+        let schema = Schema::new(vec![Field::new("ts", DataType::Timestamp)]).unwrap();
+        let t = Table::empty(schema);
+        assert!(MicroBatcher::tumbling(&t, "ts", 0).is_err());
+    }
+
+    #[test]
+    fn stream_state_accumulates() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("n", DataType::Int),
+            Field::new("s", DataType::Float),
+        ])
+        .unwrap();
+        let t1 = Table::from_rows(
+            schema.clone(),
+            vec![vec!["a".into(), Value::Int(2), Value::Float(1.5)]],
+        )
+        .unwrap();
+        let t2 = Table::from_rows(
+            schema,
+            vec![
+                vec!["a".into(), Value::Int(3), Value::Float(0.5)],
+                vec!["b".into(), Value::Int(1), Value::Float(9.0)],
+            ],
+        )
+        .unwrap();
+        let mut st = StreamState::new();
+        st.absorb(&t1, "k", Some("n"), Some("s")).unwrap();
+        st.absorb(&t2, "k", Some("n"), Some("s")).unwrap();
+        assert_eq!(st.count("a"), 5);
+        assert_eq!(st.sum("a"), 2.0);
+        assert_eq!(st.count("b"), 1);
+        assert_eq!(st.keys(), vec!["a", "b"]);
+        assert_eq!(st.count("missing"), 0);
+    }
+
+    #[test]
+    fn streaming_equals_batch_for_additive_aggregates() {
+        let t = telemetry(2_000, 8, 3);
+        // Batch: total kwh per region.
+        let mut engine = Engine::new(EngineConfig::default().with_threads(2));
+        engine.register("tel", t.clone()).unwrap();
+        let batch_flow = engine
+            .flow("tel")
+            .unwrap()
+            .aggregate(
+                &["region"],
+                vec![AggExpr::new(AggFunc::Sum, "kwh", "total")],
+            )
+            .unwrap();
+        let batch = engine.run(&batch_flow).unwrap();
+
+        // Stream: same aggregate per hour-window, state carries the sum.
+        let batcher = MicroBatcher::tumbling(&t, "ts", 3_600_000).unwrap();
+        assert!(batcher.num_batches() > 1, "need multiple windows");
+        let run = run_stream(
+            EngineConfig::default().with_threads(2),
+            &batcher,
+            |e, ds| {
+                e.flow(ds)?.aggregate(
+                    &["region"],
+                    vec![AggExpr::new(AggFunc::Sum, "kwh", "total")],
+                )
+            },
+            "region",
+            None,
+            Some("total"),
+        )
+        .unwrap();
+        for row in batch.table.iter_rows() {
+            let region = row[0].to_string();
+            let total = row[1].as_float().unwrap();
+            assert!(
+                (run.state.sum(&region) - total).abs() < 1e-6,
+                "region {region}: stream {} vs batch {total}",
+                run.state.sum(&region)
+            );
+        }
+        assert!(run.total_rows() > 0);
+        assert!(run.mean_batch_latency_us() >= 0.0);
+    }
+}

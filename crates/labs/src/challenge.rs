@@ -1,0 +1,344 @@
+//! Challenges: business requirements plus explicit choice points.
+//!
+//! §3: scenarios are "organised in a set of challenges, where the trainees
+//! are requested to identify alternative options, and investigate the
+//! consequences of their choices". A [`Challenge`] carries a base campaign
+//! (the parts of the design that are fixed) and a list of [`ChoicePoint`]s
+//! — the design dimensions left open. A trainee answers with a
+//! [`ChoiceVector`]; [`Challenge::instantiate`] welds the answers into a
+//! runnable [`CampaignSpec`].
+
+use toreador_catalog::matching::Preferences;
+use toreador_core::declarative::{CampaignSpec, ProcessingMode};
+
+use crate::error::{LabsError, Result};
+
+/// A single edit one choice option applies to the base campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecEdit {
+    /// Pin goal `goal` to a specific catalogue service.
+    PinService { goal: usize, service: String },
+    /// Set (or override) a goal parameter.
+    SetParam {
+        goal: usize,
+        key: String,
+        value: String,
+    },
+    /// Remove a goal parameter.
+    RemoveParam { goal: usize, key: String },
+    /// Switch the preference profile.
+    SetPreference(Preferences),
+    /// Switch processing mode.
+    SetMode(ProcessingMode),
+    /// Set worker parallelism.
+    SetParallelism(usize),
+    /// Set the task retry budget.
+    SetRetries(u32),
+    /// Insert a sampling goal at the front of the pipeline.
+    PrependSample { fraction: f64 },
+    /// Insert a new goal at `index`.
+    InsertGoal {
+        index: usize,
+        capability: toreador_catalog::descriptor::Capability,
+        params: Vec<(String, String)>,
+        pin: Option<String>,
+    },
+    /// Replace goal `goal` wholesale.
+    ReplaceGoal {
+        goal: usize,
+        capability: toreador_catalog::descriptor::Capability,
+        params: Vec<(String, String)>,
+        pin: Option<String>,
+    },
+    /// Delete goal `goal` (later edits see the shifted indices).
+    RemoveGoal { goal: usize },
+}
+
+impl SpecEdit {
+    fn apply(&self, spec: &mut CampaignSpec) -> Result<()> {
+        let goal_count = spec.goals.len();
+        let check = |g: usize| {
+            if g >= goal_count {
+                Err(LabsError::BadChoice(format!(
+                    "edit targets goal {g}, campaign has {goal_count}"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            SpecEdit::PinService { goal, service } => {
+                check(*goal)?;
+                spec.goals[*goal].pinned_service = Some(service.clone());
+            }
+            SpecEdit::SetParam { goal, key, value } => {
+                check(*goal)?;
+                spec.goals[*goal].params.insert(key.clone(), value.clone());
+            }
+            SpecEdit::RemoveParam { goal, key } => {
+                check(*goal)?;
+                spec.goals[*goal].params.remove(key);
+            }
+            SpecEdit::SetPreference(p) => spec.preferences = *p,
+            SpecEdit::SetMode(m) => spec.mode = *m,
+            SpecEdit::SetParallelism(n) => spec.parallelism = Some(*n),
+            SpecEdit::SetRetries(n) => spec.max_task_retries = Some(*n),
+            SpecEdit::PrependSample { fraction } => {
+                let sample = toreador_core::declarative::Goal::new(
+                    toreador_catalog::descriptor::Capability::Sampling,
+                )
+                .param("fraction", fraction.to_string());
+                spec.goals.insert(0, sample);
+            }
+            SpecEdit::InsertGoal {
+                index,
+                capability,
+                params,
+                pin,
+            } => {
+                if *index > goal_count {
+                    return Err(LabsError::BadChoice(format!(
+                        "insert at {index}, campaign has {goal_count} goals"
+                    )));
+                }
+                let mut g = toreador_core::declarative::Goal::new(*capability);
+                for (k, v) in params {
+                    g.params.insert(k.clone(), v.clone());
+                }
+                g.pinned_service = pin.clone();
+                spec.goals.insert(*index, g);
+            }
+            SpecEdit::ReplaceGoal {
+                goal,
+                capability,
+                params,
+                pin,
+            } => {
+                check(*goal)?;
+                let mut g = toreador_core::declarative::Goal::new(*capability);
+                for (k, v) in params {
+                    g.params.insert(k.clone(), v.clone());
+                }
+                g.pinned_service = pin.clone();
+                // Keep the original goal's objectives: the business target
+                // does not change because the technique did.
+                g.objectives = spec.goals[*goal].objectives.clone();
+                spec.goals[*goal] = g;
+            }
+            SpecEdit::RemoveGoal { goal } => {
+                check(*goal)?;
+                spec.goals.remove(*goal);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One selectable option at a choice point.
+#[derive(Debug, Clone)]
+pub struct ChoiceOption {
+    pub id: &'static str,
+    /// What the trainee reads.
+    pub label: &'static str,
+    pub edits: Vec<SpecEdit>,
+}
+
+/// One open design dimension.
+#[derive(Debug, Clone)]
+pub struct ChoicePoint {
+    pub id: &'static str,
+    /// The design question, business-phrased.
+    pub prompt: &'static str,
+    pub options: Vec<ChoiceOption>,
+}
+
+/// A complete challenge.
+#[derive(Debug, Clone)]
+pub struct Challenge {
+    pub id: &'static str,
+    pub scenario_id: &'static str,
+    pub title: &'static str,
+    /// Requirements "described from a business perspective" (§3).
+    pub brief: &'static str,
+    /// The fixed part of the design.
+    pub base: CampaignSpec,
+    pub choice_points: Vec<ChoicePoint>,
+    /// The option ids of the sanctioned "success story" solution.
+    pub reference_choices: Vec<&'static str>,
+}
+
+/// A trainee's answers: one option id per choice point, in order.
+pub type ChoiceVector = Vec<String>;
+
+impl Challenge {
+    /// Weld a choice vector into a runnable campaign.
+    pub fn instantiate(&self, choices: &ChoiceVector) -> Result<CampaignSpec> {
+        if choices.len() != self.choice_points.len() {
+            return Err(LabsError::BadChoice(format!(
+                "challenge {} has {} choice points, got {} answers",
+                self.id,
+                self.choice_points.len(),
+                choices.len()
+            )));
+        }
+        let mut spec = self.base.clone();
+        for (point, answer) in self.choice_points.iter().zip(choices) {
+            let option = point
+                .options
+                .iter()
+                .find(|o| o.id == answer)
+                .ok_or_else(|| {
+                    LabsError::BadChoice(format!(
+                        "choice point {:?} has no option {answer:?} (options: {:?})",
+                        point.id,
+                        point.options.iter().map(|o| o.id).collect::<Vec<_>>()
+                    ))
+                })?;
+            for edit in &option.edits {
+                edit.apply(&mut spec)?;
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The sanctioned reference solution as a choice vector.
+    pub fn reference_vector(&self) -> ChoiceVector {
+        self.reference_choices
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// Every possible choice vector (the full design space of the
+    /// challenge). Sizes are intentionally small — challenges expose 2-3
+    /// options per point.
+    pub fn all_choice_vectors(&self) -> Vec<ChoiceVector> {
+        let mut vectors: Vec<ChoiceVector> = vec![Vec::new()];
+        for point in &self.choice_points {
+            let mut next = Vec::with_capacity(vectors.len() * point.options.len());
+            for v in &vectors {
+                for o in &point.options {
+                    let mut nv = v.clone();
+                    nv.push(o.id.to_string());
+                    next.push(nv);
+                }
+            }
+            vectors = next;
+        }
+        vectors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toreador_catalog::descriptor::Capability;
+    use toreador_core::declarative::Goal;
+
+    fn challenge() -> Challenge {
+        let base = CampaignSpec::new("test", "clicks")
+            .goal(Goal::new(Capability::Filtering).param("predicate", "price > 1"));
+        Challenge {
+            id: "t1",
+            scenario_id: "ecommerce-clicks",
+            title: "Test",
+            brief: "Test brief",
+            base,
+            choice_points: vec![
+                ChoicePoint {
+                    id: "scope",
+                    prompt: "Full data or a sample?",
+                    options: vec![
+                        ChoiceOption {
+                            id: "full",
+                            label: "All rows",
+                            edits: vec![],
+                        },
+                        ChoiceOption {
+                            id: "sample",
+                            label: "10% sample",
+                            edits: vec![SpecEdit::PrependSample { fraction: 0.1 }],
+                        },
+                    ],
+                },
+                ChoicePoint {
+                    id: "pref",
+                    prompt: "Optimise for?",
+                    options: vec![
+                        ChoiceOption {
+                            id: "cheap",
+                            label: "Cost",
+                            edits: vec![SpecEdit::SetPreference(Preferences::cost_first())],
+                        },
+                        ChoiceOption {
+                            id: "best",
+                            label: "Quality",
+                            edits: vec![SpecEdit::SetPreference(Preferences::quality_first())],
+                        },
+                    ],
+                },
+            ],
+            reference_choices: vec!["full", "cheap"],
+        }
+    }
+
+    #[test]
+    fn instantiate_applies_edits_in_order() {
+        let c = challenge();
+        let spec = c
+            .instantiate(&vec!["sample".into(), "best".into()])
+            .unwrap();
+        assert_eq!(spec.goals.len(), 2, "sample goal prepended");
+        assert_eq!(spec.goals[0].capability, Capability::Sampling);
+        assert_eq!(spec.preferences, Preferences::quality_first());
+        // The no-edit option leaves the base untouched.
+        let plain = c.instantiate(&c.reference_vector()).unwrap();
+        assert_eq!(plain.goals.len(), 1);
+    }
+
+    #[test]
+    fn bad_vectors_rejected() {
+        let c = challenge();
+        assert!(c.instantiate(&vec!["full".into()]).is_err(), "wrong arity");
+        let err = c
+            .instantiate(&vec!["full".into(), "fastest".into()])
+            .unwrap_err();
+        assert!(err.to_string().contains("fastest"));
+    }
+
+    #[test]
+    fn all_choice_vectors_enumerates_cartesian_product() {
+        let c = challenge();
+        let all = c.all_choice_vectors();
+        assert_eq!(all.len(), 4);
+        assert!(all.contains(&vec!["full".to_string(), "cheap".to_string()]));
+        assert!(all.contains(&vec!["sample".to_string(), "best".to_string()]));
+        // Reference vector is one of them.
+        assert!(all.contains(&c.reference_vector()));
+    }
+
+    #[test]
+    fn edits_validate_goal_indices() {
+        let mut spec = CampaignSpec::new("t", "d").goal(Goal::new(Capability::Filtering));
+        let bad = SpecEdit::SetParam {
+            goal: 5,
+            key: "x".into(),
+            value: "1".into(),
+        };
+        assert!(bad.apply(&mut spec).is_err());
+        let ok = SpecEdit::SetParam {
+            goal: 0,
+            key: "x".into(),
+            value: "1".into(),
+        };
+        ok.apply(&mut spec).unwrap();
+        assert_eq!(spec.goals[0].get_param("x"), Some("1"));
+        SpecEdit::RemoveParam {
+            goal: 0,
+            key: "x".into(),
+        }
+        .apply(&mut spec)
+        .unwrap();
+        assert_eq!(spec.goals[0].get_param("x"), None);
+    }
+}

@@ -1,0 +1,412 @@
+//! Run comparison: the Labs' core affordance.
+//!
+//! §3: "this kind of experience is usually not available in the
+//! professional Big Data platforms today in the market, where the
+//! architectural and data complexity make it difficult to compare different
+//! runs of a composite BDA." Here, comparison is a first-class operation
+//! over [`RunRecord`]s: choice diffs, indicator deltas, plan diffs,
+//! objective flips — plus a consequence matrix with Pareto analysis over
+//! many runs.
+
+use std::collections::BTreeSet;
+
+use toreador_core::declarative::Indicator;
+
+use crate::error::{LabsError, Result};
+use crate::run::RunRecord;
+
+/// The structured difference between two runs of the same challenge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunComparison {
+    pub run_a: u64,
+    pub run_b: u64,
+    /// (choice point index, a's answer, b's answer) where they differ.
+    pub choice_diffs: Vec<(usize, String, String)>,
+    /// Indicator deltas, sorted by name.
+    pub indicator_deltas: Vec<IndicatorDelta>,
+    /// Services only in a's plan / only in b's plan.
+    pub services_only_a: Vec<String>,
+    pub services_only_b: Vec<String>,
+    /// Objectives whose satisfaction changed: (objective, a, b).
+    pub objective_flips: Vec<(String, Option<bool>, Option<bool>)>,
+    /// Compliance verdict change, if any.
+    pub compliance_change: Option<(Option<bool>, Option<bool>)>,
+}
+
+/// One indicator's movement between two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndicatorDelta {
+    pub indicator: String,
+    pub a: Option<f64>,
+    pub b: Option<f64>,
+    /// b - a when both measured.
+    pub delta: Option<f64>,
+}
+
+impl RunComparison {
+    /// Diff two records. They must belong to the same challenge — comparing
+    /// across challenges compares nothing meaningful.
+    pub fn diff(a: &RunRecord, b: &RunRecord) -> Result<RunComparison> {
+        if a.challenge_id != b.challenge_id {
+            return Err(LabsError::Incomparable(format!(
+                "run {} is {:?}, run {} is {:?}",
+                a.run_id, a.challenge_id, b.run_id, b.challenge_id
+            )));
+        }
+        let choice_diffs = a
+            .choices
+            .iter()
+            .zip(&b.choices)
+            .enumerate()
+            .filter(|(_, (x, y))| x != y)
+            .map(|(i, (x, y))| (i, x.clone(), y.clone()))
+            .collect();
+
+        let names: BTreeSet<&String> = a.indicators.keys().chain(b.indicators.keys()).collect();
+        let indicator_deltas = names
+            .into_iter()
+            .map(|name| {
+                let av = a.indicators.get(name).copied();
+                let bv = b.indicators.get(name).copied();
+                IndicatorDelta {
+                    indicator: name.clone(),
+                    a: av,
+                    b: bv,
+                    delta: match (av, bv) {
+                        (Some(x), Some(y)) => Some(y - x),
+                        _ => None,
+                    },
+                }
+            })
+            .collect();
+
+        let set_a: BTreeSet<&String> = a.plan_services.iter().collect();
+        let set_b: BTreeSet<&String> = b.plan_services.iter().collect();
+        let services_only_a = set_a.difference(&set_b).map(|s| (*s).clone()).collect();
+        let services_only_b = set_b.difference(&set_a).map(|s| (*s).clone()).collect();
+
+        let objective_flips = a
+            .objectives
+            .iter()
+            .zip(&b.objectives)
+            .filter(|((oa, sa), (_, sb))| {
+                let _ = oa;
+                sa != sb
+            })
+            .map(|((o, sa), (_, sb))| (o.clone(), *sa, *sb))
+            .collect();
+
+        let compliance_change = if a.compliant != b.compliant {
+            Some((a.compliant, b.compliant))
+        } else {
+            None
+        };
+
+        Ok(RunComparison {
+            run_a: a.run_id,
+            run_b: b.run_id,
+            choice_diffs,
+            indicator_deltas,
+            services_only_a,
+            services_only_b,
+            objective_flips,
+            compliance_change,
+        })
+    }
+
+    /// True when the two runs differ in nothing the record captures.
+    pub fn is_identical(&self) -> bool {
+        self.choice_diffs.is_empty()
+            && self.services_only_a.is_empty()
+            && self.services_only_b.is_empty()
+            && self.objective_flips.is_empty()
+            && self.compliance_change.is_none()
+    }
+
+    /// Render as a text report.
+    pub fn render(&self) -> String {
+        let mut out = format!("run {} vs run {}\n", self.run_a, self.run_b);
+        if self.choice_diffs.is_empty() {
+            out.push_str("choices: identical\n");
+        }
+        for (i, a, b) in &self.choice_diffs {
+            out.push_str(&format!("choice {i}: {a} -> {b}\n"));
+        }
+        for d in &self.indicator_deltas {
+            if let (Some(a), Some(b), Some(delta)) = (d.a, d.b, d.delta) {
+                let pct = if a.abs() > 1e-12 {
+                    100.0 * delta / a
+                } else {
+                    f64::NAN
+                };
+                out.push_str(&format!(
+                    "{}: {a:.3} -> {b:.3} ({delta:+.3}, {pct:+.1}%)\n",
+                    d.indicator
+                ));
+            }
+        }
+        for s in &self.services_only_a {
+            out.push_str(&format!("plan: only first run uses {s}\n"));
+        }
+        for s in &self.services_only_b {
+            out.push_str(&format!("plan: only second run uses {s}\n"));
+        }
+        for (o, a, b) in &self.objective_flips {
+            out.push_str(&format!("objective {o}: {a:?} -> {b:?}\n"));
+        }
+        if let Some((a, b)) = self.compliance_change {
+            out.push_str(&format!("compliance: {a:?} -> {b:?}\n"));
+        }
+        out
+    }
+}
+
+/// A consequence matrix over many runs of one challenge: rows are runs,
+/// columns are indicators.
+#[derive(Debug, Clone)]
+pub struct ConsequenceMatrix {
+    pub challenge_id: String,
+    pub indicator_names: Vec<String>,
+    /// (run id, choices, per-indicator values in `indicator_names` order).
+    pub rows: Vec<(u64, Vec<String>, Vec<Option<f64>>)>,
+}
+
+impl ConsequenceMatrix {
+    /// Build from records (all must share a challenge).
+    pub fn build(records: &[RunRecord]) -> Result<ConsequenceMatrix> {
+        let first = records
+            .first()
+            .ok_or_else(|| LabsError::Incomparable("no runs to tabulate".to_owned()))?;
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        for r in records {
+            if r.challenge_id != first.challenge_id {
+                return Err(LabsError::Incomparable(format!(
+                    "mixed challenges: {:?} and {:?}",
+                    first.challenge_id, r.challenge_id
+                )));
+            }
+            names.extend(r.indicators.keys().cloned());
+        }
+        let indicator_names: Vec<String> = names.into_iter().collect();
+        let rows = records
+            .iter()
+            .map(|r| {
+                let values = indicator_names
+                    .iter()
+                    .map(|n| r.indicators.get(n).copied())
+                    .collect();
+                (r.run_id, r.choices.clone(), values)
+            })
+            .collect();
+        Ok(ConsequenceMatrix {
+            challenge_id: first.challenge_id.clone(),
+            indicator_names,
+            rows,
+        })
+    }
+
+    /// Does row `a` weakly dominate row `b` on every *comparable* indicator
+    /// (respecting each indicator's orientation), strictly on at least one?
+    ///
+    /// Timing-derived indicators (runtime, throughput, batch latency) are
+    /// excluded — they are noisy across repeated runs, and the design
+    /// trade-offs the Labs teach live in the data-derived indicators (cost,
+    /// accuracy, risk, coverage).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let comparable =
+            |name: &str| !matches!(name, "runtime_ms" | "throughput" | "batch_latency_ms");
+        let mut strict = false;
+        for (i, name) in self.indicator_names.iter().enumerate() {
+            if !comparable(name) {
+                continue;
+            }
+            let (Some(va), Some(vb)) = (self.rows[a].2[i], self.rows[b].2[i]) else {
+                continue;
+            };
+            let higher_better = Indicator::parse(name)
+                .map(|x| x.higher_is_better())
+                .unwrap_or(true);
+            let (better, worse) = if higher_better {
+                (va > vb + 1e-12, va < vb - 1e-12)
+            } else {
+                (va < vb - 1e-12, va > vb + 1e-12)
+            };
+            if worse {
+                return false;
+            }
+            if better {
+                strict = true;
+            }
+        }
+        strict
+    }
+
+    /// Indices of rows not dominated by any other row.
+    pub fn pareto_front(&self) -> Vec<usize> {
+        (0..self.rows.len())
+            .filter(|&i| !(0..self.rows.len()).any(|j| j != i && self.dominates(j, i)))
+            .collect()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut header = vec!["run".to_owned(), "choices".to_owned()];
+        header.extend(self.indicator_names.iter().cloned());
+        let mut grid: Vec<Vec<String>> = vec![header];
+        for (id, choices, values) in &self.rows {
+            let mut row = vec![id.to_string(), choices.join("/")];
+            row.extend(values.iter().map(|v| match v {
+                Some(x) => format!("{x:.3}"),
+                None => "-".to_owned(),
+            }));
+            grid.push(row);
+        }
+        let widths: Vec<usize> = (0..grid[0].len())
+            .map(|c| grid.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        for row in &grid {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                out.extend(std::iter::repeat(' ').take(widths[c] - cell.len()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn record(id: u64, challenge: &str, choices: &[&str], indicators: &[(&str, f64)]) -> RunRecord {
+        RunRecord {
+            run_id: id,
+            challenge_id: challenge.to_owned(),
+            choices: choices.iter().map(|s| s.to_string()).collect(),
+            plan_services: vec!["processing.filter".to_owned()],
+            platform: "lab-free-tier".to_owned(),
+            indicators: indicators
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect::<BTreeMap<_, _>>(),
+            objectives: vec![("runtime_ms <= 100".to_owned(), Some(true))],
+            compliant: None,
+            warnings: vec![],
+            rows_in: 100,
+            rows_out: 50,
+            shuffle_bytes: 1024,
+            reports: vec![],
+        }
+    }
+
+    #[test]
+    fn diff_identifies_exactly_the_differences() {
+        let mut a = record(
+            1,
+            "c",
+            &["full", "batch"],
+            &[("cost", 10.0), ("accuracy", 0.8)],
+        );
+        let mut b = record(
+            2,
+            "c",
+            &["sample", "batch"],
+            &[("cost", 4.0), ("accuracy", 0.7)],
+        );
+        b.plan_services = vec![
+            "processing.sample".to_owned(),
+            "processing.filter".to_owned(),
+        ];
+        a.objectives = vec![("accuracy >= 0.75".to_owned(), Some(true))];
+        b.objectives = vec![("accuracy >= 0.75".to_owned(), Some(false))];
+        let d = RunComparison::diff(&a, &b).unwrap();
+        assert_eq!(
+            d.choice_diffs,
+            vec![(0, "full".to_owned(), "sample".to_owned())]
+        );
+        assert_eq!(d.services_only_b, vec!["processing.sample".to_owned()]);
+        assert!(d.services_only_a.is_empty());
+        assert_eq!(d.objective_flips.len(), 1);
+        let cost = d
+            .indicator_deltas
+            .iter()
+            .find(|x| x.indicator == "cost")
+            .unwrap();
+        assert_eq!(cost.delta, Some(-6.0));
+        assert!(!d.is_identical());
+        let rendered = d.render();
+        assert!(rendered.contains("full -> sample"));
+        assert!(rendered.contains("cost"));
+    }
+
+    #[test]
+    fn identical_runs_diff_to_nothing() {
+        let a = record(1, "c", &["x"], &[("cost", 1.0)]);
+        let b = record(2, "c", &["x"], &[("cost", 1.0)]);
+        let d = RunComparison::diff(&a, &b).unwrap();
+        assert!(d.is_identical());
+    }
+
+    #[test]
+    fn cross_challenge_diff_refused() {
+        let a = record(1, "c1", &["x"], &[]);
+        let b = record(2, "c2", &["x"], &[]);
+        assert!(matches!(
+            RunComparison::diff(&a, &b),
+            Err(LabsError::Incomparable(_))
+        ));
+    }
+
+    #[test]
+    fn matrix_collects_union_of_indicators() {
+        let a = record(1, "c", &["x"], &[("cost", 1.0), ("accuracy", 0.9)]);
+        let b = record(2, "c", &["y"], &[("cost", 2.0)]);
+        let m = ConsequenceMatrix::build(&[a, b]).unwrap();
+        assert_eq!(m.indicator_names, vec!["accuracy", "cost"]);
+        assert_eq!(m.rows[1].2[0], None, "b has no accuracy");
+        let rendered = m.render();
+        assert!(rendered.contains("accuracy"));
+        assert!(rendered.contains('-'));
+    }
+
+    #[test]
+    fn dominance_respects_orientation() {
+        // a: cheaper AND more accurate -> dominates.
+        let a = record(1, "c", &["a"], &[("cost", 1.0), ("accuracy", 0.9)]);
+        let b = record(2, "c", &["b"], &[("cost", 2.0), ("accuracy", 0.8)]);
+        let m = ConsequenceMatrix::build(&[a, b]).unwrap();
+        assert!(m.dominates(0, 1));
+        assert!(!m.dominates(1, 0));
+        assert_eq!(m.pareto_front(), vec![0]);
+    }
+
+    #[test]
+    fn tradeoffs_keep_both_on_the_front() {
+        // a cheaper, b more accurate: neither dominates.
+        let a = record(1, "c", &["a"], &[("cost", 1.0), ("accuracy", 0.7)]);
+        let b = record(2, "c", &["b"], &[("cost", 5.0), ("accuracy", 0.9)]);
+        let m = ConsequenceMatrix::build(&[a, b]).unwrap();
+        assert!(!m.dominates(0, 1));
+        assert!(!m.dominates(1, 0));
+        assert_eq!(m.pareto_front(), vec![0, 1]);
+    }
+
+    #[test]
+    fn timing_indicators_do_not_drive_dominance() {
+        let a = record(1, "c", &["a"], &[("cost", 1.0), ("runtime_ms", 500.0)]);
+        let b = record(2, "c", &["b"], &[("cost", 1.0), ("runtime_ms", 100.0)]);
+        let m = ConsequenceMatrix::build(&[a, b]).unwrap();
+        assert!(!m.dominates(1, 0), "runtime alone must not dominate");
+    }
+
+    #[test]
+    fn empty_matrix_refused() {
+        assert!(ConsequenceMatrix::build(&[]).is_err());
+    }
+}

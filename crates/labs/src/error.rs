@@ -1,0 +1,55 @@
+//! Error type for the Labs environment.
+
+use std::fmt;
+
+/// Errors raised by the Labs runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabsError {
+    /// Unknown scenario / challenge / choice identifiers.
+    Unknown(String),
+    /// A choice vector is incomplete or names a non-existent option.
+    BadChoice(String),
+    /// The session's free-tier quota is exhausted.
+    QuotaExceeded(String),
+    /// Compilation or execution of the campaign failed.
+    Campaign(String),
+    /// Run comparison prerequisites not met (different challenges, ...).
+    Incomparable(String),
+}
+
+impl fmt::Display for LabsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabsError::Unknown(m) => write!(f, "unknown lab entity: {m}"),
+            LabsError::BadChoice(m) => write!(f, "invalid choice: {m}"),
+            LabsError::QuotaExceeded(m) => write!(f, "free-tier quota exceeded: {m}"),
+            LabsError::Campaign(m) => write!(f, "campaign failed: {m}"),
+            LabsError::Incomparable(m) => write!(f, "runs not comparable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LabsError {}
+
+impl From<toreador_core::error::CoreError> for LabsError {
+    fn from(e: toreador_core::error::CoreError) -> Self {
+        LabsError::Campaign(e.to_string())
+    }
+}
+
+/// Result alias for the Labs layer.
+pub type Result<T> = std::result::Result<T, LabsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        assert!(LabsError::QuotaExceeded("runs".into())
+            .to_string()
+            .contains("quota"));
+        let e: LabsError = toreador_core::error::CoreError::Inconsistent("boom".into()).into();
+        assert!(e.to_string().contains("boom"));
+    }
+}

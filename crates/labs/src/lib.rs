@@ -1,0 +1,59 @@
+//! # toreador-labs
+//!
+//! TOREADOR Labs: a "Big Data Analytics-as-a-Service environment for
+//! testing simplified but real-life Big Data analytics vertical scenarios"
+//! (the paper's abstract). Trainees take on challenges whose requirements
+//! are phrased from a business perspective, pick among explicit alternative
+//! options, run the resulting campaigns, and investigate the consequences
+//! of their choices by comparing runs — the "trial and error" loop.
+//!
+//! * [`scenario`] — the three vertical scenarios (e-commerce clickstream,
+//!   smart-energy telemetry, healthcare registry) with deterministic data;
+//! * [`challenge`] — challenges as base campaigns + open [`challenge::ChoicePoint`]s;
+//! * [`catalog`] — the built-in challenge library (two per vertical);
+//! * [`run`] — execution with full provenance ([`run::RunRecord`]);
+//! * [`compare`] — run diffs, consequence matrices, Pareto fronts;
+//! * [`score`] — grading against objectives, compliance, efficiency and the
+//!   sanctioned reference design;
+//! * [`session`] — free-tier quota enforcement and run history.
+//!
+//! ## Example
+//!
+//! ```
+//! use toreador_labs::prelude::*;
+//!
+//! let mut session = LabSession::new("trainee", Quota::free_tier(), 42);
+//! let challenge = challenge("ecomm-revenue").unwrap();
+//! // First attempt: the straightforward design.
+//! session.attempt("ecomm-revenue", &challenge.reference_vector(), Some(1_000)).unwrap();
+//! // Second attempt: sample the data instead.
+//! session.attempt(
+//!     "ecomm-revenue",
+//!     &vec!["sample".into(), "batch".into()],
+//!     Some(1_000),
+//! ).unwrap();
+//! // Investigate the consequences.
+//! let diff = session.compare(1, 2).unwrap();
+//! assert_eq!(diff.choice_diffs.len(), 1);
+//! ```
+
+pub mod catalog;
+pub mod challenge;
+pub mod compare;
+pub mod error;
+pub mod run;
+pub mod scenario;
+pub mod score;
+pub mod session;
+
+/// Convenient glob import of the commonly used types.
+pub mod prelude {
+    pub use crate::catalog::{challenge, challenges};
+    pub use crate::challenge::{Challenge, ChoiceOption, ChoicePoint, ChoiceVector, SpecEdit};
+    pub use crate::compare::{ConsequenceMatrix, IndicatorDelta, RunComparison};
+    pub use crate::error::{LabsError, Result as LabsResult};
+    pub use crate::run::{execute_attempt, RunRecord};
+    pub use crate::scenario::{scenario, scenarios, Scenario, Vertical};
+    pub use crate::score::{assess, Score};
+    pub use crate::session::{LabSession, Quota};
+}

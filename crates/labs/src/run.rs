@@ -1,0 +1,178 @@
+//! Run execution and provenance records.
+//!
+//! Every Labs run leaves a [`RunRecord`]: the choices made, the plan that
+//! was compiled, every measured indicator, objective outcomes, compliance
+//! verdicts, and resource usage. Records are serialisable and are the raw
+//! material of [`crate::compare`] — the paper's point that professional
+//! platforms make "compar[ing] different runs of a composite BDA"
+//! difficult, and the Labs make it a first-class operation.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use toreador_core::compile::Bdaas;
+use toreador_core::declarative::Indicator;
+
+use crate::challenge::{Challenge, ChoiceVector};
+use crate::error::{LabsError, Result};
+use crate::scenario::scenario;
+
+/// The provenance record of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Monotone per-session run number.
+    pub run_id: u64,
+    pub challenge_id: String,
+    pub choices: ChoiceVector,
+    /// Service ids, in composition order.
+    pub plan_services: Vec<String>,
+    pub platform: String,
+    /// Indicator name -> measured value.
+    pub indicators: BTreeMap<String, f64>,
+    /// Objective rendered -> satisfied (None = unmeasured).
+    pub objectives: Vec<(String, Option<bool>)>,
+    /// Post-hoc compliance verdict, if a policy applied.
+    pub compliant: Option<bool>,
+    /// Consistency warnings surfaced at compile time.
+    pub warnings: Vec<String>,
+    /// Rows in / rows out.
+    pub rows_in: usize,
+    pub rows_out: usize,
+    /// Total shuffle bytes across engine stages (a real resource signal).
+    pub shuffle_bytes: u64,
+    /// Text reports produced by the pipeline's services.
+    pub reports: Vec<(String, String)>,
+}
+
+impl RunRecord {
+    pub fn indicator(&self, indicator: Indicator) -> Option<f64> {
+        self.indicators.get(indicator.name()).copied()
+    }
+
+    /// Fraction of objectives satisfied (unmeasured counts as unmet).
+    pub fn objective_fraction(&self) -> f64 {
+        if self.objectives.is_empty() {
+            return 1.0;
+        }
+        let met = self
+            .objectives
+            .iter()
+            .filter(|(_, s)| *s == Some(true))
+            .count();
+        met as f64 / self.objectives.len() as f64
+    }
+}
+
+/// Execute one challenge attempt: instantiate the choices, compile through
+/// the BDAaaS function, run on the scenario's data, and record everything.
+///
+/// `rows` overrides the scenario default (the session quota may cap it).
+pub fn execute_attempt(
+    bdaas: &Bdaas,
+    challenge: &Challenge,
+    choices: &ChoiceVector,
+    run_id: u64,
+    rows: Option<usize>,
+    seed: u64,
+) -> Result<RunRecord> {
+    let spec = challenge.instantiate(choices)?;
+    let scen = scenario(challenge.scenario_id)?;
+    let rows = rows.unwrap_or(scen.default_rows);
+    let data = scen.generate(rows, seed);
+    let aux = scen.auxiliary();
+    let compiled = bdaas
+        .compile(&spec, data.schema(), data.num_rows())
+        .map_err(|e| LabsError::Campaign(e.to_string()))?;
+    let outcome = bdaas
+        .run(&compiled, data, &aux)
+        .map_err(|e| LabsError::Campaign(e.to_string()))?;
+    Ok(RunRecord {
+        run_id,
+        challenge_id: challenge.id.to_owned(),
+        choices: choices.clone(),
+        plan_services: compiled
+            .procedural
+            .composition
+            .service_ids()
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+        platform: compiled.deployment.platform.name.clone(),
+        indicators: outcome.indicators.clone(),
+        objectives: outcome
+            .objectives
+            .iter()
+            .map(|o| (o.objective.to_string(), o.satisfied))
+            .collect(),
+        compliant: outcome.post_verdict.as_ref().map(|v| v.compliant),
+        warnings: compiled.warnings.iter().map(|w| w.to_string()).collect(),
+        rows_in: rows,
+        rows_out: outcome.output.num_rows(),
+        shuffle_bytes: outcome
+            .engine_metrics
+            .iter()
+            .map(|m| m.total_shuffle_bytes())
+            .sum(),
+        reports: outcome.reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::challenges;
+
+    #[test]
+    fn attempt_produces_complete_record() {
+        let bdaas = Bdaas::new();
+        let all = challenges();
+        let c = &all[0];
+        let record = execute_attempt(&bdaas, c, &c.reference_vector(), 1, Some(800), 42).unwrap();
+        assert_eq!(record.run_id, 1);
+        assert_eq!(record.challenge_id, c.id);
+        assert!(!record.plan_services.is_empty());
+        assert!(record.indicators.contains_key("runtime_ms"));
+        assert!(record.indicators.contains_key("cost"));
+        assert_eq!(record.rows_in, 800);
+        assert!(record.rows_out > 0);
+        assert!((0.0..=1.0).contains(&record.objective_fraction()));
+    }
+
+    #[test]
+    fn records_are_deterministic_in_seed_modulo_timing() {
+        let bdaas = Bdaas::new();
+        let all = challenges();
+        let c = &all[0];
+        let a = execute_attempt(&bdaas, c, &c.reference_vector(), 1, Some(500), 7).unwrap();
+        let b = execute_attempt(&bdaas, c, &c.reference_vector(), 2, Some(500), 7).unwrap();
+        assert_eq!(a.plan_services, b.plan_services);
+        assert_eq!(a.rows_out, b.rows_out);
+        assert_eq!(a.shuffle_bytes, b.shuffle_bytes);
+        // Timing-derived indicators may differ; data-derived ones must not.
+        assert_eq!(
+            a.indicator(Indicator::Coverage),
+            b.indicator(Indicator::Coverage)
+        );
+    }
+
+    #[test]
+    fn bad_choice_vector_fails_cleanly() {
+        let bdaas = Bdaas::new();
+        let all = challenges();
+        let c = &all[0];
+        let err = execute_attempt(&bdaas, c, &vec!["no-such".into()], 1, Some(100), 1).unwrap_err();
+        assert!(matches!(err, LabsError::BadChoice(_)));
+    }
+
+    #[test]
+    fn records_serialize() {
+        let bdaas = Bdaas::new();
+        let all = challenges();
+        let c = &all[0];
+        let record = execute_attempt(&bdaas, c, &c.reference_vector(), 1, Some(300), 3).unwrap();
+        let j = serde_json::to_string(&record).unwrap();
+        let back: RunRecord = serde_json::from_str(&j).unwrap();
+        assert_eq!(record, back);
+    }
+}

@@ -1,0 +1,234 @@
+//! Assessment: scoring a trainee's run.
+//!
+//! The Labs are a training environment, so runs are graded. The score
+//! rewards exactly what the paper says trainees should learn: meeting the
+//! declared business objectives, staying compliant, spending resources
+//! proportionately, and heeding the consistency warnings the platform
+//! raised. A bonus rewards landing on (or near) the sanctioned
+//! success-story design.
+
+use toreador_core::declarative::Indicator;
+
+use crate::challenge::Challenge;
+use crate::run::RunRecord;
+
+/// Score weights (out of 100 total).
+const W_OBJECTIVES: f64 = 45.0;
+const W_COMPLIANCE: f64 = 20.0;
+const W_EFFICIENCY: f64 = 20.0;
+const W_REFERENCE: f64 = 15.0;
+const WARNING_PENALTY: f64 = 2.0;
+
+/// A graded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Score {
+    pub total: f64,
+    /// (component, awarded, maximum).
+    pub breakdown: Vec<(String, f64, f64)>,
+}
+
+impl Score {
+    pub fn component(&self, name: &str) -> Option<f64> {
+        self.breakdown
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, v, _)| *v)
+    }
+}
+
+/// Grade a run against its challenge.
+pub fn assess(challenge: &Challenge, record: &RunRecord) -> Score {
+    let mut breakdown = Vec::new();
+
+    // 1. Objectives: fraction satisfied.
+    let objectives = record.objective_fraction() * W_OBJECTIVES;
+    breakdown.push(("objectives".to_owned(), objectives, W_OBJECTIVES));
+
+    // 2. Compliance: full marks when compliant or when no policy applies;
+    //    zero on a failed verdict.
+    let compliance = match record.compliant {
+        Some(true) | None => W_COMPLIANCE,
+        Some(false) => 0.0,
+    };
+    breakdown.push(("compliance".to_owned(), compliance, W_COMPLIANCE));
+
+    // 3. Efficiency: abstract cost, squashed so that spending ~100 units on
+    //    a lab-scale dataset halves the component. Data-derived, so the
+    //    grade is reproducible run-to-run.
+    let cost = record.indicator(Indicator::Cost).unwrap_or(0.0).max(0.0);
+    let efficiency = W_EFFICIENCY * (1.0 / (1.0 + cost / 100.0));
+    breakdown.push(("efficiency".to_owned(), efficiency, W_EFFICIENCY));
+
+    // 4. Reference alignment: how many choices match the success story.
+    let reference = challenge.reference_vector();
+    let matches = record
+        .choices
+        .iter()
+        .zip(&reference)
+        .filter(|(a, b)| a == b)
+        .count();
+    let alignment = if reference.is_empty() {
+        W_REFERENCE
+    } else {
+        W_REFERENCE * matches as f64 / reference.len() as f64
+    };
+    breakdown.push(("reference-alignment".to_owned(), alignment, W_REFERENCE));
+
+    // 5. Warning penalty.
+    let penalty = (record.warnings.len() as f64 * WARNING_PENALTY).min(10.0);
+    breakdown.push(("warning-penalty".to_owned(), -penalty, 0.0));
+
+    let total = (objectives + compliance + efficiency + alignment - penalty).clamp(0.0, 100.0);
+    Score { total, breakdown }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::challenge;
+    use std::collections::BTreeMap;
+
+    fn record(
+        choices: &[&str],
+        objectives_met: &[bool],
+        compliant: Option<bool>,
+        cost: f64,
+        warnings: usize,
+    ) -> RunRecord {
+        RunRecord {
+            run_id: 1,
+            challenge_id: "health-compliance".to_owned(),
+            choices: choices.iter().map(|s| s.to_string()).collect(),
+            plan_services: vec![],
+            platform: "lab-free-tier".to_owned(),
+            indicators: BTreeMap::from([("cost".to_owned(), cost)]),
+            objectives: objectives_met
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| (format!("o{i}"), Some(m)))
+                .collect(),
+            compliant,
+            warnings: (0..warnings).map(|i| format!("w{i}")).collect(),
+            rows_in: 100,
+            rows_out: 100,
+            shuffle_bytes: 0,
+            reports: vec![],
+        }
+    }
+
+    #[test]
+    fn perfect_run_scores_near_the_top() {
+        let c = challenge("health-compliance").unwrap();
+        let r = record(
+            &["anonymise", "standard"],
+            &[true, true],
+            Some(true),
+            10.0,
+            0,
+        );
+        let s = assess(&c, &r);
+        assert!(s.total > 90.0, "total {}", s.total);
+        assert_eq!(s.component("objectives"), Some(45.0));
+        assert_eq!(s.component("compliance"), Some(20.0));
+        assert_eq!(s.component("reference-alignment"), Some(15.0));
+    }
+
+    #[test]
+    fn failed_compliance_costs_twenty_points() {
+        let c = challenge("health-compliance").unwrap();
+        let ok = assess(
+            &c,
+            &record(&["anonymise", "standard"], &[true], Some(true), 10.0, 0),
+        );
+        let bad = assess(
+            &c,
+            &record(&["anonymise", "standard"], &[true], Some(false), 10.0, 0),
+        );
+        assert!((ok.total - bad.total - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missed_objectives_reduce_score_proportionally() {
+        let c = challenge("health-compliance").unwrap();
+        let all = assess(
+            &c,
+            &record(&["anonymise", "standard"], &[true, true], None, 10.0, 0),
+        );
+        let half = assess(
+            &c,
+            &record(&["anonymise", "standard"], &[true, false], None, 10.0, 0),
+        );
+        let none = assess(
+            &c,
+            &record(&["anonymise", "standard"], &[false, false], None, 10.0, 0),
+        );
+        assert!(all.total > half.total && half.total > none.total);
+        assert!((all.component("objectives").unwrap() - 45.0).abs() < 1e-9);
+        assert!((half.component("objectives").unwrap() - 22.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expensive_runs_lose_efficiency_points() {
+        let c = challenge("health-compliance").unwrap();
+        let cheap = assess(
+            &c,
+            &record(&["anonymise", "standard"], &[true], None, 1.0, 0),
+        );
+        let dear = assess(
+            &c,
+            &record(&["anonymise", "standard"], &[true], None, 1_000.0, 0),
+        );
+        assert!(cheap.component("efficiency").unwrap() > dear.component("efficiency").unwrap());
+    }
+
+    #[test]
+    fn off_reference_choices_lose_alignment_only() {
+        let c = challenge("health-compliance").unwrap();
+        let on = assess(
+            &c,
+            &record(&["anonymise", "standard"], &[true], None, 10.0, 0),
+        );
+        let off = assess(&c, &record(&["dp", "strict"], &[true], None, 10.0, 0));
+        assert_eq!(off.component("reference-alignment"), Some(0.0));
+        assert!(on.total > off.total);
+        // But objectives/compliance/efficiency are unchanged.
+        assert_eq!(on.component("objectives"), off.component("objectives"));
+    }
+
+    #[test]
+    fn warnings_penalise_but_saturate() {
+        let c = challenge("health-compliance").unwrap();
+        let clean = assess(
+            &c,
+            &record(&["anonymise", "standard"], &[true], None, 10.0, 0),
+        );
+        let warned = assess(
+            &c,
+            &record(&["anonymise", "standard"], &[true], None, 10.0, 2),
+        );
+        let noisy = assess(
+            &c,
+            &record(&["anonymise", "standard"], &[true], None, 10.0, 50),
+        );
+        assert!((clean.total - warned.total - 4.0).abs() < 1e-9);
+        assert!(
+            clean.total - noisy.total <= 10.0 + 1e-9,
+            "penalty caps at 10"
+        );
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        let c = challenge("health-compliance").unwrap();
+        let worst = assess(
+            &c,
+            &record(&["dp", "strict"], &[false, false], Some(false), 1e9, 50),
+        );
+        assert!(worst.total >= 0.0);
+        let best = assess(
+            &c,
+            &record(&["anonymise", "standard"], &[true], Some(true), 0.0, 0),
+        );
+        assert!(best.total <= 100.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Append-only audit log of data access and compliance decisions.
+//!
+//! The "custody" half of the paper's regulatory barrier: every access to a
+//! protected dataset and every compliance verdict is recorded, so a
+//! campaign can demonstrate after the fact what was read, by which
+//! pipeline, under which policy.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AuditEvent {
+    /// A pipeline read a dataset.
+    DatasetAccess { dataset: String, pipeline: String },
+    /// A compliance check ran.
+    ComplianceCheck {
+        pipeline: String,
+        policy: String,
+        passed: bool,
+    },
+    /// An anonymisation was applied.
+    Anonymization {
+        pipeline: String,
+        technique: String,
+        parameter: String,
+    },
+    /// A DP budget spend.
+    BudgetSpend {
+        pipeline: String,
+        label: String,
+        epsilon: f64,
+    },
+}
+
+/// One timestamped entry. Timestamps are logical (monotone sequence
+/// numbers) so logs are reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    pub sequence: u64,
+    pub event: AuditEvent,
+}
+
+/// An append-only audit log.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+}
+
+impl AuditLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event, assigning the next sequence number.
+    pub fn record(&mut self, event: AuditEvent) -> u64 {
+        let sequence = self.entries.len() as u64;
+        self.entries.push(AuditEntry { sequence, event });
+        sequence
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// All events touching the named pipeline.
+    pub fn for_pipeline(&self, pipeline: &str) -> Vec<&AuditEntry> {
+        self.entries
+            .iter()
+            .filter(|e| match &e.event {
+                AuditEvent::DatasetAccess { pipeline: p, .. }
+                | AuditEvent::ComplianceCheck { pipeline: p, .. }
+                | AuditEvent::Anonymization { pipeline: p, .. }
+                | AuditEvent::BudgetSpend { pipeline: p, .. } => p == pipeline,
+            })
+            .collect()
+    }
+
+    /// Total ε spent according to the log (cross-check against ledgers).
+    pub fn total_epsilon_spent(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter_map(|e| match &e.event {
+                AuditEvent::BudgetSpend { epsilon, .. } => Some(*epsilon),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Did any compliance check fail?
+    pub fn any_failures(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|e| matches!(&e.event, AuditEvent::ComplianceCheck { passed: false, .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_are_monotone() {
+        let mut log = AuditLog::new();
+        let a = log.record(AuditEvent::DatasetAccess {
+            dataset: "health".into(),
+            pipeline: "p1".into(),
+        });
+        let b = log.record(AuditEvent::ComplianceCheck {
+            pipeline: "p1".into(),
+            policy: "gdpr".into(),
+            passed: true,
+        });
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn filters_by_pipeline() {
+        let mut log = AuditLog::new();
+        log.record(AuditEvent::DatasetAccess {
+            dataset: "d".into(),
+            pipeline: "p1".into(),
+        });
+        log.record(AuditEvent::DatasetAccess {
+            dataset: "d".into(),
+            pipeline: "p2".into(),
+        });
+        log.record(AuditEvent::BudgetSpend {
+            pipeline: "p1".into(),
+            label: "q".into(),
+            epsilon: 0.5,
+        });
+        assert_eq!(log.for_pipeline("p1").len(), 2);
+        assert_eq!(log.for_pipeline("p2").len(), 1);
+        assert_eq!(log.for_pipeline("ghost").len(), 0);
+    }
+
+    #[test]
+    fn epsilon_accounting_and_failure_detection() {
+        let mut log = AuditLog::new();
+        log.record(AuditEvent::BudgetSpend {
+            pipeline: "p".into(),
+            label: "a".into(),
+            epsilon: 0.3,
+        });
+        log.record(AuditEvent::BudgetSpend {
+            pipeline: "p".into(),
+            label: "b".into(),
+            epsilon: 0.2,
+        });
+        assert!((log.total_epsilon_spent() - 0.5).abs() < 1e-12);
+        assert!(!log.any_failures());
+        log.record(AuditEvent::ComplianceCheck {
+            pipeline: "p".into(),
+            policy: "gdpr".into(),
+            passed: false,
+        });
+        assert!(log.any_failures());
+    }
+
+    #[test]
+    fn log_serializes() {
+        let mut log = AuditLog::new();
+        log.record(AuditEvent::Anonymization {
+            pipeline: "p".into(),
+            technique: "k-anonymity".into(),
+            parameter: "k=5".into(),
+        });
+        let j = serde_json::to_string(&log).unwrap();
+        let back: AuditLog = serde_json::from_str(&j).unwrap();
+        assert_eq!(log, back);
+    }
+}

@@ -1,0 +1,304 @@
+//! Compliance checking of pipelines against policies.
+//!
+//! The checker operates on a [`PrivacyManifest`] — a neutral description of
+//! what a pipeline reads, what it outputs, and which protections it applies
+//! — so that the model-driven compiler (toreador-core) can be checked
+//! without this crate depending on it. Two kinds of check exist:
+//!
+//! * **static** ([`check_manifest`]): at compile time, before any data
+//!   moves — the paper's premise that regulatory constraints are declarative
+//!   objectives resolved during design;
+//! * **dynamic** ([`check_output`]): post-hoc verification that an actual
+//!   output table satisfies the declared k-anonymity / l-diversity.
+
+use serde::{Deserialize, Serialize};
+
+use toreador_data::table::Table;
+
+use crate::error::Result;
+use crate::kanon::is_k_anonymous;
+use crate::ldiv::is_l_diverse;
+use crate::policy::{DataClass, Policy};
+
+/// What a pipeline does, privacy-wise.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyManifest {
+    /// Columns the pipeline reads from the protected dataset.
+    pub columns_read: Vec<String>,
+    /// Columns appearing in the pipeline output.
+    pub columns_output: Vec<String>,
+    /// k if k-anonymisation is applied before output.
+    pub k_anonymity: Option<usize>,
+    /// l if l-diversity enforcement is applied before output.
+    pub l_diversity: Option<usize>,
+    /// Total ε the pipeline will spend if it uses DP releases.
+    pub dp_epsilon: Option<f64>,
+}
+
+/// One rule violation found by the checker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    pub requirement: String,
+    pub detail: String,
+}
+
+/// The checker's verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    pub compliant: bool,
+    pub violations: Vec<Violation>,
+}
+
+impl Verdict {
+    fn from_violations(violations: Vec<Violation>) -> Self {
+        Verdict {
+            compliant: violations.is_empty(),
+            violations,
+        }
+    }
+}
+
+/// Static check: does the manifest satisfy the policy?
+///
+/// DP-protected pipelines (an ε within the ceiling) release only noisy
+/// aggregates, which satisfies the k-anonymity/l-diversity requirements by a
+/// stronger guarantee; record-level outputs must anonymise instead.
+pub fn check_manifest(policy: &Policy, manifest: &PrivacyManifest) -> Verdict {
+    let mut violations = Vec::new();
+
+    // 1. Identifier columns in output.
+    if policy.bans_identifiers() {
+        for c in &manifest.columns_output {
+            if policy.class_of(c) == DataClass::Identifier {
+                violations.push(Violation {
+                    requirement: "NoDirectIdentifiers".to_owned(),
+                    detail: format!("identifier column {c:?} appears in output"),
+                });
+            }
+        }
+    }
+
+    // DP cover: a within-budget ε covers group-privacy requirements.
+    let dp_covered = match (policy.max_epsilon(), manifest.dp_epsilon) {
+        (Some(ceiling), Some(eps)) => eps <= ceiling + 1e-12,
+        (None, Some(_)) => true,
+        _ => false,
+    };
+    // An ε above the ceiling is itself a violation.
+    if let (Some(ceiling), Some(eps)) = (policy.max_epsilon(), manifest.dp_epsilon) {
+        if eps > ceiling + 1e-12 {
+            violations.push(Violation {
+                requirement: "MaxDpEpsilon".to_owned(),
+                detail: format!("pipeline spends ε={eps}, ceiling is ε={ceiling}"),
+            });
+        }
+    }
+
+    // 2. Quasi-identifier exposure requires k-anonymity (unless DP-covered).
+    let outputs_qi = manifest
+        .columns_output
+        .iter()
+        .any(|c| policy.class_of(c) == DataClass::QuasiIdentifier);
+    if let Some(required_k) = policy.required_k() {
+        if outputs_qi && !dp_covered {
+            match manifest.k_anonymity {
+                Some(k) if k >= required_k => {}
+                Some(k) => violations.push(Violation {
+                    requirement: "MinKAnonymity".to_owned(),
+                    detail: format!("pipeline anonymises at k={k}, policy requires k>={required_k}"),
+                }),
+                None => violations.push(Violation {
+                    requirement: "MinKAnonymity".to_owned(),
+                    detail: format!(
+                        "output exposes quasi-identifiers without k-anonymisation (need k>={required_k})"
+                    ),
+                }),
+            }
+        }
+    }
+
+    // 3. Sensitive exposure alongside QIs requires l-diversity (unless DP-covered).
+    let outputs_sensitive = manifest
+        .columns_output
+        .iter()
+        .any(|c| policy.class_of(c) == DataClass::Sensitive);
+    if let Some(required_l) = policy.required_l() {
+        if outputs_qi && outputs_sensitive && !dp_covered {
+            match manifest.l_diversity {
+                Some(l) if l >= required_l => {}
+                Some(l) => violations.push(Violation {
+                    requirement: "MinLDiversity".to_owned(),
+                    detail: format!("pipeline enforces l={l}, policy requires l>={required_l}"),
+                }),
+                None => violations.push(Violation {
+                    requirement: "MinLDiversity".to_owned(),
+                    detail: format!(
+                        "output exposes sensitive values per QI group without l-diversity (need l>={required_l})"
+                    ),
+                }),
+            }
+        }
+    }
+
+    Verdict::from_violations(violations)
+}
+
+/// Dynamic check: does an actual output table honour the declared
+/// guarantees? `qi_columns` / `sensitive` name the columns as they appear
+/// in the output.
+pub fn check_output(
+    policy: &Policy,
+    table: &Table,
+    qi_columns: &[String],
+    sensitive: Option<&str>,
+) -> Result<Verdict> {
+    let mut violations = Vec::new();
+    let present_qis: Vec<String> = qi_columns
+        .iter()
+        .filter(|c| table.schema().contains(c))
+        .cloned()
+        .collect();
+    if let Some(k) = policy.required_k() {
+        if !present_qis.is_empty() && !is_k_anonymous(table, &present_qis, k)? {
+            violations.push(Violation {
+                requirement: "MinKAnonymity".to_owned(),
+                detail: format!("output has a quasi-identifier group smaller than k={k}"),
+            });
+        }
+    }
+    if let (Some(l), Some(s)) = (policy.required_l(), sensitive) {
+        if !present_qis.is_empty()
+            && table.schema().contains(s)
+            && !is_l_diverse(table, &present_qis, s, l)?
+        {
+            violations.push(Violation {
+                requirement: "MinLDiversity".to_owned(),
+                detail: format!("output has a group with fewer than l={l} distinct {s:?} values"),
+            });
+        }
+    }
+    if policy.bans_identifiers() {
+        for c in policy.columns_of(DataClass::Identifier) {
+            if table.schema().contains(c) {
+                violations.push(Violation {
+                    requirement: "NoDirectIdentifiers".to_owned(),
+                    detail: format!("identifier column {c:?} present in output"),
+                });
+            }
+        }
+    }
+    Ok(Verdict::from_violations(violations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kanon::{enforce_k_anonymity, QuasiIdentifier};
+    use crate::policy::healthcare_default;
+    use toreador_data::generate::health_records;
+
+    fn manifest(outputs: &[&str]) -> PrivacyManifest {
+        PrivacyManifest {
+            columns_read: vec!["age".into(), "zip".into(), "diagnosis".into()],
+            columns_output: outputs.iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn identifier_in_output_is_rejected() {
+        let p = healthcare_default();
+        let v = check_manifest(&p, &manifest(&["patient_id", "cost"]));
+        assert!(!v.compliant);
+        assert!(v
+            .violations
+            .iter()
+            .any(|x| x.requirement == "NoDirectIdentifiers"));
+    }
+
+    #[test]
+    fn qi_output_without_kanon_is_rejected() {
+        let p = healthcare_default();
+        let v = check_manifest(&p, &manifest(&["age", "cost"]));
+        assert!(!v.compliant);
+        assert!(v
+            .violations
+            .iter()
+            .any(|x| x.requirement == "MinKAnonymity"));
+    }
+
+    #[test]
+    fn sufficient_kanon_passes_insufficient_fails() {
+        let p = healthcare_default();
+        let mut m = manifest(&["age", "cost"]);
+        m.k_anonymity = Some(5);
+        assert!(check_manifest(&p, &m).compliant);
+        m.k_anonymity = Some(3);
+        assert!(!check_manifest(&p, &m).compliant);
+    }
+
+    #[test]
+    fn sensitive_with_qi_needs_ldiversity() {
+        let p = healthcare_default();
+        let mut m = manifest(&["age", "diagnosis"]);
+        m.k_anonymity = Some(5);
+        let v = check_manifest(&p, &m);
+        assert!(v
+            .violations
+            .iter()
+            .any(|x| x.requirement == "MinLDiversity"));
+        m.l_diversity = Some(2);
+        assert!(check_manifest(&p, &m).compliant);
+    }
+
+    #[test]
+    fn aggregates_without_qis_are_fine() {
+        let p = healthcare_default();
+        let v = check_manifest(&p, &manifest(&["cost"]));
+        assert!(v.compliant, "{:?}", v.violations);
+    }
+
+    #[test]
+    fn dp_within_budget_covers_group_privacy() {
+        let p = healthcare_default().require(crate::policy::Requirement::MaxDpEpsilon(1.0));
+        let mut m = manifest(&["age", "diagnosis"]);
+        m.dp_epsilon = Some(0.5);
+        assert!(check_manifest(&p, &m).compliant);
+        m.dp_epsilon = Some(2.0);
+        let v = check_manifest(&p, &m);
+        assert!(!v.compliant);
+        assert!(v.violations.iter().any(|x| x.requirement == "MaxDpEpsilon"));
+    }
+
+    #[test]
+    fn dynamic_check_on_real_output() {
+        let p = healthcare_default();
+        let t = health_records(400, 5);
+        let qi: Vec<String> = vec!["age".into(), "zip".into(), "sex".into()];
+        // Raw output violates.
+        let without_id = t.without_column("patient_id").unwrap();
+        let v = check_output(&p, &without_id, &qi, Some("diagnosis")).unwrap();
+        assert!(!v.compliant);
+        // Anonymised output passes the k check.
+        let qis = vec![
+            QuasiIdentifier::numeric("age", vec![5.0, 10.0, 25.0]),
+            QuasiIdentifier::string_prefix("zip", vec![3, 2, 1]),
+            QuasiIdentifier::string_prefix("sex", vec![]),
+        ];
+        let anon = enforce_k_anonymity(&without_id, &qis, 5).unwrap();
+        let v = check_output(&p, &anon.table, &qi, None).unwrap();
+        assert!(
+            !v.violations
+                .iter()
+                .any(|x| x.requirement == "MinKAnonymity"),
+            "{:?}",
+            v.violations
+        );
+        // Identifier present is caught dynamically too.
+        let v = check_output(&p, &t, &qi, None).unwrap();
+        assert!(v
+            .violations
+            .iter()
+            .any(|x| x.requirement == "NoDirectIdentifiers"));
+    }
+}

@@ -1,0 +1,222 @@
+//! ε-differential privacy: the Laplace mechanism and a budget ledger.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{PrivacyError, Result};
+
+/// Draw Laplace(0, scale) noise deterministically from a seeded RNG.
+///
+/// Inverse-CDF sampling: `-scale * sgn(u) * ln(1 - 2|u|)` for `u ∈ (-½, ½)`.
+pub fn laplace_noise(rng: &mut StdRng, scale: f64) -> f64 {
+    let u: f64 = rng.gen_range(-0.5..0.5);
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// An ε budget ledger: queries spend from a fixed total, and spending past
+/// the total is refused (the sequential-composition rule).
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    total: f64,
+    spent: f64,
+    entries: Vec<(String, f64)>,
+}
+
+impl BudgetLedger {
+    pub fn new(total_epsilon: f64) -> Result<Self> {
+        if total_epsilon <= 0.0 {
+            return Err(PrivacyError::InvalidParameter(format!(
+                "budget {total_epsilon} must be positive"
+            )));
+        }
+        Ok(BudgetLedger {
+            total: total_epsilon,
+            spent: 0.0,
+            entries: Vec::new(),
+        })
+    }
+
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Record a spend, refusing if it would exceed the budget.
+    pub fn spend(&mut self, label: impl Into<String>, epsilon: f64) -> Result<()> {
+        if epsilon <= 0.0 {
+            return Err(PrivacyError::InvalidParameter(format!(
+                "epsilon {epsilon} must be positive"
+            )));
+        }
+        if self.spent + epsilon > self.total + 1e-12 {
+            return Err(PrivacyError::BudgetExhausted {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += epsilon;
+        self.entries.push((label.into(), epsilon));
+        Ok(())
+    }
+
+    /// The ledger's spend history.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+}
+
+/// A DP release mechanism bound to a ledger and a deterministic RNG.
+#[derive(Debug)]
+pub struct LaplaceMechanism {
+    ledger: BudgetLedger,
+    rng: StdRng,
+}
+
+impl LaplaceMechanism {
+    pub fn new(total_epsilon: f64, seed: u64) -> Result<Self> {
+        Ok(LaplaceMechanism {
+            ledger: BudgetLedger::new(total_epsilon)?,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+
+    /// ε-DP count: true count plus Laplace(1/ε) noise (sensitivity 1).
+    pub fn noisy_count(&mut self, label: &str, true_count: usize, epsilon: f64) -> Result<f64> {
+        self.ledger.spend(label, epsilon)?;
+        Ok(true_count as f64 + laplace_noise(&mut self.rng, 1.0 / epsilon))
+    }
+
+    /// ε-DP sum with known per-record bound `clamp` (values are clamped to
+    /// [-clamp, clamp], giving sensitivity `clamp`).
+    pub fn noisy_sum(
+        &mut self,
+        label: &str,
+        values: &[f64],
+        clamp: f64,
+        epsilon: f64,
+    ) -> Result<f64> {
+        if clamp <= 0.0 {
+            return Err(PrivacyError::InvalidParameter(format!(
+                "clamp {clamp} must be positive"
+            )));
+        }
+        self.ledger.spend(label, epsilon)?;
+        let clamped_sum: f64 = values.iter().map(|v| v.clamp(-clamp, clamp)).sum();
+        Ok(clamped_sum + laplace_noise(&mut self.rng, clamp / epsilon))
+    }
+
+    /// ε-DP mean: splits ε between a noisy sum and a noisy count.
+    pub fn noisy_mean(
+        &mut self,
+        label: &str,
+        values: &[f64],
+        clamp: f64,
+        epsilon: f64,
+    ) -> Result<f64> {
+        let half = epsilon / 2.0;
+        let sum = self.noisy_sum(&format!("{label}/sum"), values, clamp, half)?;
+        let count = self.noisy_count(&format!("{label}/count"), values.len(), half)?;
+        Ok(sum / count.max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_enforces_budget() {
+        let mut l = BudgetLedger::new(1.0).unwrap();
+        l.spend("q1", 0.4).unwrap();
+        l.spend("q2", 0.4).unwrap();
+        assert!((l.remaining() - 0.2).abs() < 1e-12);
+        let err = l.spend("q3", 0.4).unwrap_err();
+        assert!(matches!(err, PrivacyError::BudgetExhausted { .. }));
+        // Failed spend does not mutate.
+        assert!((l.spent() - 0.8).abs() < 1e-12);
+        assert_eq!(l.entries().len(), 2);
+        // Exactly exhausting is allowed.
+        l.spend("q4", 0.2).unwrap();
+        assert_eq!(l.remaining(), 0.0);
+    }
+
+    #[test]
+    fn ledger_rejects_bad_parameters() {
+        assert!(BudgetLedger::new(0.0).is_err());
+        let mut l = BudgetLedger::new(1.0).unwrap();
+        assert!(l.spend("q", 0.0).is_err());
+        assert!(l.spend("q", -0.5).is_err());
+    }
+
+    #[test]
+    fn laplace_noise_has_expected_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scale = 2.0;
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| laplace_noise(&mut rng, scale))
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        // Var of Laplace(b) = 2b² = 8.
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((var - 8.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn noise_shrinks_as_epsilon_grows() {
+        // Average absolute error over repeated releases.
+        let mut err_small_eps = 0.0;
+        let mut err_big_eps = 0.0;
+        for seed in 0..200 {
+            let mut m = LaplaceMechanism::new(100.0, seed).unwrap();
+            err_small_eps += (m.noisy_count("a", 1000, 0.1).unwrap() - 1000.0).abs();
+            err_big_eps += (m.noisy_count("b", 1000, 10.0).unwrap() - 1000.0).abs();
+        }
+        assert!(
+            err_small_eps > 20.0 * err_big_eps,
+            "ε=0.1 err {err_small_eps} vs ε=10 err {err_big_eps}"
+        );
+    }
+
+    #[test]
+    fn releases_are_deterministic_in_seed() {
+        let mut a = LaplaceMechanism::new(10.0, 7).unwrap();
+        let mut b = LaplaceMechanism::new(10.0, 7).unwrap();
+        assert_eq!(
+            a.noisy_count("x", 50, 1.0).unwrap(),
+            b.noisy_count("x", 50, 1.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn sum_clamps_outliers() {
+        let mut m = LaplaceMechanism::new(1000.0, 3).unwrap();
+        // One adversarial outlier of 1e9 is clamped to 10.
+        let values = vec![5.0, 5.0, 1e9];
+        let s = m.noisy_sum("s", &values, 10.0, 100.0).unwrap();
+        assert!((s - 20.0).abs() < 2.0, "clamped sum near 20, got {s}");
+        assert!(m.noisy_sum("bad", &values, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn mean_spends_full_epsilon() {
+        let mut m = LaplaceMechanism::new(1.0, 5).unwrap();
+        let v: Vec<f64> = (0..100).map(|i| i as f64 % 10.0).collect();
+        let mean = m.noisy_mean("m", &v, 10.0, 1.0).unwrap();
+        assert!((m.ledger().spent() - 1.0).abs() < 1e-12);
+        assert!((mean - 4.5).abs() < 3.0, "rough mean, got {mean}");
+        // Budget exhausted now.
+        assert!(m.noisy_count("again", 10, 0.1).is_err());
+    }
+}

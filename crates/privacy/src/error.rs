@@ -1,0 +1,66 @@
+//! Error type for the privacy substrate.
+
+use std::fmt;
+
+use toreador_data::error::DataError;
+
+/// Errors raised by anonymisation, DP accounting, or compliance checking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrivacyError {
+    /// Bubbled up from the data layer.
+    Data(DataError),
+    /// A parameter is out of range (k < 2, epsilon <= 0, ...).
+    InvalidParameter(String),
+    /// The differential-privacy budget is exhausted.
+    BudgetExhausted { requested: f64, remaining: f64 },
+    /// Anonymisation could not reach the requested guarantee.
+    Unachievable(String),
+    /// A policy references a column the dataset does not have.
+    UnknownColumn(String),
+}
+
+impl fmt::Display for PrivacyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivacyError::Data(e) => write!(f, "data error: {e}"),
+            PrivacyError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            PrivacyError::BudgetExhausted {
+                requested,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
+                )
+            }
+            PrivacyError::Unachievable(m) => write!(f, "guarantee unachievable: {m}"),
+            PrivacyError::UnknownColumn(c) => write!(f, "policy references unknown column {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PrivacyError {}
+
+impl From<DataError> for PrivacyError {
+    fn from(e: DataError) -> Self {
+        PrivacyError::Data(e)
+    }
+}
+
+/// Result alias for the privacy layer.
+pub type Result<T> = std::result::Result<T, PrivacyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_message_names_both_sides() {
+        let e = PrivacyError::BudgetExhausted {
+            requested: 0.5,
+            remaining: 0.1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0.5") && s.contains("0.1"));
+    }
+}

@@ -1,0 +1,170 @@
+//! l-diversity: each quasi-identifier group must contain at least `l`
+//! distinct values of the sensitive attribute (distinct l-diversity,
+//! Machanavajjhala et al.).
+
+use std::collections::{HashMap, HashSet};
+
+use toreador_data::table::Table;
+
+use crate::error::{PrivacyError, Result};
+
+/// The minimum number of distinct sensitive values over all QI groups.
+pub fn diversity_level(table: &Table, qi_columns: &[String], sensitive: &str) -> Result<usize> {
+    let qi_idx: Vec<usize> = qi_columns
+        .iter()
+        .map(|c| table.schema().index_of(c).map_err(PrivacyError::Data))
+        .collect::<Result<Vec<_>>>()?;
+    let s_idx = table
+        .schema()
+        .index_of(sensitive)
+        .map_err(PrivacyError::Data)?;
+    let mut groups: HashMap<Vec<String>, HashSet<String>> = HashMap::new();
+    for row in table.iter_rows() {
+        let key: Vec<String> = qi_idx.iter().map(|&i| format!("{:?}", row[i])).collect();
+        groups
+            .entry(key)
+            .or_default()
+            .insert(format!("{:?}", row[s_idx]));
+    }
+    Ok(groups
+        .values()
+        .map(HashSet::len)
+        .min()
+        .unwrap_or(usize::MAX))
+}
+
+/// True if every QI group has at least `l` distinct sensitive values.
+pub fn is_l_diverse(
+    table: &Table,
+    qi_columns: &[String],
+    sensitive: &str,
+    l: usize,
+) -> Result<bool> {
+    if l < 2 {
+        return Err(PrivacyError::InvalidParameter(format!(
+            "l={l} must be >= 2"
+        )));
+    }
+    Ok(diversity_level(table, qi_columns, sensitive)? >= l)
+}
+
+/// Suppress the rows of groups that violate l-diversity, returning the
+/// surviving table and the suppressed count.
+pub fn enforce_l_diversity(
+    table: &Table,
+    qi_columns: &[String],
+    sensitive: &str,
+    l: usize,
+) -> Result<(Table, usize)> {
+    if l < 2 {
+        return Err(PrivacyError::InvalidParameter(format!(
+            "l={l} must be >= 2"
+        )));
+    }
+    let qi_idx: Vec<usize> = qi_columns
+        .iter()
+        .map(|c| table.schema().index_of(c).map_err(PrivacyError::Data))
+        .collect::<Result<Vec<_>>>()?;
+    let s_idx = table
+        .schema()
+        .index_of(sensitive)
+        .map_err(PrivacyError::Data)?;
+    let mut members: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
+    let mut distinct: HashMap<Vec<String>, HashSet<String>> = HashMap::new();
+    for (r, row) in table.iter_rows().enumerate() {
+        let key: Vec<String> = qi_idx.iter().map(|&i| format!("{:?}", row[i])).collect();
+        members.entry(key.clone()).or_default().push(r);
+        distinct
+            .entry(key)
+            .or_default()
+            .insert(format!("{:?}", row[s_idx]));
+    }
+    let mut keep = vec![true; table.num_rows()];
+    let mut suppressed = 0usize;
+    for (key, rows) in &members {
+        if distinct[key].len() < l {
+            for &r in rows {
+                keep[r] = false;
+                suppressed += 1;
+            }
+        }
+    }
+    Ok((table.filter(&keep)?, suppressed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toreador_data::schema::{Field, Schema};
+    use toreador_data::value::{DataType, Value};
+
+    fn table(rows: Vec<(&str, &str)>) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("qi", DataType::Str),
+            Field::new("dx", DataType::Str),
+        ])
+        .unwrap();
+        Table::from_rows(
+            schema,
+            rows.into_iter()
+                .map(|(q, d)| vec![Value::Str(q.into()), Value::Str(d.into())]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diversity_counts_distinct_sensitive_values() {
+        let t = table(vec![
+            ("a", "flu"),
+            ("a", "flu"),
+            ("a", "asthma"),
+            ("b", "flu"),
+        ]);
+        // Group a has 2 distinct, group b has 1.
+        assert_eq!(diversity_level(&t, &["qi".into()], "dx").unwrap(), 1);
+        assert!(!is_l_diverse(&t, &["qi".into()], "dx", 2).unwrap());
+    }
+
+    #[test]
+    fn homogeneous_group_is_the_attack_case() {
+        // Classic homogeneity attack: k-anonymous but all members share the
+        // diagnosis -> l-diversity catches it.
+        let t = table(vec![("g", "cancer"), ("g", "cancer"), ("g", "cancer")]);
+        assert_eq!(diversity_level(&t, &["qi".into()], "dx").unwrap(), 1);
+        let (kept, suppressed) = enforce_l_diversity(&t, &["qi".into()], "dx", 2).unwrap();
+        assert_eq!(kept.num_rows(), 0);
+        assert_eq!(suppressed, 3);
+    }
+
+    #[test]
+    fn enforcement_keeps_diverse_groups() {
+        let t = table(vec![
+            ("a", "flu"),
+            ("a", "asthma"),
+            ("b", "flu"),
+            ("b", "flu"),
+        ]);
+        let (kept, suppressed) = enforce_l_diversity(&t, &["qi".into()], "dx", 2).unwrap();
+        assert_eq!(kept.num_rows(), 2);
+        assert_eq!(suppressed, 2);
+        assert!(is_l_diverse(&kept, &["qi".into()], "dx", 2).unwrap());
+    }
+
+    #[test]
+    fn parameters_validated() {
+        let t = table(vec![("a", "x")]);
+        assert!(is_l_diverse(&t, &["qi".into()], "dx", 1).is_err());
+        assert!(enforce_l_diversity(&t, &["qi".into()], "dx", 0).is_err());
+        assert!(diversity_level(&t, &["ghost".into()], "dx").is_err());
+        assert!(diversity_level(&t, &["qi".into()], "ghost").is_err());
+    }
+
+    #[test]
+    fn empty_table_is_vacuously_diverse() {
+        let t = table(vec![]).filter(&[]).unwrap();
+        assert_eq!(
+            diversity_level(&t, &["qi".into()], "dx").unwrap(),
+            usize::MAX
+        );
+    }
+}

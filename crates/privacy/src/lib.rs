@@ -1,0 +1,53 @@
+//! # toreador-privacy
+//!
+//! The data-protection substrate behind the paper's "regulatory barrier":
+//! the TOREADOR methodology makes regulatory constraints on personal data
+//! first-class declarative objectives, checked at design time and enforced
+//! in the compiled pipeline. This crate supplies the machinery:
+//!
+//! * [`policy`] — column classifications + requirements ([`policy::Policy`]);
+//! * [`kanon`] — k-anonymity measurement and enforcement by generalisation
+//!   ladders + suppression, with a utility-loss score;
+//! * [`ldiv`] — distinct l-diversity (the homogeneity-attack guard);
+//! * [`dp`] — the Laplace mechanism with an ε budget ledger;
+//! * [`checker`] — static (manifest) and dynamic (output table) compliance
+//!   checks;
+//! * [`audit`] — an append-only audit log for custody evidence.
+//!
+//! ## Example
+//!
+//! ```
+//! use toreador_privacy::prelude::*;
+//! use toreador_data::generate::health_records;
+//!
+//! let policy = healthcare_default();
+//! let records = health_records(300, 1);
+//! let qis = vec![
+//!     QuasiIdentifier::numeric("age", vec![5.0, 10.0, 25.0]),
+//!     QuasiIdentifier::string_prefix("zip", vec![3, 2, 1]),
+//! ];
+//! let anon = enforce_k_anonymity(&records, &qis, 5).unwrap();
+//! assert!(is_k_anonymous(&anon.table, &["age".into(), "zip".into()], 5).unwrap());
+//! ```
+
+pub mod audit;
+pub mod checker;
+pub mod dp;
+pub mod error;
+pub mod kanon;
+pub mod ldiv;
+pub mod policy;
+
+/// Convenient glob import of the commonly used types.
+pub mod prelude {
+    pub use crate::audit::{AuditEvent, AuditLog};
+    pub use crate::checker::{check_manifest, check_output, PrivacyManifest, Verdict, Violation};
+    pub use crate::dp::{BudgetLedger, LaplaceMechanism};
+    pub use crate::error::{PrivacyError, Result as PrivacyResult};
+    pub use crate::kanon::{
+        anonymity_level, enforce_k_anonymity, is_k_anonymous, AnonymizedTable, Ladder,
+        QuasiIdentifier,
+    };
+    pub use crate::ldiv::{diversity_level, enforce_l_diversity, is_l_diverse};
+    pub use crate::policy::{healthcare_default, DataClass, Policy, Requirement};
+}

@@ -1,0 +1,242 @@
+//! Data-protection policies.
+//!
+//! The paper names the "regulatory barrier" — data access, sharing, and
+//! custody regulations — as a primary obstacle to BDA adoption, and the
+//! TOREADOR methodology makes regulatory constraints declarative objectives
+//! alongside analytics goals. A [`Policy`] is the machine-checkable form of
+//! those objectives: column classifications plus requirements a pipeline
+//! must meet before it may run.
+
+use serde::{Deserialize, Serialize};
+
+use toreador_data::schema::Schema;
+
+use crate::error::{PrivacyError, Result};
+
+/// Classification of a column under the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataClass {
+    /// Directly identifies a person (name, patient id). Must never appear
+    /// in pipeline output.
+    Identifier,
+    /// Combinable with external data to re-identify (age, zip, sex).
+    QuasiIdentifier,
+    /// The protected attribute itself (diagnosis).
+    Sensitive,
+    /// Freely usable.
+    Public,
+}
+
+/// One obligation a compliant pipeline must satisfy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Requirement {
+    /// Output containing quasi-identifiers must be k-anonymous.
+    MinKAnonymity(usize),
+    /// Each k-anonymous group must contain at least l distinct sensitive values.
+    MinLDiversity(usize),
+    /// Aggregate releases must be ε-differentially private within budget.
+    MaxDpEpsilon(f64),
+    /// Direct identifiers must not reach the output.
+    NoDirectIdentifiers,
+}
+
+/// A named data-protection policy over one dataset schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Policy {
+    pub name: String,
+    classifications: Vec<(String, DataClass)>,
+    requirements: Vec<Requirement>,
+}
+
+impl Policy {
+    pub fn new(name: impl Into<String>) -> Self {
+        Policy {
+            name: name.into(),
+            classifications: Vec::new(),
+            requirements: Vec::new(),
+        }
+    }
+
+    /// Classify a column (replaces any previous classification).
+    pub fn classify(mut self, column: impl Into<String>, class: DataClass) -> Self {
+        let column = column.into();
+        self.classifications.retain(|(c, _)| c != &column);
+        self.classifications.push((column, class));
+        self
+    }
+
+    /// Add a requirement.
+    pub fn require(mut self, requirement: Requirement) -> Self {
+        self.requirements.push(requirement);
+        self
+    }
+
+    pub fn requirements(&self) -> &[Requirement] {
+        &self.requirements
+    }
+
+    /// The classification of a column; unclassified columns are Public.
+    pub fn class_of(&self, column: &str) -> DataClass {
+        self.classifications
+            .iter()
+            .find(|(c, _)| c == column)
+            .map(|(_, k)| *k)
+            .unwrap_or(DataClass::Public)
+    }
+
+    /// All columns with the given classification.
+    pub fn columns_of(&self, class: DataClass) -> Vec<&str> {
+        self.classifications
+            .iter()
+            .filter(|(_, k)| *k == class)
+            .map(|(c, _)| c.as_str())
+            .collect()
+    }
+
+    /// Validate the policy against a dataset schema: every classified
+    /// column must exist, and parameters must be sane.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        for (c, _) in &self.classifications {
+            if !schema.contains(c) {
+                return Err(PrivacyError::UnknownColumn(c.clone()));
+            }
+        }
+        for r in &self.requirements {
+            match r {
+                Requirement::MinKAnonymity(k) if *k < 2 => {
+                    return Err(PrivacyError::InvalidParameter(format!(
+                        "k-anonymity k={k} must be >= 2"
+                    )))
+                }
+                Requirement::MinLDiversity(l) if *l < 2 => {
+                    return Err(PrivacyError::InvalidParameter(format!(
+                        "l-diversity l={l} must be >= 2"
+                    )))
+                }
+                Requirement::MaxDpEpsilon(eps) if *eps <= 0.0 => {
+                    return Err(PrivacyError::InvalidParameter(format!(
+                        "DP epsilon {eps} must be positive"
+                    )))
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The k required by the strictest k-anonymity requirement, if any.
+    pub fn required_k(&self) -> Option<usize> {
+        self.requirements
+            .iter()
+            .filter_map(|r| match r {
+                Requirement::MinKAnonymity(k) => Some(*k),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// The l required by the strictest l-diversity requirement, if any.
+    pub fn required_l(&self) -> Option<usize> {
+        self.requirements
+            .iter()
+            .filter_map(|r| match r {
+                Requirement::MinLDiversity(l) => Some(*l),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// The tightest DP epsilon ceiling, if any.
+    pub fn max_epsilon(&self) -> Option<f64> {
+        self.requirements
+            .iter()
+            .filter_map(|r| match r {
+                Requirement::MaxDpEpsilon(e) => Some(*e),
+                _ => None,
+            })
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Whether direct identifiers are banned from output.
+    pub fn bans_identifiers(&self) -> bool {
+        self.requirements
+            .contains(&Requirement::NoDirectIdentifiers)
+    }
+}
+
+/// The GDPR-flavoured default policy for the healthcare vertical.
+pub fn healthcare_default() -> Policy {
+    Policy::new("healthcare-gdpr")
+        .classify("patient_id", DataClass::Identifier)
+        .classify("age", DataClass::QuasiIdentifier)
+        .classify("zip", DataClass::QuasiIdentifier)
+        .classify("sex", DataClass::QuasiIdentifier)
+        .classify("diagnosis", DataClass::Sensitive)
+        .require(Requirement::NoDirectIdentifiers)
+        .require(Requirement::MinKAnonymity(5))
+        .require(Requirement::MinLDiversity(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toreador_data::generate::health_schema;
+
+    #[test]
+    fn classification_lookup_defaults_to_public() {
+        let p = healthcare_default();
+        assert_eq!(p.class_of("patient_id"), DataClass::Identifier);
+        assert_eq!(p.class_of("cost"), DataClass::Public);
+        assert_eq!(
+            p.columns_of(DataClass::QuasiIdentifier),
+            vec!["age", "zip", "sex"]
+        );
+    }
+
+    #[test]
+    fn reclassification_replaces() {
+        let p = Policy::new("t")
+            .classify("x", DataClass::Sensitive)
+            .classify("x", DataClass::Public);
+        assert_eq!(p.class_of("x"), DataClass::Public);
+        assert_eq!(p.columns_of(DataClass::Sensitive).len(), 0);
+    }
+
+    #[test]
+    fn validate_catches_unknown_columns_and_bad_params() {
+        let schema = health_schema();
+        assert!(healthcare_default().validate(&schema).is_ok());
+        let bad = Policy::new("t").classify("ghost", DataClass::Sensitive);
+        assert!(matches!(
+            bad.validate(&schema),
+            Err(PrivacyError::UnknownColumn(_))
+        ));
+        let bad = Policy::new("t").require(Requirement::MinKAnonymity(1));
+        assert!(bad.validate(&schema).is_err());
+        let bad = Policy::new("t").require(Requirement::MaxDpEpsilon(0.0));
+        assert!(bad.validate(&schema).is_err());
+        let bad = Policy::new("t").require(Requirement::MinLDiversity(0));
+        assert!(bad.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn strictest_requirements_win() {
+        let p = Policy::new("t")
+            .require(Requirement::MinKAnonymity(3))
+            .require(Requirement::MinKAnonymity(10))
+            .require(Requirement::MaxDpEpsilon(1.0))
+            .require(Requirement::MaxDpEpsilon(0.5));
+        assert_eq!(p.required_k(), Some(10));
+        assert_eq!(p.max_epsilon(), Some(0.5));
+        assert_eq!(p.required_l(), None);
+        assert!(!p.bans_identifiers());
+    }
+
+    #[test]
+    fn policies_serialize() {
+        let p = healthcare_default();
+        let j = serde_json::to_string(&p).unwrap();
+        let back: Policy = serde_json::from_str(&j).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for privacy invariants.
+
+use proptest::prelude::*;
+
+use toreador_data::generate::health_records;
+use toreador_privacy::prelude::*;
+
+fn qis() -> Vec<QuasiIdentifier> {
+    vec![
+        QuasiIdentifier::numeric("age", vec![5.0, 10.0, 25.0]),
+        QuasiIdentifier::string_prefix("zip", vec![3, 2, 1]),
+        QuasiIdentifier::string_prefix("sex", vec![]),
+    ]
+}
+
+fn qi_names() -> Vec<String> {
+    vec!["age".into(), "zip".into(), "sex".into()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn enforcement_always_reaches_k_or_suppresses(rows in 5usize..300, k in 2usize..20, seed in 0u64..10) {
+        let t = health_records(rows, seed);
+        let a = enforce_k_anonymity(&t, &qis(), k).unwrap();
+        // Whatever survives is k-anonymous.
+        prop_assert!(
+            a.table.num_rows() == 0 || is_k_anonymous(&a.table, &qi_names(), k).unwrap(),
+            "levels {:?} suppressed {}", a.levels, a.suppressed_rows
+        );
+        // Row accounting.
+        prop_assert_eq!(a.table.num_rows() + a.suppressed_rows, rows);
+        // Utility loss bounded.
+        prop_assert!((0.0..=1.0).contains(&a.utility_loss));
+    }
+
+    #[test]
+    fn anonymity_level_monotone_in_generalisation(rows in 20usize..150, seed in 0u64..10) {
+        // A fully generalised table has anonymity >= the raw table.
+        let t = health_records(rows, seed);
+        let raw = anonymity_level(&t, &qi_names()).unwrap();
+        let a = enforce_k_anonymity(&t, &qis(), 2).unwrap();
+        if a.table.num_rows() > 0 {
+            let anon = anonymity_level(&a.table, &qi_names()).unwrap();
+            prop_assert!(anon >= raw.min(2), "anon {anon} raw {raw}");
+        }
+    }
+
+    #[test]
+    fn ledger_never_overspends(spends in prop::collection::vec(0.01f64..0.5, 1..20), total in 0.5f64..3.0) {
+        let mut ledger = BudgetLedger::new(total).unwrap();
+        for (i, eps) in spends.iter().enumerate() {
+            let _ = ledger.spend(format!("q{i}"), *eps);
+        }
+        prop_assert!(ledger.spent() <= ledger.total() + 1e-9);
+        let from_entries: f64 = ledger.entries().iter().map(|(_, e)| e).sum();
+        prop_assert!((from_entries - ledger.spent()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_count_error_bounded_by_tail(count in 0usize..10_000, eps in 0.5f64..5.0, seed in 0u64..200) {
+        let mut m = LaplaceMechanism::new(100.0, seed).unwrap();
+        let noisy = m.noisy_count("c", count, eps).unwrap();
+        // P(|noise| > t/eps) = exp(-t); t = 30 makes failure essentially impossible.
+        prop_assert!((noisy - count as f64).abs() < 30.0 / eps);
+    }
+
+    #[test]
+    fn ldiversity_enforcement_is_sound(rows in 10usize..200, l in 2usize..4, seed in 0u64..10) {
+        let t = health_records(rows, seed);
+        let (kept, suppressed) = enforce_l_diversity(&t, &qi_names(), "diagnosis", l).unwrap();
+        prop_assert_eq!(kept.num_rows() + suppressed, rows);
+        prop_assert!(
+            kept.num_rows() == 0 || is_l_diverse(&kept, &qi_names(), "diagnosis", l).unwrap()
+        );
+    }
+
+    #[test]
+    fn manifest_check_is_deterministic(k in 0usize..10, outputs_id in any::<bool>()) {
+        let policy = healthcare_default();
+        let mut m = PrivacyManifest {
+            columns_output: if outputs_id {
+                vec!["patient_id".into(), "age".into()]
+            } else {
+                vec!["age".into()]
+            },
+            ..Default::default()
+        };
+        if k >= 2 {
+            m.k_anonymity = Some(k);
+        }
+        let a = check_manifest(&policy, &m);
+        let b = check_manifest(&policy, &m);
+        prop_assert_eq!(&a, &b);
+        if outputs_id {
+            prop_assert!(!a.compliant);
+        }
+        if !outputs_id && k >= 5 {
+            prop_assert!(a.compliant, "{:?}", a.violations);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Shared helpers for the runnable examples.
+
+/// Print a section banner so example output reads as a walkthrough.
+pub fn banner(title: &str) {
+    println!();
+    println!(
+        "== {title} {}",
+        "=".repeat(68usize.saturating_sub(title.len()))
+    );
+}
+
+/// Render an indicator map in a stable order.
+pub fn print_indicators(indicators: &std::collections::BTreeMap<String, f64>) {
+    for (name, value) in indicators {
+        println!("  {name:<18} {value:>12.3}");
+    }
+}

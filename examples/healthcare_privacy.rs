@@ -1,0 +1,102 @@
+//! Healthcare campaign: the regulatory barrier, mechanised.
+//!
+//! Three versions of the same cost analysis: a naive one the compiler
+//! refuses (quasi-identifiers exposed raw), a k-anonymous release, and a
+//! differentially private release. Shows compile-time refusal, post-hoc
+//! verification, the audit trail, and the privacy/utility trade-off.
+//!
+//! Run with: `cargo run --bin healthcare_privacy`
+
+use toreador_core::prelude::*;
+use toreador_data::generate::health_records;
+use toreador_examples::{banner, print_indicators};
+
+fn main() {
+    let bdaas = Bdaas::new();
+    // The lab custodian releases pseudonymised records (no patient_id).
+    let data = health_records(3_000, 13)
+        .without_column("patient_id")
+        .unwrap();
+
+    // --- 1. The naive campaign: rejected before any data moves.
+    let naive = bdaas
+        .parse(
+            "campaign naive on health\npolicy healthcare\ngoal reporting using viz.report.table\n",
+        )
+        .expect("parses");
+    banner("naive campaign (raw record release)");
+    match bdaas.compile(&naive, data.schema(), data.num_rows()) {
+        Err(e) => println!("refused at compile time, as the policy demands:\n  {e}"),
+        Ok(_) => unreachable!("the policy must refuse this"),
+    }
+
+    // --- 2. k-anonymous record release.
+    let kanon = bdaas
+        .parse(
+            r#"
+campaign anonymised on health
+policy healthcare
+seed 13
+goal anonymization using privacy.kanon k=5 quasi=age,zip,sex
+goal anonymization using privacy.ldiv l=2 quasi=age,zip,sex sensitive=diagnosis
+goal reporting using viz.report.summary
+objective privacy_risk <= 0.2
+objective coverage >= 0.5
+"#,
+        )
+        .expect("parses");
+    let compiled = bdaas
+        .compile(&kanon, data.schema(), data.num_rows())
+        .expect("compiles");
+    let anon = bdaas
+        .run(&compiled, data.clone(), &Default::default())
+        .expect("runs");
+    banner("k-anonymous release");
+    print_indicators(&anon.indicators);
+    println!(
+        "post-hoc compliance: {}",
+        if anon.post_verdict.as_ref().unwrap().compliant {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+
+    // --- 3. Differentially private aggregate release.
+    let dp = bdaas
+        .parse(
+            r#"
+campaign dp_release on health
+policy healthcare
+seed 13
+goal private_aggregation epsilon=1.0 column=cost group_by=diagnosis
+objective privacy_risk <= 0.2
+"#,
+        )
+        .expect("parses");
+    let compiled = bdaas
+        .compile(&dp, data.schema(), data.num_rows())
+        .expect("compiles");
+    let dp_out = bdaas
+        .run(&compiled, data, &Default::default())
+        .expect("runs");
+    banner("differentially private release (ε = 1.0)");
+    println!("{}", dp_out.output.show(10));
+    print_indicators(&dp_out.indicators);
+
+    // --- The audit trail: custody evidence for both runs.
+    banner("audit trail of the DP release");
+    for entry in dp_out.audit.entries() {
+        println!("  #{:<3} {:?}", entry.sequence, entry.event);
+    }
+
+    banner("the trade-off");
+    println!(
+        "k-anonymity keeps record-level data (coverage {:.2}) at risk 1/k = {:.2}; \
+         DP releases only {} noisy aggregates at ε-scaled risk {:.2}.",
+        anon.indicator(Indicator::Coverage).unwrap_or(0.0),
+        anon.indicator(Indicator::PrivacyRisk).unwrap_or(1.0),
+        dp_out.output.num_rows(),
+        dp_out.indicator(Indicator::PrivacyRisk).unwrap_or(1.0),
+    );
+}

@@ -1,0 +1,77 @@
+//! A complete Labs training session: the paper's headline demo.
+//!
+//! A trainee on the free tier works the e-commerce revenue challenge by
+//! trial and error: tries the straightforward design, then a cheaper one,
+//! then a streaming one; compares the runs; reads the consequence matrix
+//! and the Pareto front; and gets graded on each attempt.
+//!
+//! Run with: `cargo run --bin labs_training`
+
+use toreador_examples::banner;
+use toreador_labs::prelude::*;
+
+fn main() {
+    let mut session = LabSession::new("trainee-01", Quota::free_tier(), 42);
+    let ch = challenge("ecomm-revenue").expect("built-in challenge");
+
+    banner(&format!("challenge: {}", ch.title));
+    println!("{}\n", ch.brief);
+    for (i, point) in ch.choice_points.iter().enumerate() {
+        println!("choice {i} [{}]: {}", point.id, point.prompt);
+        for o in &point.options {
+            println!("    {:<8} {}", o.id, o.label);
+        }
+    }
+
+    // Trial 1: the straightforward design.
+    let full_batch = vec!["full".to_string(), "batch".to_string()];
+    session
+        .attempt("ecomm-revenue", &full_batch, None)
+        .expect("run 1");
+    // Trial 2: cheaper — sample the clickstream.
+    let sample_batch = vec!["sample".to_string(), "batch".to_string()];
+    session
+        .attempt("ecomm-revenue", &sample_batch, None)
+        .expect("run 2");
+    // Trial 3: fresher — hourly micro-batches.
+    let full_stream = vec!["full".to_string(), "stream".to_string()];
+    session
+        .attempt("ecomm-revenue", &full_stream, None)
+        .expect("run 3");
+
+    banner("investigating the consequences: run 1 vs run 2");
+    print!("{}", session.compare(1, 2).expect("comparable").render());
+
+    banner("consequence matrix over all attempts");
+    let matrix = session.consequences("ecomm-revenue").expect("matrix");
+    print!("{}", matrix.render());
+    let front = matrix.pareto_front();
+    println!(
+        "Pareto-efficient designs: {:?}",
+        front.iter().map(|&i| matrix.rows[i].0).collect::<Vec<_>>()
+    );
+
+    banner("assessment");
+    for record in session.history().to_vec() {
+        let score = session.score(record.run_id).expect("scored");
+        println!(
+            "run {} {:?}: {:>5.1}/100",
+            record.run_id, record.choices, score.total
+        );
+        for (component, awarded, maximum) in &score.breakdown {
+            if *maximum > 0.0 {
+                println!("    {component:<22} {awarded:>6.1} / {maximum:.0}");
+            } else if awarded.abs() > 0.0 {
+                println!("    {component:<22} {awarded:>6.1}");
+            }
+        }
+    }
+    let (best, best_score) = session.best_run("ecomm-revenue").expect("has runs");
+    println!(
+        "\nbest attempt: run {best} at {best_score:.1}/100 \
+         ({} of {} free-tier runs used, {:.1} cost units spent)",
+        session.runs_used(),
+        session.quota().max_runs,
+        session.cost_used(),
+    );
+}

@@ -1,0 +1,112 @@
+//! Property-based tests spanning the whole stack: random campaigns through
+//! the real compiler and engine.
+
+use proptest::prelude::*;
+
+use toreador_core::prelude::*;
+use toreador_data::generate::clickstream;
+
+/// Generate a random-but-valid campaign DSL over the clickstream schema.
+fn arb_campaign() -> impl Strategy<Value = String> {
+    let predicate = prop_oneof![
+        Just("price > 10"),
+        Just("action == 'purchase'"),
+        Just("country != 'IT' and price is not null"),
+        Just("product_id % 2 == 0"),
+    ];
+    let group = prop_oneof![Just("country"), Just("category"), Just("action")];
+    let agg = prop_oneof![
+        Just("count:event_id:n"),
+        Just("sum:price:total"),
+        Just("mean:price:avg,count:event_id:n"),
+    ];
+    let prefer = prop_oneof![Just("quality"), Just("cost"), Just("balanced")];
+    (predicate, group, agg, prefer, 0u64..100, any::<bool>()).prop_map(
+        |(p, g, a, pref, seed, sample)| {
+            let mut dsl = format!("campaign generated on clicks\nprefer {pref}\nseed {seed}\n");
+            if sample {
+                dsl.push_str("goal sampling fraction=0.5\n");
+            }
+            dsl.push_str(&format!("goal filtering predicate=\"{p}\"\n"));
+            dsl.push_str(&format!("goal aggregation group_by={g} agg={a}\n"));
+            dsl
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_valid_campaigns_compile_and_run(dsl in arb_campaign(), rows in 50usize..500) {
+        let bdaas = Bdaas::new();
+        let data = clickstream(rows, 1);
+        let spec = bdaas.parse(&dsl).unwrap();
+        let compiled = bdaas.compile(&spec, data.schema(), rows).unwrap();
+        let outcome = bdaas.run(&compiled, data, &Default::default()).unwrap();
+        // Invariants any run must satisfy.
+        prop_assert!(outcome.indicator(Indicator::RuntimeMs).unwrap() >= 0.0);
+        prop_assert!(outcome.indicator(Indicator::Cost).unwrap() >= 0.0);
+        let coverage = outcome.indicator(Indicator::Coverage).unwrap();
+        prop_assert!((0.0..=1.0).contains(&coverage));
+        // Aggregation output can never exceed the input size.
+        prop_assert!(outcome.output.num_rows() <= rows);
+    }
+
+    #[test]
+    fn compilation_is_deterministic(dsl in arb_campaign()) {
+        let bdaas = Bdaas::new();
+        let data = clickstream(100, 2);
+        let spec = bdaas.parse(&dsl).unwrap();
+        let a = bdaas.compile(&spec, data.schema(), 100).unwrap();
+        let b = bdaas.compile(&spec, data.schema(), 100).unwrap();
+        prop_assert_eq!(a.procedural.composition, b.procedural.composition);
+        prop_assert_eq!(a.deployment.platform.name, b.deployment.platform.name);
+        prop_assert!((a.deployment.estimated_cost - b.deployment.estimated_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_outputs_are_seed_deterministic(dsl in arb_campaign()) {
+        let bdaas = Bdaas::new();
+        let spec = bdaas.parse(&dsl).unwrap();
+        let run = || {
+            let data = clickstream(200, 3);
+            let compiled = bdaas.compile(&spec, data.schema(), 200).unwrap();
+            bdaas.run(&compiled, data, &Default::default()).unwrap().output
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(
+            a.sort_by(&a.schema().names(), false).unwrap(),
+            b.sort_by(&b.schema().names(), false).unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_text(text in "[a-z =\"\'\\n]{0,120}") {
+        let bdaas = Bdaas::new();
+        let _ = bdaas.parse(&text); // must return, not panic
+    }
+
+    #[test]
+    fn expr_parser_never_panics(text in "[a-z0-9 ><=+*()'\"%-]{0,60}") {
+        let _ = toreador_core::dsl::parse_expr(&text);
+    }
+
+    #[test]
+    fn labs_attempts_stay_within_quota(runs in 1u64..6) {
+        use toreador_labs::prelude::*;
+        let mut session = LabSession::new(
+            "p",
+            Quota { max_runs: runs, max_rows_per_run: 300, max_total_cost: f64::INFINITY },
+            5,
+        );
+        let c = challenge("ecomm-revenue").unwrap();
+        let vectors = c.all_choice_vectors();
+        for v in vectors.iter().cycle().take(8) {
+            let _ = session.attempt("ecomm-revenue", v, None);
+        }
+        prop_assert!(session.runs_used() <= runs);
+        prop_assert_eq!(session.history().len() as u64, session.runs_used());
+    }
+}

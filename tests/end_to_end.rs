@@ -1,0 +1,189 @@
+//! End-to-end integration: DSL text → compiled pipeline → verified results,
+//! across all three verticals, cross-checked against hand-computed ground
+//! truth on the same generated data.
+
+use toreador_core::prelude::*;
+use toreador_data::generate::{clickstream, health_records, telemetry};
+use toreador_data::value::Value;
+use toreador_tests::{column_sum, run_campaign};
+
+#[test]
+fn revenue_campaign_matches_hand_computed_totals() {
+    let data = clickstream(3_000, 99);
+    // Ground truth: sum of purchase prices, computed directly.
+    let mut expected = 0.0;
+    let mut purchases = 0i64;
+    for row in data.iter_rows() {
+        if row[6] == Value::Str("purchase".into()) {
+            expected += row[7].as_float().unwrap();
+            purchases += 1;
+        }
+    }
+    let outcome = run_campaign(
+        r#"
+campaign revenue on clicks
+seed 1
+goal filtering predicate="action == 'purchase'"
+goal aggregation group_by=country agg=sum:price:revenue,count:event_id:n
+"#,
+        data,
+    )
+    .unwrap();
+    let total_revenue = column_sum(&outcome.output, "revenue");
+    let total_n: f64 = column_sum(&outcome.output, "n");
+    assert!(
+        (total_revenue - expected).abs() < 1e-6,
+        "{total_revenue} vs {expected}"
+    );
+    assert_eq!(total_n as i64, purchases);
+}
+
+#[test]
+fn streaming_and_batch_aggregations_agree_on_totals() {
+    let data = telemetry(4_000, 20, 5);
+    let batch = run_campaign(
+        "campaign b on t\nseed 2\ngoal aggregation group_by=region agg=sum:kwh:total\n",
+        data.clone(),
+    )
+    .unwrap();
+    let stream = run_campaign(
+        "campaign s on t\nmode stream window=7200000\nseed 2\ngoal aggregation group_by=region agg=sum:kwh:total\n",
+        data,
+    )
+    .unwrap();
+    // Stream emits per-window rows; grouping them back by region must give
+    // the batch totals.
+    let mut stream_totals = std::collections::HashMap::new();
+    for row in stream.output.iter_rows() {
+        *stream_totals.entry(row[0].to_string()).or_insert(0.0) += row[1].as_float().unwrap();
+    }
+    for row in batch.output.iter_rows() {
+        let region = row[0].to_string();
+        let total = row[1].as_float().unwrap();
+        let streamed = stream_totals.get(&region).copied().unwrap_or(0.0);
+        assert!(
+            (total - streamed).abs() < 1e-6,
+            "region {region}: batch {total} vs stream {streamed}"
+        );
+    }
+    assert!(stream.indicator(Indicator::BatchLatencyMs).is_some());
+    assert!(batch.indicator(Indicator::BatchLatencyMs).is_none());
+}
+
+#[test]
+fn full_health_pipeline_prep_model_privacy() {
+    // One campaign exercising four areas: preparation (impute), analytics
+    // (classification), privacy (k-anon) and visualization (report).
+    let data = health_records(1_500, 21)
+        .without_column("patient_id")
+        .unwrap();
+    let outcome = run_campaign(
+        r#"
+campaign full on health
+seed 21
+goal classification using analytics.tree target=sex features=age,visits,cost expect accuracy >= 0.3
+goal anonymization using privacy.kanon k=5 quasi=age,zip,sex
+goal reporting using viz.report.summary
+"#,
+        data,
+    )
+    .unwrap();
+    assert!(outcome.indicator(Indicator::Accuracy).unwrap() >= 0.3);
+    assert!(toreador_privacy::kanon::is_k_anonymous(
+        &outcome.output,
+        &["age".into(), "zip".into(), "sex".into()],
+        5
+    )
+    .unwrap());
+    assert_eq!(
+        outcome.reports.len(),
+        3,
+        "model + anonymisation + summary reports"
+    );
+    assert!(outcome.all_objectives_met());
+}
+
+#[test]
+fn join_campaign_enriches_with_auxiliary_data() {
+    use std::collections::HashMap;
+    let bdaas = Bdaas::new();
+    let scen = toreador_labs::scenario::scenario("ecommerce-clicks").unwrap();
+    let data = scen.generate(1_000, 3);
+    let aux: HashMap<String, toreador_data::table::Table> = scen.auxiliary();
+    let spec = bdaas
+        .parse(
+            r#"
+campaign vat on clicks
+seed 3
+goal filtering predicate="action == 'purchase'"
+goal joining with=vat_rates keys=country
+"#,
+        )
+        .unwrap();
+    let compiled = bdaas
+        .compile(&spec, data.schema(), data.num_rows())
+        .unwrap();
+    let outcome = bdaas.run(&compiled, data, &aux).unwrap();
+    assert!(outcome.output.schema().contains("vat_rate"));
+    assert!(outcome.output.num_rows() > 0);
+    // Every purchase joined (all countries are in the VAT table).
+    for row in outcome.output.iter_rows() {
+        assert!(!row.last().unwrap().is_null());
+    }
+}
+
+#[test]
+fn csv_ingest_to_campaign_round_trip() {
+    // Data arriving as CSV text flows through the same machinery.
+    let original = clickstream(400, 55);
+    let text = toreador_data::csv::write_csv(&original);
+    let parsed = toreador_data::csv::read_csv_with_schema(&text, original.schema()).unwrap();
+    assert_eq!(parsed.num_rows(), original.num_rows());
+    let outcome = run_campaign(
+        "campaign c on clicks\nseed 4\ngoal aggregation group_by=action agg=count:event_id:n\n",
+        parsed,
+    )
+    .unwrap();
+    let total: f64 = column_sum(&outcome.output, "n");
+    assert_eq!(total as usize, 400);
+}
+
+#[test]
+fn campaign_specs_round_trip_through_json() {
+    // Run records and specs are the platform's exchange artefacts; they
+    // must survive serialisation.
+    let bdaas = Bdaas::new();
+    let spec = bdaas
+        .parse(
+            "campaign x on clicks\nprefer quality\nmode stream window=1000\ngoal filtering predicate=\"price > 1\"\nobjective cost <= 10\n",
+        )
+        .unwrap();
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec, back);
+}
+
+#[test]
+fn fault_tolerant_campaign_completes_with_retries() {
+    let data = clickstream(2_000, 77);
+    let outcome = run_campaign(
+        r#"
+campaign resilient on clicks
+retries 5
+seed 77
+goal aggregation group_by=category agg=sum:price:value
+"#,
+        data,
+    )
+    .unwrap();
+    // The deployment injected a background fault rate; totals still exact.
+    let total = column_sum(&outcome.output, "value");
+    let expected: f64 = clickstream(2_000, 77)
+        .column("price")
+        .unwrap()
+        .sum_f64()
+        .unwrap();
+    assert!((total - expected).abs() < 1e-6);
+    let retries: u64 = outcome.engine_metrics.iter().map(|m| m.task_retries).sum();
+    let _ = retries; // retries may be 0 at 2% rate on few tasks; just verify it ran.
+}

@@ -1,0 +1,21 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use toreador_core::compile::{Bdaas, CampaignOutcome};
+use toreador_data::table::Table;
+
+/// Parse, compile and run a DSL campaign against `data` in one step.
+pub fn run_campaign(dsl: &str, data: Table) -> Result<CampaignOutcome, String> {
+    let bdaas = Bdaas::new();
+    let spec = bdaas.parse(dsl).map_err(|e| e.to_string())?;
+    let compiled = bdaas
+        .compile(&spec, data.schema(), data.num_rows())
+        .map_err(|e| e.to_string())?;
+    bdaas
+        .run(&compiled, data, &Default::default())
+        .map_err(|e| e.to_string())
+}
+
+/// Sum an Int/Float column as f64 (test convenience).
+pub fn column_sum(table: &Table, name: &str) -> f64 {
+    table.column(name).unwrap().sum_f64().unwrap()
+}

@@ -1,0 +1,232 @@
+//! Integration tests for the Labs training loop: challenges across all
+//! verticals, run comparison fidelity, scoring discrimination, and quota
+//! behaviour under sustained use.
+
+use toreador_labs::prelude::*;
+
+#[test]
+fn every_builtin_challenge_runs_with_its_reference_choices() {
+    for c in challenges() {
+        let mut session = LabSession::new("ref", Quota::unlimited(), 5);
+        let record = session
+            .attempt(c.id, &c.reference_vector(), Some(700))
+            .unwrap_or_else(|e| panic!("challenge {} reference run failed: {e}", c.id));
+        assert!(!record.plan_services.is_empty(), "{}", c.id);
+        assert!(record.indicators.contains_key("runtime_ms"), "{}", c.id);
+    }
+}
+
+#[test]
+fn reference_choices_score_at_least_as_well_as_any_alternative() {
+    // The sanctioned success story should win (or tie) within each
+    // challenge's design space — the scoring signal trainees learn from.
+    for c in challenges() {
+        let mut session = LabSession::new("sweep", Quota::unlimited(), 11);
+        let mut scores = Vec::new();
+        for vector in c.all_choice_vectors() {
+            let run_id = match session.attempt(c.id, &vector, Some(600)) {
+                Ok(record) => record.run_id,
+                Err(_) => continue, // some off-reference vectors may be refused (fine)
+            };
+            let score = session.score(run_id).unwrap();
+            scores.push((vector.clone(), score.total));
+        }
+        let reference = c.reference_vector();
+        let ref_score = scores
+            .iter()
+            .find(|(v, _)| *v == reference)
+            .map(|(_, s)| *s)
+            .unwrap_or_else(|| panic!("{}: reference vector did not run", c.id));
+        let best = scores
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            ref_score >= best - 1e-9,
+            "{}: reference scores {ref_score}, best alternative {best} ({scores:?})",
+            c.id
+        );
+    }
+}
+
+#[test]
+fn comparison_pinpoints_single_changed_choice() {
+    let mut session = LabSession::new("t", Quota::unlimited(), 9);
+    let c = challenge("energy-anomaly").unwrap();
+    session
+        .attempt(c.id, &vec!["global".into(), "balanced".into()], Some(2_000))
+        .unwrap();
+    session
+        .attempt(
+            c.id,
+            &vec!["rolling".into(), "balanced".into()],
+            Some(2_000),
+        )
+        .unwrap();
+    let diff = session.compare(1, 2).unwrap();
+    assert_eq!(diff.choice_diffs.len(), 1);
+    assert_eq!(diff.choice_diffs[0].0, 0, "first choice point changed");
+    // The plan actually swapped detectors.
+    assert!(diff.services_only_a.iter().any(|s| s.contains("zscore")));
+    assert!(diff.services_only_b.iter().any(|s| s.contains("rolling")));
+}
+
+#[test]
+fn detector_choice_has_observable_consequences() {
+    // On the diurnal telemetry the planted spikes inflate the global
+    // standard deviation, blinding the global z-score detector; the rolling
+    // detector compares against the recent window and finds far more of
+    // them — the lesson of the challenge.
+    let mut session = LabSession::new("t", Quota::unlimited(), 13);
+    let c = challenge("energy-anomaly").unwrap();
+    let a = session
+        .attempt(c.id, &vec!["global".into(), "paranoid".into()], Some(4_000))
+        .unwrap();
+    let global_report = a
+        .reports
+        .iter()
+        .find(|(s, _)| s.contains("anomaly"))
+        .map(|(_, t)| t.clone())
+        .unwrap();
+    let b = session
+        .attempt(
+            c.id,
+            &vec!["rolling".into(), "paranoid".into()],
+            Some(4_000),
+        )
+        .unwrap();
+    let rolling_report = b
+        .reports
+        .iter()
+        .find(|(s, _)| s.contains("anomaly"))
+        .map(|(_, t)| t.clone())
+        .unwrap();
+    let count = |report: &str| -> usize {
+        report
+            .split_whitespace()
+            .next()
+            .and_then(|w| w.parse().ok())
+            .unwrap_or(0)
+    };
+    let g = count(&global_report);
+    let r = count(&rolling_report);
+    assert!(
+        r > g,
+        "rolling detector ({r}) should catch spikes the variance-blinded global one ({g}) misses"
+    );
+}
+
+#[test]
+fn privacy_strength_choice_moves_risk_and_coverage() {
+    let mut session = LabSession::new("t", Quota::unlimited(), 17);
+    let c = challenge("health-compliance").unwrap();
+    session
+        .attempt(
+            c.id,
+            &vec!["anonymise".into(), "standard".into()],
+            Some(1_500),
+        )
+        .unwrap();
+    session
+        .attempt(
+            c.id,
+            &vec!["anonymise".into(), "strict".into()],
+            Some(1_500),
+        )
+        .unwrap();
+    let standard = session.run(1).unwrap();
+    let strict = session.run(2).unwrap();
+    let risk = |r: &RunRecord| r.indicators["privacy_risk"];
+    assert!(
+        risk(strict) < risk(standard),
+        "k=25 risk {} must be below k=5 risk {}",
+        risk(strict),
+        risk(standard)
+    );
+    // Both remain compliant.
+    assert_eq!(standard.compliant, Some(true));
+    assert_eq!(strict.compliant, Some(true));
+}
+
+#[test]
+fn consequence_matrix_exposes_tradeoffs_per_challenge() {
+    // For the compliance challenge, no single design dominates on all
+    // data-derived indicators — the "no free lunch" the Labs teach.
+    let mut session = LabSession::new("t", Quota::unlimited(), 19);
+    let c = challenge("health-compliance").unwrap();
+    for vector in c.all_choice_vectors() {
+        let _ = session.attempt(c.id, &vector, Some(1_000));
+    }
+    let matrix = session.consequences(c.id).unwrap();
+    assert!(matrix.rows.len() >= 3);
+    let front = matrix.pareto_front();
+    assert!(
+        front.len() >= 2,
+        "at least two non-dominated designs expected, front: {front:?}\n{}",
+        matrix.render()
+    );
+}
+
+#[test]
+fn free_tier_gates_a_long_session() {
+    let mut session = LabSession::new(
+        "busy",
+        Quota {
+            max_runs: 4,
+            max_rows_per_run: 400,
+            max_total_cost: f64::INFINITY,
+        },
+        3,
+    );
+    let c = challenge("ecomm-revenue").unwrap();
+    let vectors = c.all_choice_vectors();
+    let mut refused = 0;
+    for (i, v) in vectors.iter().cycle().take(6).enumerate() {
+        match session.attempt(c.id, v, None) {
+            Ok(r) => assert_eq!(r.rows_in, 400, "row cap on attempt {i}"),
+            Err(LabsError::QuotaExceeded(_)) => refused += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!(session.runs_used(), 4);
+    assert_eq!(refused, 2);
+}
+
+#[test]
+fn scores_discriminate_good_from_bad_designs() {
+    // Across the whole library: the mean score of reference designs beats
+    // the mean score of maximally-off-reference designs.
+    let mut ref_scores = Vec::new();
+    let mut off_scores = Vec::new();
+    for c in challenges() {
+        let mut session = LabSession::new("x", Quota::unlimited(), 23);
+        if let Ok(r) = session.attempt(c.id, &c.reference_vector(), Some(500)) {
+            let id = r.run_id;
+            ref_scores.push(session.score(id).unwrap().total);
+        }
+        // The "anti-reference": flip every choice to a non-reference option.
+        let anti: ChoiceVector = c
+            .choice_points
+            .iter()
+            .zip(&c.reference_choices)
+            .map(|(p, r)| {
+                p.options
+                    .iter()
+                    .find(|o| o.id != *r)
+                    .map(|o| o.id.to_string())
+                    .unwrap_or_else(|| r.to_string())
+            })
+            .collect();
+        if let Ok(r) = session.attempt(c.id, &anti, Some(500)) {
+            let id = r.run_id;
+            off_scores.push(session.score(id).unwrap().total);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(
+        mean(&ref_scores) > mean(&off_scores),
+        "reference mean {} vs anti-reference mean {}",
+        mean(&ref_scores),
+        mean(&off_scores)
+    );
+}
