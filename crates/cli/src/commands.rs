@@ -20,6 +20,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "challenges" => challenges_cmd(args),
         "explain" => explain(args),
         "run" => run(args),
+        "trace" => trace_cmd(args),
         "attempt" => attempt(args),
         "" | "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
@@ -37,6 +38,10 @@ pub fn usage() -> String {
      \x20                                        compile and show the plan\n\
      \x20 toreador run <campaign.tdl> --data <source> [--rows N] [--seed N]\n\
      \x20                                        compile, run, report\n\
+     \x20 toreador trace <campaign.tdl> --data <source> [--rows N] [--seed N]\n\
+     \x20                [--format text|json]    run and show the flight\n\
+     \x20                                        recorder: per-stage timings,\n\
+     \x20                                        critical path, skew, retries\n\
      \x20 toreador attempt <challenge-id> <choice>... [--rows N] [--seed N]\n\
      \x20                  [--session <file>]    one Labs attempt with scoring;\n\
      \x20                                        --session persists quota,\n\
@@ -223,6 +228,51 @@ fn run(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// Run a campaign and render its flight-recorder journals: one per-stage
+/// summary per engine run (text), or the full trace reports (json).
+fn trace_cmd(args: &Args) -> Result<String, String> {
+    let format = args.flag("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("--format must be text or json, got {format:?}"));
+    }
+    let (bdaas, compiled, data, aux) = compile_from_args(args)?;
+    let outcome = bdaas
+        .run(&compiled, data, &aux)
+        .map_err(|e| e.to_string())?;
+    if outcome.engine_traces.is_empty() {
+        return Err("campaign made no engine runs — nothing to trace".to_owned());
+    }
+    if format == "json" {
+        let reports: Vec<toreador_dataflow::trace::TraceReport> =
+            outcome.engine_traces.iter().map(|t| t.report()).collect();
+        return serde_json::to_string_pretty(&reports).map_err(|e| e.to_string());
+    }
+    let mut out = format!(
+        "campaign {:?}: {} engine run(s)\n",
+        compiled.spec.name,
+        outcome.engine_traces.len()
+    );
+    for (i, trace) in outcome.engine_traces.iter().enumerate() {
+        let summary = trace.summarize();
+        out.push_str(&format!("\nengine run {i}:\n"));
+        out.push_str(&summary.render());
+        let slowest = trace
+            .task_spans()
+            .into_iter()
+            .max_by_key(|s| s.duration_us());
+        if let Some(s) = slowest {
+            out.push_str(&format!(
+                "slowest task: stage {} partition {} attempt {} ({} us)\n",
+                s.stage,
+                s.partition,
+                s.attempt,
+                s.duration_us()
+            ));
+        }
+    }
+    Ok(out)
+}
+
 fn attempt(args: &Args) -> Result<String, String> {
     let challenge_id = args.positional(0, "challenge id")?.to_owned();
     let choices: ChoiceVector = args.positionals[1..].to_vec();
@@ -389,6 +439,68 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("purchase"), "{out}");
+    }
+
+    fn write_trace_campaign() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("toreador-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("trace.tdl");
+        std::fs::write(
+            &file,
+            "campaign traced on clicks\nseed 3\ngoal filtering predicate=\"action == 'purchase'\"\ngoal aggregation group_by=country agg=sum:price:revenue\n",
+        )
+        .unwrap();
+        file
+    }
+
+    #[test]
+    fn trace_renders_critical_path_and_skew() {
+        let file = write_trace_campaign();
+        let out = run_cli(&[
+            "trace",
+            file.to_str().unwrap(),
+            "--data",
+            "generated:ecommerce-clicks",
+            "--rows",
+            "500",
+        ])
+        .unwrap();
+        assert!(out.contains("engine run 0"), "{out}");
+        assert!(out.contains("critical path"), "{out}");
+        assert!(out.contains("skew"), "{out}");
+        assert!(out.contains("slowest task"), "{out}");
+    }
+
+    #[test]
+    fn trace_json_exports_full_reports() {
+        let file = write_trace_campaign();
+        let out = run_cli(&[
+            "trace",
+            file.to_str().unwrap(),
+            "--data",
+            "generated:ecommerce-clicks",
+            "--rows",
+            "500",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let reports: Vec<toreador_dataflow::trace::TraceReport> =
+            serde_json::from_str(&out).unwrap();
+        assert!(!reports.is_empty());
+        assert!(!reports[0].events.is_empty());
+        assert!(reports[0].summary.total_tasks > 0);
+        // Unknown format is rejected.
+        let err = run_cli(&[
+            "trace",
+            file.to_str().unwrap(),
+            "--data",
+            "generated:ecommerce-clicks",
+            "--format",
+            "xml",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--format"));
     }
 
     #[test]

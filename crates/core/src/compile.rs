@@ -190,6 +190,7 @@ impl Bdaas {
                     acc.reports.extend(state.reports);
                     acc.measured.extend(state.measured);
                     acc.engine_metrics.extend(state.engine_metrics);
+                    acc.engine_traces.extend(state.engine_traces);
                     acc.suppressed_rows += state.suppressed_rows;
                     acc.dp_spent += state.dp_spent;
                     acc.kanon_applied = acc.kanon_applied.or(state.kanon_applied);
@@ -326,6 +327,7 @@ impl Bdaas {
             indicators,
             objectives,
             engine_metrics: state.engine_metrics,
+            engine_traces: state.engine_traces,
             audit: state.audit,
             post_verdict,
         })
@@ -434,6 +436,8 @@ pub struct CampaignOutcome {
     pub indicators: BTreeMap<String, f64>,
     pub objectives: Vec<ObjectiveOutcome>,
     pub engine_metrics: Vec<toreador_dataflow::metrics::RunMetrics>,
+    /// Flight-recorder journals, aligned with `engine_metrics`.
+    pub engine_traces: Vec<toreador_dataflow::trace::RunTrace>,
     pub audit: toreador_privacy::audit::AuditLog,
     /// Post-hoc compliance verdict (None when no policy attached).
     pub post_verdict: Option<Verdict>,

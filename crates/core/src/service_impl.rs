@@ -17,6 +17,7 @@ use toreador_data::table::Table;
 use toreador_data::value::{DataType, Value};
 use toreador_dataflow::logical::{Dataflow, JoinType};
 use toreador_dataflow::metrics::RunMetrics;
+use toreador_dataflow::trace::RunTrace;
 use toreador_dataflow::session::{Engine, EngineConfig};
 use toreador_privacy::audit::{AuditEvent, AuditLog};
 use toreador_privacy::dp::LaplaceMechanism;
@@ -41,6 +42,8 @@ pub struct PipelineState {
     pub measured: Vec<(Indicator, f64)>,
     /// Engine metrics from processing stages.
     pub engine_metrics: Vec<RunMetrics>,
+    /// Flight-recorder journals, aligned with `engine_metrics`.
+    pub engine_traces: Vec<RunTrace>,
     /// Basket transactions staged by `repr.transactions`.
     pub transactions: Option<Vec<toreador_analytics::apriori::Transaction>>,
     /// Privacy bookkeeping.
@@ -63,6 +66,7 @@ impl PipelineState {
             reports: Vec::new(),
             measured: Vec::new(),
             engine_metrics: Vec::new(),
+            engine_traces: Vec::new(),
             transactions: None,
             kanon_applied: None,
             ldiv_applied: None,
@@ -138,6 +142,7 @@ fn run_flow(
     let result = engine.run(&flow)?;
     state.table = result.table;
     state.engine_metrics.push(result.metrics);
+    state.engine_traces.push(result.trace);
     Ok(())
 }
 

@@ -17,7 +17,10 @@
 //! 7. [`session`] — the `Engine` facade (register datasets, run flows);
 //! 8. [`stream`] — micro-batch streaming with carried state;
 //! 9. [`metrics`] — per-operator and per-run metrics, the raw material for
-//!    the Labs' run comparison.
+//!    the Labs' run comparison;
+//! 10. [`trace`] — the flight-recorder journal: structured span events for
+//!     every task attempt, operator and shuffle wave, from which the run's
+//!     [`metrics`] are derived.
 //!
 //! ## Example
 //!
@@ -48,6 +51,7 @@ pub mod scheduler;
 pub mod session;
 pub mod shuffle;
 pub mod stream;
+pub mod trace;
 
 /// Convenient glob import of the engine's public surface.
 pub mod prelude {
@@ -59,4 +63,5 @@ pub mod prelude {
     pub use crate::optimizer::OptimizerConfig;
     pub use crate::session::{Engine, EngineConfig, RunResult};
     pub use crate::stream::{run_stream, MicroBatcher, StreamRun, StreamState};
+    pub use crate::trace::{RunTrace, TraceEvent, TraceEventKind, TraceSummary};
 }

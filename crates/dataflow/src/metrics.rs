@@ -9,6 +9,8 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::trace::{TraceEventKind, TraceJournal};
+
 /// Metrics for one plan node (operator).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeMetrics {
@@ -66,9 +68,16 @@ impl RunMetrics {
 }
 
 /// Thread-safe collector the executor threads write into.
+///
+/// Since the flight-recorder refactor this keeps *two* books: the legacy
+/// tallies (`CollectorInner`) and the structured [`TraceJournal`]. The
+/// metrics a run reports are derived from the journal ([`Self::finish`]);
+/// the legacy path survives as [`Self::finish_legacy`] so tests can prove
+/// the derivation is lossless, field for field.
 #[derive(Debug, Default)]
 pub struct MetricsCollector {
     inner: Mutex<CollectorInner>,
+    journal: TraceJournal,
 }
 
 #[derive(Debug, Default)]
@@ -83,6 +92,11 @@ impl MetricsCollector {
         Self::default()
     }
 
+    /// The underlying event journal (for shuffle waves and snapshots).
+    pub fn trace(&self) -> &TraceJournal {
+        &self.journal
+    }
+
     /// Record a completed operator.
     pub fn record_node(
         &self,
@@ -92,25 +106,97 @@ impl MetricsCollector {
         elapsed: Duration,
         shuffle_bytes: u64,
     ) {
-        self.inner.lock().nodes.push(NodeMetrics {
-            operator: operator.into(),
+        let operator = operator.into();
+        let elapsed_us = elapsed.as_micros() as u64;
+        self.journal.record(TraceEventKind::OperatorFinished {
+            operator: operator.clone(),
             stage,
             rows_out,
-            elapsed_us: elapsed.as_micros() as u64,
+            elapsed_us,
+            shuffle_bytes,
+        });
+        self.inner.lock().nodes.push(NodeMetrics {
+            operator,
+            stage,
+            rows_out,
+            elapsed_us,
             shuffle_bytes,
         });
     }
 
-    pub fn record_task(&self) {
+    /// A task attempt began on a worker.
+    pub fn task_started(&self, stage: usize, partition: usize, attempt: u32) {
+        self.journal.record(TraceEventKind::TaskStarted {
+            stage,
+            partition,
+            attempt,
+        });
         self.inner.lock().tasks_run += 1;
     }
 
-    pub fn record_retry(&self) {
+    /// The matching end of a started attempt.
+    pub fn task_finished(&self, stage: usize, partition: usize, attempt: u32, ok: bool) {
+        self.journal.record(TraceEventKind::TaskFinished {
+            stage,
+            partition,
+            attempt,
+            ok,
+        });
+    }
+
+    /// The fault plan killed this attempt.
+    pub fn fault_injected(&self, stage: usize, partition: usize, attempt: u32) {
+        self.journal.record(TraceEventKind::FaultInjected {
+            stage,
+            partition,
+            attempt,
+        });
+    }
+
+    /// A failed attempt was rescheduled as `attempt`.
+    pub fn task_retried(&self, stage: usize, partition: usize, attempt: u32) {
+        self.journal.record(TraceEventKind::TaskRetried {
+            stage,
+            partition,
+            attempt,
+        });
         self.inner.lock().task_retries += 1;
     }
 
-    /// Finalise into a [`RunMetrics`].
+    /// Legacy span-less shim: counts a task with no placement info.
+    pub fn record_task(&self) {
+        self.task_started(0, 0, 0);
+        self.task_finished(0, 0, 0, true);
+    }
+
+    /// Legacy span-less shim: counts a retry with no placement info.
+    pub fn record_retry(&self) {
+        self.task_retried(0, 0, 0);
+    }
+
+    /// Finalise into a [`RunMetrics`], derived entirely from the journal.
     pub fn finish(
+        &self,
+        total_elapsed: Duration,
+        result_rows: u64,
+        result_partitions: u64,
+    ) -> RunMetrics {
+        self.journal.record(TraceEventKind::RunFinished {
+            total_elapsed_us: total_elapsed.as_micros() as u64,
+            result_rows,
+            result_partitions,
+        });
+        self.journal.snapshot().derive_metrics(
+            total_elapsed.as_micros() as u64,
+            result_rows,
+            result_partitions,
+        )
+    }
+
+    /// Finalise from the legacy tallies, bypassing the journal. Kept so the
+    /// observability suite can assert journal-derived metrics match the old
+    /// bookkeeping byte for byte.
+    pub fn finish_legacy(
         &self,
         total_elapsed: Duration,
         result_rows: u64,
@@ -147,6 +233,26 @@ mod tests {
         assert_eq!(m.total_shuffle_bytes(), 4096);
         assert_eq!(m.stage_count(), 2);
         assert_eq!(m.result_rows, 100);
+    }
+
+    #[test]
+    fn journal_derivation_matches_legacy_tallies() {
+        let c = MetricsCollector::new();
+        c.record_node("Scan", 0, 100, Duration::from_micros(50), 0);
+        c.task_started(1, 0, 0);
+        c.fault_injected(1, 0, 0);
+        c.task_finished(1, 0, 0, false);
+        c.task_retried(1, 0, 1);
+        c.task_started(1, 0, 1);
+        c.task_finished(1, 0, 1, true);
+        c.record_node("Aggregate", 1, 5, Duration::from_micros(90), 512);
+        let derived = c.finish(Duration::from_millis(2), 5, 4);
+        let legacy = c.finish_legacy(Duration::from_millis(2), 5, 4);
+        assert_eq!(derived, legacy);
+        assert_eq!(
+            serde_json::to_string(&derived).unwrap(),
+            serde_json::to_string(&legacy).unwrap()
+        );
     }
 
     #[test]

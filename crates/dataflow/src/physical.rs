@@ -30,7 +30,7 @@ use crate::expr::Expr;
 use crate::logical::{AggExpr, AggFunc, JoinType, LogicalPlan};
 use crate::metrics::MetricsCollector;
 use crate::scheduler::{run_stage, SchedulerConfig};
-use crate::shuffle::shuffle;
+use crate::shuffle::shuffle_traced;
 
 /// Execution-time configuration.
 #[derive(Debug, Clone, Copy)]
@@ -721,11 +721,11 @@ fn exec_aggregate(
             })
             .collect();
         let partials = run_stage(&ctx.config.scheduler, ctx.metrics, map_stage, tasks)?;
-        let out = shuffle(&partials, &p_schema, group_by, targets)?;
+        let out = shuffle_traced(&partials, &p_schema, group_by, targets, ctx.metrics.trace())?;
         (out.partitions, out.bytes_moved)
     } else {
         let schema = input.schema().clone();
-        let out = shuffle(input.parts(), &schema, group_by, targets)?;
+        let out = shuffle_traced(input.parts(), &schema, group_by, targets, ctx.metrics.trace())?;
         (out.partitions, out.bytes_moved)
     };
     let reduce_stage = ctx.next_stage();
@@ -778,8 +778,8 @@ fn exec_join(
     let targets = ctx.config.partitions.max(1);
     let l_schema = left.schema().clone();
     let r_schema = right.schema().clone();
-    let l_out = shuffle(left.parts(), &l_schema, left_keys, targets)?;
-    let r_out = shuffle(right.parts(), &r_schema, right_keys, targets)?;
+    let l_out = shuffle_traced(left.parts(), &l_schema, left_keys, targets, ctx.metrics.trace())?;
+    let r_out = shuffle_traced(right.parts(), &r_schema, right_keys, targets, ctx.metrics.trace())?;
     let bytes = l_out.bytes_moved + r_out.bytes_moved;
     let stage = ctx.next_stage();
 
@@ -861,7 +861,7 @@ fn exec_sort(
     let started = Instant::now();
     // Gather everything into one partition (keyless shuffle), then sort.
     let schema = input.schema().clone();
-    let gathered = shuffle(input.parts(), &schema, &[], 1)?;
+    let gathered = shuffle_traced(input.parts(), &schema, &[], 1, ctx.metrics.trace())?;
     let stage = ctx.next_stage();
     let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
     let table = gathered
@@ -955,7 +955,7 @@ fn exec_distinct(
     let schema = input.schema().clone();
     let all_cols: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
     let targets = ctx.config.partitions.max(1);
-    let out = shuffle(input.parts(), &schema, &all_cols, targets)?;
+    let out = shuffle_traced(input.parts(), &schema, &all_cols, targets, ctx.metrics.trace())?;
     let stage = ctx.next_stage();
     let tasks: Vec<_> = out
         .partitions

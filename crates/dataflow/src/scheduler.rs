@@ -80,8 +80,10 @@ where
                 }
                 let mut attempt = 0u32;
                 let outcome = loop {
-                    metrics.record_task();
+                    metrics.task_started(stage, i, attempt);
                     if faults.should_fail(stage, i, attempt) {
+                        metrics.fault_injected(stage, i, attempt);
+                        metrics.task_finished(stage, i, attempt, false);
                         attempt += 1;
                         if attempt >= faults.max_attempts {
                             break Err(FlowError::TaskFailed {
@@ -91,10 +93,12 @@ where
                                 message: "injected fault".to_owned(),
                             });
                         }
-                        metrics.record_retry();
+                        metrics.task_retried(stage, i, attempt);
                         continue;
                     }
-                    break tasks[i]();
+                    let result = tasks[i]();
+                    metrics.task_finished(stage, i, attempt, result.is_ok());
+                    break result;
                 };
                 // Receiver only disconnects after an early error; stop then.
                 if tx.send((i, outcome)).is_err() {

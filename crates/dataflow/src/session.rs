@@ -19,6 +19,7 @@ use crate::metrics::{MetricsCollector, RunMetrics};
 use crate::optimizer::{optimize, OptimizerConfig};
 use crate::physical::{execute, ExecConfig, ExecContext};
 use crate::scheduler::SchedulerConfig;
+use crate::trace::RunTrace;
 
 /// Engine configuration: threads, partitions, optimiser, faults.
 #[derive(Debug, Clone, Copy)]
@@ -80,11 +81,13 @@ impl EngineConfig {
     }
 }
 
-/// The result of one run: data, metrics, and the plan that actually ran.
+/// The result of one run: data, metrics, trace, and the plan that ran.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     pub table: Table,
     pub metrics: RunMetrics,
+    /// The full flight-recorder journal the metrics were derived from.
+    pub trace: RunTrace,
     /// The optimised plan (equal to the input plan when optimisation is off).
     pub executed_plan: Arc<LogicalPlan>,
 }
@@ -168,9 +171,11 @@ impl Engine {
         let partitions = out.num_partitions() as u64;
         let table = out.collect()?;
         let run_metrics = metrics.finish(started.elapsed(), table.num_rows() as u64, partitions);
+        let trace = metrics.trace().snapshot();
         Ok(RunResult {
             table,
             metrics: run_metrics,
+            trace,
             executed_plan: optimized,
         })
     }
@@ -208,6 +213,17 @@ mod tests {
         assert!(r.table.num_rows() > 0);
         assert!(r.metrics.total_elapsed_us > 0);
         assert!(r.metrics.total_shuffle_bytes() > 0);
+        // The flight recorder saw the whole run: its derived metrics are the
+        // metrics the run reported.
+        assert!(!r.trace.events.is_empty());
+        assert_eq!(
+            r.trace.derive_metrics(
+                r.metrics.total_elapsed_us,
+                r.metrics.result_rows,
+                r.metrics.result_partitions
+            ),
+            r.metrics
+        );
         // Revenue column is descending.
         let rev = r.table.column("revenue").unwrap();
         let vals: Vec<f64> = rev.iter_values().map(|v| v.as_float().unwrap()).collect();

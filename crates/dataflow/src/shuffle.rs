@@ -15,6 +15,7 @@ use toreador_data::table::{Table, TableBuilder};
 use toreador_data::value::{Row, Value};
 
 use crate::error::{FlowError, Result};
+use crate::trace::{TraceEventKind, TraceJournal};
 
 const TAG_NULL: u8 = 0;
 const TAG_BOOL: u8 = 1;
@@ -138,6 +139,13 @@ pub struct ShuffleOutput {
     pub bytes_moved: u64,
 }
 
+impl ShuffleOutput {
+    /// Rows that crossed the shuffle (sum over output partitions).
+    pub fn rows_moved(&self) -> u64 {
+        self.partitions.iter().map(|p| p.num_rows() as u64).sum()
+    }
+}
+
 /// Redistribute all `inputs` rows into `targets` partitions keyed by the
 /// named columns. Rows are serialised into per-target buffers and decoded
 /// back out, exactly once each.
@@ -190,6 +198,27 @@ pub fn shuffle(
         partitions,
         bytes_moved,
     })
+}
+
+/// [`shuffle`], plus a [`TraceEventKind::ShuffleWave`] event in `journal`.
+/// The shuffle itself stays pure; tracing is layered on at the call sites
+/// that have a journal in scope (the physical operators).
+pub fn shuffle_traced(
+    inputs: &[Table],
+    schema: &Schema,
+    keys: &[String],
+    targets: usize,
+    journal: &TraceJournal,
+) -> Result<ShuffleOutput> {
+    let out = shuffle(inputs, schema, keys, targets)?;
+    journal.record(TraceEventKind::ShuffleWave {
+        keys: keys.len(),
+        rows: out.rows_moved(),
+        bytes: out.bytes_moved,
+        sources: inputs.len(),
+        targets,
+    });
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -273,6 +302,32 @@ mod tests {
         for p in &out.partitions[1..] {
             assert_eq!(p.num_rows(), 0);
         }
+    }
+
+    #[test]
+    fn traced_shuffle_records_a_wave() {
+        let t = random_table(200, 3, 5);
+        let parts = PartitionedTable::split(t.clone(), 2).unwrap();
+        let journal = TraceJournal::new();
+        let out =
+            shuffle_traced(parts.parts(), t.schema(), &["c0".to_owned()], 4, &journal).unwrap();
+        let trace = journal.snapshot();
+        let wave = trace
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                TraceEventKind::ShuffleWave {
+                    keys,
+                    rows,
+                    bytes,
+                    sources,
+                    targets,
+                } => Some((*keys, *rows, *bytes, *sources, *targets)),
+                _ => None,
+            })
+            .expect("a ShuffleWave event");
+        assert_eq!(wave, (1, 200, out.bytes_moved, 2, 4));
+        assert_eq!(out.rows_moved(), 200);
     }
 
     #[test]

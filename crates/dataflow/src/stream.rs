@@ -16,6 +16,7 @@ use crate::error::{FlowError, Result};
 use crate::logical::Dataflow;
 use crate::metrics::RunMetrics;
 use crate::session::{Engine, EngineConfig};
+use crate::trace::RunTrace;
 
 /// Splits a time-ordered table into event-time micro-batches.
 #[derive(Debug)]
@@ -150,6 +151,9 @@ pub struct StreamRun {
     pub state: StreamState,
     /// Per-batch metrics in arrival order.
     pub batch_metrics: Vec<RunMetrics>,
+    /// Per-batch flight-recorder journals, aligned with `batch_metrics`
+    /// (empty trace for silent windows).
+    pub batch_traces: Vec<RunTrace>,
     /// Rows emitted per batch.
     pub batch_rows: Vec<usize>,
 }
@@ -186,11 +190,13 @@ pub fn run_stream(
 ) -> Result<StreamRun> {
     let mut state = StreamState::new();
     let mut batch_metrics = Vec::with_capacity(batcher.num_batches());
+    let mut batch_traces = Vec::with_capacity(batcher.num_batches());
     let mut batch_rows = Vec::with_capacity(batcher.num_batches());
     for batch in batcher.batches() {
         if batch.num_rows() == 0 {
             // Silent window: nothing to run, but the tick is still recorded.
             batch_metrics.push(RunMetrics::default());
+            batch_traces.push(RunTrace::default());
             batch_rows.push(0);
             continue;
         }
@@ -201,10 +207,12 @@ pub fn run_stream(
         state.absorb(&result.table, key_col, count_col, sum_col)?;
         batch_rows.push(result.table.num_rows());
         batch_metrics.push(result.metrics);
+        batch_traces.push(result.trace);
     }
     Ok(StreamRun {
         state,
         batch_metrics,
+        batch_traces,
         batch_rows,
     })
 }
@@ -332,5 +340,10 @@ mod tests {
         }
         assert!(run.total_rows() > 0);
         assert!(run.mean_batch_latency_us() >= 0.0);
+        assert_eq!(run.batch_traces.len(), run.batch_metrics.len());
+        // Silent windows carry an empty trace; real batches a recorded one.
+        for (trace, rows) in run.batch_traces.iter().zip(&run.batch_rows) {
+            assert_eq!(*rows > 0, !trace.events.is_empty());
+        }
     }
 }

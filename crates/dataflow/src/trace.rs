@@ -1,0 +1,624 @@
+//! Flight-recorder trace journal.
+//!
+//! Where [`crate::metrics`] answers "how did the run go overall", the
+//! journal answers "what happened, in order": every task attempt on the
+//! scheduler becomes a start/end span keyed by `(stage, partition,
+//! attempt)`, every injected fault and retry is an event, every operator
+//! records a span when it completes, and every shuffle logs a wave. The
+//! journal is the single source of truth — [`RunMetrics`] is *derived* from
+//! it (see [`RunTrace::derive_metrics`]) — and it serialises, so Labs run
+//! provenance can carry the full recording for post-hoc comparison.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{NodeMetrics, RunMetrics};
+
+/// One structured event. `seq` is dense and assigned at record time;
+/// `at_us` is microseconds since the journal's epoch (its creation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    pub seq: u64,
+    pub at_us: u64,
+    pub kind: TraceEventKind,
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// The journal (and hence the run) began.
+    RunStarted,
+    /// A task attempt began on a scheduler worker.
+    TaskStarted {
+        stage: usize,
+        partition: usize,
+        attempt: u32,
+    },
+    /// The matching end of a [`TraceEventKind::TaskStarted`] span. `ok` is
+    /// false for injected faults and task errors alike.
+    TaskFinished {
+        stage: usize,
+        partition: usize,
+        attempt: u32,
+        ok: bool,
+    },
+    /// The fault plan killed this attempt before the task body ran.
+    FaultInjected {
+        stage: usize,
+        partition: usize,
+        attempt: u32,
+    },
+    /// A failed attempt was rescheduled; `attempt` is the *new* attempt.
+    TaskRetried {
+        stage: usize,
+        partition: usize,
+        attempt: u32,
+    },
+    /// An operator completed (rows and timing across all its partitions).
+    OperatorFinished {
+        operator: String,
+        stage: usize,
+        rows_out: u64,
+        elapsed_us: u64,
+        shuffle_bytes: u64,
+    },
+    /// One shuffle wave moved rows between partition sets.
+    ShuffleWave {
+        /// Number of key columns (0 = keyless gather).
+        keys: usize,
+        rows: u64,
+        bytes: u64,
+        sources: usize,
+        targets: usize,
+    },
+    /// The run finalised into a [`RunMetrics`].
+    RunFinished {
+        total_elapsed_us: u64,
+        result_rows: u64,
+        result_partitions: u64,
+    },
+}
+
+/// Thread-safe append-only event journal. Workers on every scheduler thread
+/// record into the same journal; one short mutex hold per event keeps the
+/// overhead far below the cost of the task bodies being measured.
+#[derive(Debug)]
+pub struct TraceJournal {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Default for TraceJournal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceJournal {
+    /// A fresh journal whose epoch is now; records [`TraceEventKind::RunStarted`].
+    pub fn new() -> Self {
+        let journal = TraceJournal {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        };
+        journal.record(TraceEventKind::RunStarted);
+        journal
+    }
+
+    /// Append an event, assigning its sequence number and timestamp.
+    pub fn record(&self, kind: TraceEventKind) {
+        let at_us = self.epoch.elapsed().as_micros() as u64;
+        let mut events = self.events.lock();
+        let seq = events.len() as u64;
+        events.push(TraceEvent { seq, at_us, kind });
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// An owned, serialisable copy of everything recorded so far.
+    pub fn snapshot(&self) -> RunTrace {
+        RunTrace {
+            events: self.events.lock().clone(),
+        }
+    }
+}
+
+/// The serialisable recording of one run: every event, in sequence order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunTrace {
+    pub events: Vec<TraceEvent>,
+}
+
+/// One matched task span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpan {
+    pub stage: usize,
+    pub partition: usize,
+    pub attempt: u32,
+    pub start_us: u64,
+    pub end_us: u64,
+    pub ok: bool,
+}
+
+impl TaskSpan {
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// Per-stage roll-up of the journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSummary {
+    pub stage: usize,
+    /// Task attempts started in this stage.
+    pub tasks: u64,
+    pub retries: u64,
+    pub faults: u64,
+    /// Duration of the slowest completed task attempt, µs.
+    pub slowest_task_us: u64,
+    /// Mean duration over completed task attempts, µs.
+    pub mean_task_us: f64,
+    /// Slowest / mean task duration; 1.0 when there is nothing to compare.
+    /// A barrier stage finishes when its slowest task does, so this is the
+    /// straggler factor the stage pays over its average.
+    pub skew_ratio: f64,
+    /// Operators that completed in this stage, in completion order.
+    pub operators: Vec<String>,
+    pub rows_out: u64,
+    pub shuffle_bytes: u64,
+}
+
+/// Whole-run roll-up: what `toreador trace` renders.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    pub stages: Vec<StageSummary>,
+    /// Sum over stages of the slowest task — the barrier-to-barrier lower
+    /// bound on wall clock, no matter how many workers are added.
+    pub critical_path_us: u64,
+    pub total_tasks: u64,
+    pub total_retries: u64,
+    pub total_faults: u64,
+    pub shuffle_waves: u64,
+}
+
+/// Full export bundle for the CLI's `--format json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    pub summary: TraceSummary,
+    pub events: Vec<TraceEvent>,
+}
+
+impl RunTrace {
+    /// Match start events to their end events. Unfinished spans (a crashed
+    /// worker) are omitted — callers that care test start/end pairing
+    /// directly on the events.
+    pub fn task_spans(&self) -> Vec<TaskSpan> {
+        let mut open: BTreeMap<(usize, usize, u32), u64> = BTreeMap::new();
+        let mut spans = Vec::new();
+        for e in &self.events {
+            match e.kind {
+                TraceEventKind::TaskStarted {
+                    stage,
+                    partition,
+                    attempt,
+                } => {
+                    open.insert((stage, partition, attempt), e.at_us);
+                }
+                TraceEventKind::TaskFinished {
+                    stage,
+                    partition,
+                    attempt,
+                    ok,
+                } => {
+                    if let Some(start_us) = open.remove(&(stage, partition, attempt)) {
+                        spans.push(TaskSpan {
+                            stage,
+                            partition,
+                            attempt,
+                            start_us,
+                            end_us: e.at_us,
+                            ok,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans
+    }
+
+    /// Rebuild a [`RunMetrics`] from the journal alone. This is what
+    /// [`crate::metrics::MetricsCollector::finish`] returns; the legacy
+    /// tally path is kept as `finish_legacy` so tests can prove the two
+    /// agree byte-for-byte.
+    pub fn derive_metrics(
+        &self,
+        total_elapsed_us: u64,
+        result_rows: u64,
+        result_partitions: u64,
+    ) -> RunMetrics {
+        let mut nodes = Vec::new();
+        let mut tasks_run = 0u64;
+        let mut task_retries = 0u64;
+        for e in &self.events {
+            match &e.kind {
+                TraceEventKind::OperatorFinished {
+                    operator,
+                    stage,
+                    rows_out,
+                    elapsed_us,
+                    shuffle_bytes,
+                } => nodes.push(NodeMetrics {
+                    operator: operator.clone(),
+                    stage: *stage,
+                    rows_out: *rows_out,
+                    elapsed_us: *elapsed_us,
+                    shuffle_bytes: *shuffle_bytes,
+                }),
+                TraceEventKind::TaskStarted { .. } => tasks_run += 1,
+                TraceEventKind::TaskRetried { .. } => task_retries += 1,
+                _ => {}
+            }
+        }
+        RunMetrics {
+            nodes,
+            total_elapsed_us,
+            tasks_run,
+            task_retries,
+            result_rows,
+            result_partitions,
+        }
+    }
+
+    /// Total operator-attributed elapsed time per operator name, µs.
+    pub fn operator_elapsed_us(&self) -> BTreeMap<String, u64> {
+        let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+        for e in &self.events {
+            if let TraceEventKind::OperatorFinished {
+                operator,
+                elapsed_us,
+                ..
+            } = &e.kind
+            {
+                *totals.entry(operator.clone()).or_insert(0) += elapsed_us;
+            }
+        }
+        totals
+    }
+
+    /// The worst per-stage straggler factor, if any stage ran tasks.
+    pub fn max_skew_ratio(&self) -> Option<f64> {
+        self.summarize()
+            .stages
+            .iter()
+            .filter(|s| s.tasks > 0)
+            .map(|s| s.skew_ratio)
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+    }
+
+    /// Roll the journal up per stage.
+    pub fn summarize(&self) -> TraceSummary {
+        let mut stages: BTreeMap<usize, StageSummary> = BTreeMap::new();
+        let blank = |stage| StageSummary {
+            stage,
+            tasks: 0,
+            retries: 0,
+            faults: 0,
+            slowest_task_us: 0,
+            mean_task_us: 0.0,
+            skew_ratio: 1.0,
+            operators: Vec::new(),
+            rows_out: 0,
+            shuffle_bytes: 0,
+        };
+        let mut shuffle_waves = 0u64;
+        for e in &self.events {
+            match &e.kind {
+                TraceEventKind::TaskStarted { stage, .. } => {
+                    stages.entry(*stage).or_insert_with(|| blank(*stage)).tasks += 1;
+                }
+                TraceEventKind::TaskRetried { stage, .. } => {
+                    stages
+                        .entry(*stage)
+                        .or_insert_with(|| blank(*stage))
+                        .retries += 1;
+                }
+                TraceEventKind::FaultInjected { stage, .. } => {
+                    stages.entry(*stage).or_insert_with(|| blank(*stage)).faults += 1;
+                }
+                TraceEventKind::OperatorFinished {
+                    operator,
+                    stage,
+                    rows_out,
+                    shuffle_bytes,
+                    ..
+                } => {
+                    let s = stages.entry(*stage).or_insert_with(|| blank(*stage));
+                    s.operators.push(operator.clone());
+                    s.rows_out += rows_out;
+                    s.shuffle_bytes += shuffle_bytes;
+                }
+                TraceEventKind::ShuffleWave { .. } => shuffle_waves += 1,
+                _ => {}
+            }
+        }
+        // Task timing per stage from the matched spans.
+        let mut durations: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        for span in self.task_spans() {
+            durations.entry(span.stage).or_default().push(span.duration_us());
+        }
+        for (stage, ds) in durations {
+            let s = stages.entry(stage).or_insert_with(|| blank(stage));
+            s.slowest_task_us = ds.iter().copied().max().unwrap_or(0);
+            s.mean_task_us = ds.iter().sum::<u64>() as f64 / ds.len() as f64;
+            s.skew_ratio = if s.mean_task_us > 0.0 {
+                s.slowest_task_us as f64 / s.mean_task_us
+            } else {
+                1.0
+            };
+        }
+        let stages: Vec<StageSummary> = stages.into_values().collect();
+        TraceSummary {
+            critical_path_us: stages.iter().map(|s| s.slowest_task_us).sum(),
+            total_tasks: stages.iter().map(|s| s.tasks).sum(),
+            total_retries: stages.iter().map(|s| s.retries).sum(),
+            total_faults: stages.iter().map(|s| s.faults).sum(),
+            shuffle_waves,
+            stages,
+        }
+    }
+
+    /// Summary plus the raw events, for JSON export.
+    pub fn report(&self) -> TraceReport {
+        TraceReport {
+            summary: self.summarize(),
+            events: self.events.clone(),
+        }
+    }
+}
+
+impl TraceSummary {
+    /// Render as an aligned text table with a critical-path footer.
+    pub fn render(&self) -> String {
+        let header = vec![
+            "stage".to_owned(),
+            "tasks".to_owned(),
+            "retries".to_owned(),
+            "faults".to_owned(),
+            "slowest(us)".to_owned(),
+            "skew".to_owned(),
+            "rows_out".to_owned(),
+            "shuffle(B)".to_owned(),
+            "operators".to_owned(),
+        ];
+        let mut grid: Vec<Vec<String>> = vec![header];
+        for s in &self.stages {
+            grid.push(vec![
+                s.stage.to_string(),
+                s.tasks.to_string(),
+                s.retries.to_string(),
+                s.faults.to_string(),
+                s.slowest_task_us.to_string(),
+                format!("{:.2}", s.skew_ratio),
+                s.rows_out.to_string(),
+                s.shuffle_bytes.to_string(),
+                s.operators.join(", "),
+            ]);
+        }
+        let widths: Vec<usize> = (0..grid[0].len())
+            .map(|c| grid.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        for row in &grid {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                out.extend(std::iter::repeat(' ').take(widths[c] - cell.len()));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "critical path: {} us over {} stage(s); {} task(s), {} retried, {} fault(s), {} shuffle wave(s)\n",
+            self.critical_path_us,
+            self.stages.len(),
+            self.total_tasks,
+            self.total_retries,
+            self.total_faults,
+            self.shuffle_waves,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journal_with_two_stage_run() -> TraceJournal {
+        let j = TraceJournal::new();
+        // Stage 0: two clean tasks and an operator.
+        for p in 0..2 {
+            j.record(TraceEventKind::TaskStarted {
+                stage: 0,
+                partition: p,
+                attempt: 0,
+            });
+            j.record(TraceEventKind::TaskFinished {
+                stage: 0,
+                partition: p,
+                attempt: 0,
+                ok: true,
+            });
+        }
+        j.record(TraceEventKind::OperatorFinished {
+            operator: "Scan t".to_owned(),
+            stage: 0,
+            rows_out: 100,
+            elapsed_us: 40,
+            shuffle_bytes: 0,
+        });
+        // A wave, then stage 1 with a fault + retry.
+        j.record(TraceEventKind::ShuffleWave {
+            keys: 1,
+            rows: 100,
+            bytes: 2_048,
+            sources: 2,
+            targets: 4,
+        });
+        j.record(TraceEventKind::TaskStarted {
+            stage: 1,
+            partition: 0,
+            attempt: 0,
+        });
+        j.record(TraceEventKind::FaultInjected {
+            stage: 1,
+            partition: 0,
+            attempt: 0,
+        });
+        j.record(TraceEventKind::TaskFinished {
+            stage: 1,
+            partition: 0,
+            attempt: 0,
+            ok: false,
+        });
+        j.record(TraceEventKind::TaskRetried {
+            stage: 1,
+            partition: 0,
+            attempt: 1,
+        });
+        j.record(TraceEventKind::TaskStarted {
+            stage: 1,
+            partition: 0,
+            attempt: 1,
+        });
+        j.record(TraceEventKind::TaskFinished {
+            stage: 1,
+            partition: 0,
+            attempt: 1,
+            ok: true,
+        });
+        j.record(TraceEventKind::OperatorFinished {
+            operator: "Aggregate".to_owned(),
+            stage: 1,
+            rows_out: 5,
+            elapsed_us: 120,
+            shuffle_bytes: 2_048,
+        });
+        j
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense_and_ordered() {
+        let trace = journal_with_two_stage_run().snapshot();
+        for (i, e) in trace.events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        assert!(matches!(trace.events[0].kind, TraceEventKind::RunStarted));
+        for w in trace.events.windows(2) {
+            assert!(w[0].at_us <= w[1].at_us, "timestamps must be monotone");
+        }
+    }
+
+    #[test]
+    fn spans_match_starts_to_finishes() {
+        let trace = journal_with_two_stage_run().snapshot();
+        let spans = trace.task_spans();
+        assert_eq!(spans.len(), 4);
+        assert!(spans.iter().filter(|s| !s.ok).count() == 1);
+        let faulted = spans
+            .iter()
+            .find(|s| s.stage == 1 && s.attempt == 0)
+            .unwrap();
+        assert!(!faulted.ok);
+    }
+
+    #[test]
+    fn derived_metrics_count_events() {
+        let trace = journal_with_two_stage_run().snapshot();
+        let m = trace.derive_metrics(1_000, 5, 4);
+        assert_eq!(m.tasks_run, 4);
+        assert_eq!(m.task_retries, 1);
+        assert_eq!(m.nodes.len(), 2);
+        assert_eq!(m.nodes[0].operator, "Scan t");
+        assert_eq!(m.total_shuffle_bytes(), 2_048);
+        assert_eq!(m.result_rows, 5);
+    }
+
+    #[test]
+    fn summary_rolls_up_per_stage() {
+        let trace = journal_with_two_stage_run().snapshot();
+        let s = trace.summarize();
+        assert_eq!(s.stages.len(), 2);
+        assert_eq!(s.stages[0].tasks, 2);
+        assert_eq!(s.stages[1].retries, 1);
+        assert_eq!(s.stages[1].faults, 1);
+        assert_eq!(s.stages[1].shuffle_bytes, 2_048);
+        assert_eq!(s.total_tasks, 4);
+        assert_eq!(s.shuffle_waves, 1);
+        assert_eq!(
+            s.critical_path_us,
+            s.stages.iter().map(|x| x.slowest_task_us).sum::<u64>()
+        );
+        let rendered = s.render();
+        assert!(rendered.contains("critical path"));
+        assert!(rendered.contains("skew"));
+        assert!(rendered.contains("Aggregate"));
+    }
+
+    #[test]
+    fn operator_totals_and_skew() {
+        let trace = journal_with_two_stage_run().snapshot();
+        let totals = trace.operator_elapsed_us();
+        assert_eq!(totals.get("Scan t"), Some(&40));
+        assert_eq!(totals.get("Aggregate"), Some(&120));
+        assert!(trace.max_skew_ratio().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn traces_serialize_round_trip() {
+        let trace = journal_with_two_stage_run().snapshot();
+        let j = serde_json::to_string(&trace).unwrap();
+        let back: RunTrace = serde_json::from_str(&j).unwrap();
+        assert_eq!(trace, back);
+        let report = trace.report();
+        let j = serde_json::to_string_pretty(&report).unwrap();
+        let back: TraceReport = serde_json::from_str(&j).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn journal_is_usable_from_many_threads() {
+        let j = TraceJournal::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let j = &j;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        j.record(TraceEventKind::TaskStarted {
+                            stage: 0,
+                            partition: t * 100 + i,
+                            attempt: 0,
+                        });
+                    }
+                });
+            }
+        });
+        let trace = j.snapshot();
+        assert_eq!(trace.events.len(), 801); // RunStarted + 800
+        // No lost or duplicated sequence numbers.
+        for (i, e) in trace.events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+}

@@ -31,6 +31,11 @@ pub struct RunComparison {
     pub objective_flips: Vec<(String, Option<bool>, Option<bool>)>,
     /// Compliance verdict change, if any.
     pub compliance_change: Option<(Option<bool>, Option<bool>)>,
+    /// Per-operator timing movement, derived from the runs' trace journals
+    /// (union of operator names, sorted).
+    pub operator_deltas: Vec<OperatorDelta>,
+    /// Worst task-skew ratio of each run, when both runs recorded task spans.
+    pub skew_change: Option<(f64, f64)>,
 }
 
 /// One indicator's movement between two runs.
@@ -41,6 +46,17 @@ pub struct IndicatorDelta {
     pub b: Option<f64>,
     /// b - a when both measured.
     pub delta: Option<f64>,
+}
+
+/// One operator's timing movement between two runs (journal-derived).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorDelta {
+    pub operator: String,
+    /// Total attributed time in the first run, µs (None = operator absent).
+    pub a_us: Option<u64>,
+    pub b_us: Option<u64>,
+    /// b - a when the operator ran in both.
+    pub delta_us: Option<i64>,
 }
 
 impl RunComparison {
@@ -102,6 +118,30 @@ impl RunComparison {
             None
         };
 
+        let ops_a = a.operator_elapsed_us();
+        let ops_b = b.operator_elapsed_us();
+        let op_names: BTreeSet<&String> = ops_a.keys().chain(ops_b.keys()).collect();
+        let operator_deltas = op_names
+            .into_iter()
+            .map(|name| {
+                let a_us = ops_a.get(name).copied();
+                let b_us = ops_b.get(name).copied();
+                OperatorDelta {
+                    operator: name.clone(),
+                    a_us,
+                    b_us,
+                    delta_us: match (a_us, b_us) {
+                        (Some(x), Some(y)) => Some(y as i64 - x as i64),
+                        _ => None,
+                    },
+                }
+            })
+            .collect();
+        let skew_change = match (a.max_skew_ratio(), b.max_skew_ratio()) {
+            (Some(x), Some(y)) => Some((x, y)),
+            _ => None,
+        };
+
         Ok(RunComparison {
             run_a: a.run_id,
             run_b: b.run_id,
@@ -111,6 +151,8 @@ impl RunComparison {
             services_only_b,
             objective_flips,
             compliance_change,
+            operator_deltas,
+            skew_change,
         })
     }
 
@@ -156,6 +198,26 @@ impl RunComparison {
         }
         if let Some((a, b)) = self.compliance_change {
             out.push_str(&format!("compliance: {a:?} -> {b:?}\n"));
+        }
+        for d in &self.operator_deltas {
+            match (d.a_us, d.b_us) {
+                (Some(a), Some(b)) => out.push_str(&format!(
+                    "operator {}: {a} us -> {b} us ({:+} us)\n",
+                    d.operator,
+                    d.delta_us.unwrap_or(0)
+                )),
+                (Some(a), None) => {
+                    out.push_str(&format!("operator {}: only first run ({a} us)\n", d.operator))
+                }
+                (None, Some(b)) => out.push_str(&format!(
+                    "operator {}: only second run ({b} us)\n",
+                    d.operator
+                )),
+                (None, None) => {}
+            }
+        }
+        if let Some((a, b)) = self.skew_change {
+            out.push_str(&format!("max task skew: {a:.2} -> {b:.2}\n"));
         }
         out
     }
@@ -283,6 +345,7 @@ impl ConsequenceMatrix {
 mod tests {
     use super::*;
     use std::collections::BTreeMap;
+    use toreador_dataflow::trace::{RunTrace, TraceEvent, TraceEventKind};
 
     fn record(id: u64, challenge: &str, choices: &[&str], indicators: &[(&str, f64)]) -> RunRecord {
         RunRecord {
@@ -302,6 +365,7 @@ mod tests {
             rows_out: 50,
             shuffle_bytes: 1024,
             reports: vec![],
+            traces: vec![],
         }
     }
 
@@ -351,6 +415,86 @@ mod tests {
         let b = record(2, "c", &["x"], &[("cost", 1.0)]);
         let d = RunComparison::diff(&a, &b).unwrap();
         assert!(d.is_identical());
+        assert!(d.operator_deltas.is_empty());
+        assert!(d.skew_change.is_none());
+    }
+
+    fn trace_with(ops: &[(&str, u64)], task_spans_us: &[(u64, u64)]) -> RunTrace {
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        let mut push = |kind: TraceEventKind, at_us: u64| {
+            events.push(TraceEvent { seq, at_us, kind });
+            seq += 1;
+        };
+        push(TraceEventKind::RunStarted, 0);
+        for (p, (start, end)) in task_spans_us.iter().enumerate() {
+            push(
+                TraceEventKind::TaskStarted {
+                    stage: 0,
+                    partition: p,
+                    attempt: 0,
+                },
+                *start,
+            );
+            push(
+                TraceEventKind::TaskFinished {
+                    stage: 0,
+                    partition: p,
+                    attempt: 0,
+                    ok: true,
+                },
+                *end,
+            );
+        }
+        for (op, us) in ops {
+            push(
+                TraceEventKind::OperatorFinished {
+                    operator: (*op).to_owned(),
+                    stage: 0,
+                    rows_out: 1,
+                    elapsed_us: *us,
+                    shuffle_bytes: 0,
+                },
+                *us,
+            );
+        }
+        RunTrace { events }
+    }
+
+    #[test]
+    fn operator_and_skew_deltas_come_from_the_traces() {
+        let mut a = record(1, "c", &["x"], &[]);
+        let mut b = record(2, "c", &["x"], &[]);
+        a.traces = vec![trace_with(
+            &[("Scan", 100), ("Aggregate", 50)],
+            &[(0, 10), (0, 10)],
+        )];
+        b.traces = vec![trace_with(
+            &[("Scan", 70), ("Sort", 30)],
+            &[(0, 30), (0, 10)],
+        )];
+        let d = RunComparison::diff(&a, &b).unwrap();
+        let scan = d
+            .operator_deltas
+            .iter()
+            .find(|x| x.operator == "Scan")
+            .unwrap();
+        assert_eq!((scan.a_us, scan.b_us, scan.delta_us), (Some(100), Some(70), Some(-30)));
+        let agg = d
+            .operator_deltas
+            .iter()
+            .find(|x| x.operator == "Aggregate")
+            .unwrap();
+        assert_eq!((agg.a_us, agg.b_us, agg.delta_us), (Some(50), None, None));
+        // a's tasks are even (skew 1.0); b's slowest is 30 vs mean 20 (1.5).
+        let (sa, sb) = d.skew_change.unwrap();
+        assert!((sa - 1.0).abs() < 1e-9);
+        assert!((sb - 1.5).abs() < 1e-9);
+        let rendered = d.render();
+        assert!(rendered.contains("operator Scan: 100 us -> 70 us (-30 us)"));
+        assert!(rendered.contains("operator Aggregate: only first run"));
+        assert!(rendered.contains("operator Sort: only second run"));
+        assert!(rendered.contains("max task skew: 1.00 -> 1.50"));
     }
 
     #[test]

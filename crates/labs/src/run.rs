@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use toreador_core::compile::Bdaas;
 use toreador_core::declarative::Indicator;
+use toreador_dataflow::trace::RunTrace;
 
 use crate::challenge::{Challenge, ChoiceVector};
 use crate::error::{LabsError, Result};
@@ -43,6 +44,10 @@ pub struct RunRecord {
     pub shuffle_bytes: u64,
     /// Text reports produced by the pipeline's services.
     pub reports: Vec<(String, String)>,
+    /// Flight-recorder journals from every engine run the campaign made,
+    /// in execution order. The raw material for per-operator and skew
+    /// comparison across runs.
+    pub traces: Vec<RunTrace>,
 }
 
 impl RunRecord {
@@ -61,6 +66,27 @@ impl RunRecord {
             .filter(|(_, s)| *s == Some(true))
             .count();
         met as f64 / self.objectives.len() as f64
+    }
+
+    /// Total operator-attributed time per operator name, summed across all
+    /// engine runs this record's campaign made, in microseconds.
+    pub fn operator_elapsed_us(&self) -> BTreeMap<String, u64> {
+        let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+        for trace in &self.traces {
+            for (op, us) in trace.operator_elapsed_us() {
+                *totals.entry(op).or_insert(0) += us;
+            }
+        }
+        totals
+    }
+
+    /// The worst per-stage straggler factor observed across the record's
+    /// engine runs, when any stage ran tasks.
+    pub fn max_skew_ratio(&self) -> Option<f64> {
+        self.traces
+            .iter()
+            .filter_map(|t| t.max_skew_ratio())
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
     }
 }
 
@@ -114,6 +140,7 @@ pub fn execute_attempt(
             .iter()
             .map(|m| m.total_shuffle_bytes())
             .sum(),
+        traces: outcome.engine_traces,
         reports: outcome.reports,
     })
 }
@@ -137,6 +164,12 @@ mod tests {
         assert_eq!(record.rows_in, 800);
         assert!(record.rows_out > 0);
         assert!((0.0..=1.0).contains(&record.objective_fraction()));
+        // Provenance carries the engine's flight recordings.
+        assert!(!record.traces.is_empty());
+        assert!(!record.operator_elapsed_us().is_empty());
+        if let Some(skew) = record.max_skew_ratio() {
+            assert!(skew >= 1.0);
+        }
     }
 
     #[test]

@@ -113,6 +113,7 @@ mod tests {
             rows_out: 100,
             shuffle_bytes: 0,
             reports: vec![],
+            traces: vec![],
         }
     }
 

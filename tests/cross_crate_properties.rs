@@ -94,6 +94,70 @@ proptest! {
     }
 
     #[test]
+    fn journal_derived_metrics_match_legacy_collector(
+        predicate in prop_oneof![
+            Just("price > 10"),
+            Just("action == 'purchase'"),
+            Just("product_id % 2 == 0"),
+        ],
+        group in prop_oneof![Just("country"), Just("category"), Just("action")],
+        sorted in any::<bool>(),
+        rows in 50usize..400,
+        threads in 1usize..5,
+        faulty in any::<bool>(),
+        seed in 0u64..50,
+    ) {
+        use std::collections::HashMap;
+        use std::time::Duration;
+        use toreador_data::partition::PartitionedTable;
+        use toreador_dataflow::fault::FaultPlan;
+        use toreador_dataflow::metrics::MetricsCollector;
+        use toreador_dataflow::physical::{execute, ExecConfig, ExecContext};
+        use toreador_dataflow::prelude::*;
+        use toreador_dataflow::scheduler::SchedulerConfig;
+        use toreador_core::dsl::parse_expr;
+
+        // An arbitrary plan over the clickstream schema...
+        let table = clickstream(rows, seed);
+        let mut flow = Dataflow::scan("clicks", table.schema().clone())
+            .filter(parse_expr(predicate).unwrap())
+            .unwrap()
+            .aggregate(&[group], vec![AggExpr::new(AggFunc::Count, "event_id", "n")])
+            .unwrap();
+        if sorted {
+            flow = flow.sort(&["n"], true).unwrap();
+        }
+        // ...executed directly so both finish paths of the collector are
+        // reachable, optionally under injected faults.
+        let faults = if faulty {
+            FaultPlan::with_rate(0.3, seed, 20)
+        } else {
+            FaultPlan::none()
+        };
+        let config = ExecConfig {
+            scheduler: SchedulerConfig { threads, faults },
+            partitions: 4,
+            partial_aggregation: seed % 2 == 0,
+        };
+        let mut datasets = HashMap::new();
+        datasets.insert("clicks".to_owned(), PartitionedTable::split(table, 4).unwrap());
+        let metrics = MetricsCollector::new();
+        let ctx = ExecContext::new(&datasets, config, &metrics);
+        let out = execute(&ctx, flow.plan()).unwrap();
+        let partitions = out.num_partitions() as u64;
+        let result_rows = out.collect().unwrap().num_rows() as u64;
+
+        let elapsed = Duration::from_micros(4_321);
+        let derived = metrics.finish(elapsed, result_rows, partitions);
+        let legacy = metrics.finish_legacy(elapsed, result_rows, partitions);
+        prop_assert_eq!(&derived, &legacy, "journal derivation must be lossless");
+        prop_assert_eq!(
+            serde_json::to_string(&derived).unwrap(),
+            serde_json::to_string(&legacy).unwrap()
+        );
+    }
+
+    #[test]
     fn labs_attempts_stay_within_quota(runs in 1u64..6) {
         use toreador_labs::prelude::*;
         let mut session = LabSession::new(

@@ -1,0 +1,206 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Benchmarks compile and run, printing a simple mean-time-per-iteration
+//! line per benchmark instead of criterion's full statistical report. Good
+//! enough to spot order-of-magnitude regressions from `cargo bench` output
+//! while keeping the build dependency-free.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measures one closure; handed to `bench_function` bodies.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, choosing an iteration count so the sample takes a few
+    /// milliseconds at least.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up / calibration round.
+        let started = Instant::now();
+        let mut calibration_iters = 0u64;
+        while started.elapsed() < Duration::from_millis(5) && calibration_iters < 1_000 {
+            std::hint::black_box(f());
+            calibration_iters += 1;
+        }
+        let per_iter = started.elapsed().checked_div(calibration_iters.max(1) as u32);
+        let target = Duration::from_millis(25);
+        let iters = match per_iter {
+            Some(p) if !p.is_zero() => {
+                (target.as_nanos() / p.as_nanos().max(1)).clamp(1, 100_000) as u64
+            }
+            _ => 1_000,
+        };
+        let started = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = started.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Identifier combining a function name and a parameter, e.g. `goals/16`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark name: strings or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            group: name.to_owned(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.group, id.into_id());
+        run_one(&name, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.group, id.id);
+        run_one(&name, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters > 0 {
+        let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters);
+        eprintln!("  {name}: {per_iter} ns/iter ({} iters)", bencher.iters);
+    } else {
+        eprintln!("  {name}: no measurement taken");
+    }
+}
+
+/// Opaque-to-the-optimizer identity, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

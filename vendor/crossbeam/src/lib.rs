@@ -1,0 +1,172 @@
+//! Minimal offline stand-in for `crossbeam`.
+//!
+//! Provides the two pieces the engine uses: an unbounded MPMC-ish channel
+//! (cloneable sender, single consumer — enough for the fan-in pattern the
+//! scheduler uses) and scoped threads whose panics are reported as an `Err`
+//! from `thread::scope` instead of unwinding through the caller.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+}
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    type Panic = Box<dyn Any + Send + 'static>;
+
+    pub type Result<T> = std::result::Result<T, Panic>;
+
+    /// Argument handed to spawned closures. The real crossbeam passes the
+    /// scope itself (for nested spawns); the engine ignores the argument, so
+    /// a zero-sized placeholder keeps the `|_| ...` call sites compiling.
+    pub struct SpawnScope {
+        _private: (),
+    }
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        // Arc rather than a borrow: spawned workers must own their handle,
+        // since locals of `scope` don't satisfy std::thread::scope's `'env`.
+        panics: Arc<Mutex<Vec<Panic>>>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker. Panics inside the worker are captured and turned
+        /// into an `Err` from [`scope`] after all workers join.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&SpawnScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let panics = Arc::clone(&self.panics);
+            self.inner.spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(&SpawnScope { _private: () })));
+                if let Err(payload) = outcome {
+                    panics.lock().unwrap_or_else(|e| e.into_inner()).push(payload);
+                }
+            });
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned workers are joined before
+    /// this returns. If any worker panicked, the first payload is returned
+    /// as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let panics: Arc<Mutex<Vec<Panic>>> = Arc::new(Mutex::new(Vec::new()));
+        let worker_panics = Arc::clone(&panics);
+        let out = std::thread::scope(move |s| {
+            let wrapper = Scope {
+                inner: s,
+                panics: worker_panics,
+            };
+            f(&wrapper)
+        });
+        let mut collected = panics.lock().unwrap_or_else(|e| e.into_inner());
+        if collected.is_empty() {
+            Ok(out)
+        } else {
+            Err(collected.remove(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_collects_results_via_channel() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        super::thread::scope(|scope| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move |_| tx.send(i).unwrap());
+            }
+            drop(tx);
+        })
+        .unwrap();
+        let mut got: Vec<_> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,361 @@
+//! Minimal offline stand-in for `rand` 0.8.
+//!
+//! A single SplitMix64 generator backs both `StdRng` and `SmallRng`; the
+//! statistical quality is ample for synthetic data generation and seeded
+//! simulation, which is all the workspace uses randomness for. The API shape
+//! (traits `Rng`/`RngCore`/`SeedableRng`, `distributions` module) follows
+//! rand 0.8 so call sites compile unchanged.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    /// SplitMix64: tiny, fast, passes BigCrush on 64-bit outputs.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng::from_state(seed ^ 0x5DEE_CE66_D1CE_4E5B)
+        }
+    }
+
+    /// Same generator; rand's `SmallRng` is just a cheaper `StdRng` here.
+    pub type SmallRng = StdRng;
+}
+
+/// Low-level generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level convenience methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        self.gen::<f64>() < p
+    }
+
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+
+    fn sample_iter<T, D>(self, distr: D) -> distributions::DistIter<D, Self, T>
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distributions::DistIter::new(distr, self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+fn u64_to_open_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types `gen_range` can sample uniformly. A single generic `SampleRange`
+/// impl over this trait (mirroring real rand's `T: SampleUniform` bound)
+/// lets integer-literal inference flow from the call site, e.g.
+/// `let x: i64 = rng.gen_range(0..10);`.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = hi.wrapping_sub(lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let span = hi.wrapping_sub(lo) as u64;
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range");
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                }
+                let u = u64_to_open_f64(rng.next_u64()) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32, f64);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        T::sample_in(lo, hi, true, rng)
+    }
+}
+
+pub mod distributions {
+    use super::{u64_to_open_f64, RngCore, SampleRange};
+    use std::marker::PhantomData;
+
+    /// Types that produce values of `T` given a generator.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// The "natural" distribution for a type.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            u64_to_open_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            u64_to_open_f64(rng.next_u64()) as f32
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    standard_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// Uniform over `[low, high)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: Copy> Uniform<T>
+    where
+        std::ops::Range<T>: SampleRange<T>,
+    {
+        pub fn new(low: T, high: T) -> Self {
+            Uniform { low, high }
+        }
+    }
+
+    impl<T: Copy> Distribution<T> for Uniform<T>
+    where
+        std::ops::Range<T>: SampleRange<T>,
+    {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            (self.low..self.high).sample_single(rng)
+        }
+    }
+
+    /// Uniform over `[A-Za-z0-9]`, yielding `u8` code points.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Alphanumeric;
+
+    const ALPHANUMERIC: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+
+    impl Distribution<u8> for Alphanumeric {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+            ALPHANUMERIC[(rng.next_u64() % ALPHANUMERIC.len() as u64) as usize]
+        }
+    }
+
+    /// Iterator adapter returned by [`Rng::sample_iter`](crate::Rng::sample_iter).
+    pub struct DistIter<D, R, T> {
+        distr: D,
+        rng: R,
+        _marker: PhantomData<T>,
+    }
+
+    impl<D, R, T> DistIter<D, R, T> {
+        pub(crate) fn new(distr: D, rng: R) -> Self {
+            DistIter {
+                distr,
+                rng,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<D, R, T> Iterator for DistIter<D, R, T>
+    where
+        D: Distribution<T>,
+        R: RngCore,
+    {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            Some(self.distr.sample(&mut self.rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Alphanumeric, Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<f64>().to_bits(), b.gen::<f64>().to_bits());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let i = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&i));
+            let u = rng.gen_range(1..=8usize);
+            assert!((1..=8).contains(&u));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn alphanumeric_strings() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s: String = (&mut rng)
+            .sample_iter(&Alphanumeric)
+            .take(24)
+            .map(char::from)
+            .collect();
+        assert_eq!(s.len(), 24);
+        assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+        let d = Uniform::new(3usize, 10usize);
+        for _ in 0..100 {
+            let v = d.sample(&mut rng);
+            assert!((3..10).contains(&v));
+        }
+    }
+}

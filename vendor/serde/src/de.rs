@@ -1,0 +1,315 @@
+//! Deserialization half: everything reads back out of a [`crate::Value`].
+
+use std::fmt::Display;
+
+use crate::value::{Map, Number, Value};
+
+/// Error constraint for [`Deserializer::Error`].
+pub trait Error: Sized + std::fmt::Debug + Display {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A source of one [`Value`]. The lifetime parameter mirrors real serde's
+/// API so `D: serde::Deserializer<'de>` bounds compile unchanged; this
+/// stack always produces owned values.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types reconstructible from the JSON data model.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Deserializer over an in-memory [`Value`].
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = crate::SerdeError;
+
+    fn take_value(self) -> Result<Value, crate::SerdeError> {
+        Ok(self.value)
+    }
+}
+
+/// Reconstruct any `T` from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, crate::SerdeError> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+fn type_error<E: Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+// ---------------------------------------------------------------- primitives
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(type_error("boolean", &other)),
+        }
+    }
+}
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| type_error::<D::Error>("integer", &value))?;
+                <$t>::try_from(n).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| type_error::<D::Error>("unsigned integer", &value))?;
+                <$t>::try_from(n).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        value
+            .as_f64()
+            .ok_or_else(|| type_error::<D::Error>("number", &value))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(type_error("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(()),
+            other => Err(type_error("null", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Number {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Number(n) => Ok(n),
+            other => Err(type_error("number", &other)),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            present => from_value(present).map(Some).map_err(Error::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for std::sync::Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(std::sync::Arc::new)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for std::rc::Rc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(std::rc::Rc::new)
+    }
+}
+
+fn take_array<E: Error>(value: Value) -> Result<Vec<Value>, E> {
+    match value {
+        Value::Array(items) => Ok(items),
+        other => Err(type_error("array", &other)),
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        take_array::<D::Error>(deserializer.take_value()?)?
+            .into_iter()
+            .map(|item| from_value(item).map_err(Error::custom))
+            .collect()
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<Des: Deserializer<'de>>(deserializer: Des) -> Result<Self, Des::Error> {
+                let items = take_array::<Des::Error>(deserializer.take_value()?)?;
+                if items.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected an array of length {}, got {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                let mut items = items.into_iter();
+                Ok(($(
+                    from_value::<$name>(items.next().expect("length checked"))
+                        .map_err(Error::custom)?,
+                )+))
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (1; A)
+    (2; A, B)
+    (3; A, B, C)
+    (4; A, B, C, D)
+    (5; A, B, C, D, E)
+    (6; A, B, C, D, E, F)
+}
+
+fn take_object<E: Error>(value: Value) -> Result<Map<String, Value>, E> {
+    match value {
+        Value::Object(map) => Ok(map),
+        other => Err(type_error("object", &other)),
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: DeserializeOwned + Ord,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        take_object::<D::Error>(deserializer.take_value()?)?
+            .into_iter()
+            .map(|(k, v)| {
+                let key = from_value::<K>(Value::String(k)).map_err(Error::custom)?;
+                let value = from_value::<V>(v).map_err(Error::custom)?;
+                Ok((key, value))
+            })
+            .collect()
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V>
+where
+    K: DeserializeOwned + std::hash::Hash + Eq,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        take_object::<D::Error>(deserializer.take_value()?)?
+            .into_iter()
+            .map(|(k, v)| {
+                let key = from_value::<K>(Value::String(k)).map_err(Error::custom)?;
+                let value = from_value::<V>(v).map_err(Error::custom)?;
+                Ok((key, value))
+            })
+            .collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        take_array::<D::Error>(deserializer.take_value()?)?
+            .into_iter()
+            .map(|item| from_value(item).map_err(Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned + std::hash::Hash + Eq> Deserialize<'de>
+    for std::collections::HashSet<T>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        take_array::<D::Error>(deserializer.take_value()?)?
+            .into_iter()
+            .map(|item| from_value(item).map_err(Error::custom))
+            .collect()
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut obj = take_object::<D::Error>(deserializer.take_value()?)?;
+        let secs: u64 = obj
+            .remove("secs")
+            .map(from_value)
+            .transpose()
+            .map_err(Error::custom)?
+            .ok_or_else(|| Error::custom("missing field `secs`"))?;
+        let nanos: u32 = obj
+            .remove("nanos")
+            .map(from_value)
+            .transpose()
+            .map_err(Error::custom)?
+            .ok_or_else(|| Error::custom("missing field `nanos`"))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}

@@ -1,0 +1,222 @@
+//! Minimal offline stand-in for `serde` 1.x.
+//!
+//! Architecture: instead of serde's visitor-based streaming model, this
+//! stack funnels everything through an in-memory JSON [`Value`] tree.
+//! [`Serializer`] receives a finished tree; [`Deserializer`] hands one out.
+//! That is dramatically less code, supports the same derive surface the
+//! workspace uses (`skip`, `serialize_with`, `deserialize_with`), and keeps
+//! byte-for-byte stable output because struct fields serialize in
+//! declaration order through the insertion-ordered [`Map`].
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use de::{from_value, Deserialize, DeserializeOwned, Deserializer, ValueDeserializer};
+pub use ser::{to_value, Serialize, Serializer, ValueSerializer};
+pub use value::{write_compact, write_pretty, Map, Number, Value};
+
+// Derive macros share names with the traits (separate namespaces), exactly
+// like real serde with the `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The error type used by [`ValueSerializer`] / [`ValueDeserializer`] and
+/// by `serde_json`.
+#[derive(Debug, Clone)]
+pub struct SerdeError {
+    message: String,
+}
+
+impl SerdeError {
+    pub fn new(message: impl Into<String>) -> Self {
+        SerdeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SerdeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SerdeError {}
+
+impl ser::Error for SerdeError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        SerdeError::new(msg.to_string())
+    }
+}
+
+impl de::Error for SerdeError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        SerdeError::new(msg.to_string())
+    }
+}
+
+/// Runtime support for the derive macros. Not a stable API.
+#[doc(hidden)]
+pub mod __private {
+    use crate::value::{Map, Value};
+    use crate::SerdeError;
+
+    /// Pull `key` out of a struct object; missing keys read as `Null` so
+    /// `Option` fields tolerate omission (matching real serde).
+    pub fn take_field(obj: &mut Map<String, Value>, key: &str) -> Value {
+        obj.remove(key).unwrap_or(Value::Null)
+    }
+
+    /// Deserialize one struct field, prefixing errors with the field name.
+    pub fn from_field<T: crate::DeserializeOwned>(
+        obj: &mut Map<String, Value>,
+        type_name: &str,
+        key: &str,
+    ) -> Result<T, SerdeError> {
+        crate::from_value(take_field(obj, key))
+            .map_err(|e| SerdeError::new(format!("{type_name}.{key}: {e}")))
+    }
+
+    /// Externally-tagged enum payload: `{"Variant": value}`.
+    pub fn tag(name: &str, value: Value) -> Value {
+        let mut obj = Map::with_capacity(1);
+        obj.insert(name.to_owned(), value);
+        Value::Object(obj)
+    }
+
+    /// The single `(variant, payload)` entry of an externally-tagged enum.
+    pub fn single_entry(obj: Map<String, Value>) -> Result<(String, Value), SerdeError> {
+        let mut iter = obj.into_iter();
+        match (iter.next(), iter.next()) {
+            (Some(entry), None) => Ok(entry),
+            _ => Err(SerdeError::new(
+                "expected an object with exactly one key for an enum variant",
+            )),
+        }
+    }
+
+    pub fn expect_object(value: Value, type_name: &str) -> Result<Map<String, Value>, SerdeError> {
+        match value {
+            Value::Object(map) => Ok(map),
+            other => Err(SerdeError::new(format!(
+                "{type_name}: expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn expect_array(value: Value, len: usize, type_name: &str) -> Result<Vec<Value>, SerdeError> {
+        match value {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(SerdeError::new(format!(
+                "{type_name}: expected array of length {len}, got {}",
+                items.len()
+            ))),
+            other => Err(SerdeError::new(format!(
+                "{type_name}: expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as serde; // derive-generated code references `serde::...`
+    use crate::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Plain {
+        name: String,
+        count: u64,
+        ratio: f64,
+        flag: Option<bool>,
+        items: Vec<i64>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Unit,
+        Wrapped(i64),
+        Pair(i64, String),
+        Named { x: f64, label: String },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct WithAttrs {
+        kept: u32,
+        #[serde(skip)]
+        cache: Vec<String>,
+        #[serde(serialize_with = "ser_double", deserialize_with = "de_halve")]
+        doubled: u64,
+    }
+
+    fn ser_double<S: serde::Serializer>(v: &u64, s: S) -> Result<S::Ok, S::Error> {
+        serde::Serialize::serialize(&(v * 2), s)
+    }
+
+    fn de_halve<'de, D: serde::Deserializer<'de>>(d: D) -> Result<u64, D::Error> {
+        let doubled: u64 = serde::Deserialize::deserialize(d)?;
+        Ok(doubled / 2)
+    }
+
+    #[test]
+    fn struct_round_trip_preserves_field_order() {
+        let p = Plain {
+            name: "ada".into(),
+            count: 3,
+            ratio: 0.5,
+            flag: None,
+            items: vec![-1, 2],
+        };
+        let v = crate::to_value(&p).unwrap();
+        let mut text = String::new();
+        crate::write_compact(&v, &mut text);
+        assert_eq!(
+            text,
+            r#"{"name":"ada","count":3,"ratio":0.5,"flag":null,"items":[-1,2]}"#
+        );
+        let back: Plain = crate::from_value(v).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn enum_representations_are_externally_tagged() {
+        for (shape, expected) in [
+            (Shape::Unit, r#""Unit""#),
+            (Shape::Wrapped(7), r#"{"Wrapped":7}"#),
+            (Shape::Pair(1, "a".into()), r#"{"Pair":[1,"a"]}"#),
+            (
+                Shape::Named {
+                    x: 1.5,
+                    label: "b".into(),
+                },
+                r#"{"Named":{"x":1.5,"label":"b"}}"#,
+            ),
+        ] {
+            let v = crate::to_value(&shape).unwrap();
+            let mut text = String::new();
+            crate::write_compact(&v, &mut text);
+            assert_eq!(text, expected);
+            let back: Shape = crate::from_value(v).unwrap();
+            assert_eq!(shape, back);
+        }
+    }
+
+    #[test]
+    fn attrs_skip_and_with_apply() {
+        let w = WithAttrs {
+            kept: 1,
+            cache: vec!["x".into()],
+            doubled: 21,
+        };
+        let v = crate::to_value(&w).unwrap();
+        let mut text = String::new();
+        crate::write_compact(&v, &mut text);
+        assert_eq!(text, r#"{"kept":1,"doubled":42}"#);
+        let back: WithAttrs = crate::from_value(v).unwrap();
+        assert_eq!(back.kept, 1);
+        assert!(back.cache.is_empty(), "skipped fields default");
+        assert_eq!(back.doubled, 21);
+    }
+}

@@ -1,0 +1,267 @@
+//! Serialization half: everything funnels into [`crate::Value`].
+
+use std::fmt::Display;
+
+use crate::value::{Map, Number, Value};
+
+/// Error constraint for [`Serializer::Error`].
+pub trait Error: Sized + std::fmt::Debug + Display {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A sink for one [`Value`]. Much narrower than real serde's 30-method
+/// trait: the data model is always the JSON value tree, so a serializer
+/// only decides what to do with the finished tree.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+
+    fn serialize_some<T>(self, value: &T) -> Result<Self::Ok, Self::Error>
+    where
+        T: Serialize + ?Sized,
+    {
+        let v = crate::to_value(value).map_err(Error::custom)?;
+        self.serialize_value(v)
+    }
+}
+
+/// Types that can render themselves into the JSON data model.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// The identity serializer: hands back the built [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = crate::SerdeError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, crate::SerdeError> {
+        Ok(value)
+    }
+}
+
+/// Serialize anything into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, crate::SerdeError> {
+    value.serialize(ValueSerializer)
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! serialize_into_value {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::from(*self))
+            }
+        }
+    )*};
+}
+
+serialize_into_value!(bool, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::from(f64::from(*self)))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.clone()))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Null)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl Serialize for Number {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Number(*self))
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn collect_seq<'a, T, S, I>(items: I, serializer: S) -> Result<S::Ok, S::Error>
+where
+    T: Serialize + 'a,
+    S: Serializer,
+    I: Iterator<Item = &'a T>,
+{
+    let mut out = Vec::new();
+    for item in items {
+        out.push(crate::to_value(item).map_err(Error::custom)?);
+    }
+    serializer.serialize_value(Value::Array(out))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(self.iter(), serializer)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(crate::to_value(&self.$idx).map_err(Error::custom)?),+
+                ];
+                serializer.serialize_value(Value::Array(items))
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// JSON object keys must be strings; stringify string and integer keys the
+/// way serde_json does.
+fn key_to_string<K: Serialize>(key: &K) -> Result<String, crate::SerdeError> {
+    match crate::to_value(key)? {
+        Value::String(s) => Ok(s),
+        Value::Number(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(crate::SerdeError::new(format!(
+            "map key must be a string, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn collect_map<'a, K, V, S, I>(entries: I, serializer: S) -> Result<S::Ok, S::Error>
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    S: Serializer,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut out: Map<String, Value> = Map::new();
+    for (k, v) in entries {
+        let key = key_to_string(k).map_err(Error::custom)?;
+        let value = crate::to_value(v).map_err(Error::custom)?;
+        out.insert(key, value);
+    }
+    serializer.serialize_value(Value::Object(out))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_map(self.iter(), serializer)
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_map(self.iter(), serializer)
+    }
+}
+
+impl<K: Serialize + PartialEq, V: Serialize> Serialize for Map<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_map(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize, H> Serialize for std::collections::HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(self.iter(), serializer)
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut obj = Map::new();
+        obj.insert("secs".to_owned(), Value::from(self.as_secs()));
+        obj.insert("nanos".to_owned(), Value::from(self.subsec_nanos()));
+        serializer.serialize_value(Value::Object(obj))
+    }
+}

@@ -1,0 +1,491 @@
+//! The JSON data model every serializer/deserializer in this stack speaks.
+
+use std::borrow::Borrow;
+use std::fmt;
+
+/// Insertion-ordered map. Struct serialization inserts fields in
+/// declaration order, so emitted JSON keeps that order (like serde_json's
+/// streaming serializer does for structs).
+#[derive(Clone, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K, V> Map<K, V> {
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Map {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl<K: PartialEq, V> Map<K, V> {
+    /// Insert, replacing in place if the key exists (position preserved).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: PartialEq + ?Sized,
+    {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.borrow() == key)
+            .map(|(_, v)| v)
+    }
+
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: PartialEq + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: PartialEq + ?Sized,
+    {
+        let idx = self.entries.iter().position(|(k, _)| k.borrow() == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+}
+
+impl<K, V> IntoIterator for Map<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::vec::IntoIter<(K, V)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a, K, V> IntoIterator for &'a Map<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, (K, V)>, fn(&'a (K, V)) -> (&'a K, &'a V)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        fn split<K, V>(entry: &(K, V)) -> (&K, &V) {
+            (&entry.0, &entry.1)
+        }
+        self.entries.iter().map(split as fn(&'a (K, V)) -> (&'a K, &'a V))
+    }
+}
+
+impl<K: PartialEq, V> FromIterator<(K, V)> for Map<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K: PartialEq, V: PartialEq> PartialEq for Map<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for Map<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+/// A JSON number: unsigned / signed integer or double.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Number {
+    n: N,
+}
+
+impl Number {
+    /// `None` for NaN or infinities, which JSON cannot represent.
+    pub fn from_f64(f: f64) -> Option<Number> {
+        f.is_finite().then_some(Number { n: N::Float(f) })
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.n {
+            N::PosInt(u) => i64::try_from(u).ok(),
+            N::NegInt(i) => Some(i),
+            N::Float(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.n {
+            N::PosInt(u) => Some(u),
+            N::NegInt(i) => u64::try_from(i).ok(),
+            N::Float(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.n {
+            N::PosInt(u) => u as f64,
+            N::NegInt(i) => i as f64,
+            N::Float(f) => f,
+        })
+    }
+
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    pub fn is_f64(&self) -> bool {
+        matches!(self.n, N::Float(_))
+    }
+}
+
+impl From<u64> for Number {
+    fn from(u: u64) -> Self {
+        Number { n: N::PosInt(u) }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(i: i64) -> Self {
+        if i >= 0 {
+            Number {
+                n: N::PosInt(i as u64),
+            }
+        } else {
+            Number { n: N::NegInt(i) }
+        }
+    }
+}
+
+macro_rules! number_from_small {
+    ($($unsigned:ty),*; $($signed:ty),*) => {
+        $(impl From<$unsigned> for Number {
+            fn from(v: $unsigned) -> Self {
+                Number::from(v as u64)
+            }
+        })*
+        $(impl From<$signed> for Number {
+            fn from(v: $signed) -> Self {
+                Number::from(v as i64)
+            }
+        })*
+    };
+}
+
+number_from_small!(u8, u16, u32, usize; i8, i16, i32, isize);
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.n {
+            N::PosInt(u) => write!(f, "{u}"),
+            N::NegInt(i) => write!(f, "{i}"),
+            // `{:?}` on f64 is Rust's shortest round-trip formatting and is
+            // valid JSON for finite values (e.g. "1.0", "2.5e-3").
+            N::Float(x) => write!(f, "{x:?}"),
+        }
+    }
+}
+
+impl fmt::Debug for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Number({self})")
+    }
+}
+
+/// A parsed/serialized JSON value.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Human-readable kind name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! value_from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::from(v))
+            }
+        }
+    )*};
+}
+
+value_from_number!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Number::from_f64(v).map(Value::Number).unwrap_or(Value::Null)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_owned())
+    }
+}
+
+pub(crate) fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact single-line JSON, serde_json `to_string` style.
+pub fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Two-space-indented JSON, serde_json `to_string_pretty` style.
+pub fn write_pretty(value: &Value, out: &mut String, depth: usize) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, depth + 1);
+                write_pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            push_indent(out, depth);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, depth + 1);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(v, out, depth + 1);
+            }
+            out.push('\n');
+            push_indent(out, depth);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut m: Map<String, i32> = Map::new();
+        m.insert("b".into(), 1);
+        m.insert("a".into(), 2);
+        m.insert("b".into(), 3);
+        let keys: Vec<_> = m.keys().cloned().collect();
+        assert_eq!(keys, vec!["b", "a"]);
+        assert_eq!(m.get("b"), Some(&3));
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let mut obj = Map::new();
+        obj.insert("x".to_owned(), Value::from(1i64));
+        obj.insert("s".to_owned(), Value::from("a\"b\n"));
+        obj.insert(
+            "a".to_owned(),
+            Value::Array(vec![Value::Null, Value::Bool(true), Value::from(2.5f64)]),
+        );
+        assert_eq!(
+            Value::Object(obj).to_string(),
+            r#"{"x":1,"s":"a\"b\n","a":[null,true,2.5]}"#
+        );
+    }
+
+    #[test]
+    fn number_float_display_round_trips() {
+        for x in [1.0f64, 0.1, 1e300, -2.5e-7, 123456.789] {
+            let s = Number::from_f64(x).unwrap().to_string();
+            assert_eq!(s.parse::<f64>().unwrap(), x, "via {s}");
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Parses the item with hand-rolled `proc_macro::TokenTree` walking (no
+//! syn/quote in an offline build) and emits source text that targets the
+//! vendored serde's value-tree API. Supported shapes: non-generic structs
+//! (named, tuple, unit) and enums with unit/tuple/struct variants, plus the
+//! field attributes `skip`, `rename`, `default`, `serialize_with`,
+//! `deserialize_with` — the surface this workspace actually uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    rename: Option<String>,
+    ser_with: Option<String>,
+    de_with: Option<String>,
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Unit,
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip attributes starting at `i`, folding any `#[serde(...)]` contents
+/// into `attrs`. Returns the index after the attributes.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, attrs: &mut FieldAttrs) -> usize {
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if inner.first().and_then(ident_of).as_deref() == Some("serde") {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        parse_serde_attr(args.stream(), attrs);
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    i
+}
+
+fn parse_serde_attr(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let Some(key) = ident_of(&tokens[i]) else {
+            i += 1;
+            continue;
+        };
+        let value = if tokens.get(i + 1).is_some_and(|t| is_punct(t, '=')) {
+            let lit = tokens
+                .get(i + 2)
+                .map(|t| t.to_string().trim_matches('"').to_owned());
+            i += 3;
+            lit
+        } else {
+            i += 1;
+            None
+        };
+        match (key.as_str(), value) {
+            ("skip", _) | ("skip_serializing", _) | ("skip_deserializing", _) => {
+                attrs.skip = true;
+            }
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("serialize_with", Some(v)) => attrs.ser_with = Some(v),
+            ("deserialize_with", Some(v)) => attrs.de_with = Some(v),
+            ("with", Some(v)) => {
+                attrs.ser_with = Some(format!("{v}::serialize"));
+                attrs.de_with = Some(format!("{v}::deserialize"));
+            }
+            _ => {} // unknown attrs (e.g. `default`) are tolerated
+        }
+    }
+}
+
+/// Skip `pub` / `pub(...)` starting at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if tokens.get(i).and_then(ident_of).as_deref() == Some("pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Advance past a type (or any token run) until a top-level comma,
+/// tracking `<`/`>` nesting. Returns the index after the comma (or end).
+fn skip_past_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if is_punct(&tokens[i], '<') {
+            depth += 1;
+        } else if is_punct(&tokens[i], '>') {
+            depth -= 1;
+        } else if is_punct(&tokens[i], ',') && depth <= 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        i = skip_attrs(&tokens, i, &mut attrs);
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(&tokens[i]).ok_or_else(|| {
+            format!("serde derive: expected field name, found `{}`", tokens[i])
+        })?;
+        i += 1;
+        if !tokens.get(i).is_some_and(|t| is_punct(t, ':')) {
+            return Err(format!("serde derive: expected `:` after field `{name}`"));
+        }
+        i = skip_past_comma(&tokens, i + 1);
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        count += 1;
+        i = skip_past_comma(&tokens, i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        i = skip_attrs(&tokens, i, &mut attrs);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(&tokens[i]).ok_or_else(|| {
+            format!("serde derive: expected variant name, found `{}`", tokens[i])
+        })?;
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the comma separating variants (also skips discriminants).
+        i = skip_past_comma(&tokens, i);
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut ignored = FieldAttrs::default();
+    i = skip_attrs(&tokens, i, &mut ignored);
+    i = skip_visibility(&tokens, i);
+    let kw = tokens
+        .get(i)
+        .and_then(ident_of)
+        .ok_or("serde derive: expected `struct` or `enum`")?;
+    i += 1;
+    let name = tokens
+        .get(i)
+        .and_then(ident_of)
+        .ok_or("serde derive: expected a type name")?;
+    i += 1;
+    if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
+        return Err(format!(
+            "serde derive (vendored): generic type `{name}` is not supported"
+        ));
+    }
+    let body = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Body::Unit,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("serde derive: enum `{name}` has no body")),
+        },
+        other => {
+            return Err(format!(
+                "serde derive: cannot derive for `{other}` items (only struct/enum)"
+            ))
+        }
+    };
+    Ok(Input { name, body })
+}
+
+// ------------------------------------------------------------------ codegen
+
+const SER_ERR: &str = "<__S::Error as serde::ser::Error>::custom";
+const DE_ERR: &str = "<__D::Error as serde::de::Error>::custom";
+
+fn field_to_value_expr(field: &Field, access: &str) -> String {
+    match &field.attrs.ser_with {
+        Some(path) => format!("{path}({access}, serde::ValueSerializer).map_err({SER_ERR})?"),
+        None => format!("serde::to_value({access}).map_err({SER_ERR})?"),
+    }
+}
+
+fn field_from_obj_expr(field: &Field, type_name: &str) -> String {
+    if field.attrs.skip {
+        return "::core::default::Default::default()".to_owned();
+    }
+    let key = field.key();
+    match &field.attrs.de_with {
+        Some(path) => format!(
+            "{path}(serde::ValueDeserializer::new(serde::__private::take_field(&mut __obj, \"{key}\"))).map_err({DE_ERR})?"
+        ),
+        None => format!(
+            "serde::__private::from_field(&mut __obj, \"{type_name}\", \"{key}\").map_err({DE_ERR})?"
+        ),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Unit => "serde::Serializer::serialize_value(__serializer, serde::Value::Null)".to_owned(),
+        Body::NamedStruct(fields) => {
+            let mut out = String::from("let mut __obj = serde::Map::new();\n");
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                let value = field_to_value_expr(f, &format!("&self.{}", f.name));
+                out.push_str(&format!(
+                    "__obj.insert(::std::string::String::from(\"{}\"), {value});\n",
+                    f.key()
+                ));
+            }
+            out.push_str(
+                "serde::Serializer::serialize_value(__serializer, serde::Value::Object(__obj))",
+            );
+            out
+        }
+        Body::TupleStruct(1) => {
+            "serde::Serialize::serialize(&self.0, __serializer)".to_owned()
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::to_value(&self.{i}).map_err({SER_ERR})?"))
+                .collect();
+            format!(
+                "serde::Serializer::serialize_value(__serializer, serde::Value::Array(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::String(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => serde::__private::tag(\"{vname}\", serde::to_value(__f0).map_err({SER_ERR})?),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("serde::to_value({b}).map_err({SER_ERR})?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => serde::__private::tag(\"{vname}\", serde::Value::Array(vec![{}])),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binders: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: __b_{}", f.name, f.name))
+                            .collect();
+                        let mut body = String::from("let mut __o = serde::Map::new();\n");
+                        for f in fields {
+                            if f.attrs.skip {
+                                continue;
+                            }
+                            let value = field_to_value_expr(f, &format!("__b_{}", f.name));
+                            body.push_str(&format!(
+                                "__o.insert(::std::string::String::from(\"{}\"), {value});\n",
+                                f.key()
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "serde::__private::tag(\"{vname}\", serde::Value::Object(__o))"
+                        ));
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ {body} }},\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let __v: serde::Value = match self {{\n{arms}}};\n\
+                 serde::Serializer::serialize_value(__serializer, __v)"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Unit => format!(
+            "let __value = serde::Deserializer::take_value(__deserializer)?;\n\
+             match __value {{\n\
+                 serde::Value::Null => ::core::result::Result::Ok({name}),\n\
+                 __other => ::core::result::Result::Err({DE_ERR}(\
+                     format!(\"{name}: expected null, got {{}}\", __other.kind()))),\n\
+             }}"
+        ),
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, field_from_obj_expr(f, name)))
+                .collect();
+            format!(
+                "let __value = serde::Deserializer::take_value(__deserializer)?;\n\
+                 let mut __obj = serde::__private::expect_object(__value, \"{name}\")\
+                     .map_err({DE_ERR})?;\n\
+                 ::core::result::Result::Ok({name} {{\n{}\n}})",
+                inits.join(",\n")
+            )
+        }
+        Body::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(serde::Deserialize::deserialize(__deserializer)?))"
+        ),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|_| {
+                    format!(
+                        "serde::from_value(__it.next().expect(\"length checked\"))\
+                         .map_err({DE_ERR})?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __value = serde::Deserializer::take_value(__deserializer)?;\n\
+                 let __items = serde::__private::expect_array(__value, {n}usize, \"{name}\")\
+                     .map_err({DE_ERR})?;\n\
+                 let mut __it = __items.into_iter();\n\
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                        // Tolerate `{"Variant": null}` spellings as well.
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                         serde::from_value(__payload).map_err({DE_ERR})?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|_| {
+                                format!(
+                                    "serde::from_value(__it.next().expect(\"length checked\"))\
+                                     .map_err({DE_ERR})?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __items = serde::__private::expect_array(\
+                                     __payload, {n}usize, \"{name}::{vname}\").map_err({DE_ERR})?;\n\
+                                 let mut __it = __items.into_iter();\n\
+                                 ::core::result::Result::Ok({name}::{vname}({}))\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{}: {}",
+                                    f.name,
+                                    field_from_obj_expr(f, &format!("{name}::{vname}"))
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let mut __obj = serde::__private::expect_object(\
+                                     __payload, \"{name}::{vname}\").map_err({DE_ERR})?;\n\
+                                 ::core::result::Result::Ok({name}::{vname} {{\n{}\n}})\n\
+                             }},\n",
+                            inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let __value = serde::Deserializer::take_value(__deserializer)?;\n\
+                 match __value {{\n\
+                     serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::core::result::Result::Err({DE_ERR}(\
+                             format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }},\n\
+                     serde::Value::Object(__map) => {{\n\
+                         let (__k, __payload) = serde::__private::single_entry(__map)\
+                             .map_err({DE_ERR})?;\n\
+                         match __k.as_str() {{\n\
+                             {tagged_arms}\
+                             __other => ::core::result::Result::Err({DE_ERR}(\
+                                 format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => ::core::result::Result::Err({DE_ERR}(\
+                         format!(\"{name}: expected string or object, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn finish(result: Result<String, String>) -> TokenStream {
+    match result {
+        Ok(code) => code
+            .parse()
+            .unwrap_or_else(|e| panic!("serde derive: generated invalid code: {e}\n{code}")),
+        Err(msg) => {
+            let escaped = msg.replace('\\', "\\\\").replace('"', "\\\"");
+            format!("compile_error!(\"{escaped}\");").parse().unwrap()
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    finish(parse_input(input).map(|i| gen_serialize(&i)))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    finish(parse_input(input).map(|i| gen_deserialize(&i)))
+}
