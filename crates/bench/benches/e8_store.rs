@@ -1,0 +1,143 @@
+//! E8 — the campaign store's durability tax (DESIGN.md §7). Two questions:
+//! how fast can the WAL absorb run records, and how long does a cold start
+//! take to replay a log that grew all week? The sweep covers 1k..100k
+//! records, with and without a snapshot to show what compaction buys.
+
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use toreador_bench::table_header;
+use toreador_store::{DurableLog, LogConfig};
+
+/// A payload the size of a typical run-record envelope line.
+const PAYLOAD_BYTES: usize = 160;
+
+fn payload(i: usize) -> Vec<u8> {
+    let mut p = format!("{{\"t\":\"run\",\"trainee\":\"bench\",\"id\":{i},\"v\":\"").into_bytes();
+    while p.len() < PAYLOAD_BYTES - 2 {
+        p.push(b'x');
+    }
+    p.extend_from_slice(b"\"}");
+    p
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("toreador-e8-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Build a log of `n` records; returns the directory. One sync at the end
+/// (group-commit style), segments at the default 1 MiB.
+fn build_log(tag: &str, n: usize) -> PathBuf {
+    let dir = bench_dir(tag);
+    let (mut log, _) = DurableLog::open(&dir, LogConfig::default()).unwrap();
+    for i in 0..n {
+        log.append(&payload(i)).unwrap();
+    }
+    log.sync().unwrap();
+    dir
+}
+
+fn print_series() {
+    table_header(
+        "E8",
+        "store append throughput and cold-recovery latency vs log size",
+    );
+    eprintln!(
+        "{:>9} {:>14} {:>14} {:>18} {:>20}",
+        "records", "append ms", "records/s", "cold recovery ms", "post-snapshot ms"
+    );
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let dir = bench_dir(&format!("series-{n}"));
+        let started = std::time::Instant::now();
+        let (mut log, _) = DurableLog::open(&dir, LogConfig::default()).unwrap();
+        for i in 0..n {
+            log.append(&payload(i)).unwrap();
+        }
+        log.sync().unwrap();
+        let append = started.elapsed();
+        drop(log);
+
+        let started = std::time::Instant::now();
+        let (mut log, rec) = DurableLog::open(&dir, LogConfig::default()).unwrap();
+        let recover = started.elapsed();
+        assert_eq!(rec.records.len(), n);
+
+        // Compact the whole history into a snapshot, then reopen: recovery
+        // now reads one state blob instead of replaying n records.
+        let state: Vec<u8> = rec.records.iter().flat_map(|(_, p)| p.clone()).collect();
+        log.snapshot(&state).unwrap();
+        drop(log);
+        let started = std::time::Instant::now();
+        let (_, rec) = DurableLog::open(&dir, LogConfig::default()).unwrap();
+        let recover_snap = started.elapsed();
+        assert_eq!(rec.snapshot_lsn, n as u64);
+        assert!(rec.records.is_empty());
+
+        eprintln!(
+            "{n:>9} {:>14.1} {:>14.0} {:>18.2} {:>20.2}",
+            append.as_secs_f64() * 1e3,
+            n as f64 / append.as_secs_f64(),
+            recover.as_secs_f64() * 1e3,
+            recover_snap.as_secs_f64() * 1e3,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    eprintln!(
+        "\n(appends are group-committed: one fsync per batch; the typed \
+         LabStore syncs every commit)"
+    );
+}
+
+fn bench_store(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e8_store");
+    group.sample_size(10);
+
+    // Append path: 1k records + one durable sync per iteration.
+    group.bench_function("append_1k_group_commit", |b| {
+        b.iter(|| {
+            let dir = bench_dir("append");
+            let (mut log, _) = DurableLog::open(&dir, LogConfig::default()).unwrap();
+            for i in 0..1_000 {
+                log.append(&payload(i)).unwrap();
+            }
+            log.sync().unwrap();
+            drop(log);
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    });
+
+    // Per-record fsync, the LabStore discipline: 50 commits.
+    group.bench_function("append_50_fsync_each", |b| {
+        b.iter(|| {
+            let dir = bench_dir("fsync");
+            let (mut log, _) = DurableLog::open(&dir, LogConfig::default()).unwrap();
+            for i in 0..50 {
+                log.append(&payload(i)).unwrap();
+                log.sync().unwrap();
+            }
+            drop(log);
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    });
+
+    // Cold recovery: replay a prebuilt log (open is read-only on the
+    // prefix, so the same directory serves every sample).
+    for &n in &[1_000usize, 10_000] {
+        let dir = build_log(&format!("recover-{n}"), n);
+        group.bench_with_input(BenchmarkId::new("cold_recovery", n), &dir, |b, dir| {
+            b.iter(|| {
+                let (_, rec) = DurableLog::open(dir, LogConfig::default()).unwrap();
+                assert_eq!(rec.records.len(), n);
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -22,6 +22,9 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "run" => run(args),
         "trace" => trace_cmd(args),
         "attempt" => attempt(args),
+        "sessions" => sessions_cmd(args),
+        "history" => history_cmd(args),
+        "compare" => compare_cmd(args),
         "" | "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -37,15 +40,27 @@ pub fn usage() -> String {
      \x20 toreador explain <campaign.tdl> --data <source> [--rows N]\n\
      \x20                                        compile and show the plan\n\
      \x20 toreador run <campaign.tdl> --data <source> [--rows N] [--seed N]\n\
-     \x20                                        compile, run, report\n\
+     \x20                [--store <dir>]         compile, run, report; --store\n\
+     \x20                                        persists the run record\n\
      \x20 toreador trace <campaign.tdl> --data <source> [--rows N] [--seed N]\n\
      \x20                [--format text|json]    run and show the flight\n\
-     \x20                                        recorder: per-stage timings,\n\
+     \x20                [--store <dir>]         recorder: per-stage timings,\n\
      \x20                                        critical path, skew, retries\n\
      \x20 toreador attempt <challenge-id> <choice>... [--rows N] [--seed N]\n\
      \x20                  [--session <file>]    one Labs attempt with scoring;\n\
-     \x20                                        --session persists quota,\n\
-     \x20                                        history and comparisons\n\
+     \x20                  [--store <dir>]       --session persists to a JSON\n\
+     \x20                                        file, --store to the crash-safe\n\
+     \x20                                        campaign store (WAL + snapshots)\n\
+     \x20 toreador sessions --store <dir>        list trainees in the store\n\
+     \x20                                        with quota headroom\n\
+     \x20 toreador history <trainee> --store <dir>\n\
+     \x20                                        one trainee's persisted runs\n\
+     \x20 toreador compare <run-a> <run-b> --store <dir> [--trainee <name>]\n\
+     \x20                                        diff two persisted runs:\n\
+     \x20                                        choices, indicators, operator\n\
+     \x20                                        timings, skew\n\
+     \n\
+     Commands taking --store also accept --trainee <name> (default \"cli\").\n\
      \n\
      DATA SOURCES for --data:\n\
      \x20 generated:<scenario-id>                a built-in scenario generator\n\
@@ -187,8 +202,55 @@ fn explain(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// Open the campaign store named by a required `--store <dir>`.
+fn required_store(args: &Args) -> Result<SessionStore, String> {
+    let dir = args
+        .flag("store")
+        .ok_or_else(|| "missing --store <dir> (see `toreador help`)".to_owned())?;
+    SessionStore::open(dir).map_err(|e| e.to_string())
+}
+
+/// The trainee runs are filed under (`--trainee`, default `cli`).
+fn trainee_name(args: &Args) -> &str {
+    args.flag("trainee").unwrap_or("cli")
+}
+
+/// Persist an ad-hoc (non-challenge) campaign run under `trainee`,
+/// registering the trainee with an unmetered quota if the store has not
+/// seen them. Returns the run id assigned.
+fn persist_adhoc_run(
+    store: &mut SessionStore,
+    trainee: &str,
+    label: &str,
+    rows_in: usize,
+    compiled: &CompiledCampaign,
+    outcome: &CampaignOutcome,
+) -> Result<u64, String> {
+    let mut meta = match store.trainee(trainee) {
+        Some(state) => state.meta.clone(),
+        None => {
+            let meta = SessionMeta {
+                quota: Quota::unlimited(),
+                total_cost: 0.0,
+                seed: 0,
+            };
+            store.put_meta(trainee, &meta).map_err(|e| e.to_string())?;
+            meta
+        }
+    };
+    let run_id = store.next_run_id(trainee);
+    let record = record_outcome(run_id, label, &Vec::new(), rows_in, compiled, outcome);
+    store
+        .put_run(trainee, run_id, &record)
+        .map_err(|e| e.to_string())?;
+    meta.total_cost += record.indicator(Indicator::Cost).unwrap_or(0.0);
+    store.put_meta(trainee, &meta).map_err(|e| e.to_string())?;
+    Ok(run_id)
+}
+
 fn run(args: &Args) -> Result<String, String> {
     let (bdaas, compiled, data, aux) = compile_from_args(args)?;
+    let rows_in = data.num_rows();
     let outcome = bdaas
         .run(&compiled, data, &aux)
         .map_err(|e| e.to_string())?;
@@ -225,6 +287,22 @@ fn run(args: &Args) -> Result<String, String> {
     for (service, text) in &outcome.reports {
         out.push_str(&format!("\n[{service}]\n{text}\n"));
     }
+    if args.flag("store").is_some() {
+        let mut store = required_store(args)?;
+        let trainee = trainee_name(args);
+        let run_id = persist_adhoc_run(
+            &mut store,
+            trainee,
+            &compiled.spec.name,
+            rows_in,
+            &compiled,
+            &outcome,
+        )?;
+        out.push_str(&format!(
+            "\nstored as run {run_id} for trainee {trainee:?} (compare with \
+             `toreador compare` after any later run)\n"
+        ));
+    }
     Ok(out)
 }
 
@@ -236,11 +314,28 @@ fn trace_cmd(args: &Args) -> Result<String, String> {
         return Err(format!("--format must be text or json, got {format:?}"));
     }
     let (bdaas, compiled, data, aux) = compile_from_args(args)?;
+    let rows_in = data.num_rows();
     let outcome = bdaas
         .run(&compiled, data, &aux)
         .map_err(|e| e.to_string())?;
     if outcome.engine_traces.is_empty() {
         return Err("campaign made no engine runs — nothing to trace".to_owned());
+    }
+    // Persist (with full traces) before rendering, in either format; the
+    // note only goes into the text output so json stays parseable.
+    let mut stored = None;
+    if args.flag("store").is_some() {
+        let mut store = required_store(args)?;
+        let trainee = trainee_name(args).to_owned();
+        let run_id = persist_adhoc_run(
+            &mut store,
+            &trainee,
+            &compiled.spec.name,
+            rows_in,
+            &compiled,
+            &outcome,
+        )?;
+        stored = Some((trainee, run_id));
     }
     if format == "json" {
         let reports: Vec<toreador_dataflow::trace::TraceReport> =
@@ -270,6 +365,11 @@ fn trace_cmd(args: &Args) -> Result<String, String> {
             ));
         }
     }
+    if let Some((trainee, run_id)) = stored {
+        out.push_str(&format!(
+            "\nstored as run {run_id} for trainee {trainee:?}\n"
+        ));
+    }
     Ok(out)
 }
 
@@ -278,16 +378,26 @@ fn attempt(args: &Args) -> Result<String, String> {
     let choices: ChoiceVector = args.positionals[1..].to_vec();
     let rows = args.flag_or("rows", 0usize)?;
     let seed = args.flag_or("seed", 42u64)?;
-    // With --session <path>, attempts accumulate across invocations under
-    // the free-tier quota, exactly like a Labs login.
+    // Attempts accumulate across invocations under the free-tier quota,
+    // exactly like a Labs login — either into a JSON file (--session) or
+    // into the crash-safe campaign store (--store).
     let session_path = args.flag("session");
-    let mut session = match session_path {
-        Some(path) if std::path::Path::new(path).exists() => {
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read session {path:?}: {e}"))?;
-            LabSession::import(&json).map_err(|e| e.to_string())?
+    if session_path.is_some() && args.flag("store").is_some() {
+        return Err("--session and --store are mutually exclusive".to_owned());
+    }
+    let mut session = if args.flag("store").is_some() {
+        let store = required_store(args)?;
+        LabSession::open(store, trainee_name(args), Quota::free_tier(), seed)
+            .map_err(|e| e.to_string())?
+    } else {
+        match session_path {
+            Some(path) if std::path::Path::new(path).exists() => {
+                let json = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read session {path:?}: {e}"))?;
+                LabSession::import(&json).map_err(|e| e.to_string())?
+            }
+            _ => LabSession::new("cli", Quota::free_tier(), seed),
         }
-        _ => LabSession::new("cli", Quota::free_tier(), seed),
     };
     let record = session
         .attempt(&challenge_id, &choices, (rows > 0).then_some(rows))
@@ -345,6 +455,90 @@ fn attempt(args: &Args) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// `toreador sessions --store <dir>`: every trainee in the store, with
+/// usage and quota headroom.
+fn sessions_cmd(args: &Args) -> Result<String, String> {
+    let store = required_store(args)?;
+    let stats = store.stats();
+    let mut out = format!(
+        "campaign store: {} segment(s), snapshot at lsn {}, last lsn {}\n\n",
+        stats.segments, stats.snapshot_lsn, stats.last_lsn
+    );
+    let mut any = false;
+    for (name, state) in store.trainees() {
+        any = true;
+        let runs = state.runs.len() as u64;
+        let left = state.meta.quota.remaining(runs, state.meta.total_cost);
+        let runs_left = if left.runs == u64::MAX {
+            "unlimited".to_owned()
+        } else {
+            left.runs.to_string()
+        };
+        let cost_left = if left.cost.is_infinite() {
+            "unlimited".to_owned()
+        } else {
+            format!("{:.1}", left.cost)
+        };
+        out.push_str(&format!(
+            "{name:<16} {runs:>3} runs, {:>9.1} cost spent; remaining: {runs_left} runs, \
+             {cost_left} cost (seed {})\n",
+            state.meta.total_cost, state.meta.seed
+        ));
+    }
+    if !any {
+        out.push_str("no trainees yet\n");
+    }
+    Ok(out)
+}
+
+/// `toreador history <trainee> --store <dir>`: the persisted run log.
+fn history_cmd(args: &Args) -> Result<String, String> {
+    let trainee = args.positional(0, "trainee name")?;
+    let store = required_store(args)?;
+    let state = store
+        .trainee(trainee)
+        .ok_or_else(|| format!("no trainee {trainee:?} in the store"))?;
+    let mut out = format!("{} run(s) for {trainee:?}\n\n", state.runs.len());
+    for (run_id, r) in &state.runs {
+        let score = state
+            .scores
+            .get(run_id)
+            .map(|s| format!("{s:>5.1}/100"))
+            .unwrap_or_else(|| "   —    ".to_owned());
+        out.push_str(&format!(
+            "run {run_id:>3}  {score}  {:<20} {:>7} rows  cost {:>7.1}  choices {:?}\n",
+            r.challenge_id,
+            r.rows_in,
+            r.indicator(Indicator::Cost).unwrap_or(0.0),
+            r.choices,
+        ));
+    }
+    Ok(out)
+}
+
+/// `toreador compare <a> <b> --store <dir>`: diff two persisted runs —
+/// choices, indicators, per-operator timings and skew — across process
+/// boundaries.
+fn compare_cmd(args: &Args) -> Result<String, String> {
+    let a: u64 = args
+        .positional(0, "first run id")?
+        .parse()
+        .map_err(|_| "run ids are integers".to_owned())?;
+    let b: u64 = args
+        .positional(1, "second run id")?
+        .parse()
+        .map_err(|_| "run ids are integers".to_owned())?;
+    let store = required_store(args)?;
+    let trainee = trainee_name(args);
+    let fetch = |id: u64| {
+        store
+            .run(trainee, id)
+            .ok_or_else(|| format!("no run {id} for trainee {trainee:?} in the store"))
+    };
+    let diff = RunComparison::diff(fetch(a)?, fetch(b)?).map_err(|e| e.to_string())?;
+    Ok(diff.render())
 }
 
 #[cfg(test)]
@@ -544,6 +738,122 @@ mod tests {
         .unwrap();
         assert!(out.contains("2 runs used"), "{out}");
         assert!(out.contains("consequences so far"), "{out}");
+    }
+
+    #[test]
+    fn attempt_store_round_trip_survives_process_boundaries() {
+        let dir = std::env::temp_dir().join(format!("toreador-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.to_str().unwrap().to_owned();
+        // Each dispatch opens the store fresh, replays the WAL, and commits
+        // its attempt — exactly what separate process invocations do.
+        run_cli(&[
+            "attempt",
+            "ecomm-revenue",
+            "full",
+            "batch",
+            "--rows",
+            "300",
+            "--store",
+            &store,
+        ])
+        .unwrap();
+        run_cli(&[
+            "attempt",
+            "ecomm-revenue",
+            "sample",
+            "batch",
+            "--rows",
+            "300",
+            "--store",
+            &store,
+        ])
+        .unwrap();
+        // The store knows the trainee and both runs.
+        let out = run_cli(&["sessions", "--store", &store]).unwrap();
+        assert!(out.contains("cli"), "{out}");
+        assert!(out.contains("2 runs"), "{out}");
+        let out = run_cli(&["history", "cli", "--store", &store]).unwrap();
+        assert!(out.contains("run   1"), "{out}");
+        assert!(out.contains("run   2"), "{out}");
+        assert!(out.contains("/100"), "scores persisted: {out}");
+        // Cross-invocation comparison, per-operator trace deltas intact.
+        let out = run_cli(&["compare", "1", "2", "--store", &store]).unwrap();
+        assert!(out.contains("run 1 vs run 2"), "{out}");
+        assert!(out.contains("choice 0: full -> sample"), "{out}");
+        assert!(out.contains("operator"), "{out}");
+        // Errors name the problem.
+        assert!(run_cli(&["compare", "1", "99", "--store", &store]).is_err());
+        assert!(run_cli(&["history", "nobody", "--store", &store]).is_err());
+        assert!(run_cli(&["sessions"]).unwrap_err().contains("--store"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_and_trace_persist_adhoc_records_into_the_store() {
+        let dir = std::env::temp_dir().join(format!("toreador-cli-adhoc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.to_str().unwrap().to_owned();
+        let file = write_trace_campaign();
+        let f = file.to_str().unwrap();
+        let out = run_cli(&[
+            "run",
+            f,
+            "--data",
+            "generated:ecommerce-clicks",
+            "--rows",
+            "400",
+            "--store",
+            &store,
+        ])
+        .unwrap();
+        assert!(out.contains("stored as run 1"), "{out}");
+        let out = run_cli(&[
+            "trace",
+            f,
+            "--data",
+            "generated:ecommerce-clicks",
+            "--rows",
+            "400",
+            "--store",
+            &store,
+        ])
+        .unwrap();
+        assert!(out.contains("stored as run 2"), "{out}");
+        // Two invocations, one comparison: operator deltas from the traces.
+        let out = run_cli(&["compare", "1", "2", "--store", &store]).unwrap();
+        assert!(out.contains("operator"), "{out}");
+        // A named trainee is filed separately from the default.
+        run_cli(&[
+            "run",
+            f,
+            "--data",
+            "generated:ecommerce-clicks",
+            "--rows",
+            "200",
+            "--store",
+            &store,
+            "--trainee",
+            "ada",
+        ])
+        .unwrap();
+        let out = run_cli(&["history", "ada", "--store", &store]).unwrap();
+        assert!(out.contains("run   1"), "{out}");
+        assert!(!out.contains("run   2"), "{out}");
+        // --session and --store cannot be combined.
+        let err = run_cli(&[
+            "attempt",
+            "ecomm-revenue",
+            "full",
+            "batch",
+            "--store",
+            &store,
+            "--session",
+            "x.json",
+        ])
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -771,7 +771,10 @@ objective cost <= 100
         let text = "campaign a on b\n\"\"\ngoal filtering predicate=\"x > 1\"\n";
         assert!(parse_campaign(text, &no_policy).is_ok());
         let text = "''\n";
-        assert!(parse_campaign(text, &no_policy).is_err(), "still needs a campaign header");
+        assert!(
+            parse_campaign(text, &no_policy).is_err(),
+            "still needs a campaign header"
+        );
     }
 
     #[test]

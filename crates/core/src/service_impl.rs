@@ -17,8 +17,8 @@ use toreador_data::table::Table;
 use toreador_data::value::{DataType, Value};
 use toreador_dataflow::logical::{Dataflow, JoinType};
 use toreador_dataflow::metrics::RunMetrics;
-use toreador_dataflow::trace::RunTrace;
 use toreador_dataflow::session::{Engine, EngineConfig};
+use toreador_dataflow::trace::RunTrace;
 use toreador_privacy::audit::{AuditEvent, AuditLog};
 use toreador_privacy::dp::LaplaceMechanism;
 use toreador_privacy::kanon::{enforce_k_anonymity, Ladder, QuasiIdentifier};

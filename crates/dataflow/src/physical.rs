@@ -725,7 +725,13 @@ fn exec_aggregate(
         (out.partitions, out.bytes_moved)
     } else {
         let schema = input.schema().clone();
-        let out = shuffle_traced(input.parts(), &schema, group_by, targets, ctx.metrics.trace())?;
+        let out = shuffle_traced(
+            input.parts(),
+            &schema,
+            group_by,
+            targets,
+            ctx.metrics.trace(),
+        )?;
         (out.partitions, out.bytes_moved)
     };
     let reduce_stage = ctx.next_stage();
@@ -778,8 +784,20 @@ fn exec_join(
     let targets = ctx.config.partitions.max(1);
     let l_schema = left.schema().clone();
     let r_schema = right.schema().clone();
-    let l_out = shuffle_traced(left.parts(), &l_schema, left_keys, targets, ctx.metrics.trace())?;
-    let r_out = shuffle_traced(right.parts(), &r_schema, right_keys, targets, ctx.metrics.trace())?;
+    let l_out = shuffle_traced(
+        left.parts(),
+        &l_schema,
+        left_keys,
+        targets,
+        ctx.metrics.trace(),
+    )?;
+    let r_out = shuffle_traced(
+        right.parts(),
+        &r_schema,
+        right_keys,
+        targets,
+        ctx.metrics.trace(),
+    )?;
     let bytes = l_out.bytes_moved + r_out.bytes_moved;
     let stage = ctx.next_stage();
 
@@ -955,7 +973,13 @@ fn exec_distinct(
     let schema = input.schema().clone();
     let all_cols: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
     let targets = ctx.config.partitions.max(1);
-    let out = shuffle_traced(input.parts(), &schema, &all_cols, targets, ctx.metrics.trace())?;
+    let out = shuffle_traced(
+        input.parts(),
+        &schema,
+        &all_cols,
+        targets,
+        ctx.metrics.trace(),
+    )?;
     let stage = ctx.next_stage();
     let tasks: Vec<_> = out
         .partitions

@@ -354,7 +354,10 @@ impl RunTrace {
         // Task timing per stage from the matched spans.
         let mut durations: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
         for span in self.task_spans() {
-            durations.entry(span.stage).or_default().push(span.duration_us());
+            durations
+                .entry(span.stage)
+                .or_default()
+                .push(span.duration_us());
         }
         for (stage, ds) in durations {
             let s = stages.entry(stage).or_insert_with(|| blank(stage));
@@ -616,7 +619,7 @@ mod tests {
         });
         let trace = j.snapshot();
         assert_eq!(trace.events.len(), 801); // RunStarted + 800
-        // No lost or duplicated sequence numbers.
+                                             // No lost or duplicated sequence numbers.
         for (i, e) in trace.events.iter().enumerate() {
             assert_eq!(e.seq, i as u64);
         }

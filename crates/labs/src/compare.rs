@@ -206,9 +206,10 @@ impl RunComparison {
                     d.operator,
                     d.delta_us.unwrap_or(0)
                 )),
-                (Some(a), None) => {
-                    out.push_str(&format!("operator {}: only first run ({a} us)\n", d.operator))
-                }
+                (Some(a), None) => out.push_str(&format!(
+                    "operator {}: only first run ({a} us)\n",
+                    d.operator
+                )),
                 (None, Some(b)) => out.push_str(&format!(
                     "operator {}: only second run ({b} us)\n",
                     d.operator
@@ -349,6 +350,7 @@ mod tests {
 
     fn record(id: u64, challenge: &str, choices: &[&str], indicators: &[(&str, f64)]) -> RunRecord {
         RunRecord {
+            schema_version: crate::run::RUN_RECORD_SCHEMA_VERSION,
             run_id: id,
             challenge_id: challenge.to_owned(),
             choices: choices.iter().map(|s| s.to_string()).collect(),
@@ -479,7 +481,10 @@ mod tests {
             .iter()
             .find(|x| x.operator == "Scan")
             .unwrap();
-        assert_eq!((scan.a_us, scan.b_us, scan.delta_us), (Some(100), Some(70), Some(-30)));
+        assert_eq!(
+            (scan.a_us, scan.b_us, scan.delta_us),
+            (Some(100), Some(70), Some(-30))
+        );
         let agg = d
             .operator_deltas
             .iter()

@@ -15,6 +15,8 @@ pub enum LabsError {
     Campaign(String),
     /// Run comparison prerequisites not met (different challenges, ...).
     Incomparable(String),
+    /// The durable session store failed (I/O, corruption, codec).
+    Storage(String),
 }
 
 impl fmt::Display for LabsError {
@@ -25,6 +27,7 @@ impl fmt::Display for LabsError {
             LabsError::QuotaExceeded(m) => write!(f, "free-tier quota exceeded: {m}"),
             LabsError::Campaign(m) => write!(f, "campaign failed: {m}"),
             LabsError::Incomparable(m) => write!(f, "runs not comparable: {m}"),
+            LabsError::Storage(m) => write!(f, "session store failed: {m}"),
         }
     }
 }
@@ -34,6 +37,12 @@ impl std::error::Error for LabsError {}
 impl From<toreador_core::error::CoreError> for LabsError {
     fn from(e: toreador_core::error::CoreError) -> Self {
         LabsError::Campaign(e.to_string())
+    }
+}
+
+impl From<toreador_store::StoreError> for LabsError {
+    fn from(e: toreador_store::StoreError) -> Self {
+        LabsError::Storage(e.to_string())
     }
 }
 

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use toreador_core::compile::Bdaas;
+use toreador_core::compile::{Bdaas, CampaignOutcome, CompiledCampaign};
 use toreador_core::declarative::Indicator;
 use toreador_dataflow::trace::RunTrace;
 
@@ -19,9 +19,18 @@ use crate::challenge::{Challenge, ChoiceVector};
 use crate::error::{LabsError, Result};
 use crate::scenario::scenario;
 
+/// The version of the [`RunRecord`] on-disk schema this build writes.
+/// Records persisted before versioning existed deserialize as version 0;
+/// [`RunRecord::migrate`] upgrades them in place.
+pub const RUN_RECORD_SCHEMA_VERSION: u32 = 1;
+
 /// The provenance record of one run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunRecord {
+    /// On-disk schema version (see [`RUN_RECORD_SCHEMA_VERSION`]). Absent
+    /// in pre-versioning records, which therefore parse as 0.
+    #[serde(default, deserialize_with = "de_schema_version")]
+    pub schema_version: u32,
     /// Monotone per-session run number.
     pub run_id: u64,
     pub challenge_id: String,
@@ -50,7 +59,25 @@ pub struct RunRecord {
     pub traces: Vec<RunTrace>,
 }
 
+/// Missing `schema_version` (pre-versioning JSON) parses as 0, so old
+/// records are distinguishable from current ones and can be migrated.
+fn de_schema_version<'de, D: serde::Deserializer<'de>>(d: D) -> std::result::Result<u32, D::Error> {
+    let v: Option<u32> = Deserialize::deserialize(d)?;
+    Ok(v.unwrap_or(0))
+}
+
 impl RunRecord {
+    /// Upgrade a record parsed from an older schema to the current one.
+    /// Returns whether anything changed. Version 0 records carry every
+    /// field the current schema needs (new fields default), so today the
+    /// migration only stamps the version; future bumps hook their field
+    /// rewrites here.
+    pub fn migrate(&mut self) -> bool {
+        let migrated = self.schema_version < RUN_RECORD_SCHEMA_VERSION;
+        self.schema_version = RUN_RECORD_SCHEMA_VERSION;
+        migrated
+    }
+
     pub fn indicator(&self, indicator: Indicator) -> Option<f64> {
         self.indicators.get(indicator.name()).copied()
     }
@@ -113,9 +140,31 @@ pub fn execute_attempt(
     let outcome = bdaas
         .run(&compiled, data, &aux)
         .map_err(|e| LabsError::Campaign(e.to_string()))?;
-    Ok(RunRecord {
+    Ok(record_outcome(
         run_id,
-        challenge_id: challenge.id.to_owned(),
+        challenge.id,
+        choices,
+        rows,
+        &compiled,
+        &outcome,
+    ))
+}
+
+/// Assemble the provenance record of a finished campaign run. Shared by
+/// [`execute_attempt`] and ad-hoc runs (e.g. `toreador run --store`) that
+/// persist outcomes without going through a challenge.
+pub fn record_outcome(
+    run_id: u64,
+    label: &str,
+    choices: &ChoiceVector,
+    rows_in: usize,
+    compiled: &CompiledCampaign,
+    outcome: &CampaignOutcome,
+) -> RunRecord {
+    RunRecord {
+        schema_version: RUN_RECORD_SCHEMA_VERSION,
+        run_id,
+        challenge_id: label.to_owned(),
         choices: choices.clone(),
         plan_services: compiled
             .procedural
@@ -133,16 +182,16 @@ pub fn execute_attempt(
             .collect(),
         compliant: outcome.post_verdict.as_ref().map(|v| v.compliant),
         warnings: compiled.warnings.iter().map(|w| w.to_string()).collect(),
-        rows_in: rows,
+        rows_in,
         rows_out: outcome.output.num_rows(),
         shuffle_bytes: outcome
             .engine_metrics
             .iter()
             .map(|m| m.total_shuffle_bytes())
             .sum(),
-        traces: outcome.engine_traces,
-        reports: outcome.reports,
-    })
+        traces: outcome.engine_traces.clone(),
+        reports: outcome.reports.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -204,8 +253,33 @@ mod tests {
         let all = challenges();
         let c = &all[0];
         let record = execute_attempt(&bdaas, c, &c.reference_vector(), 1, Some(300), 3).unwrap();
+        assert_eq!(record.schema_version, RUN_RECORD_SCHEMA_VERSION);
         let j = serde_json::to_string(&record).unwrap();
         let back: RunRecord = serde_json::from_str(&j).unwrap();
         assert_eq!(record, back);
+    }
+
+    #[test]
+    fn pre_versioning_records_parse_as_v0_and_migrate_forward() {
+        let bdaas = Bdaas::new();
+        let all = challenges();
+        let c = &all[0];
+        let record = execute_attempt(&bdaas, c, &c.reference_vector(), 1, Some(200), 5).unwrap();
+        // Simulate a record written before the schema_version field existed
+        // by dropping the field from its JSON.
+        let mut v: serde_json::Value = serde_json::to_value(&record).unwrap();
+        if let serde_json::Value::Object(map) = &mut v {
+            map.remove("schema_version").expect("field is serialised");
+        } else {
+            panic!("record serialises to an object");
+        }
+        let old_json = serde_json::to_string(&v).unwrap();
+        let mut back: RunRecord = serde_json::from_str(&old_json).unwrap();
+        assert_eq!(back.schema_version, 0, "missing field reads as v0");
+        assert!(back.migrate(), "v0 records need migration");
+        assert_eq!(back.schema_version, RUN_RECORD_SCHEMA_VERSION);
+        assert!(!back.migrate(), "migration is idempotent");
+        // Nothing but the stamp changes for a v0 -> v1 upgrade.
+        assert_eq!(back, record);
     }
 }

@@ -96,6 +96,7 @@ mod tests {
         warnings: usize,
     ) -> RunRecord {
         RunRecord {
+            schema_version: crate::run::RUN_RECORD_SCHEMA_VERSION,
             run_id: 1,
             challenge_id: "health-compliance".to_owned(),
             choices: choices.iter().map(|s| s.to_string()).collect(),

@@ -17,12 +17,22 @@ use crate::error::{LabsError, Result};
 use crate::run::{execute_attempt, RunRecord};
 use crate::score::{assess, Score};
 
-/// Free-tier resource limits.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Free-tier resource limits. Serialises with an infinite cost budget
+/// mapped to JSON `null` (JSON has no infinity).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Quota {
     pub max_runs: u64,
     pub max_rows_per_run: usize,
+    #[serde(serialize_with = "ser_maybe_inf", deserialize_with = "de_maybe_inf")]
     pub max_total_cost: f64,
+}
+
+/// What is left of a [`Quota`] after some usage; both components saturate
+/// at zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuotaRemaining {
+    pub runs: u64,
+    pub cost: f64,
 }
 
 impl Quota {
@@ -43,7 +53,30 @@ impl Quota {
             max_total_cost: f64::INFINITY,
         }
     }
+
+    /// Headroom left after `used_runs` runs that spent `used_cost`.
+    pub fn remaining(&self, used_runs: u64, used_cost: f64) -> QuotaRemaining {
+        QuotaRemaining {
+            runs: self.max_runs.saturating_sub(used_runs),
+            cost: (self.max_total_cost - used_cost).max(0.0),
+        }
+    }
 }
+
+/// The per-trainee state the durable store keeps alongside run records:
+/// quota, cumulative cost and the data seed — everything needed to resume
+/// a session in a fresh process.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SessionMeta {
+    pub quota: Quota,
+    pub total_cost: f64,
+    pub seed: u64,
+}
+
+/// The [`toreador_store::LabStore`] instantiation the Labs persist into:
+/// session meta plus [`RunRecord`]s, with attempt scores keyed by
+/// `(trainee, run_id)`.
+pub type SessionStore = toreador_store::LabStore<SessionMeta, RunRecord>;
 
 /// One trainee's session.
 pub struct LabSession {
@@ -53,6 +86,9 @@ pub struct LabSession {
     history: Vec<RunRecord>,
     total_cost: f64,
     seed: u64,
+    /// When present, every attempt is committed to the WAL-backed store
+    /// before it is reported back to the trainee.
+    store: Option<SessionStore>,
 }
 
 impl LabSession {
@@ -64,7 +100,54 @@ impl LabSession {
             history: Vec::new(),
             total_cost: 0.0,
             seed,
+            store: None,
         }
+    }
+
+    /// Open a durable session backed by `store`. A trainee already known
+    /// to the store resumes with their persisted quota, cost, seed and
+    /// full run history (`quota` and `seed` are ignored); a new trainee
+    /// is registered with the given quota and seed.
+    pub fn open(
+        mut store: SessionStore,
+        trainee: impl Into<String>,
+        quota: Quota,
+        seed: u64,
+    ) -> Result<LabSession> {
+        let trainee = trainee.into();
+        let resumed = store.trainee(&trainee).map(|state| {
+            let mut history: Vec<RunRecord> = state.runs.values().cloned().collect();
+            for r in &mut history {
+                r.migrate();
+            }
+            (state.meta.clone(), history)
+        });
+        let (meta, history) = match resumed {
+            Some(found) => found,
+            None => {
+                let meta = SessionMeta {
+                    quota,
+                    total_cost: 0.0,
+                    seed,
+                };
+                store.put_meta(&trainee, &meta)?;
+                (meta, Vec::new())
+            }
+        };
+        Ok(LabSession {
+            trainee,
+            quota: meta.quota,
+            bdaas: Bdaas::new(),
+            history,
+            total_cost: meta.total_cost,
+            seed: meta.seed,
+            store: Some(store),
+        })
+    }
+
+    /// The backing store, when the session is durable.
+    pub fn store(&self) -> Option<&SessionStore> {
+        self.store.as_ref()
     }
 
     pub fn quota(&self) -> Quota {
@@ -91,14 +174,15 @@ impl LabSession {
         choices: &ChoiceVector,
         rows: Option<usize>,
     ) -> Result<&RunRecord> {
-        if self.runs_used() >= self.quota.max_runs {
+        let left = self.quota.remaining(self.runs_used(), self.total_cost);
+        if left.runs == 0 {
             return Err(LabsError::QuotaExceeded(format!(
                 "run limit reached ({} of {})",
                 self.runs_used(),
                 self.quota.max_runs
             )));
         }
-        if self.total_cost >= self.quota.max_total_cost {
+        if left.cost <= 0.0 {
             return Err(LabsError::QuotaExceeded(format!(
                 "cost budget exhausted ({:.1} of {:.1})",
                 self.total_cost, self.quota.max_total_cost
@@ -109,9 +193,23 @@ impl LabSession {
         let rows = rows
             .unwrap_or(scen.default_rows)
             .min(self.quota.max_rows_per_run);
-        let run_id = self.runs_used() + 1;
+        let run_id = self.history.iter().map(|r| r.run_id).max().unwrap_or(0) + 1;
         let record = execute_attempt(&self.bdaas, &c, choices, run_id, Some(rows), self.seed)?;
         self.total_cost += record.indicator(Indicator::Cost).unwrap_or(0.0);
+        // WAL-commit the run, its score and the updated meter before the
+        // attempt is reported — a crash after this point loses nothing.
+        if let Some(store) = self.store.as_mut() {
+            store.put_run(&self.trainee, record.run_id, &record)?;
+            store.put_score(&self.trainee, record.run_id, assess(&c, &record).total)?;
+            store.put_meta(
+                &self.trainee,
+                &SessionMeta {
+                    quota: self.quota,
+                    total_cost: self.total_cost,
+                    seed: self.seed,
+                },
+            )?;
+        }
         self.history.push(record);
         Ok(self.history.last().expect("just pushed"))
     }
@@ -187,6 +285,7 @@ impl LabSession {
             history: snapshot.history,
             total_cost: snapshot.total_cost,
             seed: snapshot.seed,
+            store: None,
         })
     }
 }
@@ -352,6 +451,73 @@ mod tests {
         let restored = LabSession::import(&s.export()).unwrap();
         assert!(restored.quota().max_total_cost.is_infinite());
         assert!(LabSession::import("{not json").is_err());
+    }
+
+    #[test]
+    fn quota_remaining_saturates_and_serialises() {
+        let q = Quota::free_tier();
+        let left = q.remaining(5, 100.0);
+        assert_eq!(left.runs, 15);
+        assert!((left.cost - 1900.0).abs() < 1e-9);
+        let spent = q.remaining(25, 5000.0);
+        assert_eq!(spent.runs, 0);
+        assert_eq!(spent.cost, 0.0);
+        assert!(Quota::unlimited().remaining(1000, 1e12).cost.is_infinite());
+        // Quota round-trips through serde, infinite budget included.
+        let back: Quota =
+            serde_json::from_str(&serde_json::to_string(&Quota::unlimited()).unwrap()).unwrap();
+        assert!(back.max_total_cost.is_infinite());
+        let back: Quota =
+            serde_json::from_str(&serde_json::to_string(&Quota::free_tier()).unwrap()).unwrap();
+        assert_eq!(back, Quota::free_tier());
+    }
+
+    #[test]
+    fn durable_sessions_resume_across_store_reopens() {
+        let dir = std::env::temp_dir().join(format!(
+            "toreador-labs-session-store-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let quota = Quota {
+            max_runs: 3,
+            max_rows_per_run: 600,
+            max_total_cost: 1e9,
+        };
+        let c = challenge("ecomm-revenue").unwrap();
+        {
+            let store = SessionStore::open(&dir).unwrap();
+            let mut s = LabSession::open(store, "ada", quota, 7).unwrap();
+            s.attempt("ecomm-revenue", &c.reference_vector(), Some(300))
+                .unwrap();
+            s.attempt(
+                "ecomm-revenue",
+                &vec!["sample".into(), "batch".into()],
+                Some(300),
+            )
+            .unwrap();
+            // Every attempt was committed as it happened; the session is
+            // simply dropped, as a crash would.
+        }
+        let store = SessionStore::open(&dir).unwrap();
+        // Scores were persisted keyed by (trainee, run_id).
+        assert!(store.score("ada", 1).is_some());
+        assert!(store.score("ada", 2).is_some());
+        let mut s = LabSession::open(store, "ada", Quota::free_tier(), 999).unwrap();
+        assert_eq!(s.runs_used(), 2);
+        assert!(s.cost_used() > 0.0);
+        assert_eq!(s.quota().max_runs, 3, "persisted quota wins");
+        assert_eq!(s.seed, 7, "persisted seed wins");
+        assert!(s.compare(1, 2).is_ok(), "history resumed with traces");
+        // The quota continues from disk: one run left, then refused.
+        let r = s
+            .attempt("ecomm-revenue", &c.reference_vector(), Some(300))
+            .unwrap();
+        assert_eq!(r.run_id, 3, "run ids continue past restored history");
+        assert!(s
+            .attempt("ecomm-revenue", &c.reference_vector(), Some(300))
+            .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Error type for the durable store.
+
+use std::fmt;
+
+/// Errors raised by the store layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The on-disk state is damaged in a way recovery must not paper over
+    /// (bad magic, a checksum failure *before* the tail, a gap in the
+    /// segment chain). A torn final record is NOT corruption — recovery
+    /// truncates it silently.
+    Corrupt(String),
+    /// A payload failed to encode or decode.
+    Codec(String),
+    /// The caller broke a store protocol rule (e.g. recording a run for a
+    /// trainee whose session meta was never written).
+    Invalid(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "store corrupt: {m}"),
+            StoreError::Codec(m) => write!(f, "store codec error: {m}"),
+            StoreError::Invalid(m) => write!(f, "store misuse: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for the store layer.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = StoreError::Corrupt("segment gap".into());
+        assert!(e.to_string().contains("segment gap"));
+        let e: StoreError = std::io::Error::other("disk on fire").into();
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

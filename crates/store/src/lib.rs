@@ -1,0 +1,61 @@
+//! # toreador-store
+//!
+//! A crash-safe durable store for the TOREADOR reproduction. The paper's
+//! whole premise is that trainees "compare different runs of a composite
+//! BDA" across trial-and-error iterations; a BDAaaS platform therefore
+//! needs the comparison corpus — sessions, run records, flight-recorder
+//! traces, scores — to survive process exits and crashes. This crate is
+//! that durability layer:
+//!
+//! * [`crc`] — CRC-32 (IEEE) guarding every frame on disk;
+//! * [`log`] — [`log::DurableLog`]: an append-only, length-prefixed,
+//!   checksummed write-ahead log with segment rotation, snapshot +
+//!   compaction, and recovery that replays snapshot-then-tail and
+//!   truncates a torn final record instead of failing;
+//! * [`store`] — [`store::LabStore`]: the typed view on top — per-trainee
+//!   session meta, run records keyed by `(trainee, run_id)`, and attempt
+//!   scores, all materialised from the log on open.
+//!
+//! The crate sits between `data` and `labs` in the workspace DAG and is
+//! generic over the persisted payload types, so it has no dependency on
+//! the Labs — the Labs instantiate it (see `toreador_labs::session`).
+//!
+//! ## Example
+//!
+//! ```
+//! use toreador_store::prelude::*;
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+//! struct Meta { seed: u64 }
+//! #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+//! struct Run { rows: u64 }
+//!
+//! let dir = std::env::temp_dir().join(format!("store-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! {
+//!     let mut store: LabStore<Meta, Run> = LabStore::open(&dir).unwrap();
+//!     store.put_meta("ada", &Meta { seed: 7 }).unwrap();
+//!     store.put_run("ada", 1, &Run { rows: 500 }).unwrap();
+//! }
+//! // A new process opens the same directory and sees the same state.
+//! let store: LabStore<Meta, Run> = LabStore::open(&dir).unwrap();
+//! assert_eq!(store.run("ada", 1), Some(&Run { rows: 500 }));
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod crc;
+pub mod error;
+pub mod log;
+pub mod store;
+
+/// Convenient glob import of the commonly used types.
+pub mod prelude {
+    pub use crate::error::{Result as StoreResult, StoreError};
+    pub use crate::log::{DurableLog, LogConfig, LogStats, Recovery};
+    pub use crate::store::{LabStore, StoreConfig, TraineeState};
+}
+
+pub use error::StoreError;
+pub use log::{DurableLog, LogConfig, LogStats, Recovery};
+pub use store::{LabStore, StoreConfig, TraineeState};

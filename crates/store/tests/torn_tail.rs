@@ -1,0 +1,171 @@
+//! Torn-write recovery, proven exhaustively and by property.
+//!
+//! The claim (DESIGN.md §7): a crash can tear at most the record that was
+//! being appended, and recovery must return exactly the durable prefix —
+//! for *every* byte offset the tear can land on — without error, and the
+//! log must accept appends afterwards.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+
+use toreador_store::{DurableLog, LogConfig};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("toreador-store-torn-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Copy every file of `src` into a fresh `dst`.
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = fs::remove_dir_all(dst);
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// The last `wal-*.log` segment in a directory.
+fn last_segment(dir: &Path) -> PathBuf {
+    let mut segments: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "log"))
+        .collect();
+    segments.sort();
+    segments.pop().expect("at least one segment")
+}
+
+/// Build a log of `payloads` in `dir`; returns the byte length of the
+/// final record's frame (header + payload).
+fn build_log(dir: &Path, cfg: LogConfig, payloads: &[Vec<u8>]) -> u64 {
+    let (mut log, _) = DurableLog::open(dir, cfg).unwrap();
+    for p in payloads {
+        log.append(p).unwrap();
+    }
+    log.sync().unwrap();
+    8 + payloads.last().map_or(0, |p| p.len() as u64)
+}
+
+#[test]
+fn every_truncation_offset_of_the_final_record_recovers_the_prefix() {
+    let cfg = LogConfig::default();
+    let payloads: Vec<Vec<u8>> = (0..6)
+        .map(|i| format!("record-{i}-{}", "payload".repeat(i + 1)).into_bytes())
+        .collect();
+    let base = tmp_dir("exhaustive-base");
+    let final_frame = build_log(&base, cfg, &payloads);
+    let seg = last_segment(&base);
+    let full_len = fs::metadata(&seg).unwrap().len();
+    let frame_start = full_len - final_frame;
+
+    let work = tmp_dir("exhaustive-work");
+    // Every tear point inside the final record's frame, including its
+    // first byte (torn_len = 0 ... final_frame - 1).
+    for cut in frame_start..full_len {
+        copy_dir(&base, &work);
+        let seg = last_segment(&work);
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+
+        let (mut log, rec) = DurableLog::open(&work, cfg)
+            .unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        assert_eq!(
+            rec.records.len(),
+            payloads.len() - 1,
+            "cut at {cut}: exactly the durable prefix"
+        );
+        for (i, (lsn, p)) in rec.records.iter().enumerate() {
+            assert_eq!(*lsn, i as u64 + 1);
+            assert_eq!(p, &payloads[i], "cut at {cut}: record {i} intact");
+        }
+        assert_eq!(rec.torn_bytes, cut - frame_start, "cut at {cut}");
+
+        // The log stays writable, and the re-append becomes durable.
+        let lsn = log.append(b"replacement").unwrap();
+        assert_eq!(lsn, payloads.len() as u64, "torn LSN is reused");
+        log.sync().unwrap();
+        drop(log);
+        let (_, rec) = DurableLog::open(&work, cfg).unwrap();
+        assert_eq!(rec.records.len(), payloads.len());
+        assert_eq!(rec.records.last().unwrap().1, b"replacement");
+    }
+    fs::remove_dir_all(base).unwrap();
+    fs::remove_dir_all(work).unwrap();
+}
+
+#[test]
+fn truncating_the_whole_final_record_is_a_clean_log() {
+    let cfg = LogConfig::default();
+    let payloads: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 10 + i]).collect();
+    let dir = tmp_dir("clean-cut");
+    let final_frame = build_log(&dir, cfg, &payloads);
+    let seg = last_segment(&dir);
+    let full_len = fs::metadata(&seg).unwrap().len();
+    fs::OpenOptions::new()
+        .write(true)
+        .open(&seg)
+        .unwrap()
+        .set_len(full_len - final_frame)
+        .unwrap();
+    let (_, rec) = DurableLog::open(&dir, cfg).unwrap();
+    assert_eq!(rec.records.len(), payloads.len() - 1);
+    assert_eq!(rec.torn_bytes, 0, "a clean cut is not a tear");
+    fs::remove_dir_all(dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random record shapes, random segment sizes (so the tear can land in
+    /// a freshly-rotated segment), random tear offsets.
+    #[test]
+    fn recovery_yields_exactly_the_durable_prefix(
+        sizes in prop::collection::vec(0usize..120, 1..12),
+        segment_bytes in prop_oneof![Just(64u64), Just(256u64), Just(1u64 << 20)],
+        cut_back in 1u64..128,
+        case in 0u32..1_000_000,
+    ) {
+        let cfg = LogConfig { segment_bytes };
+        let payloads: Vec<Vec<u8>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                format!("case-{case}-record-{i}-")
+                    .into_bytes()
+                    .into_iter()
+                    .chain(std::iter::repeat(i as u8).take(n))
+                    .collect()
+            })
+            .collect();
+        let dir = tmp_dir(&format!("prop-{case}"));
+        let final_frame = build_log(&dir, cfg, &payloads);
+        let seg = last_segment(&dir);
+        let full_len = fs::metadata(&seg).unwrap().len();
+        // Clamp the tear inside the final record's frame.
+        let cut = full_len - (cut_back % final_frame) - 1;
+
+        fs::OpenOptions::new().write(true).open(&seg).unwrap().set_len(cut).unwrap();
+        let (mut log, rec) = DurableLog::open(&dir, cfg).unwrap();
+        prop_assert_eq!(rec.records.len(), payloads.len() - 1);
+        for (i, (lsn, p)) in rec.records.iter().enumerate() {
+            prop_assert_eq!(*lsn, i as u64 + 1);
+            prop_assert_eq!(p, &payloads[i]);
+        }
+        // Still writable after recovery.
+        log.append(format!("case-{case}-tail").as_bytes()).unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let (_, rec) = DurableLog::open(&dir, cfg).unwrap();
+        prop_assert_eq!(rec.records.len(), payloads.len());
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -21,11 +21,7 @@ use toreador_dataflow::trace::TraceEventKind;
 
 /// The e-commerce revenue pipeline the Labs' first challenge runs.
 fn ecommerce_run(faults: FaultPlan) -> RunResult {
-    let mut engine = Engine::new(
-        EngineConfig::default()
-            .with_threads(4)
-            .with_faults(faults),
-    );
+    let mut engine = Engine::new(EngineConfig::default().with_threads(4).with_faults(faults));
     engine.register("clicks", clickstream(2_000, 11)).unwrap();
     let flow = engine
         .flow("clicks")
@@ -221,7 +217,9 @@ fn derived_metrics_are_byte_identical_to_legacy() {
     let metrics = MetricsCollector::new();
     metrics.record_node("Scan clicks", 0, 512, Duration::from_micros(81), 0);
     let tasks: Vec<_> = (0..24)
-        .map(|i| move || -> FlowResult<Table> { Ok(toreador_data::generate::random_table(5, 1, i)) })
+        .map(|i| {
+            move || -> FlowResult<Table> { Ok(toreador_data::generate::random_table(5, 1, i)) }
+        })
         .collect();
     run_stage(&config, &metrics, 1, tasks).unwrap();
     metrics.record_node("Aggregate", 1, 16, Duration::from_micros(233), 4_096);

@@ -25,7 +25,9 @@ impl Bencher {
             std::hint::black_box(f());
             calibration_iters += 1;
         }
-        let per_iter = started.elapsed().checked_div(calibration_iters.max(1) as u32);
+        let per_iter = started
+            .elapsed()
+            .checked_div(calibration_iters.max(1) as u32);
         let target = Duration::from_millis(25);
         let iters = match per_iter {
             Some(p) if !p.is_zero() => {

@@ -56,7 +56,9 @@ pub mod channel {
 
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 
@@ -113,7 +115,10 @@ pub mod thread {
             self.inner.spawn(move || {
                 let outcome = catch_unwind(AssertUnwindSafe(|| f(&SpawnScope { _private: () })));
                 if let Err(payload) = outcome {
-                    panics.lock().unwrap_or_else(|e| e.into_inner()).push(payload);
+                    panics
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(payload);
                 }
             });
         }

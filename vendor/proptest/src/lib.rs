@@ -634,7 +634,10 @@ mod tests {
         for _ in 0..50 {
             let s = Strategy::new_value(&"[a-c0-2 ]{2,5}", &mut runner);
             assert!((2..=5).contains(&s.chars().count()), "len of {s:?}");
-            assert!(s.chars().all(|c| "abc012 ".contains(c)), "alphabet of {s:?}");
+            assert!(
+                s.chars().all(|c| "abc012 ".contains(c)),
+                "alphabet of {s:?}"
+            );
         }
     }
 

@@ -84,7 +84,10 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        debug_assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         self.gen::<f64>() < p
     }
 

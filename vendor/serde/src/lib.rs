@@ -105,7 +105,11 @@ pub mod __private {
         }
     }
 
-    pub fn expect_array(value: Value, len: usize, type_name: &str) -> Result<Vec<Value>, SerdeError> {
+    pub fn expect_array(
+        value: Value,
+        len: usize,
+        type_name: &str,
+    ) -> Result<Vec<Value>, SerdeError> {
         match value {
             Value::Array(items) if items.len() == len => Ok(items),
             Value::Array(items) => Err(SerdeError::new(format!(

@@ -103,7 +103,9 @@ impl<'a, K, V> IntoIterator for &'a Map<K, V> {
         fn split<K, V>(entry: &(K, V)) -> (&K, &V) {
             (&entry.0, &entry.1)
         }
-        self.entries.iter().map(split as fn(&'a (K, V)) -> (&'a K, &'a V))
+        self.entries
+            .iter()
+            .map(split as fn(&'a (K, V)) -> (&'a K, &'a V))
     }
 }
 
@@ -327,7 +329,9 @@ value_from_number!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
 impl From<f64> for Value {
     fn from(v: f64) -> Self {
-        Number::from_f64(v).map(Value::Number).unwrap_or(Value::Null)
+        Number::from_f64(v)
+            .map(Value::Number)
+            .unwrap_or(Value::Null)
     }
 }
 

@@ -159,9 +159,8 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         if i >= tokens.len() {
             break;
         }
-        let name = ident_of(&tokens[i]).ok_or_else(|| {
-            format!("serde derive: expected field name, found `{}`", tokens[i])
-        })?;
+        let name = ident_of(&tokens[i])
+            .ok_or_else(|| format!("serde derive: expected field name, found `{}`", tokens[i]))?;
         i += 1;
         if !tokens.get(i).is_some_and(|t| is_punct(t, ':')) {
             return Err(format!("serde derive: expected `:` after field `{name}`"));
@@ -196,9 +195,8 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
         if i >= tokens.len() {
             break;
         }
-        let name = ident_of(&tokens[i]).ok_or_else(|| {
-            format!("serde derive: expected variant name, found `{}`", tokens[i])
-        })?;
+        let name = ident_of(&tokens[i])
+            .ok_or_else(|| format!("serde derive: expected variant name, found `{}`", tokens[i]))?;
         i += 1;
         let kind = match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
@@ -296,7 +294,9 @@ fn field_from_obj_expr(field: &Field, type_name: &str) -> String {
 fn gen_serialize(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.body {
-        Body::Unit => "serde::Serializer::serialize_value(__serializer, serde::Value::Null)".to_owned(),
+        Body::Unit => {
+            "serde::Serializer::serialize_value(__serializer, serde::Value::Null)".to_owned()
+        }
         Body::NamedStruct(fields) => {
             let mut out = String::from("let mut __obj = serde::Map::new();\n");
             for f in fields {
@@ -314,9 +314,7 @@ fn gen_serialize(input: &Input) -> String {
             );
             out
         }
-        Body::TupleStruct(1) => {
-            "serde::Serialize::serialize(&self.0, __serializer)".to_owned()
-        }
+        Body::TupleStruct(1) => "serde::Serialize::serialize(&self.0, __serializer)".to_owned(),
         Body::TupleStruct(n) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("serde::to_value(&self.{i}).map_err({SER_ERR})?"))

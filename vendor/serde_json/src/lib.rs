@@ -162,10 +162,9 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.parse_array(),
             Some(b'{') => self.parse_object(),
             Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
-            Some(other) => Err(self.error(&format!(
-                "unexpected character `{}`",
-                char::from(other)
-            ))),
+            Some(other) => {
+                Err(self.error(&format!("unexpected character `{}`", char::from(other))))
+            }
             None => Err(self.error("unexpected end of input")),
         }
     }
