@@ -8,6 +8,11 @@ use std::collections::HashMap;
 
 use toreador_core::prelude::*;
 use toreador_data::table::Table;
+use toreador_dataflow::fault::{ChaosPlan, FaultKind, TargetedFault};
+use toreador_dataflow::resilience::{
+    ResilienceConfig, RetryPolicy, SpeculationPolicy, TaskDeadline,
+};
+use toreador_dataflow::trace::ResilienceTotals;
 use toreador_labs::prelude::*;
 
 use crate::args::Args;
@@ -21,6 +26,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "explain" => explain(args),
         "run" => run(args),
         "trace" => trace_cmd(args),
+        "chaos" => chaos_cmd(args),
         "attempt" => attempt(args),
         "sessions" => sessions_cmd(args),
         "history" => history_cmd(args),
@@ -46,6 +52,12 @@ pub fn usage() -> String {
      \x20                [--format text|json]    run and show the flight\n\
      \x20                [--store <dir>]         recorder: per-stage timings,\n\
      \x20                                        critical path, skew, retries\n\
+     \x20 toreador chaos <campaign.tdl> --data <source> [--rows N] [--seed N]\n\
+     \x20                [--profile P] [--retries N] [--deadline-ms N]\n\
+     \x20                [--speculate F]            run once fault-free, once\n\
+     \x20                                           under a deterministic chaos\n\
+     \x20                                           plan; report resilience cost\n\
+     \x20                                           and whether outputs match\n\
      \x20 toreador attempt <challenge-id> <choice>... [--rows N] [--seed N]\n\
      \x20                  [--session <file>]    one Labs attempt with scoring;\n\
      \x20                  [--store <dir>]       --session persists to a JSON\n\
@@ -61,6 +73,10 @@ pub fn usage() -> String {
      \x20                                        timings, skew\n\
      \n\
      Commands taking --store also accept --trainee <name> (default \"cli\").\n\
+     \n\
+     CHAOS PROFILES for --profile (default hostile):\n\
+     \x20 calm | flaky | lossy | slow | panicky | hostile\n\
+     \x20 targeted:<stage>:<partition>:<attempt>:<crash|panic|delay[:micros]>\n\
      \n\
      DATA SOURCES for --data:\n\
      \x20 generated:<scenario-id>                a built-in scenario generator\n\
@@ -369,6 +385,151 @@ fn trace_cmd(args: &Args) -> Result<String, String> {
         out.push_str(&format!(
             "\nstored as run {run_id} for trainee {trainee:?}\n"
         ));
+    }
+    Ok(out)
+}
+
+/// Parse a `--profile` value into a deterministic chaos schedule.
+///
+/// Named profiles are rate-based mixes; `targeted:S:P:A:kind[:micros]`
+/// injects exactly one fault at task (stage S, partition P, attempt A).
+fn parse_chaos_profile(profile: &str, seed: u64) -> Result<ChaosPlan, String> {
+    if let Some(spec) = profile.strip_prefix("targeted:") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() < 4 {
+            return Err(format!(
+                "targeted profile needs stage:partition:attempt:kind, got {spec:?}"
+            ));
+        }
+        let coord = |i: usize, what: &str| -> Result<usize, String> {
+            parts[i]
+                .parse()
+                .map_err(|_| format!("targeted {what} must be an integer, got {:?}", parts[i]))
+        };
+        let stage = coord(0, "stage")?;
+        let partition = coord(1, "partition")?;
+        let attempt = coord(2, "attempt")? as u32;
+        let kind = match parts[3] {
+            "crash" => FaultKind::Crash,
+            "panic" => FaultKind::Panic,
+            "delay" => {
+                let micros = match parts.get(4) {
+                    None => 1_000,
+                    Some(raw) => raw
+                        .parse()
+                        .map_err(|_| format!("delay micros must be an integer, got {raw:?}"))?,
+                };
+                FaultKind::Delay { micros }
+            }
+            other => return Err(format!("unknown fault kind {other:?} (crash|panic|delay)")),
+        };
+        return Ok(ChaosPlan::none().with_targeted(TargetedFault {
+            stage,
+            partition,
+            attempt,
+            kind,
+        }));
+    }
+    match profile {
+        "calm" => Ok(ChaosPlan::none()),
+        "flaky" => Ok(ChaosPlan::crashes(0.05, seed)),
+        "lossy" => Ok(ChaosPlan::crashes(0.25, seed)),
+        "slow" => Ok(ChaosPlan::delays(0.25, 2_000, seed)),
+        "panicky" => Ok(ChaosPlan::panics(0.05, seed)),
+        "hostile" => Ok(ChaosPlan::crashes(0.15, seed)
+            .with_panic_rate(0.05)
+            .with_delays(0.1, 1_000)),
+        other => Err(format!(
+            "unknown chaos profile {other:?} (calm|flaky|lossy|slow|panicky|hostile|targeted:...)"
+        )),
+    }
+}
+
+/// `toreador chaos`: run a campaign twice — once fault-free, once under a
+/// deterministic chaos plan with a resilience policy — and report what the
+/// faults cost and whether the output survived unchanged. The resilience
+/// invariant on display: a chaotic run either completes identical to the
+/// fault-free baseline or fails cleanly with a classified error.
+fn chaos_cmd(args: &Args) -> Result<String, String> {
+    let profile = args.flag("profile").unwrap_or("hostile");
+    let seed = args.flag_or("seed", 0u64)?;
+    let retries = args.flag_or("retries", 3u32)?;
+    let deadline_ms = args.flag_or("deadline-ms", 0u64)?;
+    let speculate = args.flag_or("speculate", 0.0f64)?;
+    let chaos = parse_chaos_profile(profile, seed)?;
+
+    let (bdaas, mut compiled, data, aux) = compile_from_args(args)?;
+    let baseline = bdaas
+        .run(&compiled, data.clone(), &aux)
+        .map_err(|e| format!("fault-free baseline failed: {e}"))?;
+
+    let mut resilience = ResilienceConfig::none()
+        .with_retry(RetryPolicy::exponential(retries + 1, 500, 20_000).with_jitter(0.25, seed))
+        .with_chaos(chaos.clone());
+    if deadline_ms > 0 {
+        resilience = resilience.with_deadline(TaskDeadline::from_millis(deadline_ms));
+    }
+    if speculate > 1.0 {
+        resilience = resilience.with_speculation(SpeculationPolicy::new(speculate));
+    }
+    compiled.deployment.engine_config = compiled
+        .deployment
+        .engine_config
+        .clone()
+        .with_resilience(resilience);
+
+    let mut out = format!(
+        "chaos profile {profile:?} (seed {seed}): crash {:.0}% panic {:.0}% delay {:.0}%, \
+         {} targeted fault(s)\n\
+         policy: {} attempt(s) per task{}{}\n\n",
+        chaos.crash_rate * 100.0,
+        chaos.panic_rate * 100.0,
+        chaos.delay_rate * 100.0,
+        chaos.targeted.len(),
+        retries + 1,
+        if deadline_ms > 0 {
+            format!(", deadline {deadline_ms} ms")
+        } else {
+            String::new()
+        },
+        if speculate > 1.0 {
+            format!(", speculation at {speculate:.1}x median")
+        } else {
+            String::new()
+        },
+    );
+    match bdaas.run(&compiled, data, &aux) {
+        Ok(outcome) => {
+            let totals = outcome
+                .engine_traces
+                .iter()
+                .fold(ResilienceTotals::default(), |acc, t| {
+                    acc.merge(&t.resilience_totals())
+                });
+            out.push_str(&format!(
+                "resilience cost: {} retries, {} injected faults, {} us backoff, \
+                 {} timeouts, {} panics isolated, {} speculative ({} won), \
+                 {} cancellations\n",
+                totals.retries,
+                totals.faults,
+                totals.backoff_us,
+                totals.timeouts,
+                totals.panics,
+                totals.speculative_launched,
+                totals.speculative_won,
+                totals.cancellations,
+            ));
+            out.push_str(if outcome.output == baseline.output {
+                "outputs: IDENTICAL to the fault-free baseline\n"
+            } else {
+                "outputs: DIFFER from the fault-free baseline (resilience bug!)\n"
+            });
+        }
+        Err(e) => {
+            out.push_str(&format!(
+                "run failed cleanly under chaos (classified, no hang, no stray panic):\n  {e}\n"
+            ));
+        }
     }
     Ok(out)
 }
@@ -854,6 +1015,94 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("mutually exclusive"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chaos_calm_profile_matches_baseline_at_no_cost() {
+        let file = write_trace_campaign();
+        let out = run_cli(&[
+            "chaos",
+            file.to_str().unwrap(),
+            "--data",
+            "generated:ecommerce-clicks",
+            "--rows",
+            "400",
+            "--profile",
+            "calm",
+        ])
+        .unwrap();
+        assert!(out.contains("IDENTICAL"), "{out}");
+        assert!(out.contains("0 retries"), "{out}");
+    }
+
+    #[test]
+    fn chaos_targeted_crash_is_retried_and_output_survives() {
+        let file = write_trace_campaign();
+        // Exactly one crash at (stage 0, partition 0, attempt 0): the retry
+        // budget absorbs it deterministically, whatever the seed.
+        let out = run_cli(&[
+            "chaos",
+            file.to_str().unwrap(),
+            "--data",
+            "generated:ecommerce-clicks",
+            "--rows",
+            "400",
+            "--profile",
+            "targeted:0:0:0:crash",
+        ])
+        .unwrap();
+        assert!(out.contains("1 targeted fault(s)"), "{out}");
+        assert!(out.contains("IDENTICAL"), "{out}");
+        assert!(!out.contains("0 retries"), "{out}");
+    }
+
+    #[test]
+    fn chaos_with_no_retry_budget_fails_cleanly() {
+        let file = write_trace_campaign();
+        let out = run_cli(&[
+            "chaos",
+            file.to_str().unwrap(),
+            "--data",
+            "generated:ecommerce-clicks",
+            "--rows",
+            "400",
+            "--profile",
+            "targeted:0:0:0:crash",
+            "--retries",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("failed cleanly"), "{out}");
+        assert!(out.contains("stage 0"), "{out}");
+    }
+
+    #[test]
+    fn chaos_rejects_malformed_profiles() {
+        let file = write_trace_campaign();
+        let run_profile = |p: &str| {
+            run_cli(&[
+                "chaos",
+                file.to_str().unwrap(),
+                "--data",
+                "generated:ecommerce-clicks",
+                "--profile",
+                p,
+            ])
+        };
+        assert!(run_profile("mayhem").unwrap_err().contains("mayhem"));
+        assert!(run_profile("targeted:0:0")
+            .unwrap_err()
+            .contains("targeted"));
+        assert!(run_profile("targeted:0:0:0:melt")
+            .unwrap_err()
+            .contains("melt"));
+        assert!(run_profile("targeted:x:0:0:crash")
+            .unwrap_err()
+            .contains("stage"));
+        // Delay kind accepts explicit microseconds.
+        let out = run_profile("targeted:0:1:0:delay:500").unwrap();
+        assert!(out.contains("1 targeted fault(s)"), "{out}");
+        assert!(out.contains("IDENTICAL"), "{out}");
     }
 
     #[test]

@@ -145,7 +145,7 @@ impl Bdaas {
         });
         let ctx = ServiceContext {
             pipeline: &compiled.spec.name,
-            engine_config: compiled.deployment.engine_config,
+            engine_config: compiled.deployment.engine_config.clone(),
             auxiliary,
             seed: compiled.spec.seed,
         };
@@ -176,7 +176,7 @@ impl Bdaas {
             let mut state = PipelineState::new(batch.clone());
             let ctx = ServiceContext {
                 pipeline: &compiled.spec.name,
-                engine_config: compiled.deployment.engine_config,
+                engine_config: compiled.deployment.engine_config.clone(),
                 auxiliary,
                 seed: compiled.spec.seed,
             };

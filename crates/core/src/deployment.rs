@@ -8,8 +8,9 @@
 use serde::{Deserialize, Serialize};
 
 use toreador_catalog::registry::Registry;
-use toreador_dataflow::fault::FaultPlan;
+use toreador_dataflow::fault::ChaosPlan;
 use toreador_dataflow::optimizer::OptimizerConfig;
+use toreador_dataflow::resilience::{ResilienceConfig, RetryPolicy, TaskDeadline};
 use toreador_dataflow::session::EngineConfig;
 
 use crate::declarative::{CampaignSpec, ProcessingMode};
@@ -99,17 +100,29 @@ pub fn bind(
         .parallelism
         .unwrap_or(platform.workers)
         .min(platform.workers);
-    let faults = match spec.max_task_retries {
+    let resilience = match spec.max_task_retries {
         // The Labs platform injects a small background fault rate so the
         // retry budget is a real design decision, not dead configuration.
-        Some(retries) if retries > 0 => FaultPlan::with_rate(0.02, spec.seed, retries + 1),
-        _ => FaultPlan::none(),
+        // Retried attempts back off exponentially (seeded jitter keeps the
+        // schedule reproducible per campaign) and a generous per-task
+        // deadline turns hung tasks into retryable timeouts.
+        Some(retries) if retries > 0 => ResilienceConfig::none()
+            .with_retry(
+                RetryPolicy::exponential(retries + 1, 500, 20_000).with_jitter(0.25, spec.seed),
+            )
+            .with_deadline(TaskDeadline::from_millis(30_000))
+            .with_chaos(ChaosPlan::crashes(0.02, spec.seed)),
+        _ => ResilienceConfig::none(),
     };
+    // Resilience is not free: every budgeted retry reserves standby
+    // capacity, so alternatives with deeper retry budgets price higher and
+    // the Labs comparison surfaces the robustness/cost trade-off.
+    let retry_budget = resilience.retry.max_attempts.saturating_sub(1);
     let engine_config = EngineConfig::default()
         .with_threads(threads)
         .with_partitions(platform.default_partitions)
         .with_optimizer(OptimizerConfig::default())
-        .with_faults(faults);
+        .with_resilience(resilience);
 
     let service_cost: f64 = procedural
         .composition
@@ -122,7 +135,8 @@ pub fn bind(
                 .unwrap_or(0.0)
         })
         .sum();
-    let estimated_cost = service_cost + platform.rent * threads as f64;
+    let resilience_premium = platform.rent * 0.05 * retry_budget as f64;
+    let estimated_cost = service_cost + platform.rent * threads as f64 + resilience_premium;
 
     Ok(DeploymentModel {
         platform,
@@ -194,15 +208,36 @@ mod tests {
     }
 
     #[test]
-    fn retries_enable_fault_injection() {
+    fn retries_enable_resilience_policy() {
         let r = standard_catalog();
         let s = spec().with_retries(3);
         let p = plan(&s, &r).unwrap();
         let d = bind(&s, &p, &r, &builtin_platforms(), 1000).unwrap();
-        assert!(d.engine_config.faults.failure_rate > 0.0);
-        assert_eq!(d.engine_config.faults.max_attempts, 4);
+        let res = &d.engine_config.resilience;
+        assert!(res.chaos.crash_rate > 0.0, "background faults are on");
+        assert_eq!(res.retry.max_attempts, 4);
+        assert!(res.retry.jitter > 0.0);
+        assert!(res.deadline.is_some(), "hung tasks get a deadline");
         let s0 = spec();
-        let d = bind(&s0, &plan(&s0, &r).unwrap(), &r, &builtin_platforms(), 1000).unwrap();
-        assert_eq!(d.engine_config.faults.failure_rate, 0.0);
+        let d0 = bind(&s0, &plan(&s0, &r).unwrap(), &r, &builtin_platforms(), 1000).unwrap();
+        let calm = &d0.engine_config.resilience;
+        assert!(calm.chaos.is_none());
+        assert_eq!(calm.retry.max_attempts, 1);
+    }
+
+    #[test]
+    fn deeper_retry_budgets_cost_more() {
+        let r = standard_catalog();
+        // lab-free-tier has zero rent, so force a rented platform where the
+        // premium is visible.
+        let s0 = spec().with_parallelism(8);
+        let s3 = spec().with_parallelism(8).with_retries(3);
+        let s6 = spec().with_parallelism(8).with_retries(6);
+        let p = plan(&s0, &r).unwrap();
+        let d0 = bind(&s0, &p, &r, &builtin_platforms(), 1000).unwrap();
+        let d3 = bind(&s3, &p, &r, &builtin_platforms(), 1000).unwrap();
+        let d6 = bind(&s6, &p, &r, &builtin_platforms(), 1000).unwrap();
+        assert!(d3.estimated_cost > d0.estimated_cost);
+        assert!(d6.estimated_cost > d3.estimated_cost);
     }
 }

@@ -133,7 +133,7 @@ fn run_flow(
     state: &mut PipelineState,
     build: impl FnOnce(&Engine, Dataflow) -> Result<Dataflow>,
 ) -> Result<()> {
-    let mut engine = Engine::new(ctx.engine_config);
+    let mut engine = Engine::new(ctx.engine_config.clone());
     engine.register("__current", state.table.clone())?;
     for (name, t) in ctx.auxiliary {
         engine.register(name.clone(), t.clone())?;

@@ -22,7 +22,25 @@ pub enum FlowError {
         attempts: u32,
         message: String,
     },
-    /// Execution was cancelled (quota exhausted, user abort).
+    /// A task attempt exceeded its deadline too many times. Transient: the
+    /// watchdog cancels the attempt and retries under the policy; this
+    /// surfaces only once the retry budget is spent.
+    TaskTimedOut {
+        stage: usize,
+        partition: usize,
+        attempts: u32,
+        deadline_us: u64,
+    },
+    /// A task body panicked and the panic was isolated into an error
+    /// instead of collapsing the worker pool.
+    TaskPanicked {
+        stage: usize,
+        partition: usize,
+        attempts: u32,
+        message: String,
+    },
+    /// Execution was cancelled (quota exhausted, user abort, or a
+    /// permanent failure dooming the stage).
     Cancelled(String),
     /// A shuffle payload could not be decoded.
     Codec(String),
@@ -38,6 +56,14 @@ impl fmt::Display for FlowError {
             FlowError::TaskFailed { stage, partition, attempts, message } => write!(
                 f,
                 "task failed (stage {stage}, partition {partition}) after {attempts} attempts: {message}"
+            ),
+            FlowError::TaskTimedOut { stage, partition, attempts, deadline_us } => write!(
+                f,
+                "task timed out (stage {stage}, partition {partition}) after {attempts} attempts: deadline {deadline_us} us exceeded"
+            ),
+            FlowError::TaskPanicked { stage, partition, attempts, message } => write!(
+                f,
+                "task panicked (stage {stage}, partition {partition}) after {attempts} attempts: {message}"
             ),
             FlowError::Cancelled(msg) => write!(f, "execution cancelled: {msg}"),
             FlowError::Codec(msg) => write!(f, "shuffle codec error: {msg}"),
@@ -72,6 +98,26 @@ mod tests {
         let e: FlowError = DataError::ColumnNotFound("x".into()).into();
         assert!(e.to_string().contains("column not found"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn timeout_and_panic_errors_report_location() {
+        let t = FlowError::TaskTimedOut {
+            stage: 1,
+            partition: 4,
+            attempts: 2,
+            deadline_us: 5_000,
+        };
+        let s = t.to_string();
+        assert!(s.contains("stage 1") && s.contains("partition 4") && s.contains("5000 us"));
+        let p = FlowError::TaskPanicked {
+            stage: 0,
+            partition: 2,
+            attempts: 1,
+            message: "boom".into(),
+        };
+        let s = p.to_string();
+        assert!(s.contains("panicked") && s.contains("partition 2") && s.contains("boom"));
     }
 
     #[test]

@@ -5,8 +5,42 @@
 //! survives flaky infrastructure). [`FaultPlan`] decides — deterministically
 //! from a seed — whether a given task attempt fails, so the executor's retry
 //! loop is exercised reproducibly in tests and benchmarks.
+//!
+//! [`ChaosPlan`] generalises the single Bernoulli "lost executor" into a
+//! deterministic chaos harness: three fault kinds ([`FaultKind::Crash`],
+//! [`FaultKind::Delay`], [`FaultKind::Panic`]), each with its own rate, plus
+//! *targeted* schedules ("kill stage 2 partition 3 attempt 0") for
+//! reproducing a specific failure ordering. Every decision is a pure
+//! function of `(seed, stage, partition, attempt)`, so a chaos run replays
+//! bit-identically.
 
 use serde::{Deserialize, Serialize};
+
+/// SplitMix64-style hash of the task coordinates into a uniform draw in
+/// [0, 1). `salt` decorrelates independent consumers (fault decisions,
+/// backoff jitter) that share a seed; `salt == 0` is the fault-decision
+/// stream.
+pub(crate) fn uniform(seed: u64, salt: u64, stage: usize, partition: usize, attempt: u32) -> f64 {
+    let mut z = (seed ^ salt)
+        .wrapping_add((stage as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add((partition as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add((attempt as u64).wrapping_mul(0x94d0_49bb_1331_11eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Clamp a probability into [0, 1], normalising NaN to 0.0. `f64::clamp`
+/// passes NaN through, which would silently disable the `<= 0.0` /
+/// `>= 1.0` fast paths downstream.
+fn normalise_rate(rate: f64) -> f64 {
+    if rate.is_nan() {
+        0.0
+    } else {
+        rate.clamp(0.0, 1.0)
+    }
+}
 
 /// Configuration for injected task failures.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,10 +64,11 @@ impl FaultPlan {
         }
     }
 
-    /// Inject faults at `rate` with a retry budget.
+    /// Inject faults at `rate` with a retry budget. NaN rates normalise to
+    /// 0.0 rather than leaking through the clamp.
     pub fn with_rate(rate: f64, seed: u64, max_attempts: u32) -> Self {
         FaultPlan {
-            failure_rate: rate.clamp(0.0, 1.0),
+            failure_rate: normalise_rate(rate),
             seed,
             max_attempts: max_attempts.max(1),
         }
@@ -48,23 +83,156 @@ impl FaultPlan {
         if self.failure_rate >= 1.0 {
             return true;
         }
-        // SplitMix64 over the task coordinates: uniform in [0,1).
-        let mut z = self
-            .seed
-            .wrapping_add((stage as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
-            .wrapping_add((partition as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
-            .wrapping_add((attempt as u64).wrapping_mul(0x94d0_49bb_1331_11eb));
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
-        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
-        u < self.failure_rate
+        uniform(self.seed, 0, stage, partition, attempt) < self.failure_rate
     }
 }
 
 impl Default for FaultPlan {
     fn default() -> Self {
         Self::none()
+    }
+}
+
+/// What an injected fault does to the attempt it hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The executor is lost before the task body runs (the classic
+    /// [`FaultPlan`] failure): the attempt fails and may be retried.
+    Crash,
+    /// The attempt stalls for `micros` before the body runs — the straggler
+    /// / hung-task simulator. The stall is cooperative: a cancelled attempt
+    /// wakes early instead of sleeping the full duration.
+    Delay { micros: u64 },
+    /// The task body panics. Panic isolation must turn this into a
+    /// classified error instead of collapsing the worker pool.
+    Panic,
+}
+
+/// One targeted fault: hit exactly (`stage`, `partition`, `attempt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetedFault {
+    pub stage: usize,
+    pub partition: usize,
+    pub attempt: u32,
+    pub kind: FaultKind,
+}
+
+/// A deterministic chaos schedule: per-kind Bernoulli rates plus targeted
+/// single-shot faults, all decided by pure functions of the coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ChaosPlan {
+    /// Seed decorrelating chaos decisions from everything else.
+    pub seed: u64,
+    /// Probability an attempt is crashed before its body runs.
+    pub crash_rate: f64,
+    /// Probability an attempt panics.
+    pub panic_rate: f64,
+    /// Probability an attempt is delayed by `delay_micros`.
+    pub delay_rate: f64,
+    /// Stall applied by rate-based delay faults, µs.
+    pub delay_micros: u64,
+    /// Targeted schedules, consulted before the rates.
+    pub targeted: Vec<TargetedFault>,
+}
+
+impl ChaosPlan {
+    /// No chaos at all.
+    pub fn none() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Rate-based crashes only — the [`FaultPlan`] failure mode.
+    pub fn crashes(rate: f64, seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            crash_rate: normalise_rate(rate),
+            ..ChaosPlan::default()
+        }
+    }
+
+    /// Rate-based delays of `micros` each.
+    pub fn delays(rate: f64, micros: u64, seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            delay_rate: normalise_rate(rate),
+            delay_micros: micros,
+            ..ChaosPlan::default()
+        }
+    }
+
+    /// Rate-based panics only.
+    pub fn panics(rate: f64, seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            panic_rate: normalise_rate(rate),
+            ..ChaosPlan::default()
+        }
+    }
+
+    pub fn with_crash_rate(mut self, rate: f64) -> Self {
+        self.crash_rate = normalise_rate(rate);
+        self
+    }
+
+    pub fn with_panic_rate(mut self, rate: f64) -> Self {
+        self.panic_rate = normalise_rate(rate);
+        self
+    }
+
+    pub fn with_delays(mut self, rate: f64, micros: u64) -> Self {
+        self.delay_rate = normalise_rate(rate);
+        self.delay_micros = micros;
+        self
+    }
+
+    /// Add one targeted fault.
+    pub fn with_targeted(mut self, fault: TargetedFault) -> Self {
+        self.targeted.push(fault);
+        self
+    }
+
+    /// True when this plan can never inject anything.
+    pub fn is_none(&self) -> bool {
+        self.crash_rate <= 0.0
+            && self.panic_rate <= 0.0
+            && self.delay_rate <= 0.0
+            && self.targeted.is_empty()
+    }
+
+    /// Deterministically decide what (if anything) happens to attempt
+    /// `attempt` of task (`stage`, `partition`). Targeted schedules win
+    /// over rates; among rates, one uniform draw is banded crash → panic →
+    /// delay so the kinds stay mutually exclusive per attempt.
+    pub fn fault_for(&self, stage: usize, partition: usize, attempt: u32) -> Option<FaultKind> {
+        for t in &self.targeted {
+            if t.stage == stage && t.partition == partition && t.attempt == attempt {
+                return Some(t.kind);
+            }
+        }
+        let total = self.crash_rate + self.panic_rate + self.delay_rate;
+        if total <= 0.0 {
+            return None;
+        }
+        let u = uniform(self.seed, 0, stage, partition, attempt);
+        if u < self.crash_rate {
+            Some(FaultKind::Crash)
+        } else if u < self.crash_rate + self.panic_rate {
+            Some(FaultKind::Panic)
+        } else if u < total {
+            Some(FaultKind::Delay {
+                micros: self.delay_micros,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl From<FaultPlan> for ChaosPlan {
+    /// A [`FaultPlan`] is the crash-only special case. (The retry budget
+    /// lives in the retry policy, not the chaos plan.)
+    fn from(plan: FaultPlan) -> Self {
+        ChaosPlan::crashes(plan.failure_rate, plan.seed)
     }
 }
 
@@ -127,5 +295,92 @@ mod tests {
         let f = FaultPlan::with_rate(7.0, 0, 0);
         assert_eq!(f.failure_rate, 1.0);
         assert_eq!(f.max_attempts, 1);
+    }
+
+    #[test]
+    fn nan_rate_normalises_to_zero() {
+        // f64::clamp propagates NaN, which would skip both fast paths in
+        // should_fail and make every comparison false-but-weird; the
+        // constructor must normalise it away.
+        let f = FaultPlan::with_rate(f64::NAN, 1, 3);
+        assert_eq!(f.failure_rate, 0.0);
+        assert!(!f.should_fail(0, 0, 0));
+        let c = ChaosPlan::crashes(f64::NAN, 1).with_panic_rate(f64::NAN);
+        assert!(c.is_none());
+        assert_eq!(c.fault_for(0, 0, 0), None);
+    }
+
+    #[test]
+    fn chaos_rates_are_banded_and_deterministic() {
+        let c = ChaosPlan {
+            seed: 9,
+            crash_rate: 0.2,
+            panic_rate: 0.2,
+            delay_rate: 0.2,
+            delay_micros: 50,
+            targeted: Vec::new(),
+        };
+        let mut counts = [0usize; 4]; // crash, panic, delay, none
+        for i in 0..6_000 {
+            let k = c.fault_for(i % 7, i / 7, (i % 4) as u32);
+            assert_eq!(k, c.fault_for(i % 7, i / 7, (i % 4) as u32));
+            match k {
+                Some(FaultKind::Crash) => counts[0] += 1,
+                Some(FaultKind::Panic) => counts[1] += 1,
+                Some(FaultKind::Delay { micros }) => {
+                    assert_eq!(micros, 50);
+                    counts[2] += 1;
+                }
+                None => counts[3] += 1,
+            }
+        }
+        for (i, &n) in counts.iter().enumerate() {
+            let rate = n as f64 / 6_000.0;
+            let expect = if i == 3 { 0.4 } else { 0.2 };
+            assert!((rate - expect).abs() < 0.04, "band {i} rate {rate}");
+        }
+    }
+
+    #[test]
+    fn targeted_faults_override_rates() {
+        let c = ChaosPlan::none().with_targeted(TargetedFault {
+            stage: 2,
+            partition: 3,
+            attempt: 0,
+            kind: FaultKind::Panic,
+        });
+        assert_eq!(c.fault_for(2, 3, 0), Some(FaultKind::Panic));
+        assert_eq!(c.fault_for(2, 3, 1), None, "only attempt 0 is targeted");
+        assert_eq!(c.fault_for(2, 4, 0), None);
+        assert!(!c.is_none());
+    }
+
+    #[test]
+    fn fault_plan_converts_to_identical_crash_decisions() {
+        let plan = FaultPlan::with_rate(0.4, 77, 5);
+        let chaos = ChaosPlan::from(plan);
+        for s in 0..4 {
+            for p in 0..8 {
+                for a in 0..4 {
+                    let crashed = matches!(chaos.fault_for(s, p, a), Some(FaultKind::Crash));
+                    assert_eq!(crashed, plan.should_fail(s, p, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_plans_serialize_round_trip() {
+        let c = ChaosPlan::crashes(0.1, 3)
+            .with_delays(0.05, 2_000)
+            .with_targeted(TargetedFault {
+                stage: 1,
+                partition: 0,
+                attempt: 2,
+                kind: FaultKind::Delay { micros: 9 },
+            });
+        let j = serde_json::to_string(&c).unwrap();
+        let back: ChaosPlan = serde_json::from_str(&j).unwrap();
+        assert_eq!(c, back);
     }
 }

@@ -12,8 +12,10 @@
 //! 4. [`physical`] — stage-cut execution with per-partition tasks;
 //! 5. [`shuffle`] — hash shuffles through a binary row codec, so shuffle
 //!    byte counts are real;
-//! 6. [`scheduler`] — a scoped thread pool with deterministic fault
-//!    injection ([`fault`]) and retries;
+//! 6. [`scheduler`] — a resilient scoped thread pool: deterministic chaos
+//!    injection ([`fault`]), retry backoff, task deadlines, speculative
+//!    attempts, panic isolation, and cooperative cancellation
+//!    ([`resilience`]);
 //! 7. [`session`] — the `Engine` facade (register datasets, run flows);
 //! 8. [`stream`] — micro-batch streaming with carried state;
 //! 9. [`metrics`] — per-operator and per-run metrics, the raw material for
@@ -47,6 +49,7 @@ pub mod logical;
 pub mod metrics;
 pub mod optimizer;
 pub mod physical;
+pub mod resilience;
 pub mod scheduler;
 pub mod session;
 pub mod shuffle;
@@ -57,11 +60,14 @@ pub mod trace;
 pub mod prelude {
     pub use crate::error::{FlowError, Result as FlowResult};
     pub use crate::expr::{col, lit, Expr, Func};
-    pub use crate::fault::FaultPlan;
+    pub use crate::fault::{ChaosPlan, FaultKind, FaultPlan, TargetedFault};
     pub use crate::logical::{AggExpr, AggFunc, Dataflow, JoinType, LogicalPlan};
     pub use crate::metrics::{NodeMetrics, RunMetrics};
     pub use crate::optimizer::OptimizerConfig;
+    pub use crate::resilience::{
+        Backoff, ResilienceConfig, RetryPolicy, RunControl, SpeculationPolicy, TaskDeadline,
+    };
     pub use crate::session::{Engine, EngineConfig, RunResult};
     pub use crate::stream::{run_stream, MicroBatcher, StreamRun, StreamState};
-    pub use crate::trace::{RunTrace, TraceEvent, TraceEventKind, TraceSummary};
+    pub use crate::trace::{ResilienceTotals, RunTrace, TraceEvent, TraceEventKind, TraceSummary};
 }

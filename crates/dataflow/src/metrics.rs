@@ -163,6 +163,72 @@ impl MetricsCollector {
         self.inner.lock().task_retries += 1;
     }
 
+    /// A retry was scheduled behind a backoff delay (journal-only: the
+    /// retry itself is counted when it dispatches).
+    pub fn backoff_scheduled(&self, stage: usize, partition: usize, attempt: u32, delay_us: u64) {
+        self.journal.record(TraceEventKind::BackoffScheduled {
+            stage,
+            partition,
+            attempt,
+            delay_us,
+        });
+    }
+
+    /// The watchdog declared a running attempt dead past its deadline.
+    pub fn task_timed_out(&self, stage: usize, partition: usize, attempt: u32, deadline_us: u64) {
+        self.journal.record(TraceEventKind::TaskTimedOut {
+            stage,
+            partition,
+            attempt,
+            deadline_us,
+        });
+    }
+
+    /// A task body panicked and the panic was isolated.
+    pub fn task_panicked(&self, stage: usize, partition: usize, attempt: u32, message: &str) {
+        self.journal.record(TraceEventKind::TaskPanicked {
+            stage,
+            partition,
+            attempt,
+            message: message.to_owned(),
+        });
+    }
+
+    /// A speculative backup attempt was launched for a straggler.
+    pub fn speculative_launched(&self, stage: usize, partition: usize, attempt: u32) {
+        self.journal.record(TraceEventKind::SpeculativeLaunched {
+            stage,
+            partition,
+            attempt,
+        });
+    }
+
+    /// This attempt won its speculation race.
+    pub fn speculative_won(&self, stage: usize, partition: usize, attempt: u32) {
+        self.journal.record(TraceEventKind::SpeculativeWon {
+            stage,
+            partition,
+            attempt,
+        });
+    }
+
+    /// This attempt lost its speculation race and was cancelled.
+    pub fn speculative_lost(&self, stage: usize, partition: usize, attempt: u32) {
+        self.journal.record(TraceEventKind::SpeculativeLost {
+            stage,
+            partition,
+            attempt,
+        });
+    }
+
+    /// The run tripped cooperative cancellation.
+    pub fn run_cancelled(&self, stage: usize, reason: &str) {
+        self.journal.record(TraceEventKind::RunCancelled {
+            stage,
+            reason: reason.to_owned(),
+        });
+    }
+
     /// Legacy span-less shim: counts a task with no placement info.
     pub fn record_task(&self) {
         self.task_started(0, 0, 0);
@@ -253,6 +319,32 @@ mod tests {
             serde_json::to_string(&derived).unwrap(),
             serde_json::to_string(&legacy).unwrap()
         );
+    }
+
+    #[test]
+    fn resilience_events_are_journal_only_and_keep_parity() {
+        let c = MetricsCollector::new();
+        c.task_started(0, 0, 0);
+        c.task_timed_out(0, 0, 0, 500);
+        c.task_finished(0, 0, 0, false);
+        c.backoff_scheduled(0, 0, 1, 250);
+        c.task_retried(0, 0, 1);
+        c.task_started(0, 0, 1);
+        c.task_panicked(0, 0, 1, "boom");
+        c.task_finished(0, 0, 1, false);
+        c.speculative_launched(0, 1, 1);
+        c.speculative_won(0, 1, 1);
+        c.speculative_lost(0, 1, 0);
+        c.run_cancelled(0, "doomed");
+        let derived = c.finish(Duration::from_millis(1), 0, 0);
+        let legacy = c.finish_legacy(Duration::from_millis(1), 0, 0);
+        assert_eq!(derived, legacy, "new events must not skew the metrics");
+        let totals = c.trace().snapshot().resilience_totals();
+        assert_eq!(totals.timeouts, 1);
+        assert_eq!(totals.panics, 1);
+        assert_eq!(totals.backoff_us, 250);
+        assert_eq!(totals.speculative_launched, 1);
+        assert_eq!(totals.cancellations, 1);
     }
 
     #[test]

@@ -29,11 +29,12 @@ use crate::error::{FlowError, Result};
 use crate::expr::Expr;
 use crate::logical::{AggExpr, AggFunc, JoinType, LogicalPlan};
 use crate::metrics::MetricsCollector;
-use crate::scheduler::{run_stage, SchedulerConfig};
+use crate::resilience::RunControl;
+use crate::scheduler::{run_stage_controlled, SchedulerConfig};
 use crate::shuffle::shuffle_traced;
 
 /// Execution-time configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecConfig {
     pub scheduler: SchedulerConfig,
     /// Target partition count for scans and shuffles.
@@ -52,12 +53,14 @@ impl Default for ExecConfig {
     }
 }
 
-/// Everything an execution needs: datasets, config, metrics, stage counter.
+/// Everything an execution needs: datasets, config, metrics, stage counter,
+/// and the run-wide cancellation/retry-budget control shared by all stages.
 pub struct ExecContext<'a> {
     pub datasets: &'a HashMap<String, PartitionedTable>,
     pub config: ExecConfig,
     pub metrics: &'a MetricsCollector,
     stage: AtomicUsize,
+    control: RunControl,
 }
 
 impl<'a> ExecContext<'a> {
@@ -71,7 +74,14 @@ impl<'a> ExecContext<'a> {
             config,
             metrics,
             stage: AtomicUsize::new(0),
+            control: RunControl::new(),
         }
+    }
+
+    /// The run-wide control: one retry budget and one cancellation flag
+    /// spanning every stage of this execution.
+    pub fn control(&self) -> &RunControl {
+        &self.control
     }
 
     fn current_stage(&self) -> usize {
@@ -80,6 +90,19 @@ impl<'a> ExecContext<'a> {
 
     fn next_stage(&self) -> usize {
         self.stage.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn run_stage<F>(&self, stage: usize, tasks: Vec<F>) -> Result<Vec<Table>>
+    where
+        F: Fn() -> Result<Table> + Send + Sync,
+    {
+        run_stage_controlled(
+            &self.config.scheduler,
+            self.metrics,
+            &self.control,
+            stage,
+            tasks,
+        )
     }
 }
 
@@ -251,7 +274,7 @@ fn exec_narrow_indexed(
         .enumerate()
         .map(|(i, t)| move || f(t, i))
         .collect();
-    let outputs = run_stage(&ctx.config.scheduler, ctx.metrics, stage, tasks)?;
+    let outputs = ctx.run_stage(stage, tasks)?;
     let rows: u64 = outputs.iter().map(|t| t.num_rows() as u64).sum();
     ctx.metrics
         .record_node(desc, stage, rows, started.elapsed(), 0);
@@ -720,7 +743,7 @@ fn exec_aggregate(
                 }
             })
             .collect();
-        let partials = run_stage(&ctx.config.scheduler, ctx.metrics, map_stage, tasks)?;
+        let partials = ctx.run_stage(map_stage, tasks)?;
         let out = shuffle_traced(&partials, &p_schema, group_by, targets, ctx.metrics.trace())?;
         (out.partitions, out.bytes_moved)
     } else {
@@ -747,7 +770,7 @@ fn exec_aggregate(
             }
         })
         .collect();
-    let mut outputs = run_stage(&ctx.config.scheduler, ctx.metrics, reduce_stage, tasks)?;
+    let mut outputs = ctx.run_stage(reduce_stage, tasks)?;
     // Empty-group global aggregate: shuffle produced `targets` partitions,
     // each merge of an empty partition yields the one-row identity — keep
     // only partition 0's row in that case.
@@ -860,7 +883,7 @@ fn exec_join(
             }
         })
         .collect();
-    let outputs = run_stage(&ctx.config.scheduler, ctx.metrics, stage, tasks)?;
+    let outputs = ctx.run_stage(stage, tasks)?;
     let rows: u64 = outputs.iter().map(|t| t.num_rows() as u64).sum();
     ctx.metrics
         .record_node(desc, stage, rows, started.elapsed(), bytes);
@@ -892,7 +915,7 @@ fn exec_sort(
             .sort_by(&key_refs, descending)
             .map_err(FlowError::Data)
     }];
-    let outputs = run_stage(&ctx.config.scheduler, ctx.metrics, stage, tasks)?;
+    let outputs = ctx.run_stage(stage, tasks)?;
     let rows: u64 = outputs.iter().map(|t| t.num_rows() as u64).sum();
     ctx.metrics
         .record_node(desc, stage, rows, started.elapsed(), gathered.bytes_moved);
@@ -924,7 +947,7 @@ fn exec_top_k(
             }
         })
         .collect();
-    let locals = run_stage(&ctx.config.scheduler, ctx.metrics, stage, tasks)?;
+    let locals = ctx.run_stage(stage, tasks)?;
     let merged = Table::concat(&locals)?.sort_by(&key_refs, descending)?;
     let take = merged.num_rows().min(n);
     let out = merged.slice(0, take)?;
@@ -996,7 +1019,7 @@ fn exec_distinct(
             }
         })
         .collect();
-    let outputs = run_stage(&ctx.config.scheduler, ctx.metrics, stage, tasks)?;
+    let outputs = ctx.run_stage(stage, tasks)?;
     let rows: u64 = outputs.iter().map(|t| t.num_rows() as u64).sum();
     ctx.metrics
         .record_node(desc, stage, rows, started.elapsed(), out.bytes_moved);

@@ -1,32 +1,77 @@
-//! Task scheduling: a scoped thread pool with retry-on-injected-fault.
+//! Task scheduling: a resilient scoped thread pool.
 //!
-//! The executor turns each (stage, partition) pair into a [`Task`] closure;
-//! the scheduler fans tasks out over `threads` crossbeam scoped threads,
-//! applying the [`FaultPlan`] before every attempt and retrying failed
-//! attempts up to the plan's budget — the same at-least-once task semantics
-//! Spark's DAG scheduler provides.
+//! The executor turns each (stage, partition) pair into a task closure; the
+//! scheduler fans tasks out over `threads` crossbeam scoped workers and a
+//! coordinator thread drives the stage's resilience policy (see
+//! [`crate::resilience`]):
+//!
+//! - every attempt runs under `catch_unwind`, so a panicking task becomes a
+//!   classified [`FlowError::TaskPanicked`] instead of collapsing the pool;
+//! - the [`ChaosPlan`] may crash, delay, or panic an attempt before the body
+//!   runs — deterministically, from the plan's seed;
+//! - transient failures (crashes, panics, timeouts) are retried under the
+//!   [`RetryPolicy`]'s attempt and budget limits, with deterministic
+//!   backoff; permanent failures (plan bugs) trip cooperative cancellation
+//!   so in-flight workers stop claiming tasks instead of finishing the
+//!   doomed stage;
+//! - a per-task deadline watchdog declares overdue attempts
+//!   [`FlowError::TaskTimedOut`] and cancels them cooperatively;
+//! - straggling tasks may get one speculative backup attempt — first
+//!   completion wins, the loser is cancelled and recorded.
+//!
+//! Cancellation is cooperative: injected delays wake promptly, but a task
+//! *body* cannot be interrupted mid-flight (scoped threads borrow the task
+//! closures, so workers must join before the stage returns). A timed-out
+//! body therefore stops counting — its retry races ahead — but still
+//! occupies a worker until it returns.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use toreador_data::table::Table;
 
 use crate::error::{FlowError, Result};
-use crate::fault::FaultPlan;
+use crate::fault::{ChaosPlan, FaultKind, FaultPlan};
 use crate::metrics::MetricsCollector;
+use crate::resilience::{
+    classify, ErrorClass, ResilienceConfig, RetryPolicy, RunControl, SpeculationPolicy,
+};
 
-/// How many worker threads to use and how tasks behave under faults.
-#[derive(Debug, Clone, Copy)]
+/// How many worker threads to use and how the stage behaves under faults.
+#[derive(Debug, Clone)]
 pub struct SchedulerConfig {
     pub threads: usize,
-    pub faults: FaultPlan,
+    pub resilience: ResilienceConfig,
+}
+
+impl SchedulerConfig {
+    /// `threads` workers, no retries, no chaos.
+    pub fn new(threads: usize) -> Self {
+        SchedulerConfig {
+            threads,
+            resilience: ResilienceConfig::none(),
+        }
+    }
+
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Legacy shim: crash faults at the plan's rate with immediate retries
+    /// up to its attempt budget.
+    pub fn with_faults(self, faults: FaultPlan) -> Self {
+        self.with_resilience(ResilienceConfig::from_fault_plan(&faults))
+    }
 }
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        SchedulerConfig {
-            threads: default_threads(),
-            faults: FaultPlan::none(),
-        }
+        SchedulerConfig::new(default_threads())
     }
 }
 
@@ -39,16 +84,640 @@ pub fn default_threads() -> usize {
         .min(8)
 }
 
+/// Granularity of cancellable sleeps, µs: the longest a cancelled delay
+/// keeps its worker occupied.
+const TICK_US: u64 = 200;
+
+/// How often the coordinator re-checks stragglers for speculation, µs.
+const SPECULATION_TICK_US: u64 = 500;
+
+/// One dispatched attempt, as seen by a worker.
+struct AttemptSpec {
+    task: usize,
+    attempt: u32,
+    cancel: Arc<AtomicBool>,
+}
+
+/// What a worker reports back for one attempt.
+enum AttemptOutcome {
+    Success(Table),
+    /// Chaos crashed the attempt before the body ran.
+    Crashed,
+    /// The body (or an injected panic) panicked; isolated via catch_unwind.
+    Panicked(String),
+    /// The body returned an error.
+    Failed(FlowError),
+    /// The attempt was cancelled (or never started) and did no work.
+    Aborted,
+}
+
+enum WorkerMsg {
+    Started {
+        task: usize,
+        attempt: u32,
+    },
+    Finished {
+        task: usize,
+        attempt: u32,
+        outcome: AttemptOutcome,
+    },
+}
+
+/// Blocking MPMC work queue: std Mutex + Condvar (the vendored parking_lot
+/// has no Condvar, and the vendored crossbeam Receiver is single-consumer).
+struct WorkQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+}
+
+struct QueueInner {
+    items: VecDeque<AttemptSpec>,
+    closed: bool,
+}
+
+impl WorkQueue {
+    fn new() -> Self {
+        WorkQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, spec: AttemptSpec) {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(!q.closed, "dispatch after close");
+        q.items.push_back(spec);
+        drop(q);
+        self.ready.notify_one();
+    }
+
+    /// Block until an item is available or the queue is closed.
+    fn pop(&self) -> Option<AttemptSpec> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = q.items.pop_front() {
+                return Some(item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Close the queue, waking all workers; returns the items that were
+    /// never claimed.
+    fn close(&self) -> Vec<AttemptSpec> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        q.closed = true;
+        let drained: Vec<AttemptSpec> = q.items.drain(..).collect();
+        drop(q);
+        self.ready.notify_all();
+        drained
+    }
+}
+
+/// State shared (by reference) with every worker.
+struct Shared<'a, F> {
+    stage: usize,
+    tasks: &'a [F],
+    queue: &'a WorkQueue,
+    halt: &'a AtomicBool,
+    metrics: &'a MetricsCollector,
+    chaos: &'a ChaosPlan,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_owned())
+}
+
+/// Sleep `micros` in [`TICK_US`] chunks; false if cancelled or halted.
+fn cancellable_sleep(micros: u64, cancel: &AtomicBool, halt: &AtomicBool) -> bool {
+    let mut remaining = micros;
+    while remaining > 0 {
+        if cancel.load(Ordering::SeqCst) || halt.load(Ordering::SeqCst) {
+            return false;
+        }
+        let chunk = remaining.min(TICK_US);
+        std::thread::sleep(Duration::from_micros(chunk));
+        remaining -= chunk;
+    }
+    !(cancel.load(Ordering::SeqCst) || halt.load(Ordering::SeqCst))
+}
+
+/// Worker loop: claim attempts until the queue closes. Once the halt flag
+/// is up (the stage is doomed), claimed attempts are aborted unexecuted —
+/// this is the cooperative-cancellation fast path.
+fn run_worker<F>(shared: &Shared<'_, F>, tx: mpsc::Sender<WorkerMsg>)
+where
+    F: Fn() -> Result<Table> + Send + Sync,
+{
+    while let Some(spec) = shared.queue.pop() {
+        let (task, attempt) = (spec.task, spec.attempt);
+        if shared.halt.load(Ordering::SeqCst) {
+            let _ = tx.send(WorkerMsg::Finished {
+                task,
+                attempt,
+                outcome: AttemptOutcome::Aborted,
+            });
+            continue;
+        }
+        let _ = tx.send(WorkerMsg::Started { task, attempt });
+        shared.metrics.task_started(shared.stage, task, attempt);
+        let outcome = execute_attempt(shared, &spec);
+        let ok = matches!(outcome, AttemptOutcome::Success(_));
+        // Every started attempt finishes exactly once — timed-out,
+        // panicked, and losing speculative attempts included.
+        shared
+            .metrics
+            .task_finished(shared.stage, task, attempt, ok);
+        let _ = tx.send(WorkerMsg::Finished {
+            task,
+            attempt,
+            outcome,
+        });
+    }
+}
+
+/// Run one attempt: apply chaos, then the body under panic isolation.
+fn execute_attempt<F>(shared: &Shared<'_, F>, spec: &AttemptSpec) -> AttemptOutcome
+where
+    F: Fn() -> Result<Table> + Send + Sync,
+{
+    let (stage, task, attempt) = (shared.stage, spec.task, spec.attempt);
+    let mut inject_panic = false;
+    match shared.chaos.fault_for(stage, task, attempt) {
+        Some(FaultKind::Crash) => {
+            shared.metrics.fault_injected(stage, task, attempt);
+            return AttemptOutcome::Crashed;
+        }
+        Some(FaultKind::Panic) => {
+            shared.metrics.fault_injected(stage, task, attempt);
+            inject_panic = true;
+        }
+        Some(FaultKind::Delay { micros }) => {
+            shared.metrics.fault_injected(stage, task, attempt);
+            if !cancellable_sleep(micros, &spec.cancel, shared.halt) {
+                return AttemptOutcome::Aborted;
+            }
+        }
+        None => {}
+    }
+    if spec.cancel.load(Ordering::SeqCst) || shared.halt.load(Ordering::SeqCst) {
+        return AttemptOutcome::Aborted;
+    }
+    match catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected panic (chaos plan)");
+        }
+        (shared.tasks[task])()
+    })) {
+        Ok(Ok(table)) => AttemptOutcome::Success(table),
+        Ok(Err(e)) => AttemptOutcome::Failed(e),
+        Err(payload) => {
+            let message = panic_message(payload);
+            shared.metrics.task_panicked(stage, task, attempt, &message);
+            AttemptOutcome::Panicked(message)
+        }
+    }
+}
+
+/// Why an attempt did not produce a result.
+enum Failure {
+    Crashed,
+    Panicked(String),
+    TimedOut,
+    Body(FlowError),
+    Aborted,
+}
+
+struct RunningAttempt {
+    attempt: u32,
+    cancel: Arc<AtomicBool>,
+    /// Set when the worker reports the attempt started.
+    started_at: Option<Instant>,
+    /// Timed out or lost a speculation race: its outcome is ignored (a late
+    /// success is still accepted — same closure, same result).
+    dead: bool,
+    speculative: bool,
+}
+
+#[derive(Default)]
+struct TaskState {
+    /// Attempts dispatched so far (speculative included).
+    attempts_used: u32,
+    completed: bool,
+    /// One backup per task.
+    speculated: bool,
+    /// A retry is queued or waiting out its backoff.
+    retry_pending: bool,
+    running: Vec<RunningAttempt>,
+}
+
+/// Coordinator: owns the stage's retry/deadline/speculation state machine.
+/// Workers only execute; every decision lives here, on one thread.
+struct Coordinator<'a> {
+    stage: usize,
+    policy: RetryPolicy,
+    deadline_us: Option<u64>,
+    speculation: Option<SpeculationPolicy>,
+    metrics: &'a MetricsCollector,
+    control: &'a RunControl,
+    states: Vec<TaskState>,
+    slots: Vec<Option<Table>>,
+    /// Durations of completed attempts, for the speculation median.
+    durations_us: Vec<u64>,
+    /// Pending backoff releases: (due, task, attempt).
+    backoff: BinaryHeap<Reverse<(Instant, usize, u32)>>,
+    in_flight: usize,
+    completed: usize,
+    stage_retries_used: u32,
+    error: Option<FlowError>,
+}
+
+impl<'a> Coordinator<'a> {
+    fn new(
+        stage: usize,
+        resilience: &ResilienceConfig,
+        n: usize,
+        metrics: &'a MetricsCollector,
+        control: &'a RunControl,
+    ) -> Self {
+        let mut states = Vec::with_capacity(n);
+        states.resize_with(n, TaskState::default);
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        Coordinator {
+            stage,
+            policy: resilience.retry,
+            deadline_us: resilience.deadline.map(|d| d.timeout_us),
+            speculation: resilience.speculation,
+            metrics,
+            control,
+            states,
+            slots,
+            durations_us: Vec::new(),
+            backoff: BinaryHeap::new(),
+            in_flight: 0,
+            completed: 0,
+            stage_retries_used: 0,
+            error: None,
+        }
+    }
+
+    fn done_issuing(&self) -> bool {
+        self.completed == self.slots.len() || self.error.is_some()
+    }
+
+    fn dispatch(&mut self, queue: &WorkQueue, task: usize, attempt: u32, speculative: bool) {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let st = &mut self.states[task];
+        st.running.push(RunningAttempt {
+            attempt,
+            cancel: Arc::clone(&cancel),
+            started_at: None,
+            dead: false,
+            speculative,
+        });
+        st.attempts_used = st.attempts_used.max(attempt + 1);
+        self.in_flight += 1;
+        queue.push(AttemptSpec {
+            task,
+            attempt,
+            cancel,
+        });
+    }
+
+    /// A backoff delay elapsed (or was zero): dispatch the retry now.
+    fn release_retry(&mut self, queue: &WorkQueue, task: usize, attempt: u32) {
+        self.states[task].retry_pending = false;
+        if self.error.is_some() || self.states[task].completed {
+            return;
+        }
+        self.metrics.task_retried(self.stage, task, attempt);
+        self.dispatch(queue, task, attempt, false);
+    }
+
+    /// Latest possible instant to wake even if no worker reports anything.
+    fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        // Once the stage has failed we are only draining in-flight attempts;
+        // overdue timers would otherwise busy-spin the coordinator.
+        if self.error.is_some() {
+            return None;
+        }
+        let mut next: Option<Instant> = None;
+        if let Some(Reverse((when, _, _))) = self.backoff.peek() {
+            next = Some(*when);
+        }
+        if let Some(dl) = self.deadline_us {
+            for st in &self.states {
+                if st.completed {
+                    continue;
+                }
+                for r in &st.running {
+                    if r.dead {
+                        continue;
+                    }
+                    if let Some(started) = r.started_at {
+                        let expiry = started + Duration::from_micros(dl);
+                        next = Some(next.map_or(expiry, |n| n.min(expiry)));
+                    }
+                }
+            }
+        }
+        if let Some(spec) = self.speculation {
+            if self.in_flight > 0 && self.durations_us.len() >= spec.min_samples {
+                let tick = now + Duration::from_micros(SPECULATION_TICK_US);
+                next = Some(next.map_or(tick, |n| n.min(tick)));
+            }
+        }
+        // Floor the wait so an already-due timer cannot busy-spin recv.
+        next.map(|n| {
+            n.saturating_duration_since(now)
+                .max(Duration::from_micros(50))
+        })
+    }
+
+    fn handle(&mut self, msg: WorkerMsg, queue: &WorkQueue, halt: &AtomicBool) {
+        match msg {
+            WorkerMsg::Started { task, attempt } => {
+                if let Some(r) = self.states[task]
+                    .running
+                    .iter_mut()
+                    .find(|r| r.attempt == attempt)
+                {
+                    r.started_at = Some(Instant::now());
+                }
+            }
+            WorkerMsg::Finished {
+                task,
+                attempt,
+                outcome,
+            } => {
+                self.in_flight -= 1;
+                let st = &mut self.states[task];
+                let entry = match st.running.iter().position(|r| r.attempt == attempt) {
+                    Some(pos) => st.running.remove(pos),
+                    None => return,
+                };
+                match outcome {
+                    AttemptOutcome::Success(table) => self.on_success(task, entry, table),
+                    AttemptOutcome::Crashed => {
+                        self.on_failure(task, entry, Failure::Crashed, queue, halt)
+                    }
+                    AttemptOutcome::Panicked(msg) => {
+                        self.on_failure(task, entry, Failure::Panicked(msg), queue, halt)
+                    }
+                    AttemptOutcome::Failed(e) => {
+                        self.on_failure(task, entry, Failure::Body(e), queue, halt)
+                    }
+                    AttemptOutcome::Aborted => {
+                        self.on_failure(task, entry, Failure::Aborted, queue, halt)
+                    }
+                }
+            }
+        }
+    }
+
+    /// First completion wins — even a late success from an attempt the
+    /// watchdog had written off (same closure, same result).
+    fn on_success(&mut self, task: usize, entry: RunningAttempt, table: Table) {
+        let st = &mut self.states[task];
+        if self.error.is_some() || st.completed {
+            return;
+        }
+        st.completed = true;
+        st.retry_pending = false;
+        self.completed += 1;
+        self.slots[task] = Some(table);
+        if let Some(started) = entry.started_at {
+            self.durations_us.push(started.elapsed().as_micros() as u64);
+        }
+        // Settle any speculation race and cancel the other attempts.
+        let raced = entry.speculative || st.running.iter().any(|r| r.speculative);
+        if raced {
+            self.metrics
+                .speculative_won(self.stage, task, entry.attempt);
+        }
+        for r in &mut st.running {
+            r.cancel.store(true, Ordering::SeqCst);
+            if raced && !r.dead {
+                self.metrics.speculative_lost(self.stage, task, r.attempt);
+            }
+            r.dead = true;
+        }
+    }
+
+    fn on_failure(
+        &mut self,
+        task: usize,
+        entry: RunningAttempt,
+        failure: Failure,
+        queue: &WorkQueue,
+        halt: &AtomicBool,
+    ) {
+        if self.error.is_some() || self.states[task].completed || entry.dead {
+            return;
+        }
+        self.resolve_failure(task, failure, queue, halt);
+    }
+
+    /// Decide whether a failed task gets another attempt or dooms the stage.
+    fn resolve_failure(
+        &mut self,
+        task: usize,
+        failure: Failure,
+        queue: &WorkQueue,
+        halt: &AtomicBool,
+    ) {
+        let transient = match &failure {
+            Failure::Body(e) => classify(e) == ErrorClass::Transient,
+            _ => true,
+        };
+        if transient {
+            let st = &self.states[task];
+            if st.retry_pending || st.running.iter().any(|r| !r.dead) {
+                // A recovery path (retry or surviving attempt) is already
+                // in motion for this task.
+                return;
+            }
+            let within_attempts = st.attempts_used < self.policy.max_attempts;
+            let within_stage = self
+                .policy
+                .stage_retry_budget
+                .map_or(true, |b| self.stage_retries_used < b);
+            if within_attempts
+                && within_stage
+                && self.control.try_reserve_retry(self.policy.run_retry_budget)
+            {
+                self.stage_retries_used += 1;
+                let attempt = st.attempts_used;
+                let delay = self.policy.delay_us(self.stage, task, attempt);
+                self.states[task].retry_pending = true;
+                if delay == 0 {
+                    self.release_retry(queue, task, attempt);
+                } else {
+                    self.metrics
+                        .backoff_scheduled(self.stage, task, attempt, delay);
+                    self.backoff.push(Reverse((
+                        Instant::now() + Duration::from_micros(delay),
+                        task,
+                        attempt,
+                    )));
+                }
+                return;
+            }
+        }
+        let err = self.final_error(task, failure);
+        self.fail_stage(err, queue, halt);
+    }
+
+    fn final_error(&self, task: usize, failure: Failure) -> FlowError {
+        let attempts = self.states[task].attempts_used;
+        match failure {
+            Failure::Crashed => FlowError::TaskFailed {
+                stage: self.stage,
+                partition: task,
+                attempts,
+                message: "injected fault".to_owned(),
+            },
+            Failure::Panicked(message) => FlowError::TaskPanicked {
+                stage: self.stage,
+                partition: task,
+                attempts,
+                message,
+            },
+            Failure::TimedOut => FlowError::TaskTimedOut {
+                stage: self.stage,
+                partition: task,
+                attempts,
+                deadline_us: self.deadline_us.unwrap_or(0),
+            },
+            Failure::Body(e) => e,
+            Failure::Aborted => FlowError::Cancelled("task attempt aborted".to_owned()),
+        }
+    }
+
+    /// The stage is doomed: record it, trip run-wide cancellation, raise the
+    /// halt flag, cancel running attempts, and drop unclaimed work.
+    fn fail_stage(&mut self, err: FlowError, queue: &WorkQueue, halt: &AtomicBool) {
+        if self.error.is_some() {
+            return;
+        }
+        self.metrics.run_cancelled(self.stage, &err.to_string());
+        self.control.cancel(err.to_string());
+        self.error = Some(err);
+        halt.store(true, Ordering::SeqCst);
+        self.backoff.clear();
+        for st in &self.states {
+            for r in &st.running {
+                r.cancel.store(true, Ordering::SeqCst);
+            }
+        }
+        // Unclaimed attempts never ran and never will: uncount them.
+        let dropped = queue.close();
+        self.in_flight -= dropped.len();
+    }
+
+    /// Periodic duties: expire deadlines, launch speculation.
+    fn on_tick(&mut self, queue: &WorkQueue, halt: &AtomicBool) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(dl) = self.deadline_us {
+            let mut expired: Vec<(usize, u32)> = Vec::new();
+            for (task, st) in self.states.iter_mut().enumerate() {
+                if st.completed {
+                    continue;
+                }
+                for r in st.running.iter_mut() {
+                    if r.dead {
+                        continue;
+                    }
+                    if let Some(started) = r.started_at {
+                        if started.elapsed().as_micros() as u64 >= dl {
+                            r.dead = true;
+                            r.cancel.store(true, Ordering::SeqCst);
+                            expired.push((task, r.attempt));
+                        }
+                    }
+                }
+            }
+            for (task, attempt) in expired {
+                self.metrics.task_timed_out(self.stage, task, attempt, dl);
+                self.resolve_failure(task, Failure::TimedOut, queue, halt);
+                if self.error.is_some() {
+                    return;
+                }
+            }
+        }
+        let Some(spec) = self.speculation else {
+            return;
+        };
+        if self.durations_us.len() < spec.min_samples {
+            return;
+        }
+        let mut sorted = self.durations_us.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let threshold = ((median as f64) * spec.factor).max(TICK_US as f64) as u64;
+        let mut launches: Vec<(usize, u32)> = Vec::new();
+        for (task, st) in self.states.iter_mut().enumerate() {
+            if st.completed || st.speculated || st.retry_pending {
+                continue;
+            }
+            let mut live = st.running.iter().filter(|r| !r.dead);
+            let (Some(only), None) = (live.next(), live.next()) else {
+                continue;
+            };
+            if only.speculative {
+                continue;
+            }
+            if let Some(started) = only.started_at {
+                if started.elapsed().as_micros() as u64 >= threshold {
+                    st.speculated = true;
+                    launches.push((task, st.attempts_used));
+                }
+            }
+        }
+        for (task, attempt) in launches {
+            self.metrics.speculative_launched(self.stage, task, attempt);
+            self.dispatch(queue, task, attempt, true);
+        }
+    }
+}
+
 /// Run `tasks` (one per partition of `stage`) across the pool, returning
-/// outputs in task order.
-///
-/// Each task is attempted up to `faults.max_attempts` times; an injected
-/// fault *before* the attempt models a lost executor. Real errors from the
-/// task body are not retried — they are deterministic plan bugs, and
-/// retrying them would just waste the budget.
+/// outputs in task order. Standalone form: uses a run control local to this
+/// stage. The engine threads one [`RunControl`] through all stages of a run
+/// via [`run_stage_controlled`].
 pub fn run_stage<F>(
     config: &SchedulerConfig,
     metrics: &MetricsCollector,
+    stage: usize,
+    tasks: Vec<F>,
+) -> Result<Vec<Table>>
+where
+    F: Fn() -> Result<Table> + Send + Sync,
+{
+    let control = RunControl::new();
+    run_stage_controlled(config, metrics, &control, stage, tasks)
+}
+
+/// [`run_stage`] with a shared, run-wide [`RunControl`]: a stage refuses to
+/// start once the run is cancelled, and run-level retry budgets accumulate
+/// across stages.
+pub fn run_stage_controlled<F>(
+    config: &SchedulerConfig,
+    metrics: &MetricsCollector,
+    control: &RunControl,
     stage: usize,
     tasks: Vec<F>,
 ) -> Result<Vec<Table>>
@@ -59,72 +728,112 @@ where
     if n == 0 {
         return Ok(Vec::new());
     }
-    let threads = config.threads.max(1).min(n);
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<Result<Table>>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    // Hand each worker a disjoint view of the result slots through a raw
-    // region? No — keep it simple and safe: workers send (index, result)
-    // over a channel and the main thread places them.
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Result<Table>)>();
-    crossbeam::thread::scope(|scope| {
+    if control.is_cancelled() {
+        return Err(FlowError::Cancelled(
+            control
+                .reason()
+                .unwrap_or_else(|| "run cancelled".to_owned()),
+        ));
+    }
+    // Deadlines and speculation need spare workers: a hung body cannot be
+    // interrupted, so its replacement attempt must run on another thread.
+    // Only cap the pool at the task count when neither is in play.
+    let mut threads = config.threads.max(1);
+    if config.resilience.deadline.is_none() && config.resilience.speculation.is_none() {
+        threads = threads.min(n);
+    }
+    let queue = WorkQueue::new();
+    let halt = AtomicBool::new(false);
+    let (done_tx, done_rx) = mpsc::channel::<WorkerMsg>();
+    let shared = Shared {
+        stage,
+        tasks: &tasks,
+        queue: &queue,
+        halt: &halt,
+        metrics,
+        chaos: &config.resilience.chaos,
+    };
+    let scope_result = crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            let tasks = &tasks;
-            let faults = config.faults;
-            scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+            let tx = done_tx.clone();
+            let shared = &shared;
+            scope.spawn(move |_| run_worker(shared, tx));
+        }
+        drop(done_tx);
+        let mut co = Coordinator::new(stage, &config.resilience, n, metrics, control);
+        for task in 0..n {
+            co.dispatch(&queue, task, 0, false);
+        }
+        loop {
+            // Release retries whose backoff has elapsed.
+            let now = Instant::now();
+            while let Some(&Reverse((when, task, attempt))) = co.backoff.peek() {
+                if when > now {
                     break;
                 }
-                let mut attempt = 0u32;
-                let outcome = loop {
-                    metrics.task_started(stage, i, attempt);
-                    if faults.should_fail(stage, i, attempt) {
-                        metrics.fault_injected(stage, i, attempt);
-                        metrics.task_finished(stage, i, attempt, false);
-                        attempt += 1;
-                        if attempt >= faults.max_attempts {
-                            break Err(FlowError::TaskFailed {
-                                stage,
-                                partition: i,
-                                attempts: attempt,
-                                message: "injected fault".to_owned(),
-                            });
-                        }
-                        metrics.task_retried(stage, i, attempt);
+                co.backoff.pop();
+                co.release_retry(&queue, task, attempt);
+            }
+            if co.done_issuing() && co.in_flight == 0 {
+                break;
+            }
+            if co.in_flight == 0 && co.backoff.is_empty() {
+                // Nothing running, nothing scheduled, not done: a logic bug
+                // must fail loudly rather than hang the run.
+                co.fail_stage(
+                    FlowError::Cancelled("scheduler stalled with no work in flight".to_owned()),
+                    &queue,
+                    &halt,
+                );
+                continue;
+            }
+            let msg = match co.next_timeout(now) {
+                None => match done_rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => {
+                        co.fail_stage(
+                            FlowError::Cancelled("worker pool disconnected".to_owned()),
+                            &queue,
+                            &halt,
+                        );
                         continue;
                     }
-                    let result = tasks[i]();
-                    metrics.task_finished(stage, i, attempt, result.is_ok());
-                    break result;
-                };
-                // Receiver only disconnects after an early error; stop then.
-                if tx.send((i, outcome)).is_err() {
-                    break;
-                }
-            });
+                },
+                Some(wait) => match done_rx.recv_timeout(wait) {
+                    Ok(m) => m,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        co.on_tick(&queue, &halt);
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        co.fail_stage(
+                            FlowError::Cancelled("worker pool disconnected".to_owned()),
+                            &queue,
+                            &halt,
+                        );
+                        continue;
+                    }
+                },
+            };
+            co.handle(msg, &queue, &halt);
+            co.on_tick(&queue, &halt);
         }
-        drop(tx);
-        let mut received = 0;
-        while received < n {
-            match rx.recv() {
-                Ok((i, result)) => {
-                    slots[i] = Some(result);
-                    received += 1;
-                }
-                Err(_) => break, // all workers exited
-            }
+        queue.close();
+        co
+    });
+    let co = match scope_result {
+        Ok(co) => co,
+        Err(_) => {
+            return Err(FlowError::Cancelled("worker thread panicked".to_owned()));
         }
-    })
-    .map_err(|_| FlowError::Cancelled("worker thread panicked".to_owned()))?;
-
+    };
+    if let Some(err) = co.error {
+        return Err(err);
+    }
     let mut out = Vec::with_capacity(n);
-    for slot in slots {
+    for slot in co.slots {
         match slot {
-            Some(Ok(t)) => out.push(t),
-            Some(Err(e)) => return Err(e),
+            Some(table) => out.push(table),
             None => return Err(FlowError::Cancelled("task result missing".to_owned())),
         }
     }
@@ -134,7 +843,12 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
     use toreador_data::generate::random_table;
+
+    use crate::fault::TargetedFault;
+    use crate::resilience::TaskDeadline;
+    use crate::trace::TraceEventKind;
 
     fn make_tasks(n: usize) -> Vec<impl Fn() -> Result<Table> + Send + Sync> {
         (0..n)
@@ -144,10 +858,7 @@ mod tests {
 
     #[test]
     fn results_arrive_in_task_order() {
-        let config = SchedulerConfig {
-            threads: 4,
-            faults: FaultPlan::none(),
-        };
+        let config = SchedulerConfig::new(4);
         let metrics = MetricsCollector::new();
         let out = run_stage(&config, &metrics, 0, make_tasks(9)).unwrap();
         assert_eq!(out.len(), 9);
@@ -166,10 +877,7 @@ mod tests {
 
     #[test]
     fn single_thread_still_completes() {
-        let config = SchedulerConfig {
-            threads: 1,
-            faults: FaultPlan::none(),
-        };
+        let config = SchedulerConfig::new(1);
         let metrics = MetricsCollector::new();
         let out = run_stage(&config, &metrics, 0, make_tasks(5)).unwrap();
         assert_eq!(out.len(), 5);
@@ -178,10 +886,7 @@ mod tests {
     #[test]
     fn injected_faults_are_retried_and_counted() {
         // 50% failure rate with a generous budget: all tasks eventually pass.
-        let config = SchedulerConfig {
-            threads: 4,
-            faults: FaultPlan::with_rate(0.5, 9, 20),
-        };
+        let config = SchedulerConfig::new(4).with_faults(FaultPlan::with_rate(0.5, 9, 20));
         let metrics = MetricsCollector::new();
         let out = run_stage(&config, &metrics, 3, make_tasks(16)).unwrap();
         assert_eq!(out.len(), 16);
@@ -192,10 +897,7 @@ mod tests {
 
     #[test]
     fn exhausted_retry_budget_fails_the_stage() {
-        let config = SchedulerConfig {
-            threads: 2,
-            faults: FaultPlan::with_rate(1.0, 0, 3),
-        };
+        let config = SchedulerConfig::new(2).with_faults(FaultPlan::with_rate(1.0, 0, 3));
         let metrics = MetricsCollector::new();
         let err = run_stage(&config, &metrics, 1, make_tasks(4)).unwrap_err();
         match err {
@@ -211,10 +913,7 @@ mod tests {
 
     #[test]
     fn task_errors_propagate_without_retry() {
-        let config = SchedulerConfig {
-            threads: 2,
-            faults: FaultPlan::with_rate(0.0, 0, 5),
-        };
+        let config = SchedulerConfig::new(2).with_faults(FaultPlan::with_rate(0.0, 0, 5));
         let metrics = MetricsCollector::new();
         let tasks: Vec<Box<dyn Fn() -> Result<Table> + Send + Sync>> = vec![
             Box::new(|| Ok(random_table(5, 2, 0))),
@@ -228,12 +927,261 @@ mod tests {
 
     #[test]
     fn more_threads_than_tasks_is_safe() {
-        let config = SchedulerConfig {
-            threads: 16,
-            faults: FaultPlan::none(),
-        };
+        let config = SchedulerConfig::new(16);
         let metrics = MetricsCollector::new();
         let out = run_stage(&config, &metrics, 0, make_tasks(2)).unwrap();
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn permanent_failure_stops_workers_claiming_tasks() {
+        // Task 0 fails permanently at once; the other 63 sleep 1ms each. If
+        // cancellation is cooperative, workers stop claiming long before all
+        // 63 sleepers execute.
+        let config = SchedulerConfig::new(4);
+        let metrics = MetricsCollector::new();
+        let executed = AtomicUsize::new(0);
+        let executed_ref = &executed;
+        let tasks: Vec<Box<dyn Fn() -> Result<Table> + Send + Sync>> = (0..64)
+            .map(|i| -> Box<dyn Fn() -> Result<Table> + Send + Sync> {
+                if i == 0 {
+                    Box::new(|| Err(FlowError::Plan("doomed".to_owned())))
+                } else {
+                    Box::new(move || {
+                        executed_ref.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(1));
+                        Ok(random_table(3, 1, i as u64))
+                    })
+                }
+            })
+            .collect();
+        let err = run_stage(&config, &metrics, 0, tasks).unwrap_err();
+        assert!(matches!(err, FlowError::Plan(_)));
+        let ran = executed.load(Ordering::SeqCst);
+        assert!(
+            ran < 63,
+            "cancellation must prevent the doomed stage from running all tasks (ran {ran})"
+        );
+        // The journal records the cancellation and stays well formed.
+        let trace = metrics.trace().snapshot();
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::RunCancelled { .. })));
+        let spans = trace.task_spans();
+        let starts = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::TaskStarted { .. }))
+            .count();
+        assert_eq!(spans.len(), starts, "every started attempt finished");
+    }
+
+    #[test]
+    fn panicking_task_fails_run_with_classified_error() {
+        let config = SchedulerConfig::new(4);
+        let metrics = MetricsCollector::new();
+        let tasks: Vec<Box<dyn Fn() -> Result<Table> + Send + Sync>> = vec![
+            Box::new(|| Ok(random_table(5, 1, 0))),
+            Box::new(|| panic!("task bug")),
+        ];
+        let err = run_stage(&config, &metrics, 2, tasks).unwrap_err();
+        match err {
+            FlowError::TaskPanicked {
+                stage,
+                partition,
+                message,
+                ..
+            } => {
+                assert_eq!(stage, 2);
+                assert_eq!(partition, 1);
+                assert!(message.contains("task bug"));
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+        // The pool is not poisoned: the same scheduler config runs again.
+        let out = run_stage(&config, &metrics, 3, make_tasks(4)).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn panicking_once_task_succeeds_on_retry() {
+        let config = SchedulerConfig::new(2)
+            .with_resilience(ResilienceConfig::none().with_retry(RetryPolicy::immediate(3)));
+        let metrics = MetricsCollector::new();
+        let calls = AtomicUsize::new(0);
+        let calls_ref = &calls;
+        let tasks: Vec<Box<dyn Fn() -> Result<Table> + Send + Sync>> = vec![Box::new(move || {
+            if calls_ref.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("flaky once");
+            }
+            Ok(random_table(7, 1, 1))
+        })];
+        let out = run_stage(&config, &metrics, 0, tasks).unwrap();
+        assert_eq!(out[0].num_rows(), 7);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        let trace = metrics.trace().snapshot();
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::TaskPanicked { .. })));
+        assert_eq!(trace.resilience_totals().retries, 1);
+    }
+
+    #[test]
+    fn backoff_delays_retries_and_is_recorded() {
+        let config = SchedulerConfig::new(1).with_resilience(
+            ResilienceConfig::none()
+                .with_retry(RetryPolicy::fixed(2, 30_000))
+                .with_chaos(ChaosPlan::none().with_targeted(TargetedFault {
+                    stage: 0,
+                    partition: 0,
+                    attempt: 0,
+                    kind: FaultKind::Crash,
+                })),
+        );
+        let metrics = MetricsCollector::new();
+        let start = Instant::now();
+        let out = run_stage(&config, &metrics, 0, make_tasks(1)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(
+            start.elapsed() >= Duration::from_millis(25),
+            "the retry must wait out its backoff"
+        );
+        let trace = metrics.trace().snapshot();
+        let scheduled: Vec<u64> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::BackoffScheduled { delay_us, .. } => Some(delay_us),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(scheduled, vec![30_000]);
+        assert_eq!(trace.resilience_totals().backoff_us, 30_000);
+    }
+
+    #[test]
+    fn stage_retry_budget_caps_total_retries() {
+        // Every attempt crashes; per-task budget allows 10 attempts but the
+        // stage only funds 2 retries, so the stage fails after 3 attempts.
+        let config = SchedulerConfig::new(1).with_resilience(
+            ResilienceConfig::none()
+                .with_retry(RetryPolicy::immediate(10).with_stage_budget(2))
+                .with_chaos(ChaosPlan::crashes(1.0, 0)),
+        );
+        let metrics = MetricsCollector::new();
+        let err = run_stage(&config, &metrics, 0, make_tasks(1)).unwrap_err();
+        match err {
+            FlowError::TaskFailed { attempts, .. } => assert_eq!(attempts, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_budget_accumulates_across_stages_and_cancellation_sticks() {
+        let config = SchedulerConfig::new(2).with_resilience(
+            ResilienceConfig::none()
+                .with_retry(RetryPolicy::immediate(10).with_run_budget(2))
+                .with_chaos(ChaosPlan::crashes(1.0, 0)),
+        );
+        let metrics = MetricsCollector::new();
+        let control = RunControl::new();
+        let err = run_stage_controlled(&config, &metrics, &control, 0, make_tasks(1)).unwrap_err();
+        assert!(matches!(err, FlowError::TaskFailed { attempts: 3, .. }));
+        assert_eq!(control.run_retries_used(), 2);
+        assert!(control.is_cancelled());
+        // A later stage on the same run refuses to start.
+        let err = run_stage_controlled(&config, &metrics, &control, 1, make_tasks(4)).unwrap_err();
+        assert!(matches!(err, FlowError::Cancelled(_)));
+    }
+
+    #[test]
+    fn deadline_turns_hung_attempt_into_timeout_and_retry_succeeds() {
+        // First invocation stalls well past the deadline; the retry is
+        // instant. The stage completes and records exactly one timeout.
+        let config = SchedulerConfig::new(2).with_resilience(
+            ResilienceConfig::none()
+                .with_retry(RetryPolicy::immediate(3))
+                .with_deadline(TaskDeadline::from_millis(20)),
+        );
+        let metrics = MetricsCollector::new();
+        let calls = AtomicUsize::new(0);
+        let calls_ref = &calls;
+        let tasks: Vec<Box<dyn Fn() -> Result<Table> + Send + Sync>> = vec![Box::new(move || {
+            if calls_ref.fetch_add(1, Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_millis(120));
+            }
+            Ok(random_table(4, 1, 9))
+        })];
+        let out = run_stage(&config, &metrics, 0, tasks).unwrap();
+        assert_eq!(out.len(), 1);
+        let trace = metrics.trace().snapshot();
+        let totals = trace.resilience_totals();
+        assert_eq!(totals.timeouts, 1, "the stalled attempt timed out");
+        assert!(totals.retries >= 1);
+        // The timed-out attempt still closed its span.
+        let starts = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::TaskStarted { .. }))
+            .count();
+        assert_eq!(trace.task_spans().len(), starts);
+    }
+
+    #[test]
+    fn deadline_exhaustion_fails_cleanly_with_timeout_error() {
+        let config = SchedulerConfig::new(2).with_resilience(
+            ResilienceConfig::none()
+                .with_retry(RetryPolicy::immediate(2))
+                .with_deadline(TaskDeadline::from_millis(10)),
+        );
+        let metrics = MetricsCollector::new();
+        let tasks: Vec<Box<dyn Fn() -> Result<Table> + Send + Sync>> = vec![Box::new(move || {
+            std::thread::sleep(Duration::from_millis(80));
+            Ok(random_table(4, 1, 9))
+        })];
+        let err = run_stage(&config, &metrics, 5, tasks).unwrap_err();
+        match err {
+            FlowError::TaskTimedOut {
+                stage, deadline_us, ..
+            } => {
+                assert_eq!(stage, 5);
+                assert_eq!(deadline_us, 10_000);
+            }
+            other => panic!("expected TaskTimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn speculation_rescues_a_delayed_straggler() {
+        // Chaos delays partition 7's first attempt by 400ms; everything
+        // else is instant. Speculation launches a backup (attempt 1, which
+        // the targeted fault does not hit) that wins, and the cancelled
+        // original wakes promptly — the stage must finish far sooner than
+        // the injected delay.
+        let config = SchedulerConfig::new(4).with_resilience(
+            ResilienceConfig::none()
+                .with_retry(RetryPolicy::immediate(2))
+                .with_speculation(SpeculationPolicy::new(3.0).with_min_samples(4))
+                .with_chaos(ChaosPlan::none().with_targeted(TargetedFault {
+                    stage: 0,
+                    partition: 7,
+                    attempt: 0,
+                    kind: FaultKind::Delay { micros: 400_000 },
+                })),
+        );
+        let metrics = MetricsCollector::new();
+        let start = Instant::now();
+        let out = run_stage(&config, &metrics, 0, make_tasks(16)).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(out.len(), 16);
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "speculation must beat the 400ms straggler (took {elapsed:?})"
+        );
+        let totals = metrics.trace().snapshot().resilience_totals();
+        assert_eq!(totals.speculative_launched, 1);
+        assert_eq!(totals.speculative_won, 1);
     }
 }

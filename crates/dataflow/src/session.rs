@@ -18,17 +18,19 @@ use crate::logical::{Dataflow, LogicalPlan};
 use crate::metrics::{MetricsCollector, RunMetrics};
 use crate::optimizer::{optimize, OptimizerConfig};
 use crate::physical::{execute, ExecConfig, ExecContext};
+use crate::resilience::ResilienceConfig;
 use crate::scheduler::SchedulerConfig;
 use crate::trace::RunTrace;
 
-/// Engine configuration: threads, partitions, optimiser, faults.
-#[derive(Debug, Clone, Copy)]
+/// Engine configuration: threads, partitions, optimiser, resilience.
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     pub threads: usize,
     pub partitions: usize,
     pub optimizer: OptimizerConfig,
     pub partial_aggregation: bool,
-    pub faults: FaultPlan,
+    /// Retry/deadline/speculation policy and the chaos plan for this engine.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for EngineConfig {
@@ -38,7 +40,7 @@ impl Default for EngineConfig {
             partitions: 4,
             optimizer: OptimizerConfig::default(),
             partial_aggregation: true,
-            faults: FaultPlan::none(),
+            resilience: ResilienceConfig::none(),
         }
     }
 }
@@ -59,8 +61,15 @@ impl EngineConfig {
         self
     }
 
+    /// Legacy shim: crash faults at the plan's rate with immediate retries
+    /// up to its attempt budget. Prefer [`Self::with_resilience`].
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
+        self.resilience = ResilienceConfig::from_fault_plan(&faults);
+        self
+    }
+
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
         self
     }
 
@@ -73,7 +82,7 @@ impl EngineConfig {
         ExecConfig {
             scheduler: SchedulerConfig {
                 threads: self.threads,
-                faults: self.faults,
+                resilience: self.resilience.clone(),
             },
             partitions: self.partitions,
             partial_aggregation: self.partial_aggregation,
@@ -306,6 +315,43 @@ mod tests {
             .map(|v| v.as_int().unwrap())
             .sum();
         assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn chaotic_engine_matches_fault_free_results() {
+        use crate::fault::ChaosPlan;
+        use crate::resilience::{ResilienceConfig, RetryPolicy};
+
+        let flow_of = |e: &Engine| {
+            e.flow("clicks")
+                .unwrap()
+                .aggregate(
+                    &["country"],
+                    vec![AggExpr::new(AggFunc::Count, "event_id", "n")],
+                )
+                .unwrap()
+                .sort(&["country"], false)
+                .unwrap()
+        };
+        let mut calm = Engine::new(EngineConfig::default().with_threads(4));
+        calm.register("clicks", clickstream(1_000, 3)).unwrap();
+        let baseline = calm.run(&flow_of(&calm)).unwrap();
+
+        let chaos = ChaosPlan::crashes(0.3, 5)
+            .with_panic_rate(0.05)
+            .with_delays(0.1, 300);
+        let mut wild = Engine::new(
+            EngineConfig::default().with_threads(4).with_resilience(
+                ResilienceConfig::none()
+                    .with_retry(RetryPolicy::immediate(12))
+                    .with_chaos(chaos),
+            ),
+        );
+        wild.register("clicks", clickstream(1_000, 3)).unwrap();
+        let r = wild.run(&flow_of(&wild)).unwrap();
+        assert_eq!(r.table, baseline.table, "chaos must not change results");
+        let totals = r.trace.resilience_totals();
+        assert!(totals.retries > 0, "the chaos plan must have bitten");
     }
 
     #[test]

@@ -200,7 +200,7 @@ pub fn run_stream(
             batch_rows.push(0);
             continue;
         }
-        let mut engine = Engine::new(config);
+        let mut engine = Engine::new(config.clone());
         engine.register("__batch", batch.clone())?;
         let flow = make_flow(&engine, "__batch")?;
         let result = engine.run(&flow)?;

@@ -57,6 +57,55 @@ pub enum TraceEventKind {
         partition: usize,
         attempt: u32,
     },
+    /// A retry was scheduled with a backoff delay; `attempt` is the attempt
+    /// the delay precedes. Recorded instead of an immediate `TaskRetried`
+    /// dispatch — the `TaskRetried` event follows when the delay elapses.
+    BackoffScheduled {
+        stage: usize,
+        partition: usize,
+        attempt: u32,
+        delay_us: u64,
+    },
+    /// The watchdog declared a running attempt dead: it exceeded the task
+    /// deadline and was cancelled cooperatively. The attempt's own
+    /// `TaskFinished` still arrives when the worker notices.
+    TaskTimedOut {
+        stage: usize,
+        partition: usize,
+        attempt: u32,
+        deadline_us: u64,
+    },
+    /// A task body panicked; the panic was isolated into a classified
+    /// error rather than unwinding through the worker pool.
+    TaskPanicked {
+        stage: usize,
+        partition: usize,
+        attempt: u32,
+        message: String,
+    },
+    /// A speculative backup attempt was launched for a straggling task;
+    /// `attempt` is the backup's attempt number.
+    SpeculativeLaunched {
+        stage: usize,
+        partition: usize,
+        attempt: u32,
+    },
+    /// This attempt finished first in a speculation race and its result was
+    /// taken.
+    SpeculativeWon {
+        stage: usize,
+        partition: usize,
+        attempt: u32,
+    },
+    /// This attempt lost a speculation race and was cancelled.
+    SpeculativeLost {
+        stage: usize,
+        partition: usize,
+        attempt: u32,
+    },
+    /// The run was cancelled cooperatively (permanent failure or exhausted
+    /// budgets): in-flight workers stop claiming tasks.
+    RunCancelled { stage: usize, reason: String },
     /// An operator completed (rows and timing across all its partitions).
     OperatorFinished {
         operator: String,
@@ -175,6 +224,20 @@ pub struct StageSummary {
     pub operators: Vec<String>,
     pub rows_out: u64,
     pub shuffle_bytes: u64,
+    /// Total backoff delay scheduled before retries in this stage, µs.
+    #[serde(default)]
+    pub backoff_us: u64,
+    /// Attempts declared dead by the deadline watchdog.
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Attempts that panicked (isolated into classified errors).
+    #[serde(default)]
+    pub panics: u64,
+    /// Speculative backup attempts launched / won in this stage.
+    #[serde(default)]
+    pub speculative_launched: u64,
+    #[serde(default)]
+    pub speculative_won: u64,
 }
 
 /// Whole-run roll-up: what `toreador trace` renders.
@@ -188,6 +251,45 @@ pub struct TraceSummary {
     pub total_retries: u64,
     pub total_faults: u64,
     pub shuffle_waves: u64,
+    /// Whole-run resilience cost (backoff, timeouts, panics, speculation).
+    #[serde(default)]
+    pub resilience: ResilienceTotals,
+}
+
+/// Aggregate resilience cost of a run, counted from the journal. What
+/// `labs::compare` diffs between runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResilienceTotals {
+    pub retries: u64,
+    pub faults: u64,
+    /// Total scheduled backoff delay, µs.
+    pub backoff_us: u64,
+    pub timeouts: u64,
+    pub panics: u64,
+    pub speculative_launched: u64,
+    pub speculative_won: u64,
+    pub cancellations: u64,
+}
+
+impl ResilienceTotals {
+    /// True when the run paid no resilience cost at all.
+    pub fn is_zero(&self) -> bool {
+        *self == ResilienceTotals::default()
+    }
+
+    /// Field-wise sum (for aggregating across a campaign's engine runs).
+    pub fn merge(&self, other: &ResilienceTotals) -> ResilienceTotals {
+        ResilienceTotals {
+            retries: self.retries + other.retries,
+            faults: self.faults + other.faults,
+            backoff_us: self.backoff_us + other.backoff_us,
+            timeouts: self.timeouts + other.timeouts,
+            panics: self.panics + other.panics,
+            speculative_launched: self.speculative_launched + other.speculative_launched,
+            speculative_won: self.speculative_won + other.speculative_won,
+            cancellations: self.cancellations + other.cancellations,
+        }
+    }
 }
 
 /// Full export bundle for the CLI's `--format json`.
@@ -319,8 +421,14 @@ impl RunTrace {
             operators: Vec::new(),
             rows_out: 0,
             shuffle_bytes: 0,
+            backoff_us: 0,
+            timeouts: 0,
+            panics: 0,
+            speculative_launched: 0,
+            speculative_won: 0,
         };
         let mut shuffle_waves = 0u64;
+        let mut cancellations = 0u64;
         for e in &self.events {
             match &e.kind {
                 TraceEventKind::TaskStarted { stage, .. } => {
@@ -348,6 +456,36 @@ impl RunTrace {
                     s.shuffle_bytes += shuffle_bytes;
                 }
                 TraceEventKind::ShuffleWave { .. } => shuffle_waves += 1,
+                TraceEventKind::BackoffScheduled {
+                    stage, delay_us, ..
+                } => {
+                    stages
+                        .entry(*stage)
+                        .or_insert_with(|| blank(*stage))
+                        .backoff_us += delay_us;
+                }
+                TraceEventKind::TaskTimedOut { stage, .. } => {
+                    stages
+                        .entry(*stage)
+                        .or_insert_with(|| blank(*stage))
+                        .timeouts += 1;
+                }
+                TraceEventKind::TaskPanicked { stage, .. } => {
+                    stages.entry(*stage).or_insert_with(|| blank(*stage)).panics += 1;
+                }
+                TraceEventKind::SpeculativeLaunched { stage, .. } => {
+                    stages
+                        .entry(*stage)
+                        .or_insert_with(|| blank(*stage))
+                        .speculative_launched += 1;
+                }
+                TraceEventKind::SpeculativeWon { stage, .. } => {
+                    stages
+                        .entry(*stage)
+                        .or_insert_with(|| blank(*stage))
+                        .speculative_won += 1;
+                }
+                TraceEventKind::RunCancelled { .. } => cancellations += 1,
                 _ => {}
             }
         }
@@ -376,8 +514,24 @@ impl RunTrace {
             total_retries: stages.iter().map(|s| s.retries).sum(),
             total_faults: stages.iter().map(|s| s.faults).sum(),
             shuffle_waves,
+            resilience: ResilienceTotals {
+                retries: stages.iter().map(|s| s.retries).sum(),
+                faults: stages.iter().map(|s| s.faults).sum(),
+                backoff_us: stages.iter().map(|s| s.backoff_us).sum(),
+                timeouts: stages.iter().map(|s| s.timeouts).sum(),
+                panics: stages.iter().map(|s| s.panics).sum(),
+                speculative_launched: stages.iter().map(|s| s.speculative_launched).sum(),
+                speculative_won: stages.iter().map(|s| s.speculative_won).sum(),
+                cancellations,
+            },
             stages,
         }
+    }
+
+    /// The run's aggregate resilience cost (retries, backoff, timeouts,
+    /// panics, speculation, cancellations), counted from the journal.
+    pub fn resilience_totals(&self) -> ResilienceTotals {
+        self.summarize().resilience
     }
 
     /// Summary plus the raw events, for JSON export.
@@ -440,6 +594,19 @@ impl TraceSummary {
             self.total_faults,
             self.shuffle_waves,
         ));
+        let r = &self.resilience;
+        if !r.is_zero() {
+            out.push_str(&format!(
+                "resilience: {} retried, {} us backoff, {} timeout(s), {} panic(s), {} speculative ({} won), {} cancellation(s)\n",
+                r.retries,
+                r.backoff_us,
+                r.timeouts,
+                r.panics,
+                r.speculative_launched,
+                r.speculative_won,
+                r.cancellations,
+            ));
+        }
         out
     }
 }
@@ -598,6 +765,170 @@ mod tests {
         let j = serde_json::to_string_pretty(&report).unwrap();
         let back: TraceReport = serde_json::from_str(&j).unwrap();
         assert_eq!(report, back);
+    }
+
+    fn journal_with_resilience_events() -> TraceJournal {
+        let j = journal_with_two_stage_run();
+        j.record(TraceEventKind::TaskStarted {
+            stage: 2,
+            partition: 0,
+            attempt: 0,
+        });
+        j.record(TraceEventKind::TaskTimedOut {
+            stage: 2,
+            partition: 0,
+            attempt: 0,
+            deadline_us: 1_000,
+        });
+        j.record(TraceEventKind::TaskFinished {
+            stage: 2,
+            partition: 0,
+            attempt: 0,
+            ok: false,
+        });
+        j.record(TraceEventKind::BackoffScheduled {
+            stage: 2,
+            partition: 0,
+            attempt: 1,
+            delay_us: 400,
+        });
+        j.record(TraceEventKind::TaskRetried {
+            stage: 2,
+            partition: 0,
+            attempt: 1,
+        });
+        j.record(TraceEventKind::TaskStarted {
+            stage: 2,
+            partition: 0,
+            attempt: 1,
+        });
+        j.record(TraceEventKind::TaskPanicked {
+            stage: 2,
+            partition: 0,
+            attempt: 1,
+            message: "boom".to_owned(),
+        });
+        j.record(TraceEventKind::TaskFinished {
+            stage: 2,
+            partition: 0,
+            attempt: 1,
+            ok: false,
+        });
+        j.record(TraceEventKind::TaskStarted {
+            stage: 2,
+            partition: 1,
+            attempt: 0,
+        });
+        j.record(TraceEventKind::SpeculativeLaunched {
+            stage: 2,
+            partition: 1,
+            attempt: 1,
+        });
+        j.record(TraceEventKind::TaskStarted {
+            stage: 2,
+            partition: 1,
+            attempt: 1,
+        });
+        j.record(TraceEventKind::TaskFinished {
+            stage: 2,
+            partition: 1,
+            attempt: 1,
+            ok: true,
+        });
+        j.record(TraceEventKind::SpeculativeWon {
+            stage: 2,
+            partition: 1,
+            attempt: 1,
+        });
+        j.record(TraceEventKind::SpeculativeLost {
+            stage: 2,
+            partition: 1,
+            attempt: 0,
+        });
+        j.record(TraceEventKind::TaskFinished {
+            stage: 2,
+            partition: 1,
+            attempt: 0,
+            ok: false,
+        });
+        j.record(TraceEventKind::RunCancelled {
+            stage: 2,
+            reason: "budget spent".to_owned(),
+        });
+        j
+    }
+
+    #[test]
+    fn resilience_events_roll_up_per_stage_and_run() {
+        let trace = journal_with_resilience_events().snapshot();
+        let s = trace.summarize();
+        let stage2 = s.stages.iter().find(|x| x.stage == 2).unwrap();
+        assert_eq!(stage2.timeouts, 1);
+        assert_eq!(stage2.panics, 1);
+        assert_eq!(stage2.backoff_us, 400);
+        assert_eq!(stage2.speculative_launched, 1);
+        assert_eq!(stage2.speculative_won, 1);
+        let totals = trace.resilience_totals();
+        assert_eq!(totals.timeouts, 1);
+        assert_eq!(totals.panics, 1);
+        assert_eq!(totals.backoff_us, 400);
+        assert_eq!(totals.speculative_launched, 1);
+        assert_eq!(totals.speculative_won, 1);
+        assert_eq!(totals.cancellations, 1);
+        assert_eq!(totals.retries, s.total_retries);
+        assert!(!totals.is_zero());
+        let merged = totals.merge(&totals);
+        assert_eq!(merged.timeouts, 2);
+        assert_eq!(merged.backoff_us, 800);
+        let rendered = s.render();
+        assert!(rendered.contains("resilience:"), "{rendered}");
+        assert!(rendered.contains("1 timeout(s)"));
+        assert!(rendered.contains("1 panic(s)"));
+    }
+
+    #[test]
+    fn resilience_footer_absent_for_calm_runs() {
+        let trace = journal_with_two_stage_run().snapshot();
+        let s = trace.summarize();
+        // This journal has a retry + fault, so the footer appears …
+        assert!(s.render().contains("resilience:"));
+        // … but a genuinely calm run omits it.
+        let calm = TraceJournal::new();
+        calm.record(TraceEventKind::TaskStarted {
+            stage: 0,
+            partition: 0,
+            attempt: 0,
+        });
+        calm.record(TraceEventKind::TaskFinished {
+            stage: 0,
+            partition: 0,
+            attempt: 0,
+            ok: true,
+        });
+        let summary = calm.snapshot().summarize();
+        assert!(summary.resilience.is_zero());
+        assert!(!summary.render().contains("resilience:"));
+    }
+
+    #[test]
+    fn resilience_events_do_not_disturb_derived_metrics() {
+        // derive_metrics must keep counting only starts/retries/operators,
+        // so the legacy-parity invariant holds with the new kinds present.
+        let trace = journal_with_resilience_events().snapshot();
+        let m = trace.derive_metrics(1_000, 5, 4);
+        let starts = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::TaskStarted { .. }))
+            .count() as u64;
+        let retries = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::TaskRetried { .. }))
+            .count() as u64;
+        assert_eq!(m.tasks_run, starts);
+        assert_eq!(m.task_retries, retries);
+        assert_eq!(m.nodes.len(), 2, "operator list unchanged");
     }
 
     #[test]

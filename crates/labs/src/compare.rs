@@ -11,6 +11,7 @@
 use std::collections::BTreeSet;
 
 use toreador_core::declarative::Indicator;
+use toreador_dataflow::trace::ResilienceTotals;
 
 use crate::error::{LabsError, Result};
 use crate::run::RunRecord;
@@ -36,6 +37,9 @@ pub struct RunComparison {
     pub operator_deltas: Vec<OperatorDelta>,
     /// Worst task-skew ratio of each run, when both runs recorded task spans.
     pub skew_change: Option<(f64, f64)>,
+    /// Resilience overhead of each run (retries, backoff, timeouts, panics,
+    /// speculation), when both runs recorded traces.
+    pub resilience_change: Option<(ResilienceTotals, ResilienceTotals)>,
 }
 
 /// One indicator's movement between two runs.
@@ -141,6 +145,11 @@ impl RunComparison {
             (Some(x), Some(y)) => Some((x, y)),
             _ => None,
         };
+        let resilience_change = if a.traces.is_empty() || b.traces.is_empty() {
+            None
+        } else {
+            Some((a.resilience_totals(), b.resilience_totals()))
+        };
 
         Ok(RunComparison {
             run_a: a.run_id,
@@ -153,6 +162,7 @@ impl RunComparison {
             compliance_change,
             operator_deltas,
             skew_change,
+            resilience_change,
         })
     }
 
@@ -219,6 +229,24 @@ impl RunComparison {
         }
         if let Some((a, b)) = self.skew_change {
             out.push_str(&format!("max task skew: {a:.2} -> {b:.2}\n"));
+        }
+        if let Some((a, b)) = &self.resilience_change {
+            if !a.is_zero() || !b.is_zero() {
+                out.push_str(&format!(
+                    "resilience: retries {} -> {}, backoff {} us -> {} us, \
+                     timeouts {} -> {}, panics {} -> {}, speculative {} -> {}\n",
+                    a.retries,
+                    b.retries,
+                    a.backoff_us,
+                    b.backoff_us,
+                    a.timeouts,
+                    b.timeouts,
+                    a.panics,
+                    b.panics,
+                    a.speculative_launched,
+                    b.speculative_launched,
+                ));
+            }
         }
         out
     }
@@ -500,6 +528,61 @@ mod tests {
         assert!(rendered.contains("operator Aggregate: only first run"));
         assert!(rendered.contains("operator Sort: only second run"));
         assert!(rendered.contains("max task skew: 1.00 -> 1.50"));
+    }
+
+    #[test]
+    fn resilience_overhead_diffs_from_the_traces() {
+        let mut a = record(1, "c", &["x"], &[]);
+        let mut b = record(2, "c", &["x"], &[]);
+        a.traces = vec![trace_with(&[("Scan", 10)], &[(0, 5)])];
+        // b's trace shows the chaos plan biting: a retry behind backoff and
+        // one isolated panic.
+        let mut chaotic = trace_with(&[("Scan", 40)], &[(0, 20)]);
+        let base = chaotic.events.len() as u64;
+        for (i, kind) in [
+            TraceEventKind::BackoffScheduled {
+                stage: 0,
+                partition: 0,
+                attempt: 1,
+                delay_us: 750,
+            },
+            TraceEventKind::TaskRetried {
+                stage: 0,
+                partition: 0,
+                attempt: 1,
+            },
+            TraceEventKind::TaskPanicked {
+                stage: 0,
+                partition: 0,
+                attempt: 1,
+                message: "boom".to_owned(),
+            },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            chaotic.events.push(TraceEvent {
+                seq: base + i as u64,
+                at_us: 100,
+                kind,
+            });
+        }
+        b.traces = vec![chaotic];
+        let d = RunComparison::diff(&a, &b).unwrap();
+        let (ra, rb) = d.resilience_change.unwrap();
+        assert!(ra.is_zero(), "calm run has zero resilience cost");
+        assert_eq!(rb.retries, 1);
+        assert_eq!(rb.backoff_us, 750);
+        assert_eq!(rb.panics, 1);
+        let rendered = d.render();
+        assert!(rendered.contains("resilience: retries 0 -> 1"));
+        assert!(rendered.contains("backoff 0 us -> 750 us"));
+
+        // No traces on either side: the field stays empty and render is calm.
+        let calm = RunComparison::diff(&record(3, "c", &["x"], &[]), &record(4, "c", &["x"], &[]))
+            .unwrap();
+        assert!(calm.resilience_change.is_none());
+        assert!(!calm.render().contains("resilience:"));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use toreador_core::compile::{Bdaas, CampaignOutcome, CompiledCampaign};
 use toreador_core::declarative::Indicator;
-use toreador_dataflow::trace::RunTrace;
+use toreador_dataflow::trace::{ResilienceTotals, RunTrace};
 
 use crate::challenge::{Challenge, ChoiceVector};
 use crate::error::{LabsError, Result};
@@ -114,6 +114,17 @@ impl RunRecord {
             .iter()
             .filter_map(|t| t.max_skew_ratio())
             .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+    }
+
+    /// Aggregate resilience cost (retries, backoff, timeouts, panics,
+    /// speculation, cancellations) across every engine run the campaign
+    /// made. All-zero when the run was calm or recorded no traces.
+    pub fn resilience_totals(&self) -> ResilienceTotals {
+        self.traces
+            .iter()
+            .fold(ResilienceTotals::default(), |acc, t| {
+                acc.merge(&t.resilience_totals())
+            })
     }
 }
 

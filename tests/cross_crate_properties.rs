@@ -135,7 +135,7 @@ proptest! {
             FaultPlan::none()
         };
         let config = ExecConfig {
-            scheduler: SchedulerConfig { threads, faults },
+            scheduler: SchedulerConfig::new(threads).with_faults(faults),
             partitions: 4,
             partial_aggregation: seed % 2 == 0,
         };

@@ -166,10 +166,7 @@ fn summary_reports_critical_path_and_skew_for_the_pipeline() {
 fn stressed_journal_loses_nothing_and_duplicates_nothing() {
     // 16 workers, 64 tasks, 50% injected fault rate: heavy concurrent
     // recording from every worker thread.
-    let config = SchedulerConfig {
-        threads: 16,
-        faults: FaultPlan::with_rate(0.5, 21, 30),
-    };
+    let config = SchedulerConfig::new(16).with_faults(FaultPlan::with_rate(0.5, 21, 30));
     let metrics = MetricsCollector::new();
     let tasks: Vec<_> = (0..64)
         .map(|i| {
@@ -210,10 +207,7 @@ fn stressed_journal_loses_nothing_and_duplicates_nothing() {
 
 #[test]
 fn derived_metrics_are_byte_identical_to_legacy() {
-    let config = SchedulerConfig {
-        threads: 8,
-        faults: FaultPlan::with_rate(0.3, 9, 20),
-    };
+    let config = SchedulerConfig::new(8).with_faults(FaultPlan::with_rate(0.3, 9, 20));
     let metrics = MetricsCollector::new();
     metrics.record_node("Scan clicks", 0, 512, Duration::from_micros(81), 0);
     let tasks: Vec<_> = (0..24)
