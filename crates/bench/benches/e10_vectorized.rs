@@ -1,0 +1,220 @@
+//! E10 — what plan-time binding and batch kernels buy (DESIGN.md §9).
+//! Two series over the clickstream scenario: (1) kernel-level
+//! filter+project on one large partition — bound-expression selection
+//! vectors and column kernels against the row-at-a-time interpreter that
+//! doubles as the differential-testing oracle; (2) the same narrow chain
+//! through the engine under its three execution modes (row, vectorized,
+//! vectorized+fused), with the per-operator batch counts the flight
+//! recorder journals for each mode.
+//!
+//! Set `E10_QUICK=1` to shrink the series for CI smoke runs.
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use toreador_bench::table_header;
+use toreador_data::generate::clickstream;
+use toreador_data::table::Table;
+use toreador_dataflow::expr::{col, lit, Expr, Func};
+use toreador_dataflow::logical::Dataflow;
+use toreador_dataflow::session::{Engine, EngineConfig};
+use toreador_dataflow::vexpr::BoundExpr;
+
+/// Rows in the kernel-level series; the engine series reuses the table.
+fn series_rows() -> usize {
+    if quick() {
+        100_000
+    } else {
+        1_000_000
+    }
+}
+
+fn quick() -> bool {
+    std::env::var("E10_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// The narrow chain both series run: a selective predicate over a
+/// nullable Float and a Str column, then three projections exercising
+/// the Float, Int, and Str kernels.
+fn predicate() -> Expr {
+    col("price")
+        .gt(lit(50.0))
+        .and(col("action").not_eq(lit("view")))
+}
+
+fn projections() -> Vec<(&'static str, Expr)> {
+    vec![
+        ("revenue", col("price").mul(lit(0.85))),
+        ("account", col("user_id").add(col("product_id"))),
+        ("tag_len", Expr::call(Func::Length, vec![col("category")])),
+    ]
+}
+
+/// Row oracle: boolean mask via the row interpreter, materialise the
+/// kept rows, then interpret every projection row by row.
+fn run_row_oracle(t: &Table, pred: &Expr, projs: &[(&str, Expr)]) -> usize {
+    let mask = pred.eval_mask_checked(t).expect("oracle mask");
+    let kept = t.filter(&mask).expect("oracle filter");
+    for (_, e) in projs {
+        black_box(e.eval_table(&kept).expect("oracle projection"));
+    }
+    kept.num_rows()
+}
+
+/// Vectorized path: selection vector from the bound predicate, a single
+/// gather, then one batch kernel per bound projection. Binding happens
+/// once outside the timed region — that is the plan-time contract.
+fn run_vectorized(t: &Table, pred: &BoundExpr, projs: &[BoundExpr]) -> usize {
+    let sel = pred.eval_selection(t).expect("bound selection");
+    let kept = t.take_sel(&sel).expect("gather");
+    for b in projs {
+        black_box(b.eval_column(&kept).expect("bound projection"));
+    }
+    kept.num_rows()
+}
+
+fn best_of<F: FnMut() -> usize>(reps: usize, mut f: F) -> (Duration, usize) {
+    let mut best = Duration::MAX;
+    let mut rows = 0;
+    for _ in 0..reps {
+        let started = Instant::now();
+        rows = f();
+        best = best.min(started.elapsed());
+    }
+    (best, rows)
+}
+
+/// Build the filter+project flow the engine series measures.
+fn narrow_flow(engine: &Engine) -> Dataflow {
+    engine
+        .flow("clicks")
+        .expect("dataset registered")
+        .filter(predicate())
+        .expect("filter binds")
+        .project(projections())
+        .expect("projection binds")
+}
+
+fn engine_with(vectorized: bool, fused: bool, data: Table) -> Engine {
+    let mut engine = Engine::new(
+        EngineConfig::default()
+            .with_threads(4)
+            .with_partitions(4)
+            .with_vectorized(vectorized)
+            .with_fuse_narrow(fused),
+    );
+    engine.register("clicks", data).expect("register");
+    engine
+}
+
+fn print_series() {
+    let rows = series_rows();
+    let reps = if quick() { 2 } else { 3 };
+    table_header(
+        "E10",
+        "vectorized filter+project vs the row oracle, and what fusion journals",
+    );
+
+    // (1) Kernel-level: one partition, binding hoisted out of the loop.
+    let t = clickstream(rows, 42);
+    let pred = predicate();
+    let projs = projections();
+    let bound_pred = BoundExpr::bind(&pred, t.schema()).expect("predicate binds");
+    let bound_projs: Vec<BoundExpr> = projs
+        .iter()
+        .map(|(_, e)| BoundExpr::bind(e, t.schema()).expect("projection binds"))
+        .collect();
+
+    let (row_t, row_rows) = best_of(reps, || run_row_oracle(&t, &pred, &projs));
+    let (vec_t, vec_rows) = best_of(reps, || run_vectorized(&t, &bound_pred, &bound_projs));
+    assert_eq!(row_rows, vec_rows, "both paths keep the same rows");
+
+    eprintln!(
+        "{:>28} {:>12} {:>10} {:>9}",
+        "kernel series", "elapsed ms", "rows kept", "speedup"
+    );
+    eprintln!(
+        "{:>28} {:>12.2} {:>10} {:>9}",
+        "row oracle",
+        row_t.as_secs_f64() * 1e3,
+        row_rows,
+        "1.0x"
+    );
+    eprintln!(
+        "{:>28} {:>12.2} {:>10} {:>8.1}x",
+        "vectorized (bound)",
+        vec_t.as_secs_f64() * 1e3,
+        vec_rows,
+        row_t.as_secs_f64() / vec_t.as_secs_f64()
+    );
+
+    // (2) Engine-level: the same chain through the scheduler under the
+    // three execution modes, plus the batch counts each mode journals.
+    eprintln!(
+        "{:>28} {:>12} {:>10} {:>9}",
+        "engine series", "elapsed ms", "batches", "speedup"
+    );
+    let mut baseline = None;
+    for (label, vectorized, fused) in [
+        ("row-at-a-time", false, false),
+        ("vectorized, unfused", true, false),
+        ("vectorized + fused", true, true),
+    ] {
+        let engine = engine_with(vectorized, fused, t.clone());
+        let flow = narrow_flow(&engine);
+        let mut best = Duration::MAX;
+        let mut batches = 0u64;
+        let mut any_fused = false;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let result = engine.run(&flow).expect("run succeeds");
+            best = best.min(started.elapsed());
+            batches = result.trace.operator_batches().values().map(|b| b.0).sum();
+            any_fused = result.trace.operator_batches().values().any(|b| b.1);
+        }
+        let base = *baseline.get_or_insert(best);
+        eprintln!(
+            "{:>28} {:>12.2} {:>7} {:>2} {:>8.1}x",
+            label,
+            best.as_secs_f64() * 1e3,
+            batches,
+            if any_fused { "f" } else { "" },
+            base.as_secs_f64() / best.as_secs_f64()
+        );
+    }
+    eprintln!("  (batches: journalled OperatorBatches totals; f = fused chain)");
+}
+
+fn bench_vectorized(c: &mut Criterion) {
+    print_series();
+
+    // Stable statistics on a smaller table so criterion's iteration
+    // calibration stays cheap.
+    let t = clickstream(if quick() { 20_000 } else { 100_000 }, 7);
+    let pred = predicate();
+    let projs = projections();
+    let bound_pred = BoundExpr::bind(&pred, t.schema()).expect("predicate binds");
+    let bound_projs: Vec<BoundExpr> = projs
+        .iter()
+        .map(|(_, e)| BoundExpr::bind(e, t.schema()).expect("projection binds"))
+        .collect();
+
+    let mut group = c.benchmark_group("e10_filter_project");
+    group.sample_size(10);
+    group.bench_function("row_oracle", |b| {
+        b.iter(|| run_row_oracle(&t, &pred, &projs))
+    });
+    group.bench_function("vectorized", |b| {
+        b.iter(|| run_vectorized(&t, &bound_pred, &bound_projs))
+    });
+    let engine = engine_with(true, true, t.clone());
+    let flow = narrow_flow(&engine);
+    group.bench_function("engine_fused", |b| {
+        b.iter(|| engine.run(&flow).expect("run succeeds").table.num_rows())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vectorized);
+criterion_main!(benches);

@@ -80,6 +80,47 @@ impl Validity {
         debug_assert!(index < self.len);
         (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
+
+    /// Borrow the packed 64-bit words (bit `i % 64` of word `i / 64` is set
+    /// when slot `i` is valid; tail bits past `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Build a bitmap from packed words. Tail bits past `len` are masked
+    /// off and the null count is recomputed from the bits.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        let mut v = Validity {
+            words,
+            len,
+            null_count: 0,
+        };
+        v.words.resize(len.div_ceil(64), 0);
+        v.words.truncate(len.div_ceil(64));
+        v.mask_tail();
+        let ones: usize = v.words.iter().map(|w| w.count_ones() as usize).sum();
+        v.null_count = len - ones;
+        v
+    }
+
+    /// Word-wise intersection: valid where both inputs are valid. The null
+    /// propagation step of every binary batch kernel.
+    pub fn and(&self, other: &Validity) -> Validity {
+        debug_assert_eq!(self.len, other.len);
+        if self.null_count == 0 {
+            return other.clone();
+        }
+        if other.null_count == 0 {
+            return self.clone();
+        }
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        Validity::from_words(words, self.len)
+    }
 }
 
 impl Default for Validity {
@@ -315,14 +356,67 @@ impl Column {
         (0..self.len()).map(move |i| self.value(i).expect("index in range"))
     }
 
-    /// Gather the rows at `indices` into a new column.
+    /// Gather the rows at `indices` into a new column (typed fast path, no
+    /// per-row `Value` materialization).
     pub fn take(&self, indices: &[usize]) -> Result<Column> {
-        let mut out = Column::with_capacity(self.data_type(), indices.len());
-        for &i in indices {
-            let v = self.value(i)?;
-            out.push(&v)?;
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.len()) {
+            return Err(DataError::RowIndexOutOfBounds {
+                index: bad,
+                len: self.len(),
+            });
         }
-        Ok(out)
+        Ok(self.gather(indices.iter().copied()))
+    }
+
+    /// Gather by a selection vector (bounds checked in debug builds only —
+    /// callers produce selections from this column's own row range).
+    pub fn take_sel(&self, sel: &[u32]) -> Column {
+        debug_assert!(sel.iter().all(|&i| (i as usize) < self.len()));
+        self.gather(sel.iter().map(|&i| i as usize))
+    }
+
+    fn gather(&self, indices: impl Iterator<Item = usize> + Clone) -> Column {
+        fn pick<T: Clone + Default>(
+            data: &[T],
+            validity: &Validity,
+            indices: impl Iterator<Item = usize> + Clone,
+        ) -> (Vec<T>, Validity) {
+            if validity.null_count() == 0 {
+                let out: Vec<T> = indices.map(|i| data[i].clone()).collect();
+                let v = Validity::all_valid(out.len());
+                (out, v)
+            } else {
+                let mut out = Vec::with_capacity(indices.size_hint().0);
+                let mut v = Validity::new();
+                for i in indices {
+                    out.push(data[i].clone());
+                    v.push(validity.get(i));
+                }
+                (out, v)
+            }
+        }
+        match self {
+            Column::Bool { data, validity } => {
+                let (data, validity) = pick(data, validity, indices);
+                Column::Bool { data, validity }
+            }
+            Column::Int { data, validity } => {
+                let (data, validity) = pick(data, validity, indices);
+                Column::Int { data, validity }
+            }
+            Column::Float { data, validity } => {
+                let (data, validity) = pick(data, validity, indices);
+                Column::Float { data, validity }
+            }
+            Column::Str { data, validity } => {
+                let (data, validity) = pick(data, validity, indices);
+                Column::Str { data, validity }
+            }
+            Column::Timestamp { data, validity } => {
+                let (data, validity) = pick(data, validity, indices);
+                Column::Timestamp { data, validity }
+            }
+        }
     }
 
     /// Keep rows where `mask[i]` is true. `mask.len()` must equal `len()`.
@@ -333,14 +427,12 @@ impl Column {
                 found: mask.len(),
             });
         }
-        let keep = mask.iter().filter(|&&b| b).count();
-        let mut out = Column::with_capacity(self.data_type(), keep);
-        for (i, &k) in mask.iter().enumerate() {
-            if k {
-                out.push(&self.value(i)?)?;
-            }
-        }
-        Ok(out)
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+        Ok(self.gather(indices.iter().copied()))
     }
 
     /// A copy of rows `range.start..range.end`.
@@ -435,6 +527,29 @@ impl Column {
             Column::Str { data, validity } => Ok((data, validity)),
             other => Err(DataError::TypeMismatch {
                 expected: "Str".to_owned(),
+                found: other.data_type().name().to_owned(),
+            }),
+        }
+    }
+
+    /// Borrow the raw bool data (and validity) when this is a Bool column.
+    pub fn as_bools(&self) -> Result<(&[bool], &Validity)> {
+        match self {
+            Column::Bool { data, validity } => Ok((data, validity)),
+            other => Err(DataError::TypeMismatch {
+                expected: "Bool".to_owned(),
+                found: other.data_type().name().to_owned(),
+            }),
+        }
+    }
+
+    /// Borrow the raw timestamp data (and validity) when this is a
+    /// Timestamp column.
+    pub fn as_timestamps(&self) -> Result<(&[i64], &Validity)> {
+        match self {
+            Column::Timestamp { data, validity } => Ok((data, validity)),
+            other => Err(DataError::TypeMismatch {
+                expected: "Timestamp".to_owned(),
                 found: other.data_type().name().to_owned(),
             }),
         }
@@ -541,6 +656,56 @@ mod tests {
         a.extend_from(&Column::from_ints(vec![2, 3])).unwrap();
         assert_eq!(a.len(), 3);
         assert!(a.extend_from(&Column::from_strs(vec!["x"])).is_err());
+    }
+
+    #[test]
+    fn validity_word_views_round_trip() {
+        let mut v = Validity::new();
+        for i in 0..100 {
+            v.push(i % 7 != 0);
+        }
+        let rebuilt = Validity::from_words(v.words().to_vec(), v.len());
+        assert_eq!(rebuilt, v);
+        // from_words masks garbage tail bits and recounts nulls.
+        let noisy = Validity::from_words(vec![u64::MAX, u64::MAX], 70);
+        assert_eq!(noisy.len(), 70);
+        assert_eq!(noisy.null_count(), 0);
+        assert_eq!(noisy.words()[1], (1u64 << 6) - 1);
+    }
+
+    #[test]
+    fn validity_and_intersects() {
+        let mut a = Validity::new();
+        let mut b = Validity::new();
+        for i in 0..130 {
+            a.push(i % 2 == 0);
+            b.push(i % 3 == 0);
+        }
+        let c = a.and(&b);
+        for i in 0..130 {
+            assert_eq!(c.get(i), i % 6 == 0, "slot {i}");
+        }
+        let all = Validity::all_valid(130);
+        assert_eq!(a.and(&all), a);
+        assert_eq!(all.and(&b), b);
+    }
+
+    #[test]
+    fn take_sel_gathers_with_nulls() {
+        let c = Column::from_values(
+            DataType::Int,
+            &[Value::Int(10), Value::Null, Value::Int(30), Value::Int(40)],
+        )
+        .unwrap();
+        let g = c.take_sel(&[3, 1, 0]);
+        assert_eq!(g.value(0).unwrap(), Value::Int(40));
+        assert_eq!(g.value(1).unwrap(), Value::Null);
+        assert_eq!(g.value(2).unwrap(), Value::Int(10));
+        // All-valid fast lane.
+        let c = Column::from_strs(vec!["a", "b", "c"]);
+        let g = c.take_sel(&[2, 2]);
+        assert_eq!(g.value(0).unwrap(), Value::Str("c".into()));
+        assert_eq!(g.null_count(), 0);
     }
 
     #[test]

@@ -10,56 +10,85 @@ use crate::table::{Table, TableBuilder};
 use crate::value::{DataType, Value};
 
 /// Split raw CSV text into records of fields, honouring quotes.
+///
+/// Scans raw bytes rather than decoding chars — every delimiter is ASCII,
+/// so multi-byte code points pass through untouched. The field between two
+/// delimiters is a contiguous run sliced straight out of the input; one
+/// reused scratch buffer stitches together the fields that can't be a
+/// single slice (quoted content, `""` escapes, dropped `\r`).
 fn tokenize(input: &str) -> Result<Vec<Vec<String>>> {
+    // Finish the pending field: the scratch prefix (if any) plus the clean
+    // run `input[start..end]`. Leaves `scratch` empty but with its capacity
+    // intact for the next stitched field.
+    fn take(scratch: &mut String, input: &str, start: usize, end: usize) -> String {
+        if scratch.is_empty() {
+            input[start..end].to_owned()
+        } else {
+            scratch.push_str(&input[start..end]);
+            let field = scratch.clone();
+            scratch.clear();
+            field
+        }
+    }
+
+    let bytes = input.as_bytes();
     let mut records = Vec::new();
     let mut record: Vec<String> = Vec::new();
-    let mut field = String::new();
-    let mut chars = input.chars().peekable();
+    let mut scratch = String::new();
+    let mut start = 0usize; // start of the current clean run
     let mut in_quotes = false;
     let mut line = 1usize;
-    let mut saw_any = false;
+    let mut i = 0usize;
 
-    while let Some(c) = chars.next() {
-        saw_any = true;
+    while i < bytes.len() {
         if in_quotes {
-            match c {
-                '"' => {
-                    if chars.peek() == Some(&'"') {
-                        chars.next();
-                        field.push('"');
+            match bytes[i] {
+                b'"' => {
+                    if bytes.get(i + 1) == Some(&b'"') {
+                        // `""` escape: keep the first quote, skip the second.
+                        scratch.push_str(&input[start..=i]);
+                        start = i + 2;
+                        i += 1;
                     } else {
+                        scratch.push_str(&input[start..i]);
                         in_quotes = false;
+                        start = i + 1;
                     }
                 }
-                '\n' => {
-                    line += 1;
-                    field.push('\n');
-                }
-                other => field.push(other),
+                b'\n' => line += 1, // stays in the run
+                _ => {}
             }
         } else {
-            match c {
-                '"' => {
-                    if !field.is_empty() {
+            match bytes[i] {
+                b'"' => {
+                    if !scratch.is_empty() || i > start {
                         return Err(DataError::Parse {
                             line,
                             message: "quote inside unquoted field".to_owned(),
                         });
                     }
                     in_quotes = true;
+                    start = i + 1;
                 }
-                ',' => {
-                    record.push(std::mem::take(&mut field));
+                b',' => {
+                    record.push(take(&mut scratch, input, start, i));
+                    start = i + 1;
                 }
-                '\r' => {} // tolerate CRLF
-                '\n' => {
-                    record.push(std::mem::take(&mut field));
+                b'\r' => {
+                    // Tolerate CRLF: drop the CR, splice the runs around it.
+                    scratch.push_str(&input[start..i]);
+                    start = i + 1;
+                }
+                b'\n' => {
+                    record.push(take(&mut scratch, input, start, i));
                     records.push(std::mem::take(&mut record));
                     line += 1;
+                    start = i + 1;
                 }
-                other => field.push(other),
+                _ => {}
             }
         }
+        i += 1;
     }
     if in_quotes {
         return Err(DataError::Parse {
@@ -67,8 +96,9 @@ fn tokenize(input: &str) -> Result<Vec<Vec<String>>> {
             message: "unterminated quote".to_owned(),
         });
     }
-    if saw_any && (!field.is_empty() || !record.is_empty()) {
-        record.push(field);
+    let field_empty = scratch.is_empty() && start >= bytes.len();
+    if !bytes.is_empty() && (!field_empty || !record.is_empty()) {
+        record.push(take(&mut scratch, input, start, bytes.len()));
         records.push(record);
     }
     Ok(records)
@@ -307,6 +337,41 @@ mod tests {
         let t = read_csv("a,b\r\n1,2\r\n3,4").unwrap();
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.value(1, "b").unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn cr_dropped_outside_quotes_kept_inside() {
+        // A stray CR mid-field disappears; one inside quotes survives.
+        let t = read_csv("a,b\nx\ry,\"p\rq\"\n").unwrap();
+        assert_eq!(t.value(0, "a").unwrap(), Value::Str("xy".into()));
+        assert_eq!(t.value(0, "b").unwrap(), Value::Str("p\rq".into()));
+    }
+
+    #[test]
+    fn multibyte_fields_survive_byte_scanning() {
+        let t = read_csv("name,quote\nhéllo wörld,\"später, \"\"ja\"\"\"\n").unwrap();
+        assert_eq!(
+            t.value(0, "name").unwrap(),
+            Value::Str("héllo wörld".into())
+        );
+        assert_eq!(
+            t.value(0, "quote").unwrap(),
+            Value::Str("später, \"ja\"".into())
+        );
+    }
+
+    #[test]
+    fn quote_error_reports_line_after_embedded_newlines() {
+        // The embedded newline inside quotes still advances the line count
+        // used by later errors.
+        let err = read_csv("a\n\"x\ny\"\nbad\"\n").unwrap_err();
+        match err {
+            DataError::Parse { line, message } => {
+                assert_eq!(line, 4);
+                assert_eq!(message, "quote inside unquoted field");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -153,6 +153,19 @@ impl Table {
         Table::new(self.schema.clone(), columns)
     }
 
+    /// Gather rows by a selection vector (the vectorized engine's
+    /// replacement for boolean masks; indices may repeat / reorder).
+    pub fn take_sel(&self, sel: &[u32]) -> Result<Table> {
+        if let Some(&bad) = sel.iter().find(|&&i| i as usize >= self.rows) {
+            return Err(DataError::RowIndexOutOfBounds {
+                index: bad as usize,
+                len: self.rows,
+            });
+        }
+        let columns = self.columns.iter().map(|c| c.take_sel(sel)).collect();
+        Table::new(self.schema.clone(), columns)
+    }
+
     /// Gather the rows at `indices` (may repeat / reorder).
     pub fn take(&self, indices: &[usize]) -> Result<Table> {
         let columns = self
@@ -429,6 +442,15 @@ mod tests {
         );
         assert!(t.row(3).is_err());
         assert_eq!(t.iter_rows().count(), 3);
+    }
+
+    #[test]
+    fn take_sel_matches_take() {
+        let t = people();
+        let sel = [2u32, 0, 2];
+        let indices = [2usize, 0, 2];
+        assert_eq!(t.take_sel(&sel).unwrap(), t.take(&indices).unwrap());
+        assert!(t.take_sel(&[3]).is_err());
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub enum BinOp {
 }
 
 impl BinOp {
-    fn symbol(self) -> &'static str {
+    pub(crate) fn symbol(self) -> &'static str {
         match self {
             BinOp::Add => "+",
             BinOp::Sub => "-",
@@ -53,14 +53,14 @@ impl BinOp {
         }
     }
 
-    fn is_comparison(self) -> bool {
+    pub(crate) fn is_comparison(self) -> bool {
         matches!(
             self,
             BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
         )
     }
 
-    fn is_arithmetic(self) -> bool {
+    pub(crate) fn is_arithmetic(self) -> bool {
         matches!(
             self,
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
@@ -461,7 +461,7 @@ impl Expr {
                     },
                     UnOp::Neg => match v {
                         Value::Null => Ok(Value::Null),
-                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
                         Value::Float(x) => Ok(Value::Float(-x)),
                         other => Err(runtime_type("numeric", &other)),
                     },
@@ -502,6 +502,18 @@ impl Expr {
     /// Evaluate over a whole table, producing a column of the inferred type.
     pub fn eval_table(&self, table: &Table) -> Result<Column> {
         let ty = self.infer_type(table.schema())?;
+        self.eval_table_typed(table, ty)
+    }
+
+    /// Like [`Self::eval_table`], but with the output type already resolved
+    /// at plan time — execution only debug-asserts it, so per-partition
+    /// tasks skip the full inference walk.
+    pub fn eval_table_typed(&self, table: &Table, ty: DataType) -> Result<Column> {
+        debug_assert_eq!(
+            self.infer_type(table.schema()).ok(),
+            Some(ty),
+            "plan-time type must match inference for {self}"
+        );
         let mut out = Column::with_capacity(ty, table.num_rows());
         for row in table.iter_rows() {
             let v = self.eval(table.schema(), &row)?;
@@ -520,6 +532,17 @@ impl Expr {
                 "predicate must be Bool, got {ty}"
             )));
         }
+        self.eval_mask_checked(table)
+    }
+
+    /// Like [`Self::eval_mask`], for predicates already type-checked as
+    /// Bool at plan time (only a debug assert re-runs inference).
+    pub fn eval_mask_checked(&self, table: &Table) -> Result<Vec<bool>> {
+        debug_assert_eq!(
+            self.infer_type(table.schema()).ok(),
+            Some(DataType::Bool),
+            "predicate must be plan-checked as Bool: {self}"
+        );
         let mut mask = Vec::with_capacity(table.num_rows());
         for row in table.iter_rows() {
             mask.push(matches!(
@@ -538,7 +561,7 @@ fn runtime_type(expected: &str, found: &Value) -> FlowError {
     ))
 }
 
-fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     use BinOp::*;
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
@@ -610,7 +633,7 @@ fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     }
 }
 
-fn eval_func(func: Func, v: &Value) -> Result<Value> {
+pub(crate) fn eval_func(func: Func, v: &Value) -> Result<Value> {
     Ok(match func {
         Func::Abs => match v {
             Value::Int(i) => Value::Int(i.wrapping_abs()),
@@ -643,7 +666,7 @@ fn eval_func(func: Func, v: &Value) -> Result<Value> {
     })
 }
 
-fn cast_value(v: &Value, to: DataType) -> Result<Value> {
+pub(crate) fn cast_value(v: &Value, to: DataType) -> Result<Value> {
     if v.is_null() {
         return Ok(Value::Null);
     }

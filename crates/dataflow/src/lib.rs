@@ -4,7 +4,9 @@
 //! the Spark/Hadoop backend the TOREADOR platform deployed onto (DESIGN.md
 //! §2). The layering mirrors DataFusion/Spark:
 //!
-//! 1. [`expr`] — typed scalar expressions;
+//! 1. [`expr`] — typed scalar expressions; [`vexpr`] — the same
+//!    expressions bound against a schema at plan time and evaluated in
+//!    batches over columns with selection vectors;
 //! 2. [`logical`] — the `Dataflow` builder and `LogicalPlan` tree;
 //! 3. [`optimizer`] — rule-based rewrites (constant folding, filter merging,
 //!    predicate pushdown, projection pruning), individually toggleable for
@@ -55,6 +57,7 @@ pub mod session;
 pub mod shuffle;
 pub mod stream;
 pub mod trace;
+pub mod vexpr;
 
 /// Convenient glob import of the engine's public surface.
 pub mod prelude {
@@ -70,4 +73,5 @@ pub mod prelude {
     pub use crate::session::{Engine, EngineConfig, RunResult};
     pub use crate::stream::{run_stream, MicroBatcher, StreamRun, StreamState};
     pub use crate::trace::{ResilienceTotals, RunTrace, TraceEvent, TraceEventKind, TraceSummary};
+    pub use crate::vexpr::BoundExpr;
 }

@@ -124,6 +124,31 @@ impl MetricsCollector {
         });
     }
 
+    /// Record batches evaluated by a narrow operator. Journal-only: the
+    /// derived [`RunMetrics`] ignore it, so runs under different engine
+    /// modes stay metrics-compatible while their traces diff the counts.
+    pub fn record_operator_batches(
+        &self,
+        operator: impl Into<String>,
+        stage: usize,
+        batches: u64,
+        fused: bool,
+    ) {
+        self.journal.record(TraceEventKind::OperatorBatches {
+            operator: operator.into(),
+            stage,
+            batches,
+            fused,
+        });
+    }
+
+    /// Record that a chain of narrow operators fused into one pass.
+    /// Journal-only, like [`Self::record_operator_batches`].
+    pub fn record_fused_chain(&self, stage: usize, operators: Vec<String>) {
+        self.journal
+            .record(TraceEventKind::NarrowChainFused { stage, operators });
+    }
+
     /// A task attempt began on a worker.
     pub fn task_started(&self, stage: usize, partition: usize, attempt: u32) {
         self.journal.record(TraceEventKind::TaskStarted {

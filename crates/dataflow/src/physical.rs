@@ -15,11 +15,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use toreador_data::column::Column;
 use toreador_data::partition::{PartitionedTable, Partitioning};
 use toreador_data::schema::{Field, Schema};
 use toreador_data::table::{Table, TableBuilder};
@@ -32,6 +34,7 @@ use crate::metrics::MetricsCollector;
 use crate::resilience::RunControl;
 use crate::scheduler::{run_stage_controlled, SchedulerConfig};
 use crate::shuffle::shuffle_traced;
+use crate::vexpr::BoundExpr;
 
 /// Execution-time configuration.
 #[derive(Debug, Clone)]
@@ -41,6 +44,17 @@ pub struct ExecConfig {
     pub partitions: usize,
     /// Map-side combine for aggregations (ablation knob).
     pub partial_aggregation: bool,
+    /// Evaluate narrow-operator expressions with the vectorized engine
+    /// ([`crate::vexpr`]): bind once at plan time, run batch kernels over
+    /// columns, produce selection vectors. When off, the row-at-a-time
+    /// interpreter runs instead — kept as the differential-testing oracle
+    /// and the baseline for benchmark E10 (ablation knob).
+    pub vectorized: bool,
+    /// Fuse chains of narrow operators (Filter/Project/Sample) into a
+    /// single per-partition pass with no intermediate tables. Requires
+    /// `vectorized`; fusion is declined for chains shorter than two
+    /// operators (ablation knob).
+    pub fuse_narrow: bool,
 }
 
 impl Default for ExecConfig {
@@ -49,6 +63,8 @@ impl Default for ExecConfig {
             scheduler: SchedulerConfig::default(),
             partitions: 4,
             partial_aggregation: true,
+            vectorized: true,
+            fuse_narrow: true,
         }
     }
 }
@@ -108,15 +124,51 @@ impl<'a> ExecContext<'a> {
 
 /// Execute a logical plan to a partitioned result.
 pub fn execute(ctx: &ExecContext<'_>, plan: &LogicalPlan) -> Result<PartitionedTable> {
+    // Fuse chains of two or more narrow operators into one per-partition
+    // pass. Recursion enters every plan node through here, so the topmost
+    // node of each chain triggers the fusion and consumes the whole chain.
+    if ctx.config.vectorized && ctx.config.fuse_narrow {
+        let (chain, below) = narrow_chain(plan);
+        if chain.len() >= 2 {
+            return exec_fused_chain(ctx, &chain, below);
+        }
+    }
     let started = Instant::now();
     let out = match plan {
         LogicalPlan::Scan { dataset, schema } => exec_scan(ctx, dataset, schema),
         LogicalPlan::Filter { input, predicate } => {
             let child = execute(ctx, input)?;
-            exec_narrow(ctx, child, plan.describe(), |t| {
-                let mask = predicate.eval_mask(t)?;
-                t.filter(&mask).map_err(FlowError::Data)
-            })
+            let batches = child.num_partitions() as u64;
+            if ctx.config.vectorized {
+                // Bind once at plan time: names resolved, types inferred,
+                // batch kernels selected — nothing re-derived per task.
+                let bound = BoundExpr::bind(predicate, input.schema())?;
+                ctx.metrics.record_operator_batches(
+                    plan.describe(),
+                    ctx.current_stage(),
+                    batches,
+                    false,
+                );
+                exec_narrow(ctx, child, plan.describe(), move |t| {
+                    let sel = bound.eval_selection(t)?;
+                    t.take_sel(&sel).map_err(FlowError::Data)
+                })
+            } else {
+                // Row oracle: type-check hoisted out of the per-partition
+                // tasks (it used to re-run inside every eval_mask call).
+                let ty = predicate.infer_type(input.schema())?;
+                if ty != DataType::Bool {
+                    return Err(FlowError::TypeCheck(format!(
+                        "predicate must be Bool, got {ty}"
+                    )));
+                }
+                ctx.metrics
+                    .record_operator_batches(plan.describe(), ctx.current_stage(), 0, false);
+                exec_narrow(ctx, child, plan.describe(), |t| {
+                    let mask = predicate.eval_mask_checked(t)?;
+                    t.filter(&mask).map_err(FlowError::Data)
+                })
+            }
         }
         LogicalPlan::Project {
             input,
@@ -124,9 +176,32 @@ pub fn execute(ctx: &ExecContext<'_>, plan: &LogicalPlan) -> Result<PartitionedT
             schema,
         } => {
             let child = execute(ctx, input)?;
-            exec_narrow(ctx, child, plan.describe(), |t| {
-                project_table(t, exprs, schema)
-            })
+            let batches = child.num_partitions() as u64;
+            if ctx.config.vectorized {
+                let bound = exprs
+                    .iter()
+                    .map(|(_, e)| BoundExpr::bind(e, input.schema()))
+                    .collect::<Result<Vec<_>>>()?;
+                ctx.metrics.record_operator_batches(
+                    plan.describe(),
+                    ctx.current_stage(),
+                    batches,
+                    false,
+                );
+                exec_narrow(ctx, child, plan.describe(), move |t| {
+                    project_vectorized(t, &bound, schema)
+                })
+            } else {
+                let tys = exprs
+                    .iter()
+                    .map(|(_, e)| e.infer_type(input.schema()))
+                    .collect::<Result<Vec<_>>>()?;
+                ctx.metrics
+                    .record_operator_batches(plan.describe(), ctx.current_stage(), 0, false);
+                exec_narrow(ctx, child, plan.describe(), move |t| {
+                    project_table_typed(t, exprs, &tys, schema)
+                })
+            }
         }
         LogicalPlan::Sample {
             input,
@@ -134,14 +209,31 @@ pub fn execute(ctx: &ExecContext<'_>, plan: &LogicalPlan) -> Result<PartitionedT
             seed,
         } => {
             let child = execute(ctx, input)?;
+            let batches = child.num_partitions() as u64;
             let fraction = *fraction;
             let seed = *seed;
+            let vectorized = ctx.config.vectorized;
+            ctx.metrics.record_operator_batches(
+                plan.describe(),
+                ctx.current_stage(),
+                if vectorized { batches } else { 0 },
+                false,
+            );
             // Partition index participates in the seed so each partition
-            // draws an independent, reproducible stream.
+            // draws an independent, reproducible stream. Both modes draw
+            // once per input row in order, so they keep identical rows.
             exec_narrow_indexed(ctx, child, plan.describe(), move |t, idx| {
                 let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9e37));
-                let mask: Vec<bool> = (0..t.num_rows()).map(|_| rng.gen_bool(fraction)).collect();
-                t.filter(&mask).map_err(FlowError::Data)
+                if vectorized {
+                    let sel: Vec<u32> = (0..t.num_rows() as u32)
+                        .filter(|_| rng.gen_bool(fraction))
+                        .collect();
+                    t.take_sel(&sel).map_err(FlowError::Data)
+                } else {
+                    let mask: Vec<bool> =
+                        (0..t.num_rows()).map(|_| rng.gen_bool(fraction)).collect();
+                    t.filter(&mask).map_err(FlowError::Data)
+                }
             })
         }
         LogicalPlan::Aggregate {
@@ -281,14 +373,207 @@ fn exec_narrow_indexed(
     PartitionedTable::new(outputs, Partitioning::Arbitrary).map_err(FlowError::Data)
 }
 
-fn project_table(t: &Table, exprs: &[(String, Expr)], schema: &Schema) -> Result<Table> {
+/// Row-oracle projection with types resolved at plan time.
+fn project_table_typed(
+    t: &Table,
+    exprs: &[(String, Expr)],
+    tys: &[DataType],
+    schema: &Schema,
+) -> Result<Table> {
     let mut columns = Vec::with_capacity(exprs.len());
-    for ((_, e), field) in exprs.iter().zip(schema.fields()) {
-        let col = e.eval_table(t)?;
+    for (((_, e), &ty), field) in exprs.iter().zip(tys).zip(schema.fields()) {
+        let col = e.eval_table_typed(t, ty)?;
         debug_assert_eq!(col.data_type(), field.data_type);
         columns.push(col);
     }
     Table::new(schema.clone(), columns).map_err(FlowError::Data)
+}
+
+/// Vectorized projection over pre-bound expressions.
+fn project_vectorized(t: &Table, bound: &[BoundExpr], schema: &Schema) -> Result<Table> {
+    let mut columns = Vec::with_capacity(bound.len());
+    for (b, field) in bound.iter().zip(schema.fields()) {
+        let col = b.eval_column(t)?;
+        debug_assert_eq!(col.data_type(), field.data_type);
+        columns.push(col);
+    }
+    Table::new(schema.clone(), columns).map_err(FlowError::Data)
+}
+
+// ----------------------------------------------------- narrow-chain fusion
+
+/// Walk consecutive narrow operators (Filter/Project/Sample) down from
+/// `plan`. Returns the chain outermost-first plus the first non-narrow node
+/// below it.
+fn narrow_chain(plan: &LogicalPlan) -> (Vec<&LogicalPlan>, &LogicalPlan) {
+    let mut chain = Vec::new();
+    let mut cur = plan;
+    while let LogicalPlan::Filter { input, .. }
+    | LogicalPlan::Project { input, .. }
+    | LogicalPlan::Sample { input, .. } = cur
+    {
+        chain.push(cur);
+        cur = input;
+    }
+    (chain, cur)
+}
+
+/// One compiled step of a fused narrow chain.
+enum FusedStep {
+    Filter(BoundExpr),
+    Project(Vec<BoundExpr>, Schema),
+    Sample { fraction: f64, seed: u64 },
+}
+
+/// Execute a chain of ≥2 narrow operators as one per-partition pass:
+/// filters and samples compose an absolute selection vector, projections
+/// materialize new columns under the selection — no intermediate `Table`
+/// exists between the operators. Narrow operators share the current stage
+/// (no shuffle boundary), so fusion does not change stage numbering, and
+/// each logical node still records its own `OperatorFinished` with the
+/// same describe-string as unfused execution — only the elapsed attribution
+/// differs (summed per-partition busy time instead of wall time).
+fn exec_fused_chain(
+    ctx: &ExecContext<'_>,
+    chain: &[&LogicalPlan],
+    below: &LogicalPlan,
+) -> Result<PartitionedTable> {
+    let child = execute(ctx, below)?;
+    let started = Instant::now();
+    let stage = ctx.current_stage();
+    // Bind bottom-up, tracking the evolving schema across projections.
+    let mut schema = child.schema().clone();
+    let mut steps: Vec<(FusedStep, String)> = Vec::with_capacity(chain.len());
+    for node in chain.iter().rev() {
+        match node {
+            LogicalPlan::Filter { predicate, .. } => {
+                let b = BoundExpr::bind(predicate, &schema)?;
+                steps.push((FusedStep::Filter(b), node.describe()));
+            }
+            LogicalPlan::Project {
+                exprs, schema: out, ..
+            } => {
+                let bound = exprs
+                    .iter()
+                    .map(|(_, e)| BoundExpr::bind(e, &schema))
+                    .collect::<Result<Vec<_>>>()?;
+                schema = (*out).clone();
+                steps.push((FusedStep::Project(bound, schema.clone()), node.describe()));
+            }
+            LogicalPlan::Sample { fraction, seed, .. } => {
+                steps.push((
+                    FusedStep::Sample {
+                        fraction: *fraction,
+                        seed: *seed,
+                    },
+                    node.describe(),
+                ));
+            }
+            _ => unreachable!("narrow_chain only collects narrow nodes"),
+        }
+    }
+    // Per-step (rows_out, busy) accumulated across partition tasks.
+    let stats: Vec<Mutex<(u64, Duration)>> = steps
+        .iter()
+        .map(|_| Mutex::new((0, Duration::ZERO)))
+        .collect();
+    let parts = child.into_parts();
+    let steps_ref = &steps;
+    let stats_ref = &stats;
+    let tasks: Vec<_> = parts
+        .iter()
+        .enumerate()
+        .map(|(idx, t)| move || run_fused_partition(t, idx, steps_ref, stats_ref))
+        .collect();
+    let outputs = ctx.run_stage(stage, tasks)?;
+    let batches = outputs.len() as u64;
+    // Record per-node metrics in execution (innermost-first) order, exactly
+    // as the unfused path would have.
+    for ((_, desc), stat) in steps.iter().zip(&stats) {
+        let (rows, busy) = *stat.lock();
+        ctx.metrics.record_node(desc.clone(), stage, rows, busy, 0);
+        ctx.metrics
+            .record_operator_batches(desc.clone(), stage, batches, true);
+    }
+    ctx.metrics
+        .record_fused_chain(stage, steps.iter().map(|(_, d)| d.clone()).collect());
+    let _ = started;
+    PartitionedTable::new(outputs, Partitioning::Arbitrary).map_err(FlowError::Data)
+}
+
+/// Run every step of a fused chain over one partition. State is the current
+/// column set plus an optional selection of surviving row indices; filters
+/// and samples narrow the selection, projections materialize it away.
+fn run_fused_partition(
+    t: &Table,
+    idx: usize,
+    steps: &[(FusedStep, String)],
+    stats: &[Mutex<(u64, Duration)>],
+) -> Result<Table> {
+    let n = t.num_rows();
+    // (columns, schema, rows) after the last projection, if any; before
+    // that the input table's columns are borrowed untouched.
+    let mut owned: Option<(Vec<Column>, Schema, usize)> = None;
+    let mut sel: Option<Vec<u32>> = None;
+    for ((step, _), stat) in steps.iter().zip(stats) {
+        let t0 = Instant::now();
+        let (cols, rows_total): (&[Column], usize) = match &owned {
+            Some((c, _, r)) => (c.as_slice(), *r),
+            None => (t.columns(), n),
+        };
+        match step {
+            FusedStep::Filter(b) => {
+                sel = Some(b.selection_cols(cols, rows_total, sel.as_deref())?);
+            }
+            FusedStep::Project(bound, out_schema) => {
+                let m = sel.as_ref().map_or(rows_total, |s| s.len());
+                let mut new_cols = Vec::with_capacity(bound.len());
+                for b in bound {
+                    let col = b
+                        .eval_cols(cols, rows_total, sel.as_deref())?
+                        .into_column(b.output_type(), m)?;
+                    new_cols.push(col);
+                }
+                owned = Some((new_cols, out_schema.clone(), m));
+                sel = None;
+            }
+            FusedStep::Sample { fraction, seed } => {
+                // Same seeding and one draw per surviving row in order, so
+                // fused sampling keeps exactly the rows unfused would.
+                let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9e37));
+                let kept: Vec<u32> = match &sel {
+                    Some(s) => s
+                        .iter()
+                        .copied()
+                        .filter(|_| rng.gen_bool(*fraction))
+                        .collect(),
+                    None => (0..rows_total as u32)
+                        .filter(|_| rng.gen_bool(*fraction))
+                        .collect(),
+                };
+                sel = Some(kept);
+            }
+        }
+        let rows_now = match (&sel, &owned) {
+            (Some(s), _) => s.len(),
+            (None, Some((_, _, r))) => *r,
+            (None, None) => n,
+        } as u64;
+        let mut g = stat.lock();
+        g.0 += rows_now;
+        g.1 += t0.elapsed();
+    }
+    match (owned, sel) {
+        (Some((cols, schema, _)), None) => Table::new(schema, cols).map_err(FlowError::Data),
+        (Some((cols, schema, _)), Some(s)) => Table::new(schema, cols)
+            .map_err(FlowError::Data)?
+            .take_sel(&s)
+            .map_err(FlowError::Data),
+        (None, Some(s)) => t.take_sel(&s).map_err(FlowError::Data),
+        // A ≥2-step chain always sets a selection or owns columns, but
+        // fall through safely for completeness.
+        (None, None) => Ok(t.clone()),
+    }
 }
 
 // ------------------------------------------------------------- aggregation

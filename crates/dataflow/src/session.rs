@@ -29,6 +29,12 @@ pub struct EngineConfig {
     pub partitions: usize,
     pub optimizer: OptimizerConfig,
     pub partial_aggregation: bool,
+    /// Evaluate expressions with the vectorized batch engine (ablation knob:
+    /// `false` falls back to the row-at-a-time oracle interpreter).
+    pub vectorized: bool,
+    /// Fuse Filter→Project→Sample chains into one per-partition pass
+    /// (only effective when `vectorized` is on).
+    pub fuse_narrow: bool,
     /// Retry/deadline/speculation policy and the chaos plan for this engine.
     pub resilience: ResilienceConfig,
 }
@@ -40,6 +46,8 @@ impl Default for EngineConfig {
             partitions: 4,
             optimizer: OptimizerConfig::default(),
             partial_aggregation: true,
+            vectorized: true,
+            fuse_narrow: true,
             resilience: ResilienceConfig::none(),
         }
     }
@@ -78,6 +86,16 @@ impl EngineConfig {
         self
     }
 
+    pub fn with_vectorized(mut self, on: bool) -> Self {
+        self.vectorized = on;
+        self
+    }
+
+    pub fn with_fuse_narrow(mut self, on: bool) -> Self {
+        self.fuse_narrow = on;
+        self
+    }
+
     fn exec_config(&self) -> ExecConfig {
         ExecConfig {
             scheduler: SchedulerConfig {
@@ -86,6 +104,8 @@ impl EngineConfig {
             },
             partitions: self.partitions,
             partial_aggregation: self.partial_aggregation,
+            vectorized: self.vectorized,
+            fuse_narrow: self.fuse_narrow,
         }
     }
 }

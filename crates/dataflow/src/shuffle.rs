@@ -10,6 +10,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use toreador_data::column::{Column, Validity};
 use toreador_data::schema::Schema;
 use toreador_data::table::{Table, TableBuilder};
 use toreador_data::value::{Row, Value};
@@ -125,11 +126,213 @@ pub fn decode_row(buf: &mut Bytes) -> Result<Row> {
 
 /// The hash used to route rows; combines the key columns' stable hashes.
 pub fn route(row: &Row, key_idx: &[usize], targets: usize) -> usize {
-    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h: u64 = ROUTE_SEED;
     for &k in key_idx {
         h = h.rotate_left(5) ^ row[k].hash_code();
     }
     (h % targets as u64) as usize
+}
+
+const ROUTE_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+// FNV-1a over a tagged byte stream. Must stay byte-for-byte identical to
+// `Value::hash_code` so columnar routing agrees with the row-at-a-time
+// `route` above (the differential property tests pin this).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+#[inline]
+fn fnv(bytes: impl IntoIterator<Item = u8>, mut h: u64) -> u64 {
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable hashes for every row of one column, computed lane-at-a-time:
+/// `out[i] == col.value(i).hash_code()` for all `i`, without materialising
+/// a single [`Value`].
+pub fn column_hash_codes(col: &Column) -> Vec<u64> {
+    let null = fnv([0u8], FNV_OFFSET);
+    let hash = |valid: bool, bytes: &mut dyn Iterator<Item = u8>| {
+        if valid {
+            fnv(bytes, FNV_OFFSET)
+        } else {
+            null
+        }
+    };
+    match col {
+        Column::Bool { data, validity } => data
+            .iter()
+            .enumerate()
+            .map(|(i, b)| hash(validity.get(i), &mut [1u8, *b as u8].into_iter()))
+            .collect(),
+        Column::Int { data, validity } => data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                hash(
+                    validity.get(i),
+                    &mut [2u8].into_iter().chain(v.to_le_bytes()),
+                )
+            })
+            .collect(),
+        Column::Float { data, validity } => data
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                if !validity.get(i) {
+                    null
+                } else if x.fract() == 0.0
+                    && x.is_finite()
+                    && *x >= i64::MIN as f64
+                    && *x <= i64::MAX as f64
+                {
+                    // Integral floats hash as their integer value so that
+                    // group-equal values land in the same partition.
+                    fnv(
+                        [2u8].into_iter().chain((*x as i64).to_le_bytes()),
+                        FNV_OFFSET,
+                    )
+                } else {
+                    fnv(
+                        [3u8].into_iter().chain(x.to_bits().to_le_bytes()),
+                        FNV_OFFSET,
+                    )
+                }
+            })
+            .collect(),
+        Column::Str { data, validity } => data
+            .iter()
+            .enumerate()
+            .map(|(i, s)| hash(validity.get(i), &mut [4u8].into_iter().chain(s.bytes())))
+            .collect(),
+        Column::Timestamp { data, validity } => data
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                hash(
+                    validity.get(i),
+                    &mut [5u8].into_iter().chain(t.to_le_bytes()),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Per-row shuffle targets for a whole table, computed column-at-a-time over
+/// the bound key columns. Equal to calling [`route`] on every materialised
+/// row, but touches only the key columns' native lanes.
+pub fn route_rows(t: &Table, key_idx: &[usize], targets: usize) -> Result<Vec<u32>> {
+    let mut acc = vec![ROUTE_SEED; t.num_rows()];
+    for &k in key_idx {
+        let codes = column_hash_codes(t.column_at(k).map_err(FlowError::Data)?);
+        for (h, code) in acc.iter_mut().zip(codes) {
+            *h = h.rotate_left(5) ^ code;
+        }
+    }
+    Ok(acc
+        .into_iter()
+        .map(|h| (h % targets as u64) as u32)
+        .collect())
+}
+
+/// A borrowed typed view of one column, for encoding rows straight out of
+/// the native lanes without building `Value`s.
+enum Lane<'a> {
+    Bool(&'a [bool], &'a Validity),
+    Int(&'a [i64], &'a Validity),
+    Float(&'a [f64], &'a Validity),
+    Str(&'a [String], &'a Validity),
+    Ts(&'a [i64], &'a Validity),
+}
+
+fn lanes(t: &Table) -> Vec<Lane<'_>> {
+    t.columns()
+        .iter()
+        .map(|c| match c {
+            Column::Bool { data, validity } => Lane::Bool(data, validity),
+            Column::Int { data, validity } => Lane::Int(data, validity),
+            Column::Float { data, validity } => Lane::Float(data, validity),
+            Column::Str { data, validity } => Lane::Str(data, validity),
+            Column::Timestamp { data, validity } => Lane::Ts(data, validity),
+        })
+        .collect()
+}
+
+/// Encode row `i` of a table (width-prefixed), producing exactly the same
+/// bytes as [`encode_row`] on the materialised row.
+fn encode_row_at(lanes: &[Lane<'_>], i: usize, buf: &mut BytesMut) {
+    buf.put_u16_le(lanes.len() as u16);
+    for lane in lanes {
+        match lane {
+            Lane::Bool(data, validity) => {
+                if validity.get(i) {
+                    buf.put_u8(TAG_BOOL);
+                    buf.put_u8(data[i] as u8);
+                } else {
+                    buf.put_u8(TAG_NULL);
+                }
+            }
+            Lane::Int(data, validity) => {
+                if validity.get(i) {
+                    buf.put_u8(TAG_INT);
+                    buf.put_i64_le(data[i]);
+                } else {
+                    buf.put_u8(TAG_NULL);
+                }
+            }
+            Lane::Float(data, validity) => {
+                if validity.get(i) {
+                    buf.put_u8(TAG_FLOAT);
+                    buf.put_f64_le(data[i]);
+                } else {
+                    buf.put_u8(TAG_NULL);
+                }
+            }
+            Lane::Str(data, validity) => {
+                if validity.get(i) {
+                    buf.put_u8(TAG_STR);
+                    buf.put_u32_le(data[i].len() as u32);
+                    buf.put_slice(data[i].as_bytes());
+                } else {
+                    buf.put_u8(TAG_NULL);
+                }
+            }
+            Lane::Ts(data, validity) => {
+                if validity.get(i) {
+                    buf.put_u8(TAG_TS);
+                    buf.put_i64_le(data[i]);
+                } else {
+                    buf.put_u8(TAG_NULL);
+                }
+            }
+        }
+    }
+}
+
+/// Mean encoded row width over a small prefix sample, used to pre-size the
+/// per-target encode buffers instead of growing them from empty.
+fn estimate_row_bytes(inputs: &[Table]) -> usize {
+    const SAMPLE: usize = 16;
+    let mut scratch = BytesMut::new();
+    let mut sampled = 0usize;
+    for t in inputs {
+        let lanes = lanes(t);
+        for i in 0..t.num_rows().min(SAMPLE - sampled) {
+            encode_row_at(&lanes, i, &mut scratch);
+            sampled += 1;
+        }
+        if sampled >= SAMPLE {
+            break;
+        }
+    }
+    if sampled == 0 {
+        0
+    } else {
+        scratch.len().div_ceil(sampled)
+    }
 }
 
 /// Result of a shuffle write+read cycle.
@@ -164,18 +367,36 @@ pub fn shuffle(
         .iter()
         .map(|k| schema.index_of(k).map_err(FlowError::Data))
         .collect::<Result<Vec<_>>>()?;
-    let mut buffers: Vec<BytesMut> = (0..targets).map(|_| BytesMut::new()).collect();
+    // Pre-size each target buffer for its expected share of the encoded
+    // bytes (plus skew slack) so the hot loop never reallocates.
+    let total_rows: usize = inputs.iter().map(Table::num_rows).sum();
+    let row_bytes = estimate_row_bytes(inputs);
+    let mut buffers: Vec<BytesMut> = (0..targets)
+        .map(|i| {
+            let share = if key_idx.is_empty() {
+                // Keyless shuffle gathers everything into partition 0.
+                if i == 0 {
+                    total_rows
+                } else {
+                    0
+                }
+            } else {
+                total_rows / targets + total_rows / (targets * 8) + 1
+            };
+            BytesMut::with_capacity(share * row_bytes)
+        })
+        .collect();
     let mut counts = vec![0usize; targets];
     for t in inputs {
-        for row in t.iter_rows() {
-            let target = if key_idx.is_empty() {
-                // Keyless shuffle: gather everything into partition 0
-                // (used by Sort/Limit collection).
-                0
-            } else {
-                route(&row, &key_idx, targets)
-            };
-            encode_row(&row, &mut buffers[target]);
+        let lanes = lanes(t);
+        let routes = if key_idx.is_empty() {
+            None
+        } else {
+            Some(route_rows(t, &key_idx, targets)?)
+        };
+        for i in 0..t.num_rows() {
+            let target = routes.as_ref().map_or(0, |r| r[i] as usize);
+            encode_row_at(&lanes, i, &mut buffers[target]);
             counts[target] += 1;
         }
     }
@@ -328,6 +549,50 @@ mod tests {
             .expect("a ShuffleWave event");
         assert_eq!(wave, (1, 200, out.bytes_moved, 2, 4));
         assert_eq!(out.rows_moved(), 200);
+    }
+
+    #[test]
+    fn columnar_hashes_match_value_hash_code() {
+        let t = random_table(300, 5, 11);
+        for col in t.columns() {
+            let codes = column_hash_codes(col);
+            for (i, &code) in codes.iter().enumerate() {
+                assert_eq!(code, col.value(i).unwrap().hash_code(), "row {i}");
+            }
+        }
+        // The integral-float rule survives the lane path.
+        let col = Column::Float {
+            data: vec![7.0, 2.5, f64::NAN, -0.0],
+            validity: toreador_data::column::Validity::all_valid(4),
+        };
+        let codes = column_hash_codes(&col);
+        assert_eq!(codes[0], Value::Int(7).hash_code());
+        assert_eq!(codes[1], Value::Float(2.5).hash_code());
+        assert_eq!(codes[2], Value::Float(f64::NAN).hash_code());
+        assert_eq!(codes[3], Value::Int(0).hash_code());
+    }
+
+    #[test]
+    fn columnar_routing_matches_row_route() {
+        let t = random_table(250, 4, 23);
+        let key_idx = vec![0usize, 2, 3];
+        let routes = route_rows(&t, &key_idx, 7).unwrap();
+        for (i, row) in t.iter_rows().enumerate() {
+            assert_eq!(routes[i] as usize, route(&row, &key_idx, 7), "row {i}");
+        }
+    }
+
+    #[test]
+    fn lane_encoding_matches_row_encoding() {
+        let t = random_table(120, 5, 31);
+        let lanes = lanes(&t);
+        for (i, row) in t.iter_rows().enumerate() {
+            let mut by_row = BytesMut::new();
+            encode_row(&row, &mut by_row);
+            let mut by_lane = BytesMut::new();
+            encode_row_at(&lanes, i, &mut by_lane);
+            assert_eq!(by_row.freeze(), by_lane.freeze(), "row {i}");
+        }
     }
 
     #[test]

@@ -123,6 +123,23 @@ pub enum TraceEventKind {
         sources: usize,
         targets: usize,
     },
+    /// Batches evaluated by a narrow operator: one batch per partition
+    /// under the vectorized engine, zero under the row-oracle engine
+    /// (which interprets row-at-a-time). Journal-only — derived
+    /// [`RunMetrics`] ignore it, so engine modes stay metrics-compatible
+    /// while `labs::compare` can still diff the counts.
+    OperatorBatches {
+        operator: String,
+        stage: usize,
+        batches: u64,
+        fused: bool,
+    },
+    /// A chain of narrow operators was fused into a single per-partition
+    /// pass (no intermediate tables between them). Journal-only.
+    NarrowChainFused {
+        stage: usize,
+        operators: Vec<String>,
+    },
     /// The run finalised into a [`RunMetrics`].
     RunFinished {
         total_elapsed_us: u64,
@@ -392,6 +409,28 @@ impl RunTrace {
             } = &e.kind
             {
                 *totals.entry(operator.clone()).or_insert(0) += elapsed_us;
+            }
+        }
+        totals
+    }
+
+    /// Batches evaluated per operator, with whether the operator ran
+    /// inside a fused narrow chain. Zero entries mean the run used the
+    /// row-oracle engine (no batches at all) — comparing this map across
+    /// two runs is how engine modes diff cleanly.
+    pub fn operator_batches(&self) -> BTreeMap<String, (u64, bool)> {
+        let mut totals: BTreeMap<String, (u64, bool)> = BTreeMap::new();
+        for e in &self.events {
+            if let TraceEventKind::OperatorBatches {
+                operator,
+                batches,
+                fused,
+                ..
+            } = &e.kind
+            {
+                let entry = totals.entry(operator.clone()).or_insert((0, false));
+                entry.0 += batches;
+                entry.1 |= fused;
             }
         }
         totals

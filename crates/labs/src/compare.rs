@@ -35,6 +35,11 @@ pub struct RunComparison {
     /// Per-operator timing movement, derived from the runs' trace journals
     /// (union of operator names, sorted).
     pub operator_deltas: Vec<OperatorDelta>,
+    /// Per-operator vectorized batch counts, derived from the runs' trace
+    /// journals (union of operator names, sorted). A run on the
+    /// row-at-a-time engine reports zero batches, so an engine-mode
+    /// ablation shows up here even when timings are noisy.
+    pub batch_deltas: Vec<BatchDelta>,
     /// Worst task-skew ratio of each run, when both runs recorded task spans.
     pub skew_change: Option<(f64, f64)>,
     /// Resilience overhead of each run (retries, backoff, timeouts, panics,
@@ -61,6 +66,17 @@ pub struct OperatorDelta {
     pub b_us: Option<u64>,
     /// b - a when the operator ran in both.
     pub delta_us: Option<i64>,
+}
+
+/// One operator's vectorized batch-count movement between two runs
+/// (journal-derived). `(batches, fused)`: how many column batches the
+/// operator evaluated, and whether any ran inside a fused narrow chain.
+/// None = the operator recorded no batch events in that run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchDelta {
+    pub operator: String,
+    pub a: Option<(u64, bool)>,
+    pub b: Option<(u64, bool)>,
 }
 
 impl RunComparison {
@@ -141,6 +157,17 @@ impl RunComparison {
                 }
             })
             .collect();
+        let batches_a = a.operator_batches();
+        let batches_b = b.operator_batches();
+        let batch_names: BTreeSet<&String> = batches_a.keys().chain(batches_b.keys()).collect();
+        let batch_deltas = batch_names
+            .into_iter()
+            .map(|name| BatchDelta {
+                operator: name.clone(),
+                a: batches_a.get(name).copied(),
+                b: batches_b.get(name).copied(),
+            })
+            .collect();
         let skew_change = match (a.max_skew_ratio(), b.max_skew_ratio()) {
             (Some(x), Some(y)) => Some((x, y)),
             _ => None,
@@ -161,6 +188,7 @@ impl RunComparison {
             objective_flips,
             compliance_change,
             operator_deltas,
+            batch_deltas,
             skew_change,
             resilience_change,
         })
@@ -225,6 +253,34 @@ impl RunComparison {
                     d.operator
                 )),
                 (None, None) => {}
+            }
+        }
+        let show = |v: (u64, bool)| {
+            if v.1 {
+                format!("{} batches (fused)", v.0)
+            } else {
+                format!("{} batches", v.0)
+            }
+        };
+        for d in &self.batch_deltas {
+            match (d.a, d.b) {
+                (Some(a), Some(b)) if a != b => out.push_str(&format!(
+                    "batches {}: {} -> {}\n",
+                    d.operator,
+                    show(a),
+                    show(b)
+                )),
+                (Some(a), None) => out.push_str(&format!(
+                    "batches {}: only first run ({})\n",
+                    d.operator,
+                    show(a)
+                )),
+                (None, Some(b)) => out.push_str(&format!(
+                    "batches {}: only second run ({})\n",
+                    d.operator,
+                    show(b)
+                )),
+                _ => {}
             }
         }
         if let Some((a, b)) = self.skew_change {
@@ -528,6 +584,50 @@ mod tests {
         assert!(rendered.contains("operator Aggregate: only first run"));
         assert!(rendered.contains("operator Sort: only second run"));
         assert!(rendered.contains("max task skew: 1.00 -> 1.50"));
+    }
+
+    #[test]
+    fn engine_mode_ablation_diffs_in_batch_counts() {
+        let op = "Filter(price > 10)";
+        let batches = |trace: &mut RunTrace, batches: u64, fused: bool| {
+            let seq = trace.events.len() as u64;
+            trace.events.push(TraceEvent {
+                seq,
+                at_us: 50,
+                kind: TraceEventKind::OperatorBatches {
+                    operator: op.to_owned(),
+                    stage: 0,
+                    batches,
+                    fused,
+                },
+            });
+        };
+        // a ran vectorized and fused; b ran the row-at-a-time oracle.
+        let mut a = record(1, "c", &["x"], &[]);
+        let mut va = trace_with(&[(op, 100)], &[(0, 10)]);
+        batches(&mut va, 4, true);
+        a.traces = vec![va];
+        let mut b = record(2, "c", &["x"], &[]);
+        let mut vb = trace_with(&[(op, 180)], &[(0, 10)]);
+        batches(&mut vb, 0, false);
+        b.traces = vec![vb];
+        let d = RunComparison::diff(&a, &b).unwrap();
+        assert_eq!(
+            d.batch_deltas,
+            vec![BatchDelta {
+                operator: op.to_owned(),
+                a: Some((4, true)),
+                b: Some((0, false)),
+            }]
+        );
+        let rendered = d.render();
+        assert!(
+            rendered.contains("batches Filter(price > 10): 4 batches (fused) -> 0 batches"),
+            "got: {rendered}"
+        );
+        // Identical batch profiles stay silent in the report.
+        let d = RunComparison::diff(&a, &a).unwrap();
+        assert!(!d.render().contains("batches Filter"));
     }
 
     #[test]

@@ -107,6 +107,23 @@ impl RunRecord {
         totals
     }
 
+    /// Vectorized batch counts per operator name, summed across all engine
+    /// runs this record's campaign made, with whether any of the batches
+    /// ran inside a fused narrow chain. Operators executed by the
+    /// row-at-a-time engine report zero batches, so two records that differ
+    /// only in engine mode diff cleanly here.
+    pub fn operator_batches(&self) -> BTreeMap<String, (u64, bool)> {
+        let mut totals: BTreeMap<String, (u64, bool)> = BTreeMap::new();
+        for trace in &self.traces {
+            for (op, (batches, fused)) in trace.operator_batches() {
+                let entry = totals.entry(op).or_insert((0, false));
+                entry.0 += batches;
+                entry.1 |= fused;
+            }
+        }
+        totals
+    }
+
     /// The worst per-stage straggler factor observed across the record's
     /// engine runs, when any stage ran tasks.
     pub fn max_skew_ratio(&self) -> Option<f64> {

@@ -34,6 +34,323 @@ fn arb_campaign() -> impl Strategy<Value = String> {
     )
 }
 
+/// Typed random expression trees over `random_table`'s 5-column schema
+/// (c0 Int, c1 Float, c2 Str, c3 Bool, c4 Timestamp), used to pit the
+/// vectorized engine against the row-at-a-time oracle.
+mod arb_exprs {
+    use proptest::prelude::*;
+    use toreador_data::value::{DataType, Value};
+    use toreador_dataflow::expr::{col, lit, Expr, Func};
+
+    fn leaf(ty: DataType) -> BoxedStrategy<Expr> {
+        match ty {
+            DataType::Int => prop_oneof![
+                Just(col("c0")),
+                (-5i64..5).prop_map(|i| lit(Value::Int(i))),
+                Just(lit(Value::Int(i64::MAX))),
+                Just(lit(Value::Int(i64::MIN))),
+            ]
+            .boxed(),
+            DataType::Float => prop_oneof![
+                Just(col("c1")),
+                (-4i32..4).prop_map(|i| lit(Value::Float(f64::from(i) / 2.0))),
+                Just(lit(Value::Float(f64::NAN))),
+                Just(lit(Value::Float(-0.0))),
+                Just(lit(Value::Float(f64::INFINITY))),
+            ]
+            .boxed(),
+            DataType::Str => prop_oneof![
+                Just(col("c2")),
+                Just(lit("")),
+                Just(lit("42")),
+                Just(lit("-7.5")),
+                Just(lit("true")),
+                Just(lit("héllo")),
+            ]
+            .boxed(),
+            DataType::Bool => prop_oneof![
+                Just(col("c3")),
+                Just(lit(Value::Bool(true))),
+                Just(lit(Value::Bool(false))),
+            ]
+            .boxed(),
+            DataType::Timestamp => prop_oneof![
+                Just(col("c4")),
+                Just(lit(Value::Timestamp(0))),
+                (-2i64..100).prop_map(|h| lit(Value::Timestamp(h * 3_600_000))),
+            ]
+            .boxed(),
+        }
+    }
+
+    fn cmp(a: Expr, b: Expr, op: usize) -> Expr {
+        match op % 6 {
+            0 => a.eq(b),
+            1 => a.not_eq(b),
+            2 => a.lt(b),
+            3 => a.lt_eq(b),
+            4 => a.gt(b),
+            _ => a.gt_eq(b),
+        }
+    }
+
+    /// A random expression whose static type is `ty` (modulo inference
+    /// rejecting some mixed conditionals — the caller checks both engines
+    /// reject identically in that case).
+    fn typed(ty: DataType, depth: u32) -> BoxedStrategy<Expr> {
+        if depth == 0 {
+            return leaf(ty);
+        }
+        let d = depth - 1;
+        use DataType::*;
+        match ty {
+            Int => prop_oneof![
+                leaf(Int),
+                (typed(Int, d), typed(Int, d), 0..4usize).prop_map(|(a, b, op)| match op {
+                    0 => a.add(b),
+                    1 => a.sub(b),
+                    2 => a.mul(b),
+                    _ => a.modulo(b),
+                }),
+                typed(Int, d).prop_map(Expr::neg),
+                typed(Int, d).prop_map(|a| Expr::call(Func::Abs, vec![a])),
+                typed(Str, d).prop_map(|a| Expr::call(Func::Length, vec![a])),
+                typed(Timestamp, d).prop_map(|a| Expr::call(Func::HourOfDay, vec![a])),
+                typed(Timestamp, d).prop_map(|a| Expr::call(Func::DayIndex, vec![a])),
+                typed(Float, d).prop_map(|a| a.cast(Int)),
+                typed(Str, d).prop_map(|a| a.cast(Int)), // usually fails to parse
+                (typed(Bool, d), typed(Int, d), typed(Int, d))
+                    .prop_map(|(c, t, e)| Expr::if_then(c, t, e)),
+                (typed(Int, d), typed(Int, d)).prop_map(|(a, b)| Expr::coalesce(vec![a, b])),
+            ]
+            .boxed(),
+            Float => prop_oneof![
+                leaf(Float),
+                (typed(Float, d), typed(Float, d), 0..5usize).prop_map(|(a, b, op)| match op {
+                    0 => a.add(b),
+                    1 => a.sub(b),
+                    2 => a.mul(b),
+                    3 => a.div(b),
+                    _ => a.modulo(b),
+                }),
+                (typed(Int, d), typed(Float, d)).prop_map(|(a, b)| a.add(b)),
+                (typed(Int, d), typed(Int, d)).prop_map(|(a, b)| a.div(b)),
+                typed(Float, d).prop_map(|a| Expr::call(Func::Sqrt, vec![a])),
+                typed(Float, d).prop_map(|a| Expr::call(Func::Ln, vec![a])),
+                typed(Float, d).prop_map(|a| Expr::call(Func::Floor, vec![a])),
+                typed(Float, d).prop_map(|a| Expr::call(Func::Ceil, vec![a])),
+                typed(Int, d).prop_map(|a| a.cast(Float)),
+                typed(Str, d).prop_map(|a| a.cast(Float)), // usually fails to parse
+                // Mixed-type branches: the vectorized engine's dynamic
+                // row-fallback path.
+                (typed(Bool, d), typed(Int, d), typed(Float, d))
+                    .prop_map(|(c, t, e)| Expr::if_then(c, t, e)),
+                (typed(Float, d), typed(Int, d)).prop_map(|(a, b)| Expr::coalesce(vec![a, b])),
+            ]
+            .boxed(),
+            Bool => prop_oneof![
+                leaf(Bool),
+                (typed(Int, d), typed(Int, d), 0..6usize).prop_map(|(a, b, o)| cmp(a, b, o)),
+                (typed(Float, d), typed(Float, d), 0..6usize).prop_map(|(a, b, o)| cmp(a, b, o)),
+                (typed(Int, d), typed(Float, d), 0..6usize).prop_map(|(a, b, o)| cmp(a, b, o)),
+                (typed(Str, d), typed(Str, d), 0..6usize).prop_map(|(a, b, o)| cmp(a, b, o)),
+                (typed(Timestamp, d), typed(Timestamp, d), 0..6usize)
+                    .prop_map(|(a, b, o)| cmp(a, b, o)),
+                (typed(Bool, d), typed(Bool, d)).prop_map(|(a, b)| a.and(b)),
+                (typed(Bool, d), typed(Bool, d)).prop_map(|(a, b)| a.or(b)),
+                typed(Bool, d).prop_map(Expr::not),
+                typed(Float, d).prop_map(Expr::is_null),
+                typed(Str, d).prop_map(Expr::is_null),
+                typed(Int, d).prop_map(Expr::is_not_null),
+                typed(Timestamp, d).prop_map(Expr::is_not_null),
+                typed(Int, d).prop_map(|a| a.cast(Bool)),
+                (typed(Bool, d), typed(Bool, d), typed(Bool, d))
+                    .prop_map(|(c, t, e)| Expr::if_then(c, t, e)),
+            ]
+            .boxed(),
+            Str => prop_oneof![
+                leaf(Str),
+                typed(Str, d).prop_map(|a| Expr::call(Func::Lower, vec![a])),
+                typed(Str, d).prop_map(|a| Expr::call(Func::Upper, vec![a])),
+                typed(Int, d).prop_map(|a| a.cast(Str)),
+                typed(Float, d).prop_map(|a| a.cast(Str)),
+                typed(Bool, d).prop_map(|a| a.cast(Str)),
+                typed(Timestamp, d).prop_map(|a| a.cast(Str)),
+                (typed(Str, d), typed(Str, d)).prop_map(|(a, b)| Expr::coalesce(vec![a, b])),
+                (typed(Bool, d), typed(Str, d), typed(Str, d))
+                    .prop_map(|(c, t, e)| Expr::if_then(c, t, e)),
+            ]
+            .boxed(),
+            Timestamp => prop_oneof![
+                leaf(Timestamp),
+                typed(Int, d).prop_map(|a| a.cast(Timestamp)),
+                (typed(Timestamp, d), typed(Timestamp, d))
+                    .prop_map(|(a, b)| Expr::coalesce(vec![a, b])),
+                (typed(Bool, d), typed(Timestamp, d), typed(Timestamp, d))
+                    .prop_map(|(c, t, e)| Expr::if_then(c, t, e)),
+            ]
+            .boxed(),
+        }
+    }
+
+    /// A random expression of any result type, depth ≤ 3.
+    pub fn any_expr() -> BoxedStrategy<Expr> {
+        use DataType::*;
+        prop_oneof![
+            typed(Int, 3),
+            typed(Float, 3),
+            typed(Bool, 3),
+            typed(Str, 3),
+            typed(Timestamp, 3),
+        ]
+        .boxed()
+    }
+}
+
+/// Observable equality of two columns: same type, length, validity, and
+/// valid slots equal down to float bit-sign (`{:?}` distinguishes `-0.0`
+/// and `NaN`). Dead slots hold unspecified defaults and are ignored —
+/// which derived `PartialEq` on `Column` would not do.
+fn columns_identical(a: &toreador_data::column::Column, b: &toreador_data::column::Column) -> bool {
+    a.data_type() == b.data_type()
+        && a.len() == b.len()
+        && (0..a.len()).all(|i| format!("{:?}", a.value(i)) == format!("{:?}", b.value(i)))
+}
+
+fn tables_identical(a: &toreador_data::table::Table, b: &toreador_data::table::Table) -> bool {
+    a.schema() == b.schema()
+        && a.num_rows() == b.num_rows()
+        && a.columns()
+            .iter()
+            .zip(b.columns())
+            .all(|(x, y)| columns_identical(x, y))
+}
+
+// Differential properties of the vectorized expression engine: 256 cases
+// by default (the acceptance bar), `PROPTEST_CASES` overrides.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256),
+    ))]
+
+    #[test]
+    fn vectorized_engine_matches_row_oracle(
+        expr in arb_exprs::any_expr(),
+        rows in 1usize..120,
+        seed in 0u64..1000,
+    ) {
+        use toreador_data::generate::random_table;
+        use toreador_data::value::DataType;
+        use toreador_dataflow::prelude::BoundExpr;
+
+        let t = random_table(rows, 5, seed);
+        let by_row = expr.eval_table(&t);
+        match BoundExpr::bind(&expr, t.schema()) {
+            Err(bind_err) => {
+                // Binding must reject exactly what inference rejects, with
+                // the same message.
+                let infer_err = expr.infer_type(t.schema());
+                prop_assert!(infer_err.is_err(), "bind rejected, inference accepted");
+                prop_assert_eq!(
+                    bind_err.to_string(),
+                    infer_err.unwrap_err().to_string()
+                );
+                prop_assert!(by_row.is_err());
+            }
+            Ok(bound) => {
+                let by_batch = bound.eval_column(&t);
+                match (by_row, by_batch) {
+                    (Ok(a), Ok(b)) => prop_assert!(
+                        columns_identical(&a, &b),
+                        "engines disagree on {expr:?}:\n row: {a:?}\n vec: {b:?}"
+                    ),
+                    (Err(_), Err(_)) => {} // both reject (e.g. a failed cast)
+                    (a, b) => prop_assert!(
+                        false,
+                        "only one engine errored on {expr:?}: row={a:?} vec={b:?}"
+                    ),
+                }
+                if bound.output_type() == DataType::Bool {
+                    if let (Ok(mask), Ok(sel)) = (expr.eval_mask(&t), bound.eval_selection(&t)) {
+                        let from_mask: Vec<u32> = mask
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, m)| m.then_some(i as u32))
+                            .collect();
+                        prop_assert_eq!(sel, from_mask);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_chain_execution_is_mode_invariant(
+        rows in 20usize..250,
+        seed in 0u64..200,
+        fraction in 0.0f64..1.0,
+        sample_first in any::<bool>(),
+    ) {
+        use toreador_data::generate::random_table;
+        use toreador_data::value::DataType;
+        use toreador_dataflow::prelude::*;
+
+        let run = |vectorized: bool, fuse_narrow: bool| {
+            let mut engine = Engine::new(
+                EngineConfig::default()
+                    .with_threads(2)
+                    .with_partitions(3)
+                    .with_vectorized(vectorized)
+                    .with_fuse_narrow(fuse_narrow),
+            );
+            engine.register("t", random_table(rows, 5, seed)).unwrap();
+            let mut flow = engine.flow("t").unwrap();
+            if sample_first {
+                flow = flow.sample(fraction, seed).unwrap();
+            }
+            flow = flow
+                .filter(col("c0").gt(lit(0i64)).or(col("c3")))
+                .unwrap()
+                .project(vec![
+                    ("k", col("c0").add(col("c1").cast(DataType::Int))),
+                    ("len", Expr::call(Func::Length, vec![col("c2")])),
+                    ("ratio", col("c1").div(col("c0"))),
+                ])
+                .unwrap();
+            if !sample_first {
+                flow = flow.sample(fraction, seed).unwrap();
+            }
+            engine.run(&flow).unwrap().table
+        };
+        let fused = run(true, true);
+        let unfused = run(true, false);
+        let row_oracle = run(false, false);
+        prop_assert!(tables_identical(&fused, &unfused), "fused != unfused");
+        prop_assert!(tables_identical(&fused, &row_oracle), "vectorized != row oracle");
+    }
+
+    #[test]
+    fn columnar_shuffle_routing_matches_row_routing(
+        rows in 1usize..200,
+        cols in 1usize..6,
+        seed in 0u64..500,
+        targets in 1usize..9,
+    ) {
+        use toreador_data::generate::random_table;
+        use toreador_dataflow::shuffle::{route, route_rows};
+
+        let t = random_table(rows, cols, seed);
+        let key_idx: Vec<usize> = (0..cols).step_by(2).collect();
+        let routes = route_rows(&t, &key_idx, targets).unwrap();
+        for (i, row) in t.iter_rows().enumerate() {
+            prop_assert_eq!(routes[i] as usize, route(&row, &key_idx, targets), "row {}", i);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -138,6 +455,8 @@ proptest! {
             scheduler: SchedulerConfig::new(threads).with_faults(faults),
             partitions: 4,
             partial_aggregation: seed % 2 == 0,
+            vectorized: seed % 3 != 0,
+            fuse_narrow: seed % 5 != 0,
         };
         let mut datasets = HashMap::new();
         datasets.insert("clicks".to_owned(), PartitionedTable::split(table, 4).unwrap());

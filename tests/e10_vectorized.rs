@@ -1,0 +1,121 @@
+//! E10 smoke — the claims behind `benches/e10_vectorized.rs`, sized for
+//! CI. The benchmark measures speed; this suite pins the invariants the
+//! speed claim rests on: all three engine modes produce identical output
+//! on the bench's exact narrow chain, the flight recorder journals batch
+//! counts only for the vectorized modes, and the kernel-level path keeps
+//! exactly the rows the row oracle keeps.
+
+use toreador_data::generate::clickstream;
+use toreador_data::table::Table;
+use toreador_dataflow::expr::{col, lit, Expr, Func};
+use toreador_dataflow::session::{Engine, EngineConfig, RunResult};
+use toreador_dataflow::vexpr::BoundExpr;
+
+const ROWS: usize = 20_000;
+
+fn predicate() -> Expr {
+    col("price")
+        .gt(lit(50.0))
+        .and(col("action").not_eq(lit("view")))
+}
+
+fn projections() -> Vec<(&'static str, Expr)> {
+    vec![
+        ("revenue", col("price").mul(lit(0.85))),
+        ("account", col("user_id").add(col("product_id"))),
+        ("tag_len", Expr::call(Func::Length, vec![col("category")])),
+    ]
+}
+
+fn run_mode(data: &Table, vectorized: bool, fused: bool) -> RunResult {
+    let mut engine = Engine::new(
+        EngineConfig::default()
+            .with_threads(2)
+            .with_partitions(3)
+            .with_vectorized(vectorized)
+            .with_fuse_narrow(fused),
+    );
+    engine.register("clicks", data.clone()).unwrap();
+    let flow = engine
+        .flow("clicks")
+        .unwrap()
+        .filter(predicate())
+        .unwrap()
+        .project(projections())
+        .unwrap();
+    engine.run(&flow).unwrap()
+}
+
+/// Value-wise equality: `Column`'s derived `PartialEq` also compares dead
+/// validity slots, whose placeholder contents legitimately differ between
+/// the row and batch engines.
+fn assert_tables_equal(a: &Table, b: &Table) {
+    assert_eq!(a.schema(), b.schema());
+    assert_eq!(a.num_rows(), b.num_rows());
+    for c in 0..a.num_columns() {
+        let (ca, cb) = (a.column_at(c).unwrap(), b.column_at(c).unwrap());
+        for i in 0..a.num_rows() {
+            assert_eq!(
+                format!("{:?}", ca.value(i)),
+                format!("{:?}", cb.value(i)),
+                "column {c} row {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn three_engine_modes_agree_on_the_bench_chain() {
+    let data = clickstream(ROWS, 42);
+    let row = run_mode(&data, false, false);
+    let vectorized = run_mode(&data, true, false);
+    let fused = run_mode(&data, true, true);
+    assert!(row.table.num_rows() > 0, "predicate keeps some rows");
+    assert_tables_equal(&row.table, &vectorized.table);
+    assert_tables_equal(&row.table, &fused.table);
+}
+
+#[test]
+fn batch_counts_journal_only_under_vectorized_modes() {
+    let data = clickstream(ROWS, 42);
+    let row = run_mode(&data, false, false);
+    let vectorized = run_mode(&data, true, false);
+    let fused = run_mode(&data, true, true);
+
+    // Row mode journals the operators with zero batches — that keeps an
+    // engine-mode ablation diffable operator-by-operator in labs::compare.
+    let row_batches = row.trace.operator_batches();
+    assert!(!row_batches.is_empty());
+    assert!(row_batches.values().all(|&(n, f)| n == 0 && !f));
+    let unfused = vectorized.trace.operator_batches();
+    assert!(unfused.values().all(|&(n, f)| n > 0 && !f));
+    let fused_batches = fused.trace.operator_batches();
+    assert!(fused_batches.values().any(|&(_, f)| f), "chain fuses");
+}
+
+#[test]
+fn kernel_path_keeps_exactly_the_oracle_rows() {
+    let data = clickstream(ROWS, 7);
+    let pred = predicate();
+    let mask = pred.eval_mask_checked(&data).unwrap();
+    let oracle = data.filter(&mask).unwrap();
+
+    let bound = BoundExpr::bind(&pred, data.schema()).unwrap();
+    let sel = bound.eval_selection(&data).unwrap();
+    let kept = data.take_sel(&sel).unwrap();
+    assert_tables_equal(&oracle, &kept);
+
+    for (_, e) in projections() {
+        let row_col = e.eval_table(&oracle).unwrap();
+        let vec_col = BoundExpr::bind(&e, kept.schema())
+            .unwrap()
+            .eval_column(&kept)
+            .unwrap();
+        for i in 0..kept.num_rows() {
+            assert_eq!(
+                format!("{:?}", row_col.value(i)),
+                format!("{:?}", vec_col.value(i))
+            );
+        }
+    }
+}
