@@ -1,0 +1,189 @@
+//! E11 — what stage-boundary checkpointing costs and what resume buys
+//! (DESIGN.md §10). One multi-stage flow (filter → aggregate → sort) over
+//! the clickstream scenario, across row counts: (1) checkpointing overhead
+//! — the same run with the checkpoint sink on vs off, with the bytes each
+//! run persisted; (2) resume latency — re-entering a fully checkpointed
+//! run (every wave restored from disk, zero tasks started) against
+//! recomputing it from scratch.
+//!
+//! Set `E11_QUICK=1` to shrink the series for CI smoke runs.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use toreador_bench::table_header;
+use toreador_data::generate::clickstream;
+use toreador_dataflow::checkpoint::CheckpointSpec;
+use toreador_dataflow::expr::{col, lit};
+use toreador_dataflow::logical::{AggExpr, AggFunc, Dataflow};
+use toreador_dataflow::session::{Engine, EngineConfig};
+use toreador_dataflow::trace::{RunTrace, TraceEventKind};
+
+fn quick() -> bool {
+    std::env::var("E11_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn series() -> Vec<usize> {
+    if quick() {
+        vec![1_000, 10_000, 100_000]
+    } else {
+        vec![1_000, 10_000, 100_000, 1_000_000]
+    }
+}
+
+fn ckpt_root() -> PathBuf {
+    std::env::temp_dir().join(format!("toreador-e11-{}", std::process::id()))
+}
+
+fn engine_with(rows: usize, checkpointed: bool) -> Engine {
+    let mut config = EngineConfig::default().with_threads(4).with_partitions(4);
+    if checkpointed {
+        config = config.with_checkpoint(CheckpointSpec::new(ckpt_root(), "unused"));
+    }
+    let mut engine = Engine::new(config);
+    engine
+        .register("clicks", clickstream(rows, 42))
+        .expect("register");
+    engine
+}
+
+/// The multi-stage workload: several shuffle boundaries, so a checkpointed
+/// run persists several waves.
+fn flow_of(engine: &Engine) -> Dataflow {
+    engine
+        .flow("clicks")
+        .expect("dataset registered")
+        .filter(col("action").eq(lit("purchase")))
+        .expect("filter binds")
+        .aggregate(
+            &["country"],
+            vec![
+                AggExpr::new(AggFunc::Sum, "price", "revenue"),
+                AggExpr::new(AggFunc::Count, "event_id", "n"),
+            ],
+        )
+        .expect("aggregate binds")
+        .sort(&["revenue"], true)
+        .expect("sort binds")
+}
+
+fn checkpointed_bytes(trace: &RunTrace) -> u64 {
+    trace
+        .events
+        .iter()
+        .map(|e| match e.kind {
+            TraceEventKind::StageCheckpointed { bytes, .. } => bytes,
+            _ => 0,
+        })
+        .sum()
+}
+
+fn restored_waves(trace: &RunTrace) -> usize {
+    trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::StageRestored { .. }))
+        .count()
+}
+
+fn best_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> (Duration, u64) {
+    let mut best = Duration::MAX;
+    let mut meta = 0;
+    for _ in 0..reps {
+        let started = Instant::now();
+        meta = f();
+        best = best.min(started.elapsed());
+    }
+    (best, meta)
+}
+
+fn print_series() {
+    let reps = if quick() { 2 } else { 3 };
+    table_header(
+        "E11",
+        "stage-boundary checkpoint overhead, and resume vs recompute",
+    );
+    eprintln!(
+        "{:>10} {:>12} {:>14} {:>9} {:>10} {:>12} {:>9}",
+        "rows", "plain ms", "checkpoint ms", "overhead", "ckpt KiB", "resume ms", "speedup"
+    );
+    for rows in series() {
+        let plain = engine_with(rows, false);
+        let flow = flow_of(&plain);
+        let (plain_t, _) = best_of(reps, || {
+            plain.run(&flow).expect("plain run").table.num_rows() as u64
+        });
+
+        let ck = engine_with(rows, true);
+        let flow = flow_of(&ck);
+        let run_id = format!("e11-{rows}");
+        // Each rep re-creates the checkpoint from scratch: full write cost.
+        let (ck_t, bytes) = best_of(reps, || {
+            let r = ck.run_checkpointed(&flow, &run_id).expect("checkpointed");
+            checkpointed_bytes(&r.trace)
+        });
+
+        // The run above left a complete checkpoint; every resume restores
+        // all of it and computes nothing.
+        let (resume_t, restored) = best_of(reps, || {
+            let r = ck.resume(&flow, &run_id).expect("resume");
+            restored_waves(&r.trace) as u64
+        });
+        assert!(restored > 0, "resume must restore the checkpointed waves");
+
+        eprintln!(
+            "{:>10} {:>12.2} {:>14.2} {:>8.1}% {:>10.1} {:>12.2} {:>8.1}x",
+            rows,
+            plain_t.as_secs_f64() * 1e3,
+            ck_t.as_secs_f64() * 1e3,
+            (ck_t.as_secs_f64() / plain_t.as_secs_f64() - 1.0) * 100.0,
+            bytes as f64 / 1024.0,
+            resume_t.as_secs_f64() * 1e3,
+            plain_t.as_secs_f64() / resume_t.as_secs_f64(),
+        );
+    }
+    eprintln!("  (overhead: checkpointed run vs plain; speedup: recompute time / resume time)");
+    let _ = std::fs::remove_dir_all(ckpt_root());
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    print_series();
+
+    // Stable statistics on one mid-sized table.
+    let rows = if quick() { 20_000 } else { 100_000 };
+    let plain = engine_with(rows, false);
+    let plain_flow = flow_of(&plain);
+    let ck = engine_with(rows, true);
+    let ck_flow = flow_of(&ck);
+    ck.run_checkpointed(&ck_flow, "bench-resume")
+        .expect("seed the resume checkpoint");
+
+    let mut group = c.benchmark_group("e11_checkpoint");
+    group.sample_size(10);
+    group.bench_function("run_plain", |b| {
+        b.iter(|| plain.run(&plain_flow).expect("plain").table.num_rows())
+    });
+    group.bench_function("run_checkpointed", |b| {
+        b.iter(|| {
+            ck.run_checkpointed(&ck_flow, "bench-write")
+                .expect("checkpointed")
+                .table
+                .num_rows()
+        })
+    });
+    group.bench_function("resume_restored", |b| {
+        b.iter(|| {
+            ck.resume(&ck_flow, "bench-resume")
+                .expect("resume")
+                .table
+                .num_rows()
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(ckpt_root());
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

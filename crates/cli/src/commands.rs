@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use toreador_core::prelude::*;
 use toreador_data::table::Table;
-use toreador_dataflow::fault::{ChaosPlan, FaultKind, TargetedFault};
+use toreador_dataflow::fault::{ChaosPlan, FaultKind, KillMode, TargetedFault};
 use toreador_dataflow::resilience::{
     ResilienceConfig, RetryPolicy, SpeculationPolicy, TaskDeadline,
 };
@@ -25,6 +25,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "challenges" => challenges_cmd(args),
         "explain" => explain(args),
         "run" => run(args),
+        "resume" => resume_cmd(args),
         "trace" => trace_cmd(args),
         "chaos" => chaos_cmd(args),
         "attempt" => attempt(args),
@@ -48,6 +49,17 @@ pub fn usage() -> String {
      \x20 toreador run <campaign.tdl> --data <source> [--rows N] [--seed N]\n\
      \x20                [--store <dir>]         compile, run, report; --store\n\
      \x20                                        persists the run record\n\
+     \x20                [--checkpoint-dir <dir> --run-id <id>]\n\
+     \x20                                        checkpoint every stage boundary\n\
+     \x20                                        so the run survives process death\n\
+     \x20                [--kill-at E:W] [--kill-mode exit|halt]\n\
+     \x20                                        chaos: die at engine E's stage\n\
+     \x20                                        boundary W (exit code 42) after\n\
+     \x20                                        the wave is durable\n\
+     \x20 toreador resume <run-id> --checkpoint-dir <dir> [--store <dir>]\n\
+     \x20                                        resume a killed checkpointed run\n\
+     \x20                                        at the first incomplete stage;\n\
+     \x20                                        restored stages never recompute\n\
      \x20 toreador trace <campaign.tdl> --data <source> [--rows N] [--seed N]\n\
      \x20                [--format text|json]    run and show the flight\n\
      \x20                [--store <dir>]         recorder: per-stage timings,\n\
@@ -153,6 +165,16 @@ fn load_data(
     let source = args
         .flag("data")
         .ok_or_else(|| "missing --data <source> (see `toreador help`)".to_owned())?;
+    load_source(source, rows, seed)
+}
+
+/// Load a data source by name — shared by `--data` and the resume spec,
+/// which replays the source a killed run was started with.
+fn load_source(
+    source: &str,
+    rows: usize,
+    seed: u64,
+) -> Result<(Table, HashMap<String, Table>), String> {
     if let Some(scenario_id) = source.strip_prefix("generated:") {
         let scen = toreador_labs::scenario::scenario(scenario_id).map_err(|e| e.to_string())?;
         let n = if rows == 0 { scen.default_rows } else { rows };
@@ -264,12 +286,11 @@ fn persist_adhoc_run(
     Ok(run_id)
 }
 
-fn run(args: &Args) -> Result<String, String> {
-    let (bdaas, compiled, data, aux) = compile_from_args(args)?;
-    let rows_in = data.num_rows();
-    let outcome = bdaas
-        .run(&compiled, data, &aux)
-        .map_err(|e| e.to_string())?;
+/// Render a campaign outcome the way `run` and `resume` both report it:
+/// indicators, objectives, compliance, output sample, reports. Everything
+/// from `output (` down is deterministic for a fixed campaign+data, which
+/// is what the kill/resume CI matrix diffs.
+fn render_outcome(outcome: &CampaignOutcome) -> String {
     let mut out = String::new();
     out.push_str("indicators:\n");
     for (name, value) in &outcome.indicators {
@@ -303,6 +324,86 @@ fn run(args: &Args) -> Result<String, String> {
     for (service, text) in &outcome.reports {
         out.push_str(&format!("\n[{service}]\n{text}\n"));
     }
+    out
+}
+
+/// Parse `--kill-at <engine>:<wave>` plus `--kill-mode exit|halt` into the
+/// chaos kill point a checkpointed `run` will die at.
+fn parse_kill(args: &Args) -> Result<Option<BoundaryKillSpec>, String> {
+    let Some(at) = args.flag("kill-at") else {
+        return Ok(None);
+    };
+    let (engine, wave) = at
+        .split_once(':')
+        .ok_or_else(|| format!("--kill-at wants <engine>:<wave>, got {at:?}"))?;
+    let engine: usize = engine
+        .parse()
+        .map_err(|_| format!("--kill-at engine must be an integer, got {engine:?}"))?;
+    let wave: usize = wave
+        .parse()
+        .map_err(|_| format!("--kill-at wave must be an integer, got {wave:?}"))?;
+    let mode = match args.flag("kill-mode").unwrap_or("exit") {
+        // 42: distinguishable from clean exits and from error exit 1, so CI
+        // can assert the kill actually fired.
+        "exit" => KillMode::Exit { code: 42 },
+        "halt" => KillMode::Halt,
+        other => return Err(format!("--kill-mode must be exit or halt, got {other:?}")),
+    };
+    Ok(Some(BoundaryKillSpec { engine, wave, mode }))
+}
+
+/// Write `<checkpoint-dir>/<run-id>/campaign.json` — everything `resume`
+/// needs to recompile the identical campaign: the DSL text, the data
+/// source, and the row/seed knobs. Written before the run starts so the
+/// spec survives any kill.
+fn write_resume_spec(args: &Args, ckpt_dir: &str, run_id: &str) -> Result<(), String> {
+    let file = args.positional(0, "campaign file")?;
+    let dsl = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
+    let source = args
+        .flag("data")
+        .ok_or_else(|| "missing --data <source> (see `toreador help`)".to_owned())?;
+    let mut spec = std::collections::BTreeMap::new();
+    spec.insert("campaign", dsl);
+    spec.insert("data", source.to_owned());
+    spec.insert("rows", args.flag_or("rows", 0usize)?.to_string());
+    spec.insert("seed", args.flag_or("seed", 0u64)?.to_string());
+    let dir = std::path::Path::new(ckpt_dir).join(run_id);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    let path = dir.join("campaign.json");
+    let json = serde_json::to_string(&spec).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("cannot write {path:?}: {e}"))
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    let (bdaas, compiled, data, aux) = compile_from_args(args)?;
+    let rows_in = data.num_rows();
+    let kill = parse_kill(args)?;
+    let outcome = match args.flag("checkpoint-dir") {
+        None => {
+            if kill.is_some() {
+                return Err(
+                    "--kill-at needs --checkpoint-dir (kill points only fire on \
+                            checkpointed runs, after the wave is durable)"
+                        .to_owned(),
+                );
+            }
+            bdaas
+                .run(&compiled, data, &aux)
+                .map_err(|e| e.to_string())?
+        }
+        Some(ckpt_dir) => {
+            let run_id = args.flag("run-id").unwrap_or("run");
+            write_resume_spec(args, ckpt_dir, run_id)?;
+            let mut rec = RecoverySpec::new(ckpt_dir, run_id);
+            if let Some(kill) = kill {
+                rec = rec.with_kill(kill);
+            }
+            bdaas
+                .run_with_recovery(&compiled, data, &aux, &rec)
+                .map_err(|e| e.to_string())?
+        }
+    };
+    let mut out = render_outcome(&outcome);
     if args.flag("store").is_some() {
         let mut store = required_store(args)?;
         let trainee = trainee_name(args);
@@ -316,6 +417,88 @@ fn run(args: &Args) -> Result<String, String> {
         )?;
         out.push_str(&format!(
             "\nstored as run {run_id} for trainee {trainee:?} (compare with \
+             `toreador compare` after any later run)\n"
+        ));
+    }
+    Ok(out)
+}
+
+/// `toreador resume <run-id> --checkpoint-dir <dir>`: pick up a killed
+/// checkpointed run. The resume spec written by `run` recompiles the
+/// identical campaign; every stage the dead process checkpointed is
+/// restored from disk (zero tasks started), and execution re-enters at the
+/// first incomplete stage. A stale checkpoint — plan, inputs, or engine
+/// config changed since the kill — is refused, never silently recomputed.
+fn resume_cmd(args: &Args) -> Result<String, String> {
+    let run_id = args.positional(0, "run id")?;
+    let ckpt_dir = args
+        .flag("checkpoint-dir")
+        .ok_or_else(|| "missing --checkpoint-dir <dir> (see `toreador help`)".to_owned())?;
+    let path = std::path::Path::new(ckpt_dir)
+        .join(run_id)
+        .join("campaign.json");
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read resume spec {path:?}: {e} (was this run started with --checkpoint-dir?)"
+        )
+    })?;
+    let spec: std::collections::BTreeMap<String, String> =
+        serde_json::from_str(&text).map_err(|e| format!("malformed resume spec {path:?}: {e}"))?;
+    let field = |name: &str| {
+        spec.get(name)
+            .ok_or_else(|| format!("resume spec {path:?} is missing {name:?}"))
+    };
+    let rows: usize = field("rows")?
+        .parse()
+        .map_err(|_| format!("resume spec {path:?} has a bad row count"))?;
+    let seed: u64 = field("seed")?
+        .parse()
+        .map_err(|_| format!("resume spec {path:?} has a bad seed"))?;
+    let (data, aux) = load_source(field("data")?, rows, seed)?;
+    let rows_in = data.num_rows();
+    let bdaas = Bdaas::new();
+    let parsed = bdaas.parse(field("campaign")?).map_err(|e| e.to_string())?;
+    let compiled = bdaas
+        .compile(&parsed, data.schema(), data.num_rows())
+        .map_err(|e| e.to_string())?;
+    let outcome = bdaas
+        .run_with_recovery(
+            &compiled,
+            data,
+            &aux,
+            &RecoverySpec::resume(ckpt_dir, run_id),
+        )
+        .map_err(|e| e.to_string())?;
+    let restored: usize = outcome
+        .engine_traces
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter(|e| {
+            matches!(
+                e.kind,
+                toreador_dataflow::trace::TraceEventKind::StageRestored { .. }
+            )
+        })
+        .count();
+    let mut out = format!(
+        "resumed run {run_id:?}: {restored} checkpointed stage(s) restored, \
+         {} engine run(s)\n\n",
+        outcome.engine_traces.len()
+    );
+    out.push_str(&render_outcome(&outcome));
+    if args.flag("store").is_some() {
+        let mut store = required_store(args)?;
+        let trainee = trainee_name(args);
+        let stored_id = persist_adhoc_run(
+            &mut store,
+            trainee,
+            &compiled.spec.name,
+            rows_in,
+            &compiled,
+            &outcome,
+        )?;
+        out.push_str(&format!(
+            "\nstored as run {stored_id} for trainee {trainee:?} (compare with \
              `toreador compare` after any later run)\n"
         ));
     }
@@ -519,11 +702,15 @@ fn chaos_cmd(args: &Args) -> Result<String, String> {
                 totals.speculative_won,
                 totals.cancellations,
             ));
-            out.push_str(if outcome.output == baseline.output {
-                "outputs: IDENTICAL to the fault-free baseline\n"
+            if outcome.output == baseline.output {
+                out.push_str("outputs: IDENTICAL to the fault-free baseline\n");
             } else {
-                "outputs: DIFFER from the fault-free baseline (resilience bug!)\n"
-            });
+                // A silent wrong answer is the one resilience failure that
+                // must not exit 0 — fail the invocation so CI catches it.
+                return Err(format!(
+                    "{out}outputs: DIFFER from the fault-free baseline (resilience bug!)"
+                ));
+            }
         }
         Err(e) => {
             out.push_str(&format!(
@@ -1103,6 +1290,170 @@ mod tests {
         let out = run_profile("targeted:0:1:0:delay:500").unwrap();
         assert!(out.contains("1 targeted fault(s)"), "{out}");
         assert!(out.contains("IDENTICAL"), "{out}");
+    }
+
+    /// Everything from `output (` down — the deterministic section a
+    /// kill/resume comparison may legitimately diff.
+    fn output_section(s: &str) -> &str {
+        let at = s
+            .find("\noutput (")
+            .expect("rendered outcome has an output section");
+        &s[at..]
+    }
+
+    #[test]
+    fn run_killed_at_a_boundary_resumes_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("toreador-cli-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt = dir.to_str().unwrap().to_owned();
+        let file = write_trace_campaign();
+        let f = file.to_str().unwrap();
+        let data = ["--data", "generated:ecommerce-clicks", "--rows", "400"];
+
+        // Unkilled checkpointed baseline fixes the expected output.
+        let baseline = run_cli(
+            &[
+                &["run", f],
+                &data[..],
+                &["--checkpoint-dir", &ckpt, "--run-id", "base"],
+            ]
+            .concat(),
+        )
+        .unwrap();
+
+        // Kill at engine 0's first boundary. Halt mode keeps the death
+        // in-process (the CI matrix exercises exit-mode 42 for real).
+        let err = run_cli(
+            &[
+                &["run", f],
+                &data[..],
+                &[
+                    "--checkpoint-dir",
+                    &ckpt,
+                    "--run-id",
+                    "killed",
+                    "--kill-at",
+                    "0:0",
+                    "--kill-mode",
+                    "halt",
+                ],
+            ]
+            .concat(),
+        )
+        .unwrap_err();
+        assert!(err.contains("killed at stage boundary"), "{err}");
+
+        // One resume completes the campaign, identical to the baseline.
+        let resumed = run_cli(&["resume", "killed", "--checkpoint-dir", &ckpt]).unwrap();
+        assert!(resumed.contains("stage(s) restored"), "{resumed}");
+        assert_eq!(output_section(&resumed), output_section(&baseline));
+
+        // Resuming the now-complete run restores everything and recomputes
+        // nothing — still the same answer.
+        let again = run_cli(&["resume", "killed", "--checkpoint-dir", &ckpt]).unwrap();
+        assert_eq!(output_section(&again), output_section(&baseline));
+
+        // Guard rails: kill points need a checkpoint, malformed kill specs
+        // and unknown run ids name the problem.
+        let err = run_cli(&[&["run", f], &data[..], &["--kill-at", "0:0"]].concat()).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+        let err = run_cli(
+            &[
+                &["run", f],
+                &data[..],
+                &["--checkpoint-dir", &ckpt, "--kill-at", "nope"],
+            ]
+            .concat(),
+        )
+        .unwrap_err();
+        assert!(err.contains("<engine>:<wave>"), "{err}");
+        let err = run_cli(&["resume", "ghost", "--checkpoint-dir", &ckpt]).unwrap_err();
+        assert!(err.contains("resume spec"), "{err}");
+        let err = run_cli(&["resume", "killed"]).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_refuses_stale_checkpoints_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("toreador-cli-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt = dir.to_str().unwrap().to_owned();
+        let file = write_trace_campaign();
+        let f = file.to_str().unwrap();
+        run_cli(&[
+            "run",
+            f,
+            "--data",
+            "generated:ecommerce-clicks",
+            "--rows",
+            "400",
+            "--checkpoint-dir",
+            &ckpt,
+            "--run-id",
+            "victim",
+            "--kill-at",
+            "0:0",
+            "--kill-mode",
+            "halt",
+        ])
+        .unwrap_err();
+
+        // Shrink the input between kill and resume: the checkpoint no
+        // longer matches the data, so the resume is a classified refusal —
+        // not a silently wrong answer.
+        let spec_path = dir.join("victim").join("campaign.json");
+        let spec = std::fs::read_to_string(&spec_path).unwrap();
+        std::fs::write(&spec_path, spec.replace("\"400\"", "\"300\"")).unwrap();
+        let err = run_cli(&["resume", "victim", "--checkpoint-dir", &ckpt]).unwrap_err();
+        assert!(err.contains("stale checkpoint"), "{err}");
+        assert!(err.contains("inputs"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compare_diffs_a_clean_run_against_a_killed_and_resumed_run() {
+        let dir = std::env::temp_dir().join(format!("toreador-cli-rstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt = dir.join("ckpt").to_str().unwrap().to_owned();
+        let store = dir.join("store").to_str().unwrap().to_owned();
+        let file = write_trace_campaign();
+        let f = file.to_str().unwrap();
+        let data = ["--data", "generated:ecommerce-clicks", "--rows", "400"];
+
+        // Clean run into the store (run 1).
+        run_cli(&[&["run", f], &data[..], &["--store", &store]].concat()).unwrap();
+        // Killed checkpointed run, then a resume persisted as run 2: the
+        // LabSession history now holds clean vs killed-and-resumed.
+        run_cli(
+            &[
+                &["run", f],
+                &data[..],
+                &[
+                    "--checkpoint-dir",
+                    &ckpt,
+                    "--run-id",
+                    "k",
+                    "--kill-at",
+                    "0:0",
+                    "--kill-mode",
+                    "halt",
+                ],
+            ]
+            .concat(),
+        )
+        .unwrap_err();
+        let out = run_cli(&["resume", "k", "--checkpoint-dir", &ckpt, "--store", &store]).unwrap();
+        assert!(out.contains("stored as run 2"), "{out}");
+        // The persisted traces diff like any two runs — restored stages
+        // simply contribute no task time.
+        let out = run_cli(&["compare", "1", "2", "--store", &store]).unwrap();
+        assert!(out.contains("run 1 vs run 2"), "{out}");
+        assert!(out.contains("operator"), "{out}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! indicator, so objectives become checkable facts.
 
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::time::Instant;
 
 use toreador_catalog::builtin::standard_catalog;
@@ -124,10 +125,30 @@ impl Bdaas {
         auxiliary: &HashMap<String, Table>,
     ) -> Result<CampaignOutcome> {
         match compiled.deployment.mode {
-            ProcessingMode::Batch => self.run_batch(compiled, input, auxiliary),
+            ProcessingMode::Batch => self.run_batch(compiled, input, auxiliary, None),
             ProcessingMode::Stream { window_ms } => {
                 self.run_stream(compiled, input, auxiliary, window_ms)
             }
+        }
+    }
+
+    /// [`Self::run`] with stage-boundary checkpointing: every processing
+    /// stage's shuffle waves are durably checkpointed under the spec's run
+    /// id, and a resuming spec restores completed waves instead of
+    /// recomputing them. Batch campaigns only — streaming windows carry
+    /// cross-batch state that per-wave checkpoints cannot capture.
+    pub fn run_with_recovery(
+        &self,
+        compiled: &CompiledCampaign,
+        input: Table,
+        auxiliary: &HashMap<String, Table>,
+        recovery: &RecoverySpec,
+    ) -> Result<CampaignOutcome> {
+        match compiled.deployment.mode {
+            ProcessingMode::Batch => self.run_batch(compiled, input, auxiliary, Some(recovery)),
+            ProcessingMode::Stream { .. } => Err(CoreError::Execution(
+                "checkpointed recovery supports batch campaigns only".to_owned(),
+            )),
         }
     }
 
@@ -136,6 +157,7 @@ impl Bdaas {
         compiled: &CompiledCampaign,
         input: Table,
         auxiliary: &HashMap<String, Table>,
+        recovery: Option<&RecoverySpec>,
     ) -> Result<CampaignOutcome> {
         let started = Instant::now();
         let mut state = PipelineState::new(input);
@@ -148,6 +170,7 @@ impl Bdaas {
             engine_config: compiled.deployment.engine_config.clone(),
             auxiliary,
             seed: compiled.spec.seed,
+            recovery,
         };
         execute_composition(&compiled.procedural.composition, &ctx, &mut state)?;
         let runtime_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -179,6 +202,7 @@ impl Bdaas {
                 engine_config: compiled.deployment.engine_config.clone(),
                 auxiliary,
                 seed: compiled.spec.seed,
+                recovery: None,
             };
             execute_composition(&compiled.procedural.composition, &ctx, &mut state)?;
             batch_latencies.push(batch_started.elapsed().as_secs_f64() * 1e3);
@@ -405,6 +429,63 @@ fn infer_manifest(
     let _ = spec;
     manifest.columns_output = columns;
     manifest
+}
+
+/// How a campaign run interacts with the checkpoint store. A campaign may
+/// run several dataflow engines in sequence (one per processing stage);
+/// each gets its own checkpoint subdirectory `<run_id>/engine-NNN`, keyed
+/// by its ordinal in execution order.
+#[derive(Debug, Clone)]
+pub struct RecoverySpec {
+    /// Root checkpoint directory.
+    pub root: PathBuf,
+    /// Campaign-level run identity.
+    pub run_id: String,
+    /// When true, restore completed waves before executing.
+    pub resume: bool,
+    /// Deterministic process-kill point for the crash-recovery harness.
+    pub kill: Option<BoundaryKillSpec>,
+}
+
+impl RecoverySpec {
+    /// Checkpoint a fresh campaign run.
+    pub fn new(root: impl Into<PathBuf>, run_id: impl Into<String>) -> Self {
+        RecoverySpec {
+            root: root.into(),
+            run_id: run_id.into(),
+            resume: false,
+            kill: None,
+        }
+    }
+
+    /// Resume a previously checkpointed campaign run. Kill-free by design:
+    /// the kill point belongs to the run being killed, not its resume, so a
+    /// single resume always completes.
+    pub fn resume(root: impl Into<PathBuf>, run_id: impl Into<String>) -> Self {
+        RecoverySpec {
+            root: root.into(),
+            run_id: run_id.into(),
+            resume: true,
+            kill: None,
+        }
+    }
+
+    pub fn with_kill(mut self, kill: BoundaryKillSpec) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+}
+
+/// Kill the process (or halt the run) when shuffle wave `wave` of the
+/// campaign's `engine`-th dataflow run completes — after that wave's
+/// checkpoint is durable.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundaryKillSpec {
+    /// Zero-based ordinal of the engine run within the campaign.
+    pub engine: usize,
+    /// Zero-based shuffle-wave index within that engine run.
+    pub wave: usize,
+    pub mode: toreador_dataflow::fault::KillMode,
 }
 
 /// A compiled, ready-to-run campaign.
@@ -661,5 +742,156 @@ goal classification target=sex features=cost,visits expect accuracy >= 0.95
             !compiled.warnings.is_empty(),
             "privacy/accuracy tension warning expected"
         );
+    }
+
+    fn revenue_campaign(bdaas: &Bdaas) -> CampaignSpec {
+        bdaas
+            .parse(
+                r#"
+campaign revenue on clicks
+seed 7
+goal filtering predicate="action == 'purchase'"
+goal aggregation group_by=country agg=sum:price:revenue,count:event_id:n
+goal reporting using viz.report.table limit=5
+"#,
+            )
+            .unwrap()
+    }
+
+    fn recovery_root(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("toreador-campaign-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tasks_started(trace: &toreador_dataflow::trace::RunTrace) -> usize {
+        use toreador_dataflow::trace::TraceEventKind;
+        trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::TaskStarted { .. }))
+            .count()
+    }
+
+    #[test]
+    fn killed_campaign_resumes_to_an_identical_outcome() {
+        use toreador_dataflow::fault::KillMode;
+        use toreador_dataflow::trace::TraceEventKind;
+
+        let bdaas = Bdaas::new();
+        let spec = revenue_campaign(&bdaas);
+        let data = clickstream(2_000, 42);
+        let compiled = bdaas
+            .compile(&spec, data.schema(), data.num_rows())
+            .unwrap();
+        let baseline = bdaas.run(&compiled, data.clone(), &aux()).unwrap();
+        assert!(
+            baseline.engine_metrics.len() >= 2,
+            "filtering + aggregation should each drive an engine run"
+        );
+
+        // Kill the campaign at the second engine's first stage boundary:
+        // engine 0 has fully completed and checkpointed by then.
+        let root = recovery_root("kill");
+        let rec = RecoverySpec::new(root.clone(), "camp").with_kill(BoundaryKillSpec {
+            engine: 1,
+            wave: 0,
+            mode: KillMode::Halt,
+        });
+        let err = bdaas
+            .run_with_recovery(&compiled, data.clone(), &aux(), &rec)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("killed at stage boundary"),
+            "{err}"
+        );
+
+        // One kill-free resume completes the whole campaign, byte-identical.
+        let resumed = bdaas
+            .run_with_recovery(
+                &compiled,
+                data,
+                &aux(),
+                &RecoverySpec::resume(root.clone(), "camp"),
+            )
+            .unwrap();
+        assert_eq!(resumed.output, baseline.output);
+        assert_eq!(resumed.engine_metrics.len(), baseline.engine_metrics.len());
+
+        // Engine 0 was fully checkpointed before the kill: its resumed
+        // trace restores every wave and starts zero tasks.
+        let t0 = &resumed.engine_traces[0];
+        assert_eq!(tasks_started(t0), 0, "engine 0 must be restored, not rerun");
+        assert!(t0
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::StageRestored { .. })));
+        // Engine 1 restored its killed-after wave 0 and recomputed the rest.
+        let t1 = &resumed.engine_traces[1];
+        assert!(t1
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::StageRestored { .. })));
+        assert!(tasks_started(t1) < tasks_started(&baseline.engine_traces[1]) + 1);
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn campaign_resume_refuses_changed_inputs() {
+        use toreador_dataflow::fault::KillMode;
+
+        let bdaas = Bdaas::new();
+        let spec = revenue_campaign(&bdaas);
+        let data = clickstream(1_000, 5);
+        let compiled = bdaas
+            .compile(&spec, data.schema(), data.num_rows())
+            .unwrap();
+        let root = recovery_root("stale");
+        let rec = RecoverySpec::new(root.clone(), "camp").with_kill(BoundaryKillSpec {
+            engine: 0,
+            wave: 0,
+            mode: KillMode::Halt,
+        });
+        bdaas
+            .run_with_recovery(&compiled, data, &aux(), &rec)
+            .unwrap_err();
+
+        // Resume against different input data: classified refusal, not a
+        // silent wrong answer.
+        let other = clickstream(1_000, 6);
+        let err = bdaas
+            .run_with_recovery(
+                &compiled,
+                other,
+                &aux(),
+                &RecoverySpec::resume(root.clone(), "camp"),
+            )
+            .unwrap_err();
+        match err {
+            CoreError::StaleCheckpoint { mismatch, .. } => assert_eq!(mismatch, "inputs"),
+            other => panic!("expected StaleCheckpoint, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stream_campaigns_refuse_checkpointed_recovery() {
+        let bdaas = Bdaas::new();
+        let spec = bdaas
+            .parse(
+                "campaign live on clicks\nmode stream window=7200000\ngoal filtering predicate=\"action == 'purchase'\"\n",
+            )
+            .unwrap();
+        let data = clickstream(400, 1);
+        let compiled = bdaas
+            .compile(&spec, data.schema(), data.num_rows())
+            .unwrap();
+        let root = recovery_root("stream");
+        let err = bdaas
+            .run_with_recovery(&compiled, data, &aux(), &RecoverySpec::new(root, "camp"))
+            .unwrap_err();
+        assert!(err.to_string().contains("batch campaigns only"), "{err}");
     }
 }

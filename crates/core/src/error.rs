@@ -18,6 +18,11 @@ pub enum CoreError {
     Parameter { service: String, message: String },
     /// Execution failed in the dataflow engine.
     Execution(String),
+    /// A resume was refused: the checkpointed run no longer matches the
+    /// recompiled campaign (`mismatch` names what changed). Kept as its own
+    /// variant so callers can tell "refuse to serve stale data" apart from
+    /// a run that failed.
+    StaleCheckpoint { run_id: String, mismatch: String },
     /// Analytics failure while running a service.
     Analytics(String),
     /// Privacy enforcement failure while running a service.
@@ -39,6 +44,10 @@ impl fmt::Display for CoreError {
                 write!(f, "bad parameter for {service}: {message}")
             }
             CoreError::Execution(m) => write!(f, "execution failed: {m}"),
+            CoreError::StaleCheckpoint { run_id, mismatch } => write!(
+                f,
+                "stale checkpoint for run {run_id:?}: {mismatch} changed since the checkpoint was written"
+            ),
             CoreError::Analytics(m) => write!(f, "analytics failed: {m}"),
             CoreError::Privacy(m) => write!(f, "privacy enforcement failed: {m}"),
             CoreError::Data(m) => write!(f, "data error: {m}"),
@@ -56,7 +65,12 @@ impl From<toreador_catalog::registry::CatalogError> for CoreError {
 
 impl From<toreador_dataflow::error::FlowError> for CoreError {
     fn from(e: toreador_dataflow::error::FlowError) -> Self {
-        CoreError::Execution(e.to_string())
+        match e {
+            toreador_dataflow::error::FlowError::StaleCheckpoint { run_id, mismatch } => {
+                CoreError::StaleCheckpoint { run_id, mismatch }
+            }
+            other => CoreError::Execution(other.to_string()),
+        }
     }
 }
 

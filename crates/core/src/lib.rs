@@ -56,7 +56,9 @@ pub mod service_impl;
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
     pub use crate::alternatives::{enumerate, Alternative, Dimension};
-    pub use crate::compile::{Bdaas, CampaignOutcome, CompiledCampaign, ObjectiveOutcome};
+    pub use crate::compile::{
+        Bdaas, BoundaryKillSpec, CampaignOutcome, CompiledCampaign, ObjectiveOutcome, RecoverySpec,
+    };
     pub use crate::consistency::{check, is_consistent, Finding, Severity};
     pub use crate::declarative::{
         CampaignSpec, Goal, Indicator, Objective, ProcessingMode, Target,

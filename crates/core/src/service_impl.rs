@@ -92,6 +92,9 @@ pub struct ServiceContext<'a> {
     pub auxiliary: &'a std::collections::HashMap<String, Table>,
     /// Campaign seed for splits/DP noise.
     pub seed: u64,
+    /// Checkpoint/resume/kill wiring for the crash-recovery path (None for
+    /// plain runs).
+    pub recovery: Option<&'a crate::compile::RecoverySpec>,
 }
 
 /// Execute a composition tree against the state.
@@ -133,7 +136,26 @@ fn run_flow(
     state: &mut PipelineState,
     build: impl FnOnce(&Engine, Dataflow) -> Result<Dataflow>,
 ) -> Result<()> {
-    let mut engine = Engine::new(ctx.engine_config.clone());
+    let mut config = ctx.engine_config.clone();
+    if let Some(rec) = ctx.recovery {
+        // Processing stages run sequentially, so the number of engine
+        // results collected so far is this run's deterministic ordinal —
+        // stable across a kill and its resume.
+        let ordinal = state.engine_metrics.len();
+        config.checkpoint = Some(toreador_dataflow::checkpoint::CheckpointSpec {
+            root: rec.root.clone(),
+            run_id: format!("{}/engine-{ordinal:03}", rec.run_id),
+            resume: rec.resume,
+        });
+        if let Some(kill) = rec.kill.filter(|k| k.engine == ordinal) {
+            config.resilience.chaos = config
+                .resilience
+                .chaos
+                .clone()
+                .with_boundary_kill(kill.wave, kill.mode);
+        }
+    }
+    let mut engine = Engine::new(config);
     engine.register("__current", state.table.clone())?;
     for (name, t) in ctx.auxiliary {
         engine.register(name.clone(), t.clone())?;
@@ -959,6 +981,7 @@ mod tests {
             engine_config: EngineConfig::default().with_threads(2),
             auxiliary: aux,
             seed: 42,
+            recovery: None,
         }
     }
 

@@ -1,0 +1,710 @@
+//! Stage-boundary checkpointing with crash-resume.
+//!
+//! After each shuffle wave completes, the executor atomically materialises
+//! the wave's partitioned output (through the lane-based row codec in
+//! [`crate::shuffle`]) plus a manifest into a per-run checkpoint directory,
+//! following the `toreador-store` WAL conventions: temp-write + rename +
+//! directory fsync on the write side, CRC-checked frames on the read side.
+//! A process killed at any stage boundary can then [`RunCheckpoint::resume`]:
+//! the manifest is validated against the recompiled plan (fingerprint
+//! mismatch ⇒ [`FlowError::StaleCheckpoint`], never stale data), completed
+//! waves are loaded instead of recomputed, and the scheduler re-enters at
+//! the first incomplete wave. Restores are provable from the trace journal:
+//! zero `TaskStarted` events for restored waves, `StageRestored` events
+//! instead.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <root>/<run_id>/
+//!   manifest.json     run identity: plan/config/input fingerprints, seeds
+//!   wave-0000.ckpt    one file per completed shuffle wave
+//!   wave-0001.ckpt
+//! ```
+//!
+//! A wave file is `TORCKPT1` magic followed by CRC-framed records
+//! (`[len: u32 LE][crc32: u32 LE][payload]`): frame 0 is a JSON header
+//! (stage id, wave index, per-partition row counts and CRCs, schema), then
+//! one frame per partition holding its lane-encoded rows. Torn or corrupt
+//! frames fail the load with [`FlowError::Checkpoint`] — a checkpoint is
+//! either provably intact or not used.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use toreador_data::partition::PartitionedTable;
+use toreador_data::schema::Schema;
+use toreador_data::table::Table;
+
+use crate::error::{FlowError, Result};
+use crate::shuffle::{decode_table, encode_table};
+
+/// Wave-file magic: 8 bytes, versioned by the trailing digit.
+const WAVE_MAGIC: &[u8; 8] = b"TORCKPT1";
+
+/// Manifest format version; bumped on breaking layout changes.
+const FORMAT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE), table-driven. The store crate has its own copy; the two
+// layers stay dependency-free of each other on purpose.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE 802.3) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints: FNV-1a folded over the things that must not change between
+// the checkpointed run and its resume.
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn fnv(bytes: impl IntoIterator<Item = u8>, mut h: u64) -> u64 {
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprint of the *optimized* plan, via its `explain()` rendering: any
+/// operator, expression or ordering change invalidates checkpoints.
+pub fn plan_fingerprint(explain: &str) -> String {
+    format!("{:016x}", fnv(explain.bytes(), FNV_OFFSET))
+}
+
+/// Fingerprint of the engine-config knobs that shape the wave layout.
+/// Partition count changes the shape of every wave; partial aggregation,
+/// vectorization and narrow-chain fusion change how many waves exist.
+pub fn config_fingerprint(
+    partitions: usize,
+    partial_aggregation: bool,
+    vectorized: bool,
+    fuse_narrow: bool,
+) -> String {
+    let s = format!(
+        "partitions={partitions} partial_agg={partial_aggregation} \
+         vectorized={vectorized} fuse_narrow={fuse_narrow}"
+    );
+    format!("{:016x}", fnv(s.bytes(), FNV_OFFSET))
+}
+
+/// Fingerprint of the scanned input datasets: name, schema, row count, and
+/// every row's stable hash (via the shuffle layer's columnar hasher), folded
+/// in dataset order. `scanned` must already be sorted and deduplicated, as
+/// `LogicalPlan::scanned_datasets` returns it.
+pub fn input_fingerprint(
+    datasets: &HashMap<String, PartitionedTable>,
+    scanned: &[String],
+) -> Result<String> {
+    let mut h = FNV_OFFSET;
+    for name in scanned {
+        let data = datasets
+            .get(name)
+            .ok_or_else(|| FlowError::UnknownDataset(name.clone()))?;
+        h = fnv(name.bytes(), h);
+        for part in data.parts() {
+            let schema = part.schema();
+            for f in schema.fields() {
+                h = fnv(f.name.bytes(), h);
+                h = fnv(format!("{:?}:{}", f.data_type, f.nullable).bytes(), h);
+            }
+            h = fnv((part.num_rows() as u64).to_le_bytes(), h);
+            for col in part.columns() {
+                for code in crate::shuffle::column_hash_codes(col) {
+                    h = fnv(code.to_le_bytes(), h);
+                }
+            }
+        }
+    }
+    Ok(format!("{h:016x}"))
+}
+
+// ---------------------------------------------------------------------------
+// Spec + manifest
+// ---------------------------------------------------------------------------
+
+/// Where a run checkpoints and whether it first tries to restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Root checkpoint directory; runs get per-`run_id` subdirectories.
+    pub root: PathBuf,
+    /// Stable identity of the run (may contain `/` for per-engine subruns).
+    pub run_id: String,
+    /// When true, load any completed waves before executing.
+    pub resume: bool,
+}
+
+impl CheckpointSpec {
+    /// Checkpoint a fresh run under `root/run_id`.
+    pub fn new(root: impl Into<PathBuf>, run_id: impl Into<String>) -> Self {
+        CheckpointSpec {
+            root: root.into(),
+            run_id: run_id.into(),
+            resume: false,
+        }
+    }
+
+    /// Resume (or start, if nothing was checkpointed) run `run_id`.
+    pub fn resume(root: impl Into<PathBuf>, run_id: impl Into<String>) -> Self {
+        CheckpointSpec {
+            root: root.into(),
+            run_id: run_id.into(),
+            resume: true,
+        }
+    }
+
+    /// The run's checkpoint directory.
+    pub fn dir(&self) -> PathBuf {
+        self.root.join(&self.run_id)
+    }
+}
+
+/// Run identity persisted alongside the wave files. A resume refuses to
+/// serve checkpointed partitions unless every fingerprint still matches the
+/// freshly recompiled campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointManifest {
+    pub format_version: u32,
+    pub run_id: String,
+    /// FNV-1a of the optimized plan's `explain()` text.
+    pub plan_fingerprint: String,
+    /// FNV-1a of the wave-shaping engine-config knobs.
+    pub config_fingerprint: String,
+    /// FNV-1a of the scanned datasets (schemas, row counts, row hashes).
+    pub input_fingerprint: String,
+    /// Chaos seed the run was recorded under (provenance, not validated:
+    /// resumes deliberately run with a different — usually empty — plan).
+    pub chaos_seed: u64,
+    /// Configured partition count (redundant with the config fingerprint,
+    /// kept readable for humans and the CLI).
+    pub partitions: usize,
+}
+
+/// Header frame of one wave file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WaveHeader {
+    stage: usize,
+    wave: usize,
+    partitions: usize,
+    row_counts: Vec<usize>,
+    /// CRC32 of each partition's encoded payload, cross-checked against the
+    /// frame CRCs on load (belt and braces: the header travels in its own
+    /// frame, so either record can vouch for the other).
+    partition_crcs: Vec<u32>,
+    schema: Schema,
+}
+
+/// One wave loaded back from disk, waiting for the scheduler to claim it.
+#[derive(Debug)]
+pub struct RestoredWave {
+    pub stage: usize,
+    pub tables: Vec<Table>,
+    pub rows: u64,
+}
+
+// ---------------------------------------------------------------------------
+// I/O helpers (the store WAL conventions)
+// ---------------------------------------------------------------------------
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> FlowError {
+    FlowError::Checkpoint(format!("{what} {}: {e}", path.display()))
+}
+
+/// Best-effort POSIX directory fsync, as in `toreador-store`.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Atomically publish `bytes` at `path`: temp-write + fsync + rename + dir
+/// fsync. A reader never observes a torn file under its final name.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let dir = path
+        .parent()
+        .ok_or_else(|| FlowError::Checkpoint(format!("no parent dir for {}", path.display())))?;
+    let tmp = path.with_extension("tmp");
+    let mut f = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| io_err("create", &tmp, e))?;
+    f.write_all(bytes).map_err(|e| io_err("write", &tmp, e))?;
+    f.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| io_err("rename", path, e))?;
+    sync_dir(dir);
+    Ok(())
+}
+
+fn push_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Pop one CRC-checked frame off the front of `bytes`.
+fn take_frame<'a>(bytes: &mut &'a [u8], path: &Path) -> Result<&'a [u8]> {
+    let corrupt =
+        |what: &str| FlowError::Checkpoint(format!("corrupt wave file {}: {what}", path.display()));
+    if bytes.len() < 8 {
+        return Err(corrupt("truncated frame header"));
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if bytes.len() < 8 + len {
+        return Err(corrupt("truncated frame payload"));
+    }
+    let payload = &bytes[8..8 + len];
+    if crc32(payload) != crc {
+        return Err(corrupt("frame crc mismatch"));
+    }
+    *bytes = &bytes[8 + len..];
+    Ok(payload)
+}
+
+fn wave_path(dir: &Path, wave: usize) -> PathBuf {
+    dir.join(format!("wave-{wave:04}.ckpt"))
+}
+
+/// `wave-<n>.ckpt` → `n`.
+fn parse_wave_name(name: &str) -> Option<usize> {
+    name.strip_prefix("wave-")?
+        .strip_suffix(".ckpt")?
+        .parse()
+        .ok()
+}
+
+// ---------------------------------------------------------------------------
+// RunCheckpoint
+// ---------------------------------------------------------------------------
+
+/// The live checkpoint of one run: persists completed waves, and on resume
+/// hands restored waves back to the scheduler exactly once each.
+#[derive(Debug)]
+pub struct RunCheckpoint {
+    dir: PathBuf,
+    restored: Mutex<HashMap<usize, RestoredWave>>,
+}
+
+impl RunCheckpoint {
+    /// Start checkpointing a fresh run: create the directory and publish
+    /// the manifest before any wave executes.
+    pub fn create(spec: &CheckpointSpec, manifest: &CheckpointManifest) -> Result<Self> {
+        let dir = spec.dir();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create dir", &dir, e))?;
+        // Clear any stale waves from a previous run under the same id: they
+        // belong to a manifest about to be overwritten.
+        for entry in fs::read_dir(&dir).map_err(|e| io_err("read dir", &dir, e))? {
+            let entry = entry.map_err(|e| io_err("read dir", &dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if parse_wave_name(&name).is_some() || name.ends_with(".tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        let json = serde_json::to_string(manifest)
+            .map_err(|e| FlowError::Checkpoint(format!("encode manifest: {e}")))?;
+        write_atomic(&dir.join("manifest.json"), json.as_bytes())?;
+        if let Some(parent) = dir.parent() {
+            sync_dir(parent);
+        }
+        Ok(RunCheckpoint {
+            dir,
+            restored: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// True when a manifest exists for this run id (i.e. a previous run got
+    /// far enough to be resumable at all).
+    pub fn manifest_exists(spec: &CheckpointSpec) -> bool {
+        spec.dir().join("manifest.json").is_file()
+    }
+
+    /// Resume a previously checkpointed run: validate the stored manifest
+    /// against `expected` (the freshly recompiled identity) and eagerly
+    /// load every intact wave file. Fingerprint mismatches refuse with
+    /// [`FlowError::StaleCheckpoint`] naming what changed.
+    pub fn resume(spec: &CheckpointSpec, expected: &CheckpointManifest) -> Result<Self> {
+        let dir = spec.dir();
+        let manifest_path = dir.join("manifest.json");
+        let text = fs::read_to_string(&manifest_path)
+            .map_err(|e| io_err("read manifest", &manifest_path, e))?;
+        let stored: CheckpointManifest = serde_json::from_str(&text)
+            .map_err(|e| FlowError::Checkpoint(format!("decode manifest: {e}")))?;
+        let stale = |mismatch: &str| FlowError::StaleCheckpoint {
+            run_id: spec.run_id.clone(),
+            mismatch: mismatch.to_owned(),
+        };
+        if stored.format_version != FORMAT_VERSION {
+            return Err(stale("checkpoint format version"));
+        }
+        if stored.run_id != expected.run_id {
+            return Err(stale("run id"));
+        }
+        if stored.plan_fingerprint != expected.plan_fingerprint {
+            return Err(stale("plan"));
+        }
+        // Config before inputs: a partition-count change also reshapes the
+        // registered inputs' layout, and naming the config is the more
+        // precise diagnosis of the two.
+        if stored.config_fingerprint != expected.config_fingerprint {
+            return Err(stale("engine config"));
+        }
+        if stored.input_fingerprint != expected.input_fingerprint {
+            return Err(stale("inputs"));
+        }
+        let mut restored = HashMap::new();
+        let mut names: Vec<usize> = fs::read_dir(&dir)
+            .map_err(|e| io_err("read dir", &dir, e))?
+            .filter_map(|entry| {
+                let entry = entry.ok()?;
+                parse_wave_name(&entry.file_name().to_string_lossy())
+            })
+            .collect();
+        names.sort_unstable();
+        for wave in names {
+            let path = wave_path(&dir, wave);
+            restored.insert(wave, load_wave(&path, wave)?);
+        }
+        Ok(RunCheckpoint {
+            dir,
+            restored: Mutex::new(restored),
+        })
+    }
+
+    /// Claim the restored output of `wave`, if this run checkpointed it.
+    /// Each wave is claimable once: the scheduler consumes it in place of
+    /// running the wave's tasks.
+    pub fn take_restored(&self, wave: usize) -> Option<RestoredWave> {
+        self.restored.lock().remove(&wave)
+    }
+
+    /// Number of restored waves not yet claimed by the scheduler.
+    pub fn restored_pending(&self) -> usize {
+        self.restored.lock().len()
+    }
+
+    /// Durably persist the completed output of `wave` (executed at `stage`).
+    /// Returns the encoded payload bytes written. The file only appears
+    /// under its final name after the fsync — a kill at any point leaves
+    /// either the previous state or the complete wave, nothing between.
+    pub fn persist_wave(&self, stage: usize, wave: usize, out: &[Table]) -> Result<u64> {
+        let schema = out
+            .first()
+            .map(|t| t.schema().clone())
+            .unwrap_or_else(Schema::empty);
+        let mut payloads = Vec::with_capacity(out.len());
+        let mut row_counts = Vec::with_capacity(out.len());
+        let mut partition_crcs = Vec::with_capacity(out.len());
+        let mut payload_bytes = 0u64;
+        for t in out {
+            let mut buf = BytesMut::new();
+            encode_table(t, &mut buf);
+            let buf = buf.freeze();
+            payload_bytes += buf.len() as u64;
+            row_counts.push(t.num_rows());
+            partition_crcs.push(crc32(&buf));
+            payloads.push(buf);
+        }
+        let header = WaveHeader {
+            stage,
+            wave,
+            partitions: out.len(),
+            row_counts,
+            partition_crcs,
+            schema,
+        };
+        let header_json = serde_json::to_string(&header)
+            .map_err(|e| FlowError::Checkpoint(format!("encode wave header: {e}")))?
+            .into_bytes();
+        let mut file = Vec::with_capacity(
+            WAVE_MAGIC.len() + 8 + header_json.len() + payload_bytes as usize + 8 * payloads.len(),
+        );
+        file.extend_from_slice(WAVE_MAGIC);
+        push_frame(&mut file, &header_json);
+        for p in &payloads {
+            push_frame(&mut file, p);
+        }
+        write_atomic(&wave_path(&self.dir, wave), &file)?;
+        Ok(payload_bytes)
+    }
+}
+
+/// Read one wave file back, CRC-checking every frame and cross-checking the
+/// header's per-partition row counts and CRCs.
+fn load_wave(path: &Path, wave: usize) -> Result<RestoredWave> {
+    let corrupt =
+        |what: &str| FlowError::Checkpoint(format!("corrupt wave file {}: {what}", path.display()));
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err("read", path, e))?;
+    let mut rest = bytes.as_slice();
+    if rest.len() < WAVE_MAGIC.len() || &rest[..WAVE_MAGIC.len()] != WAVE_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    rest = &rest[WAVE_MAGIC.len()..];
+    let header_text = std::str::from_utf8(take_frame(&mut rest, path)?)
+        .map_err(|_| corrupt("wave header is not utf-8"))?;
+    let header: WaveHeader = serde_json::from_str(header_text)
+        .map_err(|e| FlowError::Checkpoint(format!("decode wave header: {e}")))?;
+    if header.wave != wave {
+        return Err(corrupt("wave index does not match file name"));
+    }
+    if header.row_counts.len() != header.partitions
+        || header.partition_crcs.len() != header.partitions
+    {
+        return Err(corrupt("header partition counts disagree"));
+    }
+    let mut tables = Vec::with_capacity(header.partitions);
+    let mut rows = 0u64;
+    for i in 0..header.partitions {
+        let payload = take_frame(&mut rest, path)?;
+        if crc32(payload) != header.partition_crcs[i] {
+            return Err(corrupt("partition crc does not match header"));
+        }
+        let table = decode_table(
+            &header.schema,
+            header.row_counts[i],
+            Bytes::copy_from_slice(payload),
+        )?;
+        rows += table.num_rows() as u64;
+        tables.push(table);
+    }
+    if !rest.is_empty() {
+        return Err(corrupt("trailing bytes after last partition"));
+    }
+    Ok(RestoredWave {
+        stage: header.stage,
+        tables,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toreador_data::generate::random_table;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("toreador-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manifest(run_id: &str) -> CheckpointManifest {
+        CheckpointManifest {
+            format_version: FORMAT_VERSION,
+            run_id: run_id.to_owned(),
+            plan_fingerprint: "aaaa".into(),
+            config_fingerprint: "bbbb".into(),
+            input_fingerprint: "cccc".into(),
+            chaos_seed: 7,
+            partitions: 4,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn waves_round_trip_through_disk() {
+        let root = temp_root("roundtrip");
+        let spec = CheckpointSpec::new(&root, "run-1");
+        let ck = RunCheckpoint::create(&spec, &manifest("run-1")).unwrap();
+        let parts: Vec<Table> = (0..3).map(|i| random_table(40 + i, 4, i as u64)).collect();
+        let bytes = ck.persist_wave(2, 0, &parts).unwrap();
+        assert!(bytes > 0);
+        ck.persist_wave(3, 1, &parts[..1]).unwrap();
+
+        let resumed =
+            RunCheckpoint::resume(&CheckpointSpec::resume(&root, "run-1"), &manifest("run-1"))
+                .unwrap();
+        assert_eq!(resumed.restored_pending(), 2);
+        let wave0 = resumed.take_restored(0).unwrap();
+        assert_eq!(wave0.stage, 2);
+        assert_eq!(wave0.tables, parts);
+        assert_eq!(
+            wave0.rows,
+            parts.iter().map(|t| t.num_rows() as u64).sum::<u64>()
+        );
+        // Each wave is claimable exactly once.
+        assert!(resumed.take_restored(0).is_none());
+        assert!(resumed.take_restored(1).is_some());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn empty_wave_output_round_trips() {
+        let root = temp_root("empty");
+        let spec = CheckpointSpec::new(&root, "run-e");
+        let ck = RunCheckpoint::create(&spec, &manifest("run-e")).unwrap();
+        ck.persist_wave(0, 0, &[]).unwrap();
+        let resumed =
+            RunCheckpoint::resume(&CheckpointSpec::resume(&root, "run-e"), &manifest("run-e"))
+                .unwrap();
+        let wave = resumed.take_restored(0).unwrap();
+        assert!(wave.tables.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stale_manifests_refuse_with_named_mismatch() {
+        let root = temp_root("stale");
+        let spec = CheckpointSpec::new(&root, "run-2");
+        RunCheckpoint::create(&spec, &manifest("run-2")).unwrap();
+        let rspec = CheckpointSpec::resume(&root, "run-2");
+        for (mutate, expect) in [
+            (
+                Box::new(|m: &mut CheckpointManifest| m.plan_fingerprint = "zz".into())
+                    as Box<dyn Fn(&mut CheckpointManifest)>,
+                "plan",
+            ),
+            (
+                Box::new(|m: &mut CheckpointManifest| m.input_fingerprint = "zz".into()),
+                "inputs",
+            ),
+            (
+                Box::new(|m: &mut CheckpointManifest| m.config_fingerprint = "zz".into()),
+                "engine config",
+            ),
+        ] {
+            let mut expected = manifest("run-2");
+            mutate(&mut expected);
+            match RunCheckpoint::resume(&rspec, &expected) {
+                Err(FlowError::StaleCheckpoint { run_id, mismatch }) => {
+                    assert_eq!(run_id, "run-2");
+                    assert_eq!(mismatch, expect);
+                }
+                other => panic!("expected StaleCheckpoint({expect}), got {other:?}"),
+            }
+        }
+        // Chaos seed is provenance only: a different seed still resumes.
+        let mut expected = manifest("run-2");
+        expected.chaos_seed = 999;
+        assert!(RunCheckpoint::resume(&rspec, &expected).is_ok());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_served() {
+        let root = temp_root("corrupt");
+        let spec = CheckpointSpec::new(&root, "run-3");
+        let ck = RunCheckpoint::create(&spec, &manifest("run-3")).unwrap();
+        let t = random_table(64, 3, 9);
+        ck.persist_wave(1, 0, std::slice::from_ref(&t)).unwrap();
+        let path = wave_path(&spec.dir(), 0);
+        let pristine = fs::read(&path).unwrap();
+        let rspec = CheckpointSpec::resume(&root, "run-3");
+        // Flip one payload byte, truncate, and scribble the magic: every
+        // corruption must surface as FlowError::Checkpoint.
+        let mut flipped = pristine.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        for broken in [
+            flipped,
+            pristine[..pristine.len() - 3].to_vec(),
+            b"NOTCKPT0".to_vec(),
+        ] {
+            fs::write(&path, &broken).unwrap();
+            match RunCheckpoint::resume(&rspec, &manifest("run-3")) {
+                Err(FlowError::Checkpoint(_)) => {}
+                other => panic!("corrupted wave must fail the load, got {other:?}"),
+            }
+        }
+        // Restore the pristine bytes: loads again.
+        fs::write(&path, &pristine).unwrap();
+        assert!(RunCheckpoint::resume(&rspec, &manifest("run-3")).is_ok());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn create_clears_stale_waves_from_a_prior_identity() {
+        let root = temp_root("recreate");
+        let spec = CheckpointSpec::new(&root, "run-4");
+        let ck = RunCheckpoint::create(&spec, &manifest("run-4")).unwrap();
+        ck.persist_wave(0, 0, &[random_table(10, 2, 1)]).unwrap();
+        // A fresh create under the same id must not leave the old wave
+        // behind — a later resume would restore a wave the new manifest
+        // never produced.
+        RunCheckpoint::create(&spec, &manifest("run-4")).unwrap();
+        let resumed =
+            RunCheckpoint::resume(&CheckpointSpec::resume(&root, "run-4"), &manifest("run-4"))
+                .unwrap();
+        assert_eq!(resumed.restored_pending(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        assert_eq!(plan_fingerprint("Scan"), plan_fingerprint("Scan"));
+        assert_ne!(plan_fingerprint("Scan"), plan_fingerprint("Scan\nFilter"));
+        assert_eq!(
+            config_fingerprint(8, true, true, true),
+            config_fingerprint(8, true, true, true)
+        );
+        assert_ne!(
+            config_fingerprint(8, true, true, true),
+            config_fingerprint(4, true, true, true)
+        );
+        let mut datasets = HashMap::new();
+        datasets.insert(
+            "t".to_owned(),
+            PartitionedTable::split(random_table(100, 3, 5), 4).unwrap(),
+        );
+        let scanned = vec!["t".to_owned()];
+        let a = input_fingerprint(&datasets, &scanned).unwrap();
+        assert_eq!(a, input_fingerprint(&datasets, &scanned).unwrap());
+        datasets.insert(
+            "t".to_owned(),
+            PartitionedTable::split(random_table(100, 3, 6), 4).unwrap(),
+        );
+        assert_ne!(a, input_fingerprint(&datasets, &scanned).unwrap());
+        assert!(matches!(
+            input_fingerprint(&datasets, &["missing".to_owned()]),
+            Err(FlowError::UnknownDataset(_))
+        ));
+    }
+}

@@ -44,6 +44,18 @@ pub enum FlowError {
     Cancelled(String),
     /// A shuffle payload could not be decoded.
     Codec(String),
+    /// A checkpoint could not be written or read back (I/O failure,
+    /// truncation, CRC mismatch, malformed manifest).
+    Checkpoint(String),
+    /// A resume was refused because the checkpointed run no longer matches
+    /// the recompiled campaign. `mismatch` names what changed ("plan",
+    /// "inputs" or "engine config") — serving stale partitions would be
+    /// silently wrong, so this is a hard, permanent error.
+    StaleCheckpoint { run_id: String, mismatch: String },
+    /// A deterministic chaos kill point fired at a stage boundary. The wave
+    /// that just completed was durably checkpointed first, so a resume
+    /// re-enters after it.
+    KilledAtBoundary { stage: usize, wave: usize },
 }
 
 impl fmt::Display for FlowError {
@@ -67,6 +79,15 @@ impl fmt::Display for FlowError {
             ),
             FlowError::Cancelled(msg) => write!(f, "execution cancelled: {msg}"),
             FlowError::Codec(msg) => write!(f, "shuffle codec error: {msg}"),
+            FlowError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            FlowError::StaleCheckpoint { run_id, mismatch } => write!(
+                f,
+                "stale checkpoint for run {run_id:?}: {mismatch} changed since the checkpoint was written"
+            ),
+            FlowError::KilledAtBoundary { stage, wave } => write!(
+                f,
+                "killed at stage boundary (stage {stage}, wave {wave})"
+            ),
         }
     }
 }
@@ -118,6 +139,20 @@ mod tests {
         };
         let s = p.to_string();
         assert!(s.contains("panicked") && s.contains("partition 2") && s.contains("boom"));
+    }
+
+    #[test]
+    fn checkpoint_errors_name_the_cause() {
+        let s = FlowError::Checkpoint("bad crc in wave-0003".into()).to_string();
+        assert!(s.contains("checkpoint error") && s.contains("wave-0003"));
+        let s = FlowError::StaleCheckpoint {
+            run_id: "run-7".into(),
+            mismatch: "plan".into(),
+        }
+        .to_string();
+        assert!(s.contains("run-7") && s.contains("plan changed"));
+        let s = FlowError::KilledAtBoundary { stage: 2, wave: 3 }.to_string();
+        assert!(s.contains("stage 2") && s.contains("wave 3"));
     }
 
     #[test]

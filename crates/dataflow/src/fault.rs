@@ -117,6 +117,27 @@ pub struct TargetedFault {
     pub kind: FaultKind,
 }
 
+/// What a boundary kill point does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KillMode {
+    /// Abort the run in-process with `FlowError::KilledAtBoundary` — the
+    /// testable stand-in for process death, usable on a 16-thread pool
+    /// inside one test binary.
+    Halt,
+    /// Really die: `std::process::exit(code)` without unwinding, the
+    /// closest safe approximation of `kill -9` the CI harness can drive.
+    Exit { code: i32 },
+}
+
+/// One deterministic process-kill point: fire when shuffle wave `wave`
+/// completes (after its checkpoint is durable, before the next wave runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundaryKill {
+    /// Zero-based shuffle-wave index within the run.
+    pub wave: usize,
+    pub kind: KillMode,
+}
+
 /// A deterministic chaos schedule: per-kind Bernoulli rates plus targeted
 /// single-shot faults, all decided by pure functions of the coordinates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -133,6 +154,18 @@ pub struct ChaosPlan {
     pub delay_micros: u64,
     /// Targeted schedules, consulted before the rates.
     pub targeted: Vec<TargetedFault>,
+    /// Stage-boundary kill points, fired after a wave's checkpoint lands.
+    /// Absent in chaos plans serialized before this field existed, which
+    /// therefore parse as empty.
+    #[serde(default, deserialize_with = "de_boundary_kills")]
+    pub boundary_kills: Vec<BoundaryKill>,
+}
+
+fn de_boundary_kills<'de, D: serde::Deserializer<'de>>(
+    d: D,
+) -> std::result::Result<Vec<BoundaryKill>, D::Error> {
+    let v: Option<Vec<BoundaryKill>> = Deserialize::deserialize(d)?;
+    Ok(v.unwrap_or_default())
 }
 
 impl ChaosPlan {
@@ -191,12 +224,28 @@ impl ChaosPlan {
         self
     }
 
+    /// Add one stage-boundary kill point.
+    pub fn with_boundary_kill(mut self, wave: usize, kind: KillMode) -> Self {
+        self.boundary_kills.push(BoundaryKill { wave, kind });
+        self
+    }
+
+    /// The kill scheduled for the boundary after shuffle wave `wave`, if
+    /// any. Deterministic: purely a lookup of the schedule.
+    pub fn kill_at_boundary(&self, wave: usize) -> Option<KillMode> {
+        self.boundary_kills
+            .iter()
+            .find(|k| k.wave == wave)
+            .map(|k| k.kind)
+    }
+
     /// True when this plan can never inject anything.
     pub fn is_none(&self) -> bool {
         self.crash_rate <= 0.0
             && self.panic_rate <= 0.0
             && self.delay_rate <= 0.0
             && self.targeted.is_empty()
+            && self.boundary_kills.is_empty()
     }
 
     /// Deterministically decide what (if anything) happens to attempt
@@ -319,6 +368,7 @@ mod tests {
             delay_rate: 0.2,
             delay_micros: 50,
             targeted: Vec::new(),
+            boundary_kills: Vec::new(),
         };
         let mut counts = [0usize; 4]; // crash, panic, delay, none
         for i in 0..6_000 {
@@ -378,9 +428,33 @@ mod tests {
                 partition: 0,
                 attempt: 2,
                 kind: FaultKind::Delay { micros: 9 },
-            });
+            })
+            .with_boundary_kill(2, KillMode::Exit { code: 42 });
         let j = serde_json::to_string(&c).unwrap();
         let back: ChaosPlan = serde_json::from_str(&j).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn pre_kill_point_chaos_json_still_deserializes() {
+        // Plans persisted before boundary_kills existed must parse.
+        let j = r#"{"seed":3,"crash_rate":0.1,"panic_rate":0.0,"delay_rate":0.0,"delay_micros":0,"targeted":[]}"#;
+        let back: ChaosPlan = serde_json::from_str(j).unwrap();
+        assert!(back.boundary_kills.is_empty());
+        assert_eq!(back, ChaosPlan::crashes(0.1, 3));
+    }
+
+    #[test]
+    fn boundary_kills_are_wave_keyed_and_count_against_is_none() {
+        let c = ChaosPlan::none()
+            .with_boundary_kill(1, KillMode::Halt)
+            .with_boundary_kill(3, KillMode::Exit { code: 42 });
+        assert!(!c.is_none());
+        assert_eq!(c.kill_at_boundary(0), None);
+        assert_eq!(c.kill_at_boundary(1), Some(KillMode::Halt));
+        assert_eq!(c.kill_at_boundary(2), None);
+        assert_eq!(c.kill_at_boundary(3), Some(KillMode::Exit { code: 42 }));
+        // Kill points never touch the per-task fault stream.
+        assert_eq!(c.fault_for(1, 0, 0), None);
     }
 }

@@ -44,6 +44,7 @@
 //! assert!(result.metrics.total_shuffle_bytes() > 0);
 //! ```
 
+pub mod checkpoint;
 pub mod error;
 pub mod expr;
 pub mod fault;
@@ -61,9 +62,12 @@ pub mod vexpr;
 
 /// Convenient glob import of the engine's public surface.
 pub mod prelude {
+    pub use crate::checkpoint::{CheckpointManifest, CheckpointSpec};
     pub use crate::error::{FlowError, Result as FlowResult};
     pub use crate::expr::{col, lit, Expr, Func};
-    pub use crate::fault::{ChaosPlan, FaultKind, FaultPlan, TargetedFault};
+    pub use crate::fault::{
+        BoundaryKill, ChaosPlan, FaultKind, FaultPlan, KillMode, TargetedFault,
+    };
     pub use crate::logical::{AggExpr, AggFunc, Dataflow, JoinType, LogicalPlan};
     pub use crate::metrics::{NodeMetrics, RunMetrics};
     pub use crate::optimizer::OptimizerConfig;

@@ -246,6 +246,29 @@ impl MetricsCollector {
         });
     }
 
+    /// A completed shuffle wave's output was durably checkpointed.
+    /// Journal-only, like [`Self::record_operator_batches`]: checkpointed
+    /// and checkpoint-off runs stay metrics-compatible.
+    pub fn stage_checkpointed(&self, stage: usize, wave: usize, partitions: usize, bytes: u64) {
+        self.journal.record(TraceEventKind::StageCheckpointed {
+            stage,
+            wave,
+            partitions,
+            bytes,
+        });
+    }
+
+    /// A wave's output was restored from its checkpoint instead of being
+    /// recomputed. Journal-only.
+    pub fn stage_restored(&self, stage: usize, wave: usize, partitions: usize, rows: u64) {
+        self.journal.record(TraceEventKind::StageRestored {
+            stage,
+            wave,
+            partitions,
+            rows,
+        });
+    }
+
     /// The run tripped cooperative cancellation.
     pub fn run_cancelled(&self, stage: usize, reason: &str) {
         self.journal.record(TraceEventKind::RunCancelled {
@@ -370,6 +393,27 @@ mod tests {
         assert_eq!(totals.backoff_us, 250);
         assert_eq!(totals.speculative_launched, 1);
         assert_eq!(totals.cancellations, 1);
+    }
+
+    #[test]
+    fn checkpoint_events_are_journal_only_and_keep_parity() {
+        let c = MetricsCollector::new();
+        c.task_started(0, 0, 0);
+        c.task_finished(0, 0, 0, true);
+        c.stage_checkpointed(0, 0, 4, 2_048);
+        c.stage_restored(1, 1, 4, 100);
+        let derived = c.finish(Duration::from_millis(1), 100, 4);
+        let legacy = c.finish_legacy(Duration::from_millis(1), 100, 4);
+        assert_eq!(derived, legacy, "checkpoint events must not skew metrics");
+        let trace = c.trace().snapshot();
+        assert!(trace.events.iter().any(|e| matches!(
+            e.kind,
+            TraceEventKind::StageCheckpointed { bytes: 2_048, .. }
+        )));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::StageRestored { rows: 100, .. })));
     }
 
     #[test]

@@ -27,8 +27,10 @@ use toreador_data::schema::{Field, Schema};
 use toreador_data::table::{Table, TableBuilder};
 use toreador_data::value::{DataType, Row, Value};
 
+use crate::checkpoint::RunCheckpoint;
 use crate::error::{FlowError, Result};
 use crate::expr::Expr;
+use crate::fault::KillMode;
 use crate::logical::{AggExpr, AggFunc, JoinType, LogicalPlan};
 use crate::metrics::MetricsCollector;
 use crate::resilience::RunControl;
@@ -76,6 +78,12 @@ pub struct ExecContext<'a> {
     pub config: ExecConfig,
     pub metrics: &'a MetricsCollector,
     stage: AtomicUsize,
+    /// Dense index of shuffle waves (`run_stage` calls). Plan orchestration
+    /// is single-threaded recursion, so for a fixed plan and config the
+    /// wave order is deterministic — which is what lets checkpoints key on
+    /// it across process restarts.
+    wave: AtomicUsize,
+    checkpoint: Option<RunCheckpoint>,
     control: RunControl,
 }
 
@@ -90,8 +98,17 @@ impl<'a> ExecContext<'a> {
             config,
             metrics,
             stage: AtomicUsize::new(0),
+            wave: AtomicUsize::new(0),
+            checkpoint: None,
             control: RunControl::new(),
         }
+    }
+
+    /// Attach a run checkpoint: every completed wave is persisted, and
+    /// restored waves are served instead of recomputed.
+    pub fn with_checkpoint(mut self, checkpoint: RunCheckpoint) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
     }
 
     /// The run-wide control: one retry budget and one cancellation flag
@@ -112,13 +129,51 @@ impl<'a> ExecContext<'a> {
     where
         F: Fn() -> Result<Table> + Send + Sync,
     {
-        run_stage_controlled(
+        let wave = self.wave.fetch_add(1, Ordering::Relaxed);
+        if let Some(ck) = &self.checkpoint {
+            if let Some(restored) = ck.take_restored(wave) {
+                if restored.stage != stage || restored.tables.len() != tasks.len() {
+                    return Err(FlowError::Checkpoint(format!(
+                        "restored wave {wave} does not match the plan: checkpointed \
+                         stage {} with {} partitions, expected stage {stage} with {}",
+                        restored.stage,
+                        restored.tables.len(),
+                        tasks.len()
+                    )));
+                }
+                self.metrics
+                    .stage_restored(stage, wave, restored.tables.len(), restored.rows);
+                return Ok(restored.tables);
+            }
+        }
+        let out = run_stage_controlled(
             &self.config.scheduler,
             self.metrics,
             &self.control,
             stage,
             tasks,
-        )
+        )?;
+        if let Some(ck) = &self.checkpoint {
+            let bytes = ck.persist_wave(stage, wave, &out)?;
+            self.metrics
+                .stage_checkpointed(stage, wave, out.len(), bytes);
+            // Boundary kill points fire only on checkpointed runs, and only
+            // *after* the wave is durable — restored waves return above, so
+            // a kill-free resume sails past every fired kill point.
+            if let Some(mode) = self
+                .config
+                .scheduler
+                .resilience
+                .chaos
+                .kill_at_boundary(wave)
+            {
+                match mode {
+                    KillMode::Exit { code } => std::process::exit(code),
+                    KillMode::Halt => return Err(FlowError::KilledAtBoundary { stage, wave }),
+                }
+            }
+        }
+        Ok(out)
     }
 }
 

@@ -631,6 +631,19 @@ impl<'a> Coordinator<'a> {
         if self.error.is_some() {
             return;
         }
+        // An external cancel — operator interrupt, engine teardown, a
+        // sibling stage's permanent failure — trips the shared RunControl
+        // from outside this wave. Honour it cooperatively: stop claiming,
+        // cancel running attempts, fail with the canceller's reason
+        // (control.cancel is first-reason-wins, so re-raising keeps it).
+        if self.control.is_cancelled() {
+            let reason = self
+                .control
+                .reason()
+                .unwrap_or_else(|| "run cancelled".to_owned());
+            self.fail_stage(FlowError::Cancelled(reason), queue, halt);
+            return;
+        }
         if let Some(dl) = self.deadline_us {
             let mut expired: Vec<(usize, u32)> = Vec::new();
             for (task, st) in self.states.iter_mut().enumerate() {

@@ -12,6 +12,10 @@ use std::time::Instant;
 use toreador_data::partition::PartitionedTable;
 use toreador_data::table::Table;
 
+use crate::checkpoint::{
+    config_fingerprint, input_fingerprint, plan_fingerprint, CheckpointManifest, CheckpointSpec,
+    RunCheckpoint,
+};
 use crate::error::{FlowError, Result};
 use crate::fault::FaultPlan;
 use crate::logical::{Dataflow, LogicalPlan};
@@ -37,6 +41,9 @@ pub struct EngineConfig {
     pub fuse_narrow: bool,
     /// Retry/deadline/speculation policy and the chaos plan for this engine.
     pub resilience: ResilienceConfig,
+    /// When set, every run checkpoints completed shuffle waves here, and
+    /// resuming specs restore them (see [`crate::checkpoint`]).
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +56,7 @@ impl Default for EngineConfig {
             vectorized: true,
             fuse_narrow: true,
             resilience: ResilienceConfig::none(),
+            checkpoint: None,
         }
     }
 }
@@ -93,6 +101,11 @@ impl EngineConfig {
 
     pub fn with_fuse_narrow(mut self, on: bool) -> Self {
         self.fuse_narrow = on;
+        self
+    }
+
+    pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.checkpoint = Some(spec);
         self
     }
 
@@ -184,8 +197,77 @@ impl Engine {
         ))
     }
 
-    /// Optimise and execute, collecting the result into one table.
+    /// Optimise and execute, collecting the result into one table. Honours
+    /// [`EngineConfig::checkpoint`] when set (including its resume flag).
     pub fn run(&self, flow: &Dataflow) -> Result<RunResult> {
+        self.run_with(flow, self.config.checkpoint.clone())
+    }
+
+    /// Run `flow` while checkpointing every completed shuffle wave under
+    /// `run_id` in the configured checkpoint root.
+    pub fn run_checkpointed(
+        &self,
+        flow: &Dataflow,
+        run_id: impl Into<String>,
+    ) -> Result<RunResult> {
+        let spec = CheckpointSpec::new(self.checkpoint_root()?, run_id);
+        self.run_with(flow, Some(spec))
+    }
+
+    /// Resume run `run_id` from its checkpoints: validate the stored
+    /// manifest against the recompiled plan (a mismatch refuses with
+    /// [`FlowError::StaleCheckpoint`]), restore every completed wave
+    /// without recomputing it, and execute only the remaining waves. If no
+    /// checkpoint exists yet for `run_id`, this starts a fresh checkpointed
+    /// run — resuming a run that never got to checkpoint anything is just
+    /// running it.
+    pub fn resume(&self, flow: &Dataflow, run_id: impl Into<String>) -> Result<RunResult> {
+        let spec = CheckpointSpec::resume(self.checkpoint_root()?, run_id);
+        self.run_with(flow, Some(spec))
+    }
+
+    fn checkpoint_root(&self) -> Result<std::path::PathBuf> {
+        self.config
+            .checkpoint
+            .as_ref()
+            .map(|s| s.root.clone())
+            .ok_or_else(|| {
+                FlowError::Checkpoint(
+                    "engine has no checkpoint root configured (EngineConfig::with_checkpoint)"
+                        .to_owned(),
+                )
+            })
+    }
+
+    /// The run identity a checkpoint must match to be resumable: optimized
+    /// plan, wave-shaping config knobs, and scanned-input fingerprints.
+    fn manifest_for(
+        &self,
+        optimized: &LogicalPlan,
+        spec: &CheckpointSpec,
+    ) -> Result<CheckpointManifest> {
+        let scanned: Vec<String> = optimized
+            .scanned_datasets()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        Ok(CheckpointManifest {
+            format_version: 1,
+            run_id: spec.run_id.clone(),
+            plan_fingerprint: plan_fingerprint(&optimized.explain()),
+            config_fingerprint: config_fingerprint(
+                self.config.partitions,
+                self.config.partial_aggregation,
+                self.config.vectorized,
+                self.config.fuse_narrow,
+            ),
+            input_fingerprint: input_fingerprint(&self.datasets, &scanned)?,
+            chaos_seed: self.config.resilience.chaos.seed,
+            partitions: self.config.partitions,
+        })
+    }
+
+    fn run_with(&self, flow: &Dataflow, checkpoint: Option<CheckpointSpec>) -> Result<RunResult> {
         // Validate scans before doing any work.
         for ds in flow.plan().scanned_datasets() {
             if !self.datasets.contains_key(ds) {
@@ -195,7 +277,16 @@ impl Engine {
         let started = Instant::now();
         let optimized = optimize(flow.plan(), &self.config.optimizer)?;
         let metrics = MetricsCollector::new();
-        let ctx = ExecContext::new(&self.datasets, self.config.exec_config(), &metrics);
+        let mut ctx = ExecContext::new(&self.datasets, self.config.exec_config(), &metrics);
+        if let Some(spec) = &checkpoint {
+            let manifest = self.manifest_for(&optimized, spec)?;
+            let ck = if spec.resume && RunCheckpoint::manifest_exists(spec) {
+                RunCheckpoint::resume(spec, &manifest)?
+            } else {
+                RunCheckpoint::create(spec, &manifest)?
+            };
+            ctx = ctx.with_checkpoint(ck);
+        }
         let out = execute(&ctx, &optimized)?;
         let partitions = out.num_partitions() as u64;
         let table = out.collect()?;

@@ -312,6 +312,32 @@ fn encode_row_at(lanes: &[Lane<'_>], i: usize, buf: &mut BytesMut) {
     }
 }
 
+/// Encode every row of a table through the lane codec, producing exactly
+/// the bytes [`encode_row`] would for the materialised rows. This is the
+/// checkpoint wire format: a wave partition persists as its row count plus
+/// this byte stream.
+pub fn encode_table(t: &Table, buf: &mut BytesMut) {
+    let lanes = lanes(t);
+    for i in 0..t.num_rows() {
+        encode_row_at(&lanes, i, buf);
+    }
+}
+
+/// Decode `count` rows of `schema` back into a table, rejecting trailing
+/// bytes — the inverse of [`encode_table`].
+pub fn decode_table(schema: &Schema, count: usize, mut bytes: Bytes) -> Result<Table> {
+    let mut builder = TableBuilder::with_capacity(schema.clone(), count);
+    for _ in 0..count {
+        builder.push_row(decode_row(&mut bytes)?)?;
+    }
+    if bytes.has_remaining() {
+        return Err(FlowError::Codec(
+            "trailing bytes after decoding table".to_owned(),
+        ));
+    }
+    Ok(builder.finish()?)
+}
+
 /// Mean encoded row width over a small prefix sample, used to pre-size the
 /// per-target encode buffers instead of growing them from empty.
 fn estimate_row_bytes(inputs: &[Table]) -> usize {
@@ -593,6 +619,20 @@ mod tests {
             encode_row_at(&lanes, i, &mut by_lane);
             assert_eq!(by_row.freeze(), by_lane.freeze(), "row {i}");
         }
+    }
+
+    #[test]
+    fn table_codec_round_trips_and_rejects_trailing_bytes() {
+        let t = random_table(150, 5, 17);
+        let mut buf = BytesMut::new();
+        encode_table(&t, &mut buf);
+        let bytes = buf.freeze();
+        let back = decode_table(t.schema(), t.num_rows(), bytes.clone()).unwrap();
+        assert_eq!(back, t);
+        // Undercounting rows leaves trailing bytes: must be rejected.
+        assert!(decode_table(t.schema(), t.num_rows() - 1, bytes.clone()).is_err());
+        // Overcounting runs off the end: must be rejected.
+        assert!(decode_table(t.schema(), t.num_rows() + 1, bytes).is_err());
     }
 
     #[test]

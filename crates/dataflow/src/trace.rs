@@ -140,6 +140,25 @@ pub enum TraceEventKind {
         stage: usize,
         operators: Vec<String>,
     },
+    /// A completed shuffle wave was durably checkpointed: its partitioned
+    /// output is on disk, CRC-framed and fsynced, keyed by `wave` (the
+    /// run's dense shuffle-wave index). Journal-only — derived
+    /// [`RunMetrics`] ignore it, so checkpointed and checkpoint-off runs
+    /// stay metrics-compatible.
+    StageCheckpointed {
+        stage: usize,
+        wave: usize,
+        partitions: usize,
+        bytes: u64,
+    },
+    /// A wave's output was restored from its checkpoint instead of being
+    /// recomputed: zero `TaskStarted` events exist for it. Journal-only.
+    StageRestored {
+        stage: usize,
+        wave: usize,
+        partitions: usize,
+        rows: u64,
+    },
     /// The run finalised into a [`RunMetrics`].
     RunFinished {
         total_elapsed_us: u64,

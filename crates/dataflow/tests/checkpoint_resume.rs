@@ -1,0 +1,301 @@
+//! The kill-resume invariant, proven exhaustively: a multi-stage flow on a
+//! 16-thread pool is killed at *every* stage boundary in turn; each killed
+//! run is resumed by a fresh engine (a stand-in for a fresh process) and
+//! must produce byte-identical output to the unkilled baseline — with every
+//! checkpointed wave restored, never recomputed. Restores are proven from
+//! the trace journal: `StageRestored` events appear, and the resumed run's
+//! `TaskStarted` count drops by exactly the restored waves' task counts
+//! (zero when the kill hit the last boundary).
+//!
+//! Stale-checkpoint safety rides along: resuming after the plan, the input
+//! data, or the wave-shaping engine config changes must refuse with
+//! `FlowError::StaleCheckpoint` naming what changed.
+
+use std::path::{Path, PathBuf};
+
+use bytes::BytesMut;
+
+use toreador_data::generate::clickstream;
+use toreador_dataflow::error::FlowError;
+use toreador_dataflow::fault::KillMode;
+use toreador_dataflow::logical::{AggExpr, AggFunc, Dataflow};
+use toreador_dataflow::prelude::*;
+use toreador_dataflow::resilience::{classify, ErrorClass, ResilienceConfig};
+use toreador_dataflow::shuffle::encode_table;
+use toreador_dataflow::trace::{RunTrace, TraceEventKind};
+
+const THREADS: usize = 16;
+const ROWS: usize = 2_000;
+const SEED: u64 = 42;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("toreador-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine_with(root: &Path, resilience: ResilienceConfig) -> Engine {
+    let mut e = Engine::new(
+        EngineConfig::default()
+            .with_threads(THREADS)
+            .with_checkpoint(CheckpointSpec::new(root.to_path_buf(), "unused"))
+            .with_resilience(resilience),
+    );
+    e.register("clicks", clickstream(ROWS, SEED)).unwrap();
+    e
+}
+
+/// The multi-stage workload: narrow filter, aggregate (map + reduce waves),
+/// sort — several shuffle boundaries to kill at.
+fn flow_of(e: &Engine) -> Dataflow {
+    e.flow("clicks")
+        .unwrap()
+        .filter(col("action").eq(lit("purchase")))
+        .unwrap()
+        .aggregate(
+            &["country"],
+            vec![
+                AggExpr::new(AggFunc::Sum, "price", "revenue"),
+                AggExpr::new(AggFunc::Count, "event_id", "n"),
+            ],
+        )
+        .unwrap()
+        .sort(&["revenue"], true)
+        .unwrap()
+}
+
+fn count_kind(trace: &RunTrace, pred: impl Fn(&TraceEventKind) -> bool) -> usize {
+    trace.events.iter().filter(|e| pred(&e.kind)).count()
+}
+
+fn started(trace: &RunTrace) -> usize {
+    count_kind(trace, |k| matches!(k, TraceEventKind::TaskStarted { .. }))
+}
+
+/// Wave index → partition count, read off the checkpoint events.
+fn wave_partitions(trace: &RunTrace) -> Vec<usize> {
+    let mut waves: Vec<(usize, usize)> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceEventKind::StageCheckpointed {
+                wave, partitions, ..
+            } => Some((wave, partitions)),
+            _ => None,
+        })
+        .collect();
+    waves.sort_unstable();
+    waves.into_iter().map(|(_, p)| p).collect()
+}
+
+#[test]
+fn kill_at_every_boundary_then_resume_is_byte_identical() {
+    let root = temp_root("exhaustive");
+
+    // Unkilled checkpointed baseline: fixes the output bytes and the wave
+    // layout (how many waves, how many tasks each).
+    let calm = engine_with(&root, ResilienceConfig::none());
+    let baseline = calm.run_checkpointed(&flow_of(&calm), "baseline").unwrap();
+    let waves = wave_partitions(&baseline.trace);
+    assert!(
+        waves.len() >= 3,
+        "workload must span several boundaries, got {} waves",
+        waves.len()
+    );
+    let baseline_started = started(&baseline.trace);
+    assert_eq!(
+        baseline_started,
+        waves.iter().sum::<usize>(),
+        "fault-free: one attempt per task per wave"
+    );
+    let mut baseline_bytes = BytesMut::new();
+    encode_table(&baseline.table, &mut baseline_bytes);
+
+    for kill_wave in 0..waves.len() {
+        let run_id = format!("killed-at-{kill_wave}");
+
+        // Kill (in-process halt) at this boundary: the wave just executed
+        // is already durable when the run dies.
+        let doomed = engine_with(
+            &root,
+            ResilienceConfig::none()
+                .with_chaos(ChaosPlan::none().with_boundary_kill(kill_wave, KillMode::Halt)),
+        );
+        let err = doomed
+            .run_checkpointed(&flow_of(&doomed), &run_id)
+            .unwrap_err();
+        match err {
+            FlowError::KilledAtBoundary { wave, .. } => assert_eq!(wave, kill_wave),
+            other => panic!("boundary {kill_wave}: expected KilledAtBoundary, got {other}"),
+        }
+        assert_eq!(classify(&err), ErrorClass::Permanent);
+
+        // Resume with a fresh engine — fresh process, same campaign.
+        let revived = engine_with(&root, ResilienceConfig::none());
+        let resumed = revived.resume(&flow_of(&revived), &run_id).unwrap();
+
+        // Byte-identical output.
+        assert_eq!(resumed.table, baseline.table, "boundary {kill_wave}");
+        let mut resumed_bytes = BytesMut::new();
+        encode_table(&resumed.table, &mut resumed_bytes);
+        assert_eq!(
+            resumed_bytes, baseline_bytes,
+            "boundary {kill_wave}: output must be byte-identical"
+        );
+
+        // Waves 0..=kill_wave were checkpointed before death: all restored,
+        // none recomputed. The journal proves it.
+        let restored = count_kind(&resumed.trace, |k| {
+            matches!(k, TraceEventKind::StageRestored { .. })
+        });
+        assert_eq!(restored, kill_wave + 1, "boundary {kill_wave}");
+        let skipped_tasks: usize = waves[..=kill_wave].iter().sum();
+        assert_eq!(
+            started(&resumed.trace),
+            baseline_started - skipped_tasks,
+            "boundary {kill_wave}: restored waves must not start tasks"
+        );
+        // The resumed run re-checkpoints only the waves it actually ran.
+        assert_eq!(
+            wave_partitions(&resumed.trace).len(),
+            waves.len() - (kill_wave + 1),
+            "boundary {kill_wave}"
+        );
+    }
+
+    // Killing at the LAST boundary means the resume recomputes nothing at
+    // all: zero TaskStarted in the whole resumed run.
+    let last = waves.len() - 1;
+    let revived = engine_with(&root, ResilienceConfig::none());
+    let resumed = revived
+        .resume(&flow_of(&revived), format!("killed-at-{last}"))
+        .unwrap();
+    assert_eq!(resumed.table, baseline.table);
+    assert_eq!(started(&resumed.trace), 0, "nothing left to compute");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn resume_refuses_stale_checkpoints_with_named_mismatch() {
+    let root = temp_root("stale");
+    let calm = engine_with(&root, ResilienceConfig::none());
+    calm.run_checkpointed(&flow_of(&calm), "victim").unwrap();
+
+    // Plan changed: same engine, different flow.
+    let other_flow = calm
+        .flow("clicks")
+        .unwrap()
+        .filter(col("action").eq(lit("cart")))
+        .unwrap()
+        .aggregate(
+            &["country"],
+            vec![
+                AggExpr::new(AggFunc::Sum, "price", "revenue"),
+                AggExpr::new(AggFunc::Count, "event_id", "n"),
+            ],
+        )
+        .unwrap()
+        .sort(&["revenue"], true)
+        .unwrap();
+    match calm.resume(&other_flow, "victim") {
+        Err(FlowError::StaleCheckpoint { mismatch, .. }) => assert_eq!(mismatch, "plan"),
+        other => panic!("expected StaleCheckpoint(plan), got {other:?}"),
+    }
+
+    // Inputs changed: same plan, different data under the same name.
+    let mut reseeded = Engine::new(
+        EngineConfig::default()
+            .with_threads(THREADS)
+            .with_checkpoint(CheckpointSpec::new(root.clone(), "unused")),
+    );
+    reseeded
+        .register("clicks", clickstream(ROWS, SEED + 1))
+        .unwrap();
+    match reseeded.resume(&flow_of(&reseeded), "victim") {
+        Err(FlowError::StaleCheckpoint { mismatch, .. }) => assert_eq!(mismatch, "inputs"),
+        other => panic!("expected StaleCheckpoint(inputs), got {other:?}"),
+    }
+
+    // Engine config changed: different partition count reshapes every wave.
+    let mut repartitioned = Engine::new(
+        EngineConfig::default()
+            .with_threads(THREADS)
+            .with_partitions(7)
+            .with_checkpoint(CheckpointSpec::new(root.clone(), "unused")),
+    );
+    repartitioned
+        .register("clicks", clickstream(ROWS, SEED))
+        .unwrap();
+    match repartitioned.resume(&flow_of(&repartitioned), "victim") {
+        Err(FlowError::StaleCheckpoint { mismatch, .. }) => assert_eq!(mismatch, "engine config"),
+        other => panic!("expected StaleCheckpoint(engine config), got {other:?}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn resume_of_an_unknown_run_id_starts_fresh() {
+    // Resuming a run that never checkpointed anything is just running it —
+    // the campaign path relies on this for engines a kill prevented from
+    // ever starting.
+    let root = temp_root("fresh");
+    let e = engine_with(&root, ResilienceConfig::none());
+    let r = e.resume(&flow_of(&e), "never-ran").unwrap();
+    assert!(r.table.num_rows() > 0);
+    assert_eq!(
+        count_kind(&r.trace, |k| matches!(
+            k,
+            TraceEventKind::StageRestored { .. }
+        )),
+        0
+    );
+    assert!(!wave_partitions(&r.trace).is_empty(), "it checkpointed");
+    // And the run it just recorded is itself resumable.
+    let again = e.resume(&flow_of(&e), "never-ran").unwrap();
+    assert_eq!(again.table, r.table);
+    assert_eq!(started(&again.trace), 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn checkpoint_off_engines_have_no_checkpoint_surface() {
+    // No checkpoint spec configured: run() never writes anything, and the
+    // named entry points refuse rather than guessing a directory.
+    let mut e = Engine::new(EngineConfig::default().with_threads(4));
+    e.register("clicks", clickstream(500, 1)).unwrap();
+    let r = e.run(&flow_of(&e)).unwrap();
+    assert_eq!(wave_partitions(&r.trace).len(), 0);
+    assert!(matches!(
+        e.run_checkpointed(&flow_of(&e), "x"),
+        Err(FlowError::Checkpoint(_))
+    ));
+    assert!(matches!(
+        e.resume(&flow_of(&e), "x"),
+        Err(FlowError::Checkpoint(_))
+    ));
+}
+
+#[test]
+fn checkpointing_does_not_change_results_or_metrics_parity() {
+    let root = temp_root("parity");
+    let mut plain = Engine::new(EngineConfig::default().with_threads(THREADS));
+    plain.register("clicks", clickstream(ROWS, SEED)).unwrap();
+    let a = plain.run(&flow_of(&plain)).unwrap();
+
+    let ck = engine_with(&root, ResilienceConfig::none());
+    let b = ck.run_checkpointed(&flow_of(&ck), "parity").unwrap();
+    assert_eq!(a.table, b.table, "checkpointing must not change results");
+    // Checkpoint events are journal-only: derived metrics still match the
+    // run's reported metrics (the flight-recorder invariant).
+    assert_eq!(
+        b.trace.derive_metrics(
+            b.metrics.total_elapsed_us,
+            b.metrics.result_rows,
+            b.metrics.result_partitions
+        ),
+        b.metrics
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

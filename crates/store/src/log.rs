@@ -367,13 +367,19 @@ impl DurableLog {
 
     /// Seal the current segment and start a new one at `next_lsn`.
     fn rotate(&mut self) -> Result<()> {
-        self.file.sync_data()?;
+        // Seal with sync_all (not sync_data): the sealed segment's final
+        // length is metadata, and recovery trusts it.
+        self.file.sync_all()?;
         let (file, path) = create_segment(&self.dir, self.next_lsn)?;
         let old_path = std::mem::replace(&mut self.current_path, path);
         self.sealed.push(old_path);
         self.file = file;
         self.current_records = 0;
         self.current_bytes = HEADER_LEN as u64;
+        // Make the rotation itself durable: a crash right here must come
+        // back with both the sealed segment and the new one visible, the
+        // same guarantee the snapshot rename path gives.
+        sync_dir(&self.dir)?;
         Ok(())
     }
 }
