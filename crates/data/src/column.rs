@@ -87,6 +87,44 @@ impl Validity {
         &self.words
     }
 
+    /// Append the bits of `other`. Word-aligned destinations splice whole
+    /// words; unaligned ones fall back to per-bit pushes.
+    pub fn extend_from(&mut self, other: &Validity) {
+        if self.len % 64 == 0 {
+            self.words.extend_from_slice(&other.words);
+            self.len += other.len;
+            self.null_count += other.null_count;
+            return;
+        }
+        for i in 0..other.len() {
+            self.push(other.get(i));
+        }
+    }
+
+    /// The bits of `start..end` as a new bitmap. All-valid sources take a
+    /// constant-time path; otherwise bits shift over word-by-word.
+    pub fn slice_range(&self, start: usize, end: usize) -> Validity {
+        debug_assert!(start <= end && end <= self.len);
+        let m = end - start;
+        if self.null_count == 0 {
+            return Validity::all_valid(m);
+        }
+        let shift = start % 64;
+        let first = start / 64;
+        let words: Vec<u64> = (0..m.div_ceil(64))
+            .map(|w| {
+                let lo = self.words.get(first + w).copied().unwrap_or(0) >> shift;
+                let hi = if shift == 0 {
+                    0
+                } else {
+                    self.words.get(first + w + 1).copied().unwrap_or(0) << (64 - shift)
+                };
+                lo | hi
+            })
+            .collect();
+        Validity::from_words(words, m)
+    }
+
     /// Build a bitmap from packed words. Tail bits past `len` are masked
     /// off and the null count is recomputed from the bits.
     pub fn from_words(words: Vec<u64>, len: usize) -> Self {
@@ -435,7 +473,8 @@ impl Column {
         Ok(self.gather(indices.iter().copied()))
     }
 
-    /// A copy of rows `range.start..range.end`.
+    /// A copy of rows `range.start..range.end` — a contiguous memcpy of the
+    /// data plus a word-shifted validity slice, not a per-row gather.
     pub fn slice(&self, start: usize, end: usize) -> Result<Column> {
         if end > self.len() || start > end {
             return Err(DataError::RowIndexOutOfBounds {
@@ -443,20 +482,97 @@ impl Column {
                 len: self.len(),
             });
         }
-        let indices: Vec<usize> = (start..end).collect();
-        self.take(&indices)
+        fn cut<T: Clone>(
+            data: &[T],
+            validity: &Validity,
+            start: usize,
+            end: usize,
+        ) -> (Vec<T>, Validity) {
+            (data[start..end].to_vec(), validity.slice_range(start, end))
+        }
+        Ok(match self {
+            Column::Bool { data, validity } => {
+                let (data, validity) = cut(data, validity, start, end);
+                Column::Bool { data, validity }
+            }
+            Column::Int { data, validity } => {
+                let (data, validity) = cut(data, validity, start, end);
+                Column::Int { data, validity }
+            }
+            Column::Float { data, validity } => {
+                let (data, validity) = cut(data, validity, start, end);
+                Column::Float { data, validity }
+            }
+            Column::Str { data, validity } => {
+                let (data, validity) = cut(data, validity, start, end);
+                Column::Str { data, validity }
+            }
+            Column::Timestamp { data, validity } => {
+                let (data, validity) = cut(data, validity, start, end);
+                Column::Timestamp { data, validity }
+            }
+        })
     }
 
-    /// Append all rows of `other` (same type required).
+    /// Append all rows of `other` (same type required). Bulk lane copies —
+    /// no per-row `Value` round trip, so concatenating many chunks (the
+    /// morsel pipeline's reassembly step) costs a memcpy per lane.
     pub fn extend_from(&mut self, other: &Column) -> Result<()> {
-        if self.data_type() != other.data_type() {
-            return Err(DataError::TypeMismatch {
-                expected: self.data_type().name().to_owned(),
-                found: other.data_type().name().to_owned(),
-            });
-        }
-        for v in other.iter_values() {
-            self.push(&v)?;
+        use Column::*;
+        match (&mut *self, other) {
+            (
+                Bool { data, validity },
+                Bool {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend_from_slice(od);
+                validity.extend_from(ov);
+            }
+            (
+                Int { data, validity },
+                Int {
+                    data: od,
+                    validity: ov,
+                },
+            )
+            | (
+                Timestamp { data, validity },
+                Timestamp {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend_from_slice(od);
+                validity.extend_from(ov);
+            }
+            (
+                Float { data, validity },
+                Float {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend_from_slice(od);
+                validity.extend_from(ov);
+            }
+            (
+                Str { data, validity },
+                Str {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend_from_slice(od);
+                validity.extend_from(ov);
+            }
+            _ => {
+                return Err(DataError::TypeMismatch {
+                    expected: self.data_type().name().to_owned(),
+                    found: other.data_type().name().to_owned(),
+                })
+            }
         }
         Ok(())
     }
@@ -688,6 +804,74 @@ mod tests {
         let all = Validity::all_valid(130);
         assert_eq!(a.and(&all), a);
         assert_eq!(all.and(&b), b);
+    }
+
+    #[test]
+    fn extend_from_preserves_values_and_nulls() {
+        let vals = |range: std::ops::Range<i64>| -> Vec<Value> {
+            range
+                .map(|i| {
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i)
+                    }
+                })
+                .collect()
+        };
+        // Word-aligned (64 rows) and unaligned (67 rows) destinations both
+        // splice correctly.
+        for first in [64usize, 67] {
+            let mut c = Column::from_values(DataType::Int, &vals(0..first as i64)).unwrap();
+            let tail = vals(1000..1100);
+            c.extend_from(&Column::from_values(DataType::Int, &tail).unwrap())
+                .unwrap();
+            assert_eq!(c.len(), first + 100);
+            for (i, v) in vals(0..first as i64).iter().chain(tail.iter()).enumerate() {
+                assert_eq!(&c.value(i).unwrap(), v, "row {i} (first {first})");
+            }
+            assert_eq!(
+                c.validity().null_count(),
+                vals(0..first as i64)
+                    .iter()
+                    .chain(tail.iter())
+                    .filter(|v| v.is_null())
+                    .count()
+            );
+        }
+    }
+
+    #[test]
+    fn slice_matches_gather_at_every_offset() {
+        // Contiguous slices cross word boundaries at every shift; each one
+        // must agree bit-for-bit with the per-row gather it replaced.
+        let values: Vec<Value> = (0..200)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i as i64)
+                }
+            })
+            .collect();
+        let c = Column::from_values(DataType::Int, &values).unwrap();
+        for (start, end) in [
+            (0, 200),
+            (0, 0),
+            (63, 64),
+            (1, 199),
+            (64, 128),
+            (70, 135),
+            (199, 200),
+        ] {
+            let fast = c.slice(start, end).unwrap();
+            let indices: Vec<usize> = (start..end).collect();
+            let slow = c.take(&indices).unwrap();
+            assert_eq!(fast, slow, "range {start}..{end}");
+            assert_eq!(fast.validity().null_count(), slow.validity().null_count());
+        }
+        assert!(c.slice(100, 201).is_err());
+        assert!(c.slice(5, 4).is_err());
     }
 
     #[test]

@@ -117,10 +117,11 @@ pub fn config_fingerprint(
     partial_aggregation: bool,
     vectorized: bool,
     fuse_narrow: bool,
+    pipelined: bool,
 ) -> String {
     let s = format!(
         "partitions={partitions} partial_agg={partial_aggregation} \
-         vectorized={vectorized} fuse_narrow={fuse_narrow}"
+         vectorized={vectorized} fuse_narrow={fuse_narrow} pipelined={pipelined}"
     );
     format!("{:016x}", fnv(s.bytes(), FNV_OFFSET))
 }
@@ -682,12 +683,16 @@ mod tests {
         assert_eq!(plan_fingerprint("Scan"), plan_fingerprint("Scan"));
         assert_ne!(plan_fingerprint("Scan"), plan_fingerprint("Scan\nFilter"));
         assert_eq!(
-            config_fingerprint(8, true, true, true),
-            config_fingerprint(8, true, true, true)
+            config_fingerprint(8, true, true, true, true),
+            config_fingerprint(8, true, true, true, true)
         );
         assert_ne!(
-            config_fingerprint(8, true, true, true),
-            config_fingerprint(4, true, true, true)
+            config_fingerprint(8, true, true, true, true),
+            config_fingerprint(4, true, true, true, true)
+        );
+        assert_ne!(
+            config_fingerprint(8, true, true, true, true),
+            config_fingerprint(8, true, true, true, false)
         );
         let mut datasets = HashMap::new();
         datasets.insert(

@@ -11,7 +11,10 @@
 //! 3. [`optimizer`] — rule-based rewrites (constant folding, filter merging,
 //!    predicate pushdown, projection pruning), individually toggleable for
 //!    the ablation benchmarks;
-//! 4. [`physical`] — stage-cut execution with per-partition tasks;
+//! 4. [`physical`] — stage-cut execution with per-partition tasks; fused
+//!    chains of narrow operators run through [`morsel`], the morsel-driven
+//!    pipelined path with work-stealing deques (the stage-barrier path
+//!    stays selectable as the differential oracle);
 //! 5. [`shuffle`] — hash shuffles through a binary row codec, so shuffle
 //!    byte counts are real;
 //! 6. [`scheduler`] — a resilient scoped thread pool: deterministic chaos
@@ -50,6 +53,7 @@ pub mod expr;
 pub mod fault;
 pub mod logical;
 pub mod metrics;
+pub mod morsel;
 pub mod optimizer;
 pub mod physical;
 pub mod resilience;
@@ -76,6 +80,8 @@ pub mod prelude {
     };
     pub use crate::session::{Engine, EngineConfig, RunResult};
     pub use crate::stream::{run_stream, MicroBatcher, StreamRun, StreamState};
-    pub use crate::trace::{ResilienceTotals, RunTrace, TraceEvent, TraceEventKind, TraceSummary};
+    pub use crate::trace::{
+        PipelineTotals, ResilienceTotals, RunTrace, TraceEvent, TraceEventKind, TraceSummary,
+    };
     pub use crate::vexpr::BoundExpr;
 }

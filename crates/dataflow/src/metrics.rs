@@ -269,6 +269,77 @@ impl MetricsCollector {
         });
     }
 
+    /// A morsel was claimed by a pipeline worker. Journal-only, like
+    /// [`Self::record_operator_batches`]: pipelined and stage-barrier runs
+    /// stay metrics-compatible.
+    pub fn morsel_dispatched(
+        &self,
+        stage: usize,
+        partition: usize,
+        morsel: usize,
+        rows: u64,
+        worker: usize,
+    ) {
+        self.journal.record(TraceEventKind::MorselDispatched {
+            stage,
+            partition,
+            morsel,
+            rows,
+            worker,
+        });
+    }
+
+    /// A morsel was executed by a worker other than its home worker.
+    /// Journal-only.
+    pub fn morsel_stolen(
+        &self,
+        stage: usize,
+        partition: usize,
+        morsel: usize,
+        home: usize,
+        worker: usize,
+    ) {
+        self.journal.record(TraceEventKind::MorselStolen {
+            stage,
+            partition,
+            morsel,
+            home,
+            worker,
+        });
+    }
+
+    /// The matching end of a dispatched morsel. Journal-only.
+    pub fn morsel_completed(&self, stage: usize, partition: usize, morsel: usize) {
+        self.journal.record(TraceEventKind::MorselCompleted {
+            stage,
+            partition,
+            morsel,
+        });
+    }
+
+    /// A fused pipeline wave finished all its morsels. Journal-only.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pipeline_completed(
+        &self,
+        stage: usize,
+        partitions: usize,
+        morsels: u64,
+        stolen: u64,
+        workers: usize,
+        slowest_worker_us: u64,
+        mean_worker_us: f64,
+    ) {
+        self.journal.record(TraceEventKind::PipelineCompleted {
+            stage,
+            partitions,
+            morsels,
+            stolen,
+            workers,
+            slowest_worker_us,
+            mean_worker_us,
+        });
+    }
+
     /// The run tripped cooperative cancellation.
     pub fn run_cancelled(&self, stage: usize, reason: &str) {
         self.journal.record(TraceEventKind::RunCancelled {
@@ -414,6 +485,27 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e.kind, TraceEventKind::StageRestored { rows: 100, .. })));
+    }
+
+    #[test]
+    fn morsel_events_are_journal_only_and_keep_parity() {
+        let c = MetricsCollector::new();
+        c.task_started(0, 0, 0);
+        c.morsel_dispatched(0, 0, 0, 64, 0);
+        c.morsel_completed(0, 0, 0);
+        c.morsel_dispatched(0, 0, 1, 64, 1);
+        c.morsel_stolen(0, 0, 1, 0, 1);
+        c.morsel_completed(0, 0, 1);
+        c.task_finished(0, 0, 0, true);
+        c.pipeline_completed(0, 1, 2, 1, 2, 120, 100.0);
+        let derived = c.finish(Duration::from_millis(1), 128, 1);
+        let legacy = c.finish_legacy(Duration::from_millis(1), 128, 1);
+        assert_eq!(derived, legacy, "morsel events must not skew the metrics");
+        let totals = c.trace().snapshot().pipeline_totals();
+        assert_eq!(totals.pipelines, 1);
+        assert_eq!(totals.morsels, 2);
+        assert_eq!(totals.stolen, 1);
+        assert!((totals.worker_skew - 1.2).abs() < 1e-9);
     }
 
     #[test]

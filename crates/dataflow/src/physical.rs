@@ -33,6 +33,7 @@ use crate::expr::Expr;
 use crate::fault::KillMode;
 use crate::logical::{AggExpr, AggFunc, JoinType, LogicalPlan};
 use crate::metrics::MetricsCollector;
+use crate::morsel::{self, PipelineBody, WaveOrder};
 use crate::resilience::RunControl;
 use crate::scheduler::{run_stage_controlled, SchedulerConfig};
 use crate::shuffle::shuffle_traced;
@@ -57,6 +58,17 @@ pub struct ExecConfig {
     /// `vectorized`; fusion is declined for chains shorter than two
     /// operators (ablation knob).
     pub fuse_narrow: bool,
+    /// Drive fused chains and partial-aggregation map sides through the
+    /// morsel-driven pipelined executor ([`crate::morsel`]): row-range
+    /// morsels on per-core work-stealing deques, so stragglers on skewed
+    /// partitions get helped instead of stalling the wave. When off, those
+    /// waves run on the stage-barrier scheduler — kept selectable as the
+    /// differential oracle (ablation knob). Waves with a task deadline or
+    /// speculation configured always use the barrier scheduler, whose
+    /// coordinator owns those watchdogs.
+    pub pipelined: bool,
+    /// Target morsel size in rows for the pipelined path.
+    pub morsel_rows: usize,
 }
 
 impl Default for ExecConfig {
@@ -67,6 +79,8 @@ impl Default for ExecConfig {
             partial_aggregation: true,
             vectorized: true,
             fuse_narrow: true,
+            pipelined: true,
+            morsel_rows: 4096,
         }
     }
 }
@@ -174,6 +188,64 @@ impl<'a> ExecContext<'a> {
             }
         }
         Ok(out)
+    }
+
+    /// [`Self::run_stage`] for morsel-pipelined waves: same wave numbering,
+    /// same checkpoint persistence/restore and boundary-kill handling, but
+    /// execution is delegated to `run` (a [`crate::morsel::run_wave`] call)
+    /// instead of the stage-barrier scheduler. `parts` is the wave's input
+    /// partitioning — one output table per input partition, which is what a
+    /// restored wave is validated against.
+    fn run_pipeline<R>(&self, stage: usize, parts: &[Table], run: R) -> Result<Vec<Table>>
+    where
+        R: FnOnce(&[Table]) -> Result<Vec<Table>>,
+    {
+        let wave = self.wave.fetch_add(1, Ordering::Relaxed);
+        if let Some(ck) = &self.checkpoint {
+            if let Some(restored) = ck.take_restored(wave) {
+                if restored.stage != stage || restored.tables.len() != parts.len() {
+                    return Err(FlowError::Checkpoint(format!(
+                        "restored wave {wave} does not match the plan: checkpointed \
+                         stage {} with {} partitions, expected stage {stage} with {}",
+                        restored.stage,
+                        restored.tables.len(),
+                        parts.len()
+                    )));
+                }
+                self.metrics
+                    .stage_restored(stage, wave, restored.tables.len(), restored.rows);
+                return Ok(restored.tables);
+            }
+        }
+        let out = run(parts)?;
+        if let Some(ck) = &self.checkpoint {
+            let bytes = ck.persist_wave(stage, wave, &out)?;
+            self.metrics
+                .stage_checkpointed(stage, wave, out.len(), bytes);
+            if let Some(mode) = self
+                .config
+                .scheduler
+                .resilience
+                .chaos
+                .kill_at_boundary(wave)
+            {
+                match mode {
+                    KillMode::Exit { code } => std::process::exit(code),
+                    KillMode::Halt => return Err(FlowError::KilledAtBoundary { stage, wave }),
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether this run's non-breaking waves go through the morsel-driven
+    /// pipelined executor. Deadlines and speculation need the barrier
+    /// coordinator's watchdog clocks, so either feature forces the oracle
+    /// path.
+    fn use_morsel_pipeline(&self) -> bool {
+        self.config.pipelined
+            && self.config.scheduler.resilience.deadline.is_none()
+            && self.config.scheduler.resilience.speculation.is_none()
     }
 }
 
@@ -535,12 +607,45 @@ fn exec_fused_chain(
     let parts = child.into_parts();
     let steps_ref = &steps;
     let stats_ref = &stats;
-    let tasks: Vec<_> = parts
-        .iter()
-        .enumerate()
-        .map(|(idx, t)| move || run_fused_partition(t, idx, steps_ref, stats_ref))
-        .collect();
-    let outputs = ctx.run_stage(stage, tasks)?;
+    let outputs = if ctx.use_morsel_pipeline() {
+        // Pipelined path: push row-range morsels through per-core workers
+        // with work-stealing. Pure filter/project chains are elementwise,
+        // so any worker may run any morsel; a sampling step carries RNG
+        // draw order, so those chains run partition-serial (stealing moves
+        // whole partitions instead).
+        let order = if steps
+            .iter()
+            .any(|(s, _)| matches!(s, FusedStep::Sample { .. }))
+        {
+            WaveOrder::Serial
+        } else {
+            WaveOrder::Independent
+        };
+        let body = FusedChainBody {
+            steps: steps_ref,
+            stats: stats_ref,
+            out_schema: schema.clone(),
+        };
+        ctx.run_pipeline(stage, &parts, |ps| {
+            morsel::run_wave(
+                &ctx.config.scheduler,
+                ctx.metrics,
+                ctx.control(),
+                stage,
+                ps,
+                order,
+                ctx.config.morsel_rows,
+                &body,
+            )
+        })?
+    } else {
+        let tasks: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(idx, t)| move || run_fused_partition(t, idx, steps_ref, stats_ref))
+            .collect();
+        ctx.run_stage(stage, tasks)?
+    };
     let batches = outputs.len() as u64;
     // Record per-node metrics in execution (innermost-first) order, exactly
     // as the unfused path would have.
@@ -556,20 +661,58 @@ fn exec_fused_chain(
     PartitionedTable::new(outputs, Partitioning::Arbitrary).map_err(FlowError::Data)
 }
 
-/// Run every step of a fused chain over one partition. State is the current
-/// column set plus an optional selection of surviving row indices; filters
-/// and samples narrow the selection, projections materialize it away.
+/// One freshly-seeded RNG per sampling step of the chain, in step order.
+/// The seed mixes the partition index exactly as unfused sampling does, and
+/// each step's RNG is independent — so chunked execution draws each step's
+/// sequence in ascending row order no matter how morsels interleave steps.
+fn sample_rngs(steps: &[(FusedStep, String)], idx: usize) -> Vec<StdRng> {
+    steps
+        .iter()
+        .filter_map(|(s, _)| match s {
+            FusedStep::Sample { seed, .. } => Some(StdRng::seed_from_u64(
+                seed ^ (idx as u64).wrapping_mul(0x9e37),
+            )),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Run every step of a fused chain over one partition.
 fn run_fused_partition(
     t: &Table,
     idx: usize,
     steps: &[(FusedStep, String)],
     stats: &[Mutex<(u64, Duration)>],
 ) -> Result<Table> {
+    let mut rngs = sample_rngs(steps, idx);
+    run_fused_range(t, steps, stats, &mut rngs, 0, t.num_rows())
+}
+
+/// Run every step of a fused chain over rows `lo..hi` of one partition.
+/// State is the current column set plus an optional selection of surviving
+/// row indices; filters and samples narrow the selection, projections
+/// materialize it away. A partial range starts from an explicit selection
+/// of the range's rows, so chunked outputs concatenate to exactly the
+/// whole-partition result. Sampling draws from `rngs` (one per sampling
+/// step, shared across a partition's chunks in row order).
+fn run_fused_range(
+    t: &Table,
+    steps: &[(FusedStep, String)],
+    stats: &[Mutex<(u64, Duration)>],
+    rngs: &mut [StdRng],
+    lo: usize,
+    hi: usize,
+) -> Result<Table> {
     let n = t.num_rows();
     // (columns, schema, rows) after the last projection, if any; before
     // that the input table's columns are borrowed untouched.
     let mut owned: Option<(Vec<Column>, Schema, usize)> = None;
-    let mut sel: Option<Vec<u32>> = None;
+    let mut sel: Option<Vec<u32>> = if lo == 0 && hi == n {
+        None
+    } else {
+        Some((lo as u32..hi as u32).collect())
+    };
+    let mut rng_i = 0usize;
     for ((step, _), stat) in steps.iter().zip(stats) {
         let t0 = Instant::now();
         let (cols, rows_total): (&[Column], usize) = match &owned {
@@ -592,10 +735,11 @@ fn run_fused_partition(
                 owned = Some((new_cols, out_schema.clone(), m));
                 sel = None;
             }
-            FusedStep::Sample { fraction, seed } => {
+            FusedStep::Sample { fraction, .. } => {
                 // Same seeding and one draw per surviving row in order, so
                 // fused sampling keeps exactly the rows unfused would.
-                let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9e37));
+                let rng = &mut rngs[rng_i];
+                rng_i += 1;
                 let kept: Vec<u32> = match &sel {
                     Some(s) => s
                         .iter()
@@ -628,6 +772,45 @@ fn run_fused_partition(
         // A ≥2-step chain always sets a selection or owns columns, but
         // fall through safely for completeness.
         (None, None) => Ok(t.clone()),
+    }
+}
+
+/// [`PipelineBody`] of a fused narrow chain: each morsel runs the whole
+/// chain over its row range, chunk outputs concatenate per partition.
+struct FusedChainBody<'a> {
+    steps: &'a [(FusedStep, String)],
+    stats: &'a [Mutex<(u64, Duration)>],
+    out_schema: Schema,
+}
+
+impl PipelineBody for FusedChainBody<'_> {
+    /// Per-sampling-step RNGs plus the partition's output chunks so far.
+    type State = (Vec<StdRng>, Vec<Table>);
+
+    fn init(&self, partition: usize, _part: &Table) -> Result<Self::State> {
+        Ok((sample_rngs(self.steps, partition), Vec::new()))
+    }
+
+    fn process(
+        &self,
+        state: &mut Self::State,
+        part: &Table,
+        _partition: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Result<()> {
+        let chunk = run_fused_range(part, self.steps, self.stats, &mut state.0, lo, hi)?;
+        state.1.push(chunk);
+        Ok(())
+    }
+
+    fn finish(&self, state: Self::State, _part: &Table, _partition: usize) -> Result<Table> {
+        let (_, chunks) = state;
+        match chunks.len() {
+            0 => Ok(Table::empty(self.out_schema.clone())),
+            1 => Ok(chunks.into_iter().next().expect("one chunk")),
+            _ => Table::concat(&chunks).map_err(FlowError::Data),
+        }
     }
 }
 
@@ -847,6 +1030,87 @@ fn partial_schema(
     Schema::new(fields).map_err(FlowError::Data)
 }
 
+/// Map-side combine state for one partition: bound column indices plus the
+/// per-group accumulators. Shared by the stage-barrier path (one
+/// whole-partition pass) and the morsel path (the same pass, fed one
+/// in-order row-range chunk at a time) — identical fold order, so the two
+/// produce value-identical partial rows.
+struct PartialAggState {
+    key_idx: Vec<usize>,
+    agg_idx: Vec<usize>,
+    funcs: Vec<AggFunc>,
+    agg_tys: Vec<DataType>,
+    groups: HashMap<GroupKey, Vec<Acc>>,
+}
+
+impl PartialAggState {
+    fn new(t: &Table, group_by: &[String], aggs: &[AggExpr]) -> Result<Self> {
+        let key_idx: Vec<usize> = group_by
+            .iter()
+            .map(|g| t.schema().index_of(g).map_err(FlowError::Data))
+            .collect::<Result<Vec<_>>>()?;
+        let agg_idx: Vec<usize> = aggs
+            .iter()
+            .map(|a| t.schema().index_of(&a.column).map_err(FlowError::Data))
+            .collect::<Result<Vec<_>>>()?;
+        let agg_tys: Vec<DataType> = agg_idx
+            .iter()
+            .map(|&i| t.schema().fields()[i].data_type)
+            .collect();
+        Ok(PartialAggState {
+            key_idx,
+            agg_idx,
+            funcs: aggs.iter().map(|a| a.func).collect(),
+            agg_tys,
+            groups: HashMap::new(),
+        })
+    }
+
+    /// Fold every row of `t` — the whole partition, or one sliced morsel of
+    /// it — into the accumulators, in row order.
+    fn update_all(&mut self, t: &Table) -> Result<()> {
+        let PartialAggState {
+            key_idx,
+            agg_idx,
+            funcs,
+            agg_tys,
+            groups,
+        } = self;
+        for row in t.iter_rows() {
+            let key = GroupKey(key_idx.iter().map(|&i| row[i].clone()).collect());
+            let accs = groups.entry(key).or_insert_with(|| {
+                funcs
+                    .iter()
+                    .zip(agg_tys.iter())
+                    .map(|(&f, &ty)| Acc::new(f, ty))
+                    .collect()
+            });
+            for (acc, &i) in accs.iter_mut().zip(agg_idx.iter()) {
+                acc.update(&row[i])?;
+            }
+        }
+        Ok(())
+    }
+
+    fn into_table(self, p_schema: &Schema) -> Result<Table> {
+        let mut builder = TableBuilder::with_capacity(p_schema.clone(), self.groups.len());
+        for (key, accs) in self.groups {
+            let mut row = key.0;
+            for acc in &accs {
+                match acc {
+                    Acc::Mean { sum, n } => {
+                        row.push(Value::Float(*sum));
+                        row.push(Value::Int(*n));
+                    }
+                    other => row.push(other.finish()),
+                }
+            }
+            builder.push_row(row)?;
+        }
+        builder.finish().map_err(FlowError::Data)
+    }
+}
+
 /// Map-side combine: aggregate a partition into partial-state rows.
 fn partial_aggregate(
     t: &Table,
@@ -854,46 +1118,46 @@ fn partial_aggregate(
     aggs: &[AggExpr],
     p_schema: &Schema,
 ) -> Result<Table> {
-    let key_idx: Vec<usize> = group_by
-        .iter()
-        .map(|g| t.schema().index_of(g).map_err(FlowError::Data))
-        .collect::<Result<Vec<_>>>()?;
-    let agg_idx: Vec<usize> = aggs
-        .iter()
-        .map(|a| t.schema().index_of(&a.column).map_err(FlowError::Data))
-        .collect::<Result<Vec<_>>>()?;
-    let agg_tys: Vec<DataType> = agg_idx
-        .iter()
-        .map(|&i| t.schema().fields()[i].data_type)
-        .collect();
-    let mut groups: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
-    for row in t.iter_rows() {
-        let key = GroupKey(key_idx.iter().map(|&i| row[i].clone()).collect());
-        let accs = groups.entry(key).or_insert_with(|| {
-            aggs.iter()
-                .zip(&agg_tys)
-                .map(|(a, &ty)| Acc::new(a.func, ty))
-                .collect()
-        });
-        for (acc, &i) in accs.iter_mut().zip(&agg_idx) {
-            acc.update(&row[i])?;
+    let mut state = PartialAggState::new(t, group_by, aggs)?;
+    state.update_all(t)?;
+    state.into_table(p_schema)
+}
+
+/// [`PipelineBody`] of the partial-aggregation map side: one accumulator
+/// state per partition, fed morsels in ascending row order (serial waves),
+/// which preserves the float accumulation order of whole-partition combine.
+struct PartialAggBody<'a> {
+    group_by: &'a [String],
+    aggs: &'a [AggExpr],
+    p_schema: &'a Schema,
+}
+
+impl PipelineBody for PartialAggBody<'_> {
+    type State = PartialAggState;
+
+    fn init(&self, _partition: usize, part: &Table) -> Result<Self::State> {
+        PartialAggState::new(part, self.group_by, self.aggs)
+    }
+
+    fn process(
+        &self,
+        state: &mut Self::State,
+        part: &Table,
+        _partition: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Result<()> {
+        if lo == 0 && hi == part.num_rows() {
+            state.update_all(part)
+        } else {
+            let chunk = part.slice(lo, hi).map_err(FlowError::Data)?;
+            state.update_all(&chunk)
         }
     }
-    let mut builder = TableBuilder::with_capacity(p_schema.clone(), groups.len());
-    for (key, accs) in groups {
-        let mut row = key.0;
-        for acc in &accs {
-            match acc {
-                Acc::Mean { sum, n } => {
-                    row.push(Value::Float(*sum));
-                    row.push(Value::Int(*n));
-                }
-                other => row.push(other.finish()),
-            }
-        }
-        builder.push_row(row)?;
+
+    fn finish(&self, state: Self::State, _part: &Table, _partition: usize) -> Result<Table> {
+        state.into_table(self.p_schema)
     }
-    builder.finish().map_err(FlowError::Data)
 }
 
 /// Reduce-side merge of partial states into final aggregate rows.
@@ -1072,18 +1336,41 @@ fn exec_aggregate(
         let map_stage = ctx.current_stage();
         let in_schema_owned = input.schema().clone();
         let parts = input.into_parts();
-        let tasks: Vec<_> = parts
-            .iter()
-            .map(|t| {
-                let p_schema = &p_schema;
-                let in_schema = &in_schema_owned;
-                move || {
-                    let _ = in_schema;
-                    partial_aggregate(t, group_by, aggs, p_schema)
-                }
-            })
-            .collect();
-        let partials = ctx.run_stage(map_stage, tasks)?;
+        let partials = if ctx.use_morsel_pipeline() {
+            // The map side is non-breaking per-partition work: run it as a
+            // serial morsel wave so a skewed partition's combine can be
+            // helped by the pool without perturbing accumulation order.
+            let body = PartialAggBody {
+                group_by,
+                aggs,
+                p_schema: &p_schema,
+            };
+            ctx.run_pipeline(map_stage, &parts, |ps| {
+                morsel::run_wave(
+                    &ctx.config.scheduler,
+                    ctx.metrics,
+                    ctx.control(),
+                    map_stage,
+                    ps,
+                    WaveOrder::Serial,
+                    ctx.config.morsel_rows,
+                    &body,
+                )
+            })?
+        } else {
+            let tasks: Vec<_> = parts
+                .iter()
+                .map(|t| {
+                    let p_schema = &p_schema;
+                    let in_schema = &in_schema_owned;
+                    move || {
+                        let _ = in_schema;
+                        partial_aggregate(t, group_by, aggs, p_schema)
+                    }
+                })
+                .collect();
+            ctx.run_stage(map_stage, tasks)?
+        };
         let out = shuffle_traced(&partials, &p_schema, group_by, targets, ctx.metrics.trace())?;
         (out.partitions, out.bytes_moved)
     } else {

@@ -257,6 +257,15 @@ impl ResilienceConfig {
         self.chaos = chaos;
         self
     }
+
+    /// Spare workers the stage pool should hold beyond its configured
+    /// size. A hung attempt cannot be interrupted, only abandoned, so each
+    /// watchdog that replaces attempts (deadline expiry, speculation)
+    /// needs one thread guaranteed free to run the replacement even when
+    /// every configured worker is pinned under a straggler.
+    pub fn spare_worker_hint(&self) -> usize {
+        usize::from(self.deadline.is_some()) + usize::from(self.speculation.is_some())
+    }
 }
 
 /// Shared cancellation and budget state for one run. The execution context

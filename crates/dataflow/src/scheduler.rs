@@ -190,7 +190,7 @@ struct Shared<'a, F> {
     chaos: &'a ChaosPlan,
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     payload
         .downcast_ref::<&str>()
         .map(|s| (*s).to_owned())
@@ -750,10 +750,17 @@ where
     }
     // Deadlines and speculation need spare workers: a hung body cannot be
     // interrupted, so its replacement attempt must run on another thread.
-    // Only cap the pool at the task count when neither is in play.
+    // Skipping the task-count cap is not enough — with every configured
+    // worker pinned under a hung attempt (n >= threads), a wave that has
+    // both features enabled used to drop the sizing hint entirely and the
+    // replacement attempt queued behind the very straggler it was meant to
+    // rescue. Add the hint on top of the pool instead.
+    let spare = config.resilience.spare_worker_hint();
     let mut threads = config.threads.max(1);
-    if config.resilience.deadline.is_none() && config.resilience.speculation.is_none() {
+    if spare == 0 {
         threads = threads.min(n);
+    } else {
+        threads += spare;
     }
     let queue = WorkQueue::new();
     let halt = AtomicBool::new(false);
@@ -1196,5 +1203,59 @@ mod tests {
         let totals = metrics.trace().snapshot().resilience_totals();
         assert_eq!(totals.speculative_launched, 1);
         assert_eq!(totals.speculative_won, 1);
+    }
+
+    #[test]
+    fn spare_workers_survive_deadline_plus_speculation() {
+        // Regression: with deadline AND speculation enabled and every
+        // configured worker pinned under a hung first attempt (n == threads),
+        // the coordinator used to drop the spare-worker sizing hint, so the
+        // timeout-replacement attempts queued behind the very stragglers
+        // they were meant to rescue. The fix adds the hint on top of the
+        // pool; the retries must start long before the 300ms hangs clear.
+        let config = SchedulerConfig::new(4).with_resilience(
+            ResilienceConfig::none()
+                .with_retry(RetryPolicy::immediate(3))
+                .with_deadline(TaskDeadline::from_millis(25))
+                // Enabled (that is the regression trigger) but effectively
+                // inert: the median is never trusted with min_samples 100.
+                .with_speculation(SpeculationPolicy::new(10.0).with_min_samples(100)),
+        );
+        let metrics = MetricsCollector::new();
+        let tasks: Vec<Box<dyn Fn() -> Result<Table> + Send + Sync>> = (0..4)
+            .map(|_| {
+                let calls = AtomicUsize::new(0);
+                Box::new(move || {
+                    if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                        std::thread::sleep(Duration::from_millis(300));
+                    }
+                    Ok(random_table(4, 1, 9))
+                }) as Box<dyn Fn() -> Result<Table> + Send + Sync>
+            })
+            .collect();
+        let out = run_stage(&config, &metrics, 0, tasks).unwrap();
+        assert_eq!(out.len(), 4);
+        let trace = metrics.trace().snapshot();
+        assert_eq!(trace.resilience_totals().timeouts, 4);
+        // Elapsed time cannot show the fix (the scope join still waits out
+        // the hung sleeps), so assert on journal timestamps: every retry
+        // attempt must have STARTED while the first attempts were still
+        // hung, which is only possible on the spare workers.
+        for p in 0..4usize {
+            let retry_start = trace
+                .events
+                .iter()
+                .find_map(|e| match e.kind {
+                    TraceEventKind::TaskStarted {
+                        partition, attempt, ..
+                    } if partition == p && attempt >= 1 => Some(e.at_us),
+                    _ => None,
+                })
+                .expect("each timed-out task must get a replacement attempt");
+            assert!(
+                retry_start < 150_000,
+                "partition {p} retry started at {retry_start}us — it queued behind the hung workers"
+            );
+        }
     }
 }

@@ -41,6 +41,14 @@ pub struct EngineConfig {
     pub fuse_narrow: bool,
     /// Retry/deadline/speculation policy and the chaos plan for this engine.
     pub resilience: ResilienceConfig,
+    /// Run fused narrow chains and partial-aggregation map waves through
+    /// the morsel-driven pipelined scheduler ([`crate::morsel`]); `false`
+    /// keeps every wave on the stage-barrier path (the differential
+    /// oracle). Waves with a deadline or speculation policy always use the
+    /// barrier path regardless of this knob.
+    pub pipelined: bool,
+    /// Target rows per morsel for the pipelined path (clamped to >= 1).
+    pub morsel_rows: usize,
     /// When set, every run checkpoints completed shuffle waves here, and
     /// resuming specs restore them (see [`crate::checkpoint`]).
     pub checkpoint: Option<CheckpointSpec>,
@@ -56,6 +64,8 @@ impl Default for EngineConfig {
             vectorized: true,
             fuse_narrow: true,
             resilience: ResilienceConfig::none(),
+            pipelined: true,
+            morsel_rows: 4096,
             checkpoint: None,
         }
     }
@@ -104,6 +114,16 @@ impl EngineConfig {
         self
     }
 
+    pub fn with_pipelined(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
+    }
+
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows.max(1);
+        self
+    }
+
     pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> Self {
         self.checkpoint = Some(spec);
         self
@@ -119,6 +139,8 @@ impl EngineConfig {
             partial_aggregation: self.partial_aggregation,
             vectorized: self.vectorized,
             fuse_narrow: self.fuse_narrow,
+            pipelined: self.pipelined,
+            morsel_rows: self.morsel_rows,
         }
     }
 }
@@ -260,6 +282,7 @@ impl Engine {
                 self.config.partial_aggregation,
                 self.config.vectorized,
                 self.config.fuse_narrow,
+                self.config.pipelined,
             ),
             input_fingerprint: input_fingerprint(&self.datasets, &scanned)?,
             chaos_seed: self.config.resilience.chaos.seed,

@@ -159,6 +159,49 @@ pub enum TraceEventKind {
         partitions: usize,
         rows: u64,
     },
+    /// A morsel (a small row range of one partition) was claimed by a
+    /// pipeline worker. `worker` is the executing worker's index.
+    /// Journal-only — derived [`RunMetrics`] ignore it, so pipelined and
+    /// stage-barrier runs stay metrics-compatible.
+    MorselDispatched {
+        stage: usize,
+        partition: usize,
+        morsel: usize,
+        rows: u64,
+        worker: usize,
+    },
+    /// The morsel was executed by a worker other than the one whose deque
+    /// it was seeded into — a work-steal. Journal-only.
+    MorselStolen {
+        stage: usize,
+        partition: usize,
+        morsel: usize,
+        /// The worker whose deque originally held the morsel.
+        home: usize,
+        /// The worker that stole and executed it.
+        worker: usize,
+    },
+    /// The matching end of a [`TraceEventKind::MorselDispatched`].
+    /// Journal-only.
+    MorselCompleted {
+        stage: usize,
+        partition: usize,
+        morsel: usize,
+    },
+    /// A fused pipeline wave finished pushing all its morsels. Carries the
+    /// per-worker load balance: `slowest_worker_us / mean_worker_us` is the
+    /// *worker* skew, which (unlike the per-partition task skew) shows what
+    /// stealing bought — a skewed partition's task span still covers the
+    /// whole wave even when idle workers helped finish it. Journal-only.
+    PipelineCompleted {
+        stage: usize,
+        partitions: usize,
+        morsels: u64,
+        stolen: u64,
+        workers: usize,
+        slowest_worker_us: u64,
+        mean_worker_us: f64,
+    },
     /// The run finalised into a [`RunMetrics`].
     RunFinished {
         total_elapsed_us: u64,
@@ -274,6 +317,13 @@ pub struct StageSummary {
     pub speculative_launched: u64,
     #[serde(default)]
     pub speculative_won: u64,
+    /// Morsels pushed through fused pipelines in this stage (0 when the
+    /// stage ran under the stage-barrier scheduler).
+    #[serde(default)]
+    pub morsels: u64,
+    /// Morsels executed by a worker other than their home worker.
+    #[serde(default)]
+    pub stolen: u64,
 }
 
 /// Whole-run roll-up: what `toreador trace` renders.
@@ -290,6 +340,9 @@ pub struct TraceSummary {
     /// Whole-run resilience cost (backoff, timeouts, panics, speculation).
     #[serde(default)]
     pub resilience: ResilienceTotals,
+    /// Whole-run morsel-pipeline activity (zero under the barrier path).
+    #[serde(default)]
+    pub pipelines: PipelineTotals,
 }
 
 /// Aggregate resilience cost of a run, counted from the journal. What
@@ -324,6 +377,50 @@ impl ResilienceTotals {
             speculative_launched: self.speculative_launched + other.speculative_launched,
             speculative_won: self.speculative_won + other.speculative_won,
             cancellations: self.cancellations + other.cancellations,
+        }
+    }
+}
+
+/// Aggregate morsel-pipeline activity of a run, counted from the journal.
+/// What `labs::compare` diffs between a pipelined run and a barrier run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineTotals {
+    /// Pipeline waves completed.
+    pub pipelines: u64,
+    /// Morsels dispatched across all pipeline waves.
+    pub morsels: u64,
+    /// Morsels executed by a worker other than their home worker.
+    pub stolen: u64,
+    /// Worst per-wave worker-balance skew (slowest worker busy time over
+    /// mean worker busy time); 1.0 when no pipeline ran or load was even.
+    pub worker_skew: f64,
+}
+
+impl Default for PipelineTotals {
+    fn default() -> Self {
+        PipelineTotals {
+            pipelines: 0,
+            morsels: 0,
+            stolen: 0,
+            worker_skew: 1.0,
+        }
+    }
+}
+
+impl PipelineTotals {
+    /// True when the run never entered the morsel path.
+    pub fn is_zero(&self) -> bool {
+        self.pipelines == 0 && self.morsels == 0 && self.stolen == 0
+    }
+
+    /// Count-wise sum, keeping the worst worker skew (for aggregating
+    /// across a campaign's engine runs).
+    pub fn merge(&self, other: &PipelineTotals) -> PipelineTotals {
+        PipelineTotals {
+            pipelines: self.pipelines + other.pipelines,
+            morsels: self.morsels + other.morsels,
+            stolen: self.stolen + other.stolen,
+            worker_skew: self.worker_skew.max(other.worker_skew),
         }
     }
 }
@@ -484,9 +581,12 @@ impl RunTrace {
             panics: 0,
             speculative_launched: 0,
             speculative_won: 0,
+            morsels: 0,
+            stolen: 0,
         };
         let mut shuffle_waves = 0u64;
         let mut cancellations = 0u64;
+        let mut pipelines = PipelineTotals::default();
         for e in &self.events {
             match &e.kind {
                 TraceEventKind::TaskStarted { stage, .. } => {
@@ -544,6 +644,32 @@ impl RunTrace {
                         .speculative_won += 1;
                 }
                 TraceEventKind::RunCancelled { .. } => cancellations += 1,
+                TraceEventKind::MorselDispatched { stage, .. } => {
+                    stages
+                        .entry(*stage)
+                        .or_insert_with(|| blank(*stage))
+                        .morsels += 1;
+                }
+                TraceEventKind::MorselStolen { stage, .. } => {
+                    stages.entry(*stage).or_insert_with(|| blank(*stage)).stolen += 1;
+                }
+                TraceEventKind::PipelineCompleted {
+                    morsels,
+                    stolen,
+                    slowest_worker_us,
+                    mean_worker_us,
+                    ..
+                } => {
+                    pipelines.pipelines += 1;
+                    pipelines.morsels += morsels;
+                    pipelines.stolen += stolen;
+                    let skew = if *mean_worker_us > 0.0 {
+                        *slowest_worker_us as f64 / mean_worker_us
+                    } else {
+                        1.0
+                    };
+                    pipelines.worker_skew = pipelines.worker_skew.max(skew);
+                }
                 _ => {}
             }
         }
@@ -582,8 +708,15 @@ impl RunTrace {
                 speculative_won: stages.iter().map(|s| s.speculative_won).sum(),
                 cancellations,
             },
+            pipelines,
             stages,
         }
+    }
+
+    /// The run's aggregate morsel-pipeline activity (waves, morsels, steals,
+    /// worst worker-balance skew), counted from the journal.
+    pub fn pipeline_totals(&self) -> PipelineTotals {
+        self.summarize().pipelines
     }
 
     /// The run's aggregate resilience cost (retries, backoff, timeouts,
@@ -663,6 +796,13 @@ impl TraceSummary {
                 r.speculative_launched,
                 r.speculative_won,
                 r.cancellations,
+            ));
+        }
+        let p = &self.pipelines;
+        if !p.is_zero() {
+            out.push_str(&format!(
+                "pipelines: {} pipeline wave(s), {} morsel(s), {} stolen, worker skew {:.2}\n",
+                p.pipelines, p.morsels, p.stolen, p.worker_skew,
             ));
         }
         out
@@ -987,6 +1127,86 @@ mod tests {
         assert_eq!(m.tasks_run, starts);
         assert_eq!(m.task_retries, retries);
         assert_eq!(m.nodes.len(), 2, "operator list unchanged");
+    }
+
+    fn journal_with_pipeline_events() -> TraceJournal {
+        let j = journal_with_two_stage_run();
+        for (m, worker) in [(0usize, 0usize), (1, 0), (2, 1)] {
+            j.record(TraceEventKind::MorselDispatched {
+                stage: 0,
+                partition: 0,
+                morsel: m,
+                rows: 64,
+                worker,
+            });
+            if m == 2 {
+                j.record(TraceEventKind::MorselStolen {
+                    stage: 0,
+                    partition: 0,
+                    morsel: m,
+                    home: 0,
+                    worker,
+                });
+            }
+            j.record(TraceEventKind::MorselCompleted {
+                stage: 0,
+                partition: 0,
+                morsel: m,
+            });
+        }
+        j.record(TraceEventKind::PipelineCompleted {
+            stage: 0,
+            partitions: 1,
+            morsels: 3,
+            stolen: 1,
+            workers: 2,
+            slowest_worker_us: 300,
+            mean_worker_us: 250.0,
+        });
+        j
+    }
+
+    #[test]
+    fn pipeline_events_roll_up_per_stage_and_run() {
+        let trace = journal_with_pipeline_events().snapshot();
+        let s = trace.summarize();
+        let stage0 = s.stages.iter().find(|x| x.stage == 0).unwrap();
+        assert_eq!(stage0.morsels, 3);
+        assert_eq!(stage0.stolen, 1);
+        let p = trace.pipeline_totals();
+        assert_eq!(p.pipelines, 1);
+        assert_eq!(p.morsels, 3);
+        assert_eq!(p.stolen, 1);
+        assert!((p.worker_skew - 1.2).abs() < 1e-9, "skew {}", p.worker_skew);
+        assert!(!p.is_zero());
+        let merged = p.merge(&PipelineTotals {
+            pipelines: 1,
+            morsels: 5,
+            stolen: 0,
+            worker_skew: 1.7,
+        });
+        assert_eq!(merged.pipelines, 2);
+        assert_eq!(merged.morsels, 8);
+        assert_eq!(merged.worker_skew, 1.7, "merge keeps the worst skew");
+        let rendered = s.render();
+        assert!(rendered.contains("pipelines:"), "{rendered}");
+        assert!(rendered.contains("1 stolen"));
+        // A run that never pipelined omits the footer.
+        let barrier = journal_with_two_stage_run().snapshot().summarize();
+        assert!(barrier.pipelines.is_zero());
+        assert!(!barrier.render().contains("pipelines:"));
+    }
+
+    #[test]
+    fn pipeline_events_do_not_disturb_derived_metrics() {
+        // Morsel events are journal-only: derive_metrics must keep counting
+        // only starts/retries/operators so the finish()/finish_legacy()
+        // parity invariant holds for pipelined runs.
+        let trace = journal_with_pipeline_events().snapshot();
+        let m = trace.derive_metrics(1_000, 5, 4);
+        assert_eq!(m.tasks_run, 4);
+        assert_eq!(m.task_retries, 1);
+        assert_eq!(m.nodes.len(), 2);
     }
 
     #[test]

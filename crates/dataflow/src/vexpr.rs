@@ -88,11 +88,19 @@ enum BoundNode {
 }
 
 /// The result of evaluating one bound node over a batch: a full column, a
-/// borrowed input column (bare column references copy nothing), or a scalar
-/// (constant subtrees stay scalar until a consumer broadcasts them).
+/// borrowed input column (bare column references copy nothing), a deferred
+/// gather (a column restricted to a selection, materialized only if a
+/// consumer needs ownership), or a scalar (constant subtrees stay scalar
+/// until a consumer broadcasts them).
 pub enum Batch<'a> {
     Ref(&'a Column),
     Owned(Column),
+    /// `column` restricted to the rows of `sel`, gather deferred. The fused
+    /// narrow chain evaluates morsels under row-range selections; streaming
+    /// consumers (the comparison kernels, null tests) read `data[sel[i]]`
+    /// in place, so a `Str` operand never pays a per-row clone just to be
+    /// compared against.
+    Gather(&'a Column, &'a [u32]),
     Scalar(Value),
 }
 
@@ -101,6 +109,7 @@ impl<'a> Batch<'a> {
         match self {
             Batch::Ref(c) => Some(c),
             Batch::Owned(c) => Some(c),
+            Batch::Gather(..) => None,
             Batch::Scalar(_) => None,
         }
     }
@@ -112,12 +121,22 @@ impl<'a> Batch<'a> {
         }
     }
 
+    /// Materialize a deferred gather; every other variant passes through.
+    /// Consumers without a streaming path call this before `as_col`.
+    fn force(self) -> Batch<'a> {
+        match self {
+            Batch::Gather(c, sel) => Batch::Owned(c.take_sel(sel)),
+            b => b,
+        }
+    }
+
     /// Materialize as a column of `ty` over `m` rows, broadcasting scalars
     /// and widening Int to Float where the inferred type asks for it.
     pub fn into_column(self, ty: DataType, m: usize) -> Result<Column> {
         match self {
             Batch::Ref(c) => coerce_column(c.clone(), ty),
             Batch::Owned(c) => coerce_column(c, ty),
+            Batch::Gather(c, sel) => coerce_column(c.take_sel(sel), ty),
             Batch::Scalar(v) => {
                 let v = v.coerce(ty).map_err(FlowError::Data)?;
                 Ok(broadcast(&v, ty, m))
@@ -455,7 +474,7 @@ impl BoundExpr {
             return Err(bad(format!("predicate must be Bool, got {}", self.ty)));
         }
         let m = sel.map_or(n, |s| s.len());
-        let batch = self.eval_cols(cols, n, sel)?;
+        let batch = self.eval_cols(cols, n, sel)?.force();
         let abs = |i: usize| sel.map_or(i as u32, |s| s[i]);
         match batch {
             Batch::Scalar(Value::Bool(true)) => Ok((0..m).map(abs).collect()),
@@ -481,7 +500,7 @@ impl BoundExpr {
         &self,
         cols: &'a [Column],
         n: usize,
-        sel: Option<&[u32]>,
+        sel: Option<&'a [u32]>,
     ) -> Result<Batch<'a>> {
         let m = sel.map_or(n, |s| s.len());
         if self.dynamic {
@@ -493,7 +512,7 @@ impl BoundExpr {
         match &self.node {
             BoundNode::Col(idx) => match sel {
                 None => Ok(Batch::Ref(&cols[*idx])),
-                Some(s) => Ok(Batch::Owned(cols[*idx].take_sel(s))),
+                Some(s) => Ok(Batch::Gather(&cols[*idx], s)),
             },
             BoundNode::Lit(v) => Ok(Batch::Scalar(v.clone())),
             BoundNode::Binary { op, left, right } => {
@@ -505,7 +524,7 @@ impl BoundExpr {
             }
             BoundNode::Call { func, arg } => {
                 let b = arg.eval_cols(cols, n, sel)?;
-                match b {
+                match b.force() {
                     Batch::Scalar(v) => {
                         if v.is_null() {
                             Ok(Batch::Scalar(Value::Null))
@@ -527,7 +546,7 @@ impl BoundExpr {
             } => self.eval_if(cond, then, otherwise, cols, n, sel, m),
             BoundNode::Cast { expr, to } => {
                 let b = expr.eval_cols(cols, n, sel)?;
-                match b {
+                match b.force() {
                     Batch::Scalar(v) => cast_value(&v, *to).map(Batch::Scalar),
                     b => {
                         let c = b.as_col().expect("column batch");
@@ -546,7 +565,7 @@ impl BoundExpr {
         right: &BoundExpr,
         cols: &'a [Column],
         n: usize,
-        sel: Option<&[u32]>,
+        sel: Option<&'a [u32]>,
         m: usize,
     ) -> Result<Batch<'a>> {
         let lb = left.eval_cols(cols, n, sel)?;
@@ -565,8 +584,25 @@ impl BoundExpr {
             return Ok(Batch::Owned(all_null(self.ty, m)));
         }
         if op.is_comparison() {
+            // Deferred gathers compare in place — `data[sel[i]]` streams
+            // against the other operand, so the fused chain's per-morsel
+            // filters never clone the rows they are testing.
+            match (&lb, &rb) {
+                (Batch::Gather(c, s), Batch::Scalar(v)) => {
+                    return cmp_gather_scalar(op, c, s, v, true).map(Batch::Owned)
+                }
+                (Batch::Scalar(v), Batch::Gather(c, s)) => {
+                    return cmp_gather_scalar(op, c, s, v, false).map(Batch::Owned)
+                }
+                (Batch::Gather(lc, ls), Batch::Gather(rc, rs)) => {
+                    return cmp_gather_gather(op, lc, ls, rc, rs).map(Batch::Owned)
+                }
+                _ => {}
+            }
+            let (lb, rb) = (lb.force(), rb.force());
             cmp_dispatch(op, &lb, &rb).map(Batch::Owned)
         } else {
+            let (lb, rb) = (lb.force(), rb.force());
             arith_dispatch(op, self.ty, &lb, &rb, m).map(Batch::Owned)
         }
     }
@@ -583,9 +619,10 @@ impl BoundExpr {
         right: &BoundExpr,
         cols: &'a [Column],
         n: usize,
-        sel: Option<&[u32]>,
+        sel: Option<&'a [u32]>,
         m: usize,
     ) -> Result<Batch<'a>> {
+        let lb = lb.force();
         let decides = |v: bool| (op == BinOp::And && !v) || (op == BinOp::Or && v);
         if let Some(l) = lb.as_scalar() {
             match l {
@@ -642,7 +679,7 @@ impl BoundExpr {
             }
             return Ok(Batch::Owned(Column::Bool { data, validity }));
         }
-        let rb = right.eval_cols(cols, n, sel)?;
+        let rb = right.eval_cols(cols, n, sel)?.force();
         let mut data = Vec::with_capacity(m);
         let mut validity = Validity::new();
         match rb.as_scalar() {
@@ -728,7 +765,7 @@ impl BoundExpr {
         sel: Option<&[u32]>,
         m: usize,
     ) -> Result<Batch<'a>> {
-        let cb = cond.eval_cols(cols, n, sel)?;
+        let cb = cond.eval_cols(cols, n, sel)?.force();
         if let Some(v) = cb.as_scalar() {
             // Constant condition: only the taken branch is evaluated at all.
             let taken = if matches!(v, Value::Bool(true)) {
@@ -1008,6 +1045,104 @@ fn cmp_col_scalar(op: BinOp, c: &Column, s: &Value, col_on_left: bool) -> Result
     })
 }
 
+/// The validity of `col` at the selected rows (the bitmap a gather of the
+/// column would carry, built without gathering the data).
+fn gather_validity(v: &Validity, sel: &[u32]) -> Validity {
+    if v.null_count() == 0 {
+        return Validity::all_valid(sel.len());
+    }
+    let mut out = Validity::new();
+    for &i in sel {
+        out.push(v.get(i as usize));
+    }
+    out
+}
+
+/// Compare a deferred gather against a non-null scalar in place: the lane
+/// kernels read `data[sel[i]]` directly, so `Str` rows are compared without
+/// ever cloning them. Orderings mirror [`cmp_col_scalar`] exactly.
+fn cmp_gather_scalar(
+    op: BinOp,
+    c: &Column,
+    sel: &[u32],
+    s: &Value,
+    col_on_left: bool,
+) -> Result<Column> {
+    let m = sel.len();
+    let v = gather_validity(c.validity(), sel);
+    let orient = move |o: Ordering| if col_on_left { o } else { o.reverse() };
+    let at = |i: usize| sel[i] as usize;
+    use Column::*;
+    Ok(match (c, s) {
+        (Int { data, .. }, Value::Int(s)) => {
+            let s = *s;
+            cmp_by(op, v, m, move |i| orient(data[at(i)].cmp(&s)))
+        }
+        (Int { data, .. }, Value::Float(s)) => {
+            let s = *s;
+            cmp_by(op, v, m, move |i| {
+                orient((data[at(i)] as f64).total_cmp(&s))
+            })
+        }
+        (Float { data, .. }, Value::Int(s)) => {
+            let s = *s as f64;
+            cmp_by(op, v, m, move |i| orient(data[at(i)].total_cmp(&s)))
+        }
+        (Float { data, .. }, Value::Float(s)) => {
+            let s = *s;
+            cmp_by(op, v, m, move |i| orient(data[at(i)].total_cmp(&s)))
+        }
+        (Str { data, .. }, Value::Str(s)) => cmp_by(op, v, m, move |i| orient(data[at(i)].cmp(s))),
+        (Bool { data, .. }, Value::Bool(s)) => {
+            let s = *s;
+            cmp_by(op, v, m, move |i| orient(data[at(i)].cmp(&s)))
+        }
+        (Timestamp { data, .. }, Value::Timestamp(s)) => {
+            let s = *s;
+            cmp_by(op, v, m, move |i| orient(data[at(i)].cmp(&s)))
+        }
+        _ => return Err(internal("comparison lanes disagree with bound types")),
+    })
+}
+
+/// Compare two deferred gathers (each under its own selection — in practice
+/// both sides of one predicate share the morsel's selection) in place.
+/// Orderings mirror [`cmp_col_col`] exactly.
+fn cmp_gather_gather(op: BinOp, l: &Column, ls: &[u32], r: &Column, rs: &[u32]) -> Result<Column> {
+    if ls.len() != rs.len() {
+        return Err(internal("comparison operands disagree on batch length"));
+    }
+    let m = ls.len();
+    let v = gather_validity(l.validity(), ls).and(&gather_validity(r.validity(), rs));
+    let la = |i: usize| ls[i] as usize;
+    let ra = |i: usize| rs[i] as usize;
+    use Column::*;
+    Ok(match (l, r) {
+        (Int { data: a, .. }, Int { data: b, .. }) => {
+            cmp_by(op, v, m, move |i| a[la(i)].cmp(&b[ra(i)]))
+        }
+        (Int { data: a, .. }, Float { data: b, .. }) => {
+            cmp_by(op, v, m, move |i| (a[la(i)] as f64).total_cmp(&b[ra(i)]))
+        }
+        (Float { data: a, .. }, Int { data: b, .. }) => {
+            cmp_by(op, v, m, move |i| a[la(i)].total_cmp(&(b[ra(i)] as f64)))
+        }
+        (Float { data: a, .. }, Float { data: b, .. }) => {
+            cmp_by(op, v, m, move |i| a[la(i)].total_cmp(&b[ra(i)]))
+        }
+        (Str { data: a, .. }, Str { data: b, .. }) => {
+            cmp_by(op, v, m, move |i| a[la(i)].cmp(&b[ra(i)]))
+        }
+        (Bool { data: a, .. }, Bool { data: b, .. }) => {
+            cmp_by(op, v, m, move |i| a[la(i)].cmp(&b[ra(i)]))
+        }
+        (Timestamp { data: a, .. }, Timestamp { data: b, .. }) => {
+            cmp_by(op, v, m, move |i| a[la(i)].cmp(&b[ra(i)]))
+        }
+        _ => return Err(internal("comparison lanes disagree with bound types")),
+    })
+}
+
 /// One arithmetic operand, promoted to the float lane.
 enum FloatSide<'a> {
     Col(Cow<'a, [f64]>, &'a Validity),
@@ -1159,6 +1294,22 @@ fn arith_int(op: BinOp, lb: &Batch<'_>, rb: &Batch<'_>, m: usize) -> Result<Colu
 }
 
 fn eval_unary_batch(op: UnOp, b: Batch<'_>) -> Result<Batch<'_>> {
+    // Null tests on a deferred gather stream the validity bitmap at the
+    // selected rows — no reason to materialize the data just to drop it.
+    if let Batch::Gather(c, sel) = &b {
+        if matches!(op, UnOp::IsNull | UnOp::IsNotNull) {
+            let v = c.validity();
+            let want_valid = op == UnOp::IsNotNull;
+            return Ok(Batch::Owned(Column::Bool {
+                data: sel
+                    .iter()
+                    .map(|&i| v.get(i as usize) == want_valid)
+                    .collect(),
+                validity: Validity::all_valid(sel.len()),
+            }));
+        }
+    }
+    let b = b.force();
     if let Batch::Scalar(v) = &b {
         return Ok(Batch::Scalar(match op {
             UnOp::IsNull => Value::Bool(v.is_null()),

@@ -177,6 +177,106 @@ fn kill_at_every_boundary_then_resume_is_byte_identical() {
 }
 
 #[test]
+fn pipelined_fused_chain_kill_resume_is_byte_identical() {
+    // The morsel-pipelined variant of the exhaustive boundary kill: the
+    // leading filter->project chain fuses into one independent morsel wave
+    // of ~125 sixteen-row units on a 16-thread pool (so its checkpoint is
+    // assembled from stolen and home-run morsels alike), followed by the
+    // serial map-side aggregation wave. Killing at every boundary and
+    // resuming with a fresh engine must stay byte-identical, restoring
+    // every completed wave.
+    let root = temp_root("morsel");
+    let engine_m = |resilience: ResilienceConfig| {
+        let mut e = Engine::new(
+            EngineConfig::default()
+                .with_threads(THREADS)
+                .with_morsel_rows(16)
+                .with_checkpoint(CheckpointSpec::new(root.clone(), "unused"))
+                .with_resilience(resilience),
+        );
+        e.register("clicks", clickstream(ROWS, SEED)).unwrap();
+        e
+    };
+    let chain_flow = |e: &Engine| {
+        e.flow("clicks")
+            .unwrap()
+            .filter(col("action").eq(lit("purchase")))
+            .unwrap()
+            .project(vec![
+                ("country", col("country")),
+                ("price", col("price").mul(lit(2.0))),
+            ])
+            .unwrap()
+            .aggregate(
+                &["country"],
+                vec![AggExpr::new(AggFunc::Sum, "price", "revenue")],
+            )
+            .unwrap()
+            .sort(&["revenue"], true)
+            .unwrap()
+    };
+
+    let calm = engine_m(ResilienceConfig::none());
+    let baseline = calm
+        .run_checkpointed(&chain_flow(&calm), "baseline")
+        .unwrap();
+    assert!(
+        baseline.trace.pipeline_totals().pipelines >= 2,
+        "both the fused chain and the aggregation map side must pipeline"
+    );
+    let waves = wave_partitions(&baseline.trace);
+    assert!(waves.len() >= 3, "got {} waves", waves.len());
+    let mut baseline_bytes = BytesMut::new();
+    encode_table(&baseline.table, &mut baseline_bytes);
+
+    for kill_wave in 0..waves.len() {
+        let run_id = format!("killed-at-{kill_wave}");
+        let doomed = engine_m(
+            ResilienceConfig::none()
+                .with_chaos(ChaosPlan::none().with_boundary_kill(kill_wave, KillMode::Halt)),
+        );
+        let err = doomed
+            .run_checkpointed(&chain_flow(&doomed), &run_id)
+            .unwrap_err();
+        assert!(
+            matches!(err, FlowError::KilledAtBoundary { wave, .. } if wave == kill_wave),
+            "boundary {kill_wave}: {err}"
+        );
+
+        let revived = engine_m(ResilienceConfig::none());
+        let resumed = revived.resume(&chain_flow(&revived), &run_id).unwrap();
+        let mut resumed_bytes = BytesMut::new();
+        encode_table(&resumed.table, &mut resumed_bytes);
+        assert_eq!(
+            resumed_bytes, baseline_bytes,
+            "boundary {kill_wave}: resumed pipelined output must be byte-identical"
+        );
+        let restored = count_kind(&resumed.trace, |k| {
+            matches!(k, TraceEventKind::StageRestored { .. })
+        });
+        assert_eq!(restored, kill_wave + 1, "boundary {kill_wave}");
+    }
+
+    // The scheduler mode shapes what the journal (and any mid-wave state)
+    // means, so a pipelined checkpoint refuses to resume on a barrier-mode
+    // engine: the config fingerprint names the mismatch.
+    let mut barrier = Engine::new(
+        EngineConfig::default()
+            .with_threads(THREADS)
+            .with_pipelined(false)
+            .with_morsel_rows(16)
+            .with_checkpoint(CheckpointSpec::new(root.clone(), "unused")),
+    );
+    barrier.register("clicks", clickstream(ROWS, SEED)).unwrap();
+    match barrier.resume(&chain_flow(&barrier), "baseline") {
+        Err(FlowError::StaleCheckpoint { mismatch, .. }) => assert_eq!(mismatch, "engine config"),
+        other => panic!("expected StaleCheckpoint(engine config), got {other:?}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn resume_refuses_stale_checkpoints_with_named_mismatch() {
     let root = temp_root("stale");
     let calm = engine_with(&root, ResilienceConfig::none());

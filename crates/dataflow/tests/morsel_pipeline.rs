@@ -1,0 +1,318 @@
+//! Differential proof that the morsel-driven pipelined scheduler is
+//! invisible: the same plan run through the pipelined path, the
+//! stage-barrier path, and the row-at-a-time oracle engine must agree
+//! value-for-value — byte-identical output through the shuffle codec, and
+//! identical error messages when chaos makes a wave fail — across generated
+//! plans, morsel sizes from one row to the whole partition, and thread
+//! counts 1, 2 and 16. A second battery proves work-stealing is invisible:
+//! 32 runs of one plan on a 16-thread pool under randomized chaos delays
+//! (which scramble steal timing) stay byte-identical with a fully paired
+//! morsel journal every time, while the journal shows real steals happened.
+
+use std::collections::HashMap;
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+use toreador_data::generate::random_table;
+use toreador_data::table::Table;
+use toreador_dataflow::prelude::*;
+use toreador_dataflow::shuffle::encode_table;
+use toreador_dataflow::trace::{RunTrace, TraceEventKind};
+
+/// A random always-valid chain of narrow operators over random_table's
+/// `c0:Int, c1:Float, c2:Str` columns — the shapes the planner fuses into
+/// one morsel pipeline.
+#[derive(Debug, Clone)]
+enum Step {
+    FilterIntGt(i64),
+    FilterStrNotNull,
+    ProjectArith,
+    SampleHalf(u64),
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (-500i64..500).prop_map(Step::FilterIntGt),
+            Just(Step::FilterStrNotNull),
+            Just(Step::ProjectArith),
+            (0u64..10).prop_map(Step::SampleHalf),
+        ],
+        0..5,
+    )
+}
+
+fn build_flow(engine: &Engine, steps: &[Step], agg: bool) -> Dataflow {
+    let mut flow = engine.flow("t").unwrap();
+    for s in steps {
+        flow = match s {
+            Step::FilterIntGt(n) => flow.filter(col("c0").gt(lit(*n))).unwrap(),
+            Step::FilterStrNotNull => flow.filter(col("c2").is_not_null()).unwrap(),
+            Step::ProjectArith => flow
+                .project(vec![
+                    ("c0", col("c0")),
+                    ("c1", col("c1").mul(lit(2.0)).add(lit(1.0))),
+                    ("c2", col("c2")),
+                ])
+                .unwrap(),
+            Step::SampleHalf(seed) => flow.sample(0.5, *seed).unwrap(),
+        };
+    }
+    if agg {
+        flow = flow
+            .aggregate(
+                &["c2"],
+                vec![
+                    AggExpr::new(AggFunc::Count, "c0", "n"),
+                    AggExpr::new(AggFunc::Sum, "c0", "s"),
+                    AggExpr::new(AggFunc::Mean, "c1", "m"),
+                ],
+            )
+            .unwrap();
+    }
+    flow
+}
+
+/// Engine in one of the three comparison modes. `pipelined == false` is the
+/// stage-barrier path; `vectorized == false` is the row-at-a-time oracle
+/// (which never fuses, so `pipelined` is moot there).
+fn engine_mode(
+    table: Table,
+    threads: usize,
+    pipelined: bool,
+    vectorized: bool,
+    morsel_rows: usize,
+    resilience: ResilienceConfig,
+) -> Engine {
+    let mut e = Engine::new(
+        EngineConfig::default()
+            .with_threads(threads)
+            .with_partitions(3)
+            .with_pipelined(pipelined)
+            .with_vectorized(vectorized)
+            .with_morsel_rows(morsel_rows)
+            .with_resilience(resilience),
+    );
+    e.register("t", table).unwrap();
+    e
+}
+
+/// Byte-exact serialization through the shuffle codec: the comparison is
+/// value-for-value including float bit patterns and row order.
+fn bytes_of(t: &Table) -> BytesMut {
+    let mut buf = BytesMut::new();
+    encode_table(t, &mut buf);
+    buf
+}
+
+/// Every dispatched morsel must complete exactly once — even on failing or
+/// cancelled waves, an in-flight morsel always pairs.
+fn assert_morsels_paired(trace: &RunTrace) {
+    let mut open: HashMap<(usize, usize, usize), i64> = HashMap::new();
+    for e in &trace.events {
+        match e.kind {
+            TraceEventKind::MorselDispatched {
+                stage,
+                partition,
+                morsel,
+                ..
+            } => *open.entry((stage, partition, morsel)).or_insert(0) += 1,
+            TraceEventKind::MorselCompleted {
+                stage,
+                partition,
+                morsel,
+            } => *open.entry((stage, partition, morsel)).or_insert(0) -= 1,
+            _ => {}
+        }
+    }
+    for (key, balance) in &open {
+        assert_eq!(
+            *balance, 0,
+            "morsel {key:?} dispatched/completed out of balance"
+        );
+    }
+}
+
+/// How many property cases to run. The vendored proptest does not read
+/// `PROPTEST_CASES`, so this suite honours it by hand — CI pins it.
+fn proptest_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases()))]
+
+    /// The tentpole differential: pipelined ≡ stage-barrier ≡ row oracle,
+    /// byte-for-byte, for every generated plan × morsel size × thread count.
+    #[test]
+    fn pipelined_matches_barrier_and_row_oracle(
+        rows in 0usize..140,
+        seed in 0u64..30,
+        steps in arb_steps(),
+        agg in any::<bool>(),
+        morsel_rows in prop_oneof![Just(1usize), 2usize..64, Just(1usize << 20)],
+        threads in prop_oneof![Just(1usize), Just(2usize), Just(16usize)],
+    ) {
+        let table = random_table(rows, 3, seed);
+        let none = ResilienceConfig::none;
+        let pip = engine_mode(table.clone(), threads, true, true, morsel_rows, none());
+        let bar = engine_mode(table.clone(), threads, false, true, morsel_rows, none());
+        let row = engine_mode(table, threads, false, false, morsel_rows, none());
+        let a = pip.run(&build_flow(&pip, &steps, agg)).unwrap();
+        let b = bar.run(&build_flow(&bar, &steps, agg)).unwrap();
+        let c = row.run(&build_flow(&row, &steps, agg)).unwrap();
+        prop_assert_eq!(
+            bytes_of(&a.table),
+            bytes_of(&b.table),
+            "pipelined vs stage-barrier"
+        );
+        prop_assert_eq!(
+            bytes_of(&a.table),
+            bytes_of(&c.table),
+            "pipelined vs row oracle"
+        );
+        // The pipelined engine really took the morsel path: an aggregation's
+        // map side always pipelines, and its journal stays paired.
+        if agg {
+            prop_assert!(a.trace.pipeline_totals().pipelines >= 1);
+        }
+        assert_morsels_paired(&a.trace);
+        // The other two engines never dispatched a morsel.
+        prop_assert_eq!(b.trace.pipeline_totals().morsels, 0);
+        prop_assert_eq!(c.trace.pipeline_totals().morsels, 0);
+    }
+}
+
+/// Error semantics are part of value-for-value: a wave that chaos kills must
+/// surface the *same* error message from all three paths.
+#[test]
+fn injected_failure_messages_match_across_all_three_paths() {
+    let table = random_table(90, 3, 11);
+    // Map-side aggregation wave (serial morsel units, task = partition):
+    // crash partition 1's only two attempts, exhausting the retry budget.
+    let chaos = ChaosPlan::none()
+        .with_targeted(TargetedFault {
+            stage: 0,
+            partition: 1,
+            attempt: 0,
+            kind: FaultKind::Crash,
+        })
+        .with_targeted(TargetedFault {
+            stage: 0,
+            partition: 1,
+            attempt: 1,
+            kind: FaultKind::Crash,
+        });
+    let resilience = || {
+        ResilienceConfig::none()
+            .with_retry(RetryPolicy::immediate(2))
+            .with_chaos(chaos.clone())
+    };
+    let pip = engine_mode(table.clone(), 4, true, true, 8, resilience());
+    let bar = engine_mode(table.clone(), 4, false, true, 8, resilience());
+    let row = engine_mode(table.clone(), 4, false, false, 8, resilience());
+    let pe = pip.run(&build_flow(&pip, &[], true)).unwrap_err();
+    let be = bar.run(&build_flow(&bar, &[], true)).unwrap_err();
+    let re = row.run(&build_flow(&row, &[], true)).unwrap_err();
+    assert!(pe.to_string().contains("injected fault"), "{pe}");
+    assert_eq!(pe.to_string(), be.to_string(), "pipelined vs barrier");
+    assert_eq!(pe.to_string(), re.to_string(), "pipelined vs row oracle");
+
+    // Fused narrow chain (independent morsel units): the first unit of the
+    // wave is partition 0's first morsel, the same coordinate the barrier
+    // and row engines report for their partition-0 task.
+    let chain_chaos = ChaosPlan::none().with_targeted(TargetedFault {
+        stage: 0,
+        partition: 0,
+        attempt: 0,
+        kind: FaultKind::Crash,
+    });
+    let chain_res = || ResilienceConfig::none().with_chaos(chain_chaos.clone());
+    let steps = [Step::FilterStrNotNull, Step::ProjectArith];
+    let pip = engine_mode(table.clone(), 4, true, true, 1 << 20, chain_res());
+    let bar = engine_mode(table.clone(), 4, false, true, 1 << 20, chain_res());
+    let row = engine_mode(table, 4, false, false, 1 << 20, chain_res());
+    let pe = pip.run(&build_flow(&pip, &steps, false)).unwrap_err();
+    let be = bar.run(&build_flow(&bar, &steps, false)).unwrap_err();
+    let re = row.run(&build_flow(&row, &steps, false)).unwrap_err();
+    assert!(pe.to_string().contains("injected fault"), "{pe}");
+    assert_eq!(pe.to_string(), be.to_string(), "pipelined vs barrier");
+    assert_eq!(pe.to_string(), re.to_string(), "pipelined vs row oracle");
+}
+
+/// Determinism under stealing: the same plan 32 times on a 16-thread pool
+/// with tiny morsels and per-run chaos delay seeds (which randomize which
+/// worker is busy when, and therefore who steals what from whom). Output
+/// must be byte-identical every time, every run's morsel journal must pair,
+/// and the journal must show stealing actually happened.
+#[test]
+fn stealing_is_invisible_across_32_chaotic_runs() {
+    let table = random_table(3_000, 3, 7);
+    let steps = [Step::FilterStrNotNull, Step::ProjectArith];
+    let mut reference: Option<BytesMut> = None;
+    let mut total_steals = 0u64;
+    let mut total_morsels = 0u64;
+    for run_seed in 0..32u64 {
+        let resilience = ResilienceConfig::none().with_chaos(ChaosPlan::delays(
+            0.25,
+            400,
+            run_seed.wrapping_mul(0x9e37_79b9).wrapping_add(1),
+        ));
+        let e = engine_mode(table.clone(), 16, true, true, 7, resilience);
+        let result = e.run(&build_flow(&e, &steps, true)).unwrap();
+        let bytes = bytes_of(&result.table);
+        match &reference {
+            None => reference = Some(bytes),
+            Some(first) => assert_eq!(
+                first, &bytes,
+                "run {run_seed}: stealing or delay timing changed the output"
+            ),
+        }
+        assert_morsels_paired(&result.trace);
+        let totals = result.trace.pipeline_totals();
+        assert!(totals.pipelines >= 1, "run {run_seed} never pipelined");
+        total_steals += totals.stolen;
+        total_morsels += totals.morsels;
+    }
+    assert!(total_morsels > 0);
+    assert!(
+        total_steals > 0,
+        "32 sixteen-thread runs over 3 home deques never stole — \
+         the work-stealing path is dead"
+    );
+}
+
+/// One morsel per row and one morsel per partition are the two degenerate
+/// decompositions; both must agree with the barrier path even when the
+/// chain ends in a Sample step (whose RNG draws are order-sensitive).
+#[test]
+fn degenerate_morsel_sizes_agree_on_sampled_chains() {
+    let table = random_table(257, 3, 23);
+    let steps = [
+        Step::FilterIntGt(-100),
+        Step::SampleHalf(5),
+        Step::ProjectArith,
+    ];
+    let bar = engine_mode(table.clone(), 4, false, true, 64, ResilienceConfig::none());
+    let expected = bar.run(&build_flow(&bar, &steps, false)).unwrap();
+    for morsel_rows in [1usize, 2, 3, 86, 1 << 20] {
+        let pip = engine_mode(
+            table.clone(),
+            4,
+            true,
+            true,
+            morsel_rows,
+            ResilienceConfig::none(),
+        );
+        let got = pip.run(&build_flow(&pip, &steps, false)).unwrap();
+        assert_eq!(
+            bytes_of(&got.table),
+            bytes_of(&expected.table),
+            "morsel_rows {morsel_rows}"
+        );
+    }
+}

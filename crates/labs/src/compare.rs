@@ -11,7 +11,7 @@
 use std::collections::BTreeSet;
 
 use toreador_core::declarative::Indicator;
-use toreador_dataflow::trace::ResilienceTotals;
+use toreador_dataflow::trace::{PipelineTotals, ResilienceTotals};
 
 use crate::error::{LabsError, Result};
 use crate::run::RunRecord;
@@ -45,6 +45,10 @@ pub struct RunComparison {
     /// Resilience overhead of each run (retries, backoff, timeouts, panics,
     /// speculation), when both runs recorded traces.
     pub resilience_change: Option<(ResilienceTotals, ResilienceTotals)>,
+    /// Morsel-pipeline activity of each run (waves, morsels, steals, worker
+    /// skew), when both runs recorded traces. An engine-mode ablation
+    /// between the barrier and pipelined schedulers diffs cleanly here.
+    pub pipeline_change: Option<(PipelineTotals, PipelineTotals)>,
 }
 
 /// One indicator's movement between two runs.
@@ -177,6 +181,11 @@ impl RunComparison {
         } else {
             Some((a.resilience_totals(), b.resilience_totals()))
         };
+        let pipeline_change = if a.traces.is_empty() || b.traces.is_empty() {
+            None
+        } else {
+            Some((a.pipeline_totals(), b.pipeline_totals()))
+        };
 
         Ok(RunComparison {
             run_a: a.run_id,
@@ -191,6 +200,7 @@ impl RunComparison {
             batch_deltas,
             skew_change,
             resilience_change,
+            pipeline_change,
         })
     }
 
@@ -285,6 +295,15 @@ impl RunComparison {
         }
         if let Some((a, b)) = self.skew_change {
             out.push_str(&format!("max task skew: {a:.2} -> {b:.2}\n"));
+        }
+        if let Some((a, b)) = &self.pipeline_change {
+            if !a.is_zero() || !b.is_zero() {
+                out.push_str(&format!(
+                    "pipelines: morsels {} -> {}, stolen {} -> {}, \
+                     worker skew {:.2} -> {:.2}\n",
+                    a.morsels, b.morsels, a.stolen, b.stolen, a.worker_skew, b.worker_skew,
+                ));
+            }
         }
         if let Some((a, b)) = &self.resilience_change {
             if !a.is_zero() || !b.is_zero() {
@@ -584,6 +603,43 @@ mod tests {
         assert!(rendered.contains("operator Aggregate: only first run"));
         assert!(rendered.contains("operator Sort: only second run"));
         assert!(rendered.contains("max task skew: 1.00 -> 1.50"));
+        // Neither trace recorded pipeline waves: present but all-zero, and
+        // silent in the report.
+        let (pa, pb) = d.pipeline_change.unwrap();
+        assert!(pa.is_zero() && pb.is_zero());
+        assert!(!rendered.contains("pipelines:"));
+    }
+
+    #[test]
+    fn scheduler_mode_ablation_diffs_in_pipeline_totals() {
+        let mut a = record(1, "c", &["x"], &[]);
+        let mut b = record(2, "c", &["x"], &[]);
+        // a ran on the stage-barrier path (no pipeline events); b ran the
+        // morsel path and stole work off a skewed partition.
+        a.traces = vec![trace_with(&[("Scan", 100)], &[(0, 10)])];
+        let mut t = trace_with(&[("Scan", 80)], &[(0, 10)]);
+        t.events.push(TraceEvent {
+            seq: t.events.len() as u64,
+            at_us: 90,
+            kind: TraceEventKind::PipelineCompleted {
+                stage: 0,
+                partitions: 4,
+                morsels: 32,
+                stolen: 7,
+                workers: 4,
+                slowest_worker_us: 60,
+                mean_worker_us: 40.0,
+            },
+        });
+        b.traces = vec![t];
+        let d = RunComparison::diff(&a, &b).unwrap();
+        let (pa, pb) = d.pipeline_change.unwrap();
+        assert!(pa.is_zero());
+        assert_eq!((pb.pipelines, pb.morsels, pb.stolen), (1, 32, 7));
+        assert!((pb.worker_skew - 1.5).abs() < 1e-9);
+        let rendered = d.render();
+        assert!(rendered
+            .contains("pipelines: morsels 0 -> 32, stolen 0 -> 7, worker skew 1.00 -> 1.50"));
     }
 
     #[test]

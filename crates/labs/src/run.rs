@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use toreador_core::compile::{Bdaas, CampaignOutcome, CompiledCampaign};
 use toreador_core::declarative::Indicator;
-use toreador_dataflow::trace::{ResilienceTotals, RunTrace};
+use toreador_dataflow::trace::{PipelineTotals, ResilienceTotals, RunTrace};
 
 use crate::challenge::{Challenge, ChoiceVector};
 use crate::error::{LabsError, Result};
@@ -141,6 +141,17 @@ impl RunRecord {
             .iter()
             .fold(ResilienceTotals::default(), |acc, t| {
                 acc.merge(&t.resilience_totals())
+            })
+    }
+
+    /// Aggregate morsel-pipeline activity (pipeline waves, morsels, steals,
+    /// worker skew) across every engine run the campaign made. All-zero
+    /// when every wave ran on the stage-barrier path.
+    pub fn pipeline_totals(&self) -> PipelineTotals {
+        self.traces
+            .iter()
+            .fold(PipelineTotals::default(), |acc, t| {
+                acc.merge(&t.pipeline_totals())
             })
     }
 }

@@ -410,6 +410,125 @@ fn external_cancellation_mid_wave_pairs_journal_and_leaks_no_threads() {
     }
 }
 
+#[test]
+fn cancellation_mid_morsel_wave_stops_cleanly_without_leaking_threads() {
+    // The morsel-pipelined analogue of the wave-cancellation test above: a
+    // fused filter->project chain decomposed into hundreds of 8-row morsel
+    // units, every unit's attempt delayed 3ms by chaos so the wave is
+    // guaranteed to be mid-flight when an external canceller fires.
+    // Cooperative cancellation must fail the run with the canceller's
+    // reason, keep task spans AND morsel events paired, leave most units
+    // undispatched, and join every pooled worker.
+    use std::collections::HashMap;
+    use toreador_data::partition::PartitionedTable;
+    use toreador_dataflow::expr::{col, lit};
+    use toreador_dataflow::logical::Dataflow;
+    use toreador_dataflow::physical::{execute, ExecConfig, ExecContext};
+
+    #[cfg(target_os = "linux")]
+    let threads_before = live_threads();
+
+    let table = random_table(4_000, 3, 3);
+    let flow = Dataflow::scan("t", table.schema().clone())
+        .filter(col("c2").is_not_null())
+        .unwrap()
+        .project(vec![
+            ("c0", col("c0")),
+            ("c1", col("c1").mul(lit(2.0))),
+            ("c2", col("c2")),
+        ])
+        .unwrap();
+    let config = ExecConfig {
+        scheduler: SchedulerConfig::new(8)
+            .with_resilience(ResilienceConfig::none().with_chaos(ChaosPlan::delays(1.0, 3_000, 5))),
+        partitions: 4,
+        partial_aggregation: true,
+        vectorized: true,
+        fuse_narrow: true,
+        pipelined: true,
+        morsel_rows: 8,
+    };
+    let mut datasets = HashMap::new();
+    datasets.insert("t".to_owned(), PartitionedTable::split(table, 4).unwrap());
+    let metrics = MetricsCollector::new();
+    let ctx = ExecContext::new(&datasets, config, &metrics);
+
+    let started_at = Instant::now();
+    let err = std::thread::scope(|s| {
+        let control = ctx.control();
+        s.spawn(move || {
+            std::thread::sleep(Duration::from_millis(15));
+            control.cancel("operator interrupt");
+        });
+        execute(&ctx, flow.plan()).unwrap_err()
+    });
+
+    assert!(matches!(err, FlowError::Cancelled(_)), "{err}");
+    assert!(err.to_string().contains("operator interrupt"), "{err}");
+    assert_eq!(classify(&err), ErrorClass::Permanent);
+    assert!(
+        started_at.elapsed() < Duration::from_secs(2),
+        "cancellation failed to bound the morsel wave: took {:?}",
+        started_at.elapsed()
+    );
+
+    let trace = metrics.trace().snapshot();
+    assert_journal_well_formed(&trace);
+    assert!(trace
+        .events
+        .iter()
+        .any(|e| matches!(e.kind, TraceEventKind::RunCancelled { .. })));
+    // Every dispatched morsel completed — in-flight morsels always pair,
+    // even on a cancelled wave.
+    let mut open: HashMap<(usize, usize, usize), i64> = HashMap::new();
+    let mut dispatched = 0usize;
+    for e in &trace.events {
+        match e.kind {
+            TraceEventKind::MorselDispatched {
+                stage,
+                partition,
+                morsel,
+                ..
+            } => {
+                dispatched += 1;
+                *open.entry((stage, partition, morsel)).or_insert(0) += 1;
+            }
+            TraceEventKind::MorselCompleted {
+                stage,
+                partition,
+                morsel,
+            } => *open.entry((stage, partition, morsel)).or_insert(0) -= 1,
+            _ => {}
+        }
+    }
+    assert!(open.values().all(|b| *b == 0), "unpaired morsel events");
+    // 4,000 rows at 8 rows/morsel is 500 units; the 15ms cancel hit the
+    // wave mid-flight, so some units ran but the bulk of the 3ms-delayed
+    // units were never claimed.
+    assert!(
+        dispatched > 0,
+        "the cancel must land mid-wave, not before it started"
+    );
+    assert!(
+        dispatched < 500,
+        "cancellation must leave undispatched morsels (dispatched {dispatched}/500)"
+    );
+
+    #[cfg(target_os = "linux")]
+    {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut after = live_threads();
+        while after > threads_before && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+            after = live_threads();
+        }
+        assert!(
+            after < threads_before + 8,
+            "morsel workers leaked: {threads_before} before, {after} after"
+        );
+    }
+}
+
 /// How many property cases to run. The vendored proptest does not read
 /// `PROPTEST_CASES`, so the chaos suite honours it here — CI pins it.
 fn proptest_cases() -> u32 {

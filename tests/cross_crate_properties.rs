@@ -457,6 +457,8 @@ proptest! {
             partial_aggregation: seed % 2 == 0,
             vectorized: seed % 3 != 0,
             fuse_narrow: seed % 5 != 0,
+            pipelined: seed % 7 != 0,
+            morsel_rows: 256,
         };
         let mut datasets = HashMap::new();
         datasets.insert("clicks".to_owned(), PartitionedTable::split(table, 4).unwrap());
