@@ -13,6 +13,10 @@ pub struct Args {
     pub flags: BTreeMap<String, String>,
 }
 
+/// Flags that take no value: presence means "true". Everything else is
+/// `--key value`.
+const BOOLEAN_FLAGS: &[&str] = &["json", "quick"];
+
 /// Parse raw arguments (without the binary name).
 pub fn parse(raw: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
@@ -23,10 +27,14 @@ pub fn parse(raw: &[String]) -> Result<Args, String> {
             if name.is_empty() {
                 return Err("empty flag name".to_owned());
             }
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{name} needs a value"))?;
-            if args.flags.insert(name.to_owned(), value.clone()).is_some() {
+            let value = if BOOLEAN_FLAGS.contains(&name) {
+                "true".to_owned()
+            } else {
+                it.next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?
+                    .clone()
+            };
+            if args.flags.insert(name.to_owned(), value).is_some() {
                 return Err(format!("flag --{name} given twice"));
             }
         } else {
@@ -49,6 +57,11 @@ impl Args {
 
     pub fn flag(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(String::as_str)
+    }
+
+    /// Whether a boolean flag (see [`BOOLEAN_FLAGS`]) was given.
+    pub fn flag_set(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     pub fn positional(&self, index: usize, what: &str) -> Result<&str, String> {
@@ -100,5 +113,17 @@ mod tests {
     fn empty_input_gives_empty_command() {
         let a = parse(&[]).unwrap();
         assert_eq!(a.command, "");
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = parse(&v(&["history", "ada", "--json", "--store", "dir"])).unwrap();
+        assert!(a.flag_set("json"));
+        assert!(!a.flag_set("quick"));
+        assert_eq!(a.flag("store"), Some("dir"));
+        assert_eq!(a.positionals, vec!["ada"]);
+        // Trailing boolean flag needs no value either.
+        let a = parse(&v(&["fleet", "--quick"])).unwrap();
+        assert!(a.flag_set("quick"));
     }
 }

@@ -29,6 +29,8 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "trace" => trace_cmd(args),
         "chaos" => chaos_cmd(args),
         "attempt" => attempt(args),
+        "serve" => serve_cmd(args),
+        "fleet" => fleet_cmd(args),
         "sessions" => sessions_cmd(args),
         "history" => history_cmd(args),
         "compare" => compare_cmd(args),
@@ -75,9 +77,24 @@ pub fn usage() -> String {
      \x20                  [--store <dir>]       --session persists to a JSON\n\
      \x20                                        file, --store to the crash-safe\n\
      \x20                                        campaign store (WAL + snapshots)\n\
-     \x20 toreador sessions --store <dir>        list trainees in the store\n\
+     \x20 toreador serve --store <dir>           run the multi-tenant Labs\n\
+     \x20                [--addr host:port]      daemon (HTTP/JSON) over the\n\
+     \x20                [--max-inflight N] [--queue N] [--queue-wait-ms N]\n\
+     \x20                [--tenant-inflight N] [--threads-per-attempt N]\n\
+     \x20                [--quota-runs N] [--quota-rows N] [--quota-cost F]\n\
+     \x20                                        store; SIGINT/SIGTERM drains\n\
+     \x20                                        in-flight attempts and exits 0\n\
+     \x20 toreador fleet [--addr host:port]      drive a trainee fleet against\n\
+     \x20                [--trainees N] [--attempts N] [--workers N] [--rows N]\n\
+     \x20                [--challenge id] [--quick] [--ramp 4,8,16]\n\
+     \x20                [--max-p99-ms N] [--timeout-s N]\n\
+     \x20                                        a live daemon: latency\n\
+     \x20                                        percentiles, rejection classes,\n\
+     \x20                                        lost-record verification\n\
+     \x20 toreador sessions --store <dir> [--json]\n\
+     \x20                                        list trainees in the store\n\
      \x20                                        with quota headroom\n\
-     \x20 toreador history <trainee> --store <dir>\n\
+     \x20 toreador history <trainee> --store <dir> [--json]\n\
      \x20                                        one trainee's persisted runs\n\
      \x20 toreador compare <run-a> <run-b> --store <dir> [--trainee <name>]\n\
      \x20                                        diff two persisted runs:\n\
@@ -805,10 +822,87 @@ fn attempt(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `toreador serve --store <dir>`: the long-running multi-tenant Labs
+/// daemon. Blocks until SIGINT/SIGTERM (or `POST /v1/shutdown`), drains
+/// in-flight attempts through their run controls, checkpoints the store,
+/// and exits 0.
+fn serve_cmd(args: &Args) -> Result<String, String> {
+    use toreador_serve::prelude::*;
+    let dir = args
+        .flag("store")
+        .ok_or_else(|| "missing --store <dir> (see `toreador help`)".to_owned())?;
+    let quota = Quota {
+        max_runs: args.flag_or("quota-runs", Quota::free_tier().max_runs)?,
+        max_rows_per_run: args.flag_or("quota-rows", Quota::free_tier().max_rows_per_run)?,
+        max_total_cost: args.flag_or("quota-cost", Quota::free_tier().max_total_cost)?,
+    };
+    let cfg = ServerConfig {
+        addr: args.flag("addr").unwrap_or("127.0.0.1:7411").to_owned(),
+        max_inflight: args.flag_or("max-inflight", 4usize)?,
+        max_queue: args.flag_or("queue", 64usize)?,
+        queue_wait: std::time::Duration::from_millis(args.flag_or("queue-wait-ms", 30_000u64)?),
+        hub: HubConfig {
+            tenant_inflight: args.flag_or("tenant-inflight", 2usize)?,
+            threads_per_attempt: args.flag_or("threads-per-attempt", 2usize)?,
+            default_quota: quota,
+            default_seed: args.flag_or("seed", 7u64)?,
+        },
+    };
+    let server = Server::bind(std::path::Path::new(dir), cfg)?;
+    let summary = server.run()?;
+    Ok(format!(
+        "serve: drained cleanly — {} request(s), {} attempt(s) completed, \
+         {} cancelled on shutdown\n",
+        summary.requests, summary.completed, summary.cancelled_on_drain
+    ))
+}
+
+/// `toreador fleet`: drive simulated trainee load against a live daemon
+/// and report latency, rejection classes, and record integrity. Exits
+/// nonzero when the run sees protocol errors, lost records, or a p99 over
+/// the bound.
+fn fleet_cmd(args: &Args) -> Result<String, String> {
+    use toreador_serve::prelude::*;
+    let mut cfg = FleetConfig {
+        addr: args.flag("addr").unwrap_or("127.0.0.1:7411").to_owned(),
+        ..FleetConfig::default()
+    };
+    if args.flag_set("quick") {
+        cfg = cfg.quick();
+    }
+    cfg.trainees = args.flag_or("trainees", cfg.trainees)?;
+    cfg.attempts = args.flag_or("attempts", cfg.attempts)?;
+    cfg.workers = args.flag_or("workers", cfg.workers)?;
+    cfg.rows = args.flag_or("rows", cfg.rows)?;
+    cfg.challenge = args.flag("challenge").unwrap_or(&cfg.challenge).to_owned();
+    cfg.max_p99_ms = args.flag_or("max-p99-ms", 0u64)?;
+    cfg.timeout = std::time::Duration::from_secs(args.flag_or("timeout-s", 120u64)?);
+    if let Some(ramp) = args.flag("ramp") {
+        cfg.ramp = ramp
+            .split(',')
+            .map(|w| {
+                w.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("--ramp wants comma-separated worker counts, got {w:?}"))
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+    }
+    let report = run_fleet(&cfg);
+    let rendered = report.render();
+    if report.healthy(cfg.max_p99_ms) {
+        Ok(rendered)
+    } else {
+        Err(format!("{rendered}fleet run FAILED the health checks"))
+    }
+}
+
 /// `toreador sessions --store <dir>`: every trainee in the store, with
 /// usage and quota headroom.
 fn sessions_cmd(args: &Args) -> Result<String, String> {
     let store = required_store(args)?;
+    if args.flag_set("json") {
+        return sessions_json(&store);
+    }
     let stats = store.stats();
     let mut out = format!(
         "campaign store: {} segment(s), snapshot at lsn {}, last lsn {}\n\n",
@@ -841,6 +935,39 @@ fn sessions_cmd(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// One trainee row of `toreador sessions --json`. `None` headroom means
+/// unlimited (infinity is not representable in JSON).
+#[derive(serde::Serialize)]
+struct SessionRow {
+    trainee: String,
+    runs: u64,
+    cost_spent: f64,
+    runs_left: Option<u64>,
+    cost_left: Option<f64>,
+    seed: u64,
+    quota: Quota,
+}
+
+fn sessions_json(store: &SessionStore) -> Result<String, String> {
+    let mut rows = Vec::new();
+    for (name, state) in store.trainees() {
+        let runs = state.runs.len() as u64;
+        let left = state.meta.quota.remaining(runs, state.meta.total_cost);
+        rows.push(SessionRow {
+            trainee: name.clone(),
+            runs,
+            cost_spent: state.meta.total_cost,
+            runs_left: (left.runs != u64::MAX).then_some(left.runs),
+            cost_left: left.cost.is_finite().then_some(left.cost),
+            seed: state.meta.seed,
+            quota: state.meta.quota,
+        });
+    }
+    serde_json::to_string_pretty(&rows)
+        .map(|s| s + "\n")
+        .map_err(|e| e.to_string())
+}
+
 /// `toreador history <trainee> --store <dir>`: the persisted run log.
 fn history_cmd(args: &Args) -> Result<String, String> {
     let trainee = args.positional(0, "trainee name")?;
@@ -848,6 +975,29 @@ fn history_cmd(args: &Args) -> Result<String, String> {
     let state = store
         .trainee(trainee)
         .ok_or_else(|| format!("no trainee {trainee:?} in the store"))?;
+    if args.flag_set("json") {
+        // The wire-protocol history shape, so scripts parse one format
+        // whether they ask the store or a live daemon.
+        let reply = toreador_serve::proto::HistoryReply {
+            trainee: trainee.to_owned(),
+            runs: state
+                .runs
+                .values()
+                .map(|r| toreador_serve::proto::HistoryEntry {
+                    run_id: r.run_id,
+                    challenge: r.challenge_id.clone(),
+                    choices: r.choices.clone(),
+                    score: state.scores.get(&r.run_id).copied(),
+                    rows_in: r.rows_in,
+                    rows_out: r.rows_out,
+                    cost: r.indicator(Indicator::Cost),
+                })
+                .collect(),
+        };
+        return serde_json::to_string_pretty(&reply)
+            .map(|s| s + "\n")
+            .map_err(|e| e.to_string());
+    }
     let mut out = format!("{} run(s) for {trainee:?}\n\n", state.runs.len());
     for (run_id, r) in &state.runs {
         let score = state
@@ -1202,6 +1352,67 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("mutually exclusive"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sessions_and_history_emit_json() {
+        let dir = std::env::temp_dir().join(format!("toreador-cli-json-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.to_str().unwrap().to_owned();
+        for design in [&["full", "batch"][..], &["sample", "batch"][..]] {
+            run_cli(
+                &[
+                    &["attempt", "ecomm-revenue"],
+                    design,
+                    &["--rows", "300", "--store", &store],
+                ]
+                .concat(),
+            )
+            .unwrap();
+        }
+        // sessions --json: a parseable array with the quota headroom.
+        let out = run_cli(&["sessions", "--store", &store, "--json"]).unwrap();
+        let rows: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let rows = rows.as_array().expect("array of trainees");
+        assert_eq!(rows.len(), 1);
+        let row = rows[0].as_object().expect("object per trainee");
+        assert_eq!(row.get("trainee").and_then(|v| v.as_str()), Some("cli"));
+        assert_eq!(row.get("runs").and_then(|v| v.as_u64()), Some(2));
+        // history --json speaks the wire-protocol history shape.
+        let out = run_cli(&["history", "cli", "--store", &store, "--json"]).unwrap();
+        let reply: toreador_serve::proto::HistoryReply = serde_json::from_str(&out).unwrap();
+        assert_eq!(reply.trainee, "cli");
+        assert_eq!(reply.runs.len(), 2);
+        assert!(reply.runs.iter().all(|r| r.score.is_some()));
+        assert!(reply
+            .runs
+            .iter()
+            .any(|r| r.choices == vec!["sample", "batch"]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fleet_validates_flags_and_fails_loud_with_no_daemon() {
+        // Nothing listens on port 9: every open is a protocol error, and
+        // the health checks make the command fail rather than exit 0.
+        let err = run_cli(&[
+            "fleet",
+            "--addr",
+            "127.0.0.1:9",
+            "--trainees",
+            "1",
+            "--attempts",
+            "1",
+            "--workers",
+            "1",
+            "--timeout-s",
+            "2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("FAILED"), "{err}");
+        assert!(err.contains("protocol-errors 1"), "{err}");
+        let err = run_cli(&["fleet", "--ramp", "4,huge"]).unwrap_err();
+        assert!(err.contains("--ramp"), "{err}");
     }
 
     #[test]

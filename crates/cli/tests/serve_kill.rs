@@ -1,0 +1,132 @@
+//! Daemon lifecycle against the real `toreador` binary: spawn
+//! `toreador serve`, drive it over the wire, kill the process with a real
+//! signal, and assert the graceful-shutdown contract — exit code 0, every
+//! committed attempt intact in the store, the directory lock released.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use toreador_labs::prelude::SessionStore;
+use toreador_serve::prelude::*;
+use toreador_serve::signal;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("toreador-servekill-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawn `toreador serve` on an OS-assigned port and block until it
+/// prints its readiness line. Returns the child and the bound address.
+fn spawn_serve(dir: &Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_toreador"))
+        .args([
+            "serve",
+            "--store",
+            dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn toreador serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let ready = lines
+        .next()
+        .expect("daemon printed a readiness line")
+        .expect("readable stdout");
+    let addr = ready
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected readiness line {ready:?}"))
+        .to_owned();
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn open_and_attempt(addr: &str, trainee: &str, attempts: usize) {
+    let client = Client::new(addr);
+    client
+        .open_session(&OpenSessionRequest {
+            trainee: trainee.to_owned(),
+            quota: None,
+            seed: Some(5),
+        })
+        .expect("open session");
+    for _ in 0..attempts {
+        let reply = client
+            .attempt(&AttemptRequest {
+                trainee: trainee.to_owned(),
+                challenge: "ecomm-revenue".to_owned(),
+                choices: vec!["full".into(), "batch".into()],
+                rows: Some(200),
+            })
+            .expect("attempt");
+        assert!(reply.score > 0.0);
+    }
+}
+
+/// The graceful-shutdown contract under a real `kill(2)`: the daemon
+/// drains, autosaves, exits 0, and the next process can open the store.
+fn kill_drains_cleanly(sig: i32, tag: &str) {
+    let dir = tmp_dir(tag);
+    let (mut child, addr) = spawn_serve(&dir);
+    open_and_attempt(&addr, "ada", 2);
+
+    assert!(
+        signal::send_signal(child.id(), sig),
+        "signal {sig} delivered"
+    );
+    let status = child.wait().expect("daemon reaped");
+    assert_eq!(status.code(), Some(0), "graceful shutdown exits 0");
+
+    // The store reopens (the dead daemon's lock is gone) with every
+    // committed attempt, and shutdown left a compacted snapshot.
+    let store = SessionStore::open(&dir).expect("lock released on exit");
+    let state = store.trainee("ada").expect("trainee survived");
+    assert_eq!(state.runs.len(), 2);
+    assert!(state.scores.len() == 2, "scores committed with the runs");
+    assert!(store.stats().snapshot_lsn > 0, "shutdown checkpointed");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    kill_drains_cleanly(signal::SIGTERM, "term");
+}
+
+#[test]
+fn sigint_drains_and_exits_zero() {
+    kill_drains_cleanly(signal::SIGINT, "int");
+}
+
+/// Two processes cannot share one store directory: the CLI refuses with
+/// an error naming the holding pid, and serve refuses to even bind.
+#[test]
+fn second_process_is_locked_out_and_told_who_holds_the_store() {
+    let dir = tmp_dir("locked");
+    let _holder = SessionStore::open(&dir).unwrap();
+
+    for cmd in [&["sessions"][..], &["serve"][..]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_toreador"))
+            .args(cmd)
+            .args(["--store", dir.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{cmd:?} must refuse a held store");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("already open by pid"),
+            "{cmd:?} names the holder: {stderr}"
+        );
+        assert!(
+            stderr.contains(&std::process::id().to_string()),
+            "{cmd:?} reports the holding pid: {stderr}"
+        );
+    }
+    drop(_holder);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -197,6 +197,21 @@ pub struct CampaignSpec {
 }
 
 impl CampaignSpec {
+    /// A stable FNV-1a fingerprint of the serialised spec. Two specs that
+    /// serialise identically — same goals, preferences, mode, policy,
+    /// objectives, seed — fingerprint identically, which is what lets a
+    /// serving daemon coalesce concurrent compiles of the same declarative
+    /// model onto one compiled plan.
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("campaign spec serialises");
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in json.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     pub fn new(name: impl Into<String>, dataset: impl Into<String>) -> Self {
         CampaignSpec {
             name: name.into(),

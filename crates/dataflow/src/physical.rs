@@ -69,6 +69,10 @@ pub struct ExecConfig {
     pub pipelined: bool,
     /// Target morsel size in rows for the pipelined path.
     pub morsel_rows: usize,
+    /// External run control adopted by the execution context (None = the
+    /// context mints a private one). See
+    /// [`crate::session::EngineConfig::with_control`].
+    pub control: Option<RunControl>,
 }
 
 impl Default for ExecConfig {
@@ -81,6 +85,7 @@ impl Default for ExecConfig {
             fuse_narrow: true,
             pipelined: true,
             morsel_rows: 4096,
+            control: None,
         }
     }
 }
@@ -107,6 +112,7 @@ impl<'a> ExecContext<'a> {
         config: ExecConfig,
         metrics: &'a MetricsCollector,
     ) -> Self {
+        let control = config.control.clone().unwrap_or_default();
         ExecContext {
             datasets,
             config,
@@ -114,7 +120,7 @@ impl<'a> ExecContext<'a> {
             stage: AtomicUsize::new(0),
             wave: AtomicUsize::new(0),
             checkpoint: None,
-            control: RunControl::new(),
+            control,
         }
     }
 

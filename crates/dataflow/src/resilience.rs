@@ -269,11 +269,21 @@ impl ResilienceConfig {
 }
 
 /// Shared cancellation and budget state for one run. The execution context
-/// owns one; every stage consults it before claiming work, so a permanent
+/// holds one; every stage consults it before claiming work, so a permanent
 /// failure in stage N stops stage N's in-flight workers *and* prevents any
 /// later stage from starting.
-#[derive(Debug, Default)]
+///
+/// Clones share state (the handle is an `Arc` internally), so an external
+/// owner — a serving daemon draining on SIGTERM, an operator console — can
+/// keep a handle and cancel a run that is executing on other threads: pass
+/// the clone in via [`crate::session::EngineConfig::with_control`].
+#[derive(Debug, Clone, Default)]
 pub struct RunControl {
+    state: std::sync::Arc<ControlState>,
+}
+
+#[derive(Debug, Default)]
+struct ControlState {
     cancelled: AtomicBool,
     reason: parking_lot::Mutex<Option<String>>,
     retries_used: AtomicU32,
@@ -286,33 +296,34 @@ impl RunControl {
 
     /// Trip the cancellation flag. The first reason wins.
     pub fn cancel(&self, reason: impl Into<String>) {
-        let mut slot = self.reason.lock();
-        if !self.cancelled.swap(true, Ordering::SeqCst) {
+        let mut slot = self.state.reason.lock();
+        if !self.state.cancelled.swap(true, Ordering::SeqCst) {
             *slot = Some(reason.into());
         }
     }
 
     pub fn is_cancelled(&self) -> bool {
-        self.cancelled.load(Ordering::SeqCst)
+        self.state.cancelled.load(Ordering::SeqCst)
     }
 
     pub fn reason(&self) -> Option<String> {
-        self.reason.lock().clone()
+        self.state.reason.lock().clone()
     }
 
     /// Total retries charged against the run budget so far.
     pub fn run_retries_used(&self) -> u32 {
-        self.retries_used.load(Ordering::SeqCst)
+        self.state.retries_used.load(Ordering::SeqCst)
     }
 
     /// Reserve one retry from the run budget; false when exhausted.
     pub fn try_reserve_retry(&self, budget: Option<u32>) -> bool {
         match budget {
             None => {
-                self.retries_used.fetch_add(1, Ordering::SeqCst);
+                self.state.retries_used.fetch_add(1, Ordering::SeqCst);
                 true
             }
             Some(cap) => self
+                .state
                 .retries_used
                 .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |used| {
                     (used < cap).then_some(used + 1)

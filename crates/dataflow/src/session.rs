@@ -22,7 +22,7 @@ use crate::logical::{Dataflow, LogicalPlan};
 use crate::metrics::{MetricsCollector, RunMetrics};
 use crate::optimizer::{optimize, OptimizerConfig};
 use crate::physical::{execute, ExecConfig, ExecContext};
-use crate::resilience::ResilienceConfig;
+use crate::resilience::{ResilienceConfig, RunControl};
 use crate::scheduler::SchedulerConfig;
 use crate::trace::RunTrace;
 
@@ -52,6 +52,12 @@ pub struct EngineConfig {
     /// When set, every run checkpoints completed shuffle waves here, and
     /// resuming specs restore them (see [`crate::checkpoint`]).
     pub checkpoint: Option<CheckpointSpec>,
+    /// External run control. When set, the execution context adopts this
+    /// handle instead of minting its own, so whoever kept a clone can
+    /// cancel the run from another thread (a serving daemon draining on
+    /// SIGTERM, a session being closed). `None` — the default — keeps the
+    /// control private to the run.
+    pub control: Option<RunControl>,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +73,7 @@ impl Default for EngineConfig {
             pipelined: true,
             morsel_rows: 4096,
             checkpoint: None,
+            control: None,
         }
     }
 }
@@ -129,6 +136,13 @@ impl EngineConfig {
         self
     }
 
+    /// Adopt an external [`RunControl`]: the caller keeps a clone and can
+    /// cancel this engine's runs from any thread.
+    pub fn with_control(mut self, control: RunControl) -> Self {
+        self.control = Some(control);
+        self
+    }
+
     fn exec_config(&self) -> ExecConfig {
         ExecConfig {
             scheduler: SchedulerConfig {
@@ -141,6 +155,7 @@ impl EngineConfig {
             fuse_narrow: self.fuse_narrow,
             pipelined: self.pipelined,
             morsel_rows: self.morsel_rows,
+            control: self.control.clone(),
         }
     }
 }

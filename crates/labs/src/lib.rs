@@ -52,7 +52,9 @@ pub mod prelude {
     pub use crate::challenge::{Challenge, ChoiceOption, ChoicePoint, ChoiceVector, SpecEdit};
     pub use crate::compare::{ConsequenceMatrix, IndicatorDelta, RunComparison};
     pub use crate::error::{LabsError, Result as LabsResult};
-    pub use crate::run::{execute_attempt, record_outcome, RunRecord, RUN_RECORD_SCHEMA_VERSION};
+    pub use crate::run::{
+        execute_attempt, execute_prepared, record_outcome, RunRecord, RUN_RECORD_SCHEMA_VERSION,
+    };
     pub use crate::scenario::{scenario, scenarios, Scenario, Vertical};
     pub use crate::score::{assess, Score};
     pub use crate::session::{LabSession, Quota, QuotaRemaining, SessionMeta, SessionStore};

@@ -172,10 +172,10 @@ pub fn execute_attempt(
     let scen = scenario(challenge.scenario_id)?;
     let rows = rows.unwrap_or(scen.default_rows);
     let data = scen.generate(rows, seed);
-    let aux = scen.auxiliary();
     let compiled = bdaas
         .compile(&spec, data.schema(), data.num_rows())
         .map_err(|e| LabsError::Campaign(e.to_string()))?;
+    let aux = scen.auxiliary();
     let outcome = bdaas
         .run(&compiled, data, &aux)
         .map_err(|e| LabsError::Campaign(e.to_string()))?;
@@ -185,6 +185,40 @@ pub fn execute_attempt(
         choices,
         rows,
         &compiled,
+        &outcome,
+    ))
+}
+
+/// Execute one attempt against an **already compiled** campaign. This is
+/// the hot half of [`execute_attempt`] with the compile step factored out,
+/// so a serving daemon can coalesce identical concurrent compiles onto one
+/// shared [`CompiledCampaign`] and still attach per-attempt engine state
+/// (an external `RunControl`, a thread budget) to its own clone.
+///
+/// `compiled` must come from compiling `challenge.instantiate(choices)`
+/// against the scenario's schema at `rows` rows — the caller owns that
+/// contract (the plan cache keys on spec fingerprint + row count).
+pub fn execute_prepared(
+    bdaas: &Bdaas,
+    challenge: &Challenge,
+    choices: &ChoiceVector,
+    run_id: u64,
+    rows: usize,
+    seed: u64,
+    compiled: &CompiledCampaign,
+) -> Result<RunRecord> {
+    let scen = scenario(challenge.scenario_id)?;
+    let data = scen.generate(rows, seed);
+    let aux = scen.auxiliary();
+    let outcome = bdaas
+        .run(compiled, data, &aux)
+        .map_err(|e| LabsError::Campaign(e.to_string()))?;
+    Ok(record_outcome(
+        run_id,
+        challenge.id,
+        choices,
+        rows,
+        compiled,
         &outcome,
     ))
 }

@@ -1,0 +1,239 @@
+//! Request coalescing: identical concurrent compiles share one plan.
+//!
+//! Under fleet load, hundreds of trainees attempt the same challenge with
+//! the same choices and row counts — compiling the same `CampaignSpec`
+//! each time is pure waste. The cache is keyed on the spec's stable
+//! fingerprint combined with the row count (planning is cost-based, so
+//! the estimated rows are part of the plan's identity). The first arrival
+//! compiles ("leader"); concurrent arrivals with the same key block on a
+//! condvar and receive the leader's `Arc<CompiledCampaign>` ("followers").
+//! Compile errors propagate to every waiting follower but are *not*
+//! cached — a later retry re-attempts the compile.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use toreador_core::compile::CompiledCampaign;
+
+#[derive(Debug, Default)]
+struct Cell {
+    /// `None` while the leader is compiling.
+    outcome: Mutex<Option<Result<Arc<CompiledCampaign>, String>>>,
+    ready: Condvar,
+}
+
+enum Entry {
+    Building(Arc<Cell>),
+    Ready(Arc<CompiledCampaign>),
+}
+
+/// How an attempt obtained its plan (for the status counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// This call ran the compiler.
+    Compiled,
+    /// Served from the cache or coalesced onto a concurrent compile.
+    Shared,
+}
+
+/// Counters for the status endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Compiles actually executed.
+    pub compiled: u64,
+    /// Requests served a cached or coalesced plan.
+    pub shared: u64,
+}
+
+/// The single-flight compile cache. One per daemon.
+#[derive(Default)]
+pub struct PlanCache {
+    entries: Mutex<HashMap<u64, Entry>>,
+    compiled: AtomicU64,
+    shared: AtomicU64,
+}
+
+impl PlanCache {
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Get the plan for `key`, compiling via `compile` if this call is the
+    /// leader. Followers block until the leader finishes.
+    pub fn get_or_compile(
+        &self,
+        key: u64,
+        compile: impl FnOnce() -> Result<CompiledCampaign, String>,
+    ) -> Result<(Arc<CompiledCampaign>, PlanSource), String> {
+        let cell = {
+            let mut entries = self.entries.lock().expect("plan cache poisoned");
+            match entries.get(&key) {
+                Some(Entry::Ready(plan)) => {
+                    self.shared.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(plan), PlanSource::Shared));
+                }
+                Some(Entry::Building(cell)) => {
+                    // Follower: wait outside the map lock.
+                    let cell = Arc::clone(cell);
+                    drop(entries);
+                    let mut outcome = cell.outcome.lock().expect("plan cell poisoned");
+                    while outcome.is_none() {
+                        outcome = cell.ready.wait(outcome).expect("plan cell poisoned");
+                    }
+                    self.shared.fetch_add(1, Ordering::Relaxed);
+                    return outcome
+                        .clone()
+                        .expect("loop exits on Some")
+                        .map(|plan| (plan, PlanSource::Shared));
+                }
+                None => {
+                    let cell = Arc::new(Cell::default());
+                    entries.insert(key, Entry::Building(Arc::clone(&cell)));
+                    cell
+                }
+            }
+        };
+
+        // Leader: compile with no lock held.
+        let result = compile().map(Arc::new);
+        {
+            let mut entries = self.entries.lock().expect("plan cache poisoned");
+            match &result {
+                Ok(plan) => {
+                    entries.insert(key, Entry::Ready(Arc::clone(plan)));
+                }
+                Err(_) => {
+                    // Errors are not cached: drop the entry so a retry
+                    // gets a fresh leader.
+                    entries.remove(&key);
+                }
+            }
+        }
+        let mut outcome = cell.outcome.lock().expect("plan cell poisoned");
+        *outcome = Some(result.clone());
+        cell.ready.notify_all();
+        drop(outcome);
+
+        self.compiled.fetch_add(1, Ordering::Relaxed);
+        result.map(|plan| (plan, PlanSource::Compiled))
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> PlanStats {
+        PlanStats {
+            compiled: self.compiled.load(Ordering::Relaxed),
+            shared: self.shared.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cached plan count (tests / introspection).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The cache key for a compile: the spec fingerprint mixed with the row
+/// count the plan was costed at.
+pub fn plan_key(spec_fingerprint: u64, rows: usize) -> u64 {
+    // Mix with FNV so (fp, rows) pairs spread; XOR alone would collide
+    // fingerprints differing only in low bits with nearby row counts.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ spec_fingerprint;
+    for byte in (rows as u64).to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    use toreador_core::compile::Bdaas;
+    use toreador_labs::prelude::*;
+
+    fn compile_challenge(rows: usize) -> CompiledCampaign {
+        let bdaas = Bdaas::new();
+        let c = challenge("ecomm-revenue").unwrap();
+        let spec = c.instantiate(&c.reference_vector()).unwrap();
+        let scen = scenario(c.scenario_id).unwrap();
+        let sample = scen.generate(1, 7);
+        bdaas.compile(&spec, sample.schema(), rows).unwrap()
+    }
+
+    #[test]
+    fn concurrent_identical_compiles_run_once() {
+        let cache = Arc::new(PlanCache::new());
+        let compiles = Arc::new(AtomicUsize::new(0));
+        let key = plan_key(42, 500);
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let compiles = Arc::clone(&compiles);
+            threads.push(std::thread::spawn(move || {
+                cache
+                    .get_or_compile(key, || {
+                        compiles.fetch_add(1, Ordering::SeqCst);
+                        // Stretch the window so followers really coalesce.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok(compile_challenge(500))
+                    })
+                    .unwrap()
+            }));
+        }
+        let results: Vec<(Arc<CompiledCampaign>, PlanSource)> =
+            threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(compiles.load(Ordering::SeqCst), 1, "one compile total");
+        let leaders = results
+            .iter()
+            .filter(|(_, src)| *src == PlanSource::Compiled)
+            .count();
+        assert_eq!(leaders, 1);
+        // Everyone got the same Arc.
+        for (plan, _) in &results {
+            assert!(Arc::ptr_eq(plan, &results[0].0));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.compiled, 1);
+        assert_eq!(stats.shared, 7);
+    }
+
+    #[test]
+    fn distinct_keys_compile_separately() {
+        let cache = PlanCache::new();
+        cache
+            .get_or_compile(plan_key(1, 100), || Ok(compile_challenge(100)))
+            .unwrap();
+        cache
+            .get_or_compile(plan_key(1, 200), || Ok(compile_challenge(200)))
+            .unwrap();
+        assert_eq!(cache.stats().compiled, 2);
+        assert_eq!(cache.len(), 2);
+        assert_ne!(plan_key(1, 100), plan_key(1, 200));
+        assert_ne!(plan_key(1, 100), plan_key(2, 100));
+    }
+
+    #[test]
+    fn errors_propagate_but_are_not_cached() {
+        let cache = PlanCache::new();
+        let key = plan_key(9, 50);
+        let err = cache
+            .get_or_compile(key, || Err("inconsistent spec".to_owned()))
+            .unwrap_err();
+        assert!(err.contains("inconsistent"));
+        assert_eq!(cache.len(), 0, "failure left no entry");
+        // A retry becomes a fresh leader and succeeds.
+        let (_, src) = cache
+            .get_or_compile(key, || Ok(compile_challenge(50)))
+            .unwrap();
+        assert_eq!(src, PlanSource::Compiled);
+        assert_eq!(cache.len(), 1);
+    }
+}

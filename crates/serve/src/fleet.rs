@@ -1,0 +1,422 @@
+//! `toreador fleet`: a load driver simulating concurrent trainee cohorts.
+//!
+//! Worker threads pull trainee identities off a shared counter; each
+//! trainee opens a session, submits its attempts (cycling through a small
+//! set of choice vectors so the plan cache sees both hits and misses),
+//! and finally verifies its own history against what the service
+//! acknowledged — an acknowledged run missing from history counts as
+//! **lost**, the one number that must be zero. Latencies are recorded
+//! per operation class; rejections are tallied by [`ErrorClass`].
+//!
+//! With `ramp` the driver runs the same cohort at increasing concurrency
+//! levels and reports where throughput stops scaling — the saturation
+//! knee E13 records.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::client::Client;
+use crate::proto::{AttemptRequest, ErrorClass, OpenSessionRequest};
+
+/// Fleet run parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Simulated trainees.
+    pub trainees: usize,
+    /// Attempts each trainee submits.
+    pub attempts: usize,
+    /// Driver worker threads (concurrent trainees).
+    pub workers: usize,
+    /// Rows per attempt.
+    pub rows: usize,
+    /// Challenge every trainee attacks.
+    pub challenge: String,
+    /// Concurrency levels for a ramp search; empty = single fixed run.
+    pub ramp: Vec<usize>,
+    /// Fail the run if attempt p99 exceeds this bound (0 = unchecked).
+    pub max_p99_ms: u64,
+    /// Per-request socket timeout.
+    pub timeout: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            addr: "127.0.0.1:7411".to_owned(),
+            trainees: 1000,
+            attempts: 2,
+            workers: 32,
+            rows: 200,
+            challenge: "ecomm-revenue".to_owned(),
+            ramp: Vec::new(),
+            max_p99_ms: 0,
+            timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The CI-sized quick profile.
+    pub fn quick(mut self) -> FleetConfig {
+        self.trainees = 30;
+        self.attempts = 1;
+        self.workers = 6;
+        self.rows = 160;
+        self
+    }
+}
+
+/// Latency digest of one operation class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyDigest {
+    pub count: u64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+/// The outcome of one fleet run.
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    pub trainees: usize,
+    pub workers: usize,
+    /// Attempts acknowledged with a 2xx.
+    pub ok: u64,
+    /// Classified rejections.
+    pub rejected_quota: u64,
+    pub rejected_overloaded: u64,
+    pub rejected_busy: u64,
+    /// Transport failures, malformed responses, unexpected classes —
+    /// must be zero on a healthy run.
+    pub protocol_errors: u64,
+    /// Acknowledged runs missing from post-run history — must be zero.
+    pub lost_records: u64,
+    pub open_latency: LatencyDigest,
+    pub attempt_latency: LatencyDigest,
+    pub wall: Duration,
+    /// Acknowledged attempts per second of wall clock.
+    pub throughput: f64,
+    /// Per-level `(workers, throughput)` when ramping.
+    pub ramp_points: Vec<(usize, f64)>,
+    /// The ramp level after which throughput gains fell under 10%.
+    pub saturation_workers: Option<usize>,
+}
+
+impl FleetReport {
+    /// Whether the run satisfies the hard checks (no protocol errors, no
+    /// lost records, p99 under the bound when one is set).
+    pub fn healthy(&self, max_p99_ms: u64) -> bool {
+        self.protocol_errors == 0
+            && self.lost_records == 0
+            && (max_p99_ms == 0 || self.attempt_latency.p99_ms <= max_p99_ms as f64)
+    }
+
+    /// Render the human summary the CLI prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet: {} trainees x attempts via {} workers in {:.2}s\n",
+            self.trainees,
+            self.workers,
+            self.wall.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  attempts  ok {}  quota {}  overloaded {}  busy {}  protocol-errors {}\n",
+            self.ok,
+            self.rejected_quota,
+            self.rejected_overloaded,
+            self.rejected_busy,
+            self.protocol_errors
+        ));
+        out.push_str(&format!(
+            "  latency   open p50 {:.1}ms p99 {:.1}ms | attempt p50 {:.1}ms p99 {:.1}ms max {:.1}ms\n",
+            self.open_latency.p50_ms,
+            self.open_latency.p99_ms,
+            self.attempt_latency.p50_ms,
+            self.attempt_latency.p99_ms,
+            self.attempt_latency.max_ms
+        ));
+        out.push_str(&format!(
+            "  integrity lost-records {}  throughput {:.1} attempts/s\n",
+            self.lost_records, self.throughput
+        ));
+        if !self.ramp_points.is_empty() {
+            out.push_str("  ramp      ");
+            for (w, tput) in &self.ramp_points {
+                out.push_str(&format!("{w}w:{tput:.1}/s "));
+            }
+            out.push('\n');
+            match self.saturation_workers {
+                Some(w) => out.push_str(&format!("  saturation knee at ~{w} workers\n")),
+                None => out.push_str("  no saturation knee within the ramp\n"),
+            }
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    quota: AtomicU64,
+    overloaded: AtomicU64,
+    busy: AtomicU64,
+    protocol: AtomicU64,
+    lost: AtomicU64,
+    open_ms: Mutex<Vec<f64>>,
+    attempt_ms: Mutex<Vec<f64>>,
+}
+
+/// Run the fleet against a live daemon. With `ramp` set, runs each level
+/// in sequence (against distinct trainee cohorts) and locates the
+/// saturation knee.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    if cfg.ramp.is_empty() {
+        return run_level(cfg, cfg.workers, 0);
+    }
+    let mut report = FleetReport::default();
+    let mut points = Vec::new();
+    for (i, &workers) in cfg.ramp.iter().enumerate() {
+        let level = run_level(cfg, workers.max(1), i);
+        points.push((workers, level.throughput));
+        // The report carries the numbers of the last (highest) level.
+        report = level;
+    }
+    // Knee: the first level whose throughput gain over the previous level
+    // is below 10%.
+    let mut knee = None;
+    for pair in points.windows(2) {
+        let (_, prev) = pair[0];
+        let (w, cur) = pair[1];
+        if prev > 0.0 && (cur - prev) / prev < 0.10 {
+            knee = Some(w);
+            break;
+        }
+    }
+    report.ramp_points = points;
+    report.saturation_workers = knee;
+    report
+}
+
+/// One fixed-concurrency cohort. `cohort` namespaces the trainee ids so
+/// ramp levels do not reuse quotas.
+fn run_level(cfg: &FleetConfig, workers: usize, cohort: usize) -> FleetReport {
+    let tally = Tally::default();
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| {
+                let client = Client::new(&cfg.addr).with_timeout(cfg.timeout);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cfg.trainees {
+                        return;
+                    }
+                    drive_trainee(cfg, &client, &tally, cohort, i);
+                }
+            });
+        }
+    });
+
+    let wall = started.elapsed();
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let mut open_ms = std::mem::take(&mut *tally.open_ms.lock().expect("tally poisoned"));
+    let mut attempt_ms = std::mem::take(&mut *tally.attempt_ms.lock().expect("tally poisoned"));
+    FleetReport {
+        trainees: cfg.trainees,
+        workers,
+        ok,
+        rejected_quota: tally.quota.load(Ordering::Relaxed),
+        rejected_overloaded: tally.overloaded.load(Ordering::Relaxed),
+        rejected_busy: tally.busy.load(Ordering::Relaxed),
+        protocol_errors: tally.protocol.load(Ordering::Relaxed),
+        lost_records: tally.lost.load(Ordering::Relaxed),
+        open_latency: digest(&mut open_ms),
+        attempt_latency: digest(&mut attempt_ms),
+        wall,
+        throughput: ok as f64 / wall.as_secs_f64().max(1e-9),
+        ramp_points: Vec::new(),
+        saturation_workers: None,
+    }
+}
+
+/// One trainee's whole lifecycle: open, attempts, history verification.
+fn drive_trainee(cfg: &FleetConfig, client: &Client, tally: &Tally, cohort: usize, index: usize) {
+    let trainee = format!("fleet-{cohort}-{index}");
+    let open_started = Instant::now();
+    let opened = client.open_session(&OpenSessionRequest {
+        trainee: trainee.clone(),
+        quota: None,
+        seed: Some(1000 + index as u64),
+    });
+    let open_ms = open_started.elapsed().as_secs_f64() * 1e3;
+    match opened {
+        Ok(_) => tally.open_ms.lock().expect("tally poisoned").push(open_ms),
+        Err(_) => {
+            // A failed open is a protocol error: sessions are unmetered.
+            tally.protocol.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+
+    // Cycle a few realistic designs so the plan cache coalesces some
+    // attempts and compiles others.
+    let designs: [&[&str]; 3] = [
+        &["full", "batch"],
+        &["sample", "batch"],
+        &["full", "stream"],
+    ];
+    let mut acknowledged = Vec::new();
+    for a in 0..cfg.attempts {
+        let choices: Vec<String> = designs[a % designs.len()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let attempt_started = Instant::now();
+        let result = client.attempt(&AttemptRequest {
+            trainee: trainee.clone(),
+            challenge: cfg.challenge.clone(),
+            choices,
+            rows: Some(cfg.rows),
+        });
+        let ms = attempt_started.elapsed().as_secs_f64() * 1e3;
+        match result {
+            Ok(reply) => {
+                tally.attempt_ms.lock().expect("tally poisoned").push(ms);
+                tally.ok.fetch_add(1, Ordering::Relaxed);
+                acknowledged.push(reply.run_id);
+            }
+            Err(e) if !e.transport => match e.class {
+                ErrorClass::QuotaExceeded => {
+                    tally.quota.fetch_add(1, Ordering::Relaxed);
+                }
+                ErrorClass::Overloaded | ErrorClass::ShuttingDown => {
+                    tally.overloaded.fetch_add(1, Ordering::Relaxed);
+                }
+                ErrorClass::Busy => {
+                    tally.busy.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {
+                    tally.protocol.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            Err(_) => {
+                tally.protocol.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // Verify: every acknowledged run must be in the service's history.
+    if !acknowledged.is_empty() {
+        match client.history(&trainee) {
+            Ok(h) => {
+                for run_id in &acknowledged {
+                    let found = h.runs.iter().any(|r| r.run_id == *run_id);
+                    if !found {
+                        tally.lost.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(_) => {
+                tally.protocol.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Percentiles over a latency sample (nearest-rank).
+fn digest(samples: &mut [f64]) -> LatencyDigest {
+    if samples.is_empty() {
+        return LatencyDigest::default();
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let rank = |p: f64| {
+        let idx = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+        samples[idx]
+    };
+    LatencyDigest {
+        count: samples.len() as u64,
+        p50_ms: rank(0.50),
+        p99_ms: rank(0.99),
+        max_ms: *samples.last().expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_reports_nearest_rank_percentiles() {
+        let mut samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let d = digest(&mut samples);
+        assert_eq!(d.count, 100);
+        assert_eq!(d.p50_ms, 50.0);
+        assert_eq!(d.p99_ms, 99.0);
+        assert_eq!(d.max_ms, 100.0);
+        assert_eq!(digest(&mut Vec::new()).count, 0);
+    }
+
+    #[test]
+    fn report_health_checks_the_hard_invariants() {
+        let mut r = FleetReport::default();
+        assert!(r.healthy(0));
+        r.protocol_errors = 1;
+        assert!(!r.healthy(0));
+        r.protocol_errors = 0;
+        r.lost_records = 2;
+        assert!(!r.healthy(0));
+        r.lost_records = 0;
+        r.attempt_latency.p99_ms = 500.0;
+        assert!(r.healthy(0), "0 disables the bound");
+        assert!(!r.healthy(100));
+        assert!(r.healthy(1000));
+        // The render names the key numbers.
+        let text = r.render();
+        assert!(text.contains("protocol-errors 0"));
+        assert!(text.contains("lost-records 0"));
+    }
+
+    /// A miniature end-to-end fleet against a real in-process daemon.
+    #[test]
+    fn quick_fleet_against_live_daemon() {
+        let _serial = crate::signal::test_serial_lock();
+        crate::signal::reset_for_tests();
+        let dir = std::env::temp_dir().join(format!("toreador-fleet-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = crate::server::Server::bind(
+            &dir,
+            crate::server::ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                max_inflight: 2,
+                ..crate::server::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let daemon = std::thread::spawn(move || server.run());
+
+        let report = run_fleet(&FleetConfig {
+            addr: addr.clone(),
+            trainees: 6,
+            attempts: 2,
+            workers: 3,
+            rows: 120,
+            ..FleetConfig::default()
+        });
+        assert_eq!(report.ok, 12, "{}", report.render());
+        assert!(report.healthy(0), "{}", report.render());
+        assert!(report.attempt_latency.count == 12);
+        assert!(report.throughput > 0.0);
+
+        Client::new(&addr).shutdown().unwrap();
+        daemon.join().unwrap().unwrap();
+        crate::signal::reset_for_tests();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

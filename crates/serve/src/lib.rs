@@ -1,0 +1,53 @@
+//! # toreador-serve
+//!
+//! The multi-tenant Labs **service**: the paper's TOREADOR Labs were
+//! offered "using a Platform-as-a-Service solution" with free-limited
+//! access for cohorts of trainees — not a local CLI. This crate is that
+//! serving layer over the existing stack:
+//!
+//! * [`server`] — the `toreador serve` daemon: a long-running HTTP/JSON
+//!   process over the WAL-backed [`SessionStore`], with graceful
+//!   SIGINT/SIGTERM drain (in-flight attempts cancel through their
+//!   `RunControl`s, the store is checkpointed, the process exits 0);
+//! * [`hub`] — multi-tenant session state: per-tenant quota metering with
+//!   reservation accounting (concurrent attempts cannot oversubscribe the
+//!   last run), per-tenant in-flight caps, durable commit of every
+//!   attempt before its reply;
+//! * [`admission`] — the service-wide fair FIFO gate: bounded in-flight
+//!   attempts, bounded queue, classified `overloaded` rejections beyond;
+//! * [`coalesce`] — single-flight compile coalescing: identical
+//!   concurrent campaign compiles share one `CompiledCampaign`;
+//! * [`proto`] / [`http`] / [`client`] — the JSON wire protocol, the
+//!   minimal HTTP/1.1 framing it rides on (the workspace vendors no HTTP
+//!   stack), and the blocking client;
+//! * [`fleet`] — the `toreador fleet` load driver: thousands of simulated
+//!   trainees, per-class latency percentiles, rejection classification,
+//!   lost-record verification, and a ramp mode that locates the
+//!   saturation knee;
+//! * [`signal`] — SIGINT/SIGTERM handling without a signal crate.
+//!
+//! [`SessionStore`]: toreador_labs::session::SessionStore
+
+pub mod admission;
+pub mod client;
+pub mod coalesce;
+pub mod fleet;
+pub mod http;
+pub mod hub;
+pub mod proto;
+pub mod server;
+pub mod signal;
+
+/// Convenient glob import of the commonly used types.
+pub mod prelude {
+    pub use crate::admission::{Gate, GateStats, Rejection};
+    pub use crate::client::{Client, ClientError, ClientResult};
+    pub use crate::coalesce::{plan_key, PlanCache, PlanSource};
+    pub use crate::fleet::{run_fleet, FleetConfig, FleetReport};
+    pub use crate::hub::{HubConfig, ServeError, ServeResult, SessionHub};
+    pub use crate::proto::{
+        AttemptReply, AttemptRequest, CompareReply, ErrorBody, ErrorClass, HistoryReply,
+        OpenSessionRequest, SessionInfo, StatusReply,
+    };
+    pub use crate::server::{ServeSummary, Server, ServerConfig};
+}

@@ -1,0 +1,115 @@
+//! SIGINT/SIGTERM handling for the daemon, without a signal crate.
+//!
+//! The handler just flips a global flag; the accept loop polls it between
+//! accepts and starts the drain. Installing twice is harmless (the second
+//! install is a no-op on the same handler).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the first SIGINT or SIGTERM.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// SIGINT and SIGTERM numbers (POSIX-stable on the platforms we build).
+pub const SIGINT: i32 = 2;
+/// See [`SIGINT`].
+pub const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(_sig: i32) {
+    // Async-signal-safe: a relaxed store and nothing else.
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Install the shutdown handler for SIGINT and SIGTERM.
+#[cfg(unix)]
+pub fn install_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // Safety: registering an async-signal-safe handler (atomic store only).
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// No-op off unix; `/v1/shutdown` remains the way to stop the daemon.
+#[cfg(not(unix))]
+pub fn install_handlers() {}
+
+/// Whether a shutdown signal has arrived.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Request shutdown from inside the process (the `/v1/shutdown` endpoint
+/// funnels through the same flag the signals set).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Test-only: reset the flag so one process can run several serve
+/// lifecycles.
+#[doc(hidden)]
+pub fn reset_for_tests() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+/// Test-only: serialise tests that touch the process-global shutdown flag
+/// (cargo runs tests of one binary concurrently).
+#[doc(hidden)]
+pub fn test_serial_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Send `sig` to `pid`. Exposed for integration tests that need to kill a
+/// real daemon process with a real signal.
+#[doc(hidden)]
+#[cfg(unix)]
+pub fn send_signal(pid: u32, sig: i32) -> bool {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    // Safety: plain syscall wrapper, no memory involved.
+    unsafe { kill(pid as i32, sig) == 0 }
+}
+
+#[doc(hidden)]
+#[cfg(not(unix))]
+pub fn send_signal(_pid: u32, _sig: i32) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_flips_and_resets() {
+        let _serial = test_serial_lock();
+        reset_for_tests();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_for_tests();
+        assert!(!shutdown_requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn real_signal_reaches_the_handler() {
+        let _serial = test_serial_lock();
+        install_handlers();
+        reset_for_tests();
+        assert!(send_signal(std::process::id(), SIGTERM));
+        // Delivery is async; give the kernel a moment.
+        for _ in 0..100 {
+            if shutdown_requested() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(shutdown_requested());
+        reset_for_tests();
+    }
+}

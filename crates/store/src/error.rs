@@ -17,6 +17,9 @@ pub enum StoreError {
     /// The caller broke a store protocol rule (e.g. recording a run for a
     /// trainee whose session meta was never written).
     Invalid(String),
+    /// Another live process holds the store directory's advisory lock. The
+    /// message names the holder recorded in the `LOCK` file.
+    Locked(String),
 }
 
 impl fmt::Display for StoreError {
@@ -26,6 +29,7 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt(m) => write!(f, "store corrupt: {m}"),
             StoreError::Codec(m) => write!(f, "store codec error: {m}"),
             StoreError::Invalid(m) => write!(f, "store misuse: {m}"),
+            StoreError::Locked(m) => write!(f, "store locked: {m}"),
         }
     }
 }

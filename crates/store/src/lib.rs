@@ -46,16 +46,19 @@
 
 pub mod crc;
 pub mod error;
+pub mod lock;
 pub mod log;
 pub mod store;
 
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
     pub use crate::error::{Result as StoreResult, StoreError};
+    pub use crate::lock::DirLock;
     pub use crate::log::{DurableLog, LogConfig, LogStats, Recovery};
     pub use crate::store::{LabStore, StoreConfig, TraineeState};
 }
 
 pub use error::StoreError;
+pub use lock::DirLock;
 pub use log::{DurableLog, LogConfig, LogStats, Recovery};
 pub use store::{LabStore, StoreConfig, TraineeState};

@@ -1,0 +1,132 @@
+//! Store-directory ownership: one process per WAL directory.
+//!
+//! Two processes appending to the same segmented WAL would interleave
+//! frames and corrupt each other's recovery; two `LabStore`s replaying the
+//! same directory would each believe their in-memory view is authoritative.
+//! So [`DirLock::acquire`] takes an **advisory `flock`** on a `LOCK` file
+//! in the store directory before [`crate::log::DurableLog`] touches any
+//! segment, and holds it for the log's lifetime (the lock releases with
+//! the file descriptor — on drop, or automatically when the process dies,
+//! so a crash never leaves the store permanently locked).
+//!
+//! The lock file body names the holder (`pid <n> since <unix-secs>`), so a
+//! refused open can say *who* has the store, not just that someone does.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use crate::error::{Result, StoreError};
+
+/// Name of the lock file inside a store directory.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// An exclusive, advisory lock on a store directory. Held for the lifetime
+/// of the value; released on drop or process death.
+#[derive(Debug)]
+pub struct DirLock {
+    // Held only for the flock; the descriptor closing is the unlock.
+    _file: File,
+}
+
+impl DirLock {
+    /// Take the exclusive lock on `dir`, refusing immediately (no
+    /// blocking) if another live process holds it. The error names the
+    /// holder recorded in the lock file.
+    pub fn acquire(dir: &Path) -> Result<DirLock> {
+        let path = dir.join(LOCK_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        if !try_flock_exclusive(&file) {
+            let holder = std::fs::read_to_string(&path).unwrap_or_default();
+            let holder = holder.trim();
+            let who = if holder.is_empty() {
+                "another process".to_owned()
+            } else {
+                holder.to_owned()
+            };
+            return Err(StoreError::Locked(format!(
+                "store directory {} is already open by {who} — a WAL-backed store \
+                 admits one process at a time (close it or pick another --store dir)",
+                dir.display()
+            )));
+        }
+        // We own the lock: stamp the holder for the next refused acquirer.
+        let since = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        file.set_len(0)?;
+        writeln!(file, "pid {} since {since}", std::process::id())?;
+        file.sync_all()?;
+        Ok(DirLock { _file: file })
+    }
+}
+
+/// Non-blocking exclusive `flock(2)`. Declared directly (the workspace
+/// vendors no libc crate); on non-unix targets the lock degrades to the
+/// PID stamp alone.
+#[cfg(unix)]
+fn try_flock_exclusive(file: &File) -> bool {
+    use std::os::unix::io::AsRawFd;
+    const LOCK_EX: i32 = 2;
+    const LOCK_NB: i32 = 4;
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+    // Safety: flock on an owned, open descriptor; no memory is passed.
+    unsafe { flock(file.as_raw_fd(), LOCK_EX | LOCK_NB) == 0 }
+}
+
+#[cfg(not(unix))]
+fn try_flock_exclusive(_file: &File) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("toreador-dirlock-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn second_acquire_is_refused_and_names_the_holder() {
+        let dir = tmp_dir("double");
+        let held = DirLock::acquire(&dir).unwrap();
+        let err = DirLock::acquire(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, StoreError::Locked(_)), "{msg}");
+        assert!(
+            msg.contains(&format!("pid {}", std::process::id())),
+            "error names the holder: {msg}"
+        );
+        drop(held);
+        // Released with the descriptor: the next acquire succeeds.
+        DirLock::acquire(&dir).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lock_file_records_the_pid() {
+        let dir = tmp_dir("stamp");
+        let _held = DirLock::acquire(&dir).unwrap();
+        let body = fs::read_to_string(dir.join(LOCK_FILE)).unwrap();
+        assert!(
+            body.starts_with(&format!("pid {} since ", std::process::id())),
+            "{body}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -46,6 +46,7 @@ use std::path::{Path, PathBuf};
 
 use crate::crc::crc32;
 use crate::error::{Result, StoreError};
+use crate::lock::DirLock;
 
 const SEGMENT_MAGIC: &[u8; 8] = b"TWALSEG1";
 const SNAPSHOT_MAGIC: &[u8; 8] = b"TSNAPSH1";
@@ -101,6 +102,8 @@ pub struct DurableLog {
     next_lsn: u64,
     snapshot_lsn: u64,
     snapshot_path: Option<PathBuf>,
+    /// Exclusive ownership of the directory; released when the log drops.
+    _lock: DirLock,
 }
 
 /// Point-in-time observability numbers for tests, stats and benches.
@@ -121,6 +124,10 @@ impl DurableLog {
     pub fn open(dir: impl AsRef<Path>, cfg: LogConfig) -> Result<(DurableLog, Recovery)> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
+
+        // One process per store directory: take the advisory lock before
+        // reading or writing any segment.
+        let lock = DirLock::acquire(&dir)?;
 
         // Inventory the directory. Leftover `.tmp` files are incomplete
         // snapshot writes from a crash — discard them.
@@ -251,6 +258,7 @@ impl DurableLog {
             next_lsn,
             snapshot_lsn,
             snapshot_path,
+            _lock: lock,
         };
         let recovery = Recovery {
             snapshot,
@@ -646,6 +654,7 @@ mod tests {
         // The torn LSN is reused by the next append.
         assert_eq!(log.append(b"after-recovery").unwrap(), 5);
         log.sync().unwrap();
+        drop(log); // release the directory lock before reopening
         let (_, rec) = DurableLog::open(&dir, LogConfig::default()).unwrap();
         assert_eq!(rec.records.len(), 5);
         assert_eq!(rec.records[4].1, b"after-recovery");

@@ -447,6 +447,7 @@ fn cancellation_mid_morsel_wave_stops_cleanly_without_leaking_threads() {
         fuse_narrow: true,
         pipelined: true,
         morsel_rows: 8,
+        control: None,
     };
     let mut datasets = HashMap::new();
     datasets.insert("t".to_owned(), PartitionedTable::split(table, 4).unwrap());

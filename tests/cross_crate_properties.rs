@@ -459,6 +459,7 @@ proptest! {
             fuse_narrow: seed % 5 != 0,
             pipelined: seed % 7 != 0,
             morsel_rows: 256,
+            control: None,
         };
         let mut datasets = HashMap::new();
         datasets.insert("clicks".to_owned(), PartitionedTable::split(table, 4).unwrap());

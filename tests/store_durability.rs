@@ -33,19 +33,22 @@ fn labs_loop_survives_process_exit_with_traces_and_scores() {
         attempt(&mut s, &["sample", "batch"], 600);
         // Dropped without any explicit save — the WAL already has it all.
     }
-    let store = SessionStore::open(&dir).unwrap();
-    assert_eq!(store.trainees().count(), 1);
-    assert!(store.score("ada", 1).unwrap() > 0.0);
-    assert!(store.score("ada", 2).unwrap() > 0.0);
-    // The records came back with their flight-recorder traces...
-    let r1 = store.run("ada", 1).unwrap();
-    assert_eq!(r1.schema_version, RUN_RECORD_SCHEMA_VERSION);
-    assert!(!r1.traces.is_empty(), "traces persisted");
-    assert!(!r1.operator_elapsed_us().is_empty());
-    // ...so a fresh process can still diff runs operator by operator.
-    let diff = RunComparison::diff(r1, store.run("ada", 2).unwrap()).unwrap();
-    assert_eq!(diff.choice_diffs.len(), 1);
-    assert!(!diff.operator_deltas.is_empty(), "per-operator deltas");
+    {
+        let store = SessionStore::open(&dir).unwrap();
+        assert_eq!(store.trainees().count(), 1);
+        assert!(store.score("ada", 1).unwrap() > 0.0);
+        assert!(store.score("ada", 2).unwrap() > 0.0);
+        // The records came back with their flight-recorder traces...
+        let r1 = store.run("ada", 1).unwrap();
+        assert_eq!(r1.schema_version, RUN_RECORD_SCHEMA_VERSION);
+        assert!(!r1.traces.is_empty(), "traces persisted");
+        assert!(!r1.operator_elapsed_us().is_empty());
+        // ...so a fresh process can still diff runs operator by operator.
+        let diff = RunComparison::diff(r1, store.run("ada", 2).unwrap()).unwrap();
+        assert_eq!(diff.choice_diffs.len(), 1);
+        assert!(!diff.operator_deltas.is_empty(), "per-operator deltas");
+        // Dropped here: the directory lock admits one open store at a time.
+    }
     // And the session itself resumes: quota metering continues from disk.
     let mut s = LabSession::open(
         SessionStore::open(&dir).unwrap(),

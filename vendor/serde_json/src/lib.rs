@@ -266,13 +266,26 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.error("invalid escape character")),
                     }
                 }
+                b if b < 0x80 => out.push(b as char),
                 _ => {
-                    // Re-borrow the full UTF-8 char starting at pos-1.
+                    // Decode one multi-byte UTF-8 char starting at pos-1.
+                    // Validate only that char's bytes — validating the whole
+                    // remaining buffer here is quadratic in document size.
                     let start = self.pos - 1;
-                    let rest = std::str::from_utf8(&self.bytes[start..])
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.error("invalid utf-8 in string")),
+                    };
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.error("invalid utf-8 in string"));
+                    }
+                    let piece = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| self.error("invalid utf-8 in string"))?;
-                    let c = rest.chars().next().expect("non-empty");
-                    self.pos = start + c.len_utf8();
+                    let c = piece.chars().next().expect("non-empty");
+                    self.pos = end;
                     out.push(c);
                 }
             }
