@@ -1,0 +1,205 @@
+//! E14 — what continuous streaming costs (DESIGN.md §13). The fraud event
+//! stream, cut into arrival-order event windows and run through the
+//! continuous loop, across row counts: (1) the durability tax — the same
+//! stream with the ack WAL on vs off, with the mean dequeue-to-ack
+//! latency; (2) crash-resume — the stream is killed at the midpoint ack
+//! boundary and resumed, against rerunning it from scratch; the resumed
+//! run replays the WAL and executes only the unacked suffix.
+//!
+//! Set `E14_QUICK=1` to shrink the series for CI smoke runs.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use toreador_bench::table_header;
+use toreador_data::generate::fraud_stream;
+use toreador_data::table::Table;
+use toreador_dataflow::error::FlowError;
+use toreador_dataflow::fault::KillMode;
+use toreador_dataflow::logical::{AggExpr, AggFunc, Dataflow};
+use toreador_dataflow::session::{Engine, EngineConfig};
+use toreador_dataflow::streaming::{
+    run_continuous, ArrivalSource, ContinuousRun, DurableSpec, StreamConfig,
+};
+
+const WINDOW_MS: i64 = 2_000;
+
+fn quick() -> bool {
+    std::env::var("E14_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn series() -> Vec<usize> {
+    if quick() {
+        vec![5_000, 20_000]
+    } else {
+        vec![5_000, 20_000, 80_000]
+    }
+}
+
+fn wal_root() -> PathBuf {
+    std::env::temp_dir().join(format!("toreador-e14-{}", std::process::id()))
+}
+
+fn make_flow(e: &Engine, ds: &str) -> toreador_dataflow::error::Result<Dataflow> {
+    e.flow(ds)?.aggregate(
+        &["channel"],
+        vec![
+            AggExpr::new(AggFunc::Count, "txn_id", "n"),
+            AggExpr::new(AggFunc::Sum, "amount", "total"),
+        ],
+    )
+}
+
+fn config() -> StreamConfig {
+    StreamConfig::default()
+        .with_engine(EngineConfig::default().with_threads(2))
+        .with_ts_column("ts")
+        .with_allowed_lateness(500)
+        .with_buffer(8)
+        .with_pipeline_id("e14")
+}
+
+fn run_with(table: &Table, config: &StreamConfig) -> ContinuousRun {
+    let mut source = ArrivalSource::windows(table, "ts", WINDOW_MS).expect("source");
+    run_continuous(
+        &mut source,
+        config,
+        &make_flow,
+        "channel",
+        Some("n"),
+        Some("total"),
+    )
+    .expect("stream run")
+}
+
+fn best_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> (Duration, u64) {
+    let mut best = Duration::MAX;
+    let mut meta = 0;
+    for _ in 0..reps {
+        let started = Instant::now();
+        meta = f();
+        best = best.min(started.elapsed());
+    }
+    (best, meta)
+}
+
+fn print_series() {
+    let reps = if quick() { 2 } else { 3 };
+    table_header(
+        "E14",
+        "continuous streaming: durable ack overhead, and crash-resume vs rerun",
+    );
+    eprintln!(
+        "{:>9} {:>8} {:>10} {:>12} {:>9} {:>8} {:>11} {:>9}",
+        "rows", "batches", "plain ms", "durable ms", "overhead", "ack us", "resume ms", "replayed"
+    );
+    for rows in series() {
+        let (table, _) = fraud_stream(rows, 7, 0.05, 300);
+        let cfg = config();
+
+        let (plain_t, batches) = best_of(reps, || run_with(&table, &cfg).totals().batches_acked);
+
+        // Each rep pays the full WAL cost on a fresh directory.
+        let mut rep = 0;
+        let (durable_t, ack_us) = best_of(reps, || {
+            rep += 1;
+            let dir = wal_root().join(format!("durable-{rows}-{rep}"));
+            let run = run_with(&table, &cfg.clone().with_durable(DurableSpec::new(&dir)));
+            let _ = std::fs::remove_dir_all(&dir);
+            run.mean_ack_latency_us() as u64
+        });
+
+        // Kill at the midpoint ack, then time the resumed run: WAL replay
+        // plus execution of only the unacked suffix.
+        let kill_at = batches / 2;
+        let mut rep = 0;
+        let (resume_t, replayed) = best_of(reps, || {
+            rep += 1;
+            let dir = wal_root().join(format!("resume-{rows}-{rep}"));
+            let killed = {
+                let mut source = ArrivalSource::windows(&table, "ts", WINDOW_MS).expect("source");
+                run_continuous(
+                    &mut source,
+                    &cfg.clone()
+                        .with_durable(DurableSpec::new(&dir))
+                        .with_kill_at_ack(kill_at, KillMode::Halt),
+                    &make_flow,
+                    "channel",
+                    Some("n"),
+                    Some("total"),
+                )
+            };
+            assert!(
+                matches!(killed, Err(FlowError::KilledAtAck { .. })),
+                "kill point must fire"
+            );
+            let run = run_with(
+                &table,
+                &cfg.clone()
+                    .with_durable(DurableSpec::new(&dir).with_resume(true)),
+            );
+            let replayed = run.recovery.as_ref().map_or(0, |r| r.totals.batches_acked);
+            let _ = std::fs::remove_dir_all(&dir);
+            replayed
+        });
+        // resume_t times kill + resume together; the isolated WAL-replay
+        // cost is the criterion `wal_replay_only` benchmark below.
+        eprintln!(
+            "{:>9} {:>8} {:>10.2} {:>12.2} {:>8.1}% {:>8} {:>11.2} {:>9}",
+            rows,
+            batches,
+            plain_t.as_secs_f64() * 1e3,
+            durable_t.as_secs_f64() * 1e3,
+            (durable_t.as_secs_f64() / plain_t.as_secs_f64() - 1.0) * 100.0,
+            ack_us,
+            resume_t.as_secs_f64() * 1e3,
+            replayed,
+        );
+    }
+    eprintln!(
+        "  (durable: ack WAL + fsync per batch; resume ms includes the killed half-run; \
+         replayed: batches restored from the WAL without re-execution)"
+    );
+    let _ = std::fs::remove_dir_all(wal_root());
+}
+
+fn bench_stream(c: &mut Criterion) {
+    print_series();
+
+    // Stable statistics on one mid-sized stream.
+    let rows = if quick() { 5_000 } else { 20_000 };
+    let (table, _) = fraud_stream(rows, 7, 0.05, 300);
+    let cfg = config();
+
+    // A finished WAL: resuming it replays every ack and executes nothing —
+    // the isolated recovery cost.
+    let replay_dir = wal_root().join("bench-replay");
+    let _ = std::fs::remove_dir_all(&replay_dir);
+    run_with(
+        &table,
+        &cfg.clone().with_durable(DurableSpec::new(&replay_dir)),
+    );
+    let resume_cfg = cfg
+        .clone()
+        .with_durable(DurableSpec::new(&replay_dir).with_resume(true));
+
+    let mut group = c.benchmark_group("e14_stream");
+    group.sample_size(10);
+    group.bench_function("stream_plain", |b| {
+        b.iter(|| run_with(&table, &cfg).totals().batches_acked)
+    });
+    group.bench_function("wal_replay_only", |b| {
+        b.iter(|| {
+            let run = run_with(&table, &resume_cfg);
+            assert_eq!(run.acked.len(), 0, "a finished stream re-executes nothing");
+            run.recovery.map_or(0, |r| r.totals.batches_acked)
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(wal_root());
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

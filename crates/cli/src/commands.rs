@@ -25,6 +25,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "challenges" => challenges_cmd(args),
         "explain" => explain(args),
         "run" => run(args),
+        "stream" => stream_cmd(args),
         "resume" => resume_cmd(args),
         "trace" => trace_cmd(args),
         "chaos" => chaos_cmd(args),
@@ -58,6 +59,21 @@ pub fn usage() -> String {
      \x20                                        chaos: die at engine E's stage\n\
      \x20                                        boundary W (exit code 42) after\n\
      \x20                                        the wave is durable\n\
+     \x20 toreador stream --data <source> --key <col> [--sum <col>]\n\
+     \x20                [--rows N] [--seed N] [--window-ms N] [--ts-column C]\n\
+     \x20                [--allowed-lateness N] [--late-policy absorb|side-channel|drop]\n\
+     \x20                [--buffer N] [--json]   continuous keyed aggregation over\n\
+     \x20                                        arrival-order event windows:\n\
+     \x20                                        backpressure, watermarks, late\n\
+     \x20                                        data; --json emits one ack\n\
+     \x20                                        record per batch\n\
+     \x20                [--store <dir>]         durable acked offsets (WAL)\n\
+     \x20                [--kill-at-ack N] [--kill-mode exit|halt]\n\
+     \x20                                        die right after offset N's ack\n\
+     \x20                                        is durable (exit 42)\n\
+     \x20                [--resume]              replay the WAL and finish the\n\
+     \x20                                        stream; acked batches never\n\
+     \x20                                        re-execute\n\
      \x20 toreador resume <run-id> --checkpoint-dir <dir> [--store <dir>]\n\
      \x20                                        resume a killed checkpointed run\n\
      \x20                                        at the first incomplete stage;\n\
@@ -437,6 +453,180 @@ fn run(args: &Args) -> Result<String, String> {
              `toreador compare` after any later run)\n"
         ));
     }
+    Ok(out)
+}
+
+/// The `--json` footer of `toreador stream`: lifetime totals plus the
+/// canonical state string (the kill/resume byte-identity witness).
+#[derive(serde::Serialize)]
+struct StreamFooter {
+    totals: toreador_dataflow::trace::StreamTotals,
+    cumulative: toreador_dataflow::trace::StreamTotals,
+    resumed: bool,
+    side_channel_rows: u64,
+    mean_ack_latency_us: f64,
+    state: String,
+}
+
+/// `toreador stream`: run a continuous keyed aggregation over a data source
+/// cut into arrival-order event-time windows — backpressure, watermarks,
+/// and a late-data policy; with `--store`, durable acked offsets that
+/// survive process death. `--kill-at-ack N` dies right after offset N's ack
+/// reaches the WAL (exit 42 under the default kill mode); rerunning with
+/// `--resume` replays the WAL and finishes the stream without re-executing
+/// any acked batch.
+fn stream_cmd(args: &Args) -> Result<String, String> {
+    use toreador_dataflow::logical::{AggExpr, AggFunc};
+    use toreador_dataflow::session::EngineConfig;
+    use toreador_dataflow::streaming::{
+        run_continuous, ArrivalSource, DurableSpec, LatePolicy, StreamConfig,
+    };
+
+    let rows = args.flag_or("rows", 0usize)?;
+    let seed = args.flag_or("seed", 42u64)?;
+    let (data, _aux) = load_data(args, rows, seed)?;
+    let key = args
+        .flag("key")
+        .ok_or_else(|| "missing --key <column> (see `toreador help`)".to_owned())?
+        .to_owned();
+    let sum = args.flag("sum").map(str::to_owned);
+    let ts_column = args.flag("ts-column").unwrap_or("ts").to_owned();
+    let window_ms = args.flag_or("window-ms", 1_000i64)?;
+    let lateness = args.flag_or("allowed-lateness", 0i64)?;
+    let policy_name = args.flag("late-policy").unwrap_or("absorb");
+    let late_policy = match policy_name {
+        "absorb" => LatePolicy::Absorb,
+        "side-channel" => LatePolicy::SideChannel,
+        "drop" => LatePolicy::Drop,
+        other => {
+            return Err(format!(
+                "--late-policy must be absorb, side-channel, or drop, got {other:?}"
+            ))
+        }
+    };
+    let buffer = args.flag_or("buffer", 8usize)?;
+    if buffer == 0 {
+        return Err("--buffer must be positive".to_owned());
+    }
+
+    let mut config = StreamConfig::default()
+        .with_engine(EngineConfig::default().with_threads(2))
+        .with_ts_column(&ts_column)
+        .with_allowed_lateness(lateness)
+        .with_late_policy(late_policy)
+        .with_buffer(buffer)
+        .with_pipeline_id(format!("cli:{key}"));
+    match args.flag("store") {
+        Some(dir) => {
+            config =
+                config.with_durable(DurableSpec::new(dir).with_resume(args.flag_set("resume")));
+        }
+        None if args.flag_set("resume") => {
+            return Err("--resume needs --store <dir> (the WAL to replay)".to_owned());
+        }
+        None => {}
+    }
+    if let Some(at) = args.flag("kill-at-ack") {
+        if args.flag("store").is_none() {
+            return Err(
+                "--kill-at-ack needs --store <dir> (kill points only fire once the ack \
+                 is durable)"
+                    .to_owned(),
+            );
+        }
+        let offset: u64 = at
+            .parse()
+            .map_err(|_| format!("--kill-at-ack must be an offset, got {at:?}"))?;
+        let mode = match args.flag("kill-mode").unwrap_or("exit") {
+            "exit" => KillMode::Exit { code: 42 },
+            "halt" => KillMode::Halt,
+            other => return Err(format!("--kill-mode must be exit or halt, got {other:?}")),
+        };
+        config = config.with_kill_at_ack(offset, mode);
+    }
+
+    let mut source =
+        ArrivalSource::windows(&data, &ts_column, window_ms).map_err(|e| e.to_string())?;
+    let run = run_continuous(
+        &mut source,
+        &config,
+        &|e, ds| {
+            let mut aggs = vec![AggExpr::new(AggFunc::Count, key.as_str(), "n")];
+            if let Some(s) = &sum {
+                aggs.push(AggExpr::new(AggFunc::Sum, s, "total"));
+            }
+            e.flow(ds)?.aggregate(&[key.as_str()], aggs)
+        },
+        &key,
+        Some("n"),
+        sum.as_ref().map(|_| "total"),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let totals = run.totals();
+    let cumulative = run.cumulative_totals();
+    let resumed = run.recovery.as_ref().is_some_and(|r| r.resumed);
+    let side_channel_rows: u64 = run.side_channel.iter().map(|t| t.num_rows() as u64).sum();
+    if args.flag_set("json") {
+        // One wire record per acked batch, then one footer line — JSONL, so
+        // scripts stream it.
+        let mut out = String::new();
+        for a in &run.acked {
+            out.push_str(&serde_json::to_string(a).map_err(|e| e.to_string())?);
+            out.push('\n');
+        }
+        let footer = StreamFooter {
+            totals,
+            cumulative,
+            resumed,
+            side_channel_rows,
+            mean_ack_latency_us: run.mean_ack_latency_us(),
+            state: run.canonical_state(),
+        };
+        out.push_str(&serde_json::to_string(&footer).map_err(|e| e.to_string())?);
+        out.push('\n');
+        return Ok(out);
+    }
+
+    let mut out = format!(
+        "stream over {} rows, {} event window(s): {} batch(es) acked, {} rows\n",
+        data.num_rows(),
+        source.num_batches(),
+        totals.batches_acked,
+        totals.rows_acked,
+    );
+    if resumed {
+        let r = run.recovery.as_ref().expect("resumed implies recovery");
+        out.push_str(&format!(
+            "resumed from the WAL at offset {}: {} batch(es) restored without \
+             re-execution (lifetime: {} acked, {} rows)\n",
+            r.next_offset, r.totals.batches_acked, cumulative.batches_acked, cumulative.rows_acked,
+        ));
+    }
+    match totals.final_watermark_ms {
+        Some(w) => out.push_str(&format!(
+            "watermark: {w} ms after {} advance(s) (allowed lateness {lateness} ms)\n",
+            totals.watermark_advances
+        )),
+        None => out.push_str("watermark: never advanced (no rows)\n"),
+    }
+    out.push_str(&format!(
+        "late data [{policy_name}]: {} absorbed, {} side-channelled ({} rows diverted), \
+         {} dropped\n",
+        cumulative.late_absorbed,
+        cumulative.late_side_channelled,
+        side_channel_rows,
+        cumulative.late_dropped,
+    ));
+    out.push_str(&format!(
+        "backpressure: {} stall(s), {} us blocked, max in-flight {} (cap {buffer})\n",
+        totals.stalls, totals.stall_us, totals.max_in_flight,
+    ));
+    out.push_str(&format!(
+        "mean ack latency: {:.1} us\n",
+        run.mean_ack_latency_us()
+    ));
+    out.push_str(&format!("state (canonical): {}\n", run.canonical_state()));
     Ok(out)
 }
 
@@ -1388,6 +1578,172 @@ mod tests {
             .runs
             .iter()
             .any(|r| r.choices == vec!["sample", "batch"]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stream_reports_watermarks_late_data_and_backpressure() {
+        let out = run_cli(&[
+            "stream",
+            "--data",
+            "generated:fraud-stream",
+            "--rows",
+            "2000",
+            "--seed",
+            "11",
+            "--key",
+            "channel",
+            "--sum",
+            "amount",
+            "--window-ms",
+            "2000",
+            "--allowed-lateness",
+            "500",
+            "--late-policy",
+            "drop",
+            "--buffer",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("batch(es) acked"), "{out}");
+        assert!(out.contains("watermark:"), "{out}");
+        assert!(out.contains("late data [drop]:"), "{out}");
+        assert!(out.contains("state (canonical):"), "{out}");
+        // The fraud generator plants late rows; under `drop` they are
+        // counted, not absorbed.
+        assert!(!out.contains("0 dropped"), "{out}");
+        // Flag validation names the problem.
+        for bad in [
+            &["stream", "--data", "generated:fraud-stream"][..],
+            &[
+                "stream",
+                "--data",
+                "generated:fraud-stream",
+                "--key",
+                "channel",
+                "--late-policy",
+                "sometimes",
+            ][..],
+            &[
+                "stream",
+                "--data",
+                "generated:fraud-stream",
+                "--key",
+                "channel",
+                "--buffer",
+                "0",
+            ][..],
+            &[
+                "stream",
+                "--data",
+                "generated:fraud-stream",
+                "--key",
+                "channel",
+                "--resume",
+            ][..],
+            &[
+                "stream",
+                "--data",
+                "generated:fraud-stream",
+                "--key",
+                "channel",
+                "--kill-at-ack",
+                "2",
+            ][..],
+        ] {
+            assert!(run_cli(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn stream_json_emits_one_ack_record_per_batch() {
+        let out = run_cli(&[
+            "stream",
+            "--data",
+            "generated:fraud-stream",
+            "--rows",
+            "1500",
+            "--key",
+            "channel",
+            "--window-ms",
+            "2000",
+            "--json",
+        ])
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines.len() > 2, "{out}");
+        let (acks, footer) = lines.split_at(lines.len() - 1);
+        let mut last_offset = None;
+        for line in acks {
+            let a: toreador_dataflow::streaming::AckSummary = serde_json::from_str(line).unwrap();
+            assert_eq!(a.offset, last_offset.map_or(0, |o: u64| o + 1), "{line}");
+            last_offset = Some(a.offset);
+        }
+        let footer: serde_json::Value = serde_json::from_str(footer[0]).unwrap();
+        let footer = footer.as_object().expect("footer object");
+        let acked = footer
+            .get("totals")
+            .and_then(|t| t.as_object())
+            .and_then(|t| t.get("batches_acked"))
+            .and_then(|v| v.as_u64());
+        assert_eq!(acked, Some(acks.len() as u64));
+        let state = footer.get("state").and_then(|v| v.as_str()).unwrap();
+        assert!(state.starts_with("{\"counts\""), "{state}");
+    }
+
+    #[test]
+    fn stream_kill_at_ack_then_resume_matches_the_unkilled_state() {
+        let dir = std::env::temp_dir().join(format!("toreador-cli-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.to_str().unwrap().to_owned();
+        let base = [
+            "stream",
+            "--data",
+            "generated:fraud-stream",
+            "--rows",
+            "1500",
+            "--key",
+            "channel",
+            "--sum",
+            "amount",
+            "--window-ms",
+            "2000",
+            "--allowed-lateness",
+            "500",
+        ];
+        let state_line = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("state (canonical):"))
+                .expect("state line")
+                .to_owned()
+        };
+        // Unkilled oracle (no store): the state the stream should reach.
+        let oracle = state_line(&run_cli(&base).unwrap());
+        // Kill in-process (halt mode errors instead of exiting) right
+        // after offset 2's ack is durable...
+        let err = run_cli(
+            &[
+                &base[..],
+                &[
+                    "--store",
+                    &store,
+                    "--kill-at-ack",
+                    "2",
+                    "--kill-mode",
+                    "halt",
+                ],
+            ]
+            .concat(),
+        )
+        .unwrap_err();
+        assert!(err.contains("killed at ack boundary"), "{err}");
+        // ...resume replays the WAL and finishes byte-identically.
+        let out = run_cli(&[&base[..], &["--store", &store, "--resume"]].concat()).unwrap();
+        assert!(out.contains("resumed from the WAL at offset 3"), "{out}");
+        assert_eq!(state_line(&out), oracle, "{out}");
+        // A fresh (non-resume) run on a used store is refused, not clobbered.
+        let err = run_cli(&[&base[..], &["--store", &store]].concat()).unwrap_err();
+        assert!(err.contains("--resume") || err.contains("resume"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

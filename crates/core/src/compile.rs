@@ -184,17 +184,34 @@ impl Bdaas {
         auxiliary: &HashMap<String, Table>,
         window_ms: i64,
     ) -> Result<CampaignOutcome> {
-        use toreador_dataflow::stream::MicroBatcher;
+        use toreador_dataflow::error::FlowError;
+        use toreador_dataflow::streaming::{
+            run_continuous_with, ArrivalSource, BatchOutput, LatePolicy, StreamConfig,
+        };
         let started = Instant::now();
-        let batcher = MicroBatcher::tumbling(&input, "ts", window_ms)
+        // Arrival-order cutting: batches break at event-window boundaries but
+        // rows are never re-sorted, so out-of-order arrivals reach the
+        // watermark as late data instead of being quietly absorbed into
+        // earlier windows. For non-decreasing timestamps this produces the
+        // same non-empty windows as event-time tumbling.
+        let mut source = ArrivalSource::windows(&input, "ts", window_ms)
             .map_err(|e| CoreError::Execution(e.to_string()))?;
+        let late_policy = match compiled.spec.stream.late_policy {
+            crate::declarative::LateDataPolicy::Absorb => LatePolicy::Absorb,
+            crate::declarative::LateDataPolicy::SideChannel => LatePolicy::SideChannel,
+            crate::declarative::LateDataPolicy::Drop => LatePolicy::Drop,
+        };
+        let config = StreamConfig::default()
+            .with_engine(compiled.deployment.engine_config.clone())
+            .with_ts_column("ts")
+            .with_allowed_lateness(compiled.spec.stream.allowed_lateness_ms)
+            .with_late_policy(late_policy)
+            .with_buffer(compiled.spec.stream.buffer)
+            .with_pipeline_id(&compiled.spec.name);
         let mut merged: Option<PipelineState> = None;
         let mut outputs: Vec<Table> = Vec::new();
         let mut batch_latencies = Vec::new();
-        for batch in batcher.batches() {
-            if batch.num_rows() == 0 {
-                continue;
-            }
+        let run = run_continuous_with(&mut source, &config, None, &mut |_, batch| {
             let batch_started = Instant::now();
             let mut state = PipelineState::new(batch.clone());
             let ctx = ServiceContext {
@@ -204,9 +221,11 @@ impl Bdaas {
                 seed: compiled.spec.seed,
                 recovery: None,
             };
-            execute_composition(&compiled.procedural.composition, &ctx, &mut state)?;
+            execute_composition(&compiled.procedural.composition, &ctx, &mut state)
+                .map_err(|e| FlowError::Stream(e.to_string()))?;
             batch_latencies.push(batch_started.elapsed().as_secs_f64() * 1e3);
             outputs.push(state.table.clone());
+            let table = state.table.clone();
             merged = Some(match merged.take() {
                 None => state,
                 Some(mut acc) => {
@@ -226,10 +245,20 @@ impl Bdaas {
                     acc
                 }
             });
-        }
+            Ok(BatchOutput {
+                table,
+                metrics: None,
+                trace: None,
+            })
+        })
+        .map_err(|e| CoreError::Execution(e.to_string()))?;
         let mut state = merged.ok_or_else(|| {
             CoreError::Execution("stream produced no non-empty batches".to_owned())
         })?;
+        // The continuous loop's own journal (backpressure, watermarks, late
+        // data, acks) joins the campaign's trace set, so stream totals
+        // surface in run records and comparisons.
+        state.engine_traces.push(run.stream_trace);
         state.table = Table::concat(&outputs).map_err(|e| CoreError::Data(e.to_string()))?;
         state.audit.record(AuditEvent::DatasetAccess {
             dataset: compiled.spec.dataset.clone(),

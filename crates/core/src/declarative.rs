@@ -175,6 +175,62 @@ pub enum ProcessingMode {
     },
 }
 
+/// What a streaming campaign does with rows that arrive behind the
+/// event-time watermark. Mirrors the engine's late-data policy without
+/// pulling the engine type into the declarative model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LateDataPolicy {
+    /// Fold late rows into results anyway (counted and journalled).
+    #[default]
+    Absorb,
+    /// Divert late rows to a side channel; results see only on-time rows.
+    SideChannel,
+    /// Discard late rows; results see only on-time rows.
+    Drop,
+}
+
+impl LateDataPolicy {
+    pub fn name(self) -> &'static str {
+        match self {
+            LateDataPolicy::Absorb => "absorb",
+            LateDataPolicy::SideChannel => "side-channel",
+            LateDataPolicy::Drop => "drop",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "absorb" => Some(LateDataPolicy::Absorb),
+            "side-channel" | "side_channel" | "side" => Some(LateDataPolicy::SideChannel),
+            "drop" => Some(LateDataPolicy::Drop),
+            _ => None,
+        }
+    }
+}
+
+/// Continuous-streaming knobs for `ProcessingMode::Stream` campaigns.
+/// Batch campaigns ignore them; they default so pre-existing serialised
+/// specs parse unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamOptions {
+    /// Watermark lag behind max observed event time, in milliseconds.
+    pub allowed_lateness_ms: i64,
+    /// What happens to rows behind the watermark.
+    pub late_policy: LateDataPolicy,
+    /// Bound on micro-batches in flight between source and engine.
+    pub buffer: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            allowed_lateness_ms: 0,
+            late_policy: LateDataPolicy::default(),
+            buffer: 8,
+        }
+    }
+}
+
 /// The complete declarative model of a campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignSpec {
@@ -184,6 +240,10 @@ pub struct CampaignSpec {
     pub goals: Vec<Goal>,
     pub preferences: Preferences,
     pub mode: ProcessingMode,
+    /// Continuous-streaming knobs (meaningful only in `Stream` mode;
+    /// defaults so pre-existing serialised specs parse unchanged).
+    #[serde(default)]
+    pub stream: StreamOptions,
     /// Requested worker parallelism (None = platform default).
     pub parallelism: Option<usize>,
     /// Task retry budget for fault tolerance (None = no retries).
@@ -219,6 +279,7 @@ impl CampaignSpec {
             goals: Vec::new(),
             preferences: Preferences::default(),
             mode: ProcessingMode::Batch,
+            stream: StreamOptions::default(),
             parallelism: None,
             max_task_retries: None,
             policy: None,
@@ -239,6 +300,11 @@ impl CampaignSpec {
 
     pub fn mode(mut self, mode: ProcessingMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    pub fn with_stream_options(mut self, stream: StreamOptions) -> Self {
+        self.stream = stream;
         self
     }
 

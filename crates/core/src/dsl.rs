@@ -23,7 +23,7 @@ use toreador_catalog::matching::Preferences;
 use toreador_data::value::Value;
 use toreador_dataflow::expr::{col, lit, Expr};
 
-use crate::declarative::{CampaignSpec, Goal, Indicator, ProcessingMode, Target};
+use crate::declarative::{CampaignSpec, Goal, Indicator, LateDataPolicy, ProcessingMode, Target};
 use crate::error::{CoreError, Result};
 
 /// Parse the DSL spelling of a capability.
@@ -191,6 +191,35 @@ pub fn parse_campaign(
                                     line: line_no,
                                     message: format!("bad window {v:?}"),
                                 })?)
+                            }
+                            Some((k, v)) if k == "lateness" => {
+                                current.stream.allowed_lateness_ms =
+                                    v.parse().map_err(|_| CoreError::Parse {
+                                        line: line_no,
+                                        message: format!("bad lateness {v:?}"),
+                                    })?
+                            }
+                            Some((k, v)) if k == "late" => {
+                                current.stream.late_policy =
+                                    LateDataPolicy::parse(&v).ok_or(CoreError::Parse {
+                                        line: line_no,
+                                        message: format!(
+                                            "late expects absorb|side-channel|drop, got {v:?}"
+                                        ),
+                                    })?
+                            }
+                            Some((k, v)) if k == "buffer" => {
+                                let cap: usize = v.parse().map_err(|_| CoreError::Parse {
+                                    line: line_no,
+                                    message: format!("bad buffer {v:?}"),
+                                })?;
+                                if cap == 0 {
+                                    return Err(CoreError::Parse {
+                                        line: line_no,
+                                        message: "buffer must be >= 1".to_owned(),
+                                    });
+                                }
+                                current.stream.buffer = cap;
                             }
                             _ => {
                                 return Err(CoreError::Parse {
@@ -751,6 +780,28 @@ objective cost <= 100
             spec.goals[0].pinned_service.as_deref(),
             Some("analytics.anomaly.rolling")
         );
+        // Defaults when no continuous options are given.
+        assert_eq!(spec.stream, crate::declarative::StreamOptions::default());
+    }
+
+    #[test]
+    fn parses_stream_continuous_options() {
+        let text = "campaign s on tel\n\
+                    mode stream window=1000 lateness=250 late=drop buffer=4\n\
+                    goal aggregation group_by=region agg=sum:kwh:load\n";
+        let spec = parse_campaign(text, &no_policy).unwrap();
+        assert_eq!(spec.mode, ProcessingMode::Stream { window_ms: 1000 });
+        assert_eq!(spec.stream.allowed_lateness_ms, 250);
+        assert_eq!(spec.stream.late_policy, LateDataPolicy::Drop);
+        assert_eq!(spec.stream.buffer, 4);
+        // Bad spellings fail with a line-anchored parse error.
+        for bad in [
+            "campaign s on t\nmode stream window=1000 late=whenever\n",
+            "campaign s on t\nmode stream window=1000 buffer=0\n",
+            "campaign s on t\nmode stream window=1000 lateness=soon\n",
+        ] {
+            assert!(parse_campaign(bad, &no_policy).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -261,6 +261,93 @@ pub fn health_records(rows: usize, seed: u64) -> Table {
     b.finish().expect("generator produces rectangular table")
 }
 
+/// The fraud-detection event-stream schema (time-ordered by arrival).
+pub fn fraud_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("txn_id", DataType::Int),
+        Field::required("account_id", DataType::Int),
+        Field::required("ts", DataType::Timestamp),
+        Field::required("amount", DataType::Float),
+        Field::required("merchant", DataType::Str),
+        Field::required("channel", DataType::Str),
+        Field::required("is_fraud", DataType::Bool),
+    ])
+    .unwrap()
+}
+
+const MERCHANTS: &[&str] = &[
+    "grocery",
+    "fuel",
+    "travel",
+    "electronics",
+    "restaurant",
+    "pharmacy",
+    "online",
+    "atm",
+];
+const CHANNELS: &[&str] = &["card_present", "online", "contactless", "transfer"];
+
+/// Card-transaction event stream for the fraud vertical, arrival-ordered
+/// with planted out-of-order (late) events.
+///
+/// Rows arrive at a fixed 10 ms cadence; with probability `late_rate`, a
+/// row's *event* timestamp lags its arrival slot by 60 s (an upstream
+/// buffering delay), so it lands behind any watermark whose allowed
+/// lateness is under a minute. No late rows are planted in the first
+/// `guard` rows — set `guard` to at least one micro-batch so the stream's
+/// watermark exists before the first late row arrives, which makes the
+/// planted count exactly the number of rows a `drop`/`side-channel`
+/// policy diverts.
+///
+/// Planted fraud structure: ~1.5% of transactions are fraudulent with ×12
+/// amounts concentrated in the `online`/`transfer` channels.
+///
+/// Returns the table and the number of late rows planted.
+pub fn fraud_stream(rows: usize, seed: u64, late_rate: f64, guard: usize) -> (Table, usize) {
+    const STEP_MS: i64 = 10;
+    const LATE_LAG_MS: i64 = 60_000;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let accounts = Zipf::new(200, 0.9);
+    let mut b = TableBuilder::with_capacity(fraud_schema(), rows);
+    let start = 1_488_000_000_000i64;
+    let mut planted_late = 0usize;
+    for i in 0..rows {
+        let arrival = start + i as i64 * STEP_MS;
+        let late = i >= guard && rng.gen_bool(late_rate.clamp(0.0, 1.0));
+        let ts = if late { arrival - LATE_LAG_MS } else { arrival };
+        if late {
+            planted_late += 1;
+        }
+        let account = accounts.sample(&mut rng) as i64;
+        let fraud = rng.gen_bool(0.015);
+        let channel = if fraud && rng.gen_bool(0.8) {
+            if rng.gen_bool(0.5) {
+                "online"
+            } else {
+                "transfer"
+            }
+        } else {
+            CHANNELS[rng.gen_range(0..CHANNELS.len())]
+        };
+        let base = 8.0 + (normal(&mut rng, 0.0, 1.0).abs() * 45.0);
+        let amount = if fraud { base * 12.0 } else { base };
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(account),
+            Value::Timestamp(ts),
+            Value::Float((amount * 100.0).round() / 100.0),
+            Value::Str(MERCHANTS[rng.gen_range(0..MERCHANTS.len())].to_owned()),
+            Value::Str(channel.to_owned()),
+            Value::Bool(fraud),
+        ])
+        .expect("generator row matches schema");
+    }
+    (
+        b.finish().expect("generator produces rectangular table"),
+        planted_late,
+    )
+}
+
 /// A generic random table for fuzzing: `cols` columns cycling through the
 /// scalar types, `rows` rows, ~5% nulls in nullable columns.
 pub fn random_table(rows: usize, cols: usize, seed: u64) -> Table {
@@ -446,6 +533,42 @@ mod tests {
         for v in t.column("diagnosis").unwrap().iter_values() {
             assert!(DIAGNOSES.contains(&v.as_str().unwrap()));
         }
+    }
+
+    #[test]
+    fn fraud_stream_plants_exact_late_rows_behind_the_guard() {
+        let (t, planted) = fraud_stream(4000, 17, 0.05, 256);
+        assert_eq!(t.num_rows(), 4000);
+        assert!(planted > 0, "late rows planted at 5% over 4000 rows");
+        // Recount from the data: a row is late iff its ts lags its arrival
+        // slot (arrival = start + i * 10ms), and none appear in the guard.
+        let start = 1_488_000_000_000i64;
+        let mut recounted = 0usize;
+        for (i, row) in t.iter_rows().enumerate() {
+            let ts = match row[2] {
+                Value::Timestamp(v) => v,
+                ref other => panic!("unexpected ts {other:?}"),
+            };
+            let arrival = start + i as i64 * 10;
+            if ts < arrival {
+                assert_eq!(arrival - ts, 60_000, "late lag is exactly 60s");
+                assert!(i >= 256, "no late rows inside the guard (row {i})");
+                recounted += 1;
+            }
+        }
+        assert_eq!(recounted, planted);
+        // Determinism and fraud structure.
+        assert_eq!(
+            fraud_stream(500, 3, 0.02, 64).0,
+            fraud_stream(500, 3, 0.02, 64).0
+        );
+        let frauds = t
+            .column("is_fraud")
+            .unwrap()
+            .iter_values()
+            .filter(|v| *v == Value::Bool(true))
+            .count();
+        assert!(frauds > 0, "fraud rows planted");
     }
 
     #[test]

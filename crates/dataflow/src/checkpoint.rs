@@ -52,8 +52,10 @@ const WAVE_MAGIC: &[u8; 8] = b"TORCKPT1";
 const FORMAT_VERSION: u32 = 1;
 
 // ---------------------------------------------------------------------------
-// CRC32 (IEEE), table-driven. The store crate has its own copy; the two
-// layers stay dependency-free of each other on purpose.
+// CRC32 (IEEE), table-driven. The store crate has its own copy: the wave
+// checkpoint codec predates the dataflow→store dependency (added for the
+// streaming ack log, [`crate::streaming::durable`]) and keeps its own
+// framing rather than round-tripping wave payloads through the store WAL.
 // ---------------------------------------------------------------------------
 
 const fn crc32_table() -> [u32; 256] {

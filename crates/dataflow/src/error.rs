@@ -56,6 +56,14 @@ pub enum FlowError {
     /// that just completed was durably checkpointed first, so a resume
     /// re-enters after it.
     KilledAtBoundary { stage: usize, wave: usize },
+    /// The continuous streaming loop failed outside any single task: the
+    /// ack log could not be written or recovered, the source errored, or
+    /// the stream configuration is invalid.
+    Stream(String),
+    /// A deterministic kill point fired immediately after a batch was
+    /// acknowledged. The batch's state delta and offset are already
+    /// durable, so a resume re-enters at `offset + 1`.
+    KilledAtAck { offset: u64 },
 }
 
 impl fmt::Display for FlowError {
@@ -88,6 +96,10 @@ impl fmt::Display for FlowError {
                 f,
                 "killed at stage boundary (stage {stage}, wave {wave})"
             ),
+            FlowError::Stream(msg) => write!(f, "stream error: {msg}"),
+            FlowError::KilledAtAck { offset } => {
+                write!(f, "killed at ack boundary (offset {offset})")
+            }
         }
     }
 }

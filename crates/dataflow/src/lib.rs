@@ -22,7 +22,11 @@
 //!    attempts, panic isolation, and cooperative cancellation
 //!    ([`resilience`]);
 //! 7. [`session`] — the `Engine` facade (register datasets, run flows);
-//! 8. [`stream`] — micro-batch streaming with carried state;
+//! 8. [`stream`] — micro-batch streaming with carried state; [`streaming`]
+//!    — the continuous topology around it: bounded in-flight buffers with
+//!    backpressure, event-time watermarks with a late-data policy, and
+//!    durable end-to-end acks with crash-resume (the pre-materialised
+//!    [`stream`] path stays selectable as the differential oracle);
 //! 9. [`metrics`] — per-operator and per-run metrics, the raw material for
 //!    the Labs' run comparison;
 //! 10. [`trace`] — the flight-recorder journal: structured span events for
@@ -61,6 +65,7 @@ pub mod scheduler;
 pub mod session;
 pub mod shuffle;
 pub mod stream;
+pub mod streaming;
 pub mod trace;
 pub mod vexpr;
 
@@ -80,8 +85,14 @@ pub mod prelude {
     };
     pub use crate::session::{Engine, EngineConfig, RunResult};
     pub use crate::stream::{run_stream, MicroBatcher, StreamRun, StreamState};
+    pub use crate::streaming::{
+        canonical_state_json, run_continuous, run_continuous_with, AckRecord, AckSummary,
+        ArrivalSource, BatchOutput, ContinuousRun, DurableSpec, LatePolicy, Source, SourceBatch,
+        StateColumns, StateDelta, StreamConfig, StreamRecovery, WindowSource,
+    };
     pub use crate::trace::{
-        PipelineTotals, ResilienceTotals, RunTrace, TraceEvent, TraceEventKind, TraceSummary,
+        PipelineTotals, ResilienceTotals, RunTrace, StreamTotals, TraceEvent, TraceEventKind,
+        TraceSummary,
     };
     pub use crate::vexpr::BoundExpr;
 }

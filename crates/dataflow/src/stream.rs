@@ -58,14 +58,17 @@ impl MicroBatcher {
         let first = lo.div_euclid(window_ms);
         let last = hi.div_euclid(window_ms);
         let n = (last - first + 1) as usize;
-        let mut masks: Vec<Vec<bool>> = vec![vec![false; source.num_rows()]; n];
+        // Per-window row-index lists, built in one pass. Memory is
+        // O(windows + rows), not O(windows × rows) — sparse timestamps over
+        // a wide range only pay for the rows they actually hold.
+        let mut windows: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, t) in stamps.iter().enumerate() {
             let w = (t.div_euclid(window_ms) - first) as usize;
-            masks[w][i] = true;
+            windows[w].push(i);
         }
-        let batches = masks
+        let batches = windows
             .into_iter()
-            .map(|m| source.filter(&m).map_err(FlowError::Data))
+            .map(|idx| source.take(&idx).map_err(FlowError::Data))
             .collect::<Result<Vec<_>>>()?;
         Ok(MicroBatcher { batches })
     }
@@ -142,6 +145,29 @@ impl StreamState {
         ks.dedup();
         ks
     }
+
+    /// Add `delta` to the running count for `key`. The continuous streaming
+    /// loop applies batch deltas through this (live and WAL-replay paths
+    /// share it, which is what makes resume byte-identical).
+    pub fn add_count(&mut self, key: &str, delta: i64) {
+        *self.counts.entry(key.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Add `delta` to the running sum for `key`.
+    pub fn add_sum(&mut self, key: &str, delta: f64) {
+        *self.sums.entry(key.to_owned()).or_insert(0.0) += delta;
+    }
+
+    /// The counts, key-sorted — the canonical (deterministic) view used for
+    /// snapshots and byte-identity comparison.
+    pub fn counts_sorted(&self) -> std::collections::BTreeMap<String, i64> {
+        self.counts.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// The sums, key-sorted — canonical view, see [`StreamState::counts_sorted`].
+    pub fn sums_sorted(&self) -> std::collections::BTreeMap<String, f64> {
+        self.sums.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
 }
 
 /// Outcome of a streaming run.
@@ -160,16 +186,21 @@ pub struct StreamRun {
 
 impl StreamRun {
     /// Mean per-batch latency in microseconds — the streaming side of the
-    /// latency/throughput trade-off.
+    /// latency/throughput trade-off. Silent windows (empty ticks that ran
+    /// no engine) are excluded: averaging their 0 µs placeholders in would
+    /// dilute the reported latency below what any executed batch paid.
     pub fn mean_batch_latency_us(&self) -> f64 {
-        if self.batch_metrics.is_empty() {
+        let executed: Vec<f64> = self
+            .batch_metrics
+            .iter()
+            .zip(&self.batch_traces)
+            .filter(|(_, trace)| !trace.events.is_empty())
+            .map(|(m, _)| m.total_elapsed_us as f64)
+            .collect();
+        if executed.is_empty() {
             return 0.0;
         }
-        self.batch_metrics
-            .iter()
-            .map(|m| m.total_elapsed_us as f64)
-            .sum::<f64>()
-            / self.batch_metrics.len() as f64
+        executed.iter().sum::<f64>() / executed.len() as f64
     }
 
     pub fn total_rows(&self) -> usize {
@@ -248,6 +279,105 @@ mod tests {
         assert_eq!(b.batches()[1].num_rows(), 1);
         assert_eq!(b.batches()[2].num_rows(), 0);
         assert_eq!(b.batches()[3].num_rows(), 1);
+    }
+
+    #[test]
+    fn tumbling_matches_mask_reference_and_stays_cheap_on_sparse_ranges() {
+        // Two rows 100 000 windows apart: the old mask construction would
+        // allocate 100 001 × 2 booleans; the index-list pass is O(n + rows).
+        let schema = Schema::new(vec![
+            Field::new("ts", DataType::Timestamp),
+            Field::new("v", DataType::Int),
+        ])
+        .unwrap();
+        let t = Table::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::Timestamp(0), Value::Int(1)],
+                vec![Value::Timestamp(100_000_000), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        let b = MicroBatcher::tumbling(&t, "ts", 1000).unwrap();
+        assert_eq!(b.num_batches(), 100_001);
+        assert_eq!(b.batches()[0].num_rows(), 1);
+        assert_eq!(b.batches()[100_000].num_rows(), 1);
+        assert!(b.batches()[1..100_000].iter().all(|w| w.num_rows() == 0));
+
+        // Dense case: row-for-row identical to the boolean-mask reference.
+        let t = Table::from_rows(
+            schema,
+            vec![
+                vec![Value::Timestamp(-2500), Value::Int(0)],
+                vec![Value::Timestamp(10), Value::Int(1)],
+                vec![Value::Timestamp(999), Value::Int(2)],
+                vec![Value::Timestamp(15), Value::Int(3)],
+                vec![Value::Timestamp(2001), Value::Int(4)],
+            ],
+        )
+        .unwrap();
+        let b = MicroBatcher::tumbling(&t, "ts", 1000).unwrap();
+        let lo = -3i64; // floor(-2500 / 1000)
+        for (w, batch) in b.batches().iter().enumerate() {
+            let mask: Vec<bool> = (0..t.num_rows())
+                .map(|i| {
+                    let ts = match t.value(i, "ts").unwrap() {
+                        Value::Timestamp(x) => x,
+                        other => panic!("unexpected {other:?}"),
+                    };
+                    ts.div_euclid(1000) - lo == w as i64
+                })
+                .collect();
+            assert_eq!(batch, &t.filter(&mask).unwrap(), "window {w}");
+        }
+    }
+
+    #[test]
+    fn mean_batch_latency_excludes_silent_windows() {
+        use crate::trace::{TraceEvent, TraceEventKind};
+        let executed = RunMetrics {
+            total_elapsed_us: 900,
+            ..RunMetrics::default()
+        };
+        let live_trace = RunTrace {
+            events: vec![TraceEvent {
+                seq: 0,
+                at_us: 0,
+                kind: TraceEventKind::RunStarted,
+            }],
+        };
+        let run = StreamRun {
+            state: StreamState::new(),
+            batch_metrics: vec![
+                executed.clone(),
+                RunMetrics::default(),
+                RunMetrics::default(),
+            ],
+            batch_traces: vec![live_trace, RunTrace::default(), RunTrace::default()],
+            batch_rows: vec![5, 0, 0],
+        };
+        // Two silent ticks must not dilute the one executed batch's 900 µs.
+        assert_eq!(run.mean_batch_latency_us(), 900.0);
+        let empty = StreamRun {
+            state: StreamState::new(),
+            batch_metrics: vec![RunMetrics::default()],
+            batch_traces: vec![RunTrace::default()],
+            batch_rows: vec![0],
+        };
+        assert_eq!(empty.mean_batch_latency_us(), 0.0);
+    }
+
+    #[test]
+    fn delta_application_matches_absorb() {
+        let mut a = StreamState::new();
+        a.add_count("x", 2);
+        a.add_count("x", 3);
+        a.add_sum("x", 1.5);
+        assert_eq!(a.count("x"), 5);
+        assert_eq!(a.sum("x"), 1.5);
+        let counts = a.counts_sorted();
+        assert_eq!(counts.get("x"), Some(&5));
+        assert!(a.sums_sorted().contains_key("x"));
     }
 
     #[test]

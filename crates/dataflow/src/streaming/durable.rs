@@ -1,0 +1,467 @@
+//! The durable ack log: end-to-end acknowledgement over the store's WAL.
+//!
+//! A batch is *acked* only once its [`StateDelta`] and offset are appended
+//! to a [`DurableLog`] and fsynced. Recovery replays snapshot-then-records
+//! through the **same** `StateDelta::apply_to` path live execution uses, so
+//! a killed process resumes with byte-identical state: identical per-key
+//! totals applied in identical order, with floats surviving the JSON round
+//! trip exactly (the vendored serde_json round-trips f64).
+//!
+//! The log is guarded by a manifest fingerprint (stream config + pipeline
+//! identity): resuming under a changed configuration would silently merge
+//! incompatible state, so it is refused as a stale checkpoint instead.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+use toreador_data::table::Table;
+use toreador_store::log::{DurableLog, LogConfig};
+
+use crate::error::{FlowError, Result};
+use crate::stream::StreamState;
+
+/// Where and how the ack log persists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableSpec {
+    /// Directory holding the WAL segments and snapshots (one stream per
+    /// directory; the store's DirLock enforces single ownership).
+    pub dir: PathBuf,
+    /// Resume from existing state instead of requiring a fresh directory.
+    pub resume: bool,
+    /// Cut a state snapshot every this many acks (compacts the WAL).
+    pub snapshot_every: u64,
+}
+
+impl DurableSpec {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableSpec {
+            dir: dir.into(),
+            resume: false,
+            snapshot_every: 64,
+        }
+    }
+
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every.max(1);
+        self
+    }
+}
+
+/// One batch's additive contribution to the carried [`StreamState`],
+/// key-sorted so serialisation (and therefore replay) is deterministic.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StateDelta {
+    pub counts: BTreeMap<String, i64>,
+    pub sums: BTreeMap<String, f64>,
+}
+
+impl StateDelta {
+    /// Aggregate a batch result into a delta: `key_col` identifies the
+    /// group, `count_col`/`sum_col` accumulate additively when present —
+    /// the delta-shaped mirror of [`StreamState::absorb`].
+    pub fn from_batch(
+        batch_result: &Table,
+        key_col: &str,
+        count_col: Option<&str>,
+        sum_col: Option<&str>,
+    ) -> Result<Self> {
+        let mut delta = StateDelta::default();
+        for row_idx in 0..batch_result.num_rows() {
+            let key = batch_result.value(row_idx, key_col)?.to_string();
+            if let Some(cc) = count_col {
+                let v = batch_result.value(row_idx, cc)?;
+                if !v.is_null() {
+                    *delta.counts.entry(key.clone()).or_insert(0) +=
+                        v.as_int().map_err(FlowError::Data)?;
+                }
+            }
+            if let Some(sc) = sum_col {
+                let v = batch_result.value(row_idx, sc)?;
+                if !v.is_null() {
+                    *delta.sums.entry(key.clone()).or_insert(0.0) +=
+                        v.as_float().map_err(FlowError::Data)?;
+                }
+            }
+        }
+        Ok(delta)
+    }
+
+    /// Fold this delta into `state` in key order. Live execution and WAL
+    /// replay both come through here — the shared path is the byte-identity
+    /// argument, not a convenience.
+    pub fn apply_to(&self, state: &mut StreamState) {
+        for (k, v) in &self.counts {
+            state.add_count(k, *v);
+        }
+        for (k, v) in &self.sums {
+            state.add_sum(k, *v);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty() && self.sums.is_empty()
+    }
+}
+
+/// One WAL entry: the acknowledgement of a single batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AckRecord {
+    /// The batch's stream offset (dense; recovery verifies contiguity).
+    pub offset: u64,
+    /// Input rows the batch carried.
+    pub rows: u64,
+    /// Watermark after the batch was observed.
+    pub watermark_ms: Option<i64>,
+    pub late_absorbed: u64,
+    pub late_side_channelled: u64,
+    pub late_dropped: u64,
+    pub delta: StateDelta,
+}
+
+/// On-disk record envelope. The manifest is always the log's first entry;
+/// a fingerprint mismatch on resume is refused as stale.
+#[derive(Debug, Serialize, Deserialize)]
+enum LogRecord {
+    Manifest { fingerprint: String },
+    Ack(AckRecord),
+}
+
+/// Snapshot payload: the full canonical state plus resume coordinates.
+#[derive(Debug, Serialize, Deserialize)]
+struct StreamSnapshot {
+    fingerprint: String,
+    next_offset: u64,
+    watermark_ms: Option<i64>,
+    counts: BTreeMap<String, i64>,
+    sums: BTreeMap<String, f64>,
+    totals: RunningTotals,
+}
+
+/// Counters that must survive a kill so accounting stays exact across
+/// resumes (the late-data acceptance proof reads these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningTotals {
+    pub batches_acked: u64,
+    pub rows_acked: u64,
+    pub late_absorbed: u64,
+    pub late_side_channelled: u64,
+    pub late_dropped: u64,
+}
+
+impl RunningTotals {
+    fn apply(&mut self, rec: &AckRecord) {
+        self.batches_acked += 1;
+        self.rows_acked += rec.rows;
+        self.late_absorbed += rec.late_absorbed;
+        self.late_side_channelled += rec.late_side_channelled;
+        self.late_dropped += rec.late_dropped;
+    }
+}
+
+/// What opening the ack log recovered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamRecovery {
+    /// The first offset the loop should execute (last acked + 1; 0 fresh).
+    pub next_offset: u64,
+    /// Watermark as of the last ack.
+    pub watermark_ms: Option<i64>,
+    /// The recovered carried state.
+    pub state: StreamState,
+    /// Accounting carried over from before the kill.
+    pub totals: RunningTotals,
+    /// True when any durable state existed (the run is a resume).
+    pub resumed: bool,
+}
+
+fn stream_err(context: &str, e: impl std::fmt::Display) -> FlowError {
+    FlowError::Stream(format!("{context}: {e}"))
+}
+
+/// The ack WAL: append-fsync per batch, periodic snapshot compaction.
+pub struct AckLog {
+    log: DurableLog,
+    dir: PathBuf,
+    fingerprint: String,
+    snapshot_every: u64,
+    acks_since_snapshot: u64,
+    totals: RunningTotals,
+    next_offset: u64,
+}
+
+impl AckLog {
+    /// Open the log, recovering any durable state. A non-empty directory
+    /// with `resume == false` is refused (accidentally merging two streams'
+    /// state would be silent corruption); a fingerprint mismatch on resume
+    /// is refused as a stale checkpoint.
+    pub fn open(spec: &DurableSpec, fingerprint: &str) -> Result<(AckLog, StreamRecovery)> {
+        let (mut log, recovered) = DurableLog::open(&spec.dir, LogConfig::default())
+            .map_err(|e| stream_err("opening ack log", e))?;
+        let dir_name = spec.dir.display().to_string();
+        let had_state = recovered.snapshot.is_some() || !recovered.records.is_empty();
+        if had_state && !spec.resume {
+            return Err(FlowError::Stream(format!(
+                "ack log {dir_name:?} already holds a stream; pass resume to continue it"
+            )));
+        }
+
+        let mut recovery = StreamRecovery::default();
+        if let Some(snap_bytes) = &recovered.snapshot {
+            let snap: StreamSnapshot = std::str::from_utf8(snap_bytes)
+                .map_err(|e| stream_err("decoding stream snapshot", e))
+                .and_then(|s| {
+                    serde_json::from_str(s).map_err(|e| stream_err("decoding stream snapshot", e))
+                })?;
+            if snap.fingerprint != fingerprint {
+                return Err(FlowError::StaleCheckpoint {
+                    run_id: dir_name,
+                    mismatch: "stream config".to_owned(),
+                });
+            }
+            for (k, v) in &snap.counts {
+                recovery.state.add_count(k, *v);
+            }
+            for (k, v) in &snap.sums {
+                recovery.state.add_sum(k, *v);
+            }
+            recovery.next_offset = snap.next_offset;
+            recovery.watermark_ms = snap.watermark_ms;
+            recovery.totals = snap.totals;
+        }
+        for (lsn, payload) in &recovered.records {
+            let record: LogRecord = std::str::from_utf8(payload)
+                .map_err(|e| stream_err(&format!("decoding ack record lsn {lsn}"), e))
+                .and_then(|s| {
+                    serde_json::from_str(s)
+                        .map_err(|e| stream_err(&format!("decoding ack record lsn {lsn}"), e))
+                })?;
+            match record {
+                LogRecord::Manifest { fingerprint: f } => {
+                    if f != fingerprint {
+                        return Err(FlowError::StaleCheckpoint {
+                            run_id: dir_name,
+                            mismatch: "stream config".to_owned(),
+                        });
+                    }
+                }
+                LogRecord::Ack(rec) => {
+                    if rec.offset != recovery.next_offset {
+                        return Err(FlowError::Stream(format!(
+                            "ack log {dir_name:?} is not contiguous: expected offset {}, \
+                             found {} at lsn {lsn}",
+                            recovery.next_offset, rec.offset
+                        )));
+                    }
+                    rec.delta.apply_to(&mut recovery.state);
+                    recovery.watermark_ms = rec.watermark_ms;
+                    recovery.totals.apply(&rec);
+                    recovery.next_offset = rec.offset + 1;
+                }
+            }
+        }
+        recovery.resumed = had_state;
+
+        if !had_state {
+            let manifest = serde_json::to_string(&LogRecord::Manifest {
+                fingerprint: fingerprint.to_owned(),
+            })
+            .map_err(|e| stream_err("encoding manifest", e))?;
+            log.append(manifest.as_bytes())
+                .and_then(|_| log.sync())
+                .map_err(|e| stream_err("writing manifest", e))?;
+        }
+
+        let ack_log = AckLog {
+            log,
+            dir: spec.dir.clone(),
+            fingerprint: fingerprint.to_owned(),
+            snapshot_every: spec.snapshot_every.max(1),
+            acks_since_snapshot: 0,
+            totals: recovery.totals,
+            next_offset: recovery.next_offset,
+        };
+        Ok((ack_log, recovery))
+    }
+
+    /// Durably acknowledge one batch: append + fsync its record, then cut a
+    /// snapshot of `state` (which must already include the record's delta)
+    /// every `snapshot_every` acks. Only after this returns may the caller
+    /// journal `BatchAcked` or fire a kill point.
+    pub fn ack(&mut self, rec: &AckRecord, state: &StreamState) -> Result<()> {
+        debug_assert_eq!(rec.offset, self.next_offset, "acks must stay dense");
+        let payload = serde_json::to_string(&LogRecord::Ack(rec.clone()))
+            .map_err(|e| stream_err("encoding ack record", e))?;
+        self.log
+            .append(payload.as_bytes())
+            .and_then(|_| self.log.sync())
+            .map_err(|e| stream_err("appending ack record", e))?;
+        self.totals.apply(rec);
+        self.next_offset = rec.offset + 1;
+        self.acks_since_snapshot += 1;
+        if self.acks_since_snapshot >= self.snapshot_every {
+            let snap = StreamSnapshot {
+                fingerprint: self.fingerprint.clone(),
+                next_offset: self.next_offset,
+                watermark_ms: rec.watermark_ms,
+                counts: state.counts_sorted(),
+                sums: state.sums_sorted(),
+                totals: self.totals,
+            };
+            let bytes = serde_json::to_string(&snap)
+                .map_err(|e| stream_err("encoding stream snapshot", e))?;
+            self.log
+                .snapshot(bytes.as_bytes())
+                .map_err(|e| stream_err("writing stream snapshot", e))?;
+            self.acks_since_snapshot = 0;
+        }
+        Ok(())
+    }
+
+    /// The directory this log owns.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toreador_data::schema::{Field, Schema};
+    use toreador_data::value::{DataType, Value};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "toreador-acklog-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn delta(key: &str, n: i64, s: f64) -> StateDelta {
+        let mut d = StateDelta::default();
+        d.counts.insert(key.to_owned(), n);
+        d.sums.insert(key.to_owned(), s);
+        d
+    }
+
+    fn rec(offset: u64, d: StateDelta) -> AckRecord {
+        AckRecord {
+            offset,
+            rows: 10,
+            watermark_ms: Some(offset as i64 * 100),
+            late_absorbed: 0,
+            late_side_channelled: 0,
+            late_dropped: offset, // distinguishable accounting per record
+            delta: d,
+        }
+    }
+
+    #[test]
+    fn acks_replay_to_identical_state() {
+        let dir = tmp_dir("replay");
+        let mut live = StreamState::new();
+        {
+            let (mut log, recovery) = AckLog::open(&DurableSpec::new(&dir), "fp-1").unwrap();
+            assert!(!recovery.resumed);
+            for k in 0..5u64 {
+                let r = rec(k, delta("a", 1, 0.25));
+                r.delta.apply_to(&mut live);
+                log.ack(&r, &live).unwrap();
+            }
+        }
+        let spec = DurableSpec::new(&dir).with_resume(true);
+        let (_log, recovery) = AckLog::open(&spec, "fp-1").unwrap();
+        assert!(recovery.resumed);
+        assert_eq!(recovery.next_offset, 5);
+        assert_eq!(recovery.watermark_ms, Some(400));
+        assert_eq!(recovery.state, live);
+        assert_eq!(recovery.totals.batches_acked, 5);
+        assert_eq!(recovery.totals.rows_acked, 50);
+        assert_eq!(recovery.totals.late_dropped, 10, "sum of per-record counts");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshots_compact_and_recover_through_the_same_path() {
+        let dir = tmp_dir("snap");
+        let mut live = StreamState::new();
+        {
+            let spec = DurableSpec::new(&dir).with_snapshot_every(3);
+            let (mut log, _) = AckLog::open(&spec, "fp-1").unwrap();
+            for k in 0..8u64 {
+                let r = rec(k, delta(&format!("k{}", k % 2), 2, 0.5));
+                r.delta.apply_to(&mut live);
+                log.ack(&r, &live).unwrap();
+            }
+        }
+        let spec = DurableSpec::new(&dir).with_resume(true);
+        let (_log, recovery) = AckLog::open(&spec, "fp-1").unwrap();
+        assert_eq!(recovery.next_offset, 8);
+        assert_eq!(
+            recovery.state, live,
+            "snapshot + tail replay must match live"
+        );
+        assert_eq!(recovery.totals.batches_acked, 8);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_open_refuses_existing_stream_and_stale_fingerprints() {
+        let dir = tmp_dir("guard");
+        {
+            let (mut log, _) = AckLog::open(&DurableSpec::new(&dir), "fp-1").unwrap();
+            let mut live = StreamState::new();
+            let r = rec(0, delta("a", 1, 1.0));
+            r.delta.apply_to(&mut live);
+            log.ack(&r, &live).unwrap();
+        }
+        // Same dir, no resume: refused.
+        let err = AckLog::open(&DurableSpec::new(&dir), "fp-1")
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, FlowError::Stream(_)), "got {err:?}");
+        // Resume under a different config: stale.
+        let spec = DurableSpec::new(&dir).with_resume(true);
+        let err = AckLog::open(&spec, "fp-2").map(|_| ()).unwrap_err();
+        assert!(
+            matches!(err, FlowError::StaleCheckpoint { ref mismatch, .. } if mismatch == "stream config"),
+            "got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_from_batch_mirrors_absorb() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("n", DataType::Int),
+            Field::new("s", DataType::Float),
+        ])
+        .unwrap();
+        let t = Table::from_rows(
+            schema,
+            vec![
+                vec!["a".into(), Value::Int(2), Value::Float(1.5)],
+                vec!["b".into(), Value::Int(1), Value::Float(9.0)],
+                vec!["a".into(), Value::Int(3), Value::Float(0.5)],
+            ],
+        )
+        .unwrap();
+        let d = StateDelta::from_batch(&t, "k", Some("n"), Some("s")).unwrap();
+        let mut via_delta = StreamState::new();
+        d.apply_to(&mut via_delta);
+        let mut via_absorb = StreamState::new();
+        via_absorb.absorb(&t, "k", Some("n"), Some("s")).unwrap();
+        assert_eq!(via_delta.count("a"), via_absorb.count("a"));
+        assert_eq!(via_delta.sum("b"), via_absorb.sum("b"));
+        assert!(!d.is_empty());
+        assert!(StateDelta::default().is_empty());
+    }
+}

@@ -202,6 +202,44 @@ pub enum TraceEventKind {
         slowest_worker_us: u64,
         mean_worker_us: f64,
     },
+    /// A source batch entered the bounded in-flight buffer. `depth` is the
+    /// buffer occupancy *after* the push — the backpressure proof reads
+    /// these and asserts `depth <= cap` at every event. Journal-only —
+    /// derived [`RunMetrics`] ignore it, so continuous and oracle stream
+    /// runs stay metrics-compatible.
+    BatchIngested { offset: u64, rows: u64, depth: u64 },
+    /// The source blocked because the in-flight buffer was full: the engine
+    /// fell behind and backpressure throttled ingestion for `waited_us`.
+    /// Journal-only.
+    BackpressureStall { offset: u64, waited_us: u64 },
+    /// The event-time watermark moved forward after observing a batch.
+    /// Journal-only.
+    WatermarkAdvanced { offset: u64, watermark_ms: i64 },
+    /// Rows older than the watermark were folded into state anyway
+    /// (`LatePolicy::Absorb`). Journal-only.
+    LateDataAbsorbed { offset: u64, rows: u64 },
+    /// Rows older than the watermark were diverted to the side channel
+    /// (`LatePolicy::SideChannel`). Journal-only.
+    LateDataSideChannelled { offset: u64, rows: u64 },
+    /// Rows older than the watermark were discarded (`LatePolicy::Drop`).
+    /// Journal-only.
+    LateDataDropped { offset: u64, rows: u64 },
+    /// End-to-end acknowledgement: the batch's state delta and offset are
+    /// durable (WAL-committed and fsynced) — a crash after this event
+    /// resumes *past* this batch. `latency_us` spans dequeue to ack.
+    /// Journal-only.
+    BatchAcked {
+        offset: u64,
+        rows: u64,
+        latency_us: u64,
+    },
+    /// A continuous stream run recovered its state from the ack log and
+    /// will begin at `next_offset`; acked batches are not re-executed.
+    /// Journal-only.
+    StreamResumed {
+        next_offset: u64,
+        watermark_ms: Option<i64>,
+    },
     /// The run finalised into a [`RunMetrics`].
     RunFinished {
         total_elapsed_us: u64,
@@ -343,6 +381,10 @@ pub struct TraceSummary {
     /// Whole-run morsel-pipeline activity (zero under the barrier path).
     #[serde(default)]
     pub pipelines: PipelineTotals,
+    /// Whole-run continuous-streaming activity (zero for batch runs and
+    /// the pre-materialised oracle path).
+    #[serde(default)]
+    pub stream: StreamTotals,
 }
 
 /// Aggregate resilience cost of a run, counted from the journal. What
@@ -421,6 +463,65 @@ impl PipelineTotals {
             morsels: self.morsels + other.morsels,
             stolen: self.stolen + other.stolen,
             worker_skew: self.worker_skew.max(other.worker_skew),
+        }
+    }
+}
+
+/// Aggregate continuous-streaming activity of a run, counted from the
+/// journal. What `labs::compare` diffs between streaming runs and what the
+/// backpressure / late-data acceptance proofs read.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StreamTotals {
+    /// Batches whose state delta and offset reached the WAL (end-to-end
+    /// acknowledged).
+    pub batches_acked: u64,
+    /// Input rows across all acked batches.
+    pub rows_acked: u64,
+    /// Times the producer blocked on a full in-flight buffer.
+    pub stalls: u64,
+    /// Total time the producer spent blocked, µs.
+    pub stall_us: u64,
+    /// Deepest journalled in-flight buffer occupancy. The backpressure
+    /// bound: never exceeds the configured cap.
+    pub max_in_flight: u64,
+    /// Watermark advances observed.
+    pub watermark_advances: u64,
+    /// Final event-time watermark, ms (None when no batch carried rows).
+    pub final_watermark_ms: Option<i64>,
+    /// Late rows folded into state under `LatePolicy::Absorb`.
+    pub late_absorbed: u64,
+    /// Late rows diverted under `LatePolicy::SideChannel`.
+    pub late_side_channelled: u64,
+    /// Late rows discarded under `LatePolicy::Drop`.
+    pub late_dropped: u64,
+    /// Resume points seen (offset the run restarted from, when it did).
+    pub resumes: u64,
+}
+
+impl StreamTotals {
+    /// True when the run never entered the continuous streaming loop.
+    pub fn is_zero(&self) -> bool {
+        *self == StreamTotals::default()
+    }
+
+    /// Count-wise sum, keeping the deepest buffer and latest watermark
+    /// (for aggregating across a campaign's engine runs).
+    pub fn merge(&self, other: &StreamTotals) -> StreamTotals {
+        StreamTotals {
+            batches_acked: self.batches_acked + other.batches_acked,
+            rows_acked: self.rows_acked + other.rows_acked,
+            stalls: self.stalls + other.stalls,
+            stall_us: self.stall_us + other.stall_us,
+            max_in_flight: self.max_in_flight.max(other.max_in_flight),
+            watermark_advances: self.watermark_advances + other.watermark_advances,
+            final_watermark_ms: match (self.final_watermark_ms, other.final_watermark_ms) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
+            late_absorbed: self.late_absorbed + other.late_absorbed,
+            late_side_channelled: self.late_side_channelled + other.late_side_channelled,
+            late_dropped: self.late_dropped + other.late_dropped,
+            resumes: self.resumes + other.resumes,
         }
     }
 }
@@ -587,6 +688,7 @@ impl RunTrace {
         let mut shuffle_waves = 0u64;
         let mut cancellations = 0u64;
         let mut pipelines = PipelineTotals::default();
+        let mut stream = StreamTotals::default();
         for e in &self.events {
             match &e.kind {
                 TraceEventKind::TaskStarted { stage, .. } => {
@@ -670,6 +772,31 @@ impl RunTrace {
                     };
                     pipelines.worker_skew = pipelines.worker_skew.max(skew);
                 }
+                TraceEventKind::BatchIngested { depth, .. } => {
+                    stream.max_in_flight = stream.max_in_flight.max(*depth);
+                }
+                TraceEventKind::BackpressureStall { waited_us, .. } => {
+                    stream.stalls += 1;
+                    stream.stall_us += waited_us;
+                }
+                TraceEventKind::WatermarkAdvanced { watermark_ms, .. } => {
+                    stream.watermark_advances += 1;
+                    stream.final_watermark_ms = Some(
+                        stream
+                            .final_watermark_ms
+                            .map_or(*watermark_ms, |w| w.max(*watermark_ms)),
+                    );
+                }
+                TraceEventKind::LateDataAbsorbed { rows, .. } => stream.late_absorbed += rows,
+                TraceEventKind::LateDataSideChannelled { rows, .. } => {
+                    stream.late_side_channelled += rows;
+                }
+                TraceEventKind::LateDataDropped { rows, .. } => stream.late_dropped += rows,
+                TraceEventKind::BatchAcked { rows, .. } => {
+                    stream.batches_acked += 1;
+                    stream.rows_acked += rows;
+                }
+                TraceEventKind::StreamResumed { .. } => stream.resumes += 1,
                 _ => {}
             }
         }
@@ -709,6 +836,7 @@ impl RunTrace {
                 cancellations,
             },
             pipelines,
+            stream,
             stages,
         }
     }
@@ -723,6 +851,13 @@ impl RunTrace {
     /// panics, speculation, cancellations), counted from the journal.
     pub fn resilience_totals(&self) -> ResilienceTotals {
         self.summarize().resilience
+    }
+
+    /// The run's aggregate continuous-streaming activity (acked batches,
+    /// backpressure stalls, watermark motion, late-data accounting),
+    /// counted from the journal.
+    pub fn stream_totals(&self) -> StreamTotals {
+        self.summarize().stream
     }
 
     /// Summary plus the raw events, for JSON export.
@@ -803,6 +938,24 @@ impl TraceSummary {
             out.push_str(&format!(
                 "pipelines: {} pipeline wave(s), {} morsel(s), {} stolen, worker skew {:.2}\n",
                 p.pipelines, p.morsels, p.stolen, p.worker_skew,
+            ));
+        }
+        let st = &self.stream;
+        if !st.is_zero() {
+            out.push_str(&format!(
+                "stream: {} batch(es) acked ({} rows), {} stall(s) ({} us), max in-flight {}, \
+                 watermark {} (advanced {}x), late {} absorbed / {} side-channelled / {} dropped\n",
+                st.batches_acked,
+                st.rows_acked,
+                st.stalls,
+                st.stall_us,
+                st.max_in_flight,
+                st.final_watermark_ms
+                    .map_or_else(|| "-".to_owned(), |w| format!("{w} ms")),
+                st.watermark_advances,
+                st.late_absorbed,
+                st.late_side_channelled,
+                st.late_dropped,
             ));
         }
         out

@@ -7,7 +7,9 @@
 
 use toreador_catalog::descriptor::Capability;
 use toreador_catalog::matching::Preferences;
-use toreador_core::declarative::{CampaignSpec, Goal, Indicator, ProcessingMode, Target};
+use toreador_core::declarative::{
+    CampaignSpec, Goal, Indicator, LateDataPolicy, ProcessingMode, StreamOptions, Target,
+};
 
 use crate::challenge::{Challenge, ChoiceOption, ChoicePoint, SpecEdit};
 use crate::error::{LabsError, Result};
@@ -21,6 +23,8 @@ pub fn challenges() -> Vec<Challenge> {
         energy_anomaly(),
         health_compliance(),
         health_insight(),
+        fraud_exposure(),
+        fraud_spikes(),
     ]
 }
 
@@ -458,6 +462,149 @@ fn health_insight() -> Challenge {
     }
 }
 
+fn fraud_exposure() -> Challenge {
+    let base = CampaignSpec::new("fraud-exposure", "transactions")
+        .goal(Goal::new(Capability::Filtering).param("predicate", "amount > 400"))
+        .goal(
+            Goal::new(Capability::Aggregation)
+                .param("group_by", "channel")
+                .param("agg", "sum:amount:exposure,count:txn_id:txns"),
+        )
+        .goal(
+            Goal::new(Capability::Reporting)
+                .pin("viz.report.table")
+                .param("limit", "10"),
+        )
+        .objective(Indicator::RuntimeMs, Target::AtMost(120_000.0))
+        .objective(Indicator::Coverage, Target::AtLeast(0.99))
+        .with_seed(47);
+    Challenge {
+        id: "fraud-exposure",
+        scenario_id: "fraud-stream",
+        title: "How exposed are we, right now?",
+        brief: "Risk wants a running total of high-value transaction exposure \
+                per channel. Transactions stream in arrival order, but some \
+                carry event times a minute behind; processing them as one \
+                batch hides that, processing them continuously forces a \
+                choice about what to do with the stragglers.",
+        base,
+        choice_points: vec![
+            ChoicePoint {
+                id: "regime",
+                prompt: "One batch over the log, or 2-second micro-batches?",
+                options: vec![
+                    ChoiceOption {
+                        id: "batch",
+                        label: "One batch run",
+                        edits: vec![SpecEdit::SetMode(ProcessingMode::Batch)],
+                    },
+                    ChoiceOption {
+                        id: "stream",
+                        label: "Continuous 2s windows",
+                        edits: vec![SpecEdit::SetMode(ProcessingMode::Stream {
+                            window_ms: 2_000,
+                        })],
+                    },
+                ],
+            },
+            ChoicePoint {
+                id: "late",
+                prompt: "A slice of events arrives behind the watermark. Keep or drop them?",
+                options: vec![
+                    ChoiceOption {
+                        id: "absorb",
+                        label: "Fold late events in (complete, revisable totals)",
+                        edits: vec![SpecEdit::SetStreamOptions(StreamOptions {
+                            allowed_lateness_ms: 500,
+                            late_policy: LateDataPolicy::Absorb,
+                            buffer: 4,
+                        })],
+                    },
+                    ChoiceOption {
+                        id: "drop",
+                        label: "Drop late events (stable totals, undercounted)",
+                        edits: vec![SpecEdit::SetStreamOptions(StreamOptions {
+                            allowed_lateness_ms: 500,
+                            late_policy: LateDataPolicy::Drop,
+                            buffer: 4,
+                        })],
+                    },
+                ],
+            },
+        ],
+        reference_choices: vec!["stream", "absorb"],
+    }
+}
+
+fn fraud_spikes() -> Challenge {
+    let base = CampaignSpec::new("fraud-spikes", "transactions")
+        .goal(
+            Goal::new(Capability::AnomalyDetection)
+                .param("column", "amount")
+                .param("threshold", "4.0")
+                .param("window", "64"),
+        )
+        .goal(Goal::new(Capability::Reporting).pin("viz.report.summary"))
+        .objective(Indicator::RuntimeMs, Target::AtMost(120_000.0))
+        .with_seed(53);
+    Challenge {
+        id: "fraud-spikes",
+        scenario_id: "fraud-stream",
+        title: "Flag the twelve-times transactions",
+        brief: "Fraudulent card transactions run an order of magnitude above \
+                an account's normal spend, but normal spend itself varies by \
+                merchant and hour. A detector keyed to the global average \
+                will miss fraud hidden under big-ticket merchants — or page \
+                the on-call for every holiday booking.",
+        base,
+        choice_points: vec![
+            ChoicePoint {
+                id: "detector",
+                prompt: "Compare against the global average, or the recent window?",
+                options: vec![
+                    ChoiceOption {
+                        id: "global",
+                        label: "Global z-score (cheap)",
+                        edits: vec![SpecEdit::PinService {
+                            goal: 0,
+                            service: "analytics.anomaly.zscore".into(),
+                        }],
+                    },
+                    ChoiceOption {
+                        id: "rolling",
+                        label: "Rolling window (spend-pattern-aware)",
+                        edits: vec![SpecEdit::PinService {
+                            goal: 0,
+                            service: "analytics.anomaly.rolling".into(),
+                        }],
+                    },
+                ],
+            },
+            ChoicePoint {
+                id: "sensitivity",
+                prompt: "How sensitive should the alarm be?",
+                options: vec![
+                    ChoiceOption {
+                        id: "balanced",
+                        label: "4 standard deviations",
+                        edits: vec![],
+                    },
+                    ChoiceOption {
+                        id: "paranoid",
+                        label: "2.5 standard deviations (more alerts)",
+                        edits: vec![SpecEdit::SetParam {
+                            goal: 0,
+                            key: "threshold".into(),
+                            value: "2.5".into(),
+                        }],
+                    },
+                ],
+            },
+        ],
+        reference_choices: vec!["rolling", "balanced"],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,7 +614,7 @@ mod tests {
     #[test]
     fn library_covers_all_verticals_with_two_each() {
         let all = challenges();
-        assert_eq!(all.len(), 6);
+        assert_eq!(all.len(), 8);
         for s in crate::scenario::scenarios() {
             let n = all.iter().filter(|c| c.scenario_id == s.id).count();
             assert_eq!(n, 2, "scenario {} has {n} challenges", s.id);
@@ -557,6 +704,39 @@ mod tests {
         );
         assert!(anon.post_verdict.as_ref().unwrap().compliant);
         assert!(dp.post_verdict.as_ref().unwrap().compliant);
+    }
+
+    #[test]
+    fn fraud_stream_run_accounts_for_late_data() {
+        let bdaas = Bdaas::new();
+        let c = challenge("fraud-exposure").unwrap();
+        let scen = scenario(c.scenario_id).unwrap();
+        let data = scen.generate(3_000, 9);
+        let aux = scen.auxiliary();
+        let run = |vector: Vec<String>| {
+            let spec = c.instantiate(&vector).unwrap();
+            let compiled = bdaas.compile(&spec, data.schema(), 3_000).unwrap();
+            bdaas.run(&compiled, data.clone(), &aux).unwrap()
+        };
+        let absorb = run(vec!["stream".into(), "absorb".into()]);
+        let dropped = run(vec!["stream".into(), "drop".into()]);
+        let totals = |outcome: &toreador_core::compile::CampaignOutcome| {
+            outcome.engine_traces.iter().fold(
+                toreador_dataflow::trace::StreamTotals::default(),
+                |acc, t| acc.merge(&t.stream_totals()),
+            )
+        };
+        let ta = totals(&absorb);
+        let td = totals(&dropped);
+        assert!(ta.batches_acked > 0, "continuous loop journalled acks");
+        // The generator plants ~5% of rows a minute behind their arrival
+        // slot; with 500 ms allowed lateness every one of them is late.
+        assert!(ta.late_absorbed > 0, "absorb counts late rows: {ta:?}");
+        assert_eq!(ta.late_dropped, 0);
+        assert!(td.late_dropped > 0, "drop counts late rows: {td:?}");
+        assert_eq!(td.late_absorbed, 0);
+        // Same stream, same watermark policy: identical late populations.
+        assert_eq!(ta.late_absorbed, td.late_dropped);
     }
 
     #[test]

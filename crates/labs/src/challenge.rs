@@ -9,7 +9,7 @@
 //! runnable [`CampaignSpec`].
 
 use toreador_catalog::matching::Preferences;
-use toreador_core::declarative::{CampaignSpec, ProcessingMode};
+use toreador_core::declarative::{CampaignSpec, ProcessingMode, StreamOptions};
 
 use crate::error::{LabsError, Result};
 
@@ -30,6 +30,8 @@ pub enum SpecEdit {
     SetPreference(Preferences),
     /// Switch processing mode.
     SetMode(ProcessingMode),
+    /// Set the continuous-streaming knobs (lateness, late policy, buffer).
+    SetStreamOptions(StreamOptions),
     /// Set worker parallelism.
     SetParallelism(usize),
     /// Set the task retry budget.
@@ -81,6 +83,7 @@ impl SpecEdit {
             }
             SpecEdit::SetPreference(p) => spec.preferences = *p,
             SpecEdit::SetMode(m) => spec.mode = *m,
+            SpecEdit::SetStreamOptions(o) => spec.stream = *o,
             SpecEdit::SetParallelism(n) => spec.parallelism = Some(*n),
             SpecEdit::SetRetries(n) => spec.max_task_retries = Some(*n),
             SpecEdit::PrependSample { fraction } => {

@@ -11,7 +11,7 @@
 use std::collections::BTreeSet;
 
 use toreador_core::declarative::Indicator;
-use toreador_dataflow::trace::{PipelineTotals, ResilienceTotals};
+use toreador_dataflow::trace::{PipelineTotals, ResilienceTotals, StreamTotals};
 
 use crate::error::{LabsError, Result};
 use crate::run::RunRecord;
@@ -49,6 +49,10 @@ pub struct RunComparison {
     /// skew), when both runs recorded traces. An engine-mode ablation
     /// between the barrier and pipelined schedulers diffs cleanly here.
     pub pipeline_change: Option<(PipelineTotals, PipelineTotals)>,
+    /// Continuous-streaming activity of each run (acked batches, stalls,
+    /// watermark motion, late-data accounting), when both runs recorded
+    /// traces. A late-policy or buffer-size ablation diffs cleanly here.
+    pub stream_change: Option<(StreamTotals, StreamTotals)>,
 }
 
 /// One indicator's movement between two runs.
@@ -186,6 +190,11 @@ impl RunComparison {
         } else {
             Some((a.pipeline_totals(), b.pipeline_totals()))
         };
+        let stream_change = if a.traces.is_empty() || b.traces.is_empty() {
+            None
+        } else {
+            Some((a.stream_totals(), b.stream_totals()))
+        };
 
         Ok(RunComparison {
             run_a: a.run_id,
@@ -201,6 +210,7 @@ impl RunComparison {
             skew_change,
             resilience_change,
             pipeline_change,
+            stream_change,
         })
     }
 
@@ -302,6 +312,22 @@ impl RunComparison {
                     "pipelines: morsels {} -> {}, stolen {} -> {}, \
                      worker skew {:.2} -> {:.2}\n",
                     a.morsels, b.morsels, a.stolen, b.stolen, a.worker_skew, b.worker_skew,
+                ));
+            }
+        }
+        if let Some((a, b)) = &self.stream_change {
+            if !a.is_zero() || !b.is_zero() {
+                out.push_str(&format!(
+                    "stream: acked {} -> {}, stalls {} -> {}, \
+                     late dropped {} -> {}, side-channelled {} -> {}\n",
+                    a.batches_acked,
+                    b.batches_acked,
+                    a.stalls,
+                    b.stalls,
+                    a.late_dropped,
+                    b.late_dropped,
+                    a.late_side_channelled,
+                    b.late_side_channelled,
                 ));
             }
         }
@@ -739,6 +765,64 @@ mod tests {
             .unwrap();
         assert!(calm.resilience_change.is_none());
         assert!(!calm.render().contains("resilience:"));
+    }
+
+    #[test]
+    fn late_policy_ablation_diffs_in_stream_totals() {
+        let mut a = record(1, "c", &["x"], &[]);
+        let mut b = record(2, "c", &["x"], &[]);
+        // a absorbed its late rows; b dropped them and stalled once.
+        let mut ta = trace_with(&[("Scan", 50)], &[(0, 10)]);
+        let mut tb = trace_with(&[("Scan", 50)], &[(0, 10)]);
+        let push = |t: &mut RunTrace, kind: TraceEventKind| {
+            let seq = t.events.len() as u64;
+            t.events.push(TraceEvent {
+                seq,
+                at_us: 100,
+                kind,
+            });
+        };
+        for t in [&mut ta, &mut tb] {
+            push(
+                t,
+                TraceEventKind::BatchAcked {
+                    offset: 0,
+                    rows: 64,
+                    latency_us: 500,
+                },
+            );
+        }
+        push(
+            &mut ta,
+            TraceEventKind::LateDataAbsorbed { offset: 0, rows: 9 },
+        );
+        push(
+            &mut tb,
+            TraceEventKind::LateDataDropped { offset: 0, rows: 9 },
+        );
+        push(
+            &mut tb,
+            TraceEventKind::BackpressureStall {
+                offset: 0,
+                waited_us: 2_000,
+            },
+        );
+        a.traces = vec![ta];
+        b.traces = vec![tb];
+        let d = RunComparison::diff(&a, &b).unwrap();
+        let (sa, sb) = d.stream_change.unwrap();
+        assert_eq!((sa.late_absorbed, sa.late_dropped), (9, 0));
+        assert_eq!((sb.late_absorbed, sb.late_dropped), (0, 9));
+        assert_eq!((sa.stalls, sb.stalls), (0, 1));
+        let rendered = d.render();
+        assert!(
+            rendered.contains("stream: acked 1 -> 1, stalls 0 -> 1, late dropped 0 -> 9"),
+            "got: {rendered}"
+        );
+        // Batch-only runs keep the report calm.
+        let d = RunComparison::diff(&record(3, "c", &["x"], &[]), &record(4, "c", &["x"], &[]))
+            .unwrap();
+        assert!(d.stream_change.is_none());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use toreador_core::compile::{Bdaas, CampaignOutcome, CompiledCampaign};
 use toreador_core::declarative::Indicator;
-use toreador_dataflow::trace::{PipelineTotals, ResilienceTotals, RunTrace};
+use toreador_dataflow::trace::{PipelineTotals, ResilienceTotals, RunTrace, StreamTotals};
 
 use crate::challenge::{Challenge, ChoiceVector};
 use crate::error::{LabsError, Result};
@@ -153,6 +153,15 @@ impl RunRecord {
             .fold(PipelineTotals::default(), |acc, t| {
                 acc.merge(&t.pipeline_totals())
             })
+    }
+
+    /// Aggregate continuous-streaming activity (acked batches, backpressure
+    /// stalls, watermark motion, late-data accounting) across every engine
+    /// run the campaign made. All-zero for batch campaigns.
+    pub fn stream_totals(&self) -> StreamTotals {
+        self.traces.iter().fold(StreamTotals::default(), |acc, t| {
+            acc.merge(&t.stream_totals())
+        })
     }
 }
 

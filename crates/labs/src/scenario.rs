@@ -19,6 +19,7 @@ pub enum Vertical {
     Ecommerce,
     Energy,
     Healthcare,
+    Fraud,
 }
 
 impl Vertical {
@@ -27,9 +28,17 @@ impl Vertical {
             Vertical::Ecommerce => "e-commerce",
             Vertical::Energy => "smart-energy",
             Vertical::Healthcare => "healthcare",
+            Vertical::Fraud => "fraud-detection",
         }
     }
 }
+
+/// Out-of-order rate planted in the fraud event stream.
+pub const FRAUD_LATE_RATE: f64 = 0.05;
+/// No late rows inside the first `FRAUD_GUARD_ROWS` rows, so a stream run
+/// whose first micro-batch fits in the guard sees every planted late row
+/// behind an established watermark.
+pub const FRAUD_GUARD_ROWS: usize = 256;
 
 /// A vertical scenario: framing + data.
 #[derive(Debug, Clone)]
@@ -58,6 +67,10 @@ impl Scenario {
                     .without_column("patient_id")
                     .expect("patient_id exists in generated records")
             }
+            Vertical::Fraud => {
+                toreador_data::generate::fraud_stream(rows, seed, FRAUD_LATE_RATE, FRAUD_GUARD_ROWS)
+                    .0
+            }
         }
     }
 
@@ -69,6 +82,7 @@ impl Scenario {
             Vertical::Healthcare => toreador_data::generate::health_schema()
                 .project(&["age", "zip", "sex", "diagnosis", "visits", "cost"])
                 .expect("pseudonymised projection"),
+            Vertical::Fraud => toreador_data::generate::fraud_schema(),
         }
     }
 
@@ -134,6 +148,18 @@ pub fn scenarios() -> Vec<Scenario> {
                     any release must satisfy the data-protection policy.",
             default_rows: 3_000,
         },
+        Scenario {
+            id: "fraud-stream",
+            vertical: Vertical::Fraud,
+            title: "Card-fraud event stream",
+            brief: "A payments processor scores card transactions as they \
+                    arrive. Events stream in arrival order but a slice of \
+                    them carry event times a minute behind (upstream \
+                    buffering), so per-account running totals must handle \
+                    out-of-order data and survive process restarts without \
+                    double-counting.",
+            default_rows: 6_000,
+        },
     ]
 }
 
@@ -150,13 +176,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn three_verticals_exist() {
+    fn four_verticals_exist() {
         let all = scenarios();
-        assert_eq!(all.len(), 3);
+        assert_eq!(all.len(), 4);
         let verticals: Vec<Vertical> = all.iter().map(|s| s.vertical).collect();
         assert!(verticals.contains(&Vertical::Ecommerce));
         assert!(verticals.contains(&Vertical::Energy));
         assert!(verticals.contains(&Vertical::Healthcare));
+        assert!(verticals.contains(&Vertical::Fraud));
     }
 
     #[test]

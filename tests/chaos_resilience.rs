@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 
-use toreador_data::generate::random_table;
+use toreador_data::generate::{fraud_stream, random_table};
 use toreador_data::table::Table;
 use toreador_dataflow::error::{FlowError, Result as FlowResult};
 use toreador_dataflow::fault::{ChaosPlan, FaultKind, TargetedFault};
@@ -22,6 +22,10 @@ use toreador_dataflow::resilience::{
     TaskDeadline,
 };
 use toreador_dataflow::scheduler::{run_stage, run_stage_controlled, SchedulerConfig};
+use toreador_dataflow::session::EngineConfig;
+use toreador_dataflow::streaming::{
+    run_continuous_with, ArrivalSource, BatchOutput, StateColumns, StreamConfig,
+};
 use toreador_dataflow::trace::{RunTrace, TraceEventKind};
 
 const THREADS: usize = 16;
@@ -530,6 +534,38 @@ fn cancellation_mid_morsel_wave_stops_cleanly_without_leaking_threads() {
     }
 }
 
+/// Run the continuous stream over the fraud event table under `resilience`
+/// and return the canonical final state. The per-batch processor is a
+/// passthrough (the state delta sums `amount` per `channel` straight off
+/// the batch), so every injected fault exercises the stream loop's own
+/// fault domain — dequeue retries, backoff, and the ack path.
+fn stream_state_under(table: &Table, resilience: ResilienceConfig) -> FlowResult<String> {
+    let config = StreamConfig::default()
+        .with_engine(
+            EngineConfig::default()
+                .with_threads(2)
+                .with_resilience(resilience),
+        )
+        .with_ts_column("ts")
+        .with_allowed_lateness(500)
+        .with_buffer(4)
+        .with_pipeline_id("chaos-stream");
+    let cols = StateColumns {
+        key: "channel".to_owned(),
+        count: None,
+        sum: Some("amount".to_owned()),
+    };
+    let mut source = ArrivalSource::windows(table, "ts", 2_000)?;
+    let run = run_continuous_with(&mut source, &config, Some(&cols), &mut |_, batch| {
+        Ok(BatchOutput {
+            table: batch.clone(),
+            metrics: None,
+            trace: None,
+        })
+    })?;
+    Ok(run.canonical_state())
+}
+
 /// How many property cases to run. The vendored proptest does not read
 /// `PROPTEST_CASES`, so the chaos suite honours it here — CI pins it.
 fn proptest_cases() -> u32 {
@@ -563,5 +599,40 @@ proptest! {
         // assert_chaos_invariant panics on any violation; either outcome
         // (recovered or clean failure) satisfies the property.
         let _ = assert_chaos_invariant(resilience, &baseline);
+    }
+
+    /// The same invariant for the continuous streaming loop: under an
+    /// arbitrary seeded chaos mix the stream either completes with a final
+    /// state identical to the fault-free run, or fails cleanly with a
+    /// classified transient error. Never a hang, never a wrong state.
+    #[test]
+    fn streaming_chaos_completes_identically_or_fails_classified(
+        crash in 0.0f64..0.4,
+        panic in 0.0f64..0.2,
+        delay in 0.0f64..0.3,
+        attempts in 1u32..6,
+        seed in 0u64..500,
+    ) {
+        let (table, _) = fraud_stream(800, 21, 0.05, 200);
+        let baseline = stream_state_under(&table, ResilienceConfig::none()).unwrap();
+        let chaos = ChaosPlan::crashes(crash, seed)
+            .with_panic_rate(panic)
+            .with_delays(delay, 100);
+        let resilience = ResilienceConfig::none()
+            .with_retry(RetryPolicy::exponential(attempts, 50, 500).with_jitter(0.5, seed))
+            .with_chaos(chaos);
+        match stream_state_under(&table, resilience) {
+            Ok(state) => prop_assert_eq!(state, baseline, "chaos changed the stream state"),
+            Err(e) => {
+                prop_assert!(
+                    matches!(classify(&e), ErrorClass::Transient),
+                    "unclassified stream chaos failure: {}", e
+                );
+                prop_assert!(
+                    matches!(e, FlowError::TaskFailed { .. } | FlowError::TaskPanicked { .. }),
+                    "stream chaos failure has the wrong shape: {}", e
+                );
+            }
+        }
     }
 }
