@@ -1,0 +1,164 @@
+//! E15 — what out-of-core execution costs, and what it buys (DESIGN.md §14).
+//! A high-cardinality aggregation (group by `event_id`: one group per row,
+//! so the hash-aggregation state is proportional to the input) runs under a
+//! series of memory budgets, from roomy (nothing spills) down to a budget
+//! the working set exceeds by well over 10x. The series prints elapsed,
+//! the journalled spill totals (runs spilled, rows, page faults/evictions),
+//! the peak buffer-pool residency against the budget's frame capacity, and
+//! the slowdown over the unbudgeted run — and asserts the budgeted output
+//! is value-identical to the in-memory oracle, because a budget that
+//! changed answers would not be an optimisation.
+//!
+//! Set `E15_QUICK=1` to shrink the series for CI smoke runs.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use toreador_bench::table_header;
+use toreador_data::generate::clickstream;
+use toreador_dataflow::logical::{AggExpr, AggFunc, Dataflow};
+use toreador_dataflow::session::{Engine, EngineConfig};
+
+const THREADS: usize = 4;
+const PARTITIONS: usize = 4;
+const PAGE: u64 = 32 << 10;
+
+fn quick() -> bool {
+    std::env::var("E15_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn series_rows() -> usize {
+    if quick() {
+        30_000
+    } else {
+        400_000
+    }
+}
+
+/// The E15 vertical: one group per input row, so wide-operator state scales
+/// with the data and a small budget genuinely has to page it out.
+fn wide_flow(engine: &Engine) -> Dataflow {
+    engine
+        .flow("clicks")
+        .expect("dataset registered")
+        .aggregate(
+            &["event_id"],
+            vec![
+                AggExpr::new(AggFunc::Count, "user_id", "events"),
+                AggExpr::new(AggFunc::Sum, "price", "revenue"),
+            ],
+        )
+        .expect("aggregate binds")
+        .sort(&["event_id"], false)
+        .expect("sort binds")
+}
+
+fn engine_with(budget: Option<u64>, data: &toreador_data::table::Table) -> Engine {
+    let mut config = EngineConfig::default()
+        .with_threads(THREADS)
+        .with_partitions(PARTITIONS);
+    if let Some(b) = budget {
+        config = config.with_memory_budget(b);
+    }
+    let mut engine = Engine::new(config);
+    engine.register("clicks", data.clone()).expect("register");
+    engine
+}
+
+fn print_series() {
+    let rows = series_rows();
+    let reps = if quick() { 2 } else { 3 };
+    table_header(
+        "E15",
+        "out-of-core aggregation under a shrinking memory budget",
+    );
+    let data = clickstream(rows, 42);
+    let bytes = data.approx_bytes();
+    eprintln!(
+        "  {} rows (~{:.1} MiB working set), {} threads, {} partitions, 32 KiB pages",
+        rows,
+        bytes as f64 / (1 << 20) as f64,
+        THREADS,
+        PARTITIONS
+    );
+    eprintln!(
+        "{:>16} {:>12} {:>7} {:>10} {:>7} {:>7} {:>11} {:>9}",
+        "budget", "elapsed ms", "spills", "rows", "faults", "evict", "peak pool", "slowdown"
+    );
+    // Budgets from "never spills" down to a working set >= 10x the budget.
+    let budgets: &[(&str, Option<u64>)] = &[
+        ("unbudgeted", None),
+        ("1 GiB", Some(1 << 30)),
+        ("2 MiB", Some(2 << 20)),
+        ("256 KiB", Some(256 << 10)),
+        ("64 KiB", Some(64 << 10)),
+    ];
+    let oracle_table = {
+        let engine = engine_with(None, &data);
+        let flow = wide_flow(&engine);
+        engine.run(&flow).expect("oracle run").table
+    };
+    let mut baseline = None;
+    for (label, budget) in budgets {
+        let engine = engine_with(*budget, &data);
+        let flow = wide_flow(&engine);
+        let mut best = Duration::MAX;
+        let mut totals = Default::default();
+        for _ in 0..reps {
+            let started = Instant::now();
+            let result = engine.run(&flow).expect("run succeeds");
+            best = best.min(started.elapsed());
+            totals = result.trace.spill_totals();
+            // An out-of-core run that changes the answer is a bug, not a
+            // trade-off: exact equality, float fold order included.
+            assert_eq!(
+                result.table, oracle_table,
+                "budget {label} changed the output"
+            );
+        }
+        if let Some(b) = budget {
+            let capacity = (b / PAGE).max(1) * PAGE;
+            assert!(
+                totals.peak_pool_bytes <= capacity,
+                "budget {label}: peak pool {} exceeds capacity {}",
+                totals.peak_pool_bytes,
+                capacity
+            );
+        }
+        let base = *baseline.get_or_insert(best);
+        eprintln!(
+            "{:>16} {:>12.2} {:>7} {:>10} {:>7} {:>7} {:>9} B {:>8.2}x",
+            label,
+            best.as_secs_f64() * 1e3,
+            totals.spills,
+            totals.spilled_rows,
+            totals.page_faults,
+            totals.page_evictions,
+            totals.peak_pool_bytes,
+            best.as_secs_f64() / base.as_secs_f64()
+        );
+    }
+    eprintln!("  (peak pool: journalled buffer-pool residency; every row is verified against the unbudgeted oracle)");
+}
+
+fn bench_spill(c: &mut Criterion) {
+    print_series();
+
+    // Stable statistics on a smaller table so criterion's calibration stays
+    // cheap; the budget keeps the working set well over 10x the pool.
+    let data = clickstream(if quick() { 8_000 } else { 40_000 }, 42);
+    let mut group = c.benchmark_group("e15_high_cardinality_agg");
+    group.sample_size(10);
+    for (name, budget) in [("in_memory", None), ("budget_64k", Some(64u64 << 10))] {
+        let engine = engine_with(budget, &data);
+        let flow = wide_flow(&engine);
+        group.bench_function(name, |b| {
+            b.iter(|| engine.run(&flow).expect("run succeeds").table.num_rows())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spill);
+criterion_main!(benches);

@@ -52,6 +52,10 @@ pub fn usage() -> String {
      \x20 toreador run <campaign.tdl> --data <source> [--rows N] [--seed N]\n\
      \x20                [--store <dir>]         compile, run, report; --store\n\
      \x20                                        persists the run record\n\
+     \x20                [--memory-budget B]     cap wide-operator memory at B\n\
+     \x20                                        bytes (suffixes k/m/g); runs\n\
+     \x20                                        beyond it spill to paged files,\n\
+     \x20                                        output unchanged\n\
      \x20                [--checkpoint-dir <dir> --run-id <id>]\n\
      \x20                                        checkpoint every stage boundary\n\
      \x20                                        so the run survives process death\n\
@@ -67,6 +71,7 @@ pub fn usage() -> String {
      \x20                                        backpressure, watermarks, late\n\
      \x20                                        data; --json emits one ack\n\
      \x20                                        record per batch\n\
+     \x20                [--memory-budget B]     spill over-budget batch state\n\
      \x20                [--store <dir>]         durable acked offsets (WAL)\n\
      \x20                [--kill-at-ack N] [--kill-mode exit|halt]\n\
      \x20                                        die right after offset N's ack\n\
@@ -81,7 +86,8 @@ pub fn usage() -> String {
      \x20 toreador trace <campaign.tdl> --data <source> [--rows N] [--seed N]\n\
      \x20                [--format text|json]    run and show the flight\n\
      \x20                [--store <dir>]         recorder: per-stage timings,\n\
-     \x20                                        critical path, skew, retries\n\
+     \x20                [--memory-budget B]     critical path, skew, retries,\n\
+     \x20                                        spill totals when budgeted\n\
      \x20 toreador chaos <campaign.tdl> --data <source> [--rows N] [--seed N]\n\
      \x20                [--profile P] [--retries N] [--deadline-ms N]\n\
      \x20                [--speculate F]            run once fault-free, once\n\
@@ -360,6 +366,27 @@ fn render_outcome(outcome: &CampaignOutcome) -> String {
     out
 }
 
+/// Parse `--memory-budget <bytes>` — plain bytes or with a k/m/g suffix
+/// (binary units: `64m` is 64 MiB). `None` when the flag is absent.
+fn parse_memory_budget(args: &Args) -> Result<Option<u64>, String> {
+    let Some(raw) = args.flag("memory-budget") else {
+        return Ok(None);
+    };
+    let bad = || format!("--memory-budget wants bytes (suffixes k/m/g), got {raw:?}");
+    let (digits, shift) = match raw.char_indices().last() {
+        Some((i, 'k' | 'K')) => (&raw[..i], 10),
+        Some((i, 'm' | 'M')) => (&raw[..i], 20),
+        Some((i, 'g' | 'G')) => (&raw[..i], 30),
+        Some(_) => (raw, 0),
+        None => return Err(bad()),
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    n.checked_shl(shift)
+        .filter(|v| shift == 0 || *v >> shift == n)
+        .map(Some)
+        .ok_or_else(bad)
+}
+
 /// Parse `--kill-at <engine>:<wave>` plus `--kill-mode exit|halt` into the
 /// chaos kill point a checkpointed `run` will die at.
 fn parse_kill(args: &Args) -> Result<Option<BoundaryKillSpec>, String> {
@@ -408,7 +435,14 @@ fn write_resume_spec(args: &Args, ckpt_dir: &str, run_id: &str) -> Result<(), St
 }
 
 fn run(args: &Args) -> Result<String, String> {
-    let (bdaas, compiled, data, aux) = compile_from_args(args)?;
+    let (bdaas, mut compiled, data, aux) = compile_from_args(args)?;
+    if let Some(budget) = parse_memory_budget(args)? {
+        compiled.deployment.engine_config = compiled
+            .deployment
+            .engine_config
+            .clone()
+            .with_memory_budget(budget);
+    }
     let rows_in = data.num_rows();
     let kill = parse_kill(args)?;
     let outcome = match args.flag("checkpoint-dir") {
@@ -509,8 +543,12 @@ fn stream_cmd(args: &Args) -> Result<String, String> {
         return Err("--buffer must be positive".to_owned());
     }
 
+    let mut engine_config = EngineConfig::default().with_threads(2);
+    if let Some(budget) = parse_memory_budget(args)? {
+        engine_config = engine_config.with_memory_budget(budget);
+    }
     let mut config = StreamConfig::default()
-        .with_engine(EngineConfig::default().with_threads(2))
+        .with_engine(engine_config)
         .with_ts_column(&ts_column)
         .with_allowed_lateness(lateness)
         .with_late_policy(late_policy)
@@ -719,7 +757,14 @@ fn trace_cmd(args: &Args) -> Result<String, String> {
     if !matches!(format, "text" | "json") {
         return Err(format!("--format must be text or json, got {format:?}"));
     }
-    let (bdaas, compiled, data, aux) = compile_from_args(args)?;
+    let (bdaas, mut compiled, data, aux) = compile_from_args(args)?;
+    if let Some(budget) = parse_memory_budget(args)? {
+        compiled.deployment.engine_config = compiled
+            .deployment
+            .engine_config
+            .clone()
+            .with_memory_budget(budget);
+    }
     let rows_in = data.num_rows();
     let outcome = bdaas
         .run(&compiled, data, &aux)
@@ -1383,6 +1428,67 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("--format"));
+    }
+
+    #[test]
+    fn memory_budget_flag_parses_suffixes_and_rejects_junk() {
+        let budget_of = |raw: &str| {
+            let a = parse(&[
+                "run".to_owned(),
+                "--memory-budget".to_owned(),
+                raw.to_owned(),
+            ])
+            .unwrap();
+            parse_memory_budget(&a)
+        };
+        assert_eq!(budget_of("4096").unwrap(), Some(4096));
+        assert_eq!(budget_of("64k").unwrap(), Some(64 << 10));
+        assert_eq!(budget_of("16M").unwrap(), Some(16 << 20));
+        assert_eq!(budget_of("2g").unwrap(), Some(2 << 30));
+        for junk in ["", "m", "ten", "4t", "99999999999999999999g"] {
+            assert!(budget_of(junk).is_err(), "{junk:?} must be rejected");
+        }
+        let none = parse(&["run".to_owned()]).unwrap();
+        assert_eq!(parse_memory_budget(&none).unwrap(), None);
+    }
+
+    #[test]
+    fn budgeted_trace_reports_spill_totals_and_matches_unbudgeted_run() {
+        let dir = std::env::temp_dir().join("toreador-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("spill.tdl");
+        // High-cardinality group key so a small budget forces spills.
+        std::fs::write(
+            &file,
+            "campaign spilled on clicks\nseed 3\ngoal aggregation group_by=event_id agg=count:event_id:n\n",
+        )
+        .unwrap();
+        let base = [
+            "run",
+            file.to_str().unwrap(),
+            "--data",
+            "generated:ecommerce-clicks",
+            "--rows",
+            "3000",
+        ];
+        let calm = run_cli(&base).unwrap();
+        let mut tight: Vec<&str> = base.to_vec();
+        tight.extend(["--memory-budget", "16k"]);
+        let spilled = run_cli(&tight).unwrap();
+        // Everything from `output (` down is deterministic (wall-clock
+        // indicators above it are not) — that part must be identical.
+        let deterministic = |s: &str| s[s.find("output (").unwrap()..].to_owned();
+        assert_eq!(
+            deterministic(&calm),
+            deterministic(&spilled),
+            "a budgeted run must render the identical outcome"
+        );
+        // The flight recorder shows the spills.
+        let mut trace: Vec<&str> = tight.clone();
+        trace[0] = "trace";
+        let out = run_cli(&trace).unwrap();
+        assert!(out.contains("spill:"), "{out}");
+        assert!(out.contains("run(s) spilled"), "{out}");
     }
 
     #[test]

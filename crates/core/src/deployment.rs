@@ -28,6 +28,13 @@ pub struct PlatformDescriptor {
     pub supports_streaming: bool,
     /// Abstract cost units per worker per campaign run (platform rent).
     pub rent: f64,
+    /// Per-run memory budget for wide operators. When set, the derived
+    /// engine configuration spills shuffle and aggregation runs to paged
+    /// files beyond this many bytes instead of holding them resident —
+    /// how a small rented tier runs campaigns bigger than its RAM.
+    /// Absent (`None`) in older descriptors: unbounded, never spills.
+    #[serde(default)]
+    pub memory_budget_bytes: Option<u64>,
 }
 
 /// The built-in platform menu.
@@ -39,6 +46,10 @@ pub fn builtin_platforms() -> Vec<PlatformDescriptor> {
             default_partitions: 4,
             supports_streaming: true,
             rent: 0.0,
+            // The free tier is the one platform small enough for its
+            // budget to matter: campaigns beyond 256 MiB of working set
+            // spill instead of failing.
+            memory_budget_bytes: Some(256 << 20),
         },
         PlatformDescriptor {
             name: "batch-cluster".to_owned(),
@@ -46,6 +57,7 @@ pub fn builtin_platforms() -> Vec<PlatformDescriptor> {
             default_partitions: 16,
             supports_streaming: false,
             rent: 8.0,
+            memory_budget_bytes: None,
         },
         PlatformDescriptor {
             name: "stream-cluster".to_owned(),
@@ -53,6 +65,7 @@ pub fn builtin_platforms() -> Vec<PlatformDescriptor> {
             default_partitions: 8,
             supports_streaming: true,
             rent: 6.0,
+            memory_budget_bytes: None,
         },
     ]
 }
@@ -118,11 +131,14 @@ pub fn bind(
     // capacity, so alternatives with deeper retry budgets price higher and
     // the Labs comparison surfaces the robustness/cost trade-off.
     let retry_budget = resilience.retry.max_attempts.saturating_sub(1);
-    let engine_config = EngineConfig::default()
+    let mut engine_config = EngineConfig::default()
         .with_threads(threads)
         .with_partitions(platform.default_partitions)
         .with_optimizer(OptimizerConfig::default())
         .with_resilience(resilience);
+    if let Some(budget) = platform.memory_budget_bytes {
+        engine_config = engine_config.with_memory_budget(budget);
+    }
 
     let service_cost: f64 = procedural
         .composition
@@ -223,6 +239,25 @@ mod tests {
         let calm = &d0.engine_config.resilience;
         assert!(calm.chaos.is_none());
         assert_eq!(calm.retry.max_attempts, 1);
+    }
+
+    #[test]
+    fn platform_memory_budget_reaches_the_engine_config() {
+        let r = standard_catalog();
+        let p = plan(&spec(), &r).unwrap();
+        let d = bind(&spec(), &p, &r, &builtin_platforms(), 1000).unwrap();
+        assert_eq!(d.platform.name, "lab-free-tier");
+        assert_eq!(d.engine_config.memory_budget_bytes, Some(256 << 20));
+        // Unbudgeted platforms leave the engine unbounded.
+        let s8 = spec().with_parallelism(8);
+        let d8 = bind(&s8, &p, &r, &builtin_platforms(), 1000).unwrap();
+        assert_eq!(d8.platform.name, "batch-cluster");
+        assert_eq!(d8.engine_config.memory_budget_bytes, None);
+        // Older serialized descriptors (no budget field) still parse.
+        let legacy = r#"{"name":"old","workers":2,"default_partitions":4,
+            "supports_streaming":true,"rent":1.0}"#;
+        let old: PlatformDescriptor = serde_json::from_str(legacy).unwrap();
+        assert_eq!(old.memory_budget_bytes, None);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! After each shuffle wave completes, the executor atomically materialises
 //! the wave's partitioned output (through the lane-based row codec in
-//! [`crate::shuffle`]) plus a manifest into a per-run checkpoint directory,
+//! [`crate::codec`]) plus a manifest into a per-run checkpoint directory,
 //! following the `toreador-store` WAL conventions: temp-write + rename +
 //! directory fsync on the write side, CRC-checked frames on the read side.
 //! A process killed at any stage boundary can then [`RunCheckpoint::resume`]:
@@ -30,8 +30,8 @@
 //! either provably intact or not used.
 
 use std::collections::HashMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
+use std::fs::{self, File};
+use std::io::Read;
 use std::path::{Path, PathBuf};
 
 use bytes::{Bytes, BytesMut};
@@ -42,52 +42,16 @@ use toreador_data::partition::PartitionedTable;
 use toreador_data::schema::Schema;
 use toreador_data::table::Table;
 
+/// Re-exported from [`crate::codec`], where the shared implementation lives.
+pub use crate::codec::crc32;
+use crate::codec::{decode_table, encode_table, push_frame, sync_dir, take_frame, write_atomic};
 use crate::error::{FlowError, Result};
-use crate::shuffle::{decode_table, encode_table};
 
 /// Wave-file magic: 8 bytes, versioned by the trailing digit.
 const WAVE_MAGIC: &[u8; 8] = b"TORCKPT1";
 
 /// Manifest format version; bumped on breaking layout changes.
 const FORMAT_VERSION: u32 = 1;
-
-// ---------------------------------------------------------------------------
-// CRC32 (IEEE), table-driven. The store crate has its own copy: the wave
-// checkpoint codec predates the dataflow→store dependency (added for the
-// streaming ack log, [`crate::streaming::durable`]) and keeps its own
-// framing rather than round-tripping wave payloads through the store WAL.
-// ---------------------------------------------------------------------------
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static CRC_TABLE: [u32; 256] = crc32_table();
-
-/// CRC32 (IEEE 802.3) of a byte slice.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
 
 // ---------------------------------------------------------------------------
 // Fingerprints: FNV-1a folded over the things that must not change between
@@ -243,64 +207,18 @@ pub struct RestoredWave {
 }
 
 // ---------------------------------------------------------------------------
-// I/O helpers (the store WAL conventions)
+// I/O helpers. The store WAL conventions themselves (atomic publish, CRC
+// framing) live in `crate::codec`; this layer only maps their plain error
+// payloads into `FlowError::Checkpoint` with the historical wording.
 // ---------------------------------------------------------------------------
 
 fn io_err(what: &str, path: &Path, e: std::io::Error) -> FlowError {
     FlowError::Checkpoint(format!("{what} {}: {e}", path.display()))
 }
 
-/// Best-effort POSIX directory fsync, as in `toreador-store`.
-fn sync_dir(dir: &Path) {
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
-}
-
-/// Atomically publish `bytes` at `path`: temp-write + fsync + rename + dir
-/// fsync. A reader never observes a torn file under its final name.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
-    let dir = path
-        .parent()
-        .ok_or_else(|| FlowError::Checkpoint(format!("no parent dir for {}", path.display())))?;
-    let tmp = path.with_extension("tmp");
-    let mut f = OpenOptions::new()
-        .write(true)
-        .create(true)
-        .truncate(true)
-        .open(&tmp)
-        .map_err(|e| io_err("create", &tmp, e))?;
-    f.write_all(bytes).map_err(|e| io_err("write", &tmp, e))?;
-    f.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
-    fs::rename(&tmp, path).map_err(|e| io_err("rename", path, e))?;
-    sync_dir(dir);
-    Ok(())
-}
-
-fn push_frame(out: &mut Vec<u8>, payload: &[u8]) {
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(payload).to_le_bytes());
-    out.extend_from_slice(payload);
-}
-
-/// Pop one CRC-checked frame off the front of `bytes`.
-fn take_frame<'a>(bytes: &mut &'a [u8], path: &Path) -> Result<&'a [u8]> {
-    let corrupt =
-        |what: &str| FlowError::Checkpoint(format!("corrupt wave file {}: {what}", path.display()));
-    if bytes.len() < 8 {
-        return Err(corrupt("truncated frame header"));
-    }
-    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-    if bytes.len() < 8 + len {
-        return Err(corrupt("truncated frame payload"));
-    }
-    let payload = &bytes[8..8 + len];
-    if crc32(payload) != crc {
-        return Err(corrupt("frame crc mismatch"));
-    }
-    *bytes = &bytes[8 + len..];
-    Ok(payload)
+/// [`crate::codec::write_atomic`] with the error wrapped for this layer.
+fn publish(path: &Path, bytes: &[u8]) -> Result<()> {
+    write_atomic(path, bytes).map_err(FlowError::Checkpoint)
 }
 
 fn wave_path(dir: &Path, wave: usize) -> PathBuf {
@@ -345,7 +263,7 @@ impl RunCheckpoint {
         }
         let json = serde_json::to_string(manifest)
             .map_err(|e| FlowError::Checkpoint(format!("encode manifest: {e}")))?;
-        write_atomic(&dir.join("manifest.json"), json.as_bytes())?;
+        publish(&dir.join("manifest.json"), json.as_bytes())?;
         if let Some(parent) = dir.parent() {
             sync_dir(parent);
         }
@@ -466,7 +384,7 @@ impl RunCheckpoint {
         for p in &payloads {
             push_frame(&mut file, p);
         }
-        write_atomic(&wave_path(&self.dir, wave), &file)?;
+        publish(&wave_path(&self.dir, wave), &file)?;
         Ok(payload_bytes)
     }
 }
@@ -485,8 +403,9 @@ fn load_wave(path: &Path, wave: usize) -> Result<RestoredWave> {
         return Err(corrupt("bad magic"));
     }
     rest = &rest[WAVE_MAGIC.len()..];
-    let header_text = std::str::from_utf8(take_frame(&mut rest, path)?)
-        .map_err(|_| corrupt("wave header is not utf-8"))?;
+    let header_text =
+        std::str::from_utf8(take_frame(&mut rest).map_err(|e| corrupt(e.describe()))?)
+            .map_err(|_| corrupt("wave header is not utf-8"))?;
     let header: WaveHeader = serde_json::from_str(header_text)
         .map_err(|e| FlowError::Checkpoint(format!("decode wave header: {e}")))?;
     if header.wave != wave {
@@ -500,7 +419,7 @@ fn load_wave(path: &Path, wave: usize) -> Result<RestoredWave> {
     let mut tables = Vec::with_capacity(header.partitions);
     let mut rows = 0u64;
     for i in 0..header.partitions {
-        let payload = take_frame(&mut rest, path)?;
+        let payload = take_frame(&mut rest).map_err(|e| corrupt(e.describe()))?;
         if crc32(payload) != header.partition_crcs[i] {
             return Err(corrupt("partition crc does not match header"));
         }

@@ -64,6 +64,9 @@ pub enum FlowError {
     /// acknowledged. The batch's state delta and offset are already
     /// durable, so a resume re-enters at `offset + 1`.
     KilledAtAck { offset: u64 },
+    /// An out-of-core page file or spill run could not be written or read
+    /// back (I/O failure, truncation, CRC mismatch, malformed directory).
+    Spill(String),
 }
 
 impl fmt::Display for FlowError {
@@ -100,6 +103,7 @@ impl fmt::Display for FlowError {
             FlowError::KilledAtAck { offset } => {
                 write!(f, "killed at ack boundary (offset {offset})")
             }
+            FlowError::Spill(msg) => write!(f, "spill error: {msg}"),
         }
     }
 }

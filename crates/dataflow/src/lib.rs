@@ -15,8 +15,10 @@
 //!    chains of narrow operators run through [`morsel`], the morsel-driven
 //!    pipelined path with work-stealing deques (the stage-barrier path
 //!    stays selectable as the differential oracle);
-//! 5. [`shuffle`] — hash shuffles through a binary row codec, so shuffle
-//!    byte counts are real;
+//! 5. [`shuffle`] — hash shuffles through a binary row codec ([`codec`],
+//!    shared with checkpointing and the pager), so shuffle byte counts are
+//!    real; [`pager`] — paged on-disk columnar files and a pinning buffer
+//!    pool that shuffle and aggregation spill to under a memory budget;
 //! 6. [`scheduler`] — a resilient scoped thread pool: deterministic chaos
 //!    injection ([`fault`]), retry backoff, task deadlines, speculative
 //!    attempts, panic isolation, and cooperative cancellation
@@ -52,6 +54,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod codec;
 pub mod error;
 pub mod expr;
 pub mod fault;
@@ -59,6 +62,7 @@ pub mod logical;
 pub mod metrics;
 pub mod morsel;
 pub mod optimizer;
+pub mod pager;
 pub mod physical;
 pub mod resilience;
 pub mod scheduler;
@@ -91,8 +95,8 @@ pub mod prelude {
         StateColumns, StateDelta, StreamConfig, StreamRecovery, WindowSource,
     };
     pub use crate::trace::{
-        PipelineTotals, ResilienceTotals, RunTrace, StreamTotals, TraceEvent, TraceEventKind,
-        TraceSummary,
+        PipelineTotals, ResilienceTotals, RunTrace, SpillTotals, StreamTotals, TraceEvent,
+        TraceEventKind, TraceSummary,
     };
     pub use crate::vexpr::BoundExpr;
 }

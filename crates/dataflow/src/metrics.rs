@@ -488,6 +488,51 @@ mod tests {
     }
 
     #[test]
+    fn spill_events_are_journal_only_and_keep_parity() {
+        // The pager writes spill events straight to the journal (pinning a
+        // resident page is memory-speed work; it must not take the metrics
+        // lock). They carry no metric weight: derived metrics stay equal to
+        // the legacy tallies event-for-event.
+        let c = MetricsCollector::new();
+        c.task_started(0, 0, 0);
+        c.task_finished(0, 0, 0, true);
+        c.trace().record(TraceEventKind::SpillStarted {
+            op: "shuffle".to_owned(),
+            target: 3,
+            rows: 1_024,
+            bytes: 80_000,
+        });
+        c.trace().record(TraceEventKind::PageFaulted {
+            file: 0,
+            page: 2,
+            bytes: 32 << 10,
+            pool_bytes: 32 << 10,
+        });
+        c.trace().record(TraceEventKind::PageEvicted {
+            file: 0,
+            page: 2,
+            bytes: 32 << 10,
+            dirty: false,
+            pool_bytes: 0,
+        });
+        c.trace().record(TraceEventKind::SpillMerged {
+            op: "shuffle".to_owned(),
+            target: 3,
+            runs: 1,
+            rows: 1_024,
+            bytes: 80_000,
+        });
+        let derived = c.finish(Duration::from_millis(1), 64, 1);
+        let legacy = c.finish_legacy(Duration::from_millis(1), 64, 1);
+        assert_eq!(derived, legacy, "spill events must not skew the metrics");
+        let totals = c.trace().snapshot().spill_totals();
+        assert_eq!((totals.spills, totals.merges), (1, 1));
+        assert_eq!(totals.page_faults, 1);
+        assert_eq!(totals.page_evictions, 1);
+        assert_eq!(totals.peak_pool_bytes, 32 << 10);
+    }
+
+    #[test]
     fn morsel_events_are_journal_only_and_keep_parity() {
         let c = MetricsCollector::new();
         c.task_started(0, 0, 0);

@@ -20,6 +20,14 @@
 //! ascending row order on a single worker, and stealing moves whole
 //! partitions between workers instead.
 //!
+//! Under a memory budget ([`ExecConfig::memory_budget_bytes`]
+//! (crate::physical::ExecConfig)), partial-aggregation map output produced
+//! by a serial wave may be spilled to paged files — but never from inside
+//! this module: spilling happens on the orchestration thread *after* the
+//! wave completes (see [`crate::physical`]), because a morsel task can be
+//! retried or run speculatively, and a spill inside the task would leak
+//! one page file per duplicate attempt.
+//!
 //! Resilience mirrors the barrier path attempt-for-attempt: retries run
 //! inline on the claiming worker under the same
 //! [`RetryPolicy`](crate::resilience::RetryPolicy), chaos faults draw from

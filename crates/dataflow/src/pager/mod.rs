@@ -1,0 +1,36 @@
+//! Out-of-core paging: fixed-size page files, a pinning buffer pool, and
+//! the spill manager operators hand over-budget runs to.
+//!
+//! The TOREADOR paper scouts campaigns over datasets that do not fit in
+//! RAM; this module is the engine's answer. It has three layers:
+//!
+//! 1. [`file`] — the paged on-disk columnar format: fixed [`PAGE_SIZE`]
+//!    slots, each CRC32-framed exactly like the checkpoint wave files
+//!    (the frame and lane codecs live in [`crate::codec`], shared with
+//!    checkpointing so the two stay byte-identical by construction). Page
+//!    0 is a directory naming the row count, schema and per-lane extents;
+//!    data pages hold each lane's cells contiguously.
+//! 2. [`pool`] — the buffer pool: a bounded set of page frames with
+//!    pinning, clock eviction (second-chance, skipping pinned frames),
+//!    dirty write-back, and journalled fault/eviction events from which
+//!    the bounded-memory proof reads peak residency.
+//! 3. [`spill`] — the [`SpillManager`]: turns a [`Table`] run into a page
+//!    file through the pool (temp-write + fsync + rename + dir-fsync, so
+//!    a crash never leaves a readable half-file), reads runs back, and
+//!    sweeps everything on release/drop.
+//!
+//! The memory budget threads in from `ExecConfig::memory_budget_bytes`:
+//! operators compare their staging size against
+//! [`SpillManager::budget_bytes`] and spill whole runs; the pool
+//! independently bounds page residency to the same budget (floored at one
+//! page).
+//!
+//! [`Table`]: toreador_data::table::Table
+
+pub mod file;
+pub mod pool;
+pub mod spill;
+
+pub use file::{LaneExtent, PageDirectory, PageFile, PAGE_PAYLOAD, PAGE_SIZE};
+pub use pool::{BufferPool, FileId, PinnedPage, PoolStats};
+pub use spill::{SpillHandle, SpillManager, SPILL_OP_AGGREGATE, SPILL_OP_SHUFFLE};

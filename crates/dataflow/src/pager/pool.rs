@@ -1,0 +1,454 @@
+//! The buffer pool: a bounded set of in-memory page frames over the
+//! registered [`PageFile`]s.
+//!
+//! Every frame accounts for one full [`PAGE_SIZE`] slot, so residency is
+//! `occupied_frames * PAGE_SIZE` and never exceeds the budget the pool was
+//! built with (floored at one frame — a pool that cannot hold a single
+//! page cannot make progress). Reads go through [`BufferPool::pin`]: a
+//! resident page is a **hit** (counted in [`PoolStats`]; hits are
+//! memory-speed, so they are deliberately not journalled per-event), a
+//! miss **faults** the page in from its backing file and records
+//! [`TraceEventKind::PageFaulted`]. Writes stage dirty frames in the pool;
+//! they reach the file when the clock hand evicts them or
+//! [`BufferPool::flush_file`] forces them down.
+//!
+//! Eviction is second-chance clock: the hand sweeps frames, skips pinned
+//! ones, clears the referenced bit on the first pass and reclaims on the
+//! second, writing dirty victims back and recording
+//! [`TraceEventKind::PageEvicted`]. If a full sweep finds every frame
+//! pinned the pool is exhausted and the caller gets an error instead of a
+//! deadlock.
+
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{FlowError, Result};
+use crate::trace::{TraceEventKind, TraceJournal};
+
+use super::file::{PageFile, PAGE_PAYLOAD, PAGE_SIZE};
+
+/// Identifies a registered backing file within one pool.
+pub type FileId = u64;
+
+/// Running pool counters. `peak_bytes` is the true high-water residency,
+/// including frames staged by writes that never journalled an event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub faults: u64,
+    pub evictions: u64,
+    pub peak_bytes: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    file: FileId,
+    page: u32,
+    payload: Arc<Vec<u8>>,
+    pins: usize,
+    referenced: bool,
+    dirty: bool,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    files: HashMap<FileId, Arc<PageFile>>,
+    next_file: FileId,
+    slots: Vec<Option<Frame>>,
+    map: HashMap<(FileId, u32), usize>,
+    hand: usize,
+    stats: PoolStats,
+}
+
+impl PoolInner {
+    fn resident_bytes(&self) -> u64 {
+        (self.map.len() * PAGE_SIZE) as u64
+    }
+
+    fn note_peak(&mut self) {
+        let resident = self.resident_bytes();
+        if resident > self.stats.peak_bytes {
+            self.stats.peak_bytes = resident;
+        }
+    }
+}
+
+/// A bounded page cache shared by every spill file of one run.
+#[derive(Debug)]
+pub struct BufferPool {
+    max_frames: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl BufferPool {
+    /// A pool holding at most `budget_bytes` of pages, floored at one
+    /// frame so a tiny (even zero) budget still makes progress one page
+    /// at a time.
+    pub fn new(budget_bytes: u64) -> BufferPool {
+        let max_frames = ((budget_bytes as usize) / PAGE_SIZE).max(1);
+        BufferPool {
+            max_frames,
+            inner: Mutex::new(PoolInner::default()),
+        }
+    }
+
+    /// The pool's frame capacity in bytes (its budget floored at a page).
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.max_frames * PAGE_SIZE) as u64
+    }
+
+    /// Current residency in bytes (full slots, the unit the budget bounds).
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().resident_bytes()
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Register a backing file; its pages are addressed by the returned id.
+    pub fn register(&self, file: Arc<PageFile>) -> FileId {
+        let mut inner = self.inner.lock();
+        let id = inner.next_file;
+        inner.next_file += 1;
+        inner.files.insert(id, file);
+        id
+    }
+
+    /// Drop every frame of `file` (without write-back — the file is being
+    /// deleted) and forget the backing. Callers must not hold pins.
+    pub fn drop_file(&self, file: FileId) {
+        let mut inner = self.inner.lock();
+        for i in 0..inner.slots.len() {
+            if inner.slots[i].as_ref().is_some_and(|f| f.file == file) {
+                let frame = inner.slots[i].take().unwrap();
+                debug_assert_eq!(frame.pins, 0, "dropping a pinned page");
+                inner.map.remove(&(frame.file, frame.page));
+            }
+        }
+        inner.files.remove(&file);
+    }
+
+    /// Write back every dirty frame of `file`, leaving the frames resident
+    /// and clean. Called before a spill file is finalized so the on-disk
+    /// bytes are complete when the rename publishes them.
+    pub fn flush_file(&self, file: FileId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let backing = inner
+            .files
+            .get(&file)
+            .cloned()
+            .ok_or_else(|| FlowError::Spill(format!("flush of unregistered file {file}")))?;
+        for i in 0..inner.slots.len() {
+            let Some(frame) = inner.slots[i].as_mut() else {
+                continue;
+            };
+            if frame.file == file && frame.dirty {
+                backing.write_page(frame.page, &frame.payload)?;
+                frame.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pin a page for reading. Returns a guard dereferencing to the
+    /// payload; the frame cannot be evicted while the guard lives.
+    pub fn pin(&self, file: FileId, page: u32, journal: &TraceJournal) -> Result<PinnedPage<'_>> {
+        let mut inner = self.inner.lock();
+        if let Some(&slot) = inner.map.get(&(file, page)) {
+            let frame = inner.slots[slot].as_mut().expect("mapped slot occupied");
+            frame.pins += 1;
+            frame.referenced = true;
+            let payload = frame.payload.clone();
+            inner.stats.hits += 1;
+            return Ok(PinnedPage {
+                pool: self,
+                file,
+                page,
+                payload,
+            });
+        }
+        let backing = inner
+            .files
+            .get(&file)
+            .cloned()
+            .ok_or_else(|| FlowError::Spill(format!("pin of unregistered file {file}")))?;
+        let slot = self.allocate_slot(&mut inner, journal)?;
+        let payload = Arc::new(backing.read_page(page)?);
+        inner.slots[slot] = Some(Frame {
+            file,
+            page,
+            payload: payload.clone(),
+            pins: 1,
+            referenced: true,
+            dirty: false,
+        });
+        inner.map.insert((file, page), slot);
+        inner.stats.faults += 1;
+        inner.note_peak();
+        let pool_bytes = inner.resident_bytes();
+        journal.record(TraceEventKind::PageFaulted {
+            file,
+            page,
+            bytes: PAGE_SIZE as u64,
+            pool_bytes,
+        });
+        Ok(PinnedPage {
+            pool: self,
+            file,
+            page,
+            payload,
+        })
+    }
+
+    /// Stage a page write: the frame becomes resident and dirty, reaching
+    /// the backing file on eviction or [`BufferPool::flush_file`].
+    pub fn write(
+        &self,
+        file: FileId,
+        page: u32,
+        payload: Vec<u8>,
+        journal: &TraceJournal,
+    ) -> Result<()> {
+        if payload.len() > PAGE_PAYLOAD {
+            return Err(FlowError::Spill(format!(
+                "page payload {} bytes exceeds the {PAGE_PAYLOAD} byte page payload",
+                payload.len()
+            )));
+        }
+        let mut inner = self.inner.lock();
+        if !inner.files.contains_key(&file) {
+            return Err(FlowError::Spill(format!(
+                "write to unregistered file {file}"
+            )));
+        }
+        if let Some(&slot) = inner.map.get(&(file, page)) {
+            let frame = inner.slots[slot].as_mut().expect("mapped slot occupied");
+            frame.payload = Arc::new(payload);
+            frame.dirty = true;
+            frame.referenced = true;
+            return Ok(());
+        }
+        let slot = self.allocate_slot(&mut inner, journal)?;
+        inner.slots[slot] = Some(Frame {
+            file,
+            page,
+            payload: Arc::new(payload),
+            pins: 0,
+            referenced: true,
+            dirty: true,
+        });
+        inner.map.insert((file, page), slot);
+        inner.note_peak();
+        Ok(())
+    }
+
+    fn unpin(&self, file: FileId, page: u32) {
+        let mut inner = self.inner.lock();
+        if let Some(&slot) = inner.map.get(&(file, page)) {
+            if let Some(frame) = inner.slots[slot].as_mut() {
+                frame.pins = frame.pins.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Find a free slot, evicting with the second-chance clock if the pool
+    /// is full. Dirty victims are written back before the frame is reused.
+    fn allocate_slot(&self, inner: &mut PoolInner, journal: &TraceJournal) -> Result<usize> {
+        if inner.slots.len() < self.max_frames {
+            inner.slots.push(None);
+            return Ok(inner.slots.len() - 1);
+        }
+        if let Some(free) = inner.slots.iter().position(|s| s.is_none()) {
+            return Ok(free);
+        }
+        let n = inner.slots.len();
+        for _ in 0..2 * n + 1 {
+            let i = inner.hand;
+            inner.hand = (inner.hand + 1) % n;
+            let frame = inner.slots[i].as_mut().expect("full pool has no holes");
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            let frame = inner.slots[i].take().expect("victim frame present");
+            inner.map.remove(&(frame.file, frame.page));
+            if frame.dirty {
+                let backing = inner.files.get(&frame.file).cloned().ok_or_else(|| {
+                    FlowError::Spill(format!(
+                        "dirty page of unregistered file {} cannot be written back",
+                        frame.file
+                    ))
+                })?;
+                backing.write_page(frame.page, &frame.payload)?;
+            }
+            inner.stats.evictions += 1;
+            let pool_bytes = inner.resident_bytes();
+            journal.record(TraceEventKind::PageEvicted {
+                file: frame.file,
+                page: frame.page,
+                bytes: PAGE_SIZE as u64,
+                dirty: frame.dirty,
+                pool_bytes,
+            });
+            return Ok(i);
+        }
+        Err(FlowError::Spill(
+            "buffer pool exhausted: every frame is pinned".to_owned(),
+        ))
+    }
+}
+
+/// A pinned page: dereferences to the payload; unpins on drop.
+#[derive(Debug)]
+pub struct PinnedPage<'a> {
+    pool: &'a BufferPool,
+    file: FileId,
+    page: u32,
+    payload: Arc<Vec<u8>>,
+}
+
+impl Deref for PinnedPage<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.payload
+    }
+}
+
+impl Drop for PinnedPage<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.file, self.page);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use std::path::PathBuf;
+
+    fn temp_pagefile(tag: &str) -> (PathBuf, Arc<PageFile>) {
+        let path = std::env::temp_dir().join(format!(
+            "toreador-pager-pool-{}-{tag}.pages",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        (path.clone(), Arc::new(PageFile::create(&path).unwrap()))
+    }
+
+    fn cleanup(path: &PathBuf) {
+        let _ = std::fs::remove_file(path);
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        let _ = std::fs::remove_file(PathBuf::from(tmp));
+    }
+
+    #[test]
+    fn pins_hit_after_the_first_fault() {
+        let (path, file) = temp_pagefile("hits");
+        file.write_page(0, b"cached").unwrap();
+        let pool = BufferPool::new(1 << 20);
+        let id = pool.register(file);
+        let journal = TraceJournal::new();
+        {
+            let page = pool.pin(id, 0, &journal).unwrap();
+            assert_eq!(&*page, b"cached");
+        }
+        let page = pool.pin(id, 0, &journal).unwrap();
+        assert_eq!(&*page, b"cached");
+        drop(page);
+        let stats = pool.stats();
+        assert_eq!(stats.faults, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.peak_bytes, PAGE_SIZE as u64);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn eviction_writes_dirty_pages_back_and_they_fault_in_identical() {
+        let (path, file) = temp_pagefile("writeback");
+        // One-frame pool: every new page evicts the previous one.
+        let pool = BufferPool::new(0);
+        assert_eq!(pool.capacity_bytes(), PAGE_SIZE as u64);
+        let id = pool.register(file);
+        let journal = TraceJournal::new();
+        for p in 0..4u32 {
+            pool.write(id, p, format!("page {p}").into_bytes(), &journal)
+                .unwrap();
+        }
+        assert_eq!(pool.stats().evictions, 3);
+        assert_eq!(pool.resident_bytes(), PAGE_SIZE as u64);
+        for p in 0..4u32 {
+            let page = pool.pin(id, p, &journal).unwrap();
+            assert_eq!(&*page, format!("page {p}").as_bytes());
+        }
+        // Residency stayed at one frame through it all, and the journal
+        // saw the churn.
+        let stats = pool.stats();
+        assert!(stats.faults >= 3, "{stats:?}");
+        assert_eq!(stats.peak_bytes, PAGE_SIZE as u64);
+        let events = journal.snapshot();
+        let evictions = events
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::PageEvicted { .. }))
+            .count() as u64;
+        assert_eq!(evictions, stats.evictions);
+        for e in &events.events {
+            if let TraceEventKind::PageFaulted { pool_bytes, .. }
+            | TraceEventKind::PageEvicted { pool_bytes, .. } = e.kind
+            {
+                assert!(pool_bytes <= pool.capacity_bytes(), "budget exceeded");
+            }
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let (path, file) = temp_pagefile("pinned");
+        file.write_page(0, b"keep me").unwrap();
+        let pool = BufferPool::new(0); // one frame
+        let id = pool.register(file);
+        let journal = TraceJournal::new();
+        let page = pool.pin(id, 0, &journal).unwrap();
+        // The only frame is pinned: another page cannot come in.
+        let err = pool
+            .write(id, 1, b"evictor".to_vec(), &journal)
+            .unwrap_err();
+        assert!(err.to_string().contains("pinned"), "{err}");
+        assert_eq!(&*page, b"keep me");
+        drop(page);
+        // Unpinned, the frame is reclaimable again.
+        pool.write(id, 1, b"evictor".to_vec(), &journal).unwrap();
+        cleanup(&path);
+    }
+
+    #[test]
+    fn flush_leaves_frames_resident_and_clean() {
+        let (path, file) = temp_pagefile("flush");
+        let pool = BufferPool::new(1 << 20);
+        let id = pool.register(file.clone());
+        let journal = TraceJournal::new();
+        pool.write(id, 0, b"durable".to_vec(), &journal).unwrap();
+        pool.flush_file(id).unwrap();
+        file.finalize().unwrap();
+        // Still a hit (no fault) after the flush …
+        let before = pool.stats().faults;
+        let page = pool.pin(id, 0, &journal).unwrap();
+        assert_eq!(&*page, b"durable");
+        assert_eq!(pool.stats().faults, before);
+        drop(page);
+        // … and the bytes really are on disk.
+        assert_eq!(file.read_page(0).unwrap(), b"durable");
+        cleanup(&path);
+    }
+}

@@ -14,7 +14,8 @@
 //! measured by benchmark E5.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -34,9 +35,11 @@ use crate::fault::KillMode;
 use crate::logical::{AggExpr, AggFunc, JoinType, LogicalPlan};
 use crate::metrics::MetricsCollector;
 use crate::morsel::{self, PipelineBody, WaveOrder};
+use crate::pager::{SpillHandle, SpillManager, SPILL_OP_AGGREGATE};
 use crate::resilience::RunControl;
 use crate::scheduler::{run_stage_controlled, SchedulerConfig};
-use crate::shuffle::shuffle_traced;
+use crate::shuffle::{estimate_row_bytes, shuffle_traced, shuffle_traced_spillable, ShuffleOutput};
+use crate::trace::TraceEventKind;
 use crate::vexpr::BoundExpr;
 
 /// Execution-time configuration.
@@ -73,6 +76,17 @@ pub struct ExecConfig {
     /// context mints a private one). See
     /// [`crate::session::EngineConfig::with_control`].
     pub control: Option<RunControl>,
+    /// Out-of-core memory budget, bytes. When set, the columnar shuffle
+    /// bounds its staging buffers and the partial-aggregation map output is
+    /// bounded before its shuffle: over-budget runs spill to paged files
+    /// ([`crate::pager`]) and merge back on read, output-identical to the
+    /// in-memory path. `None` (the default) leaves every operator fully
+    /// in-memory — that path is untouched by the budget machinery.
+    pub memory_budget_bytes: Option<u64>,
+    /// Where spill runs page to. `None` = a process-unique directory under
+    /// the system temp dir; sessions with checkpointing set
+    /// `<checkpoint-dir>/spill` so chaos sweeps cover both.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for ExecConfig {
@@ -86,6 +100,8 @@ impl Default for ExecConfig {
             pipelined: true,
             morsel_rows: 4096,
             control: None,
+            memory_budget_bytes: None,
+            spill_dir: None,
         }
     }
 }
@@ -104,7 +120,14 @@ pub struct ExecContext<'a> {
     wave: AtomicUsize,
     checkpoint: Option<RunCheckpoint>,
     control: RunControl,
+    /// Present iff `config.memory_budget_bytes` is set: the run's spill
+    /// directory, page files and buffer pool. Dropped with the context,
+    /// which removes the spill directory.
+    spill: Option<SpillManager>,
 }
+
+/// Distinguishes concurrent unbudgeted-dir runs in one process.
+static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl<'a> ExecContext<'a> {
     pub fn new(
@@ -113,6 +136,16 @@ impl<'a> ExecContext<'a> {
         metrics: &'a MetricsCollector,
     ) -> Self {
         let control = config.control.clone().unwrap_or_default();
+        let spill = config.memory_budget_bytes.map(|budget| {
+            let dir = config.spill_dir.clone().unwrap_or_else(|| {
+                std::env::temp_dir().join(format!(
+                    "toreador-spill-{}-{}",
+                    std::process::id(),
+                    SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+                ))
+            });
+            SpillManager::new(budget, dir)
+        });
         ExecContext {
             datasets,
             config,
@@ -121,7 +154,127 @@ impl<'a> ExecContext<'a> {
             wave: AtomicUsize::new(0),
             checkpoint: None,
             control,
+            spill,
         }
+    }
+
+    /// The run's spill manager, present when a memory budget is set.
+    pub fn spill(&self) -> Option<&SpillManager> {
+        self.spill.as_ref()
+    }
+
+    /// Shuffle owned partitions, spilling over-budget staging when a
+    /// memory budget is set; the borrowed in-memory fast path otherwise
+    /// (no clones, no budget checks — untouched relative to the
+    /// unbudgeted engine).
+    fn shuffle(
+        &self,
+        inputs: Vec<Table>,
+        schema: &Schema,
+        keys: &[String],
+        targets: usize,
+    ) -> Result<ShuffleOutput> {
+        match self.spill.as_ref() {
+            Some(manager) => {
+                let sources = inputs.len();
+                shuffle_traced_spillable(
+                    inputs.into_iter().map(Ok),
+                    sources,
+                    schema,
+                    keys,
+                    targets,
+                    self.metrics.trace(),
+                    Some(manager),
+                )
+            }
+            None => shuffle_traced(&inputs, schema, keys, targets, self.metrics.trace()),
+        }
+    }
+
+    /// Shuffle the partial-aggregation map output. Under a memory budget
+    /// the map output itself is bounded first: the largest partial tables
+    /// spill to paged runs (`SpillStarted`, op `aggregate`) until what
+    /// stays resident fits the budget, and the shuffle then consumes
+    /// in-memory partials and read-back runs (`SpillMerged`) in the
+    /// original partition order — so the row stream entering the shuffle,
+    /// and therefore every downstream fold, is identical to the in-memory
+    /// run's.
+    fn shuffle_partials(
+        &self,
+        partials: Vec<Table>,
+        schema: &Schema,
+        keys: &[String],
+        targets: usize,
+    ) -> Result<ShuffleOutput> {
+        let Some(manager) = self.spill.as_ref() else {
+            return shuffle_traced(&partials, schema, keys, targets, self.metrics.trace());
+        };
+        let journal = self.metrics.trace();
+        let budget = manager.budget_bytes() as usize;
+        let row_bytes = estimate_row_bytes(&partials);
+        let sizes: Vec<usize> = partials
+            .iter()
+            .map(|t| t.num_rows().saturating_mul(row_bytes))
+            .collect();
+        let mut resident: usize = sizes.iter().sum();
+        enum MapRun {
+            Mem(Table),
+            Spilled(SpillHandle),
+            Draining,
+        }
+        let mut slots: Vec<MapRun> = partials.into_iter().map(MapRun::Mem).collect();
+        while resident > budget {
+            // Largest resident partial first; ties break on the lowest
+            // partition index, so the spill set is deterministic.
+            let Some((i, sz)) = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    MapRun::Mem(t) if t.num_rows() > 0 => Some((i, sizes[i])),
+                    _ => None,
+                })
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            else {
+                break;
+            };
+            let MapRun::Mem(t) = std::mem::replace(&mut slots[i], MapRun::Draining) else {
+                unreachable!("selected slot is resident");
+            };
+            let handle = manager.spill_table(&t, journal)?;
+            journal.record(TraceEventKind::SpillStarted {
+                op: SPILL_OP_AGGREGATE.to_owned(),
+                target: i,
+                rows: t.num_rows() as u64,
+                bytes: handle.bytes(),
+            });
+            slots[i] = MapRun::Spilled(handle);
+            resident -= sz;
+        }
+        let sources = slots.len();
+        shuffle_traced_spillable(
+            slots.into_iter().enumerate().map(|(i, slot)| match slot {
+                MapRun::Mem(t) => Ok(t),
+                MapRun::Spilled(handle) => {
+                    let t = manager.read_back(&handle, journal)?;
+                    journal.record(TraceEventKind::SpillMerged {
+                        op: SPILL_OP_AGGREGATE.to_owned(),
+                        target: i,
+                        runs: 1,
+                        rows: t.num_rows() as u64,
+                        bytes: handle.bytes(),
+                    });
+                    manager.release(handle);
+                    Ok(t)
+                }
+                MapRun::Draining => unreachable!("transient state never escapes the spill loop"),
+            }),
+            sources,
+            schema,
+            keys,
+            targets,
+            journal,
+            Some(manager),
+        )
     }
 
     /// Attach a run checkpoint: every completed wave is persisted, and
@@ -1377,17 +1530,11 @@ fn exec_aggregate(
                 .collect();
             ctx.run_stage(map_stage, tasks)?
         };
-        let out = shuffle_traced(&partials, &p_schema, group_by, targets, ctx.metrics.trace())?;
+        let out = ctx.shuffle_partials(partials, &p_schema, group_by, targets)?;
         (out.partitions, out.bytes_moved)
     } else {
         let schema = input.schema().clone();
-        let out = shuffle_traced(
-            input.parts(),
-            &schema,
-            group_by,
-            targets,
-            ctx.metrics.trace(),
-        )?;
+        let out = ctx.shuffle(input.into_parts(), &schema, group_by, targets)?;
         (out.partitions, out.bytes_moved)
     };
     let reduce_stage = ctx.next_stage();
@@ -1440,20 +1587,8 @@ fn exec_join(
     let targets = ctx.config.partitions.max(1);
     let l_schema = left.schema().clone();
     let r_schema = right.schema().clone();
-    let l_out = shuffle_traced(
-        left.parts(),
-        &l_schema,
-        left_keys,
-        targets,
-        ctx.metrics.trace(),
-    )?;
-    let r_out = shuffle_traced(
-        right.parts(),
-        &r_schema,
-        right_keys,
-        targets,
-        ctx.metrics.trace(),
-    )?;
+    let l_out = ctx.shuffle(left.into_parts(), &l_schema, left_keys, targets)?;
+    let r_out = ctx.shuffle(right.into_parts(), &r_schema, right_keys, targets)?;
     let bytes = l_out.bytes_moved + r_out.bytes_moved;
     let stage = ctx.next_stage();
 
@@ -1535,7 +1670,7 @@ fn exec_sort(
     let started = Instant::now();
     // Gather everything into one partition (keyless shuffle), then sort.
     let schema = input.schema().clone();
-    let gathered = shuffle_traced(input.parts(), &schema, &[], 1, ctx.metrics.trace())?;
+    let gathered = ctx.shuffle(input.into_parts(), &schema, &[], 1)?;
     let stage = ctx.next_stage();
     let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
     let table = gathered
@@ -1629,13 +1764,7 @@ fn exec_distinct(
     let schema = input.schema().clone();
     let all_cols: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
     let targets = ctx.config.partitions.max(1);
-    let out = shuffle_traced(
-        input.parts(),
-        &schema,
-        &all_cols,
-        targets,
-        ctx.metrics.trace(),
-    )?;
+    let out = ctx.shuffle(input.into_parts(), &schema, &all_cols, targets)?;
     let stage = ctx.next_stage();
     let tasks: Vec<_> = out
         .partitions

@@ -58,6 +58,13 @@ pub struct EngineConfig {
     /// SIGTERM, a session being closed). `None` — the default — keeps the
     /// control private to the run.
     pub control: Option<RunControl>,
+    /// When set, wide operators (shuffle staging and partial-aggregation
+    /// map output) spill runs to paged files once their working set
+    /// exceeds this many bytes, and merge them back on read
+    /// (see [`crate::pager`]). `None` — the default — keeps everything in
+    /// memory. Spilling never changes results: output is byte-identical to
+    /// the in-memory path.
+    pub memory_budget_bytes: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +81,7 @@ impl Default for EngineConfig {
             morsel_rows: 4096,
             checkpoint: None,
             control: None,
+            memory_budget_bytes: None,
         }
     }
 }
@@ -143,6 +151,13 @@ impl EngineConfig {
         self
     }
 
+    /// Cap the in-memory working set of wide operators at `bytes`; runs
+    /// beyond the budget spill to paged files and merge back on read.
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget_bytes = Some(bytes);
+        self
+    }
+
     fn exec_config(&self) -> ExecConfig {
         ExecConfig {
             scheduler: SchedulerConfig {
@@ -156,6 +171,14 @@ impl EngineConfig {
             pipelined: self.pipelined,
             morsel_rows: self.morsel_rows,
             control: self.control.clone(),
+            memory_budget_bytes: self.memory_budget_bytes,
+            // Spill next to the checkpoint when there is one (so a kill
+            // mid-spill is swept on resume); otherwise ExecContext derives
+            // a process-unique temp dir.
+            spill_dir: self
+                .checkpoint
+                .as_ref()
+                .map(|spec| spec.dir().join("spill")),
         }
     }
 }
@@ -315,7 +338,13 @@ impl Engine {
         let started = Instant::now();
         let optimized = optimize(flow.plan(), &self.config.optimizer)?;
         let metrics = MetricsCollector::new();
-        let mut ctx = ExecContext::new(&self.datasets, self.config.exec_config(), &metrics);
+        let mut exec_config = self.config.exec_config();
+        if let Some(spec) = &checkpoint {
+            // run_checkpointed / resume pass a spec the engine config never
+            // saw; anchor the spill scratch to the run actually executing.
+            exec_config.spill_dir = Some(spec.dir().join("spill"));
+        }
+        let mut ctx = ExecContext::new(&self.datasets, exec_config, &metrics);
         if let Some(spec) = &checkpoint {
             let manifest = self.manifest_for(&optimized, spec)?;
             let ck = if spec.resume && RunCheckpoint::manifest_exists(spec) {
@@ -501,6 +530,60 @@ mod tests {
         assert_eq!(r.table, baseline.table, "chaos must not change results");
         let totals = r.trace.resilience_totals();
         assert!(totals.retries > 0, "the chaos plan must have bitten");
+    }
+
+    #[test]
+    fn budgeted_runs_spill_and_match_in_memory_byte_for_byte() {
+        let flow_of = |e: &Engine| {
+            e.flow("clicks")
+                .unwrap()
+                .aggregate(
+                    &["event_id"],
+                    vec![
+                        AggExpr::new(AggFunc::Count, "event_id", "n"),
+                        AggExpr::new(AggFunc::Sum, "price", "revenue"),
+                    ],
+                )
+                .unwrap()
+                .sort(&["event_id"], false)
+                .unwrap()
+        };
+        // High-cardinality group key: the map output is ~as big as the
+        // input, so a small budget forces both aggregation-side and
+        // shuffle-side spills.
+        let mut calm = Engine::new(EngineConfig::default().with_threads(2));
+        calm.register("clicks", clickstream(4_000, 7)).unwrap();
+        let baseline = calm.run(&flow_of(&calm)).unwrap();
+        assert!(baseline.trace.spill_totals().is_zero());
+
+        let mut tight = Engine::new(
+            EngineConfig::default()
+                .with_threads(2)
+                .with_memory_budget(16 << 10),
+        );
+        tight.register("clicks", clickstream(4_000, 7)).unwrap();
+        let spilled = tight.run(&flow_of(&tight)).unwrap();
+        assert_eq!(
+            spilled.table, baseline.table,
+            "spilling must not change results"
+        );
+        let totals = spilled.trace.spill_totals();
+        assert!(totals.spills > 0, "budget must have bitten: {totals:?}");
+        assert!(totals.merges > 0, "{totals:?}");
+        assert!(
+            totals.peak_pool_bytes <= 32 << 10,
+            "pool residency floors at one page frame: {totals:?}"
+        );
+        // A huge budget never spills and takes the identical path.
+        let mut roomy = Engine::new(
+            EngineConfig::default()
+                .with_threads(2)
+                .with_memory_budget(1 << 30),
+        );
+        roomy.register("clicks", clickstream(4_000, 7)).unwrap();
+        let r = roomy.run(&flow_of(&roomy)).unwrap();
+        assert_eq!(r.table, baseline.table);
+        assert!(r.trace.spill_totals().is_zero());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Hash shuffle with a binary row codec.
+//! Hash shuffle over the shared binary row codec.
 //!
 //! A shuffle redistributes rows so that all rows sharing a key land in the
 //! same partition — the data-movement step behind aggregates, joins and
@@ -6,123 +6,30 @@
 //! buffer: rows are *encoded* into per-target [`bytes::Bytes`] buffers and
 //! *decoded* on the other side. Round-tripping through bytes keeps the code
 //! path honest (costs scale with row width, exactly like a real shuffle)
-//! and gives the metrics layer true shuffle-byte counts.
+//! and gives the metrics layer true shuffle-byte counts. The byte format
+//! itself lives in [`crate::codec`], shared with checkpointing and the
+//! out-of-core pager.
+//!
+//! When an [`ExecConfig::memory_budget_bytes`](crate::physical::ExecConfig)
+//! is set, [`shuffle_spillable`] bounds the staging memory: whenever the
+//! per-target encode buffers exceed the budget, the largest buffers are
+//! decoded and spilled to paged runs through the buffer pool
+//! ([`crate::pager`]), and each target's output is re-assembled in original
+//! row order from its spilled runs plus the in-memory tail — byte-identical
+//! to the in-memory path, which stays untouched when everything fits.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::BytesMut;
 
-use toreador_data::column::{Column, Validity};
+use toreador_data::column::Column;
 use toreador_data::schema::Schema;
 use toreador_data::table::{Table, TableBuilder};
-use toreador_data::value::{Row, Value};
+use toreador_data::value::Row;
 
+pub use crate::codec::{decode_row, decode_table, encode_row, encode_table};
+use crate::codec::{encode_row_at, lanes};
 use crate::error::{FlowError, Result};
+use crate::pager::{SpillManager, SPILL_OP_SHUFFLE};
 use crate::trace::{TraceEventKind, TraceJournal};
-
-const TAG_NULL: u8 = 0;
-const TAG_BOOL: u8 = 1;
-const TAG_INT: u8 = 2;
-const TAG_FLOAT: u8 = 3;
-const TAG_STR: u8 = 4;
-const TAG_TS: u8 = 5;
-
-/// Append one value to the buffer.
-fn encode_value(v: &Value, buf: &mut BytesMut) {
-    match v {
-        Value::Null => buf.put_u8(TAG_NULL),
-        Value::Bool(b) => {
-            buf.put_u8(TAG_BOOL);
-            buf.put_u8(*b as u8);
-        }
-        Value::Int(i) => {
-            buf.put_u8(TAG_INT);
-            buf.put_i64_le(*i);
-        }
-        Value::Float(x) => {
-            buf.put_u8(TAG_FLOAT);
-            buf.put_f64_le(*x);
-        }
-        Value::Str(s) => {
-            buf.put_u8(TAG_STR);
-            buf.put_u32_le(s.len() as u32);
-            buf.put_slice(s.as_bytes());
-        }
-        Value::Timestamp(t) => {
-            buf.put_u8(TAG_TS);
-            buf.put_i64_le(*t);
-        }
-    }
-}
-
-fn decode_value(buf: &mut Bytes) -> Result<Value> {
-    let short = || FlowError::Codec("truncated shuffle payload".to_owned());
-    if buf.remaining() < 1 {
-        return Err(short());
-    }
-    let tag = buf.get_u8();
-    Ok(match tag {
-        TAG_NULL => Value::Null,
-        TAG_BOOL => {
-            if buf.remaining() < 1 {
-                return Err(short());
-            }
-            Value::Bool(buf.get_u8() != 0)
-        }
-        TAG_INT => {
-            if buf.remaining() < 8 {
-                return Err(short());
-            }
-            Value::Int(buf.get_i64_le())
-        }
-        TAG_FLOAT => {
-            if buf.remaining() < 8 {
-                return Err(short());
-            }
-            Value::Float(buf.get_f64_le())
-        }
-        TAG_STR => {
-            if buf.remaining() < 4 {
-                return Err(short());
-            }
-            let len = buf.get_u32_le() as usize;
-            if buf.remaining() < len {
-                return Err(short());
-            }
-            let bytes = buf.copy_to_bytes(len);
-            Value::Str(
-                String::from_utf8(bytes.to_vec())
-                    .map_err(|_| FlowError::Codec("invalid utf8 in shuffle payload".to_owned()))?,
-            )
-        }
-        TAG_TS => {
-            if buf.remaining() < 8 {
-                return Err(short());
-            }
-            Value::Timestamp(buf.get_i64_le())
-        }
-        other => return Err(FlowError::Codec(format!("unknown value tag {other}"))),
-    })
-}
-
-/// Encode a row (width-prefixed).
-pub fn encode_row(row: &Row, buf: &mut BytesMut) {
-    buf.put_u16_le(row.len() as u16);
-    for v in row {
-        encode_value(v, buf);
-    }
-}
-
-/// Decode one row.
-pub fn decode_row(buf: &mut Bytes) -> Result<Row> {
-    if buf.remaining() < 2 {
-        return Err(FlowError::Codec("truncated shuffle payload".to_owned()));
-    }
-    let width = buf.get_u16_le() as usize;
-    let mut row = Vec::with_capacity(width);
-    for _ in 0..width {
-        row.push(decode_value(buf)?);
-    }
-    Ok(row)
-}
 
 /// The hash used to route rows; combines the key columns' stable hashes.
 pub fn route(row: &Row, key_idx: &[usize], targets: usize) -> usize {
@@ -152,7 +59,7 @@ fn fnv(bytes: impl IntoIterator<Item = u8>, mut h: u64) -> u64 {
 
 /// Stable hashes for every row of one column, computed lane-at-a-time:
 /// `out[i] == col.value(i).hash_code()` for all `i`, without materialising
-/// a single [`Value`].
+/// a single [`toreador_data::value::Value`].
 pub fn column_hash_codes(col: &Column) -> Vec<u64> {
     let null = fnv([0u8], FNV_OFFSET);
     let hash = |valid: bool, bytes: &mut dyn Iterator<Item = u8>| {
@@ -238,109 +145,9 @@ pub fn route_rows(t: &Table, key_idx: &[usize], targets: usize) -> Result<Vec<u3
         .collect())
 }
 
-/// A borrowed typed view of one column, for encoding rows straight out of
-/// the native lanes without building `Value`s.
-enum Lane<'a> {
-    Bool(&'a [bool], &'a Validity),
-    Int(&'a [i64], &'a Validity),
-    Float(&'a [f64], &'a Validity),
-    Str(&'a [String], &'a Validity),
-    Ts(&'a [i64], &'a Validity),
-}
-
-fn lanes(t: &Table) -> Vec<Lane<'_>> {
-    t.columns()
-        .iter()
-        .map(|c| match c {
-            Column::Bool { data, validity } => Lane::Bool(data, validity),
-            Column::Int { data, validity } => Lane::Int(data, validity),
-            Column::Float { data, validity } => Lane::Float(data, validity),
-            Column::Str { data, validity } => Lane::Str(data, validity),
-            Column::Timestamp { data, validity } => Lane::Ts(data, validity),
-        })
-        .collect()
-}
-
-/// Encode row `i` of a table (width-prefixed), producing exactly the same
-/// bytes as [`encode_row`] on the materialised row.
-fn encode_row_at(lanes: &[Lane<'_>], i: usize, buf: &mut BytesMut) {
-    buf.put_u16_le(lanes.len() as u16);
-    for lane in lanes {
-        match lane {
-            Lane::Bool(data, validity) => {
-                if validity.get(i) {
-                    buf.put_u8(TAG_BOOL);
-                    buf.put_u8(data[i] as u8);
-                } else {
-                    buf.put_u8(TAG_NULL);
-                }
-            }
-            Lane::Int(data, validity) => {
-                if validity.get(i) {
-                    buf.put_u8(TAG_INT);
-                    buf.put_i64_le(data[i]);
-                } else {
-                    buf.put_u8(TAG_NULL);
-                }
-            }
-            Lane::Float(data, validity) => {
-                if validity.get(i) {
-                    buf.put_u8(TAG_FLOAT);
-                    buf.put_f64_le(data[i]);
-                } else {
-                    buf.put_u8(TAG_NULL);
-                }
-            }
-            Lane::Str(data, validity) => {
-                if validity.get(i) {
-                    buf.put_u8(TAG_STR);
-                    buf.put_u32_le(data[i].len() as u32);
-                    buf.put_slice(data[i].as_bytes());
-                } else {
-                    buf.put_u8(TAG_NULL);
-                }
-            }
-            Lane::Ts(data, validity) => {
-                if validity.get(i) {
-                    buf.put_u8(TAG_TS);
-                    buf.put_i64_le(data[i]);
-                } else {
-                    buf.put_u8(TAG_NULL);
-                }
-            }
-        }
-    }
-}
-
-/// Encode every row of a table through the lane codec, producing exactly
-/// the bytes [`encode_row`] would for the materialised rows. This is the
-/// checkpoint wire format: a wave partition persists as its row count plus
-/// this byte stream.
-pub fn encode_table(t: &Table, buf: &mut BytesMut) {
-    let lanes = lanes(t);
-    for i in 0..t.num_rows() {
-        encode_row_at(&lanes, i, buf);
-    }
-}
-
-/// Decode `count` rows of `schema` back into a table, rejecting trailing
-/// bytes — the inverse of [`encode_table`].
-pub fn decode_table(schema: &Schema, count: usize, mut bytes: Bytes) -> Result<Table> {
-    let mut builder = TableBuilder::with_capacity(schema.clone(), count);
-    for _ in 0..count {
-        builder.push_row(decode_row(&mut bytes)?)?;
-    }
-    if bytes.has_remaining() {
-        return Err(FlowError::Codec(
-            "trailing bytes after decoding table".to_owned(),
-        ));
-    }
-    Ok(builder.finish()?)
-}
-
 /// Mean encoded row width over a small prefix sample, used to pre-size the
 /// per-target encode buffers instead of growing them from empty.
-fn estimate_row_bytes(inputs: &[Table]) -> usize {
+pub(crate) fn estimate_row_bytes(inputs: &[Table]) -> usize {
     const SAMPLE: usize = 16;
     let mut scratch = BytesMut::new();
     let mut sampled = 0usize;
@@ -375,6 +182,21 @@ impl ShuffleOutput {
     }
 }
 
+/// Decode one target's complete buffer back into a table.
+fn decode_buffer(schema: &Schema, buf: BytesMut, count: usize) -> Result<Table> {
+    let mut bytes = buf.freeze();
+    let mut builder = TableBuilder::with_capacity(schema.clone(), count);
+    for _ in 0..count {
+        builder.push_row(decode_row(&mut bytes)?)?;
+    }
+    if !bytes.is_empty() {
+        return Err(FlowError::Codec(
+            "trailing bytes after decoding shuffle".to_owned(),
+        ));
+    }
+    Ok(builder.finish()?)
+}
+
 /// Redistribute all `inputs` rows into `targets` partitions keyed by the
 /// named columns. Rows are serialised into per-target buffers and decoded
 /// back out, exactly once each.
@@ -383,6 +205,40 @@ pub fn shuffle(
     schema: &Schema,
     keys: &[String],
     targets: usize,
+) -> Result<ShuffleOutput> {
+    shuffle_spillable(
+        inputs.iter().map(|t| Ok(t.clone())),
+        inputs.len(),
+        schema,
+        keys,
+        targets,
+        None,
+    )
+}
+
+/// How many buffered rows between budget checks on the spill path. Checking
+/// at row granularity would put a branch in the hot loop for nothing; a
+/// whole input table at a time could overshoot the budget by that table's
+/// encoded size. 1024 rows keeps the overshoot to a few row-widths.
+const SPILL_CHECK_ROWS: usize = 1024;
+
+/// The spillable core every shuffle runs through. Inputs arrive as an
+/// iterator of owned tables so spilled upstream runs can be fed back one at
+/// a time without materialising them all (`sources` is the input count for
+/// the trace event). With `spill: None` — or a budget nothing exceeds —
+/// this is exactly the historical in-memory shuffle. With a
+/// [`SpillManager`], whenever the per-target encode buffers exceed the
+/// budget the largest buffers are decoded and written out as paged runs,
+/// and each target's output is the concatenation of its runs plus the
+/// in-memory tail, in original arrival order — byte-identical to the
+/// in-memory result.
+pub fn shuffle_spillable(
+    inputs: impl IntoIterator<Item = Result<Table>>,
+    sources: usize,
+    schema: &Schema,
+    keys: &[String],
+    targets: usize,
+    spill: Option<(&SpillManager, &TraceJournal)>,
 ) -> Result<ShuffleOutput> {
     if targets == 0 {
         return Err(FlowError::Plan(
@@ -393,58 +249,176 @@ pub fn shuffle(
         .iter()
         .map(|k| schema.index_of(k).map_err(FlowError::Data))
         .collect::<Result<Vec<_>>>()?;
-    // Pre-size each target buffer for its expected share of the encoded
-    // bytes (plus skew slack) so the hot loop never reallocates.
-    let total_rows: usize = inputs.iter().map(Table::num_rows).sum();
-    let row_bytes = estimate_row_bytes(inputs);
-    let mut buffers: Vec<BytesMut> = (0..targets)
-        .map(|i| {
-            let share = if key_idx.is_empty() {
-                // Keyless shuffle gathers everything into partition 0.
-                if i == 0 {
-                    total_rows
-                } else {
-                    0
-                }
-            } else {
-                total_rows / targets + total_rows / (targets * 8) + 1
-            };
-            BytesMut::with_capacity(share * row_bytes)
-        })
-        .collect();
+    let mut buffers: Vec<BytesMut> = (0..targets).map(|_| BytesMut::new()).collect();
     let mut counts = vec![0usize; targets];
+    let mut spilled: Vec<Vec<crate::pager::SpillHandle>> =
+        (0..targets).map(|_| Vec::new()).collect();
+    let mut spilled_bytes = 0u64;
+    let mut buffered = 0usize;
+    let mut presized = false;
+    let budget = spill.map(|(m, _)| m.budget_bytes() as usize);
     for t in inputs {
-        let lanes = lanes(t);
+        let t = t?;
+        if !presized && t.num_rows() > 0 {
+            // Pre-size each target buffer for its expected share of the
+            // encoded bytes (plus skew slack) so the hot loop never
+            // reallocates. Inputs arrive as an iterator, so the total row
+            // count is estimated from the first non-empty table times the
+            // source count (inputs are near-evenly split partitions).
+            // Under a budget, never pre-size beyond it.
+            let total_rows: usize = t.num_rows().saturating_mul(sources.max(1));
+            let row_bytes = estimate_row_bytes(std::slice::from_ref(&t));
+            for (i, buf) in buffers.iter_mut().enumerate() {
+                let share = if key_idx.is_empty() {
+                    // Keyless shuffle gathers everything into partition 0.
+                    if i == 0 {
+                        total_rows
+                    } else {
+                        0
+                    }
+                } else {
+                    total_rows / targets + total_rows / (targets * 8) + 1
+                };
+                let mut cap = share * row_bytes;
+                if let Some(b) = budget {
+                    cap = cap.min(b / targets + 1);
+                }
+                // The buffers are still empty here (this is the first
+                // non-empty input), so swapping in a pre-sized buffer is
+                // the no-realloc reserve.
+                *buf = BytesMut::with_capacity(cap);
+            }
+            presized = true;
+        }
+        let lanes = lanes(&t);
         let routes = if key_idx.is_empty() {
             None
         } else {
-            Some(route_rows(t, &key_idx, targets)?)
+            Some(route_rows(&t, &key_idx, targets)?)
         };
+        let mut since_check = 0usize;
         for i in 0..t.num_rows() {
             let target = routes.as_ref().map_or(0, |r| r[i] as usize);
+            let before = buffers[target].len();
             encode_row_at(&lanes, i, &mut buffers[target]);
+            buffered += buffers[target].len() - before;
             counts[target] += 1;
+            since_check += 1;
+            if since_check >= SPILL_CHECK_ROWS {
+                since_check = 0;
+                if let (Some(b), Some((manager, journal))) = (budget, spill) {
+                    while buffered > b {
+                        if !spill_largest(
+                            manager,
+                            journal,
+                            schema,
+                            &mut buffers,
+                            &mut counts,
+                            &mut spilled,
+                            &mut buffered,
+                            &mut spilled_bytes,
+                        )? {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // End-of-input check too, so a final sub-1024-row tail still
+        // respects the budget before the next (possibly large) input.
+        if let (Some(b), Some((manager, journal))) = (budget, spill) {
+            while buffered > b {
+                if !spill_largest(
+                    manager,
+                    journal,
+                    schema,
+                    &mut buffers,
+                    &mut counts,
+                    &mut spilled,
+                    &mut buffered,
+                    &mut spilled_bytes,
+                )? {
+                    break;
+                }
+            }
         }
     }
-    let bytes_moved: u64 = buffers.iter().map(|b| b.len() as u64).sum();
+    let tail_bytes: u64 = buffers.iter().map(|b| b.len() as u64).sum();
+    let bytes_moved = tail_bytes + spilled_bytes;
     let mut partitions = Vec::with_capacity(targets);
-    for (buf, count) in buffers.into_iter().zip(counts) {
-        let mut bytes = buf.freeze();
-        let mut builder = TableBuilder::with_capacity(schema.clone(), count);
-        for _ in 0..count {
-            builder.push_row(decode_row(&mut bytes)?)?;
+    for (target, (buf, count)) in buffers.into_iter().zip(counts).enumerate() {
+        let tail = decode_buffer(schema, buf, count)?;
+        let runs = std::mem::take(&mut spilled[target]);
+        if runs.is_empty() {
+            partitions.push(tail);
+            continue;
         }
-        if bytes.has_remaining() {
-            return Err(FlowError::Codec(
-                "trailing bytes after decoding shuffle".to_owned(),
-            ));
+        let (manager, journal) = spill.expect("spilled runs imply a spill manager");
+        let mut chunks = Vec::with_capacity(runs.len() + 1);
+        let mut merged_rows = 0u64;
+        let mut merged_bytes = 0u64;
+        let n_runs = runs.len();
+        for handle in runs {
+            merged_bytes += handle.bytes();
+            let chunk = manager.read_back(&handle, journal)?;
+            merged_rows += chunk.num_rows() as u64;
+            chunks.push(chunk);
+            manager.release(handle);
         }
-        partitions.push(builder.finish()?);
+        merged_rows += tail.num_rows() as u64;
+        chunks.push(tail);
+        journal.record(TraceEventKind::SpillMerged {
+            op: SPILL_OP_SHUFFLE.to_owned(),
+            target,
+            runs: n_runs,
+            rows: merged_rows,
+            bytes: merged_bytes,
+        });
+        partitions.push(Table::concat(&chunks).map_err(FlowError::Data)?);
     }
     Ok(ShuffleOutput {
         partitions,
         bytes_moved,
     })
+}
+
+/// Spill the single largest target buffer as one paged run. Returns false
+/// when nothing is left to spill (every buffer empty).
+#[allow(clippy::too_many_arguments)]
+fn spill_largest(
+    manager: &SpillManager,
+    journal: &TraceJournal,
+    schema: &Schema,
+    buffers: &mut [BytesMut],
+    counts: &mut [usize],
+    spilled: &mut [Vec<crate::pager::SpillHandle>],
+    buffered: &mut usize,
+    spilled_bytes: &mut u64,
+) -> Result<bool> {
+    let Some((target, _)) = buffers
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| !b.is_empty())
+        .max_by_key(|(_, b)| b.len())
+    else {
+        return Ok(false);
+    };
+    let bytes = buffers[target].len() as u64;
+    let count = counts[target];
+    let buf = std::mem::take(&mut buffers[target]);
+    counts[target] = 0;
+    *buffered -= bytes as usize;
+    *spilled_bytes += bytes;
+    let chunk = decode_buffer(schema, buf, count)?;
+    let handle = manager.spill_table(&chunk, journal)?;
+    journal.record(TraceEventKind::SpillStarted {
+        op: SPILL_OP_SHUFFLE.to_owned(),
+        target,
+        rows: count as u64,
+        bytes,
+    });
+    spilled[target].push(handle);
+    Ok(true)
 }
 
 /// [`shuffle`], plus a [`TraceEventKind::ShuffleWave`] event in `journal`.
@@ -457,12 +431,41 @@ pub fn shuffle_traced(
     targets: usize,
     journal: &TraceJournal,
 ) -> Result<ShuffleOutput> {
-    let out = shuffle(inputs, schema, keys, targets)?;
+    shuffle_traced_spillable(
+        inputs.iter().map(|t| Ok(t.clone())),
+        inputs.len(),
+        schema,
+        keys,
+        targets,
+        journal,
+        None,
+    )
+}
+
+/// The traced spillable shuffle: [`shuffle_spillable`] plus the
+/// [`TraceEventKind::ShuffleWave`] event.
+pub fn shuffle_traced_spillable(
+    inputs: impl IntoIterator<Item = Result<Table>>,
+    sources: usize,
+    schema: &Schema,
+    keys: &[String],
+    targets: usize,
+    journal: &TraceJournal,
+    spill: Option<&SpillManager>,
+) -> Result<ShuffleOutput> {
+    let out = shuffle_spillable(
+        inputs,
+        sources,
+        schema,
+        keys,
+        targets,
+        spill.map(|m| (m, journal)),
+    )?;
     journal.record(TraceEventKind::ShuffleWave {
         keys: keys.len(),
         rows: out.rows_moved(),
         bytes: out.bytes_moved,
-        sources: inputs.len(),
+        sources,
         targets,
     });
     Ok(out)
@@ -471,8 +474,10 @@ pub fn shuffle_traced(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::{Buf, BufMut};
     use toreador_data::generate::random_table;
     use toreador_data::partition::PartitionedTable;
+    use toreador_data::value::Value;
 
     #[test]
     fn row_codec_round_trips_every_type() {
@@ -645,5 +650,48 @@ mod tests {
     fn shuffle_unknown_key_rejected() {
         let t = random_table(10, 2, 1);
         assert!(shuffle(std::slice::from_ref(&t), t.schema(), &["zzz".to_owned()], 2).is_err());
+    }
+
+    /// The core out-of-core invariant at the shuffle layer: with any budget
+    /// — including zero — the spillable shuffle's partitions, byte counts
+    /// and row counts are identical to the in-memory shuffle's.
+    #[test]
+    fn spillable_shuffle_is_byte_identical_to_in_memory() {
+        let t = random_table(800, 4, 99);
+        let parts = PartitionedTable::split(t.clone(), 4).unwrap();
+        let keys = vec!["c0".to_owned()];
+        let baseline = shuffle(parts.parts(), t.schema(), &keys, 6).unwrap();
+        for budget in [0u64, 1, 512, 4 << 10, 1 << 30] {
+            let dir = std::env::temp_dir().join(format!(
+                "toreador-shuffle-spill-{}-{budget}",
+                std::process::id()
+            ));
+            let manager = SpillManager::new(budget, dir.clone());
+            let journal = TraceJournal::new();
+            let out = shuffle_spillable(
+                parts.parts().iter().map(|p| Ok(p.clone())),
+                parts.parts().len(),
+                t.schema(),
+                &keys,
+                6,
+                Some((&manager, &journal)),
+            )
+            .unwrap();
+            assert_eq!(out.partitions, baseline.partitions, "budget {budget}");
+            assert_eq!(out.bytes_moved, baseline.bytes_moved, "budget {budget}");
+            let spilled = journal
+                .snapshot()
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, TraceEventKind::SpillStarted { .. }))
+                .count();
+            if budget >= 1 << 30 {
+                assert_eq!(spilled, 0, "a huge budget must not spill");
+            } else {
+                assert!(spilled > 0, "budget {budget} must have spilled");
+            }
+            drop(manager);
+            assert!(!dir.exists(), "spill dir must be cleaned up on drop");
+        }
     }
 }

@@ -240,6 +240,46 @@ pub enum TraceEventKind {
         next_offset: u64,
         watermark_ms: Option<i64>,
     },
+    /// A buffer-pool read missed the pool and loaded the page from its
+    /// backing file. `pool_bytes` is the resident pool size *after* the
+    /// fault — the bounded-memory proof reads these and asserts
+    /// `pool_bytes <= budget` at every event. Journal-only — derived
+    /// [`RunMetrics`] ignore it, so budgeted and unbudgeted runs stay
+    /// metrics-compatible.
+    PageFaulted {
+        file: u64,
+        page: u32,
+        bytes: u64,
+        pool_bytes: u64,
+    },
+    /// The clock hand reclaimed a page frame to make room; `dirty` pages
+    /// were written back to their backing file first. Journal-only.
+    PageEvicted {
+        file: u64,
+        page: u32,
+        bytes: u64,
+        dirty: bool,
+        pool_bytes: u64,
+    },
+    /// An operator exceeded its memory budget and spilled a run of rows to
+    /// a paged file. `op` names the spilling operator family (`shuffle`,
+    /// `aggregate`); `target` is the partition the run belongs to.
+    /// Journal-only.
+    SpillStarted {
+        op: String,
+        target: usize,
+        rows: u64,
+        bytes: u64,
+    },
+    /// Spilled runs were read back and merged with the in-memory tail to
+    /// produce the partition's final output. Journal-only.
+    SpillMerged {
+        op: String,
+        target: usize,
+        runs: usize,
+        rows: u64,
+        bytes: u64,
+    },
     /// The run finalised into a [`RunMetrics`].
     RunFinished {
         total_elapsed_us: u64,
@@ -385,6 +425,10 @@ pub struct TraceSummary {
     /// the pre-materialised oracle path).
     #[serde(default)]
     pub stream: StreamTotals,
+    /// Whole-run out-of-core activity (zero when everything fit in the
+    /// memory budget, or no budget was set).
+    #[serde(default)]
+    pub spill: SpillTotals,
 }
 
 /// Aggregate resilience cost of a run, counted from the journal. What
@@ -522,6 +566,53 @@ impl StreamTotals {
             late_side_channelled: self.late_side_channelled + other.late_side_channelled,
             late_dropped: self.late_dropped + other.late_dropped,
             resumes: self.resumes + other.resumes,
+        }
+    }
+}
+
+/// Aggregate out-of-core activity of a run, counted from the journal. What
+/// `labs::compare` diffs between a budgeted run and an in-memory run, and
+/// what the bounded-memory acceptance proof reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpillTotals {
+    /// Runs spilled to paged files when a budget was exceeded.
+    pub spills: u64,
+    /// Rows across all spilled runs.
+    pub spilled_rows: u64,
+    /// Encoded bytes across all spilled runs.
+    pub spilled_bytes: u64,
+    /// Merge passes that read spilled runs back into partition output.
+    pub merges: u64,
+    /// Spilled runs consumed across all merge passes.
+    pub merged_runs: u64,
+    /// Buffer-pool misses that loaded a page from disk.
+    pub page_faults: u64,
+    /// Page frames reclaimed by the clock hand.
+    pub page_evictions: u64,
+    /// Deepest journalled resident pool size, bytes. The bounded-memory
+    /// invariant: never exceeds the configured budget (rounded up to one
+    /// page).
+    pub peak_pool_bytes: u64,
+}
+
+impl SpillTotals {
+    /// True when the run never left memory.
+    pub fn is_zero(&self) -> bool {
+        *self == SpillTotals::default()
+    }
+
+    /// Count-wise sum, keeping the deepest pool (for aggregating across a
+    /// campaign's engine runs).
+    pub fn merge(&self, other: &SpillTotals) -> SpillTotals {
+        SpillTotals {
+            spills: self.spills + other.spills,
+            spilled_rows: self.spilled_rows + other.spilled_rows,
+            spilled_bytes: self.spilled_bytes + other.spilled_bytes,
+            merges: self.merges + other.merges,
+            merged_runs: self.merged_runs + other.merged_runs,
+            page_faults: self.page_faults + other.page_faults,
+            page_evictions: self.page_evictions + other.page_evictions,
+            peak_pool_bytes: self.peak_pool_bytes.max(other.peak_pool_bytes),
         }
     }
 }
@@ -689,6 +780,7 @@ impl RunTrace {
         let mut cancellations = 0u64;
         let mut pipelines = PipelineTotals::default();
         let mut stream = StreamTotals::default();
+        let mut spill = SpillTotals::default();
         for e in &self.events {
             match &e.kind {
                 TraceEventKind::TaskStarted { stage, .. } => {
@@ -797,6 +889,27 @@ impl RunTrace {
                     stream.rows_acked += rows;
                 }
                 TraceEventKind::StreamResumed { .. } => stream.resumes += 1,
+                TraceEventKind::PageFaulted {
+                    pool_bytes: pool, ..
+                } => {
+                    spill.page_faults += 1;
+                    spill.peak_pool_bytes = spill.peak_pool_bytes.max(*pool);
+                }
+                TraceEventKind::PageEvicted {
+                    pool_bytes: pool, ..
+                } => {
+                    spill.page_evictions += 1;
+                    spill.peak_pool_bytes = spill.peak_pool_bytes.max(*pool);
+                }
+                TraceEventKind::SpillStarted { rows, bytes, .. } => {
+                    spill.spills += 1;
+                    spill.spilled_rows += rows;
+                    spill.spilled_bytes += bytes;
+                }
+                TraceEventKind::SpillMerged { runs, .. } => {
+                    spill.merges += 1;
+                    spill.merged_runs += *runs as u64;
+                }
                 _ => {}
             }
         }
@@ -837,6 +950,7 @@ impl RunTrace {
             },
             pipelines,
             stream,
+            spill,
             stages,
         }
     }
@@ -858,6 +972,13 @@ impl RunTrace {
     /// counted from the journal.
     pub fn stream_totals(&self) -> StreamTotals {
         self.summarize().stream
+    }
+
+    /// The run's aggregate out-of-core activity (spilled runs, merges,
+    /// page faults/evictions, peak pool residency), counted from the
+    /// journal.
+    pub fn spill_totals(&self) -> SpillTotals {
+        self.summarize().spill
     }
 
     /// Summary plus the raw events, for JSON export.
@@ -956,6 +1077,21 @@ impl TraceSummary {
                 st.late_absorbed,
                 st.late_side_channelled,
                 st.late_dropped,
+            ));
+        }
+        let sp = &self.spill;
+        if !sp.is_zero() {
+            out.push_str(&format!(
+                "spill: {} run(s) spilled ({} rows, {} B), {} merge(s) over {} run(s), \
+                 {} page fault(s), {} eviction(s), peak pool {} B\n",
+                sp.spills,
+                sp.spilled_rows,
+                sp.spilled_bytes,
+                sp.merges,
+                sp.merged_runs,
+                sp.page_faults,
+                sp.page_evictions,
+                sp.peak_pool_bytes,
             ));
         }
         out
@@ -1356,6 +1492,91 @@ mod tests {
         // only starts/retries/operators so the finish()/finish_legacy()
         // parity invariant holds for pipelined runs.
         let trace = journal_with_pipeline_events().snapshot();
+        let m = trace.derive_metrics(1_000, 5, 4);
+        assert_eq!(m.tasks_run, 4);
+        assert_eq!(m.task_retries, 1);
+        assert_eq!(m.nodes.len(), 2);
+    }
+
+    fn journal_with_spill_events() -> TraceJournal {
+        let j = journal_with_two_stage_run();
+        j.record(TraceEventKind::SpillStarted {
+            op: "shuffle".to_owned(),
+            target: 2,
+            rows: 500,
+            bytes: 12_000,
+        });
+        j.record(TraceEventKind::PageFaulted {
+            file: 1,
+            page: 0,
+            bytes: 32_768,
+            pool_bytes: 32_768,
+        });
+        j.record(TraceEventKind::PageEvicted {
+            file: 1,
+            page: 0,
+            bytes: 32_768,
+            dirty: true,
+            pool_bytes: 65_536,
+        });
+        j.record(TraceEventKind::SpillStarted {
+            op: "aggregate".to_owned(),
+            target: 2,
+            rows: 100,
+            bytes: 3_000,
+        });
+        j.record(TraceEventKind::SpillMerged {
+            op: "shuffle".to_owned(),
+            target: 2,
+            runs: 2,
+            rows: 600,
+            bytes: 15_000,
+        });
+        j
+    }
+
+    #[test]
+    fn spill_events_roll_up_and_render() {
+        let trace = journal_with_spill_events().snapshot();
+        let totals = trace.spill_totals();
+        assert_eq!(totals.spills, 2);
+        assert_eq!(totals.spilled_rows, 600);
+        assert_eq!(totals.spilled_bytes, 15_000);
+        assert_eq!(totals.merges, 1);
+        assert_eq!(totals.merged_runs, 2);
+        assert_eq!(totals.page_faults, 1);
+        assert_eq!(totals.page_evictions, 1);
+        assert_eq!(totals.peak_pool_bytes, 65_536);
+        assert!(!totals.is_zero());
+        let merged = totals.merge(&SpillTotals {
+            spills: 1,
+            spilled_rows: 10,
+            spilled_bytes: 100,
+            merges: 1,
+            merged_runs: 1,
+            page_faults: 0,
+            page_evictions: 0,
+            peak_pool_bytes: 10,
+        });
+        assert_eq!(merged.spills, 3);
+        assert_eq!(merged.merged_runs, 3);
+        assert_eq!(merged.peak_pool_bytes, 65_536, "merge keeps deepest pool");
+        let rendered = trace.summarize().render();
+        assert!(rendered.contains("spill:"), "{rendered}");
+        assert!(rendered.contains("2 run(s) spilled"));
+        assert!(rendered.contains("peak pool 65536 B"));
+        // An in-memory run omits the footer.
+        let calm = journal_with_two_stage_run().snapshot().summarize();
+        assert!(calm.spill.is_zero());
+        assert!(!calm.render().contains("spill:"));
+    }
+
+    #[test]
+    fn spill_events_do_not_disturb_derived_metrics() {
+        // Spill and page events are journal-only: derive_metrics must keep
+        // counting only starts/retries/operators so the finish() /
+        // finish_legacy() parity invariant holds for budgeted runs.
+        let trace = journal_with_spill_events().snapshot();
         let m = trace.derive_metrics(1_000, 5, 4);
         assert_eq!(m.tasks_run, 4);
         assert_eq!(m.task_retries, 1);

@@ -11,7 +11,7 @@
 use std::collections::BTreeSet;
 
 use toreador_core::declarative::Indicator;
-use toreador_dataflow::trace::{PipelineTotals, ResilienceTotals, StreamTotals};
+use toreador_dataflow::trace::{PipelineTotals, ResilienceTotals, SpillTotals, StreamTotals};
 
 use crate::error::{LabsError, Result};
 use crate::run::RunRecord;
@@ -53,6 +53,10 @@ pub struct RunComparison {
     /// watermark motion, late-data accounting), when both runs recorded
     /// traces. A late-policy or buffer-size ablation diffs cleanly here.
     pub stream_change: Option<(StreamTotals, StreamTotals)>,
+    /// Out-of-core activity of each run (spilled runs, merges, page faults,
+    /// evictions, peak pool residency), when both runs recorded traces. A
+    /// memory-budget ablation diffs cleanly here.
+    pub spill_change: Option<(SpillTotals, SpillTotals)>,
 }
 
 /// One indicator's movement between two runs.
@@ -195,6 +199,11 @@ impl RunComparison {
         } else {
             Some((a.stream_totals(), b.stream_totals()))
         };
+        let spill_change = if a.traces.is_empty() || b.traces.is_empty() {
+            None
+        } else {
+            Some((a.spill_totals(), b.spill_totals()))
+        };
 
         Ok(RunComparison {
             run_a: a.run_id,
@@ -211,6 +220,7 @@ impl RunComparison {
             resilience_change,
             pipeline_change,
             stream_change,
+            spill_change,
         })
     }
 
@@ -328,6 +338,26 @@ impl RunComparison {
                     b.late_dropped,
                     a.late_side_channelled,
                     b.late_side_channelled,
+                ));
+            }
+        }
+        if let Some((a, b)) = &self.spill_change {
+            if !a.is_zero() || !b.is_zero() {
+                out.push_str(&format!(
+                    "spill: runs spilled {} -> {}, rows {} -> {}, merges {} -> {}, \
+                     page faults {} -> {}, evictions {} -> {}, peak pool {} B -> {} B\n",
+                    a.spills,
+                    b.spills,
+                    a.spilled_rows,
+                    b.spilled_rows,
+                    a.merges,
+                    b.merges,
+                    a.page_faults,
+                    b.page_faults,
+                    a.page_evictions,
+                    b.page_evictions,
+                    a.peak_pool_bytes,
+                    b.peak_pool_bytes,
                 ));
             }
         }
@@ -823,6 +853,80 @@ mod tests {
         let d = RunComparison::diff(&record(3, "c", &["x"], &[]), &record(4, "c", &["x"], &[]))
             .unwrap();
         assert!(d.stream_change.is_none());
+    }
+
+    #[test]
+    fn memory_budget_ablation_diffs_in_spill_totals() {
+        let mut a = record(1, "c", &["x"], &[]);
+        let mut b = record(2, "c", &["x"], &[]);
+        // a ran unbudgeted (no spill events); b spilled one shuffle run
+        // through a one-frame pool and merged it back.
+        a.traces = vec![trace_with(&[("Aggregate", 50)], &[(0, 10)])];
+        let mut tight = trace_with(&[("Aggregate", 90)], &[(0, 30)]);
+        let push = |t: &mut RunTrace, kind: TraceEventKind| {
+            let seq = t.events.len() as u64;
+            t.events.push(TraceEvent {
+                seq,
+                at_us: 100,
+                kind,
+            });
+        };
+        push(
+            &mut tight,
+            TraceEventKind::SpillStarted {
+                op: "shuffle".to_owned(),
+                target: 0,
+                rows: 512,
+                bytes: 40_000,
+            },
+        );
+        push(
+            &mut tight,
+            TraceEventKind::PageFaulted {
+                file: 0,
+                page: 1,
+                bytes: 32 << 10,
+                pool_bytes: 32 << 10,
+            },
+        );
+        push(
+            &mut tight,
+            TraceEventKind::PageEvicted {
+                file: 0,
+                page: 1,
+                bytes: 32 << 10,
+                dirty: true,
+                pool_bytes: 0,
+            },
+        );
+        push(
+            &mut tight,
+            TraceEventKind::SpillMerged {
+                op: "shuffle".to_owned(),
+                target: 0,
+                runs: 1,
+                rows: 512,
+                bytes: 40_000,
+            },
+        );
+        b.traces = vec![tight];
+        let d = RunComparison::diff(&a, &b).unwrap();
+        let (sa, sb) = d.spill_change.unwrap();
+        assert!(sa.is_zero(), "unbudgeted run never spilled");
+        assert_eq!((sb.spills, sb.merges), (1, 1));
+        assert_eq!(sb.spilled_rows, 512);
+        assert_eq!(sb.page_faults, 1);
+        assert_eq!(sb.page_evictions, 1);
+        assert_eq!(sb.peak_pool_bytes, 32 << 10);
+        let rendered = d.render();
+        assert!(
+            rendered.contains("spill: runs spilled 0 -> 1"),
+            "got: {rendered}"
+        );
+        assert!(rendered.contains("peak pool 0 B -> 32768 B"), "{rendered}");
+        // Two unbudgeted runs keep the report calm.
+        let calm = RunComparison::diff(&a, &a).unwrap();
+        assert!(!calm.render().contains("spill:"));
     }
 
     #[test]

@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 
 use toreador_core::compile::{Bdaas, CampaignOutcome, CompiledCampaign};
 use toreador_core::declarative::Indicator;
-use toreador_dataflow::trace::{PipelineTotals, ResilienceTotals, RunTrace, StreamTotals};
+use toreador_dataflow::trace::{
+    PipelineTotals, ResilienceTotals, RunTrace, SpillTotals, StreamTotals,
+};
 
 use crate::challenge::{Challenge, ChoiceVector};
 use crate::error::{LabsError, Result};
@@ -161,6 +163,15 @@ impl RunRecord {
     pub fn stream_totals(&self) -> StreamTotals {
         self.traces.iter().fold(StreamTotals::default(), |acc, t| {
             acc.merge(&t.stream_totals())
+        })
+    }
+
+    /// Aggregate out-of-core activity (spilled runs, merges, page faults,
+    /// evictions, peak pool residency) across every engine run the campaign
+    /// made. All-zero when no memory budget was set or it never bit.
+    pub fn spill_totals(&self) -> SpillTotals {
+        self.traces.iter().fold(SpillTotals::default(), |acc, t| {
+            acc.merge(&t.spill_totals())
         })
     }
 }

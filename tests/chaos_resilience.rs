@@ -452,6 +452,8 @@ fn cancellation_mid_morsel_wave_stops_cleanly_without_leaking_threads() {
         pipelined: true,
         morsel_rows: 8,
         control: None,
+        memory_budget_bytes: None,
+        spill_dir: None,
     };
     let mut datasets = HashMap::new();
     datasets.insert("t".to_owned(), PartitionedTable::split(table, 4).unwrap());
@@ -532,6 +534,120 @@ fn cancellation_mid_morsel_wave_stops_cleanly_without_leaking_threads() {
             "morsel workers leaked: {threads_before} before, {after} after"
         );
     }
+}
+
+/// The out-of-core kill/resume invariant: a budgeted, checkpointed run
+/// killed at a wave boundary — while its shuffles are actively spilling
+/// through a one-frame pool — resumes to the byte-identical unbudgeted
+/// answer, and no page file survives the run. Spill files are published
+/// with temp-write + fsync + rename + dir-fsync, so a death at any instant
+/// leaves either a complete `.pages` run or a `.tmp` orphan; a fresh
+/// manager sweeps both on construction. We prove the sweep by planting
+/// both kinds of stale artifact (a dead process's leftovers) in the resume
+/// run's spill directory before reviving it.
+#[test]
+fn kill_mid_spill_resumes_clean_with_no_orphaned_page_files() {
+    use toreador_dataflow::checkpoint::CheckpointSpec;
+    use toreador_dataflow::fault::KillMode;
+    use toreador_dataflow::logical::{AggExpr, AggFunc};
+    use toreador_dataflow::session::Engine;
+
+    let root = std::env::temp_dir().join(format!("toreador-spill-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let table = random_table(3_000, 3, 9);
+    let flow_of = |e: &Engine| {
+        e.flow("t")
+            .unwrap()
+            .aggregate(
+                &["c2"],
+                vec![
+                    AggExpr::new(AggFunc::Sum, "c1", "s"),
+                    AggExpr::new(AggFunc::Count, "c0", "n"),
+                ],
+            )
+            .unwrap()
+            .sort(&["c2"], false)
+            .unwrap()
+    };
+    // The oracle: unbudgeted, unkilled, in-memory.
+    let mut calm = Engine::new(EngineConfig::default().with_threads(4).with_partitions(4));
+    calm.register("t", table.clone()).unwrap();
+    let baseline = calm.run(&flow_of(&calm)).unwrap();
+    assert!(baseline.trace.spill_totals().is_zero());
+
+    // Budget zero: every wide operator spills constantly. Die at the first
+    // wave boundary, mid-campaign, after spill files have been written.
+    let budgeted_config = || {
+        EngineConfig::default()
+            .with_threads(4)
+            .with_partitions(4)
+            .with_memory_budget(0)
+            .with_checkpoint(CheckpointSpec::new(root.clone(), "unused"))
+    };
+    let mut doomed = Engine::new(
+        budgeted_config().with_resilience(
+            ResilienceConfig::none()
+                .with_chaos(ChaosPlan::none().with_boundary_kill(0, KillMode::Halt)),
+        ),
+    );
+    doomed.register("t", table.clone()).unwrap();
+    let err = doomed
+        .run_checkpointed(&flow_of(&doomed), "spilled")
+        .unwrap_err();
+    assert!(
+        matches!(err, FlowError::KilledAtBoundary { wave: 0, .. }),
+        "expected the boundary kill, got {err}"
+    );
+
+    // A real process death runs no destructors: plant the artifacts one
+    // would leave — a published-but-unmerged run and an unpublished temp.
+    let spill_dir = root.join("spilled").join("spill");
+    std::fs::create_dir_all(&spill_dir).unwrap();
+    std::fs::write(spill_dir.join("run-000042.pages"), b"stale half-merged run").unwrap();
+    std::fs::write(spill_dir.join("run-000043.pages.tmp"), b"unpublished temp").unwrap();
+
+    // A fresh budgeted engine (fresh-process stand-in) resumes the run.
+    let mut revived = Engine::new(budgeted_config());
+    revived.register("t", table).unwrap();
+    let resumed = revived.resume(&flow_of(&revived), "spilled").unwrap();
+    assert_eq!(
+        resumed.table, baseline.table,
+        "kill mid-spill + resume must reproduce the in-memory answer"
+    );
+    let totals = resumed.trace.spill_totals();
+    assert!(
+        totals.spills > 0,
+        "the resumed waves must still spill under budget zero: {totals:?}"
+    );
+    assert!(totals.peak_pool_bytes <= 32 << 10, "{totals:?}");
+
+    // No spill artifact outlives the run: the stale plants were swept at
+    // manager construction and the whole scratch dir is gone at drop.
+    assert!(
+        !spill_dir.exists(),
+        "spill scratch must not outlive the run"
+    );
+    let mut stack = vec![root.clone()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let name = entry.file_name();
+                let name = name.to_string_lossy().into_owned();
+                assert!(
+                    !name.ends_with(".pages") && !name.ends_with(".tmp"),
+                    "orphaned spill artifact survived: {}",
+                    path.display()
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 /// Run the continuous stream over the fraud event table under `resilience`

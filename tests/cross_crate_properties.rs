@@ -460,6 +460,8 @@ proptest! {
             pipelined: seed % 7 != 0,
             morsel_rows: 256,
             control: None,
+            memory_budget_bytes: None,
+            spill_dir: None,
         };
         let mut datasets = HashMap::new();
         datasets.insert("clicks".to_owned(), PartitionedTable::split(table, 4).unwrap());
