@@ -15,7 +15,7 @@ pub struct Args {
 
 /// Flags that take no value: presence means "true". Everything else is
 /// `--key value`.
-const BOOLEAN_FLAGS: &[&str] = &["json", "quick", "resume"];
+const BOOLEAN_FLAGS: &[&str] = &["json", "quick", "resume", "repair"];
 
 /// Parse raw arguments (without the binary name).
 pub fn parse(raw: &[String]) -> Result<Args, String> {

@@ -29,6 +29,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "resume" => resume_cmd(args),
         "trace" => trace_cmd(args),
         "chaos" => chaos_cmd(args),
+        "fsck" => fsck_cmd(args),
         "attempt" => attempt(args),
         "serve" => serve_cmd(args),
         "fleet" => fleet_cmd(args),
@@ -94,6 +95,15 @@ pub fn usage() -> String {
      \x20                                           under a deterministic chaos\n\
      \x20                                           plan; report resilience cost\n\
      \x20                                           and whether outputs match\n\
+     \x20 toreador fsck <dir> [--repair]         offline integrity scrub of\n\
+     \x20                                        store / checkpoint / spill\n\
+     \x20                                        dirs: CRC-verify every frame,\n\
+     \x20                                        page and segment; --repair\n\
+     \x20                                        applies only proven-safe\n\
+     \x20                                        actions (truncate torn tails,\n\
+     \x20                                        sweep orphans) and exits\n\
+     \x20                                        non-zero iff unrepairable\n\
+     \x20                                        corruption remains\n\
      \x20 toreador attempt <challenge-id> <choice>... [--rows N] [--seed N]\n\
      \x20                  [--session <file>]    one Labs attempt with scoring;\n\
      \x20                  [--store <dir>]       --session persists to a JSON\n\
@@ -126,8 +136,11 @@ pub fn usage() -> String {
      Commands taking --store also accept --trainee <name> (default \"cli\").\n\
      \n\
      CHAOS PROFILES for --profile (default hostile):\n\
-     \x20 calm | flaky | lossy | slow | panicky | hostile\n\
+     \x20 calm | flaky | lossy | slow | panicky | hostile | diskful\n\
      \x20 targeted:<stage>:<partition>:<attempt>:<crash|panic|delay[:micros]>\n\
+     \x20 (diskful injects storage faults — EIO, torn writes — under a\n\
+     \x20  spilling run instead of task faults; same oracle: identical\n\
+     \x20  output or a classified failure, never silent divergence)\n\
      \n\
      DATA SOURCES for --data:\n\
      \x20 generated:<scenario-id>                a built-in scenario generator\n\
@@ -875,7 +888,8 @@ fn parse_chaos_profile(profile: &str, seed: u64) -> Result<ChaosPlan, String> {
             .with_panic_rate(0.05)
             .with_delays(0.1, 1_000)),
         other => Err(format!(
-            "unknown chaos profile {other:?} (calm|flaky|lossy|slow|panicky|hostile|targeted:...)"
+            "unknown chaos profile {other:?} \
+             (calm|flaky|lossy|slow|panicky|hostile|diskful|targeted:...)"
         )),
     }
 }
@@ -887,6 +901,9 @@ fn parse_chaos_profile(profile: &str, seed: u64) -> Result<ChaosPlan, String> {
 /// fault-free baseline or fails cleanly with a classified error.
 fn chaos_cmd(args: &Args) -> Result<String, String> {
     let profile = args.flag("profile").unwrap_or("hostile");
+    if profile == "diskful" {
+        return disk_chaos_cmd(args);
+    }
     let seed = args.flag_or("seed", 0u64)?;
     let retries = args.flag_or("retries", 3u32)?;
     let deadline_ms = args.flag_or("deadline-ms", 0u64)?;
@@ -971,6 +988,149 @@ fn chaos_cmd(args: &Args) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// `toreador chaos --profile diskful`: the storage-fault twin of the task
+/// chaos oracle. Run once fault-free, then once with a seeded disk-fault
+/// injector (EIO on a background rate) registered over the run's spill
+/// directory and a memory budget small enough to force spilling through
+/// it. The invariant is the same: identical output or a classified
+/// failure — never silent divergence, and never a leaked temp file once
+/// the injector is disarmed.
+fn disk_chaos_cmd(args: &Args) -> Result<String, String> {
+    use toreador_store::chaos::{DiskChaos, DiskChaosPlan};
+
+    let seed = args.flag_or("seed", 0u64)?;
+    let rate = args.flag_or("eio-rate", 0.02f64)?;
+    let budget = parse_memory_budget(args)?.unwrap_or(64 << 10);
+
+    let (bdaas, mut compiled, data, aux) = compile_from_args(args)?;
+    let baseline = bdaas
+        .run(&compiled, data.clone(), &aux)
+        .map_err(|e| format!("fault-free baseline failed: {e}"))?;
+
+    let spill_dir =
+        std::env::temp_dir().join(format!("toreador-diskful-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    let (chaos, _guard) = DiskChaos::register(&spill_dir, DiskChaosPlan::flaky(seed, rate));
+    compiled.deployment.engine_config = compiled
+        .deployment
+        .engine_config
+        .clone()
+        .with_memory_budget(budget)
+        .with_spill_dir(&spill_dir);
+
+    let mut out = format!(
+        "disk-chaos profile \"diskful\" (seed {seed}): {:.1}% EIO on spill I/O, \
+         memory budget {budget} bytes\n\n",
+        rate * 100.0
+    );
+    let result = bdaas.run(&compiled, data, &aux);
+    chaos.disarm();
+    match result {
+        Ok(outcome) => {
+            if outcome.output == baseline.output {
+                out.push_str("outputs: IDENTICAL to the fault-free baseline\n");
+            } else {
+                return Err(format!(
+                    "{out}outputs: DIFFER from the fault-free baseline (storage-fault bug!)"
+                ));
+            }
+        }
+        Err(e) => {
+            out.push_str(&format!(
+                "run failed cleanly under disk chaos (classified, no panic):\n  {e}\n"
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "storage faults injected: {}\n",
+        chaos.faults_injected()
+    ));
+    // With the injector disarmed, anything left in the spill dir is
+    // either scratch a failed run abandoned (its cleanup removal may
+    // itself have been injected) — report it, then sweep.
+    let leftovers = std::fs::read_dir(&spill_dir)
+        .map(|entries| entries.flatten().count())
+        .unwrap_or(0);
+    if leftovers > 0 {
+        out.push_str(&format!(
+            "swept {leftovers} abandoned spill artifact(s) left by injected cleanup failures\n"
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    Ok(out)
+}
+
+/// `toreador fsck`: offline integrity scrub of a directory tree holding
+/// stores, checkpoints, or spill scratch. Without `--repair`, report and
+/// fail iff anything is non-clean. With `--repair`, apply the proven-safe
+/// actions (truncate torn tails, remove orphans), rescan, and fail iff
+/// unrepairable corruption remains.
+fn fsck_cmd(args: &Args) -> Result<String, String> {
+    use toreador_store::fsck::repair;
+
+    let dir = args.positional(0, "directory to scan")?;
+    let root = std::path::Path::new(dir);
+    if !root.is_dir() {
+        return Err(format!("{dir:?} is not a directory"));
+    }
+    let arts = toreador_dataflow::fsck::scan_tree(root).map_err(|e| e.to_string())?;
+    let render = |arts: &[toreador_store::fsck::Artifact]| -> String {
+        let mut s = String::new();
+        for a in arts {
+            s.push_str(&format!(
+                "{:<17} {:<12} {}{}\n",
+                a.verdict.label(),
+                a.kind,
+                a.path.display(),
+                a.verdict
+                    .detail()
+                    .map(|d| format!("  ({d})"))
+                    .unwrap_or_default(),
+            ));
+        }
+        s
+    };
+    let mut out = format!("fsck {}: {} artifact(s)\n", root.display(), arts.len());
+    out.push_str(&render(&arts));
+
+    if !args.flag_set("repair") {
+        let dirty = arts.iter().filter(|a| !a.verdict.is_clean()).count();
+        if dirty == 0 {
+            out.push_str("clean\n");
+            return Ok(out);
+        }
+        return Err(format!(
+            "{out}{dirty} artifact(s) need attention (rerun with --repair to \
+             apply proven-safe fixes)"
+        ));
+    }
+
+    let mut actions = 0usize;
+    for a in &arts {
+        match repair(a) {
+            Ok(None) => {}
+            Ok(Some(action)) => {
+                actions += 1;
+                out.push_str(&format!("repaired {}: {action}\n", a.path.display()));
+            }
+            Err(e) => out.push_str(&format!("repair {} failed: {e}\n", a.path.display())),
+        }
+    }
+    out.push_str(&format!("{actions} repair(s) applied\n"));
+    let after = toreador_dataflow::fsck::scan_tree(root).map_err(|e| e.to_string())?;
+    let corrupt: Vec<_> = after.iter().filter(|a| a.verdict.is_corrupt()).collect();
+    if corrupt.is_empty() {
+        out.push_str("clean after repair\n");
+        Ok(out)
+    } else {
+        Err(format!(
+            "{out}{} artifact(s) remain CORRUPT — fsck does not guess; restore from a \
+             snapshot or recompute",
+            corrupt.len()
+        ))
+    }
 }
 
 fn attempt(args: &Args) -> Result<String, String> {

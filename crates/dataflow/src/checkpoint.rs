@@ -30,8 +30,6 @@
 //! either provably intact or not used.
 
 use std::collections::HashMap;
-use std::fs::{self, File};
-use std::io::Read;
 use std::path::{Path, PathBuf};
 
 use bytes::{Bytes, BytesMut};
@@ -51,7 +49,7 @@ use crate::error::{FlowError, Result};
 const WAVE_MAGIC: &[u8; 8] = b"TORCKPT1";
 
 /// Manifest format version; bumped on breaking layout changes.
-const FORMAT_VERSION: u32 = 1;
+pub(crate) const FORMAT_VERSION: u32 = 1;
 
 // ---------------------------------------------------------------------------
 // Fingerprints: FNV-1a folded over the things that must not change between
@@ -226,7 +224,7 @@ fn wave_path(dir: &Path, wave: usize) -> PathBuf {
 }
 
 /// `wave-<n>.ckpt` → `n`.
-fn parse_wave_name(name: &str) -> Option<usize> {
+pub(crate) fn parse_wave_name(name: &str) -> Option<usize> {
     name.strip_prefix("wave-")?
         .strip_suffix(".ckpt")?
         .parse()
@@ -250,15 +248,17 @@ impl RunCheckpoint {
     /// the manifest before any wave executes.
     pub fn create(spec: &CheckpointSpec, manifest: &CheckpointManifest) -> Result<Self> {
         let dir = spec.dir();
-        fs::create_dir_all(&dir).map_err(|e| io_err("create dir", &dir, e))?;
+        let io = toreador_store::io::io_for(&dir);
+        io.create_dir_all(&dir)
+            .map_err(|e| io_err("create dir", &dir, e))?;
         // Clear any stale waves from a previous run under the same id: they
         // belong to a manifest about to be overwritten.
-        for entry in fs::read_dir(&dir).map_err(|e| io_err("read dir", &dir, e))? {
-            let entry = entry.map_err(|e| io_err("read dir", &dir, e))?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
+        for path in io.list_dir(&dir).map_err(|e| io_err("read dir", &dir, e))? {
+            let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
             if parse_wave_name(&name).is_some() || name.ends_with(".tmp") {
-                let _ = fs::remove_file(entry.path());
+                let _ = io.remove_file(&path);
             }
         }
         let json = serde_json::to_string(manifest)
@@ -276,7 +276,8 @@ impl RunCheckpoint {
     /// True when a manifest exists for this run id (i.e. a previous run got
     /// far enough to be resumable at all).
     pub fn manifest_exists(spec: &CheckpointSpec) -> bool {
-        spec.dir().join("manifest.json").is_file()
+        let path = spec.dir().join("manifest.json");
+        toreador_store::io::io_for(&path).exists(&path)
     }
 
     /// Resume a previously checkpointed run: validate the stored manifest
@@ -285,8 +286,10 @@ impl RunCheckpoint {
     /// [`FlowError::StaleCheckpoint`] naming what changed.
     pub fn resume(spec: &CheckpointSpec, expected: &CheckpointManifest) -> Result<Self> {
         let dir = spec.dir();
+        let io = toreador_store::io::io_for(&dir);
         let manifest_path = dir.join("manifest.json");
-        let text = fs::read_to_string(&manifest_path)
+        let text = io
+            .read_to_string(&manifest_path)
             .map_err(|e| io_err("read manifest", &manifest_path, e))?;
         let stored: CheckpointManifest = serde_json::from_str(&text)
             .map_err(|e| FlowError::Checkpoint(format!("decode manifest: {e}")))?;
@@ -313,12 +316,11 @@ impl RunCheckpoint {
             return Err(stale("inputs"));
         }
         let mut restored = HashMap::new();
-        let mut names: Vec<usize> = fs::read_dir(&dir)
+        let mut names: Vec<usize> = io
+            .list_dir(&dir)
             .map_err(|e| io_err("read dir", &dir, e))?
-            .filter_map(|entry| {
-                let entry = entry.ok()?;
-                parse_wave_name(&entry.file_name().to_string_lossy())
-            })
+            .into_iter()
+            .filter_map(|path| parse_wave_name(&path.file_name()?.to_string_lossy()))
             .collect();
         names.sort_unstable();
         for wave in names {
@@ -391,12 +393,11 @@ impl RunCheckpoint {
 
 /// Read one wave file back, CRC-checking every frame and cross-checking the
 /// header's per-partition row counts and CRCs.
-fn load_wave(path: &Path, wave: usize) -> Result<RestoredWave> {
+pub(crate) fn load_wave(path: &Path, wave: usize) -> Result<RestoredWave> {
     let corrupt =
         |what: &str| FlowError::Checkpoint(format!("corrupt wave file {}: {what}", path.display()));
-    let mut bytes = Vec::new();
-    File::open(path)
-        .and_then(|mut f| f.read_to_end(&mut bytes))
+    let bytes = toreador_store::io::io_for(path)
+        .read(path)
         .map_err(|e| io_err("read", path, e))?;
     let mut rest = bytes.as_slice();
     if rest.len() < WAVE_MAGIC.len() || &rest[..WAVE_MAGIC.len()] != WAVE_MAGIC {
@@ -444,6 +445,7 @@ fn load_wave(path: &Path, wave: usize) -> Result<RestoredWave> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
     use toreador_data::generate::random_table;
 
     fn temp_root(tag: &str) -> PathBuf {

@@ -24,8 +24,6 @@
 //! checkpointing maps them to [`FlowError::Checkpoint`], the pager to its
 //! spill errors — without this module depending on either.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
 use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -371,37 +369,44 @@ pub fn take_frame<'a>(bytes: &mut &'a [u8]) -> std::result::Result<&'a [u8], Fra
 // wraps them in its own error variant without changing any diagnostics.
 // ---------------------------------------------------------------------------
 
-/// Best-effort POSIX directory fsync, as in `toreador-store`.
+/// Best-effort POSIX directory fsync, as in `toreador-store`. Routed
+/// through the [`toreador_store::io`] seam so disk chaos can intercept.
 pub fn sync_dir(dir: &Path) {
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
+    let _ = toreador_store::io::io_for(dir).sync_dir(dir);
 }
 
 /// Atomically publish `bytes` at `path`: temp-write + fsync + rename + dir
-/// fsync. A reader never observes a torn file under its final name.
+/// fsync. A reader never observes a torn file under its final name, and a
+/// failure at any step removes the temp file — ENOSPC mid-publish leaves
+/// no `.tmp` orphan behind.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::result::Result<(), String> {
-    let io = |what: &str, p: &Path, e: std::io::Error| format!("{what} {}: {e}", p.display());
+    let io_err = |what: &str, p: &Path, e: std::io::Error| format!("{what} {}: {e}", p.display());
     let dir = path
         .parent()
         .ok_or_else(|| format!("no parent dir for {}", path.display()))?;
+    let io = toreador_store::io::io_for(path);
     let tmp = path.with_extension("tmp");
-    let mut f = OpenOptions::new()
-        .write(true)
-        .create(true)
-        .truncate(true)
-        .open(&tmp)
-        .map_err(|e| io("create", &tmp, e))?;
-    f.write_all(bytes).map_err(|e| io("write", &tmp, e))?;
-    f.sync_all().map_err(|e| io("fsync", &tmp, e))?;
-    fs::rename(&tmp, path).map_err(|e| io("rename", path, e))?;
-    sync_dir(dir);
+    let f = io.create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+    if let Err(e) = f.write_all_at(0, bytes) {
+        let _ = io.remove_file(&tmp);
+        return Err(io_err("write", &tmp, e));
+    }
+    if let Err(e) = f.sync_all() {
+        let _ = io.remove_file(&tmp);
+        return Err(io_err("fsync", &tmp, e));
+    }
+    if let Err(e) = io.rename(&tmp, path) {
+        let _ = io.remove_file(&tmp);
+        return Err(io_err("rename", path, e));
+    }
+    let _ = io.sync_dir(dir);
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
     use toreador_data::generate::random_table;
 
     #[test]

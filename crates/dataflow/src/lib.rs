@@ -58,6 +58,7 @@ pub mod codec;
 pub mod error;
 pub mod expr;
 pub mod fault;
+pub mod fsck;
 pub mod logical;
 pub mod metrics;
 pub mod morsel;

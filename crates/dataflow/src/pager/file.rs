@@ -16,17 +16,17 @@
 //! crash mid-spill leaves at most a `.tmp` orphan that the next
 //! [`super::SpillManager`] sweeps, never a readable half-file.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use toreador_data::schema::Schema;
 
-use crate::codec::{crc32, sync_dir};
+use toreador_store::io::{io_for, StorageFile, StorageIo};
+
+use crate::codec::crc32;
 use crate::error::{FlowError, Result};
 
 /// Fixed page-slot size. 32 KiB holds a few thousand encoded cells per
@@ -95,7 +95,8 @@ impl PageDirectory {
 /// pages back in without reopening the published file.
 #[derive(Debug)]
 pub struct PageFile {
-    file: Mutex<File>,
+    io: Arc<dyn StorageIo>,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     tmp: Option<PathBuf>,
     finalized: AtomicBool,
@@ -111,16 +112,14 @@ impl PageFile {
     /// Create a fresh writable page file. Bytes land in `<path>.tmp` until
     /// [`PageFile::finalize`] publishes them at `path`.
     pub fn create(path: &Path) -> Result<PageFile> {
+        let io = io_for(path);
         let tmp = tmp_path(path);
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp)
+        let file = io
+            .create(&tmp)
             .map_err(|e| spill_err(format!("create {}: {e}", tmp.display())))?;
         Ok(PageFile {
-            file: Mutex::new(file),
+            io,
+            file,
             path: path.to_owned(),
             tmp: Some(tmp),
             finalized: AtomicBool::new(false),
@@ -129,10 +128,13 @@ impl PageFile {
 
     /// Open an existing finalized page file read-only.
     pub fn open(path: &Path) -> Result<PageFile> {
-        let file =
-            File::open(path).map_err(|e| spill_err(format!("open {}: {e}", path.display())))?;
+        let io = io_for(path);
+        let file = io
+            .open_read(path)
+            .map_err(|e| spill_err(format!("open {}: {e}", path.display())))?;
         Ok(PageFile {
-            file: Mutex::new(file),
+            io,
+            file,
             path: path.to_owned(),
             tmp: None,
             finalized: AtomicBool::new(true),
@@ -147,14 +149,9 @@ impl PageFile {
     /// Read one page slot and return its verified payload.
     pub fn read_page(&self, page: u32) -> Result<Vec<u8>> {
         let mut slot = vec![0u8; PAGE_SIZE];
-        {
-            let mut file = self.file.lock();
-            file.seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))
-                .and_then(|_| file.read_exact(&mut slot))
-                .map_err(|e| {
-                    spill_err(format!("read page {page} of {}: {e}", self.path.display()))
-                })?;
-        }
+        self.file
+            .read_exact_at(page as u64 * PAGE_SIZE as u64, &mut slot)
+            .map_err(|e| spill_err(format!("read page {page} of {}: {e}", self.path.display())))?;
         let corrupt = |what: &str| {
             spill_err(format!(
                 "corrupt page file {}: page {page} {what}",
@@ -195,9 +192,8 @@ impl PageFile {
         slot.extend_from_slice(&crc32(payload).to_le_bytes());
         slot.extend_from_slice(payload);
         slot.resize(PAGE_SIZE, 0);
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))
-            .and_then(|_| file.write_all(&slot))
+        self.file
+            .write_all_at(page as u64 * PAGE_SIZE as u64, &slot)
             .map_err(|e| spill_err(format!("write page {page} of {}: {e}", self.path.display())))
     }
 
@@ -212,10 +208,9 @@ impl PageFile {
             return Ok(());
         }
         self.file
-            .lock()
             .sync_all()
             .map_err(|e| spill_err(format!("sync {}: {e}", tmp.display())))?;
-        std::fs::rename(tmp, &self.path).map_err(|e| {
+        self.io.rename(tmp, &self.path).map_err(|e| {
             spill_err(format!(
                 "rename {} -> {}: {e}",
                 tmp.display(),
@@ -223,9 +218,20 @@ impl PageFile {
             ))
         })?;
         if let Some(parent) = self.path.parent() {
-            sync_dir(parent);
+            let _ = self.io.sync_dir(parent);
         }
         Ok(())
+    }
+
+    /// Abandon an unfinalized writable file: remove the `.tmp` so a failed
+    /// spill leaves no residue. A no-op for finalized or read-only files.
+    pub fn discard(&self) {
+        if self.finalized.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(tmp) = &self.tmp {
+            let _ = self.io.remove_file(tmp);
+        }
     }
 }
 

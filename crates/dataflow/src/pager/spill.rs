@@ -16,12 +16,13 @@
 //! checkpointing uses, so a spilled run is byte-identical to a
 //! checkpointed partition of the same rows by construction.
 
-use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::{BufMut, BytesMut};
+
+use toreador_store::io::io_for;
 
 use toreador_data::table::{Table, TableBuilder};
 use toreador_data::value::{Row, Value};
@@ -108,13 +109,37 @@ impl SpillManager {
     /// `SpillStarted` event — it knows which operator and partition the
     /// run belongs to.
     pub fn spill_table(&self, t: &Table, journal: &TraceJournal) -> Result<SpillHandle> {
-        fs::create_dir_all(&self.dir).map_err(|e| {
+        io_for(&self.dir).create_dir_all(&self.dir).map_err(|e| {
             FlowError::Spill(format!("create spill dir {}: {e}", self.dir.display()))
         })?;
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let path = self.dir.join(format!("run-{seq:06}.pages"));
         let file = Arc::new(PageFile::create(&path)?);
         let id = self.pool.register(file.clone());
+        // Any failure past this point must unregister the file from the
+        // pool and remove its `.tmp` — a failed spill (ENOSPC, EIO) leaves
+        // no orphan for the next sweep and no dangling pool entry.
+        let payload_bytes = self
+            .write_run(t, id, journal)
+            .and_then(|bytes| file.finalize().map(|_| bytes))
+            .map_err(|e| {
+                self.pool.drop_file(id);
+                file.discard();
+                e
+            })?;
+        Ok(SpillHandle {
+            file: id,
+            path,
+            rows: t.num_rows(),
+            bytes: payload_bytes,
+        })
+    }
+
+    /// Encode `t` lane by lane into pages of file `id`, flush, and return
+    /// the total encoded payload bytes. Split out of
+    /// [`SpillManager::spill_table`] so its caller can clean up the pool
+    /// registration and temp file on any error.
+    fn write_run(&self, t: &Table, id: FileId, journal: &TraceJournal) -> Result<u64> {
         let rows = t.num_rows();
         let table_lanes = lanes(t);
         let mut extents = Vec::with_capacity(table_lanes.len());
@@ -145,13 +170,7 @@ impl SpillManager {
         };
         self.pool.write(id, 0, directory.to_payload()?, journal)?;
         self.pool.flush_file(id)?;
-        file.finalize()?;
-        Ok(SpillHandle {
-            file: id,
-            path,
-            rows,
-            bytes: payload_bytes,
-        })
+        Ok(payload_bytes)
     }
 
     /// Read a spilled run back: pin the directory, reassemble each lane
@@ -194,13 +213,13 @@ impl SpillManager {
     /// frames and delete its file — spill files never outlive their merge.
     pub fn release(&self, handle: SpillHandle) {
         self.pool.drop_file(handle.file);
-        let _ = fs::remove_file(&handle.path);
+        let _ = io_for(&handle.path).remove_file(&handle.path);
     }
 }
 
 impl Drop for SpillManager {
     fn drop(&mut self) {
-        let _ = fs::remove_dir_all(&self.dir);
+        let _ = io_for(&self.dir).remove_dir_all(&self.dir);
     }
 }
 
@@ -208,14 +227,16 @@ impl Drop for SpillManager {
 /// are ignored: a missing directory simply means a clean start, and a
 /// sweep failure surfaces later as a create/write failure with context.
 fn sweep(dir: &std::path::Path) {
-    let Ok(entries) = fs::read_dir(dir) else {
+    let io = io_for(dir);
+    let Ok(entries) = io.list_dir(dir) else {
         return;
     };
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
+    for path in entries {
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
         if name.ends_with(".pages") || name.ends_with(".tmp") {
-            let _ = fs::remove_file(entry.path());
+            let _ = io.remove_file(&path);
         }
     }
 }
@@ -223,6 +244,8 @@ fn sweep(dir: &std::path::Path) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use std::fs;
 
     use toreador_data::generate;
 

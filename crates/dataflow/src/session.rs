@@ -6,6 +6,7 @@
 //! are immutable once registered.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -65,6 +66,11 @@ pub struct EngineConfig {
     /// memory. Spilling never changes results: output is byte-identical to
     /// the in-memory path.
     pub memory_budget_bytes: Option<u64>,
+    /// Pin the spill directory. `None` — the default — spills next to the
+    /// checkpoint when there is one, else into a process-unique temp dir.
+    /// Set it to place spill I/O under a known prefix (the disk-chaos
+    /// harness registers an injector over exactly this directory).
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +88,7 @@ impl Default for EngineConfig {
             checkpoint: None,
             control: None,
             memory_budget_bytes: None,
+            spill_dir: None,
         }
     }
 }
@@ -158,6 +165,12 @@ impl EngineConfig {
         self
     }
 
+    /// Spill into `dir` instead of the derived default location.
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
     fn exec_config(&self) -> ExecConfig {
         ExecConfig {
             scheduler: SchedulerConfig {
@@ -172,13 +185,15 @@ impl EngineConfig {
             morsel_rows: self.morsel_rows,
             control: self.control.clone(),
             memory_budget_bytes: self.memory_budget_bytes,
-            // Spill next to the checkpoint when there is one (so a kill
-            // mid-spill is swept on resume); otherwise ExecContext derives
-            // a process-unique temp dir.
-            spill_dir: self
-                .checkpoint
-                .as_ref()
-                .map(|spec| spec.dir().join("spill")),
+            // An explicit spill dir wins; otherwise spill next to the
+            // checkpoint when there is one (so a kill mid-spill is swept
+            // on resume); otherwise ExecContext derives a process-unique
+            // temp dir.
+            spill_dir: self.spill_dir.clone().or_else(|| {
+                self.checkpoint
+                    .as_ref()
+                    .map(|spec| spec.dir().join("spill"))
+            }),
         }
     }
 }

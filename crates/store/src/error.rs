@@ -1,12 +1,28 @@
 //! Error type for the durable store.
 
 use std::fmt;
+use std::path::Path;
 
 /// Errors raised by the store layer.
 #[derive(Debug)]
 pub enum StoreError {
     /// An underlying filesystem operation failed.
     Io(std::io::Error),
+    /// An underlying filesystem operation failed, classified: names the
+    /// operation and the path so a caller (or an operator reading a log)
+    /// knows exactly which artifact misbehaved. Every disk touch in the
+    /// durability layers reports through this variant; the bare [`Io`]
+    /// variant remains only for the blanket `From<io::Error>` conversion.
+    ///
+    /// [`Io`]: StoreError::Io
+    Storage {
+        /// The operation that failed (`"create segment"`, `"fsync wal"`, …).
+        op: String,
+        /// The file or directory it failed on.
+        path: std::path::PathBuf,
+        /// The underlying error text.
+        message: String,
+    },
     /// The on-disk state is damaged in a way recovery must not paper over
     /// (bad magic, a checksum failure *before* the tail, a gap in the
     /// segment chain). A torn final record is NOT corruption — recovery
@@ -26,6 +42,9 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::Io(e) => write!(f, "store io error: {e}"),
+            StoreError::Storage { op, path, message } => {
+                write!(f, "storage error: {op} {}: {message}", path.display())
+            }
             StoreError::Corrupt(m) => write!(f, "store corrupt: {m}"),
             StoreError::Codec(m) => write!(f, "store codec error: {m}"),
             StoreError::Invalid(m) => write!(f, "store misuse: {m}"),
@@ -49,6 +68,15 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
+/// Build a classified storage error naming the operation and the path.
+pub fn storage(op: impl Into<String>, path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Storage {
+        op: op.into(),
+        path: path.to_owned(),
+        message: e.to_string(),
+    }
+}
+
 /// Result alias for the store layer.
 pub type Result<T> = std::result::Result<T, StoreError>;
 
@@ -63,5 +91,18 @@ mod tests {
         let e: StoreError = std::io::Error::other("disk on fire").into();
         assert!(e.to_string().contains("disk on fire"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn storage_errors_name_op_and_path() {
+        let e = storage(
+            "fsync wal",
+            Path::new("/store/wal-1.log"),
+            std::io::Error::other("no space left on device"),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("fsync wal"), "{msg}");
+        assert!(msg.contains("/store/wal-1.log"), "{msg}");
+        assert!(msg.contains("no space left"), "{msg}");
     }
 }

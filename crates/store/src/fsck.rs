@@ -1,0 +1,504 @@
+//! Offline integrity scrubbing for a store directory.
+//!
+//! [`scan_store_dir`] CRC-verifies every WAL segment frame and snapshot
+//! in a directory and assigns each artifact a typed [`Verdict`]:
+//!
+//! * **Clean** — every frame verifies;
+//! * **TruncatableTail** — the final segment ends in a torn record, the
+//!   signature of a crash mid-append; recovery (and `--repair`) truncate
+//!   it without losing anything that was ever durable;
+//! * **Orphan** — the artifact holds no durable state (an unpublished
+//!   `.tmp`, a snapshot superseded by a newer valid one, a torn-header
+//!   final segment, an unreadable snapshot whose range the WAL chain
+//!   still covers); removing it is proven-safe;
+//! * **Corrupt** — interior damage (bad magic, mid-chain checksum
+//!   failure, a gap in the segment chain, an unreadable snapshot the WAL
+//!   cannot re-derive). Nothing here is auto-repairable: fsck refuses to
+//!   guess, exactly as recovery refuses to silently drop history.
+//!
+//! [`repair`] applies only the proven-safe actions — torn-tail
+//! truncation and orphan removal. The verdict taxonomy is deliberately
+//! the same decision table as [`crate::log::DurableLog::open`]: fsck
+//! never "fixes" anything recovery would not have done itself, it just
+//! does it offline and reports it.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::{storage, Result};
+use crate::io::io_for;
+use crate::log::{parse_name, read_frame, scan_segment_bytes, scan_snapshot_bytes};
+
+/// The typed per-artifact outcome of a scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every frame verified.
+    Clean,
+    /// A torn final record: `good_bytes` verify, `torn_bytes` after them
+    /// do not. Truncating to `good_bytes` is proven-safe.
+    TruncatableTail { good_bytes: u64, torn_bytes: u64 },
+    /// Holds no durable state; removal is proven-safe.
+    Orphan { detail: String },
+    /// Damaged in a way no safe action can repair.
+    Corrupt { detail: String },
+}
+
+impl Verdict {
+    pub fn is_clean(&self) -> bool {
+        matches!(self, Verdict::Clean)
+    }
+
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, Verdict::Corrupt { .. })
+    }
+
+    /// Short lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Clean => "clean",
+            Verdict::TruncatableTail { .. } => "truncatable-tail",
+            Verdict::Orphan { .. } => "orphan",
+            Verdict::Corrupt { .. } => "corrupt",
+        }
+    }
+
+    /// The detail text, when the verdict carries one.
+    pub fn detail(&self) -> Option<String> {
+        match self {
+            Verdict::Clean => None,
+            Verdict::TruncatableTail {
+                good_bytes,
+                torn_bytes,
+            } => Some(format!("{good_bytes} good bytes, {torn_bytes} torn")),
+            Verdict::Orphan { detail } | Verdict::Corrupt { detail } => Some(detail.clone()),
+        }
+    }
+}
+
+/// One scanned artifact.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    pub path: PathBuf,
+    /// What the artifact is: `"wal-segment"`, `"snapshot"`, `"lock"`,
+    /// `"temp"`, or the synthetic `"wal-chain"` for directory-level chain
+    /// damage.
+    pub kind: &'static str,
+    pub verdict: Verdict,
+}
+
+/// Scan the store artifacts in `dir` (non-recursive): WAL segments,
+/// snapshots, the LOCK file and `.tmp` leftovers. Unknown files are
+/// ignored — fsck judges only what it understands.
+pub fn scan_store_dir(dir: &Path) -> Result<Vec<Artifact>> {
+    let io = io_for(dir);
+    let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+    let mut snapshots: Vec<(u64, PathBuf)> = Vec::new();
+    let mut out: Vec<Artifact> = Vec::new();
+    for path in io
+        .list_dir(dir)
+        .map_err(|e| storage("list store dir", dir, e))?
+    {
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        if name.ends_with(".tmp") {
+            out.push(Artifact {
+                path,
+                kind: "temp",
+                verdict: Verdict::Orphan {
+                    detail: "unpublished atomic write".to_owned(),
+                },
+            });
+        } else if let Some(lsn) = parse_name(&name, "wal-", ".log") {
+            segments.push((lsn, path));
+        } else if let Some(lsn) = parse_name(&name, "snapshot-", ".snap") {
+            snapshots.push((lsn, path));
+        } else if name == crate::lock::LOCK_FILE {
+            out.push(Artifact {
+                path,
+                kind: "lock",
+                verdict: Verdict::Clean,
+            });
+        }
+    }
+
+    // Pass 1: which snapshots are readable, and which readable one is
+    // newest — the anchor every chain judgement hangs off.
+    let mut snapshot_valid: Vec<(u64, PathBuf, bool)> = Vec::new();
+    for (lsn, path) in &snapshots {
+        let valid = match io.read(path) {
+            Ok(bytes) => scan_snapshot_bytes(&bytes, *lsn).is_some(),
+            Err(e) => return Err(storage("read snapshot", path, e)),
+        };
+        snapshot_valid.push((*lsn, path.clone(), valid));
+    }
+    let newest_valid_lsn = snapshot_valid
+        .iter()
+        .filter(|(_, _, valid)| *valid)
+        .map(|(lsn, _, _)| *lsn)
+        .max()
+        .unwrap_or(0);
+
+    // Pass 2: walk the segment chain from the anchor, validating every
+    // frame. `max_contiguous` is the highest LSN provably replayable —
+    // the measure of what an unreadable snapshot can still be re-derived
+    // from.
+    segments.sort();
+    let mut remaining: Vec<(u64, PathBuf)> = Vec::new();
+    for (i, (first, path)) in segments.iter().enumerate() {
+        let covered = segments
+            .get(i + 1)
+            .is_some_and(|(next, _)| *next <= newest_valid_lsn + 1);
+        if covered {
+            out.push(Artifact {
+                path: path.clone(),
+                kind: "wal-segment",
+                verdict: Verdict::Orphan {
+                    detail: format!("fully covered by snapshot at lsn {newest_valid_lsn}"),
+                },
+            });
+        } else {
+            remaining.push((*first, path.clone()));
+        }
+    }
+    let mut expected_first = newest_valid_lsn + 1;
+    let mut max_contiguous = newest_valid_lsn;
+    let mut chain_intact = true;
+    let last_index = remaining.len().wrapping_sub(1);
+    for (i, (first, path)) in remaining.iter().enumerate() {
+        if chain_intact && *first > expected_first {
+            out.push(Artifact {
+                path: dir.to_owned(),
+                kind: "wal-chain",
+                verdict: Verdict::Corrupt {
+                    detail: format!(
+                        "gap in wal chain: expected a segment covering lsn {expected_first}, \
+                         next segment starts at {first}"
+                    ),
+                },
+            });
+            chain_intact = false;
+        }
+        let is_last = i == last_index;
+        let bytes = io
+            .read(path)
+            .map_err(|e| storage("read segment", path, e))?;
+        let verdict = match scan_segment_bytes(&bytes, path, *first, is_last) {
+            Err(e) => Verdict::Corrupt {
+                detail: e.to_string(),
+            },
+            Ok(None) => Verdict::Orphan {
+                detail: "torn header on the final segment; holds no durable records".to_owned(),
+            },
+            Ok(Some(scan)) => {
+                if chain_intact {
+                    expected_first = first + scan.record_count;
+                    max_contiguous = expected_first - 1;
+                }
+                if scan.torn_bytes > 0 {
+                    // Recovery truncates here; fsck looks one step
+                    // further. A crash mid-append leaves nothing valid
+                    // after the tear, so a CRC-clean frame resuming
+                    // later proves interior damage (a flipped bit, not
+                    // a torn write) — truncating would silently drop
+                    // the durable records behind it.
+                    if frames_resume_after(&bytes, scan.good_bytes as usize) {
+                        Verdict::Corrupt {
+                            detail: format!(
+                                "damaged record at offset {} with valid frames after it: \
+                                 interior corruption, not a torn tail",
+                                scan.good_bytes
+                            ),
+                        }
+                    } else {
+                        Verdict::TruncatableTail {
+                            good_bytes: scan.good_bytes,
+                            torn_bytes: scan.torn_bytes,
+                        }
+                    }
+                } else {
+                    Verdict::Clean
+                }
+            }
+        };
+        if verdict.is_corrupt() {
+            chain_intact = false;
+        }
+        out.push(Artifact {
+            path: path.clone(),
+            kind: "wal-segment",
+            verdict,
+        });
+    }
+
+    // Pass 3: snapshot verdicts. The newest valid one is clean; anything
+    // older is superseded (orphan); an unreadable snapshot is an orphan
+    // only if the chain provably re-derives its range, else corrupt.
+    for (lsn, path, valid) in snapshot_valid {
+        let verdict = if valid {
+            if lsn == newest_valid_lsn {
+                Verdict::Clean
+            } else {
+                Verdict::Orphan {
+                    detail: format!("superseded by snapshot at lsn {newest_valid_lsn}"),
+                }
+            }
+        } else if lsn <= max_contiguous {
+            Verdict::Orphan {
+                detail: format!(
+                    "unreadable, but the wal chain replays through lsn {max_contiguous}"
+                ),
+            }
+        } else {
+            Verdict::Corrupt {
+                detail: format!(
+                    "unreadable snapshot at lsn {lsn}; the wal chain only replays through \
+                     lsn {max_contiguous}, so deleting it would lose durable state"
+                ),
+            }
+        };
+        out.push(Artifact {
+            path,
+            kind: "snapshot",
+            verdict,
+        });
+    }
+
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+/// Whether any valid non-empty CRC frame parses at an offset past
+/// `after`. A 1-in-2^32 chance of random bytes passing the CRC makes this
+/// a reliable torn-tail vs interior-damage discriminator.
+fn frames_resume_after(bytes: &[u8], after: usize) -> bool {
+    let mut off = after + 1;
+    while off < bytes.len() {
+        if let Some((payload, _)) = read_frame(bytes, off) {
+            if !payload.is_empty() {
+                return true;
+            }
+        }
+        off += 1;
+    }
+    false
+}
+
+/// Apply the proven-safe repair for one artifact: truncate a torn tail,
+/// remove an orphan. Returns a description of the action taken, or
+/// `None` when the verdict admits no action (clean or corrupt).
+pub fn repair(artifact: &Artifact) -> Result<Option<String>> {
+    let io = io_for(&artifact.path);
+    match &artifact.verdict {
+        Verdict::Clean | Verdict::Corrupt { .. } => Ok(None),
+        Verdict::TruncatableTail {
+            good_bytes,
+            torn_bytes,
+        } => {
+            let file = io
+                .open_rw(&artifact.path)
+                .map_err(|e| storage("open for repair", &artifact.path, e))?;
+            file.set_len(*good_bytes)
+                .and_then(|_| file.sync_all())
+                .map_err(|e| storage("truncate torn tail", &artifact.path, e))?;
+            Ok(Some(format!("truncated {torn_bytes} torn bytes")))
+        }
+        Verdict::Orphan { .. } => {
+            io.remove_file(&artifact.path)
+                .map_err(|e| storage("remove orphan", &artifact.path, e))?;
+            Ok(Some("removed".to_owned()))
+        }
+    }
+}
+
+/// Whether `dir` holds store artifacts at all (used by directory walkers
+/// to decide which scanner owns a directory).
+pub fn looks_like_store_dir(dir: &Path) -> bool {
+    let io = io_for(dir);
+    io.list_dir(dir).is_ok_and(|entries| {
+        entries.iter().any(|p| {
+            let name = p.file_name().map(|n| n.to_string_lossy().into_owned());
+            name.is_some_and(|n| {
+                parse_name(&n, "wal-", ".log").is_some()
+                    || parse_name(&n, "snapshot-", ".snap").is_some()
+                    || n == crate::lock::LOCK_FILE
+            })
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{segment_path, DurableLog, LogConfig};
+    use std::fs::{self, OpenOptions};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("toreador-fsck-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seed_store(dir: &Path, records: usize) {
+        let (mut log, _) = DurableLog::open(dir, LogConfig::default()).unwrap();
+        for i in 0..records {
+            log.append(format!("record-{i}").as_bytes()).unwrap();
+        }
+        log.sync().unwrap();
+    }
+
+    fn verdict_of<'a>(arts: &'a [Artifact], kind: &str) -> &'a Verdict {
+        &arts.iter().find(|a| a.kind == kind).unwrap().verdict
+    }
+
+    #[test]
+    fn clean_store_scans_clean() {
+        let dir = tmp_dir("clean");
+        seed_store(&dir, 10);
+        let arts = scan_store_dir(&dir).unwrap();
+        assert!(arts.iter().all(|a| a.verdict.is_clean()), "{arts:?}");
+        assert!(arts.iter().any(|a| a.kind == "wal-segment"));
+        assert!(arts.iter().any(|a| a.kind == "lock"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncatable_and_repair_restores_clean() {
+        let dir = tmp_dir("torn");
+        seed_store(&dir, 5);
+        let seg = segment_path(&dir, 1);
+        let len = fs::metadata(&seg).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let arts = scan_store_dir(&dir).unwrap();
+        let v = verdict_of(&arts, "wal-segment");
+        assert!(
+            matches!(v, Verdict::TruncatableTail { torn_bytes, .. } if *torn_bytes > 0),
+            "{v:?}"
+        );
+        for a in &arts {
+            repair(a).unwrap();
+        }
+        let arts = scan_store_dir(&dir).unwrap();
+        assert!(arts.iter().all(|a| a.verdict.is_clean()), "{arts:?}");
+        // And recovery agrees: the durable prefix survives.
+        let (_, rec) = DurableLog::open(&dir, LogConfig::default()).unwrap();
+        assert_eq!(rec.records.len(), 4);
+        assert_eq!(rec.torn_bytes, 0, "fsck already truncated the tail");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interior_damage_is_corrupt_and_unrepairable() {
+        let dir = tmp_dir("interior");
+        {
+            let (mut log, _) = DurableLog::open(&dir, LogConfig { segment_bytes: 96 }).unwrap();
+            for i in 0..30 {
+                log.append(format!("record-{i}").as_bytes()).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let seg = segment_path(&dir, 1);
+        let mut bytes = fs::read(&seg).unwrap();
+        let k = crate::log::HEADER_LEN + crate::log::FRAME_HEADER_LEN + 1;
+        bytes[k] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        let arts = scan_store_dir(&dir).unwrap();
+        let bad = arts.iter().find(|a| a.path == seg).unwrap();
+        assert!(bad.verdict.is_corrupt(), "{:?}", bad.verdict);
+        assert!(repair(bad).unwrap().is_none(), "corruption is not repaired");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_final_segment_is_corrupt_not_truncatable() {
+        let dir = tmp_dir("final-flip");
+        seed_store(&dir, 8);
+        // Flip one payload byte of the FIRST record in the (only, final)
+        // segment: recovery would truncate everything after it, but fsck
+        // sees the seven valid frames behind the flip and refuses.
+        let seg = segment_path(&dir, 1);
+        let mut bytes = fs::read(&seg).unwrap();
+        let k = crate::log::HEADER_LEN + crate::log::FRAME_HEADER_LEN + 1;
+        bytes[k] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        let arts = scan_store_dir(&dir).unwrap();
+        let v = verdict_of(&arts, "wal-segment");
+        assert!(v.is_corrupt(), "{v:?}");
+        assert!(v.detail().unwrap().contains("interior"), "{v:?}");
+        // A genuine torn tail (no valid frames after) still truncates.
+        fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+        let orig = fs::read(&seg).unwrap();
+        let mut fixed = orig.clone();
+        fixed[k] ^= 0xFF; // undo the flip, keep the torn tail
+        fs::write(&seg, &fixed).unwrap();
+        let arts = scan_store_dir(&dir).unwrap();
+        let v = verdict_of(&arts, "wal-segment");
+        assert!(matches!(v, Verdict::TruncatableTail { .. }), "{v:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chain_gap_is_a_corrupt_dir_level_artifact() {
+        let dir = tmp_dir("gap");
+        {
+            let (mut log, _) = DurableLog::open(&dir, LogConfig { segment_bytes: 96 }).unwrap();
+            for i in 0..30 {
+                log.append(format!("record-{i}").as_bytes()).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let mut firsts: Vec<u64> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| parse_name(&e.unwrap().file_name().to_string_lossy(), "wal-", ".log"))
+            .collect();
+        firsts.sort_unstable();
+        assert!(firsts.len() > 2);
+        fs::remove_file(segment_path(&dir, firsts[1])).unwrap();
+        let arts = scan_store_dir(&dir).unwrap();
+        let v = verdict_of(&arts, "wal-chain");
+        assert!(v.is_corrupt(), "{v:?}");
+        assert!(v.detail().unwrap().contains("gap"), "{v:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_newer_snapshot_is_an_orphan_when_wal_covers_it() {
+        let dir = tmp_dir("snap-orphan");
+        seed_store(&dir, 12);
+        // A fake newer snapshot that is torn, but whose lsn (12) the wal
+        // chain fully replays: deleting it is proven-safe.
+        fs::write(dir.join(format!("snapshot-{:020}.snap", 12)), b"garbage").unwrap();
+        let arts = scan_store_dir(&dir).unwrap();
+        let v = verdict_of(&arts, "snapshot");
+        assert!(matches!(v, Verdict::Orphan { .. }), "{v:?}");
+        // But a torn snapshot claiming records beyond the chain is corrupt.
+        fs::write(dir.join(format!("snapshot-{:020}.snap", 99)), b"garbage").unwrap();
+        let arts = scan_store_dir(&dir).unwrap();
+        let bad = arts
+            .iter()
+            .find(|a| a.path.to_string_lossy().contains("0099"))
+            .unwrap();
+        assert!(bad.verdict.is_corrupt(), "{:?}", bad.verdict);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_files_are_orphans_and_store_dirs_are_recognised() {
+        let dir = tmp_dir("tmp");
+        seed_store(&dir, 3);
+        fs::write(dir.join("snapshot-00000000000000000003.snap.tmp"), b"x").unwrap();
+        let arts = scan_store_dir(&dir).unwrap();
+        let v = verdict_of(&arts, "temp");
+        assert!(matches!(v, Verdict::Orphan { .. }), "{v:?}");
+        assert!(looks_like_store_dir(&dir));
+        let other = tmp_dir("not-a-store");
+        fs::create_dir_all(&other).unwrap();
+        assert!(!looks_like_store_dir(&other));
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&other).unwrap();
+    }
+}

@@ -44,15 +44,21 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+pub mod chaos;
 pub mod crc;
 pub mod error;
+pub mod fsck;
+pub mod io;
 pub mod lock;
 pub mod log;
 pub mod store;
 
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
+    pub use crate::chaos::{DiskChaos, DiskChaosPlan, DiskFault, DiskTarget, IoOp, PathClass};
     pub use crate::error::{Result as StoreResult, StoreError};
+    pub use crate::fsck::{Artifact, Verdict};
+    pub use crate::io::{inject, io_for, IoGuard, RealIo, StorageFile, StorageIo};
     pub use crate::lock::DirLock;
     pub use crate::log::{DurableLog, LogConfig, LogStats, Recovery};
     pub use crate::store::{LabStore, StoreConfig, TraineeState};

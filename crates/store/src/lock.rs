@@ -12,11 +12,11 @@
 //! The lock file body names the holder (`pid <n> since <unix-secs>`), so a
 //! refused open can say *who* has the store, not just that someone does.
 
-use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::fs::File;
 use std::path::Path;
 
-use crate::error::{Result, StoreError};
+use crate::error::{storage, Result, StoreError};
+use crate::io::{io_for, StorageFile};
 
 /// Name of the lock file inside a store directory.
 pub const LOCK_FILE: &str = "LOCK";
@@ -26,7 +26,7 @@ pub const LOCK_FILE: &str = "LOCK";
 #[derive(Debug)]
 pub struct DirLock {
     // Held only for the flock; the descriptor closing is the unlock.
-    _file: File,
+    _file: Box<dyn StorageFile>,
 }
 
 impl DirLock {
@@ -34,15 +34,16 @@ impl DirLock {
     /// blocking) if another live process holds it. The error names the
     /// holder recorded in the lock file.
     pub fn acquire(dir: &Path) -> Result<DirLock> {
+        let io = io_for(dir);
         let path = dir.join(LOCK_FILE);
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
-        if !try_flock_exclusive(&file) {
-            let holder = std::fs::read_to_string(&path).unwrap_or_default();
+        let file = io
+            .open_rw_create(&path)
+            .map_err(|e| storage("open lock file", &path, e))?;
+        // Injected backends that wrap a real descriptor still flock it;
+        // purely synthetic ones degrade to the PID stamp, like non-unix.
+        let flocked = file.as_file().map_or(true, try_flock_exclusive);
+        if !flocked {
+            let holder = io.read_to_string(&path).unwrap_or_default();
             let holder = holder.trim();
             let who = if holder.is_empty() {
                 "another process".to_owned()
@@ -60,9 +61,11 @@ impl DirLock {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0);
-        file.set_len(0)?;
-        writeln!(file, "pid {} since {since}", std::process::id())?;
-        file.sync_all()?;
+        let stamp = format!("pid {} since {since}\n", std::process::id());
+        file.set_len(0)
+            .and_then(|_| file.write_all_at(0, stamp.as_bytes()))
+            .and_then(|_| file.sync_all())
+            .map_err(|e| storage("stamp lock file", &path, e))?;
         Ok(DirLock { _file: file })
     }
 }

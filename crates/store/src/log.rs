@@ -40,21 +40,21 @@
 //!   a gap in the segment chain) is [`StoreError::Corrupt`]: recovery
 //!   refuses to silently drop interior history.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::crc::crc32;
-use crate::error::{Result, StoreError};
+use crate::error::{storage, Result, StoreError};
+use crate::io::{io_for, StorageFile, StorageIo};
 use crate::lock::DirLock;
 
-const SEGMENT_MAGIC: &[u8; 8] = b"TWALSEG1";
-const SNAPSHOT_MAGIC: &[u8; 8] = b"TSNAPSH1";
-const FORMAT_VERSION: u32 = 1;
+pub(crate) const SEGMENT_MAGIC: &[u8; 8] = b"TWALSEG1";
+pub(crate) const SNAPSHOT_MAGIC: &[u8; 8] = b"TSNAPSH1";
+pub(crate) const FORMAT_VERSION: u32 = 1;
 /// magic + version + first/covered LSN.
-const HEADER_LEN: usize = 8 + 4 + 8;
+pub(crate) const HEADER_LEN: usize = 8 + 4 + 8;
 /// len + crc.
-const FRAME_HEADER_LEN: usize = 4 + 4;
+pub(crate) const FRAME_HEADER_LEN: usize = 4 + 4;
 
 /// Tuning knobs for the log.
 #[derive(Debug, Clone, Copy)]
@@ -92,8 +92,10 @@ pub struct Recovery {
 pub struct DurableLog {
     dir: PathBuf,
     cfg: LogConfig,
+    /// The filesystem backend, resolved once at open (see [`crate::io`]).
+    io: Arc<dyn StorageIo>,
     /// Current segment, open for appending.
-    file: File,
+    file: Box<dyn StorageFile>,
     current_path: PathBuf,
     current_records: u64,
     current_bytes: u64,
@@ -123,7 +125,9 @@ impl DurableLog {
     /// Open (or create) the log in `dir`, recovering durable state.
     pub fn open(dir: impl AsRef<Path>, cfg: LogConfig) -> Result<(DurableLog, Recovery)> {
         let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)?;
+        let io = io_for(&dir);
+        io.create_dir_all(&dir)
+            .map_err(|e| storage("create store dir", &dir, e))?;
 
         // One process per store directory: take the advisory lock before
         // reading or writing any segment.
@@ -133,15 +137,19 @@ impl DurableLog {
         // snapshot writes from a crash — discard them.
         let mut segment_firsts: Vec<u64> = Vec::new();
         let mut snapshots: Vec<(u64, PathBuf)> = Vec::new();
-        for entry in fs::read_dir(&dir)? {
-            let entry = entry?;
-            let name = entry.file_name().to_string_lossy().into_owned();
+        for path in io
+            .list_dir(&dir)
+            .map_err(|e| storage("list store dir", &dir, e))?
+        {
+            let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
             if name.ends_with(".tmp") {
-                let _ = fs::remove_file(entry.path());
+                let _ = io.remove_file(&path);
             } else if let Some(lsn) = parse_name(&name, "wal-", ".log") {
                 segment_firsts.push(lsn);
             } else if let Some(lsn) = parse_name(&name, "snapshot-", ".snap") {
-                snapshots.push((lsn, entry.path()));
+                snapshots.push((lsn, path));
             }
         }
 
@@ -153,13 +161,15 @@ impl DurableLog {
         let mut snapshot_path = None;
         for (lsn, path) in snapshots {
             if snapshot.is_some() {
-                fs::remove_file(&path)?;
-            } else if let Some(payload) = read_snapshot(&path, lsn)? {
+                io.remove_file(&path)
+                    .map_err(|e| storage("remove superseded snapshot", &path, e))?;
+            } else if let Some(payload) = read_snapshot(io.as_ref(), &path, lsn)? {
                 snapshot = Some(payload);
                 snapshot_lsn = lsn;
                 snapshot_path = Some(path);
             } else {
-                fs::remove_file(&path)?;
+                io.remove_file(&path)
+                    .map_err(|e| storage("remove torn snapshot", &path, e))?;
             }
         }
 
@@ -174,7 +184,9 @@ impl DurableLog {
                 .get(i + 1)
                 .is_some_and(|&next| next <= snapshot_lsn + 1);
             if covered {
-                fs::remove_file(segment_path(&dir, first))?;
+                let path = segment_path(&dir, first);
+                io.remove_file(&path)
+                    .map_err(|e| storage("remove covered segment", &path, e))?;
             } else {
                 remaining.push(first);
             }
@@ -195,13 +207,14 @@ impl DurableLog {
                 )));
             }
             let is_last = i == last_index;
-            let scan = read_segment(&path, first, is_last)?;
+            let scan = read_segment(io.as_ref(), &path, first, is_last)?;
             let Some(scan) = scan else {
                 // Torn header on the final, freshly-created segment: it
                 // holds no durable records. Remove it; a fresh segment is
                 // created below.
-                torn_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-                fs::remove_file(&path)?;
+                torn_bytes += io.file_len(&path).unwrap_or(0);
+                io.remove_file(&path)
+                    .map_err(|e| storage("remove torn segment", &path, e))?;
                 continue;
             };
             torn_bytes += scan.torn_bytes;
@@ -223,7 +236,7 @@ impl DurableLog {
         let mut sealed: Vec<PathBuf> = Vec::new();
         for &first in &remaining {
             let path = segment_path(&dir, first);
-            if tail.as_ref().is_some_and(|(tp, ..)| *tp == path) || !path.exists() {
+            if tail.as_ref().is_some_and(|(tp, ..)| *tp == path) || !io.exists(&path) {
                 continue;
             }
             sealed.push(path);
@@ -233,16 +246,20 @@ impl DurableLog {
         // bytes), or start a fresh one.
         let (file, current_path, current_records, current_bytes) = match tail {
             Some((path, _, record_count, good_bytes)) => {
-                let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
-                if file.metadata()?.len() > good_bytes {
-                    file.set_len(good_bytes)?;
-                    file.sync_all()?;
+                let file = io
+                    .open_rw(&path)
+                    .map_err(|e| storage("open wal tail", &path, e))?;
+                let len = file.len().map_err(|e| storage("stat wal tail", &path, e))?;
+                if len > good_bytes {
+                    file.set_len(good_bytes)
+                        .map_err(|e| storage("truncate torn tail", &path, e))?;
+                    file.sync_all()
+                        .map_err(|e| storage("fsync wal tail", &path, e))?;
                 }
-                file.seek(SeekFrom::End(0))?;
                 (file, path, record_count, good_bytes)
             }
             None => {
-                let (file, path) = create_segment(&dir, next_lsn)?;
+                let (file, path) = create_segment(io.as_ref(), &dir, next_lsn)?;
                 (file, path, 0, HEADER_LEN as u64)
             }
         };
@@ -250,6 +267,7 @@ impl DurableLog {
         let log = DurableLog {
             dir,
             cfg,
+            io,
             file,
             current_path,
             current_records,
@@ -280,7 +298,9 @@ impl DurableLog {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
-        self.file.write_all(&frame)?;
+        self.file
+            .write_all_at(self.current_bytes, &frame)
+            .map_err(|e| storage("append wal record", &self.current_path, e))?;
         self.current_bytes += frame.len() as u64;
         self.current_records += 1;
         let lsn = self.next_lsn;
@@ -290,22 +310,29 @@ impl DurableLog {
 
     /// Force everything appended so far to stable storage.
     pub fn sync(&mut self) -> Result<()> {
-        self.file.sync_data()?;
-        Ok(())
+        self.file
+            .sync_data()
+            .map_err(|e| storage("fsync wal", &self.current_path, e))
     }
 
     /// Write a snapshot covering every record appended so far, then drop
     /// the segments (and older snapshots) it supersedes.
     pub fn snapshot(&mut self, state: &[u8]) -> Result<()> {
-        self.file.sync_data()?;
+        self.file
+            .sync_data()
+            .map_err(|e| storage("fsync wal", &self.current_path, e))?;
         let covered = self.next_lsn - 1;
 
         // Write-then-rename so a crash leaves either the old snapshot or
-        // the new one, never a half-written file that parses.
+        // the new one, never a half-written file that parses. A failure
+        // mid-write removes the temp file — no orphan survives the error.
         let final_path = self.dir.join(format!("snapshot-{covered:020}.snap"));
         let tmp_path = self.dir.join(format!("snapshot-{covered:020}.snap.tmp"));
         {
-            let mut f = File::create(&tmp_path)?;
+            let f = self
+                .io
+                .create(&tmp_path)
+                .map_err(|e| storage("create snapshot temp", &tmp_path, e))?;
             let mut buf = Vec::with_capacity(HEADER_LEN + FRAME_HEADER_LEN + state.len());
             buf.extend_from_slice(SNAPSHOT_MAGIC);
             buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -313,33 +340,48 @@ impl DurableLog {
             buf.extend_from_slice(&(state.len() as u32).to_le_bytes());
             buf.extend_from_slice(&crc32(state).to_le_bytes());
             buf.extend_from_slice(state);
-            f.write_all(&buf)?;
-            f.sync_all()?;
+            if let Err(e) = f.write_all_at(0, &buf).and_then(|_| f.sync_all()) {
+                let _ = self.io.remove_file(&tmp_path);
+                return Err(storage("write snapshot", &tmp_path, e));
+            }
         }
-        fs::rename(&tmp_path, &final_path)?;
-        sync_dir(&self.dir)?;
+        if let Err(e) = self.io.rename(&tmp_path, &final_path) {
+            let _ = self.io.remove_file(&tmp_path);
+            return Err(storage("publish snapshot", &final_path, e));
+        }
+        self.io
+            .sync_dir(&self.dir)
+            .map_err(|e| storage("fsync store dir", &self.dir, e))?;
 
         // Compaction: every sealed segment is now covered; the current
         // segment is too, so swap in a fresh one before deleting it.
         if self.current_records > 0 {
-            let (file, path) = create_segment(&self.dir, self.next_lsn)?;
+            let (file, path) = create_segment(self.io.as_ref(), &self.dir, self.next_lsn)?;
             let old_path = std::mem::replace(&mut self.current_path, path);
             self.file = file;
             self.current_records = 0;
             self.current_bytes = HEADER_LEN as u64;
-            fs::remove_file(old_path)?;
+            self.io
+                .remove_file(&old_path)
+                .map_err(|e| storage("remove covered segment", &old_path, e))?;
         }
         for seg in self.sealed.drain(..) {
-            fs::remove_file(seg)?;
+            self.io
+                .remove_file(&seg)
+                .map_err(|e| storage("remove covered segment", &seg, e))?;
         }
         if let Some(old) = self.snapshot_path.take() {
             if old != final_path {
-                fs::remove_file(old)?;
+                self.io
+                    .remove_file(&old)
+                    .map_err(|e| storage("remove superseded snapshot", &old, e))?;
             }
         }
         self.snapshot_path = Some(final_path);
         self.snapshot_lsn = covered;
-        sync_dir(&self.dir)?;
+        self.io
+            .sync_dir(&self.dir)
+            .map_err(|e| storage("fsync store dir", &self.dir, e))?;
         Ok(())
     }
 
@@ -377,8 +419,10 @@ impl DurableLog {
     fn rotate(&mut self) -> Result<()> {
         // Seal with sync_all (not sync_data): the sealed segment's final
         // length is metadata, and recovery trusts it.
-        self.file.sync_all()?;
-        let (file, path) = create_segment(&self.dir, self.next_lsn)?;
+        self.file
+            .sync_all()
+            .map_err(|e| storage("seal segment", &self.current_path, e))?;
+        let (file, path) = create_segment(self.io.as_ref(), &self.dir, self.next_lsn)?;
         let old_path = std::mem::replace(&mut self.current_path, path);
         self.sealed.push(old_path);
         self.file = file;
@@ -387,60 +431,60 @@ impl DurableLog {
         // Make the rotation itself durable: a crash right here must come
         // back with both the sealed segment and the new one visible, the
         // same guarantee the snapshot rename path gives.
-        sync_dir(&self.dir)?;
+        self.io
+            .sync_dir(&self.dir)
+            .map_err(|e| storage("fsync store dir", &self.dir, e))?;
         Ok(())
     }
 }
 
-/// A freshly created, header-only segment open for appending.
-fn create_segment(dir: &Path, first_lsn: u64) -> Result<(File, PathBuf)> {
+/// A freshly created, header-only segment open for appending. A failure
+/// writing or syncing the header removes the partial file — a half-born
+/// segment must not survive to confuse the next recovery.
+fn create_segment(
+    io: &dyn StorageIo,
+    dir: &Path,
+    first_lsn: u64,
+) -> Result<(Box<dyn StorageFile>, PathBuf)> {
     let path = segment_path(dir, first_lsn);
-    let mut file = OpenOptions::new()
-        .read(true)
-        .write(true)
-        .create(true)
-        .truncate(true)
-        .open(&path)?;
+    let file = io
+        .create(&path)
+        .map_err(|e| storage("create segment", &path, e))?;
     let mut header = Vec::with_capacity(HEADER_LEN);
     header.extend_from_slice(SEGMENT_MAGIC);
     header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     header.extend_from_slice(&first_lsn.to_le_bytes());
-    file.write_all(&header)?;
-    file.sync_all()?;
-    sync_dir(dir)?;
+    let written = file
+        .write_all_at(0, &header)
+        .and_then(|_| file.sync_all())
+        .and_then(|_| io.sync_dir(dir));
+    if let Err(e) = written {
+        let _ = io.remove_file(&path);
+        return Err(storage("initialise segment", &path, e));
+    }
     Ok((file, path))
 }
 
-fn segment_path(dir: &Path, first_lsn: u64) -> PathBuf {
+pub(crate) fn segment_path(dir: &Path, first_lsn: u64) -> PathBuf {
     dir.join(format!("wal-{first_lsn:020}.log"))
 }
 
 /// `wal-<n>.log` / `snapshot-<n>.snap` → `n`.
-fn parse_name(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+pub(crate) fn parse_name(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
     name.strip_prefix(prefix)?
         .strip_suffix(suffix)?
         .parse()
         .ok()
 }
 
-/// Make file creations/renames in `dir` durable.
-fn sync_dir(dir: &Path) -> Result<()> {
-    // Directory fsync is POSIX-only; on other platforms the rename is
-    // already as durable as the platform offers.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
-    Ok(())
-}
-
 /// What scanning one segment produced.
-struct SegmentScan {
-    records: Vec<Vec<u8>>,
-    record_count: u64,
+pub(crate) struct SegmentScan {
+    pub(crate) records: Vec<Vec<u8>>,
+    pub(crate) record_count: u64,
     /// Offset of the end of the last intact frame.
-    good_bytes: u64,
+    pub(crate) good_bytes: u64,
     /// Bytes after `good_bytes` (torn tail), if this was the last segment.
-    torn_bytes: u64,
+    pub(crate) torn_bytes: u64,
 }
 
 /// Read and validate one segment.
@@ -449,12 +493,25 @@ struct SegmentScan {
 /// a torn record (truncated by the caller); any earlier segment must be
 /// perfectly formed. Returns `Ok(None)` when the final segment's *header*
 /// is torn — it holds no records and should be deleted.
-fn read_segment(
+pub(crate) fn read_segment(
+    io: &dyn StorageIo,
     path: &Path,
     expected_first_lsn: u64,
     is_last: bool,
 ) -> Result<Option<SegmentScan>> {
-    let bytes = fs::read(path)?;
+    let bytes = io
+        .read(path)
+        .map_err(|e| storage("read segment", path, e))?;
+    scan_segment_bytes(&bytes, path, expected_first_lsn, is_last)
+}
+
+/// [`read_segment`] on bytes already in memory (shared with `fsck`).
+pub(crate) fn scan_segment_bytes(
+    bytes: &[u8],
+    path: &Path,
+    expected_first_lsn: u64,
+    is_last: bool,
+) -> Result<Option<SegmentScan>> {
     if bytes.len() < HEADER_LEN {
         if is_last {
             return Ok(None);
@@ -485,7 +542,7 @@ fn read_segment(
         if offset == bytes.len() {
             break; // clean end
         }
-        let frame = read_frame(&bytes, offset);
+        let frame = read_frame(bytes, offset);
         match frame {
             Some((payload, next)) => {
                 records.push(payload);
@@ -509,7 +566,7 @@ fn read_segment(
 }
 
 /// One frame at `offset`, or `None` if it is incomplete/damaged.
-fn read_frame(bytes: &[u8], offset: usize) -> Option<(Vec<u8>, usize)> {
+pub(crate) fn read_frame(bytes: &[u8], offset: usize) -> Option<(Vec<u8>, usize)> {
     let header_end = offset.checked_add(FRAME_HEADER_LEN)?;
     if header_end > bytes.len() {
         return None;
@@ -529,25 +586,33 @@ fn read_frame(bytes: &[u8], offset: usize) -> Option<(Vec<u8>, usize)> {
 
 /// Read and validate a snapshot file; `Ok(None)` = torn/invalid payload
 /// (ignore this snapshot and fall back).
-fn read_snapshot(path: &Path, expected_lsn: u64) -> Result<Option<Vec<u8>>> {
-    let bytes = fs::read(path)?;
+fn read_snapshot(io: &dyn StorageIo, path: &Path, expected_lsn: u64) -> Result<Option<Vec<u8>>> {
+    let bytes = io
+        .read(path)
+        .map_err(|e| storage("read snapshot", path, e))?;
+    Ok(scan_snapshot_bytes(&bytes, expected_lsn))
+}
+
+/// Validate snapshot bytes; `None` = torn/invalid (shared with `fsck`).
+pub(crate) fn scan_snapshot_bytes(bytes: &[u8], expected_lsn: u64) -> Option<Vec<u8>> {
     if bytes.len() < HEADER_LEN || &bytes[0..8] != SNAPSHOT_MAGIC {
-        return Ok(None);
+        return None;
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
     let covered = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
     if version != FORMAT_VERSION || covered != expected_lsn {
-        return Ok(None);
+        return None;
     }
-    match read_frame(&bytes, HEADER_LEN) {
-        Some((payload, end)) if end == bytes.len() => Ok(Some(payload)),
-        _ => Ok(None),
+    match read_frame(bytes, HEADER_LEN) {
+        Some((payload, end)) if end == bytes.len() => Some(payload),
+        _ => None,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::{self, OpenOptions};
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir =
